@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAllSections(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"../../testdata/bib.dtd"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"NESTED_GROUP NG1 book",
+		"entity author { id* }",
+		"CREATE TABLE e_book",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleOutputs(t *testing.T) {
+	for _, mode := range []string{"converted", "er", "dot", "ddl"} {
+		var out strings.Builder
+		if err := run([]string{"-out", mode, "../../testdata/bib.dtd"}, &out); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if out.Len() == 0 {
+			t.Errorf("%s: empty output", mode)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-out", "bogus", "../../testdata/bib.dtd"}, &out); err == nil {
+		t.Error("bad -out should fail")
+	}
+	if err := run([]string{"-strategy", "bogus", "../../testdata/bib.dtd"}, &out); err == nil {
+		t.Error("bad -strategy should fail")
+	}
+	if err := run([]string{"/nonexistent.dtd"}, &out); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestRunFoldAndSkipDistill(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-strategy", "fold", "-skip-distill", "-out", "ddl", "../../testdata/bib.dtd"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "e_booktitle") {
+		t.Error("skip-distill should keep booktitle as a table")
+	}
+}

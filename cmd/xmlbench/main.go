@@ -1,0 +1,63 @@
+// Command xmlbench regenerates every table and figure of the
+// reproduction's experiment suite (see DESIGN.md §4 and EXPERIMENTS.md):
+// the golden reproductions of the paper's Examples 1–2 and Figures 1–2,
+// and the quantitative comparisons the paper deferred.
+//
+// Usage:
+//
+//	xmlbench              # run every experiment
+//	xmlbench -exp e6      # run one
+//	xmlbench -list        # list experiment ids
+//	xmlbench -seed 7      # change the workload seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"xmlrdb/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "xmlbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("xmlbench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment id (e1..e12) or all")
+	seed := fs.Int64("seed", 1, "workload seed")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Fprintf(w, "%-4s %s\n", r.ID, r.Title)
+		}
+		return nil
+	}
+	var runners []experiments.Runner
+	if *exp == "all" {
+		runners = experiments.All()
+	} else {
+		r, ok := experiments.Find(*exp)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", *exp)
+		}
+		runners = []experiments.Runner{r}
+	}
+	for _, r := range runners {
+		tab, err := r.Run(*seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		fmt.Fprintln(w, tab.String())
+	}
+	return nil
+}

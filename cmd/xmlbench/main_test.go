@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"e1", "e7", "e12"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("list missing %s", id)
+		}
+	}
+}
+
+func TestSingleExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "e1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "MATCHES the paper's Example 2 exactly") {
+		t.Errorf("e1 output:\n%s", out.String())
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "e99"}, &out); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}

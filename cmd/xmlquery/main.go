@@ -1,0 +1,108 @@
+// Command xmlquery loads documents under the ER mapping and runs path
+// queries (translated to SQL) or raw SQL against the store.
+//
+// Usage:
+//
+//	xmlquery -dtd schema.dtd -q '/book/author[@id]' doc1.xml [doc2.xml ...]
+//	xmlquery -dtd schema.dtd -sql 'SELECT COUNT(*) FROM e_author' docs...
+//	xmlquery -dtd schema.dtd -q '/a/b' -explain docs...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"xmlrdb"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "xmlquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("xmlquery", flag.ContinueOnError)
+	dtdPath := fs.String("dtd", "", "DTD file (required)")
+	pathQ := fs.String("q", "", "path query to run")
+	sqlQ := fs.String("sql", "", "raw SQL to run instead of a path query")
+	explain := fs.Bool("explain", false, "print the SQL a path query translates to")
+	strategy := fs.String("strategy", "junction", "relational strategy: junction or fold")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dtdPath == "" {
+		return fmt.Errorf("-dtd is required")
+	}
+	if *pathQ == "" && *sqlQ == "" {
+		return fmt.Errorf("one of -q or -sql is required")
+	}
+	dtdText, err := os.ReadFile(*dtdPath)
+	if err != nil {
+		return err
+	}
+	cfg := xmlrdb.Config{}
+	if *strategy == "fold" {
+		cfg.Strategy = xmlrdb.StrategyFoldFK
+	}
+	p, err := xmlrdb.Open(string(dtdText), cfg)
+	if err != nil {
+		return err
+	}
+	for _, path := range fs.Args() {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if _, err := p.LoadXML(string(b), path); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	if *explain && *pathQ != "" {
+		sqls, err := p.TranslatePath(*pathQ)
+		if err != nil {
+			return err
+		}
+		for _, s := range sqls {
+			fmt.Fprintln(out, s, ";")
+		}
+		return nil
+	}
+	var rows *xmlrdb.Rows
+	if *pathQ != "" {
+		rows, err = p.Query(*pathQ)
+	} else {
+		rows, err = p.SQL(*sqlQ)
+	}
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	for i, c := range rows.Cols {
+		if i > 0 {
+			fmt.Fprint(w, "\t")
+		}
+		fmt.Fprint(w, c)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows.Data {
+		for i, v := range r {
+			if i > 0 {
+				fmt.Fprint(w, "\t")
+			}
+			if v == nil {
+				fmt.Fprint(w, "NULL")
+			} else {
+				fmt.Fprintf(w, "%v", v)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	fmt.Fprintf(out, "(%d rows)\n", len(rows.Data))
+	return nil
+}

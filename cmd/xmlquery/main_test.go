@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQueryPath(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-dtd", "../../testdata/bib.dtd", "-q", "//author",
+		"../../testdata/book.xml", "../../testdata/article.xml",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(4 rows)") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestQuerySQL(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-dtd", "../../testdata/bib.dtd",
+		"-sql", "SELECT COUNT(*) FROM e_author",
+		"../../testdata/book.xml",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestQueryExplain(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-dtd", "../../testdata/bib.dtd", "-q", "/book/booktitle/text()", "-explain",
+		"../../testdata/book.xml",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "a_booktitle") {
+		t.Errorf("explain output:\n%s", out.String())
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-q", "/x"}, &out); err == nil {
+		t.Error("missing -dtd should fail")
+	}
+	if err := run([]string{"-dtd", "../../testdata/bib.dtd"}, &out); err == nil {
+		t.Error("missing query should fail")
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestShredAndVerify(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-dtd", "../../testdata/bib.dtd", "-verify",
+		"../../testdata/book.xml", "../../testdata/article.xml",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out.String(), "round-trip verified") != 2 {
+		t.Errorf("output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "e_author") {
+		t.Errorf("table summary missing:\n%s", out.String())
+	}
+}
+
+func TestShredDump(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-dtd", "../../testdata/bib.dtd", "-dump", "e_book",
+		"../../testdata/book.xml",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "XML RDBMS") {
+		t.Errorf("dump missing row data:\n%s", out.String())
+	}
+}
+
+func TestShredErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"../../testdata/book.xml"}, &out); err == nil {
+		t.Error("missing -dtd should fail")
+	}
+	if err := run([]string{"-dtd", "../../testdata/bib.dtd"}, &out); err == nil {
+		t.Error("no documents should fail")
+	}
+	if err := run([]string{"-dtd", "../../testdata/bib.dtd", "/nope.xml"}, &out); err == nil {
+		t.Error("missing document should fail")
+	}
+}

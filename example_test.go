@@ -1,0 +1,101 @@
+package xmlrdb_test
+
+import (
+	"fmt"
+
+	"xmlrdb"
+)
+
+// Example maps a DTD, loads a document, queries it, and reconstructs it.
+func Example() {
+	const dtd = `
+<!ELEMENT order (item+)>
+<!ATTLIST order id ID #REQUIRED>
+<!ELEMENT item (sku, qty)>
+<!ELEMENT sku (#PCDATA)>
+<!ELEMENT qty (#PCDATA)>
+`
+	p, err := xmlrdb.Open(dtd, xmlrdb.Config{})
+	if err != nil {
+		panic(err)
+	}
+	docID, err := p.LoadXML(
+		`<order id="o1"><item><sku>A-1</sku><qty>2</qty></item><item><sku>B-9</sku><qty>1</qty></item></order>`,
+		"order-1")
+	if err != nil {
+		panic(err)
+	}
+	rows, err := p.Query("/order/item")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("items:", len(rows.Data))
+
+	xml, err := p.Reconstruct(docID)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(xml)
+	// Output:
+	// items: 2
+	// <?xml version="1.0"?>
+	// <order id="o1"><item><sku>A-1</sku><qty>2</qty></item><item><sku>B-9</sku><qty>1</qty></item></order>
+}
+
+// ExamplePipeline_ConvertedDTD shows the paper's Example-2 notation for a
+// tiny DTD: the (#PCDATA) leaf is distilled into an attribute and the
+// repeated child becomes a NESTED relationship.
+func ExamplePipeline_ConvertedDTD() {
+	p, err := xmlrdb.Open(`
+<!ELEMENT order (sku, item*)>
+<!ELEMENT sku (#PCDATA)>
+<!ELEMENT item EMPTY>
+`, xmlrdb.Config{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(p.ConvertedDTD())
+	// Output:
+	// <!ELEMENT order ()>
+	// <!ATTLIST order sku (#PCDATA) #REQUIRED>
+	// <!NESTED Nitem order item>
+	// <!ELEMENT item EMPTY>
+}
+
+// ExamplePipeline_SQL runs plain SQL over the shredded store.
+func ExamplePipeline_SQL() {
+	p, err := xmlrdb.Open(`
+<!ELEMENT list (v*)>
+<!ELEMENT v (#PCDATA)>
+`, xmlrdb.Config{})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := p.LoadXML(`<list><v>10</v><v>20</v><v>12</v></list>`, "l"); err != nil {
+		panic(err)
+	}
+	rows, err := p.SQL(`SELECT COUNT(*), SUM(NUM(txt)) FROM e_v WHERE NUM(txt) >= 11`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rows.Data[0][0], rows.Data[0][1])
+	// Output: 2 32
+}
+
+// ExamplePipeline_TranslatePath shows the SQL a path query becomes.
+func ExamplePipeline_TranslatePath() {
+	p, err := xmlrdb.Open(`
+<!ELEMENT a (b*)>
+<!ELEMENT b EMPTY>
+<!ATTLIST b k CDATA #IMPLIED>
+`, xmlrdb.Config{})
+	if err != nil {
+		panic(err)
+	}
+	sqls, err := p.TranslatePath("/a/b[@k='v']")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sqls[0])
+	// Output: SELECT e1.doc, e1.id FROM e_a e0, x_docs xd, r_Nb r0, e_b e1 WHERE xd.root_type = 'a' AND xd.root = e0.id AND r0.parent = e0.id AND r0.child = e1.id AND e1.a_k = 'v'
+}

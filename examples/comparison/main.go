@@ -1,0 +1,82 @@
+// Comparison: the same corpus under all seven mappings — the paper's ER
+// mapping (junction and fold strategies), the Edge and Universal tables,
+// and Basic/Shared/Hybrid inlining — side by side: schema size, rows
+// stored, and the SQL each mapping generates for the same path query.
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"xmlrdb/internal/baselines"
+	"xmlrdb/internal/dtd"
+	"xmlrdb/internal/engine"
+	"xmlrdb/internal/paper"
+	"xmlrdb/internal/pathquery"
+	"xmlrdb/internal/xmltree"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "comparison:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	d := dtd.MustParse(paper.Example1DTD)
+	maps, err := baselines.All(d)
+	if err != nil {
+		return err
+	}
+	docs := []string{paper.BookXML, paper.ArticleXML, paper.EditorXML}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "mapping\ttables\tcolumns\trows stored\t/article/author/name rows\tjoins")
+	const query = "/article/author/name"
+	q, err := pathquery.Parse(query)
+	if err != nil {
+		return err
+	}
+	for _, m := range maps {
+		db := engine.Open()
+		if err := db.CreateSchema(m.Schema()); err != nil {
+			return err
+		}
+		for i, src := range docs {
+			doc, err := xmltree.Parse(src)
+			if err != nil {
+				return err
+			}
+			if _, err := m.Load(db, doc, fmt.Sprintf("d%d", i)); err != nil {
+				return fmt.Errorf("%s: %w", m.Name(), err)
+			}
+		}
+		trans, err := m.Translator().Translate(q)
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.Name(), err)
+		}
+		rows, err := pathquery.Execute(db, trans)
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.Name(), err)
+		}
+		st := m.Schema().ComputeStats()
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\n",
+			m.Name(), st.Tables, st.Columns, db.TotalRows(), len(rows.Data), trans.Joins)
+	}
+	w.Flush()
+
+	fmt.Printf("\n-- the SQL each mapping generates for %s --\n", query)
+	for _, m := range maps {
+		trans, err := m.Translator().Translate(q)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n[%s]\n", m.Name())
+		for _, sql := range trans.SQLs {
+			fmt.Println(" ", sql)
+		}
+	}
+	return nil
+}

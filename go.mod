@@ -1,0 +1,3 @@
+module xmlrdb
+
+go 1.22

@@ -1,0 +1,154 @@
+package baselines
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"xmlrdb/internal/dtd"
+	"xmlrdb/internal/engine"
+	"xmlrdb/internal/pathquery"
+	"xmlrdb/internal/wgen"
+)
+
+// TestDifferentialGeneratedWorkloads is the cross-mapping differential
+// property: over random DTDs, random corpora, and random path queries,
+// every mapping that can translate a query must return the same result
+// multiset of (doc, id ordinal-free) cardinalities. The ER mappings may
+// legitimately reject queries that address distilled elements as
+// elements; those are skipped per-mapping, not globally.
+func TestDifferentialGeneratedWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential test is heavyweight")
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		d := wgen.GenerateDTD(wgen.DTDConfig{
+			Elements: 18, Seed: seed, Levels: 4, AttrsPerElement: 2,
+			IDProb: 0.3, OptionalProb: 0.3, RepeatProb: 0.4, ChoiceProb: 0.4,
+		})
+		docs, err := wgen.Corpus(d, 20, seed*31, wgen.DocConfig{MaxRepeat: 3})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		maps, err := All(d)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		dbs := make([]*engine.DB, len(maps))
+		for i, m := range maps {
+			db := engine.Open()
+			if err := db.CreateSchema(m.Schema()); err != nil {
+				t.Fatalf("seed %d %s: %v", seed, m.Name(), err)
+			}
+			for di, doc := range docs {
+				if _, err := m.Load(db, doc, fmt.Sprintf("d%d", di)); err != nil {
+					t.Fatalf("seed %d %s doc %d: %v", seed, m.Name(), di, err)
+				}
+			}
+			dbs[i] = db
+		}
+		queries := wgen.GenerateQueries(d, 15, seed*97, wgen.QueryConfig{Depth: 3, PredProb: 0.3})
+		for _, qs := range queries {
+			q, err := pathquery.Parse(qs)
+			if err != nil {
+				t.Fatalf("seed %d: parse %q: %v", seed, qs, err)
+			}
+			type outcome struct {
+				name  string
+				count int
+				docs  string // sorted doc-count signature
+			}
+			var outs []outcome
+			for i, m := range maps {
+				trans, err := m.Translator().Translate(q)
+				if err != nil {
+					continue // mapping cannot address this query (e.g. distilled)
+				}
+				rows, err := pathquery.Execute(dbs[i], trans)
+				if err != nil {
+					t.Fatalf("seed %d %s: %q: %v", seed, m.Name(), qs, err)
+				}
+				perDoc := map[int64]int{}
+				for _, r := range rows.Data {
+					if docID, ok := r[0].(int64); ok {
+						perDoc[docID]++
+					}
+				}
+				var sig []string
+				for docID, n := range perDoc {
+					sig = append(sig, fmt.Sprintf("%d:%d", docID, n))
+				}
+				sort.Strings(sig)
+				outs = append(outs, outcome{m.Name(), len(rows.Data), strings.Join(sig, ",")})
+			}
+			for _, o := range outs[1:] {
+				if o.count != outs[0].count || o.docs != outs[0].docs {
+					t.Errorf("seed %d: %q disagrees:\n  %s: %d (%s)\n  %s: %d (%s)",
+						seed, qs, outs[0].name, outs[0].count, outs[0].docs,
+						o.name, o.count, o.docs)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialPaperCorpusGenerated runs generated article documents
+// through every mapping and cross-checks a fixed query set.
+func TestDifferentialPaperCorpusGenerated(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT article (title, (author, affiliation?)+, contactauthor?)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT contactauthor EMPTY>
+<!ATTLIST contactauthor authorid IDREF #IMPLIED>
+<!ELEMENT author (name)>
+<!ATTLIST author id ID #REQUIRED>
+<!ELEMENT name (firstname?, lastname)>
+<!ELEMENT firstname (#PCDATA)>
+<!ELEMENT lastname (#PCDATA)>
+<!ELEMENT affiliation ANY>
+`)
+	docs, err := wgen.Corpus(d, 40, 11, wgen.DocConfig{MaxRepeat: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maps, err := All(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{"/article", "/article/author", "/article/author/name", "//affiliation"}
+	counts := make(map[string][]int)
+	for _, m := range maps {
+		db := engine.Open()
+		if err := db.CreateSchema(m.Schema()); err != nil {
+			t.Fatal(err)
+		}
+		for di, doc := range docs {
+			if _, err := m.Load(db, doc, fmt.Sprintf("d%d", di)); err != nil {
+				t.Fatalf("%s: %v", m.Name(), err)
+			}
+		}
+		for _, qs := range queries {
+			trans, err := m.Translator().Translate(pathquery.MustParse(qs))
+			if err != nil {
+				t.Fatalf("%s: %q: %v", m.Name(), qs, err)
+			}
+			rows, err := pathquery.Execute(db, trans)
+			if err != nil {
+				t.Fatalf("%s: %q: %v", m.Name(), qs, err)
+			}
+			counts[qs] = append(counts[qs], len(rows.Data))
+		}
+	}
+	for qs, ns := range counts {
+		for _, n := range ns[1:] {
+			if n != ns[0] {
+				t.Errorf("%q: counts disagree across mappings: %v", qs, ns)
+				break
+			}
+		}
+	}
+	if counts["/article"][0] != 40 {
+		t.Errorf("/article = %d, want 40", counts["/article"][0])
+	}
+}

@@ -1,0 +1,258 @@
+package baselines
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlrdb/internal/pathquery"
+	"xmlrdb/internal/rel"
+	"xmlrdb/internal/xmltree"
+)
+
+// EdgeMapping is the schema-oblivious Edge-table approach of Florescu
+// and Kossmann: every parent-child edge, attribute and text value is a
+// row of one table. It needs no DTD at all, loads fast, and pays one
+// self-join per path step — the shape experiments E4–E6 exhibit.
+type EdgeMapping struct {
+	counter docCounter
+}
+
+// NewEdge returns an edge-table mapping.
+func NewEdge() *EdgeMapping { return &EdgeMapping{} }
+
+// Name implements Mapping.
+func (m *EdgeMapping) Name() string { return "edge" }
+
+// Schema implements Mapping: one edge table plus the document registry.
+func (m *EdgeMapping) Schema() *rel.Schema {
+	s := rel.NewSchema("edge")
+	must := func(err error) {
+		if err != nil {
+			panic(err) // static definitions; cannot fail
+		}
+	}
+	must(s.AddTable(&rel.Table{
+		Name:    "edge",
+		Comment: "every XML edge: elements, attributes and text values",
+		Columns: []rel.Column{
+			{Name: "doc", Type: rel.TypeInt, NotNull: true},
+			{Name: "src", Type: rel.TypeInt, NotNull: true}, // 0 = document node
+			{Name: "ord", Type: rel.TypeInt, NotNull: true},
+			{Name: "label", Type: rel.TypeText, NotNull: true},
+			{Name: "kind", Type: rel.TypeText, NotNull: true}, // element | attr | text
+			{Name: "target", Type: rel.TypeInt},               // element edges
+			{Name: "value", Type: rel.TypeText},               // attr and text edges
+		},
+	}))
+	must(s.AddTable(&rel.Table{
+		Name:    "x_docs",
+		Comment: "document registry",
+		Columns: []rel.Column{
+			{Name: "doc", Type: rel.TypeInt, NotNull: true},
+			{Name: "name", Type: rel.TypeText},
+			{Name: "root_type", Type: rel.TypeText, NotNull: true},
+			{Name: "root", Type: rel.TypeInt, NotNull: true},
+		},
+		PrimaryKey: []string{"doc"},
+	}))
+	return s
+}
+
+// Load implements Mapping.
+func (m *EdgeMapping) Load(db Engine, doc *xmltree.Document, name string) (LoadStats, error) {
+	if doc.Root == nil {
+		return LoadStats{}, fmt.Errorf("edge: document %q has no root", name)
+	}
+	docID := m.counter.doc()
+	stats := LoadStats{DocID: docID}
+	var loadEl func(el *xmltree.Node, src int64, ord int) (int64, error)
+	loadEl = func(el *xmltree.Node, src int64, ord int) (int64, error) {
+		id := m.counter.node()
+		if _, err := db.Insert("edge", []any{docID, src, ord, el.Name, "element", id, nil}); err != nil {
+			return 0, err
+		}
+		stats.Rows++
+		for i, a := range el.Attrs {
+			if _, err := db.Insert("edge", []any{docID, id, i, a.Name, "attr", nil, a.Value}); err != nil {
+				return 0, err
+			}
+			stats.Rows++
+		}
+		for i, c := range el.Children {
+			switch c.Kind {
+			case xmltree.ElementNode:
+				if _, err := loadEl(c, id, i); err != nil {
+					return 0, err
+				}
+			case xmltree.TextNode:
+				if strings.TrimSpace(c.Data) == "" && el.HasElementChildren() {
+					continue // insignificant whitespace between elements
+				}
+				if _, err := db.Insert("edge", []any{docID, id, i, "#text", "text", nil, c.Data}); err != nil {
+					return 0, err
+				}
+				stats.Rows++
+			}
+		}
+		return id, nil
+	}
+	rootID, err := loadEl(doc.Root, 0, 0)
+	if err != nil {
+		return stats, fmt.Errorf("edge: document %q: %w", name, err)
+	}
+	if _, err := db.Insert("x_docs", []any{docID, name, doc.Root.Name, rootID}); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// Translator implements Mapping.
+func (m *EdgeMapping) Translator() pathquery.Translator {
+	return &edgeTranslator{maxDepth: 8}
+}
+
+type edgeTranslator struct {
+	maxDepth int
+}
+
+func (t *edgeTranslator) Name() string { return "edge" }
+
+// edgeAccess is one partial chain of edge self-joins.
+type edgeAccess struct {
+	alias string // alias of the edge row matching the current element
+	froms []string
+	conds []string
+	joins int
+	next  int
+}
+
+// Translate implements pathquery.Translator: each child step is one
+// self-join of the edge table; descendant steps union the chains of
+// length 1..maxDepth.
+func (t *edgeTranslator) Translate(q *pathquery.Query) (*pathquery.Translation, error) {
+	first := q.Steps[0]
+	a := edgeAccess{alias: "g0", froms: []string{"edge g0"}, next: 1}
+	a.conds = append(a.conds, "g0.kind = 'element'")
+	if first.Name != "*" {
+		a.conds = append(a.conds, fmt.Sprintf("g0.label = '%s'", escapeSQL(first.Name)))
+	}
+	if first.Axis == pathquery.AxisChild {
+		// Anchor at document roots via the registry, like every other
+		// mapping, so join counts are comparable.
+		a.froms = append(a.froms, "x_docs xd")
+		a.conds = append(a.conds, fmt.Sprintf("xd.root = %s.target", a.alias))
+		if first.Name != "*" {
+			a.conds = append(a.conds, fmt.Sprintf("xd.root_type = '%s'", escapeSQL(first.Name)))
+		}
+		a.joins++
+	}
+	cur := []edgeAccess{a}
+	var err error
+	if cur, err = t.applyPreds(cur, first.Preds); err != nil {
+		return nil, err
+	}
+	for si := 1; si < len(q.Steps); si++ {
+		step := q.Steps[si]
+		var next []edgeAccess
+		for _, acc := range cur {
+			switch step.Axis {
+			case pathquery.AxisChild:
+				next = append(next, t.childStep(acc, step.Name))
+			case pathquery.AxisDescendant:
+				for depth := 1; depth <= t.maxDepth; depth++ {
+					b := acc
+					for i := 0; i < depth-1; i++ {
+						b = t.childStep(b, "*")
+					}
+					next = append(next, t.childStep(b, step.Name))
+				}
+			}
+		}
+		if cur, err = t.applyPreds(next, step.Preds); err != nil {
+			return nil, err
+		}
+	}
+	tr := &pathquery.Translation{}
+	for _, acc := range cur {
+		var sel string
+		switch q.Proj {
+		case pathquery.ProjText:
+			v := fmt.Sprintf("v%d", acc.next)
+			acc.froms = append(acc.froms, "edge "+v)
+			acc.conds = append(acc.conds,
+				fmt.Sprintf("%s.src = %s.target", v, acc.alias),
+				fmt.Sprintf("%s.kind = 'text'", v))
+			acc.joins++
+			sel = fmt.Sprintf("%s.doc, %s.target, %s.value AS value", acc.alias, acc.alias, v)
+			tr.Cols = []string{"doc", "id", "value"}
+		case pathquery.ProjAttr:
+			v := fmt.Sprintf("v%d", acc.next)
+			acc.froms = append(acc.froms, "edge "+v)
+			acc.conds = append(acc.conds,
+				fmt.Sprintf("%s.src = %s.target", v, acc.alias),
+				fmt.Sprintf("%s.kind = 'attr'", v),
+				fmt.Sprintf("%s.label = '%s'", v, escapeSQL(q.AttrName)))
+			acc.joins++
+			sel = fmt.Sprintf("%s.doc, %s.target, %s.value AS value", acc.alias, acc.alias, v)
+			tr.Cols = []string{"doc", "id", "value"}
+		default:
+			sel = fmt.Sprintf("%s.doc, %s.target", acc.alias, acc.alias)
+			tr.Cols = []string{"doc", "id"}
+		}
+		sql := "SELECT " + sel + " FROM " + strings.Join(acc.froms, ", ") +
+			" WHERE " + strings.Join(acc.conds, " AND ")
+		tr.SQLs = append(tr.SQLs, sql)
+		if acc.joins > tr.Joins {
+			tr.Joins = acc.joins
+		}
+	}
+	return tr, nil
+}
+
+func (t *edgeTranslator) childStep(a edgeAccess, name string) edgeAccess {
+	b := edgeAccess{
+		alias: fmt.Sprintf("g%d", a.next),
+		froms: append(append([]string(nil), a.froms...), fmt.Sprintf("edge g%d", a.next)),
+		conds: append([]string(nil), a.conds...),
+		joins: a.joins + 1,
+		next:  a.next + 1,
+	}
+	b.conds = append(b.conds,
+		fmt.Sprintf("%s.src = %s.target", b.alias, a.alias),
+		fmt.Sprintf("%s.kind = 'element'", b.alias))
+	if name != "*" {
+		b.conds = append(b.conds, fmt.Sprintf("%s.label = '%s'", b.alias, escapeSQL(name)))
+	}
+	return b
+}
+
+func (t *edgeTranslator) applyPreds(paths []edgeAccess, preds []pathquery.Pred) ([]edgeAccess, error) {
+	if len(preds) == 0 {
+		return paths, nil
+	}
+	out := make([]edgeAccess, 0, len(paths))
+	for _, a := range paths {
+		b := a
+		b.froms = append([]string(nil), a.froms...)
+		b.conds = append([]string(nil), a.conds...)
+		for _, p := range preds {
+			alias := fmt.Sprintf("p%d", b.next)
+			b.next++
+			b.froms = append(b.froms, "edge "+alias)
+			b.conds = append(b.conds, fmt.Sprintf("%s.src = %s.target", alias, b.alias))
+			b.joins++
+			if p.Text {
+				b.conds = append(b.conds, fmt.Sprintf("%s.kind = 'text'", alias))
+			} else {
+				b.conds = append(b.conds,
+					fmt.Sprintf("%s.kind = 'attr'", alias),
+					fmt.Sprintf("%s.label = '%s'", alias, escapeSQL(p.Attr)))
+			}
+			if p.HasValue {
+				b.conds = append(b.conds, fmt.Sprintf("%s.value = '%s'", alias, escapeSQL(p.Value)))
+			}
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package baselines
+
+import (
+	"fmt"
+	"sync"
+
+	"xmlrdb/internal/core"
+	"xmlrdb/internal/dtd"
+	"xmlrdb/internal/ermap"
+	"xmlrdb/internal/pathquery"
+	"xmlrdb/internal/rel"
+	"xmlrdb/internal/shred"
+	"xmlrdb/internal/xmltree"
+)
+
+// ERAdapter presents the paper's ER mapping through the common Mapping
+// interface, so the bench harness can compare it against the baselines
+// on equal footing.
+type ERAdapter struct {
+	// Result is the core mapping output.
+	Result *core.Result
+	// Mapping is the relational translation.
+	Mapping *ermap.Mapping
+
+	mu      sync.Mutex
+	loaders map[Engine]*shred.Loader
+}
+
+// NewER maps a DTD with the paper's algorithm and the given relational
+// strategy.
+func NewER(d *dtd.DTD, opts ermap.Options) (*ERAdapter, error) {
+	res, err := core.Map(d)
+	if err != nil {
+		return nil, fmt.Errorf("er baseline: %w", err)
+	}
+	m, err := ermap.Build(res.Model, opts)
+	if err != nil {
+		return nil, fmt.Errorf("er baseline: %w", err)
+	}
+	return &ERAdapter{Result: res, Mapping: m, loaders: make(map[Engine]*shred.Loader)}, nil
+}
+
+// Name implements Mapping.
+func (a *ERAdapter) Name() string { return "er-" + a.Mapping.Strategy.String() }
+
+// Schema implements Mapping.
+func (a *ERAdapter) Schema() *rel.Schema { return a.Mapping.Schema }
+
+// Load implements Mapping.
+func (a *ERAdapter) Load(db Engine, doc *xmltree.Document, name string) (LoadStats, error) {
+	a.mu.Lock()
+	l, ok := a.loaders[db]
+	if !ok {
+		var err error
+		l, err = shred.NewLoader(a.Result, a.Mapping, db)
+		if err != nil {
+			a.mu.Unlock()
+			return LoadStats{}, err
+		}
+		a.loaders[db] = l
+	}
+	a.mu.Unlock()
+	st, err := l.LoadDocument(doc, name)
+	if err != nil {
+		return LoadStats{}, err
+	}
+	return LoadStats{
+		DocID: st.DocID,
+		Rows:  st.Elements + st.RelRows + st.RefRows + st.TextChunks + 1,
+	}, nil
+}
+
+// Translator implements Mapping.
+func (a *ERAdapter) Translator() pathquery.Translator {
+	return pathquery.NewERTranslator(a.Result, a.Mapping)
+}
+
+// Interface compliance checks for every mapping implementation.
+var (
+	_ Mapping = (*ERAdapter)(nil)
+	_ Mapping = (*EdgeMapping)(nil)
+	_ Mapping = (*UniversalMapping)(nil)
+	_ Mapping = (*InlineMapping)(nil)
+)
+
+// All returns one instance of every mapping for a DTD: the paper's ER
+// mapping (both strategies) and the four baselines, in report order.
+func All(d *dtd.DTD) ([]Mapping, error) {
+	er1, err := NewER(d, ermap.Options{})
+	if err != nil {
+		return nil, err
+	}
+	er2, err := NewER(d, ermap.Options{Strategy: ermap.StrategyFoldFK})
+	if err != nil {
+		return nil, err
+	}
+	return []Mapping{
+		er1, er2,
+		NewEdge(),
+		NewUniversal(d),
+		NewInlining(d, Basic),
+		NewInlining(d, Shared),
+		NewInlining(d, Hybrid),
+	}, nil
+}

@@ -1,0 +1,598 @@
+package baselines
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlrdb/internal/dtd"
+
+	"xmlrdb/internal/pathquery"
+	"xmlrdb/internal/rel"
+	"xmlrdb/internal/xmltree"
+)
+
+// InlineVariant selects an inlining strategy of Shanmugasundaram et al.
+type InlineVariant int
+
+// Inlining variants.
+const (
+	// Basic creates a relation for every element type.
+	Basic InlineVariant = iota + 1
+	// Shared creates relations only for roots, set-valued (repeatable)
+	// children, recursive elements, and elements with multiple parents;
+	// everything else inlines into its parent's relation.
+	Shared
+	// Hybrid additionally inlines multi-parent elements that are neither
+	// recursive nor set-valued, duplicating their columns per parent.
+	Hybrid
+)
+
+// String returns the variant name.
+func (v InlineVariant) String() string {
+	switch v {
+	case Basic:
+		return "basic"
+	case Shared:
+		return "shared"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("InlineVariant(%d)", int(v))
+	}
+}
+
+// InlineMapping implements the Basic/Shared/Hybrid inlining baselines.
+// Known lossiness, as reported in VLDB'99 and surfaced by experiment E7:
+// the relative order of inlined siblings and the interleaving of mixed
+// content are not represented, so inlined stores cannot reproduce
+// byte-exact documents.
+type InlineMapping struct {
+	f       *flat
+	variant InlineVariant
+	// tableElems: element types that own a relation.
+	tableElems map[string]bool
+	tables     map[string]*inlineTable
+	counter    docCounter
+}
+
+// inlineTable is the relation of one table element.
+type inlineTable struct {
+	name    string
+	element string
+	def     *rel.Table
+	// colOf maps logical keys (path#txt, path@attr, path#raw) to column
+	// names; the path is "__"-joined, empty for the element itself.
+	colOf map[string]string
+}
+
+// logical column keys: path#txt, path#raw, path#p (presence), path@attr.
+func keyTxt(prefix []string) string  { return strings.Join(prefix, "__") + "#txt" }
+func keyPres(prefix []string) string { return strings.Join(prefix, "__") + "#p" }
+func keyRaw(prefix []string) string  { return strings.Join(prefix, "__") + "#raw" }
+func keyAttr(prefix []string, a string) string {
+	return strings.Join(prefix, "__") + "@" + a
+}
+
+// NewInlining builds an inlining baseline for a DTD.
+func NewInlining(d *dtd.DTD, variant InlineVariant) *InlineMapping {
+	m := &InlineMapping{
+		f:          flatten(d),
+		variant:    variant,
+		tableElems: make(map[string]bool),
+		tables:     make(map[string]*inlineTable),
+	}
+	m.decideTables()
+	m.buildTables()
+	return m
+}
+
+func (m *InlineMapping) decideTables() {
+	f := m.f
+	repeatedAnywhere := make(map[string]bool)
+	for _, parent := range f.order {
+		for child, rep := range f.repeated[parent] {
+			if rep {
+				repeatedAnywhere[child] = true
+			}
+		}
+	}
+	for _, name := range f.order {
+		switch m.variant {
+		case Basic:
+			m.tableElems[name] = true
+		case Shared:
+			if f.indegree[name] == 0 || f.indegree[name] >= 2 ||
+				f.recursive[name] || repeatedAnywhere[name] {
+				m.tableElems[name] = true
+			}
+		case Hybrid:
+			if f.indegree[name] == 0 || f.recursive[name] || repeatedAnywhere[name] {
+				m.tableElems[name] = true
+			}
+		}
+	}
+}
+
+func (m *InlineMapping) buildTables() {
+	for _, name := range m.f.order {
+		if !m.tableElems[name] {
+			continue
+		}
+		t := &inlineTable{
+			name:    "t_" + name,
+			element: name,
+			colOf:   make(map[string]string),
+		}
+		def := &rel.Table{
+			Name:    t.name,
+			Comment: fmt.Sprintf("%s inlining: relation of %s", m.variant, name),
+			Columns: []rel.Column{
+				{Name: "id", Type: rel.TypeInt, NotNull: true},
+				{Name: "doc", Type: rel.TypeInt, NotNull: true},
+				{Name: "parent", Type: rel.TypeInt},
+				{Name: "parent_code", Type: rel.TypeText},
+				{Name: "ord", Type: rel.TypeInt},
+			},
+			PrimaryKey: []string{"id"},
+		}
+		used := map[string]bool{"id": true, "doc": true, "parent": true, "parent_code": true, "ord": true}
+		addCol := func(key, base string) {
+			col := base
+			for i := 2; used[col]; i++ {
+				col = fmt.Sprintf("%s_%d", base, i)
+			}
+			used[col] = true
+			t.colOf[key] = col
+			def.Columns = append(def.Columns, rel.Column{Name: col, Type: rel.TypeText})
+		}
+		var inline func(elem string, prefix []string)
+		inline = func(elem string, prefix []string) {
+			base := strings.Join(prefix, "_")
+			joinName := func(suffix string) string {
+				if base == "" {
+					return suffix
+				}
+				return base + "_" + suffix
+			}
+			if len(prefix) > 0 {
+				// Presence flag: inlining loses the existence of optional
+				// inlined elements otherwise (the VLDB'99 schemes track
+				// this the same way).
+				addCol(keyPres(prefix), joinName("p"))
+			}
+			if m.f.hasText[elem] || m.f.textLeaf(elem) {
+				addCol(keyTxt(prefix), joinName("txt"))
+			}
+			if m.f.anyContent[elem] {
+				addCol(keyRaw(prefix), joinName("raw"))
+			}
+			for _, a := range m.f.attNames(elem) {
+				addCol(keyAttr(prefix, a), joinName("a_"+a))
+			}
+			for _, child := range m.f.children[elem] {
+				if m.tableElems[child] {
+					continue
+				}
+				if m.f.d.Element(child) == nil {
+					// Referenced but undeclared: opaque text column.
+					addCol(keyTxt(append(prefix, child)), joinName(child+"_txt"))
+					continue
+				}
+				inline(child, append(append([]string(nil), prefix...), child))
+			}
+		}
+		inline(name, nil)
+		t.def = def
+		m.tables[name] = t
+	}
+}
+
+// Name implements Mapping.
+func (m *InlineMapping) Name() string { return m.variant.String() }
+
+// Schema implements Mapping.
+func (m *InlineMapping) Schema() *rel.Schema {
+	s := rel.NewSchema(m.variant.String())
+	for _, name := range m.f.order {
+		if t, ok := m.tables[name]; ok {
+			if err := s.AddTable(t.def); err != nil {
+				panic(err) // unique by construction
+			}
+		}
+	}
+	if err := s.AddTable(&rel.Table{
+		Name:    "x_docs",
+		Comment: "document registry",
+		Columns: []rel.Column{
+			{Name: "doc", Type: rel.TypeInt, NotNull: true},
+			{Name: "name", Type: rel.TypeText},
+			{Name: "root_type", Type: rel.TypeText, NotNull: true},
+			{Name: "root", Type: rel.TypeInt, NotNull: true},
+		},
+		PrimaryKey: []string{"doc"},
+	}); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Load implements Mapping.
+func (m *InlineMapping) Load(db Engine, doc *xmltree.Document, name string) (LoadStats, error) {
+	if doc.Root == nil {
+		return LoadStats{}, fmt.Errorf("%s: document %q has no root", m.variant, name)
+	}
+	if !m.tableElems[doc.Root.Name] {
+		return LoadStats{}, fmt.Errorf("%s: root element %q has no relation", m.variant, doc.Root.Name)
+	}
+	docID := m.counter.doc()
+	stats := LoadStats{DocID: docID}
+
+	type deferred struct {
+		el  *xmltree.Node
+		ord int
+	}
+	var process func(el *xmltree.Node, parent any, parentCode any, ord int) (int64, error)
+	process = func(el *xmltree.Node, parent any, parentCode any, ord int) (int64, error) {
+		t := m.tables[el.Name]
+		if t == nil {
+			return 0, fmt.Errorf("%s: element %q reached without a relation (at %s)", m.variant, el.Name, el.Path())
+		}
+		id := m.counter.node()
+		row := map[string]any{
+			"id": id, "doc": docID, "parent": parent, "parent_code": parentCode, "ord": int64(ord),
+		}
+		var defers []deferred
+		var fill func(node *xmltree.Node, prefix []string) error
+		fill = func(node *xmltree.Node, prefix []string) error {
+			if col, ok := t.colOf[keyPres(prefix)]; ok {
+				row[col] = "1"
+			}
+			if col, ok := t.colOf[keyTxt(prefix)]; ok {
+				if txt := node.Text(); txt != "" {
+					row[col] = txt
+				}
+			}
+			if col, ok := t.colOf[keyRaw(prefix)]; ok {
+				row[col] = innerXML(node)
+				return nil // opaque subtree
+			}
+			for _, a := range node.Attrs {
+				col, ok := t.colOf[keyAttr(prefix, a.Name)]
+				if !ok {
+					return fmt.Errorf("%s: undeclared attribute %q on %q (at %s)",
+						m.variant, a.Name, node.Name, node.Path())
+				}
+				row[col] = a.Value
+			}
+			for i, c := range node.Children {
+				if c.Kind != xmltree.ElementNode {
+					continue
+				}
+				if m.tableElems[c.Name] {
+					defers = append(defers, deferred{el: c, ord: i})
+					continue
+				}
+				childPrefix := append(append([]string(nil), prefix...), c.Name)
+				if _, ok := t.colOf[keyPres(childPrefix)]; !ok {
+					if m.f.d.Element(c.Name) == nil {
+						return fmt.Errorf("%s: element %q not in DTD (at %s)", m.variant, c.Name, c.Path())
+					}
+				}
+				if row[t.colOf[keyPres(childPrefix)]] != nil {
+					return fmt.Errorf("%s: inlined element %q repeats (at %s)", m.variant, c.Name, c.Path())
+				}
+				if err := fill(c, childPrefix); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := fill(el, nil); err != nil {
+			return 0, err
+		}
+		if _, err := db.InsertMap(t.name, row); err != nil {
+			return 0, fmt.Errorf("at %s: %w", el.Path(), err)
+		}
+		stats.Rows++
+		for _, d := range defers {
+			if _, err := process(d.el, id, el.Name, d.ord); err != nil {
+				return 0, err
+			}
+		}
+		return id, nil
+	}
+	rootID, err := process(doc.Root, nil, nil, 0)
+	if err != nil {
+		return stats, fmt.Errorf("%s: document %q: %w", m.variant, name, err)
+	}
+	if _, err := db.Insert("x_docs", []any{docID, name, doc.Root.Name, rootID}); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// Translator implements Mapping.
+func (m *InlineMapping) Translator() pathquery.Translator {
+	return &inlineTranslator{m: m, maxDepth: 8, maxPaths: 128}
+}
+
+type inlineTranslator struct {
+	m        *InlineMapping
+	maxDepth int
+	maxPaths int
+}
+
+func (t *inlineTranslator) Name() string { return t.m.variant.String() }
+
+// inAccess is one partial chain: the current element may be the table
+// row itself (prefix empty) or an inlined descendant.
+type inAccess struct {
+	tableElem string
+	elem      string
+	prefix    []string
+	alias     string
+	froms     []string
+	conds     []string
+	joins     int
+	next      int
+}
+
+// Translate implements pathquery.Translator.
+func (t *inlineTranslator) Translate(q *pathquery.Query) (*pathquery.Translation, error) {
+	m := t.m
+	first := q.Steps[0]
+	var cur []inAccess
+	for _, name := range m.f.order {
+		if !nameMatchesBase(first.Name, name) {
+			continue
+		}
+		if !m.tableElems[name] {
+			continue // non-table elements cannot start an absolute path here
+		}
+		tab := m.tables[name]
+		a := inAccess{
+			tableElem: name, elem: name, alias: "i0",
+			froms: []string{tab.name + " i0"}, next: 1,
+		}
+		if first.Axis == pathquery.AxisChild {
+			a.froms = append(a.froms, "x_docs xd")
+			a.conds = append(a.conds,
+				fmt.Sprintf("xd.root_type = '%s'", escapeSQL(name)),
+				fmt.Sprintf("xd.root = %s.id", a.alias))
+			a.joins++
+		}
+		cur = append(cur, a)
+	}
+	if first.Axis == pathquery.AxisDescendant {
+		// //x also matches inlined occurrences; enumerate every table
+		// element whose closure contains x.
+		for _, name := range m.f.order {
+			tab := m.tables[name]
+			if tab == nil {
+				continue
+			}
+			for key := range tab.colOf {
+				path := keyPath(key)
+				if len(path) > 0 && path[len(path)-1] == first.Name {
+					a := inAccess{
+						tableElem: name, elem: first.Name,
+						prefix: path, alias: "i0",
+						froms: []string{tab.name + " i0"}, next: 1,
+					}
+					if col, ok := tab.colOf[keyPres(path)]; ok {
+						a.conds = append(a.conds, fmt.Sprintf("i0.%s IS NOT NULL", col))
+					}
+					cur = append(cur, a)
+				}
+			}
+		}
+		cur = dedupAccess(cur)
+	}
+	var err error
+	if cur, err = t.applyPreds(cur, first.Preds); err != nil {
+		return nil, err
+	}
+	for si := 1; si < len(q.Steps); si++ {
+		step := q.Steps[si]
+		var next []inAccess
+		for _, a := range cur {
+			expanded := t.step(a, step)
+			next = append(next, expanded...)
+		}
+		if len(next) == 0 {
+			return nil, fmt.Errorf("%s: step %q matches nothing", m.variant, step.Name)
+		}
+		if len(next) > t.maxPaths {
+			return nil, fmt.Errorf("%s: query expands past %d chains", m.variant, t.maxPaths)
+		}
+		if next, err = t.applyPreds(next, step.Preds); err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return t.project(q, cur)
+}
+
+// keyPath extracts the path part of a logical column key.
+func keyPath(key string) []string {
+	cut := strings.IndexAny(key, "#@")
+	if cut < 0 {
+		return nil
+	}
+	p := key[:cut]
+	if p == "" {
+		return nil
+	}
+	return strings.Split(p, "__")
+}
+
+func dedupAccess(in []inAccess) []inAccess {
+	seen := make(map[string]bool)
+	out := in[:0]
+	for _, a := range in {
+		k := a.tableElem + "\x00" + strings.Join(a.prefix, "__")
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, a)
+	}
+	return out
+}
+
+// step expands one location step.
+func (t *inlineTranslator) step(a inAccess, step pathquery.Step) []inAccess {
+	switch step.Axis {
+	case pathquery.AxisChild:
+		return t.childSteps(a, step.Name)
+	case pathquery.AxisDescendant:
+		var out []inAccess
+		frontier := []inAccess{a}
+		for depth := 0; depth < t.maxDepth && len(frontier) > 0; depth++ {
+			var nextFrontier []inAccess
+			for _, acc := range frontier {
+				for _, b := range t.childSteps(acc, "*") {
+					if nameMatchesBase(step.Name, b.elem) {
+						out = append(out, b)
+					}
+					nextFrontier = append(nextFrontier, b)
+					if len(out) > t.maxPaths || len(nextFrontier) > 4*t.maxPaths {
+						return out
+					}
+				}
+			}
+			frontier = nextFrontier
+		}
+		return out
+	}
+	return nil
+}
+
+// childSteps expands a child step: inlined children stay in the same
+// row; table children join.
+func (t *inlineTranslator) childSteps(a inAccess, name string) []inAccess {
+	m := t.m
+	var out []inAccess
+	for _, child := range m.f.children[a.elem] {
+		if !nameMatchesBase(name, child) {
+			continue
+		}
+		if m.tableElems[child] {
+			tab := m.tables[child]
+			b := inAccess{
+				tableElem: child, elem: child,
+				alias: fmt.Sprintf("i%d", a.next),
+				froms: append(append([]string(nil), a.froms...), fmt.Sprintf("%s i%d", tab.name, a.next)),
+				conds: append([]string(nil), a.conds...),
+				joins: a.joins + 1,
+				next:  a.next + 1,
+			}
+			b.conds = append(b.conds,
+				fmt.Sprintf("%s.parent = %s.id", b.alias, a.alias),
+				fmt.Sprintf("%s.parent_code = '%s'", b.alias, escapeSQL(a.tableElem)))
+			out = append(out, b)
+			continue
+		}
+		if m.f.d.Element(child) == nil {
+			continue
+		}
+		b := a
+		b.elem = child
+		b.prefix = append(append([]string(nil), a.prefix...), child)
+		b.froms = append([]string(nil), a.froms...)
+		b.conds = append([]string(nil), a.conds...)
+		if col, ok := m.tables[a.tableElem].colOf[keyPres(b.prefix)]; ok {
+			b.conds = append(b.conds, fmt.Sprintf("%s.%s IS NOT NULL", b.alias, col))
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func (t *inlineTranslator) applyPreds(paths []inAccess, preds []pathquery.Pred) ([]inAccess, error) {
+	if len(preds) == 0 {
+		return paths, nil
+	}
+	out := make([]inAccess, 0, len(paths))
+	for _, a := range paths {
+		b := a
+		b.conds = append([]string(nil), a.conds...)
+		ok := true
+		for _, p := range preds {
+			cond, err := t.predCond(&b, p)
+			if err != nil {
+				ok = false
+				break
+			}
+			b.conds = append(b.conds, cond)
+		}
+		if ok {
+			out = append(out, b)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: predicate matches no schema path", t.m.variant)
+	}
+	return out, nil
+}
+
+func (t *inlineTranslator) predCond(a *inAccess, p pathquery.Pred) (string, error) {
+	tab := t.m.tables[a.tableElem]
+	var key string
+	if p.Text {
+		key = keyTxt(a.prefix)
+	} else {
+		key = keyAttr(a.prefix, p.Attr)
+	}
+	col, ok := tab.colOf[key]
+	if !ok {
+		return "", fmt.Errorf("%s: no column for %q on %s", t.m.variant, key, a.elem)
+	}
+	ref := a.alias + "." + col
+	if p.HasValue {
+		return fmt.Sprintf("%s = '%s'", ref, escapeSQL(p.Value)), nil
+	}
+	return ref + " IS NOT NULL", nil
+}
+
+func (t *inlineTranslator) project(q *pathquery.Query, paths []inAccess) (*pathquery.Translation, error) {
+	tr := &pathquery.Translation{}
+	for _, a := range paths {
+		tab := t.m.tables[a.tableElem]
+		var sel string
+		switch q.Proj {
+		case pathquery.ProjText:
+			col, ok := tab.colOf[keyTxt(a.prefix)]
+			if !ok {
+				return nil, fmt.Errorf("%s: %q has no text column", t.m.variant, a.elem)
+			}
+			sel = fmt.Sprintf("%s.doc, %s.id, %s.%s AS value", a.alias, a.alias, a.alias, col)
+			tr.Cols = []string{"doc", "id", "value"}
+		case pathquery.ProjAttr:
+			col, ok := tab.colOf[keyAttr(a.prefix, q.AttrName)]
+			if !ok {
+				return nil, fmt.Errorf("%s: %q has no attribute %q", t.m.variant, a.elem, q.AttrName)
+			}
+			a.conds = append(a.conds, fmt.Sprintf("%s.%s IS NOT NULL", a.alias, col))
+			sel = fmt.Sprintf("%s.doc, %s.id, %s.%s AS value", a.alias, a.alias, a.alias, col)
+			tr.Cols = []string{"doc", "id", "value"}
+		default:
+			sel = fmt.Sprintf("%s.doc, %s.id", a.alias, a.alias)
+			tr.Cols = []string{"doc", "id"}
+		}
+		sql := "SELECT " + sel + " FROM " + strings.Join(a.froms, ", ")
+		if len(a.conds) > 0 {
+			sql += " WHERE " + strings.Join(a.conds, " AND ")
+		}
+		tr.SQLs = append(tr.SQLs, sql)
+		if a.joins > tr.Joins {
+			tr.Joins = a.joins
+		}
+	}
+	if len(tr.SQLs) == 0 {
+		return nil, fmt.Errorf("%s: query matches nothing", t.m.variant)
+	}
+	return tr, nil
+}
+
+func nameMatchesBase(pattern, name string) bool { return pattern == "*" || pattern == name }

@@ -1,0 +1,276 @@
+package baselines
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlrdb/internal/dtd"
+	"xmlrdb/internal/pathquery"
+	"xmlrdb/internal/rel"
+	"xmlrdb/internal/xmltree"
+)
+
+// UniversalMapping stores every element instance as one row of a single
+// wide table whose columns are the union of all attribute names in the
+// DTD (the "universal relation" strawman of the VLDB'99 comparison). It
+// trades extreme width and sparsity for a uniform one-table layout;
+// child steps are still self-joins via the parent column.
+type UniversalMapping struct {
+	d       *dtd.DTD
+	attCols []string // deduped union of attribute names, in order
+	counter docCounter
+}
+
+// NewUniversal builds the universal-table mapping for a DTD.
+func NewUniversal(d *dtd.DTD) *UniversalMapping {
+	m := &UniversalMapping{d: d}
+	seen := make(map[string]bool)
+	for _, el := range d.ElementOrder {
+		for _, a := range d.Atts(el) {
+			if !seen[a.Name] {
+				seen[a.Name] = true
+				m.attCols = append(m.attCols, a.Name)
+			}
+		}
+	}
+	// Attribute lists can name undeclared elements too.
+	var extra []string
+	for el := range d.Attlists {
+		if d.Element(el) != nil {
+			continue
+		}
+		for _, a := range d.Atts(el) {
+			if !seen[a.Name] {
+				seen[a.Name] = true
+				extra = append(extra, a.Name)
+			}
+		}
+	}
+	m.attCols = append(m.attCols, extra...)
+	return m
+}
+
+// Name implements Mapping.
+func (m *UniversalMapping) Name() string { return "universal" }
+
+// Schema implements Mapping.
+func (m *UniversalMapping) Schema() *rel.Schema {
+	s := rel.NewSchema("universal")
+	cols := []rel.Column{
+		{Name: "doc", Type: rel.TypeInt, NotNull: true},
+		{Name: "id", Type: rel.TypeInt, NotNull: true},
+		{Name: "parent", Type: rel.TypeInt}, // NULL for roots
+		{Name: "ord", Type: rel.TypeInt, NotNull: true},
+		{Name: "tag", Type: rel.TypeText, NotNull: true},
+		{Name: "txt", Type: rel.TypeText},
+	}
+	for _, a := range m.attCols {
+		cols = append(cols, rel.Column{Name: "a_" + a, Type: rel.TypeText})
+	}
+	if err := s.AddTable(&rel.Table{
+		Name:       "uni",
+		Comment:    "universal table: one row per element, all attributes as columns",
+		Columns:    cols,
+		PrimaryKey: []string{"id"},
+	}); err != nil {
+		panic(err) // static definition; cannot fail
+	}
+	if err := s.AddTable(&rel.Table{
+		Name:    "x_docs",
+		Comment: "document registry",
+		Columns: []rel.Column{
+			{Name: "doc", Type: rel.TypeInt, NotNull: true},
+			{Name: "name", Type: rel.TypeText},
+			{Name: "root_type", Type: rel.TypeText, NotNull: true},
+			{Name: "root", Type: rel.TypeInt, NotNull: true},
+		},
+		PrimaryKey: []string{"doc"},
+	}); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Load implements Mapping.
+func (m *UniversalMapping) Load(db Engine, doc *xmltree.Document, name string) (LoadStats, error) {
+	if doc.Root == nil {
+		return LoadStats{}, fmt.Errorf("universal: document %q has no root", name)
+	}
+	docID := m.counter.doc()
+	stats := LoadStats{DocID: docID}
+	var loadEl func(el *xmltree.Node, parent any, ord int) (int64, error)
+	loadEl = func(el *xmltree.Node, parent any, ord int) (int64, error) {
+		id := m.counter.node()
+		vals := map[string]any{
+			"doc": docID, "id": id, "parent": parent, "ord": int64(ord), "tag": el.Name,
+		}
+		if !el.HasElementChildren() {
+			if t := el.Text(); t != "" {
+				vals["txt"] = t
+			}
+		} else if t := el.Text(); strings.TrimSpace(t) != "" {
+			vals["txt"] = t // mixed content keeps its flattened text
+		}
+		for _, a := range el.Attrs {
+			vals["a_"+a.Name] = a.Value
+		}
+		if _, err := db.InsertMap("uni", vals); err != nil {
+			return 0, err
+		}
+		stats.Rows++
+		for i, c := range el.Children {
+			if c.Kind == xmltree.ElementNode {
+				if _, err := loadEl(c, id, i); err != nil {
+					return 0, err
+				}
+			}
+		}
+		return id, nil
+	}
+	rootID, err := loadEl(doc.Root, nil, 0)
+	if err != nil {
+		return stats, fmt.Errorf("universal: document %q: %w", name, err)
+	}
+	if _, err := db.Insert("x_docs", []any{docID, name, doc.Root.Name, rootID}); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// Translator implements Mapping.
+func (m *UniversalMapping) Translator() pathquery.Translator {
+	cols := make(map[string]bool, len(m.attCols))
+	for _, a := range m.attCols {
+		cols[a] = true
+	}
+	return &uniTranslator{attCols: cols, maxDepth: 8}
+}
+
+type uniTranslator struct {
+	attCols  map[string]bool
+	maxDepth int
+}
+
+func (t *uniTranslator) Name() string { return "universal" }
+
+type uniAccess struct {
+	alias string
+	froms []string
+	conds []string
+	joins int
+	next  int
+}
+
+// Translate implements pathquery.Translator.
+func (t *uniTranslator) Translate(q *pathquery.Query) (*pathquery.Translation, error) {
+	first := q.Steps[0]
+	a := uniAccess{alias: "u0", froms: []string{"uni u0"}, next: 1}
+	if first.Name != "*" {
+		a.conds = append(a.conds, fmt.Sprintf("u0.tag = '%s'", escapeSQL(first.Name)))
+	}
+	if first.Axis == pathquery.AxisChild {
+		a.conds = append(a.conds, "u0.parent IS NULL")
+	}
+	cur := []uniAccess{a}
+	var err error
+	if cur, err = t.applyPreds(cur, first.Preds); err != nil {
+		return nil, err
+	}
+	for si := 1; si < len(q.Steps); si++ {
+		step := q.Steps[si]
+		var next []uniAccess
+		for _, acc := range cur {
+			switch step.Axis {
+			case pathquery.AxisChild:
+				next = append(next, t.childStep(acc, step.Name))
+			case pathquery.AxisDescendant:
+				for depth := 1; depth <= t.maxDepth; depth++ {
+					b := acc
+					for i := 0; i < depth-1; i++ {
+						b = t.childStep(b, "*")
+					}
+					next = append(next, t.childStep(b, step.Name))
+				}
+			}
+		}
+		if cur, err = t.applyPreds(next, step.Preds); err != nil {
+			return nil, err
+		}
+	}
+	tr := &pathquery.Translation{}
+	for _, acc := range cur {
+		var sel string
+		switch q.Proj {
+		case pathquery.ProjText:
+			sel = fmt.Sprintf("%s.doc, %s.id, %s.txt AS value", acc.alias, acc.alias, acc.alias)
+			tr.Cols = []string{"doc", "id", "value"}
+		case pathquery.ProjAttr:
+			if !t.attCols[q.AttrName] {
+				return nil, fmt.Errorf("universal: no attribute %q in the DTD", q.AttrName)
+			}
+			acc.conds = append(acc.conds, fmt.Sprintf("%s.a_%s IS NOT NULL", acc.alias, q.AttrName))
+			sel = fmt.Sprintf("%s.doc, %s.id, %s.a_%s AS value", acc.alias, acc.alias, acc.alias, q.AttrName)
+			tr.Cols = []string{"doc", "id", "value"}
+		default:
+			sel = fmt.Sprintf("%s.doc, %s.id", acc.alias, acc.alias)
+			tr.Cols = []string{"doc", "id"}
+		}
+		sql := "SELECT " + sel + " FROM " + strings.Join(acc.froms, ", ")
+		if len(acc.conds) > 0 {
+			sql += " WHERE " + strings.Join(acc.conds, " AND ")
+		}
+		tr.SQLs = append(tr.SQLs, sql)
+		if acc.joins > tr.Joins {
+			tr.Joins = acc.joins
+		}
+	}
+	return tr, nil
+}
+
+func (t *uniTranslator) childStep(a uniAccess, name string) uniAccess {
+	b := uniAccess{
+		alias: fmt.Sprintf("u%d", a.next),
+		froms: append(append([]string(nil), a.froms...), fmt.Sprintf("uni u%d", a.next)),
+		conds: append([]string(nil), a.conds...),
+		joins: a.joins + 1,
+		next:  a.next + 1,
+	}
+	b.conds = append(b.conds, fmt.Sprintf("%s.parent = %s.id", b.alias, a.alias))
+	if name != "*" {
+		b.conds = append(b.conds, fmt.Sprintf("%s.tag = '%s'", b.alias, escapeSQL(name)))
+	}
+	return b
+}
+
+func (t *uniTranslator) applyPreds(paths []uniAccess, preds []pathquery.Pred) ([]uniAccess, error) {
+	if len(preds) == 0 {
+		return paths, nil
+	}
+	out := make([]uniAccess, 0, len(paths))
+	for _, a := range paths {
+		b := a
+		b.conds = append([]string(nil), a.conds...)
+		for _, p := range preds {
+			switch {
+			case p.Text:
+				if p.HasValue {
+					b.conds = append(b.conds, fmt.Sprintf("%s.txt = '%s'", b.alias, escapeSQL(p.Value)))
+				} else {
+					b.conds = append(b.conds, fmt.Sprintf("%s.txt IS NOT NULL", b.alias))
+				}
+			default:
+				if !t.attCols[p.Attr] {
+					return nil, fmt.Errorf("universal: no attribute %q in the DTD", p.Attr)
+				}
+				col := fmt.Sprintf("%s.a_%s", b.alias, p.Attr)
+				if p.HasValue {
+					b.conds = append(b.conds, fmt.Sprintf("%s = '%s'", col, escapeSQL(p.Value)))
+				} else {
+					b.conds = append(b.conds, col+" IS NOT NULL")
+				}
+			}
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}

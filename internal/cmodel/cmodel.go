@@ -1,0 +1,347 @@
+// Package cmodel compiles DTD content models into Glushkov position
+// automata. The automata support streaming validation of element-content
+// sequences (used by the document validator), the XML 1.0 determinism
+// ("1-unambiguity") check on content models, and enumeration of the
+// element names permitted at any point (used for diagnostics and for
+// random document generation).
+package cmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xmlrdb/internal/dtd"
+)
+
+// Automaton is a Glushkov automaton compiled from one content particle.
+// States are: the start state, plus one state per name position in the
+// particle tree. The automaton accepts exactly the element-name sequences
+// admitted by the content model.
+type Automaton struct {
+	names    []string // element name at each position
+	first    []int    // positions reachable from the start state
+	follow   [][]int  // positions reachable from each position
+	last     []bool   // whether each position may end a match
+	nullable bool     // whether the empty sequence is accepted
+
+	deterministic bool
+	conflict      string // description of the first determinism conflict
+}
+
+// Compile builds the Glushkov automaton for a content particle. A nil
+// particle yields an automaton accepting only the empty sequence (the
+// paper's "()" converted form).
+func Compile(p *dtd.Particle) *Automaton {
+	c := &compiler{}
+	a := &Automaton{deterministic: true}
+	if p == nil || (p.IsGroup() && len(p.Children) == 0) {
+		a.nullable = true
+		a.follow = [][]int{}
+		return a
+	}
+	info := c.analyze(p)
+	a.names = c.names
+	a.first = info.first
+	a.nullable = info.nullable
+	a.last = make([]bool, len(c.names))
+	for _, pos := range info.last {
+		a.last[pos] = true
+	}
+	a.follow = make([][]int, len(c.names))
+	for i := range a.follow {
+		a.follow[i] = c.follow[i]
+	}
+	a.checkDeterminism()
+	return a
+}
+
+// CompileModel builds an automaton for a full content model. EMPTY
+// accepts only the empty sequence. ANY and mixed content return nil: the
+// caller validates those by name-set membership, not by automaton.
+func CompileModel(m dtd.ContentModel) *Automaton {
+	switch m.Kind {
+	case dtd.ContentChildren:
+		return Compile(m.Particle)
+	case dtd.ContentEmpty:
+		return Compile(nil)
+	default:
+		return nil
+	}
+}
+
+// Deterministic reports whether the content model satisfies the XML 1.0
+// determinism constraint (appendix E: "deterministic content models").
+func (a *Automaton) Deterministic() bool { return a.deterministic }
+
+// Conflict describes the first determinism violation found, or "".
+func (a *Automaton) Conflict() string { return a.conflict }
+
+// Positions returns the number of name positions (automaton states minus
+// the start state).
+func (a *Automaton) Positions() int { return len(a.names) }
+
+// Accepts reports whether the automaton accepts the given element-name
+// sequence.
+func (a *Automaton) Accepts(seq []string) bool {
+	m := a.NewMatcher()
+	for _, n := range seq {
+		if !m.Step(n) {
+			return false
+		}
+	}
+	return m.Accepting()
+}
+
+// checkDeterminism verifies that no state has two successor positions
+// carrying the same element name.
+func (a *Automaton) checkDeterminism() {
+	check := func(state string, cands []int) {
+		seen := make(map[string]bool, len(cands))
+		for _, pos := range cands {
+			n := a.names[pos]
+			if seen[n] {
+				a.deterministic = false
+				if a.conflict == "" {
+					a.conflict = fmt.Sprintf("element %q reachable by two paths from %s", n, state)
+				}
+				return
+			}
+			seen[n] = true
+		}
+	}
+	check("the start state", a.first)
+	for i, f := range a.follow {
+		if !a.deterministic {
+			return
+		}
+		check(fmt.Sprintf("position %d (%s)", i, a.names[i]), f)
+	}
+}
+
+// Matcher is the streaming execution state of an automaton over one
+// element-content sequence. It performs NFA subset simulation, so it is
+// correct for nondeterministic models too. The zero value is not usable;
+// obtain one from Automaton.NewMatcher.
+type Matcher struct {
+	a     *Automaton
+	cur   []int // current position set; nil means at start state
+	start bool
+	dead  bool
+}
+
+// NewMatcher returns a matcher positioned at the start state.
+func (a *Automaton) NewMatcher() *Matcher {
+	return &Matcher{a: a, start: true}
+}
+
+// Step consumes one child-element name. It returns false — and the
+// matcher becomes dead — if the name is not permitted here.
+func (m *Matcher) Step(name string) bool {
+	if m.dead {
+		return false
+	}
+	var next []int
+	appendMatches := func(cands []int) {
+		for _, pos := range cands {
+			if m.a.names[pos] == name {
+				next = append(next, pos)
+			}
+		}
+	}
+	if m.start {
+		appendMatches(m.a.first)
+	} else {
+		for _, pos := range m.cur {
+			appendMatches(m.a.follow[pos])
+		}
+	}
+	if len(next) == 0 {
+		m.dead = true
+		return false
+	}
+	sort.Ints(next)
+	next = dedupInts(next)
+	m.cur = next
+	m.start = false
+	return true
+}
+
+// Accepting reports whether the sequence consumed so far is a complete
+// match of the content model.
+func (m *Matcher) Accepting() bool {
+	if m.dead {
+		return false
+	}
+	if m.start {
+		return m.a.nullable
+	}
+	for _, pos := range m.cur {
+		if m.a.last[pos] {
+			return true
+		}
+	}
+	return false
+}
+
+// Dead reports whether the matcher has rejected the sequence.
+func (m *Matcher) Dead() bool { return m.dead }
+
+// Expected returns the sorted set of element names permitted next, for
+// error messages ("expected one of: ...").
+func (m *Matcher) Expected() []string {
+	if m.dead {
+		return nil
+	}
+	set := make(map[string]bool)
+	if m.start {
+		for _, pos := range m.a.first {
+			set[m.a.names[pos]] = true
+		}
+	} else {
+		for _, pos := range m.cur {
+			for _, f := range m.a.follow[pos] {
+				set[m.a.names[f]] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExpectedString renders Expected() for diagnostics, with "end of
+// content" included when the current sequence is already complete.
+func (m *Matcher) ExpectedString() string {
+	parts := m.Expected()
+	if m.Accepting() {
+		parts = append(parts, "end of content")
+	}
+	if len(parts) == 0 {
+		return "nothing (dead state)"
+	}
+	return strings.Join(parts, ", ")
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// compiler assigns positions and computes Glushkov sets.
+type compiler struct {
+	names  []string
+	follow [][]int
+}
+
+// nodeInfo carries the Glushkov attributes of one particle.
+type nodeInfo struct {
+	first, last []int
+	nullable    bool
+}
+
+func (c *compiler) analyze(p *dtd.Particle) nodeInfo {
+	var info nodeInfo
+	switch p.Kind {
+	case dtd.PKName:
+		pos := len(c.names)
+		c.names = append(c.names, p.Name)
+		c.follow = append(c.follow, nil)
+		info = nodeInfo{first: []int{pos}, last: []int{pos}, nullable: false}
+	case dtd.PKSequence:
+		info = c.sequence(p.Children)
+	case dtd.PKChoice:
+		info = c.choice(p.Children)
+	}
+	if p.Occ.Optional() {
+		info.nullable = true
+	}
+	if p.Occ.Repeatable() {
+		// Loop: every last position can be followed by every first.
+		for _, l := range info.last {
+			c.addFollow(l, info.first)
+		}
+	}
+	return info
+}
+
+func (c *compiler) sequence(children []*dtd.Particle) nodeInfo {
+	if len(children) == 0 {
+		return nodeInfo{nullable: true}
+	}
+	infos := make([]nodeInfo, len(children))
+	for i, ch := range children {
+		infos[i] = c.analyze(ch)
+	}
+	var out nodeInfo
+	out.nullable = true
+	for _, in := range infos {
+		out.nullable = out.nullable && in.nullable
+	}
+	// first: union of children firsts up to and including the first
+	// non-nullable child.
+	for _, in := range infos {
+		out.first = append(out.first, in.first...)
+		if !in.nullable {
+			break
+		}
+	}
+	// last: union of children lasts from the last non-nullable child on.
+	for i := len(infos) - 1; i >= 0; i-- {
+		out.last = append(out.last, infos[i].last...)
+		if !infos[i].nullable {
+			break
+		}
+	}
+	// follow: last(ci) -> first(cj) for the chain of nullable children
+	// between i and j.
+	for i := 0; i < len(infos)-1; i++ {
+		for j := i + 1; j < len(infos); j++ {
+			for _, l := range infos[i].last {
+				c.addFollow(l, infos[j].first)
+			}
+			if !infos[j].nullable {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (c *compiler) choice(children []*dtd.Particle) nodeInfo {
+	var out nodeInfo
+	for _, ch := range children {
+		in := c.analyze(ch)
+		out.first = append(out.first, in.first...)
+		out.last = append(out.last, in.last...)
+		out.nullable = out.nullable || in.nullable
+	}
+	if len(children) == 0 {
+		out.nullable = true
+	}
+	return out
+}
+
+func (c *compiler) addFollow(pos int, succ []int) {
+	existing := c.follow[pos]
+	have := make(map[int]bool, len(existing))
+	for _, e := range existing {
+		have[e] = true
+	}
+	for _, s := range succ {
+		if !have[s] {
+			existing = append(existing, s)
+			have[s] = true
+		}
+	}
+	sort.Ints(existing)
+	c.follow[pos] = existing
+}

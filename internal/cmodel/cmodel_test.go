@@ -1,0 +1,350 @@
+package cmodel
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xmlrdb/internal/dtd"
+)
+
+// mustParticle parses "<!ELEMENT x SPEC>" and returns x's particle.
+func mustParticle(t *testing.T, spec string) *dtd.Particle {
+	t.Helper()
+	d, err := dtd.Parse("<!ELEMENT x " + spec + ">")
+	if err != nil {
+		t.Fatalf("parse %q: %v", spec, err)
+	}
+	cm := d.Element("x").Content
+	if cm.Kind != dtd.ContentChildren {
+		t.Fatalf("spec %q is not element content", spec)
+	}
+	return cm.Particle
+}
+
+func TestAccepts(t *testing.T) {
+	tests := []struct {
+		spec   string
+		accept []string
+		reject []string
+	}{
+		{
+			spec:   "(a)",
+			accept: []string{"a"},
+			reject: []string{"", "a a", "b"},
+		},
+		{
+			spec:   "(a, b)",
+			accept: []string{"a b"},
+			reject: []string{"a", "b", "b a", "a b b"},
+		},
+		{
+			spec:   "(a | b)",
+			accept: []string{"a", "b"},
+			reject: []string{"", "a b", "c"},
+		},
+		{
+			spec:   "(a?, b)",
+			accept: []string{"b", "a b"},
+			reject: []string{"a", "a a b"},
+		},
+		{
+			spec:   "(a*)",
+			accept: []string{"", "a", "a a a a"},
+			reject: []string{"b", "a b"},
+		},
+		{
+			spec:   "(a+)",
+			accept: []string{"a", "a a"},
+			reject: []string{""},
+		},
+		{
+			spec:   "(a, (b | c)*, d?)",
+			accept: []string{"a", "a b c b", "a d", "a c d"},
+			reject: []string{"", "b", "a d d", "a d b"},
+		},
+		{
+			spec:   "((a, b)+)",
+			accept: []string{"a b", "a b a b"},
+			reject: []string{"", "a", "a b a"},
+		},
+		{
+			// The paper's book element.
+			spec:   "(booktitle, (author* | editor))",
+			accept: []string{"booktitle", "booktitle editor", "booktitle author", "booktitle author author"},
+			reject: []string{"", "editor", "booktitle author editor", "booktitle editor editor"},
+		},
+		{
+			// The paper's article element.
+			spec:   "(title, (author, affiliation?)+, contactauthor?)",
+			accept: []string{"title author", "title author affiliation", "title author author affiliation contactauthor"},
+			reject: []string{"title", "title affiliation", "title author contactauthor author"},
+		},
+		{
+			// Nested optionality: whole thing nullable.
+			spec:   "((a?, b?)*)",
+			accept: []string{"", "a", "b", "a b a b", "b b a"},
+			reject: []string{"c"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.spec, func(t *testing.T) {
+			a := Compile(mustParticle(t, tt.spec))
+			for _, s := range tt.accept {
+				if !a.Accepts(fields(s)) {
+					t.Errorf("%s should accept %q", tt.spec, s)
+				}
+			}
+			for _, s := range tt.reject {
+				if a.Accepts(fields(s)) {
+					t.Errorf("%s should reject %q", tt.spec, s)
+				}
+			}
+		})
+	}
+}
+
+func fields(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Fields(s)
+}
+
+func TestDeterminism(t *testing.T) {
+	det := []string{
+		"(a, b)", "(a | b)", "(a*, b)", "((a, b) | (c, d))",
+		"(booktitle, (author* | editor))",
+	}
+	nondet := []string{
+		"((a, b) | (a, c))", // classic 1-ambiguous model
+		"(a?, a)",
+		"((a*)?, a)",
+	}
+	for _, spec := range det {
+		if a := Compile(mustParticle(t, spec)); !a.Deterministic() {
+			t.Errorf("%s should be deterministic; conflict: %s", spec, a.Conflict())
+		}
+	}
+	for _, spec := range nondet {
+		a := Compile(mustParticle(t, spec))
+		if a.Deterministic() {
+			t.Errorf("%s should be nondeterministic", spec)
+		}
+		if a.Conflict() == "" {
+			t.Errorf("%s: empty conflict description", spec)
+		}
+	}
+}
+
+func TestNondeterministicModelsStillMatch(t *testing.T) {
+	// Subset simulation must handle 1-ambiguous models correctly.
+	a := Compile(mustParticle(t, "((a, b) | (a, c))"))
+	for _, s := range []string{"a b", "a c"} {
+		if !a.Accepts(fields(s)) {
+			t.Errorf("should accept %q", s)
+		}
+	}
+	for _, s := range []string{"a", "a b c", "b"} {
+		if a.Accepts(fields(s)) {
+			t.Errorf("should reject %q", s)
+		}
+	}
+}
+
+func TestEmptyAutomaton(t *testing.T) {
+	a := Compile(nil)
+	if !a.Accepts(nil) {
+		t.Error("nil particle should accept empty sequence")
+	}
+	if a.Accepts([]string{"a"}) {
+		t.Error("nil particle should reject non-empty sequence")
+	}
+	if !a.Deterministic() {
+		t.Error("empty automaton should be deterministic")
+	}
+}
+
+func TestCompileModel(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT e EMPTY>
+<!ELEMENT anyel ANY>
+<!ELEMENT m (#PCDATA | a)*>
+<!ELEMENT c (a, b)>
+`)
+	if a := CompileModel(d.Element("e").Content); a == nil || !a.Accepts(nil) || a.Accepts([]string{"a"}) {
+		t.Error("EMPTY model should accept only the empty sequence")
+	}
+	if a := CompileModel(d.Element("anyel").Content); a != nil {
+		t.Error("ANY model should compile to nil")
+	}
+	if a := CompileModel(d.Element("m").Content); a != nil {
+		t.Error("mixed model should compile to nil")
+	}
+	if a := CompileModel(d.Element("c").Content); a == nil || !a.Accepts([]string{"a", "b"}) {
+		t.Error("children model should compile and accept")
+	}
+}
+
+func TestMatcherDiagnostics(t *testing.T) {
+	a := Compile(mustParticle(t, "(a, (b | c), d?)"))
+	m := a.NewMatcher()
+	if got := m.Expected(); len(got) != 1 || got[0] != "a" {
+		t.Errorf("Expected at start = %v", got)
+	}
+	if !m.Step("a") {
+		t.Fatal("step a")
+	}
+	if got := strings.Join(m.Expected(), ","); got != "b,c" {
+		t.Errorf("Expected after a = %q", got)
+	}
+	if m.Accepting() {
+		t.Error("should not accept after a")
+	}
+	if !m.Step("b") {
+		t.Fatal("step b")
+	}
+	if !m.Accepting() {
+		t.Error("should accept after a b")
+	}
+	if !strings.Contains(m.ExpectedString(), "end of content") {
+		t.Errorf("ExpectedString = %q", m.ExpectedString())
+	}
+	if m.Step("x") {
+		t.Error("step x should fail")
+	}
+	if !m.Dead() {
+		t.Error("matcher should be dead")
+	}
+	if m.Step("d") {
+		t.Error("dead matcher must reject everything")
+	}
+	if m.ExpectedString() != "nothing (dead state)" {
+		t.Errorf("dead ExpectedString = %q", m.ExpectedString())
+	}
+}
+
+func TestGenerateAlwaysValid(t *testing.T) {
+	specs := []string{
+		"(a)", "(a, b)", "(a | b)", "(a?, b*, c+)",
+		"(title, (author, affiliation?)+, contactauthor?)",
+		"(booktitle, (author* | editor))",
+		"((a, b)* , (c | (d, e))+)",
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, spec := range specs {
+		p := mustParticle(t, spec)
+		a := Compile(p)
+		for i := 0; i < 200; i++ {
+			seq := Generate(p, rng, GenOptions{MaxRepeat: 4})
+			if !a.Accepts(seq) {
+				t.Fatalf("%s: generated invalid sequence %v", spec, seq)
+			}
+		}
+	}
+}
+
+func TestGenerateRespectsMaxRepeat(t *testing.T) {
+	p := mustParticle(t, "(a+)")
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		seq := Generate(p, rng, GenOptions{MaxRepeat: 3})
+		if len(seq) < 1 || len(seq) > 3 {
+			t.Fatalf("sequence length %d outside [1,3]", len(seq))
+		}
+	}
+}
+
+// TestGlushkovProperty cross-checks the automaton against a slow
+// regexp-style recursive matcher on random sequences.
+func TestGlushkovProperty(t *testing.T) {
+	specs := []string{
+		"(a, (b | c)*, d?)",
+		"((a, b)+ | c)",
+		"(a*, b?, a?)", // nondeterministic but subset simulation handles it
+	}
+	for _, spec := range specs {
+		p := mustParticle(t, spec)
+		a := Compile(p)
+		f := func(raw []byte) bool {
+			seq := make([]string, 0, len(raw)%8)
+			for i := 0; i < len(raw)%8 && i < len(raw); i++ {
+				seq = append(seq, string(rune('a'+int(raw[i])%4)))
+			}
+			return a.Accepts(seq) == slowMatch(p, seq)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+			t.Errorf("%s: %v", spec, err)
+		}
+	}
+}
+
+// slowMatch is an oracle: can particle p derive exactly seq? Implemented
+// as a memoized "derives seq[i:j]" check.
+func slowMatch(p *dtd.Particle, seq []string) bool {
+	return derives(p, seq, 0, len(seq))
+}
+
+func derives(p *dtd.Particle, seq []string, i, j int) bool {
+	// Handle occurrence by reduction to the base particle.
+	base := *p
+	base.Occ = dtd.OccOnce
+	switch p.Occ {
+	case dtd.OccOptional:
+		return i == j || derives(&base, seq, i, j)
+	case dtd.OccZeroPlus:
+		if i == j {
+			return true
+		}
+		fallthrough
+	case dtd.OccOnePlus:
+		// one or more base matches covering [i,j)
+		for k := i + 1; k <= j; k++ {
+			if derives(&base, seq, i, k) {
+				if k == j {
+					return true
+				}
+				rest := *p
+				rest.Occ = dtd.OccZeroPlus
+				if derives(&rest, seq, k, j) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	switch p.Kind {
+	case dtd.PKName:
+		return j == i+1 && seq[i] == p.Name
+	case dtd.PKChoice:
+		for _, ch := range p.Children {
+			if derives(ch, seq, i, j) {
+				return true
+			}
+		}
+		return false
+	case dtd.PKSequence:
+		return derivesSeq(p.Children, seq, i, j)
+	}
+	return false
+}
+
+func derivesSeq(children []*dtd.Particle, seq []string, i, j int) bool {
+	if len(children) == 0 {
+		return i == j
+	}
+	for k := i; k <= j; k++ {
+		if derives(children[0], seq, i, k) && derivesSeq(children[1:], seq, k, j) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPositions(t *testing.T) {
+	a := Compile(mustParticle(t, "(a, (b | c)*, a?)"))
+	if a.Positions() != 4 {
+		t.Errorf("Positions = %d, want 4", a.Positions())
+	}
+}

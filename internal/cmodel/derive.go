@@ -1,0 +1,286 @@
+package cmodel
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlrdb/internal/dtd"
+)
+
+// Deriv is a derivation tree: the proof that an element-name sequence
+// matches a content particle, recording which alternative each choice
+// took and how many times each repeatable particle iterated. The XML
+// shredder walks derivations to assign child elements to the
+// relationship (and virtual group-entity) instances of the ER mapping.
+type Deriv struct {
+	// Particle is the particle this node derives.
+	Particle *dtd.Particle
+	// Reps holds one entry per iteration of the particle (zero entries
+	// when an optional particle matched nothing).
+	Reps []Rep
+}
+
+// Rep is one iteration of a particle.
+type Rep struct {
+	// Index is the consumed sequence position for plain name particles;
+	// -1 otherwise.
+	Index int
+	// Children holds one derivation per member of a sequence group.
+	Children []*Deriv
+	// Chosen is the taken alternative of a choice group.
+	Chosen *Deriv
+	// Body is the derivation of a resolved (virtual group) name's body.
+	Body *Deriv
+}
+
+// Deriver derives sequences against content particles, transparently
+// expanding "virtual element" names (the G1, G2, ... group elements of
+// the mapping's step 1) into their bodies. Derivation is greedy with
+// one-token lookahead, which is exact for the deterministic content
+// models XML 1.0 requires.
+type Deriver struct {
+	resolve  func(name string) *dtd.Particle
+	firsts   map[*dtd.Particle]map[string]bool
+	nullable map[*dtd.Particle]bool
+}
+
+// NewDeriver returns a deriver. resolve maps virtual element names to
+// their bodies and returns nil for ordinary element names; it may be nil
+// when no virtual elements exist.
+func NewDeriver(resolve func(name string) *dtd.Particle) *Deriver {
+	if resolve == nil {
+		resolve = func(string) *dtd.Particle { return nil }
+	}
+	return &Deriver{
+		resolve:  resolve,
+		firsts:   make(map[*dtd.Particle]map[string]bool),
+		nullable: make(map[*dtd.Particle]bool),
+	}
+}
+
+// Derive matches the whole sequence against the particle and returns the
+// derivation tree. A nil particle derives only the empty sequence.
+func (dv *Deriver) Derive(p *dtd.Particle, seq []string) (*Deriv, error) {
+	if p == nil {
+		if len(seq) != 0 {
+			return nil, fmt.Errorf("cmodel: empty content model cannot derive %v", seq)
+		}
+		return &Deriv{}, nil
+	}
+	d, rest, err := dv.derive(p, seq, 0)
+	if err != nil {
+		return nil, err
+	}
+	if rest != len(seq) {
+		return nil, fmt.Errorf("cmodel: trailing content at position %d: %q not permitted by %s",
+			rest, seq[rest], p)
+	}
+	return d, nil
+}
+
+func (dv *Deriver) derive(p *dtd.Particle, seq []string, i int) (*Deriv, int, error) {
+	d := &Deriv{Particle: p}
+	maxReps := 1
+	if p.Occ.Repeatable() {
+		maxReps = len(seq) - i + 1 // enough for any sequence
+	}
+	for rep := 0; rep < maxReps; rep++ {
+		if !dv.canStart(p, seq, i) {
+			if rep == 0 && !p.Occ.Optional() {
+				// A required particle may still derive the empty sequence
+				// if its base is nullable.
+				if dv.isNullableBase(p) {
+					r, ni, err := dv.deriveOnce(p, seq, i)
+					if err != nil {
+						return nil, i, err
+					}
+					d.Reps = append(d.Reps, r)
+					return d, ni, nil
+				}
+				return nil, i, dv.mismatch(p, seq, i)
+			}
+			break
+		}
+		r, ni, err := dv.deriveOnce(p, seq, i)
+		if err != nil {
+			return nil, i, err
+		}
+		d.Reps = append(d.Reps, r)
+		if ni == i {
+			break // empty match; further iterations cannot progress
+		}
+		i = ni
+	}
+	return d, i, nil
+}
+
+func (dv *Deriver) mismatch(p *dtd.Particle, seq []string, i int) error {
+	have := "end of content"
+	if i < len(seq) {
+		have = fmt.Sprintf("%q", seq[i])
+	}
+	var want []string
+	for n := range dv.first(p) {
+		want = append(want, n)
+	}
+	return fmt.Errorf("cmodel: at position %d: found %s, expected one of {%s} (particle %s)",
+		i, have, strings.Join(want, " "), p)
+}
+
+// deriveOnce matches one iteration of the particle's base (ignoring its
+// occurrence indicator).
+func (dv *Deriver) deriveOnce(p *dtd.Particle, seq []string, i int) (Rep, int, error) {
+	switch p.Kind {
+	case dtd.PKName:
+		if body := dv.resolve(p.Name); body != nil {
+			sub, ni, err := dv.derive(body, seq, i)
+			if err != nil {
+				return Rep{}, i, err
+			}
+			return Rep{Index: -1, Body: sub}, ni, nil
+		}
+		if i >= len(seq) || seq[i] != p.Name {
+			return Rep{}, i, dv.mismatch(p, seq, i)
+		}
+		return Rep{Index: i}, i + 1, nil
+	case dtd.PKSequence:
+		rep := Rep{Index: -1}
+		for _, ch := range p.Children {
+			cd, ni, err := dv.derive(ch, seq, i)
+			if err != nil {
+				return Rep{}, i, err
+			}
+			rep.Children = append(rep.Children, cd)
+			i = ni
+		}
+		return rep, i, nil
+	case dtd.PKChoice:
+		for _, ch := range p.Children {
+			if dv.canStart(ch, seq, i) {
+				cd, ni, err := dv.derive(ch, seq, i)
+				if err != nil {
+					return Rep{}, i, err
+				}
+				return Rep{Index: -1, Chosen: cd}, ni, nil
+			}
+		}
+		// No alternative starts here: take the first nullable one (the
+		// choice then derives the empty sequence).
+		for _, ch := range p.Children {
+			if ch.Occ.Optional() || dv.isNullableBase(ch) {
+				cd, ni, err := dv.derive(ch, seq, i)
+				if err != nil {
+					return Rep{}, i, err
+				}
+				return Rep{Index: -1, Chosen: cd}, ni, nil
+			}
+		}
+		return Rep{}, i, dv.mismatch(p, seq, i)
+	default:
+		return Rep{}, i, fmt.Errorf("cmodel: unknown particle kind %v", p.Kind)
+	}
+}
+
+// canStart reports whether seq[i] can begin a non-empty match of p.
+func (dv *Deriver) canStart(p *dtd.Particle, seq []string, i int) bool {
+	if i >= len(seq) {
+		return false
+	}
+	return dv.first(p)[seq[i]]
+}
+
+// first returns the set of names that can begin a non-empty match of p,
+// resolving virtual names through their bodies.
+func (dv *Deriver) first(p *dtd.Particle) map[string]bool {
+	if f, ok := dv.firsts[p]; ok {
+		return f
+	}
+	f := make(map[string]bool)
+	dv.firsts[p] = f // pre-set to terminate on (malformed) cycles
+	switch p.Kind {
+	case dtd.PKName:
+		if body := dv.resolve(p.Name); body != nil {
+			for n := range dv.first(body) {
+				f[n] = true
+			}
+		} else {
+			f[p.Name] = true
+		}
+	case dtd.PKChoice:
+		for _, ch := range p.Children {
+			for n := range dv.first(ch) {
+				f[n] = true
+			}
+		}
+	case dtd.PKSequence:
+		for _, ch := range p.Children {
+			for n := range dv.first(ch) {
+				f[n] = true
+			}
+			if !ch.Occ.Optional() && !dv.isNullableBase(ch) {
+				break
+			}
+		}
+	}
+	return f
+}
+
+// isNullableBase reports whether the particle's base (ignoring its own
+// occurrence indicator) can derive the empty sequence.
+func (dv *Deriver) isNullableBase(p *dtd.Particle) bool {
+	if v, ok := dv.nullable[p]; ok {
+		return v
+	}
+	dv.nullable[p] = false // terminate cycles pessimistically
+	var v bool
+	switch p.Kind {
+	case dtd.PKName:
+		if body := dv.resolve(p.Name); body != nil {
+			v = body.Occ.Optional() || dv.isNullableBase(body)
+		} else {
+			v = false
+		}
+	case dtd.PKSequence:
+		v = true
+		for _, ch := range p.Children {
+			if !ch.Occ.Optional() && !dv.isNullableBase(ch) {
+				v = false
+				break
+			}
+		}
+	case dtd.PKChoice:
+		v = false
+		for _, ch := range p.Children {
+			if ch.Occ.Optional() || dv.isNullableBase(ch) {
+				v = true
+				break
+			}
+		}
+	}
+	dv.nullable[p] = v
+	return v
+}
+
+// Indexes returns every consumed sequence position in the derivation, in
+// order — useful for verifying that a derivation covers a sequence.
+func (d *Deriv) Indexes() []int {
+	var out []int
+	var walk func(*Deriv)
+	walk = func(x *Deriv) {
+		if x == nil {
+			return
+		}
+		for _, r := range x.Reps {
+			if r.Index >= 0 {
+				out = append(out, r.Index)
+			}
+			for _, c := range r.Children {
+				walk(c)
+			}
+			walk(r.Chosen)
+			walk(r.Body)
+		}
+	}
+	walk(d)
+	return out
+}

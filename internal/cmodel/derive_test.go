@@ -1,0 +1,197 @@
+package cmodel
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"xmlrdb/internal/dtd"
+)
+
+func TestDeriveCoversSequence(t *testing.T) {
+	specs := []string{
+		"(a)", "(a, b)", "(a | b)", "(a?, b*, c+)",
+		"(title, (author, affiliation?)+, contactauthor?)",
+		"(booktitle, (author* | editor))",
+		"((a, b)*, (c | (d, e))+)",
+		"((a*, b?)+, c)",
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, spec := range specs {
+		p := mustParticle(t, spec)
+		dv := NewDeriver(nil)
+		for trial := 0; trial < 100; trial++ {
+			seq := Generate(p, rng, GenOptions{MaxRepeat: 3})
+			d, err := dv.Derive(p, seq)
+			if err != nil {
+				t.Fatalf("%s: derive %v: %v", spec, seq, err)
+			}
+			got := d.Indexes()
+			want := make([]int, len(seq))
+			for i := range seq {
+				want[i] = i
+			}
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: derivation of %v covers %v, want %v", spec, seq, got, want)
+			}
+		}
+	}
+}
+
+func TestDeriveRejectsInvalid(t *testing.T) {
+	tests := []struct {
+		spec string
+		seq  []string
+	}{
+		{"(a, b)", []string{"a"}},
+		{"(a, b)", []string{"b", "a"}},
+		{"(a)", []string{"a", "a"}},
+		{"(a | b)", []string{"c"}},
+		{"(a+)", nil},
+	}
+	dv := NewDeriver(nil)
+	for _, tt := range tests {
+		p := mustParticle(t, tt.spec)
+		if _, err := dv.Derive(p, tt.seq); err == nil {
+			t.Errorf("%s should reject %v", tt.spec, tt.seq)
+		}
+	}
+}
+
+func TestDeriveStructure(t *testing.T) {
+	p := mustParticle(t, "(title, (author, affiliation?)+, contactauthor?)")
+	dv := NewDeriver(nil)
+	d, err := dv.Derive(p, []string{"title", "author", "author", "affiliation", "contactauthor"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := d.Reps[0]
+	if len(root.Children) != 3 {
+		t.Fatalf("root children = %d", len(root.Children))
+	}
+	group := root.Children[1]
+	if len(group.Reps) != 2 {
+		t.Fatalf("group iterations = %d, want 2", len(group.Reps))
+	}
+	// Second iteration has author and affiliation.
+	it2 := group.Reps[1]
+	if len(it2.Children) != 2 {
+		t.Fatalf("iteration children = %d", len(it2.Children))
+	}
+	if got := it2.Children[0].Reps[0].Index; got != 2 {
+		t.Errorf("second author index = %d, want 2", got)
+	}
+	if got := it2.Children[1].Reps[0].Index; got != 3 {
+		t.Errorf("affiliation index = %d, want 3", got)
+	}
+	// First iteration's affiliation matched empty.
+	if n := len(group.Reps[0].Children[1].Reps); n != 0 {
+		t.Errorf("first affiliation reps = %d, want 0", n)
+	}
+	// Optional contactauthor consumed.
+	ca := root.Children[2]
+	if len(ca.Reps) != 1 || ca.Reps[0].Index != 4 {
+		t.Errorf("contactauthor = %+v", ca)
+	}
+}
+
+func TestDeriveChoice(t *testing.T) {
+	p := mustParticle(t, "(booktitle, (author* | editor))")
+	dv := NewDeriver(nil)
+
+	d, err := dv.Derive(p, []string{"booktitle", "editor"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	choice := d.Reps[0].Children[1]
+	chosen := choice.Reps[0].Chosen
+	if chosen.Particle.Name != "editor" {
+		t.Errorf("chosen = %s", chosen.Particle)
+	}
+
+	// Nullable alternative: bare booktitle takes the author* branch empty.
+	d, err = dv.Derive(p, []string{"booktitle"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	choice = d.Reps[0].Children[1]
+	chosen = choice.Reps[0].Chosen
+	if chosen.Particle.Name != "author" || len(chosen.Reps) != 0 {
+		t.Errorf("nullable choice = %+v", chosen)
+	}
+}
+
+func TestDeriveVirtualGroups(t *testing.T) {
+	// Simulate the mapping's step-1 output: article = (title, G2+, ca?)
+	// with G2 = (author, affiliation?).
+	g2 := mustParticle(t, "(author, affiliation?)")
+	p := mustParticle(t, "(title, G2+, ca?)")
+	dv := NewDeriver(func(name string) *dtd.Particle {
+		if name == "G2" {
+			return g2
+		}
+		return nil
+	})
+	d, err := dv.Derive(p, []string{"title", "author", "affiliation", "author", "ca"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2ref := d.Reps[0].Children[1]
+	if len(g2ref.Reps) != 2 {
+		t.Fatalf("G2 instances = %d, want 2", len(g2ref.Reps))
+	}
+	if g2ref.Reps[0].Body == nil {
+		t.Fatal("virtual name should carry a Body derivation")
+	}
+	first := g2ref.Reps[0].Body.Reps[0]
+	if first.Children[0].Reps[0].Index != 1 || first.Children[1].Reps[0].Index != 2 {
+		t.Errorf("first G2 instance = %+v", first)
+	}
+	second := g2ref.Reps[1].Body.Reps[0]
+	if second.Children[0].Reps[0].Index != 3 {
+		t.Errorf("second G2 instance = %+v", second)
+	}
+	if n := len(second.Children[1].Reps); n != 0 {
+		t.Errorf("second affiliation reps = %d", n)
+	}
+}
+
+func TestDeriveNilParticle(t *testing.T) {
+	dv := NewDeriver(nil)
+	if _, err := dv.Derive(nil, nil); err != nil {
+		t.Errorf("nil particle, empty seq: %v", err)
+	}
+	if _, err := dv.Derive(nil, []string{"a"}); err == nil {
+		t.Error("nil particle should reject non-empty seq")
+	}
+}
+
+func TestDeriveAgainstAutomaton(t *testing.T) {
+	// Property: Derive succeeds exactly when the Glushkov automaton
+	// accepts, across random sequences over a small alphabet.
+	specs := []string{
+		"(a, (b | c)*, d?)",
+		"((a, b)+ | c)",
+		"(a?, (b, a?)*)",
+	}
+	rng := rand.New(rand.NewSource(99))
+	for _, spec := range specs {
+		p := mustParticle(t, spec)
+		a := Compile(p)
+		dv := NewDeriver(nil)
+		for trial := 0; trial < 500; trial++ {
+			n := rng.Intn(6)
+			seq := make([]string, n)
+			for i := range seq {
+				seq[i] = string(rune('a' + rng.Intn(4)))
+			}
+			_, err := dv.Derive(p, seq)
+			if accepts := a.Accepts(seq); accepts != (err == nil) {
+				t.Fatalf("%s: seq %v: automaton=%v deriver err=%v", spec, seq, accepts, err)
+			}
+		}
+	}
+}

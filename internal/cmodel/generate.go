@@ -1,0 +1,74 @@
+package cmodel
+
+import (
+	"math/rand"
+
+	"xmlrdb/internal/dtd"
+)
+
+// GenOptions tunes random sequence generation.
+type GenOptions struct {
+	// MaxRepeat caps the number of iterations generated for "*" and "+"
+	// particles. Values below 1 are treated as 1.
+	MaxRepeat int
+	// OptionalProb is the probability an optional ("?" or "*") particle
+	// is instantiated at all. Zero means 0.5.
+	OptionalProb float64
+}
+
+func (o GenOptions) maxRepeat() int {
+	if o.MaxRepeat < 1 {
+		return 1
+	}
+	return o.MaxRepeat
+}
+
+func (o GenOptions) optionalProb() float64 {
+	if o.OptionalProb == 0 {
+		return 0.5
+	}
+	return o.OptionalProb
+}
+
+// Generate produces a random element-name sequence conforming to the
+// content particle, by structural recursion (so the result is valid by
+// construction). A nil particle yields an empty sequence.
+func Generate(p *dtd.Particle, rng *rand.Rand, opts GenOptions) []string {
+	var out []string
+	gen(p, rng, opts, &out)
+	return out
+}
+
+func gen(p *dtd.Particle, rng *rand.Rand, opts GenOptions, out *[]string) {
+	if p == nil {
+		return
+	}
+	reps := 1
+	switch p.Occ {
+	case dtd.OccOptional:
+		if rng.Float64() >= opts.optionalProb() {
+			return
+		}
+	case dtd.OccZeroPlus:
+		if rng.Float64() >= opts.optionalProb() {
+			return
+		}
+		reps = 1 + rng.Intn(opts.maxRepeat())
+	case dtd.OccOnePlus:
+		reps = 1 + rng.Intn(opts.maxRepeat())
+	}
+	for i := 0; i < reps; i++ {
+		switch p.Kind {
+		case dtd.PKName:
+			*out = append(*out, p.Name)
+		case dtd.PKSequence:
+			for _, ch := range p.Children {
+				gen(ch, rng, opts, out)
+			}
+		case dtd.PKChoice:
+			if len(p.Children) > 0 {
+				gen(p.Children[rng.Intn(len(p.Children))], rng, opts, out)
+			}
+		}
+	}
+}

@@ -1,0 +1,635 @@
+// Package core implements the paper's primary contribution: the
+// four-step algorithm of Lee, Mitchell and Zhang ("Integrating XML Data
+// with Relational Databases", 2000, Figure 1) that converts a logical
+// DTD into an Entity-Relationship model:
+//
+//  1. Define Group Elements — every parenthesized group embedded in a
+//     content model becomes a fresh virtual element (G1, G2, ...),
+//     iterated until no element contains a group.
+//  2. Distill Attributes — a (#PCDATA) subelement occurring at most once
+//     is folded into an attribute of its parent ((#PCDATA) #REQUIRED, or
+//     #IMPLIED when the subelement was optional).
+//  3. Identify Relationships — nesting structure is replaced by explicit
+//     NESTED_GROUP, NESTED and REFERENCE declarations, leaving element
+//     declarations empty.
+//  4. Generate Diagram — elements become entities, attribute lists
+//     become entity attributes, and the three declaration kinds become
+//     ER relationship nodes (choice arcs marked as in the paper's
+//     Figure 2).
+//
+// Ordering, occurrence and existence properties that the ER (and
+// relational) model cannot express are captured in a Metadata value, as
+// §5 of the paper prescribes, and later stored as relational tables.
+//
+// Deviations from the paper's informal description, chosen to keep the
+// mapping total on arbitrary DTDs (documented in DESIGN.md):
+//
+//   - A root group that is a choice, or that carries an occurrence
+//     indicator, is itself extracted in step 1, so that after step 1
+//     every content model is a plain sequence of element references.
+//   - Step 2 only distills a subelement when it declares no attributes
+//     of its own and is not the target of any ID reference; otherwise
+//     folding it into a parent attribute would drop information.
+//   - Mixed content (#PCDATA | a | b)* is treated as a choice group with
+//     zero-or-more occurrence, and the element is flagged as retaining
+//     text content.
+//   - NESTED relationship names follow the paper (N + child name) with
+//     parent-qualified names on collision.
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"xmlrdb/internal/dtd"
+	"xmlrdb/internal/er"
+)
+
+// Options tunes the mapping algorithm.
+type Options struct {
+	// SkipDistill disables step 2 (the attribute-distilling ablation of
+	// experiment E10). Default false: distilling on, as in the paper.
+	SkipDistill bool
+	// GroupPrefix names synthesized group elements; default "G".
+	GroupPrefix string
+	// NestedGroupPrefix names nested-group relationships; default "NG".
+	NestedGroupPrefix string
+}
+
+func (o Options) groupPrefix() string {
+	if o.GroupPrefix == "" {
+		return "G"
+	}
+	return o.GroupPrefix
+}
+
+func (o Options) ngPrefix() string {
+	if o.NestedGroupPrefix == "" {
+		return "NG"
+	}
+	return o.NestedGroupPrefix
+}
+
+// Result is the complete output of the mapping pipeline.
+type Result struct {
+	// Original is the input logical DTD (after entity substitution).
+	Original *dtd.DTD
+	// Grouped is the DTD after step 1 (groups extracted as G elements).
+	Grouped *dtd.DTD
+	// Distilled is the DTD after step 2.
+	Distilled *dtd.DTD
+	// Converted is the declaration set after step 3 (the paper's
+	// Example 2 form).
+	Converted *Converted
+	// Model is the ER diagram produced by step 4.
+	Model *er.Model
+	// Metadata carries the ordering/occurrence/existence information the
+	// relational schema cannot express.
+	Metadata *Metadata
+	// Groups lists the virtual elements extracted in step 1, in creation
+	// order; loaders use them to resolve group names to their bodies.
+	Groups []GroupDef
+}
+
+// Map runs all four steps with default options.
+func Map(d *dtd.DTD) (*Result, error) { return MapWith(d, Options{}) }
+
+// MapWith runs all four steps with explicit options.
+func MapWith(d *dtd.DTD, opts Options) (*Result, error) {
+	logical, err := d.Logical()
+	if err != nil {
+		return nil, fmt.Errorf("core: normalizing to logical DTD: %w", err)
+	}
+	res := &Result{Original: d, Metadata: NewMetadata(d.Name)}
+
+	grouped, groups, err := DefineGroupElements(logical, opts.groupPrefix())
+	if err != nil {
+		return nil, fmt.Errorf("core: step 1 (define group elements): %w", err)
+	}
+	res.Grouped = grouped
+	res.Groups = groups
+
+	distilledDTD := grouped
+	var distilled []DistillEntry
+	if !opts.SkipDistill {
+		distilledDTD, distilled, err = DistillAttributes(grouped)
+		if err != nil {
+			return nil, fmt.Errorf("core: step 2 (distill attributes): %w", err)
+		}
+	}
+	res.Distilled = distilledDTD
+
+	conv, err := IdentifyRelationships(distilledDTD, groups, opts.ngPrefix())
+	if err != nil {
+		return nil, fmt.Errorf("core: step 3 (identify relationships): %w", err)
+	}
+	res.Converted = conv
+
+	model, err := GenerateDiagram(conv)
+	if err != nil {
+		return nil, fmt.Errorf("core: step 4 (generate diagram): %w", err)
+	}
+	res.Model = model
+
+	res.Metadata.fill(logical, grouped, groups, distilled, conv)
+	return res, nil
+}
+
+// GroupDef records one group extracted in step 1.
+type GroupDef struct {
+	// Name is the synthesized element name (G1, G2, ...).
+	Name string
+	// Parent is the element whose content model contained the group.
+	Parent string
+	// Particle is the group's content (occurrence normalized to once;
+	// the group's own indicator is recorded in Occ).
+	Particle *dtd.Particle
+	// Occ is the occurrence indicator the group carried at its site.
+	Occ dtd.Occurrence
+}
+
+// DefineGroupElements is step 1: extract every embedded group of every
+// content model into a fresh virtual element, iterating until no element
+// contains a group. It returns the rewritten DTD and the extracted
+// groups in creation order. Beyond the paper's description, a root group
+// that is a choice or carries an occurrence indicator is also extracted,
+// so that afterwards every element content is a plain sequence of names.
+func DefineGroupElements(d *dtd.DTD, prefix string) (*dtd.DTD, []GroupDef, error) {
+	out := d.Clone()
+	var groups []GroupDef
+	counter := 0
+	isGroup := make(map[string]bool)
+
+	newGroup := func(parent string, g *dtd.Particle) (*dtd.Particle, error) {
+		counter++
+		name := prefix + strconv.Itoa(counter)
+		isGroup[name] = true
+		if out.Element(name) != nil {
+			return nil, fmt.Errorf("synthesized group name %q collides with a declared element; choose another GroupPrefix", name)
+		}
+		body := g.Clone()
+		occ := body.Occ
+		body.Occ = dtd.OccOnce
+		def := GroupDef{Name: name, Parent: parent, Particle: body, Occ: occ}
+		groups = append(groups, def)
+		if err := out.AddElement(&dtd.ElementDecl{
+			Name:    name,
+			Content: dtd.ContentModel{Kind: dtd.ContentChildren, Particle: body},
+		}); err != nil {
+			return nil, err
+		}
+		return &dtd.Particle{Kind: dtd.PKName, Name: name, Occ: occ}, nil
+	}
+
+	// Iterate to fixpoint: extracting a group may expose another level.
+	for {
+		changed := false
+		// Snapshot order: newly added G elements are processed in later
+		// passes of the loop.
+		names := append([]string(nil), out.ElementOrder...)
+		for _, name := range names {
+			decl := out.Elements[name]
+			if decl.Content.Kind != dtd.ContentChildren || decl.Content.Particle == nil {
+				continue
+			}
+			root := decl.Content.Particle
+			// Extract embedded (non-root) groups, left to right, one
+			// level per pass.
+			for i, ch := range root.Children {
+				if ch.IsGroup() {
+					ref, err := newGroup(name, ch)
+					if err != nil {
+						return nil, nil, err
+					}
+					root.Children[i] = ref
+					changed = true
+				}
+			}
+			// Normalize the root of *declared* elements: extract it too
+			// when it is a choice or repeats, so the remaining root is a
+			// once-occurring sequence. Synthesized group elements keep
+			// their root as-is — it is the group body.
+			if isGroup[name] {
+				continue
+			}
+			if (root.Kind == dtd.PKChoice && len(root.Children) > 1) || root.Occ != dtd.OccOnce {
+				ref, err := newGroup(name, root)
+				if err != nil {
+					return nil, nil, err
+				}
+				decl.Content.Particle = &dtd.Particle{Kind: dtd.PKSequence, Occ: dtd.OccOnce, Children: []*dtd.Particle{ref}}
+				changed = true
+			} else if root.Kind == dtd.PKChoice {
+				// Single-member choice is a sequence.
+				root.Kind = dtd.PKSequence
+			}
+		}
+		if !changed {
+			return out, groups, nil
+		}
+	}
+}
+
+// DistillEntry records one (#PCDATA) subelement folded into an attribute
+// by step 2.
+type DistillEntry struct {
+	// Parent is the element that gained the attribute.
+	Parent string
+	// Attr is the attribute (and original subelement) name.
+	Attr string
+	// Pos is the subelement's position among the parent's content
+	// children before removal (0-based), preserved as schema-ordering
+	// metadata.
+	Pos int
+	// Default is DefImplied when the subelement was optional, else
+	// DefRequired.
+	Default dtd.AttDefault
+}
+
+// DistillAttributes is step 2: fold (#PCDATA) subelements that occur at
+// most once into attributes of their parent. A subelement is only
+// distilled when it has no attribute declarations of its own; otherwise
+// information would be lost. Element type declarations that become
+// entirely unreferenced are removed from the result.
+func DistillAttributes(d *dtd.DTD) (*dtd.DTD, []DistillEntry, error) {
+	out := d.Clone()
+	var entries []DistillEntry
+
+	distillable := func(name string) bool {
+		decl := out.Element(name)
+		if decl == nil || !decl.Content.IsPCDataOnly() {
+			return false
+		}
+		return len(out.Atts(name)) == 0
+	}
+
+	for _, name := range out.ElementOrder {
+		decl := out.Elements[name]
+		if decl.Content.Kind != dtd.ContentChildren || decl.Content.Particle == nil {
+			continue
+		}
+		root := decl.Content.Particle
+		// After step 1 the root is a once-occurring sequence of names;
+		// only such roots are safe to distill from (a member of a choice
+		// encodes which alternative was taken, so it must stay).
+		if root.Kind != dtd.PKSequence || root.Occ != dtd.OccOnce {
+			continue
+		}
+		var kept []*dtd.Particle
+		for pos, ch := range root.Children {
+			if ch.Kind == dtd.PKName && !ch.Occ.Repeatable() && distillable(ch.Name) {
+				def := dtd.AttDef{Name: ch.Name, Type: dtd.AttPCData, Default: dtd.DefRequired}
+				if ch.Occ.Optional() {
+					def.Default = dtd.DefImplied
+				}
+				if _, exists := out.Att(name, ch.Name); exists {
+					// An XML attribute with the same name already exists;
+					// distilling would clash, so keep the subelement.
+					kept = append(kept, ch)
+					continue
+				}
+				out.AddAttDefs(name, []dtd.AttDef{def})
+				entries = append(entries, DistillEntry{
+					Parent: name, Attr: ch.Name, Pos: pos, Default: def.Default,
+				})
+				continue
+			}
+			kept = append(kept, ch)
+		}
+		root.Children = kept
+	}
+
+	// Drop PCDATA element declarations that are no longer referenced
+	// anywhere (they were distilled at every site).
+	referenced := make(map[string]bool)
+	for _, n := range out.ReferencedNames() {
+		referenced[n] = true
+	}
+	distilledSomewhere := make(map[string]bool)
+	for _, e := range entries {
+		distilledSomewhere[e.Attr] = true
+	}
+	var order []string
+	for _, name := range out.ElementOrder {
+		if distilledSomewhere[name] && !referenced[name] {
+			delete(out.Elements, name)
+			continue
+		}
+		order = append(order, name)
+	}
+	out.ElementOrder = order
+	return out, entries, nil
+}
+
+// ConvKind is the residual content category of a converted element.
+type ConvKind int
+
+// Converted element content categories.
+const (
+	// ConvBare is the paper's "()": all content moved to relationships.
+	ConvBare ConvKind = iota + 1
+	// ConvEmpty is a declared-EMPTY (existence) element.
+	ConvEmpty
+	// ConvAny is a declared-ANY element.
+	ConvAny
+	// ConvPCData is an element retaining #PCDATA text content.
+	ConvPCData
+)
+
+// String returns the converted-DTD notation for the kind.
+func (k ConvKind) String() string {
+	switch k {
+	case ConvBare:
+		return "()"
+	case ConvEmpty:
+		return "EMPTY"
+	case ConvAny:
+		return "ANY"
+	case ConvPCData:
+		return "(#PCDATA)"
+	default:
+		return fmt.Sprintf("ConvKind(%d)", int(k))
+	}
+}
+
+// ConvElement is one element declaration of the converted DTD.
+type ConvElement struct {
+	// Name is the element type name.
+	Name string
+	// Kind is the residual content category.
+	Kind ConvKind
+	// Atts are the element's attributes (original plus distilled, minus
+	// IDREF attributes that became REFERENCE declarations).
+	Atts []dtd.AttDef
+	// MixedText marks elements whose relationships came from mixed
+	// content, so they hold interleaved text as well.
+	MixedText bool
+}
+
+// Rel is one relationship declaration of the converted DTD.
+type Rel struct {
+	// Kind discriminates NESTED_GROUP / NESTED / REFERENCE.
+	Kind er.RelKind
+	// Name is the declaration name (NG1, Nauthor, authorid, ...).
+	Name string
+	// Parent is the element the relationship belongs to.
+	Parent string
+	// Particle is the group content for NESTED_GROUP (flat: every child
+	// is a name).
+	Particle *dtd.Particle
+	// Child and ChildOcc describe the single target of NESTED.
+	Child    string
+	ChildOcc dtd.Occurrence
+	// GroupOcc is the occurrence the group reference carried in the
+	// parent (metadata).
+	GroupOcc dtd.Occurrence
+	// ViaAttr is the IDREF attribute name for REFERENCE.
+	ViaAttr string
+	// Targets are the candidate entities of a REFERENCE (all ID-carrying
+	// element types).
+	Targets []string
+	// Multiple marks IDREFS (zero or more targets per instance).
+	Multiple bool
+	// Pos is the position of the relationship's source item among the
+	// parent's original content children (schema ordering metadata); -1
+	// for references, which are attributes and carry no order.
+	Pos int
+}
+
+// Converted is the full declaration set after step 3 — the paper's
+// Example 2 representation.
+type Converted struct {
+	// Name labels the converted DTD.
+	Name string
+	// Elements in original declaration order.
+	Elements []*ConvElement
+	// Rels in creation order (grouped after their parent element when
+	// serialized).
+	Rels []*Rel
+
+	byElement map[string]*ConvElement
+}
+
+// Element returns the named converted element, or nil.
+func (c *Converted) Element(name string) *ConvElement { return c.byElement[name] }
+
+// RelsOf returns the relationships declared for a parent element, in
+// creation order.
+func (c *Converted) RelsOf(parent string) []*Rel {
+	var out []*Rel
+	for _, r := range c.Rels {
+		if r.Parent == parent {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// IdentifyRelationships is step 3: replace structural nesting with
+// explicit NESTED_GROUP, NESTED and REFERENCE declarations. groups must
+// be the extraction list from step 1 so group elements can be renamed to
+// relationship declarations in order.
+func IdentifyRelationships(d *dtd.DTD, groups []GroupDef, ngPrefix string) (*Converted, error) {
+	conv := &Converted{Name: d.Name, byElement: make(map[string]*ConvElement)}
+	groupByName := make(map[string]*GroupDef, len(groups))
+	ngName := make(map[string]string, len(groups))
+	for i := range groups {
+		groupByName[groups[i].Name] = &groups[i]
+		ngName[groups[i].Name] = ngPrefix + strconv.Itoa(i+1)
+	}
+	usedRelNames := make(map[string]bool)
+	uniqueRelName := func(preferred, fallback string) string {
+		name := preferred
+		if usedRelNames[name] {
+			name = fallback
+		}
+		for i := 2; usedRelNames[name]; i++ {
+			name = fallback + strconv.Itoa(i)
+		}
+		usedRelNames[name] = true
+		return name
+	}
+
+	// Pre-claim nested-group names so nested relationships cannot steal
+	// them.
+	for _, n := range ngName {
+		usedRelNames[n] = true
+	}
+
+	var addRelErr error
+	addNested := func(parent, child string, occ dtd.Occurrence, pos int) {
+		name := uniqueRelName("N"+child, "N"+parent+"_"+child)
+		conv.Rels = append(conv.Rels, &Rel{
+			Kind: er.RelNested, Name: name, Parent: parent,
+			Child: child, ChildOcc: occ, Pos: pos,
+		})
+	}
+
+	idTargets := d.IDElements()
+
+	for _, name := range d.ElementOrder {
+		if _, isGroup := groupByName[name]; isGroup {
+			continue // group elements become relationship declarations
+		}
+		decl := d.Elements[name]
+		ce := &ConvElement{Name: name}
+		switch decl.Content.Kind {
+		case dtd.ContentEmpty:
+			ce.Kind = ConvEmpty
+		case dtd.ContentAny:
+			ce.Kind = ConvAny
+		case dtd.ContentMixed:
+			if decl.Content.IsPCDataOnly() {
+				ce.Kind = ConvPCData
+			} else {
+				// Mixed content: a choice group of the admitted names,
+				// zero or more times, plus retained text.
+				ce.Kind = ConvBare
+				ce.MixedText = true
+				children := make([]*dtd.Particle, 0, len(decl.Content.MixedNames))
+				for _, n := range decl.Content.MixedNames {
+					children = append(children, &dtd.Particle{Kind: dtd.PKName, Name: n, Occ: dtd.OccOnce})
+				}
+				relName := uniqueRelName("NG"+name, "NG"+name+"_mixed")
+				conv.Rels = append(conv.Rels, &Rel{
+					Kind: er.RelNestedGroup, Name: relName, Parent: name,
+					Particle: &dtd.Particle{Kind: dtd.PKChoice, Occ: dtd.OccOnce, Children: children},
+					GroupOcc: dtd.OccZeroPlus,
+					Pos:      0,
+				})
+			}
+		case dtd.ContentChildren:
+			ce.Kind = ConvBare
+			root := decl.Content.Particle
+			if root != nil {
+				for pos, ch := range root.Children {
+					if ch.Kind != dtd.PKName {
+						addRelErr = fmt.Errorf("element %q still contains a group after step 1", name)
+						break
+					}
+					if g, ok := groupByName[ch.Name]; ok {
+						conv.Rels = append(conv.Rels, &Rel{
+							Kind: er.RelNestedGroup, Name: ngName[ch.Name], Parent: name,
+							Particle: g.Particle, GroupOcc: ch.Occ, Pos: pos,
+						})
+						continue
+					}
+					addNested(name, ch.Name, ch.Occ, pos)
+				}
+			}
+		}
+		// Attributes: IDREF/IDREFS become REFERENCE declarations.
+		for _, att := range d.Atts(name) {
+			if (att.Type == dtd.AttIDREF || att.Type == dtd.AttIDREFS) && len(idTargets) > 0 {
+				relName := uniqueRelName(att.Name, name+"_"+att.Name)
+				conv.Rels = append(conv.Rels, &Rel{
+					Kind: er.RelReference, Name: relName, Parent: name,
+					ViaAttr: att.Name, Targets: append([]string(nil), idTargets...),
+					Multiple: att.Type == dtd.AttIDREFS,
+					Pos:      -1,
+				})
+				continue
+			}
+			ce.Atts = append(ce.Atts, att.Clone())
+		}
+		conv.Elements = append(conv.Elements, ce)
+		conv.byElement[name] = ce
+	}
+	if addRelErr != nil {
+		return nil, addRelErr
+	}
+	// Groups nested directly inside other groups appear as children of a
+	// group particle; after step 1 they were themselves extracted, so a
+	// group particle may reference another group element. Rewrite those
+	// references into nested-group relationships of the *referencing*
+	// group's parent chain — the particle keeps the G name otherwise.
+	for _, r := range conv.Rels {
+		if r.Kind != er.RelNestedGroup || r.Particle == nil {
+			continue
+		}
+		for _, ch := range r.Particle.Children {
+			if g, ok := groupByName[ch.Name]; ok {
+				// A group inside a group: expose it as a nested-group
+				// relationship parented on the synthetic group element.
+				// Create the intermediate element so the diagram stays
+				// well formed.
+				if conv.byElement[g.Name] == nil {
+					ce := &ConvElement{Name: g.Name, Kind: ConvBare}
+					conv.Elements = append(conv.Elements, ce)
+					conv.byElement[g.Name] = ce
+					conv.Rels = append(conv.Rels, &Rel{
+						Kind: er.RelNestedGroup, Name: ngName[g.Name], Parent: g.Name,
+						Particle: g.Particle, GroupOcc: ch.Occ, Pos: 0,
+					})
+				}
+			}
+		}
+	}
+	return conv, nil
+}
+
+// GenerateDiagram is step 4: build the ER model from the converted DTD.
+func GenerateDiagram(conv *Converted) (*er.Model, error) {
+	m := er.NewModel(conv.Name)
+	for _, ce := range conv.Elements {
+		e := &er.Entity{
+			Name:       ce.Name,
+			Existence:  ce.Kind == ConvEmpty,
+			AnyContent: ce.Kind == ConvAny,
+			PCDataText: ce.Kind == ConvPCData || ce.MixedText,
+		}
+		for _, att := range ce.Atts {
+			e.Attributes = append(e.Attributes, er.Attribute{
+				Name:     att.Name,
+				Required: att.Default == dtd.DefRequired || att.Default == dtd.DefFixed,
+				Key:      att.Type == dtd.AttID,
+				Origin:   attrOrigin(att),
+				XMLType:  att.Type,
+			})
+		}
+		if err := m.AddEntity(e); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range conv.Rels {
+		rel := &er.Relationship{
+			Name:     r.Name,
+			Kind:     r.Kind,
+			Parent:   r.Parent,
+			GroupOcc: r.GroupOcc,
+			ViaAttr:  r.ViaAttr,
+			Multiple: r.Multiple,
+		}
+		switch r.Kind {
+		case er.RelNestedGroup:
+			rel.Choice = r.Particle.Kind == dtd.PKChoice
+			for _, ch := range r.Particle.Children {
+				rel.Arcs = append(rel.Arcs, er.Arc{Target: ch.Name, Occ: ch.Occ})
+			}
+		case er.RelNested:
+			rel.Arcs = []er.Arc{{Target: r.Child, Occ: r.ChildOcc}}
+		case er.RelReference:
+			rel.Choice = true
+			rel.Attributes = []er.Attribute{{
+				Name: r.ViaAttr, Origin: er.FromXMLAttr, XMLType: dtd.AttIDREF,
+			}}
+			for _, t := range r.Targets {
+				rel.Arcs = append(rel.Arcs, er.Arc{Target: t, Occ: dtd.OccOnce})
+			}
+		}
+		if err := m.AddRelationship(rel); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func attrOrigin(att dtd.AttDef) er.AttrOrigin {
+	if att.Type == dtd.AttPCData {
+		return er.Distilled
+	}
+	return er.FromXMLAttr
+}

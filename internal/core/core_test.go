@@ -1,0 +1,559 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"xmlrdb/internal/dtd"
+	"xmlrdb/internal/er"
+	"xmlrdb/internal/paper"
+)
+
+func mapPaper(t *testing.T) *Result {
+	t.Helper()
+	d, err := dtd.Parse(paper.Example1DTD)
+	if err != nil {
+		t.Fatalf("parse paper DTD: %v", err)
+	}
+	res, err := Map(d)
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	return res
+}
+
+// TestExample2Golden reproduces the paper's Example 2 byte for byte.
+func TestExample2Golden(t *testing.T) {
+	res := mapPaper(t)
+	got := res.Converted.String()
+	if got != paper.Example2Converted {
+		t.Errorf("converted DTD differs from Example 2.\n--- got ---\n%s--- want ---\n%s", got, paper.Example2Converted)
+	}
+}
+
+// TestFigure2Entities reproduces the entity and relationship inventory
+// of the paper's Figure 2.
+func TestFigure2Entities(t *testing.T) {
+	res := mapPaper(t)
+	m := res.Model
+
+	var entities []string
+	for _, e := range m.Entities {
+		entities = append(entities, e.Name)
+	}
+	if got, want := strings.Join(entities, " "), strings.Join(paper.Figure2Entities, " "); got != want {
+		t.Errorf("entities = %s\nwant %s", got, want)
+	}
+
+	var rels []string
+	for _, r := range m.Relationships {
+		rels = append(rels, r.Name)
+	}
+	sort.Strings(rels)
+	want := append([]string(nil), paper.Figure2Relationships...)
+	sort.Strings(want)
+	if got := strings.Join(rels, " "); got != strings.Join(want, " ") {
+		t.Errorf("relationships = %s\nwant %s", got, strings.Join(want, " "))
+	}
+
+	// Figure 2 details.
+	book := m.Entity("book")
+	if a, ok := book.Attribute("booktitle"); !ok || a.Origin != er.Distilled || !a.Required {
+		t.Errorf("book.booktitle = %+v", a)
+	}
+	author := m.Entity("author")
+	if a, ok := author.KeyAttribute(); !ok || a.Name != "id" {
+		t.Errorf("author key = %+v, %v", a, ok)
+	}
+	name := m.Entity("name")
+	if a, ok := name.Attribute("firstname"); !ok || a.Required {
+		t.Errorf("name.firstname should be optional, got %+v", a)
+	}
+	if a, ok := name.Attribute("lastname"); !ok || !a.Required {
+		t.Errorf("name.lastname should be required, got %+v", a)
+	}
+	ca := m.Entity("contactauthor")
+	if !ca.Existence {
+		t.Error("contactauthor should be an existence entity")
+	}
+	aff := m.Entity("affiliation")
+	if !aff.AnyContent {
+		t.Error("affiliation should be AnyContent")
+	}
+
+	ng1 := m.Relationship("NG1")
+	if ng1 == nil || ng1.Kind != er.RelNestedGroup || !ng1.Choice || ng1.Parent != "book" {
+		t.Fatalf("NG1 = %+v", ng1)
+	}
+	if got := strings.Join(ng1.Targets(), ","); got != "author,editor" {
+		t.Errorf("NG1 targets = %s", got)
+	}
+	if ng1.Arcs[0].Occ != dtd.OccZeroPlus {
+		t.Errorf("NG1 author occurrence = %v, want *", ng1.Arcs[0].Occ)
+	}
+
+	ng2 := m.Relationship("NG2")
+	if ng2.Choice {
+		t.Error("NG2 should be a sequence group")
+	}
+	if ng2.GroupOcc != dtd.OccOnePlus {
+		t.Errorf("NG2 group occurrence = %v, want +", ng2.GroupOcc)
+	}
+	if got := strings.Join(ng2.Targets(), ","); got != "author,affiliation" {
+		t.Errorf("NG2 targets = %s", got)
+	}
+
+	ng3 := m.Relationship("NG3")
+	if !ng3.Choice || ng3.GroupOcc != dtd.OccZeroPlus {
+		t.Errorf("NG3 = choice %v occ %v, want choice *", ng3.Choice, ng3.GroupOcc)
+	}
+
+	ref := m.Relationship("authorid")
+	if ref == nil || ref.Kind != er.RelReference || !ref.Choice {
+		t.Fatalf("authorid = %+v", ref)
+	}
+	if ref.Parent != "contactauthor" || len(ref.Arcs) != 1 || ref.Arcs[0].Target != "author" {
+		t.Errorf("authorid reference shape = %+v", ref)
+	}
+	if ref.Multiple {
+		t.Error("IDREF (not IDREFS) should not be Multiple")
+	}
+
+	nname := m.Relationship("Nname")
+	if nname.Kind != er.RelNested || nname.Parent != "author" || nname.Arcs[0].Target != "name" {
+		t.Errorf("Nname = %+v", nname)
+	}
+}
+
+func TestStep1DefineGroupElements(t *testing.T) {
+	d := dtd.MustParse(paper.Example1DTD)
+	logical, err := d.Logical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped, groups, err := DefineGroupElements(logical, "G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups, want 3: %+v", len(groups), groups)
+	}
+	wantGroups := []struct {
+		name, parent, particle string
+		occ                    dtd.Occurrence
+	}{
+		{"G1", "book", "(author* | editor)", dtd.OccOnce},
+		{"G2", "article", "(author, affiliation?)", dtd.OccOnePlus},
+		{"G3", "editor", "(book | monograph)", dtd.OccZeroPlus},
+	}
+	for i, w := range wantGroups {
+		g := groups[i]
+		if g.Name != w.name || g.Parent != w.parent || g.Particle.String() != w.particle || g.Occ != w.occ {
+			t.Errorf("group %d = {%s %s %s %v}, want {%s %s %s %v}",
+				i, g.Name, g.Parent, g.Particle.String(), g.Occ,
+				w.name, w.parent, w.particle, w.occ)
+		}
+	}
+	if got := grouped.Element("book").Content.String(); got != "(booktitle, G1)" {
+		t.Errorf("book after step 1 = %q", got)
+	}
+	if got := grouped.Element("article").Content.String(); got != "(title, G2+, contactauthor?)" {
+		t.Errorf("article after step 1 = %q", got)
+	}
+	if got := grouped.Element("editor").Content.String(); got != "(G3*)" {
+		t.Errorf("editor after step 1 = %q", got)
+	}
+}
+
+func TestStep1Fixpoint(t *testing.T) {
+	// Deeply nested groups require several passes.
+	d := dtd.MustParse(`<!ELEMENT x (a, (b, (c | (d, e))))> <!ELEMENT a EMPTY><!ELEMENT b EMPTY><!ELEMENT c EMPTY><!ELEMENT d EMPTY><!ELEMENT e EMPTY>`)
+	grouped, groups, err := DefineGroupElements(d, "G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3", len(groups))
+	}
+	// No element may still contain a group.
+	for _, name := range grouped.ElementOrder {
+		decl := grouped.Elements[name]
+		if decl.Content.Kind != dtd.ContentChildren {
+			continue
+		}
+		for _, ch := range decl.Content.Particle.Children {
+			if ch.IsGroup() {
+				t.Errorf("element %q still contains group %s", name, ch)
+			}
+		}
+	}
+}
+
+func TestStep1ChoiceRootExtracted(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT x (a | b)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>`)
+	grouped, groups, err := DefineGroupElements(d, "G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(groups))
+	}
+	if got := grouped.Element("x").Content.String(); got != "(G1)" {
+		t.Errorf("x = %q", got)
+	}
+	if got := groups[0].Particle.String(); got != "(a | b)" {
+		t.Errorf("G1 = %q", got)
+	}
+}
+
+func TestStep1RepeatingRootExtracted(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT x (a, b)+><!ELEMENT a EMPTY><!ELEMENT b EMPTY>`)
+	grouped, groups, err := DefineGroupElements(d, "G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || groups[0].Occ != dtd.OccOnePlus {
+		t.Fatalf("groups = %+v", groups)
+	}
+	// The reference keeps the group's occurrence (as article keeps G2+).
+	if got := grouped.Element("x").Content.String(); got != "(G1+)" {
+		t.Errorf("x = %q", got)
+	}
+}
+
+func TestStep1PrefixCollision(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT G1 EMPTY><!ELEMENT x (a, (b | c))><!ELEMENT a EMPTY><!ELEMENT b EMPTY><!ELEMENT c EMPTY>`)
+	if _, _, err := DefineGroupElements(d, "G"); err == nil {
+		t.Fatal("want collision error")
+	}
+	if _, _, err := DefineGroupElements(d, "Grp"); err != nil {
+		t.Fatalf("alternate prefix should work: %v", err)
+	}
+}
+
+func TestStep2Distill(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT r (a, b?, c*, d)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT c (#PCDATA)>
+<!ELEMENT d (#PCDATA)>
+<!ATTLIST d k CDATA #IMPLIED>
+`)
+	out, entries, err := DistillAttributes(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a and b distilled; c repeats; d has its own attributes.
+	if len(entries) != 2 {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if entries[0].Attr != "a" || entries[0].Default != dtd.DefRequired || entries[0].Pos != 0 {
+		t.Errorf("entry a = %+v", entries[0])
+	}
+	if entries[1].Attr != "b" || entries[1].Default != dtd.DefImplied || entries[1].Pos != 1 {
+		t.Errorf("entry b = %+v", entries[1])
+	}
+	if got := out.Element("r").Content.String(); got != "(c*, d)" {
+		t.Errorf("r after distill = %q", got)
+	}
+	if _, ok := out.Att("r", "a"); !ok {
+		t.Error("distilled attribute a missing")
+	}
+	// a and b declarations dropped; c and d retained.
+	if out.Element("a") != nil || out.Element("b") != nil {
+		t.Error("fully distilled elements should be dropped")
+	}
+	if out.Element("c") == nil || out.Element("d") == nil {
+		t.Error("repeating/attributed elements must stay")
+	}
+}
+
+func TestStep2NameClashKeepsElement(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT r (a)>
+<!ELEMENT a (#PCDATA)>
+<!ATTLIST r a CDATA #IMPLIED>
+`)
+	out, entries, err := DistillAttributes(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("should not distill over an existing attribute: %+v", entries)
+	}
+	if got := out.Element("r").Content.String(); got != "(a)" {
+		t.Errorf("r = %q", got)
+	}
+}
+
+func TestSkipDistillOption(t *testing.T) {
+	d := dtd.MustParse(paper.Example1DTD)
+	res, err := MapWith(d, Options{SkipDistill: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// booktitle remains an entity with a NESTED relationship.
+	if res.Model.Entity("booktitle") == nil {
+		t.Error("booktitle should stay an entity with SkipDistill")
+	}
+	if res.Model.Relationship("Nbooktitle") == nil {
+		t.Error("Nbooktitle relationship missing")
+	}
+	if _, ok := res.Model.Entity("book").Attribute("booktitle"); ok {
+		t.Error("book should not gain a booktitle attribute with SkipDistill")
+	}
+	// PCDATA leaves must be flagged as text-bearing.
+	if !res.Model.Entity("booktitle").PCDataText {
+		t.Error("booktitle should be PCDataText")
+	}
+}
+
+func TestMixedContentMapping(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT para (#PCDATA | em | link)*>
+<!ELEMENT em (#PCDATA)>
+<!ELEMENT link EMPTY>
+<!ATTLIST link href CDATA #REQUIRED>
+`)
+	res, err := Map(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	para := res.Model.Entity("para")
+	if para == nil || !para.PCDataText {
+		t.Fatalf("para = %+v", para)
+	}
+	rels := res.Model.RelationshipsOf("para")
+	if len(rels) != 1 || rels[0].Kind != er.RelNestedGroup || !rels[0].Choice {
+		t.Fatalf("para rels = %+v", rels)
+	}
+	if rels[0].GroupOcc != dtd.OccZeroPlus {
+		t.Errorf("mixed group occurrence = %v", rels[0].GroupOcc)
+	}
+	if got := strings.Join(rels[0].Targets(), ","); got != "em,link" {
+		t.Errorf("mixed targets = %s", got)
+	}
+}
+
+func TestIDREFSBecomesMultipleReference(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT doc (item*)>
+<!ELEMENT item EMPTY>
+<!ATTLIST item id ID #REQUIRED see IDREFS #IMPLIED>
+`)
+	res, err := Map(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := res.Model.Relationship("see")
+	if ref == nil || !ref.Multiple {
+		t.Fatalf("see = %+v", ref)
+	}
+}
+
+func TestIDREFWithoutIDTargetsStaysAttribute(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT doc EMPTY>
+<!ATTLIST doc ref IDREF #IMPLIED>
+`)
+	res, err := Map(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Model.Relationships) != 0 {
+		t.Errorf("relationships = %+v", res.Model.Relationships)
+	}
+	if _, ok := res.Model.Entity("doc").Attribute("ref"); !ok {
+		t.Error("dangling IDREF should remain an attribute")
+	}
+}
+
+func TestRecursiveDTD(t *testing.T) {
+	// editor -> book -> editor recursion must terminate and validate.
+	res := mapPaper(t)
+	if err := res.Model.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	parents := res.Model.NestingParentsOf("book")
+	if len(parents) != 1 || parents[0].Name != "NG3" {
+		t.Errorf("book nesting parents = %+v", parents)
+	}
+	authorParents := res.Model.NestingParentsOf("author")
+	if len(authorParents) != 3 { // NG1, NG2, Nauthor
+		t.Errorf("author has %d nesting parents, want 3", len(authorParents))
+	}
+}
+
+func TestNestedNameCollision(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT a (x)>
+<!ELEMENT b (x)>
+<!ELEMENT x (#PCDATA)>
+<!ATTLIST x k CDATA #IMPLIED>
+`)
+	res, err := Map(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, r := range res.Model.Relationships {
+		if names[r.Name] {
+			t.Fatalf("duplicate relationship name %q", r.Name)
+		}
+		names[r.Name] = true
+	}
+	if !names["Nx"] {
+		t.Error("first nesting should be Nx")
+	}
+	if !names["Nb_x"] {
+		t.Errorf("second nesting should be parent-qualified, got %v", names)
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	res := mapPaper(t)
+	md := res.Metadata
+
+	// Schema ordering for book: booktitle (distilled) then NG1 (group).
+	ord := md.OrderOf("book")
+	if len(ord) != 2 {
+		t.Fatalf("book order = %+v", ord)
+	}
+	if ord[0].Item != "booktitle" || ord[0].Kind != ItemDistilled || ord[0].Pos != 0 {
+		t.Errorf("book[0] = %+v", ord[0])
+	}
+	if ord[1].Item != "NG1" || ord[1].Kind != ItemGroup || ord[1].Pos != 1 {
+		t.Errorf("book[1] = %+v", ord[1])
+	}
+
+	// Group content ordering recorded under the relationship name.
+	ng2 := md.OrderOf("NG2")
+	if len(ng2) != 2 || ng2[0].Item != "author" || ng2[1].Item != "affiliation" {
+		t.Errorf("NG2 order = %+v", ng2)
+	}
+
+	// Occurrences: article's NG2 carries +, affiliation inside NG2 is ?.
+	if occ := md.OccurrenceOf("article", "NG2"); occ != dtd.OccOnePlus {
+		t.Errorf("article/NG2 occurrence = %v", occ)
+	}
+	if occ := md.OccurrenceOf("NG2", "affiliation"); occ != dtd.OccOptional {
+		t.Errorf("NG2/affiliation occurrence = %v", occ)
+	}
+	if occ := md.OccurrenceOf("NG1", "author"); occ != dtd.OccZeroPlus {
+		t.Errorf("NG1/author occurrence = %v", occ)
+	}
+	if occ := md.OccurrenceOf("monograph", "author"); occ != dtd.OccOnce {
+		t.Errorf("monograph/author occurrence = %v", occ)
+	}
+
+	// Existence: contactauthor.
+	if len(md.Existence) != 1 || md.Existence[0] != "contactauthor" {
+		t.Errorf("existence = %v", md.Existence)
+	}
+
+	// Distilled entries: booktitle, title(article), title(monograph),
+	// firstname, lastname.
+	if len(md.Distilled) != 5 {
+		t.Errorf("distilled = %+v", md.Distilled)
+	}
+
+	// Content-model text preserved for every original element.
+	if md.ModelText["book"] != "(booktitle, (author* | editor))" {
+		t.Errorf("ModelText[book] = %q", md.ModelText["book"])
+	}
+	if !strings.Contains(md.Summary(), "order entries") {
+		t.Errorf("Summary = %q", md.Summary())
+	}
+}
+
+func TestInventoryAndDOT(t *testing.T) {
+	res := mapPaper(t)
+	inv := res.Model.Inventory()
+	for _, want := range []string{
+		"entity book { booktitle }",
+		"entity author { id* }",
+		"entity name { firstname?, lastname }",
+		"entity contactauthor [existence]",
+		"entity affiliation [any]",
+		"nested_group NG1: book -> (author* | editor)",
+		"nested_group NG2: article -> (author, affiliation?)+",
+		"nested Nname: author -> (name)",
+		"reference authorid: contactauthor -> (author) via @authorid",
+	} {
+		if !strings.Contains(inv, want) {
+			t.Errorf("inventory missing %q:\n%s", want, inv)
+		}
+	}
+	dot := res.Model.DOT()
+	for _, want := range []string{`"book" [shape=box`, `"NG1" [shape=diamond]`, `label="⊕"`, `"book.booktitle"`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+}
+
+func TestDeepChoiceOfSequences(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT x ((a, b) | (c, d))>
+<!ELEMENT a EMPTY><!ELEMENT b EMPTY><!ELEMENT c EMPTY><!ELEMENT d EMPTY>
+`)
+	res, err := Map(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Model.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// x gets one top-level nested group (the choice), whose arcs point at
+	// the two intermediate group entities, each with its own sequence
+	// group relationship.
+	xrels := res.Model.RelationshipsOf("x")
+	if len(xrels) != 1 || !xrels[0].Choice {
+		t.Fatalf("x rels = %+v", xrels)
+	}
+	for _, arc := range xrels[0].Arcs {
+		sub := res.Model.Entity(arc.Target)
+		if sub == nil {
+			t.Fatalf("missing intermediate entity %q", arc.Target)
+		}
+		subRels := res.Model.RelationshipsOf(arc.Target)
+		if len(subRels) != 1 || subRels[0].Choice {
+			t.Errorf("intermediate %q rels = %+v", arc.Target, subRels)
+		}
+	}
+}
+
+func TestEmptyAndAnyOnlyDTD(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT a EMPTY><!ELEMENT b ANY>`)
+	res, err := Map(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Model.Entities) != 2 || len(res.Model.Relationships) != 0 {
+		t.Errorf("model = %d entities, %d rels", len(res.Model.Entities), len(res.Model.Relationships))
+	}
+}
+
+func TestConvertedAccessors(t *testing.T) {
+	res := mapPaper(t)
+	conv := res.Converted
+	if conv.Element("book") == nil || conv.Element("nope") != nil {
+		t.Error("Element accessor")
+	}
+	if got := len(conv.RelsOf("monograph")); got != 2 {
+		t.Errorf("monograph rels = %d", got)
+	}
+	if conv.Element("book").Kind.String() != "()" {
+		t.Errorf("book kind = %s", conv.Element("book").Kind)
+	}
+}
+
+func TestStableAcrossRuns(t *testing.T) {
+	a := mapPaper(t).Converted.String()
+	b := mapPaper(t).Converted.String()
+	if a != b {
+		t.Error("mapping output not deterministic")
+	}
+}

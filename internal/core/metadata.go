@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlrdb/internal/dtd"
+	"xmlrdb/internal/er"
+)
+
+// ItemKind classifies one schema-ordering entry.
+type ItemKind int
+
+// Schema-order item kinds.
+const (
+	// ItemElement is a plain nested subelement.
+	ItemElement ItemKind = iota + 1
+	// ItemGroup is an extracted group (a NESTED_GROUP relationship).
+	ItemGroup
+	// ItemDistilled is a (#PCDATA) subelement distilled into an attribute.
+	ItemDistilled
+)
+
+// String returns a short kind name.
+func (k ItemKind) String() string {
+	switch k {
+	case ItemElement:
+		return "element"
+	case ItemGroup:
+		return "group"
+	case ItemDistilled:
+		return "distilled"
+	default:
+		return fmt.Sprintf("ItemKind(%d)", int(k))
+	}
+}
+
+// SchemaOrderEntry records the schema ordering (§3, "Ordering") of one
+// content item within its parent element type.
+type SchemaOrderEntry struct {
+	// Parent is the containing element type, or the NESTED_GROUP
+	// relationship name for items inside an extracted group.
+	Parent string
+	// Pos is the 0-based position in the parent's content sequence.
+	Pos int
+	// Item is the subelement name, distilled attribute name, or the
+	// NESTED_GROUP relationship name for groups.
+	Item string
+	// Kind classifies the item.
+	Kind ItemKind
+}
+
+// OccurrenceEntry records the occurrence indicator (§3, "Occurrence") of
+// one content item — a property the relational schema cannot express,
+// kept as metadata per §5 of the paper.
+type OccurrenceEntry struct {
+	// Parent is the containing element type or relationship name.
+	Parent string
+	// Item is the subelement or group the indicator applies to.
+	Item string
+	// Occ is the indicator.
+	Occ dtd.Occurrence
+}
+
+// Metadata is the collected §5 metadata: everything about the DTD that
+// the ER/relational schema drops, ready to be stored in relational
+// tables by the meta package.
+type Metadata struct {
+	// DTDName labels the source DTD.
+	DTDName string
+	// ModelText maps each original element type to its content-model
+	// text — the highest-fidelity ordering record.
+	ModelText map[string]string
+	// SchemaOrder lists content positions per parent.
+	SchemaOrder []SchemaOrderEntry
+	// Occurrence lists occurrence indicators per parent and per group.
+	Occurrence []OccurrenceEntry
+	// Distilled lists the step-2 attribute foldings.
+	Distilled []DistillEntry
+	// Existence lists EMPTY (existence-only) element types.
+	Existence []string
+}
+
+// NewMetadata returns an empty metadata set.
+func NewMetadata(name string) *Metadata {
+	return &Metadata{DTDName: name, ModelText: make(map[string]string)}
+}
+
+// OrderOf returns the schema-order entries for one parent, sorted by
+// position.
+func (m *Metadata) OrderOf(parent string) []SchemaOrderEntry {
+	var out []SchemaOrderEntry
+	for _, e := range m.SchemaOrder {
+		if e.Parent == parent {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// OccurrenceOf returns the occurrence indicator recorded for an item
+// within a parent, defaulting to exactly-once.
+func (m *Metadata) OccurrenceOf(parent, item string) dtd.Occurrence {
+	for _, e := range m.Occurrence {
+		if e.Parent == parent && e.Item == item {
+			return e.Occ
+		}
+	}
+	return dtd.OccOnce
+}
+
+// fill populates the metadata from the intermediate mapping results:
+// logical supplies content-model text, grouped supplies consistent
+// positions (step-1 output, before any distilling removals), and conv
+// supplies final relationship names.
+func (m *Metadata) fill(logical, grouped *dtd.DTD, groups []GroupDef, distilled []DistillEntry, conv *Converted) {
+	for _, name := range logical.ElementOrder {
+		m.ModelText[name] = logical.Elements[name].Content.String()
+	}
+
+	groupSet := make(map[string]*GroupDef, len(groups))
+	for i := range groups {
+		groupSet[groups[i].Name] = &groups[i]
+	}
+	relNameByParticle := make(map[*dtd.Particle]string)
+	for _, r := range conv.Rels {
+		if r.Kind == er.RelNestedGroup && r.Particle != nil {
+			relNameByParticle[r.Particle] = r.Name
+		}
+	}
+	distilledAt := make(map[string]map[string]bool)
+	for _, e := range distilled {
+		if distilledAt[e.Parent] == nil {
+			distilledAt[e.Parent] = make(map[string]bool)
+		}
+		distilledAt[e.Parent][e.Attr] = true
+	}
+	m.Distilled = append(m.Distilled, distilled...)
+
+	occSeen := make(map[string]bool)
+	addOcc := func(parent, item string, occ dtd.Occurrence) {
+		if occ == dtd.OccOnce {
+			return
+		}
+		key := parent + "\x00" + item
+		if occSeen[key] {
+			return
+		}
+		occSeen[key] = true
+		m.Occurrence = append(m.Occurrence, OccurrenceEntry{Parent: parent, Item: item, Occ: occ})
+	}
+
+	record := func(parent string, root *dtd.Particle) {
+		for pos, ch := range root.Children {
+			if ch.Kind != dtd.PKName {
+				continue
+			}
+			entry := SchemaOrderEntry{Parent: parent, Pos: pos, Item: ch.Name, Kind: ItemElement}
+			if g, isGroup := groupSet[ch.Name]; isGroup {
+				entry.Kind = ItemGroup
+				if n, ok := relNameByParticle[g.Particle]; ok {
+					entry.Item = n
+				}
+			} else if distilledAt[parent] != nil && distilledAt[parent][ch.Name] {
+				entry.Kind = ItemDistilled
+			}
+			m.SchemaOrder = append(m.SchemaOrder, entry)
+			addOcc(parent, entry.Item, ch.Occ)
+		}
+	}
+
+	for _, name := range grouped.ElementOrder {
+		decl := grouped.Elements[name]
+		if decl.Content.Kind == dtd.ContentEmpty {
+			m.Existence = append(m.Existence, name)
+		}
+		if decl.Content.Kind != dtd.ContentChildren || decl.Content.Particle == nil {
+			continue
+		}
+		parentLabel := name
+		if g, isGroup := groupSet[name]; isGroup {
+			if n, ok := relNameByParticle[g.Particle]; ok {
+				parentLabel = n
+			}
+		}
+		record(parentLabel, decl.Content.Particle)
+	}
+
+	// Mixed-content relationships are not visible in the grouped DTD's
+	// particles; record their occurrence from the converted form.
+	for _, r := range conv.Rels {
+		if r.Kind == er.RelNestedGroup {
+			addOcc(r.Parent, r.Name, r.GroupOcc)
+		}
+	}
+}
+
+// Summary renders the metadata compactly for reports.
+func (m *Metadata) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "metadata for %s: %d order entries, %d occurrence entries, %d distilled, %d existence\n",
+		m.DTDName, len(m.SchemaOrder), len(m.Occurrence), len(m.Distilled), len(m.Existence))
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"strings"
+
+	"xmlrdb/internal/dtd"
+	"xmlrdb/internal/er"
+)
+
+// String renders the converted DTD in the paper's Example 2 notation:
+// each element declaration followed by its attribute list and its
+// relationship declarations (NESTED_GROUP, NESTED, REFERENCE).
+func (c *Converted) String() string {
+	var b strings.Builder
+	for _, ce := range c.Elements {
+		b.WriteString("<!ELEMENT ")
+		b.WriteString(ce.Name)
+		b.WriteByte(' ')
+		b.WriteString(ce.Kind.String())
+		b.WriteString(">\n")
+		if len(ce.Atts) > 0 {
+			b.WriteString("<!ATTLIST ")
+			b.WriteString(ce.Name)
+			for _, a := range ce.Atts {
+				b.WriteByte(' ')
+				writeAttDef(&b, a)
+			}
+			b.WriteString(">\n")
+		}
+		for _, r := range c.RelsOf(ce.Name) {
+			writeRel(&b, r)
+		}
+	}
+	return b.String()
+}
+
+func writeAttDef(b *strings.Builder, a dtd.AttDef) {
+	b.WriteString(a.Name)
+	b.WriteByte(' ')
+	switch a.Type {
+	case dtd.AttPCData:
+		b.WriteString("(#PCDATA)")
+	case dtd.AttEnum:
+		b.WriteString("(" + strings.Join(a.Enum, " | ") + ")")
+	default:
+		b.WriteString(a.Type.String())
+	}
+	b.WriteByte(' ')
+	switch a.Default {
+	case dtd.DefRequired:
+		b.WriteString("#REQUIRED")
+	case dtd.DefImplied:
+		b.WriteString("#IMPLIED")
+	case dtd.DefFixed:
+		b.WriteString(`#FIXED "` + a.Value + `"`)
+	case dtd.DefValue:
+		b.WriteString(`"` + a.Value + `"`)
+	}
+}
+
+func writeRel(b *strings.Builder, r *Rel) {
+	switch r.Kind {
+	case er.RelNestedGroup:
+		b.WriteString("<!NESTED_GROUP ")
+		b.WriteString(r.Name)
+		b.WriteByte(' ')
+		b.WriteString(r.Parent)
+		b.WriteByte(' ')
+		b.WriteString(r.Particle.String())
+		b.WriteString(">\n")
+	case er.RelNested:
+		b.WriteString("<!NESTED ")
+		b.WriteString(r.Name)
+		b.WriteByte(' ')
+		b.WriteString(r.Parent)
+		b.WriteByte(' ')
+		b.WriteString(r.Child)
+		b.WriteString(">\n")
+	case er.RelReference:
+		b.WriteString("<!REFERENCE ")
+		b.WriteString(r.Name)
+		b.WriteByte(' ')
+		b.WriteString(r.Parent)
+		b.WriteString(" (")
+		b.WriteString(strings.Join(r.Targets, " | "))
+		b.WriteString(")>\n")
+	}
+}

@@ -1,0 +1,699 @@
+// Package dtd implements parsing, modeling, and serialization of XML
+// Document Type Definitions (DTDs) as defined by the XML 1.0
+// recommendation.
+//
+// The Go standard library's encoding/xml package tokenizes DOCTYPE
+// declarations as opaque directives and provides no DTD model; this
+// package supplies the missing substrate. It parses the four declaration
+// kinds (ELEMENT, ATTLIST, ENTITY, NOTATION), expands parameter entities
+// during scanning, and can normalize a parsed DTD into the "logical DTD"
+// form used by the Lee–Mitchell–Zhang mapping algorithm: entity and
+// notation declarations substituted away, leaving only element type and
+// attribute-list declarations.
+package dtd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Occurrence is the repetition indicator attached to a content particle.
+type Occurrence int
+
+// Occurrence indicators from the XML 1.0 content model grammar.
+const (
+	// OccOnce means the particle appears exactly once (no indicator).
+	OccOnce Occurrence = iota + 1
+	// OccOptional is the "?" indicator: zero or one occurrence.
+	OccOptional
+	// OccZeroPlus is the "*" indicator: zero or more occurrences.
+	OccZeroPlus
+	// OccOnePlus is the "+" indicator: one or more occurrences.
+	OccOnePlus
+)
+
+// String returns the XML syntax for the occurrence indicator ("", "?",
+// "*", or "+").
+func (o Occurrence) String() string {
+	switch o {
+	case OccOptional:
+		return "?"
+	case OccZeroPlus:
+		return "*"
+	case OccOnePlus:
+		return "+"
+	default:
+		return ""
+	}
+}
+
+// Optional reports whether the particle may legally be absent.
+func (o Occurrence) Optional() bool { return o == OccOptional || o == OccZeroPlus }
+
+// Repeatable reports whether the particle may legally occur more than once.
+func (o Occurrence) Repeatable() bool { return o == OccZeroPlus || o == OccOnePlus }
+
+// ParticleKind discriminates the variants of a content particle.
+type ParticleKind int
+
+// Content particle kinds.
+const (
+	// PKName is a reference to an element type by name.
+	PKName ParticleKind = iota + 1
+	// PKSequence is a parenthesized sequence group: (a, b, c).
+	PKSequence
+	// PKChoice is a parenthesized choice group: (a | b | c).
+	PKChoice
+)
+
+// String returns a short human-readable kind name.
+func (k ParticleKind) String() string {
+	switch k {
+	case PKName:
+		return "name"
+	case PKSequence:
+		return "sequence"
+	case PKChoice:
+		return "choice"
+	default:
+		return fmt.Sprintf("ParticleKind(%d)", int(k))
+	}
+}
+
+// Particle is one node of a content model: either an element name
+// reference or a sequence/choice group of child particles, each carrying
+// an occurrence indicator.
+type Particle struct {
+	// Kind discriminates name references from groups.
+	Kind ParticleKind
+	// Name is the referenced element type name when Kind == PKName.
+	Name string
+	// Children holds the group members when Kind is PKSequence or PKChoice.
+	Children []*Particle
+	// Occ is the occurrence indicator attached to this particle.
+	Occ Occurrence
+}
+
+// Clone returns a deep copy of the particle tree.
+func (p *Particle) Clone() *Particle {
+	if p == nil {
+		return nil
+	}
+	c := &Particle{Kind: p.Kind, Name: p.Name, Occ: p.Occ}
+	if len(p.Children) > 0 {
+		c.Children = make([]*Particle, len(p.Children))
+		for i, ch := range p.Children {
+			c.Children[i] = ch.Clone()
+		}
+	}
+	return c
+}
+
+// IsGroup reports whether the particle is a sequence or choice group.
+func (p *Particle) IsGroup() bool { return p.Kind == PKSequence || p.Kind == PKChoice }
+
+// String renders the particle in DTD content-model syntax.
+func (p *Particle) String() string {
+	var b strings.Builder
+	p.write(&b)
+	return b.String()
+}
+
+func (p *Particle) write(b *strings.Builder) {
+	switch p.Kind {
+	case PKName:
+		b.WriteString(p.Name)
+	case PKSequence, PKChoice:
+		sep := ", "
+		if p.Kind == PKChoice {
+			sep = " | "
+		}
+		b.WriteByte('(')
+		for i, ch := range p.Children {
+			if i > 0 {
+				b.WriteString(sep)
+			}
+			ch.write(b)
+		}
+		b.WriteByte(')')
+	}
+	b.WriteString(p.Occ.String())
+}
+
+// Walk visits p and every descendant particle in depth-first order. The
+// visit function returning false prunes descent into that particle's
+// children.
+func (p *Particle) Walk(visit func(*Particle) bool) {
+	if p == nil || !visit(p) {
+		return
+	}
+	for _, ch := range p.Children {
+		ch.Walk(visit)
+	}
+}
+
+// ContentKind discriminates the allowed content categories of an element
+// type declaration.
+type ContentKind int
+
+// Content categories from the XML 1.0 element declaration grammar.
+const (
+	// ContentEmpty is the EMPTY keyword: the element has no content.
+	ContentEmpty ContentKind = iota + 1
+	// ContentAny is the ANY keyword: arbitrary content.
+	ContentAny
+	// ContentMixed is mixed content: (#PCDATA | a | b)* or bare (#PCDATA).
+	ContentMixed
+	// ContentChildren is element content: a particle tree of child elements.
+	ContentChildren
+)
+
+// String returns a short human-readable kind name.
+func (k ContentKind) String() string {
+	switch k {
+	case ContentEmpty:
+		return "EMPTY"
+	case ContentAny:
+		return "ANY"
+	case ContentMixed:
+		return "mixed"
+	case ContentChildren:
+		return "children"
+	default:
+		return fmt.Sprintf("ContentKind(%d)", int(k))
+	}
+}
+
+// ContentModel describes the allowed content of an element type.
+type ContentModel struct {
+	// Kind selects the content category.
+	Kind ContentKind
+	// MixedNames lists the element names admitted alongside #PCDATA when
+	// Kind == ContentMixed. A pure text element, declared (#PCDATA), has
+	// an empty MixedNames.
+	MixedNames []string
+	// Particle is the root content particle when Kind == ContentChildren.
+	Particle *Particle
+}
+
+// Clone returns a deep copy of the content model.
+func (m ContentModel) Clone() ContentModel {
+	c := ContentModel{Kind: m.Kind, Particle: m.Particle.Clone()}
+	if len(m.MixedNames) > 0 {
+		c.MixedNames = append([]string(nil), m.MixedNames...)
+	}
+	return c
+}
+
+// IsPCDataOnly reports whether the model is exactly (#PCDATA): text with
+// no admitted child elements. Such leaves are the candidates for the
+// mapping algorithm's attribute-distilling step.
+func (m ContentModel) IsPCDataOnly() bool {
+	return m.Kind == ContentMixed && len(m.MixedNames) == 0
+}
+
+// String renders the content model in DTD syntax.
+func (m ContentModel) String() string {
+	switch m.Kind {
+	case ContentEmpty:
+		return "EMPTY"
+	case ContentAny:
+		return "ANY"
+	case ContentMixed:
+		if len(m.MixedNames) == 0 {
+			return "(#PCDATA)"
+		}
+		return "(#PCDATA | " + strings.Join(m.MixedNames, " | ") + ")*"
+	case ContentChildren:
+		if m.Particle == nil {
+			return "()"
+		}
+		return m.Particle.String()
+	default:
+		return "?"
+	}
+}
+
+// ElementDecl is an <!ELEMENT ...> declaration.
+type ElementDecl struct {
+	// Name is the declared element type name.
+	Name string
+	// Content is the allowed content model.
+	Content ContentModel
+}
+
+// Clone returns a deep copy of the declaration.
+func (d *ElementDecl) Clone() *ElementDecl {
+	return &ElementDecl{Name: d.Name, Content: d.Content.Clone()}
+}
+
+// AttType is the declared type of an attribute.
+type AttType int
+
+// Attribute types from the XML 1.0 attribute-list declaration grammar.
+const (
+	// AttCDATA is unconstrained character data.
+	AttCDATA AttType = iota + 1
+	// AttID is a document-unique identifier.
+	AttID
+	// AttIDREF references one element carrying an ID attribute.
+	AttIDREF
+	// AttIDREFS references one or more elements carrying ID attributes.
+	AttIDREFS
+	// AttEntity names one unparsed entity.
+	AttEntity
+	// AttEntities names one or more unparsed entities.
+	AttEntities
+	// AttNMToken is a single name token.
+	AttNMToken
+	// AttNMTokens is a list of name tokens.
+	AttNMTokens
+	// AttNotation restricts the value to declared notation names.
+	AttNotation
+	// AttEnum restricts the value to an enumerated set of name tokens.
+	AttEnum
+	// AttPCData is the pseudo-type used by the mapping algorithm for
+	// attributes distilled from (#PCDATA) subelements. It is not legal
+	// XML but appears in the paper's converted-DTD notation.
+	AttPCData
+)
+
+// String returns the DTD keyword for the attribute type.
+func (t AttType) String() string {
+	switch t {
+	case AttCDATA:
+		return "CDATA"
+	case AttID:
+		return "ID"
+	case AttIDREF:
+		return "IDREF"
+	case AttIDREFS:
+		return "IDREFS"
+	case AttEntity:
+		return "ENTITY"
+	case AttEntities:
+		return "ENTITIES"
+	case AttNMToken:
+		return "NMTOKEN"
+	case AttNMTokens:
+		return "NMTOKENS"
+	case AttNotation:
+		return "NOTATION"
+	case AttEnum:
+		return "enumeration"
+	case AttPCData:
+		return "(#PCDATA)"
+	default:
+		return fmt.Sprintf("AttType(%d)", int(t))
+	}
+}
+
+// AttDefault is the default-value category of an attribute declaration.
+type AttDefault int
+
+// Attribute default categories.
+const (
+	// DefRequired is #REQUIRED: the attribute must appear.
+	DefRequired AttDefault = iota + 1
+	// DefImplied is #IMPLIED: the attribute may be absent with no default.
+	DefImplied
+	// DefFixed is #FIXED "v": the attribute is constant.
+	DefFixed
+	// DefValue is a plain default value.
+	DefValue
+)
+
+// String returns the DTD syntax for the default category (without any
+// attached literal value).
+func (d AttDefault) String() string {
+	switch d {
+	case DefRequired:
+		return "#REQUIRED"
+	case DefImplied:
+		return "#IMPLIED"
+	case DefFixed:
+		return "#FIXED"
+	case DefValue:
+		return ""
+	default:
+		return fmt.Sprintf("AttDefault(%d)", int(d))
+	}
+}
+
+// AttDef is one attribute definition inside an <!ATTLIST ...> declaration.
+type AttDef struct {
+	// Name is the attribute name.
+	Name string
+	// Type is the declared attribute type.
+	Type AttType
+	// Enum lists the allowed tokens for AttEnum and AttNotation types.
+	Enum []string
+	// Default is the default-value category.
+	Default AttDefault
+	// Value is the literal default for DefFixed and DefValue.
+	Value string
+}
+
+// Clone returns a deep copy of the attribute definition.
+func (a AttDef) Clone() AttDef {
+	c := a
+	if len(a.Enum) > 0 {
+		c.Enum = append([]string(nil), a.Enum...)
+	}
+	return c
+}
+
+// Required reports whether a conforming document must supply the attribute.
+func (a AttDef) Required() bool { return a.Default == DefRequired }
+
+// EntityDecl is an <!ENTITY ...> declaration.
+type EntityDecl struct {
+	// Name is the entity name.
+	Name string
+	// Parameter marks a parameter entity (declared with "%").
+	Parameter bool
+	// Value is the replacement text for internal entities.
+	Value string
+	// External marks entities declared with SYSTEM/PUBLIC identifiers.
+	External bool
+	// PublicID and SystemID locate external entities.
+	PublicID, SystemID string
+	// NDataName names the notation of an unparsed external entity.
+	NDataName string
+}
+
+// NotationDecl is a <!NOTATION ...> declaration.
+type NotationDecl struct {
+	// Name is the notation name.
+	Name string
+	// PublicID and SystemID identify the external notation handler.
+	PublicID, SystemID string
+}
+
+// DTD is a parsed document type definition: the declarations of one
+// external DTD file (optionally merged with an internal subset).
+type DTD struct {
+	// Name is the document type name from <!DOCTYPE name ...>, if the DTD
+	// was read from a DOCTYPE declaration; empty for a bare external file.
+	Name string
+	// Elements maps element type names to their declarations.
+	Elements map[string]*ElementDecl
+	// ElementOrder preserves declaration order of element types.
+	ElementOrder []string
+	// Attlists maps element type names to their merged attribute
+	// definitions, in declaration order.
+	Attlists map[string][]AttDef
+	// Entities maps general entity names to declarations.
+	Entities map[string]*EntityDecl
+	// ParamEntities maps parameter entity names to declarations.
+	ParamEntities map[string]*EntityDecl
+	// Notations maps notation names to declarations.
+	Notations map[string]*NotationDecl
+}
+
+// New returns an empty DTD with all maps initialized.
+func New() *DTD {
+	return &DTD{
+		Elements:      make(map[string]*ElementDecl),
+		Attlists:      make(map[string][]AttDef),
+		Entities:      make(map[string]*EntityDecl),
+		ParamEntities: make(map[string]*EntityDecl),
+		Notations:     make(map[string]*NotationDecl),
+	}
+}
+
+// Clone returns a deep copy of the DTD.
+func (d *DTD) Clone() *DTD {
+	c := New()
+	c.Name = d.Name
+	c.ElementOrder = append([]string(nil), d.ElementOrder...)
+	for n, e := range d.Elements {
+		c.Elements[n] = e.Clone()
+	}
+	for n, atts := range d.Attlists {
+		cp := make([]AttDef, len(atts))
+		for i, a := range atts {
+			cp[i] = a.Clone()
+		}
+		c.Attlists[n] = cp
+	}
+	for n, e := range d.Entities {
+		cp := *e
+		c.Entities[n] = &cp
+	}
+	for n, e := range d.ParamEntities {
+		cp := *e
+		c.ParamEntities[n] = &cp
+	}
+	for n, nt := range d.Notations {
+		cp := *nt
+		c.Notations[n] = &cp
+	}
+	return c
+}
+
+// AddElement records an element declaration, preserving first-declaration
+// order. Redeclaring an element type is an error per XML 1.0 (VC: Unique
+// Element Type Declaration).
+func (d *DTD) AddElement(decl *ElementDecl) error {
+	if _, dup := d.Elements[decl.Name]; dup {
+		return fmt.Errorf("dtd: element type %q declared more than once", decl.Name)
+	}
+	d.Elements[decl.Name] = decl
+	d.ElementOrder = append(d.ElementOrder, decl.Name)
+	return nil
+}
+
+// AddAttDefs merges attribute definitions for an element. Per XML 1.0,
+// later definitions of an already-defined attribute name are ignored.
+func (d *DTD) AddAttDefs(element string, defs []AttDef) {
+	existing := d.Attlists[element]
+	seen := make(map[string]bool, len(existing))
+	for _, a := range existing {
+		seen[a.Name] = true
+	}
+	for _, def := range defs {
+		if seen[def.Name] {
+			continue
+		}
+		existing = append(existing, def)
+		seen[def.Name] = true
+	}
+	d.Attlists[element] = existing
+}
+
+// Element returns the declaration for the named element type, or nil.
+func (d *DTD) Element(name string) *ElementDecl { return d.Elements[name] }
+
+// Atts returns the attribute definitions for the named element type.
+func (d *DTD) Atts(element string) []AttDef { return d.Attlists[element] }
+
+// Att returns the definition of one attribute of an element, or false.
+func (d *DTD) Att(element, att string) (AttDef, bool) {
+	for _, a := range d.Attlists[element] {
+		if a.Name == att {
+			return a, true
+		}
+	}
+	return AttDef{}, false
+}
+
+// IDElements returns the element type names that declare an attribute of
+// type ID, sorted by declaration order. Per the paper's reference-mapping
+// rule, these are the legal targets of every IDREF attribute.
+func (d *DTD) IDElements() []string {
+	var out []string
+	for _, name := range d.ElementOrder {
+		for _, a := range d.Attlists[name] {
+			if a.Type == AttID {
+				out = append(out, name)
+				break
+			}
+		}
+	}
+	// Attlists may name elements that were never declared via <!ELEMENT>;
+	// include them too, deterministically after declared ones.
+	var extra []string
+	for el := range d.Attlists {
+		if _, ok := d.Elements[el]; ok {
+			continue
+		}
+		for _, a := range d.Attlists[el] {
+			if a.Type == AttID {
+				extra = append(extra, el)
+				break
+			}
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}
+
+// IDAttr returns the name of the ID-typed attribute of an element type,
+// or false if the element declares none.
+func (d *DTD) IDAttr(element string) (string, bool) {
+	for _, a := range d.Attlists[element] {
+		if a.Type == AttID {
+			return a.Name, true
+		}
+	}
+	return "", false
+}
+
+// ReferencedNames returns every element name referenced from content
+// models (including mixed-content name lists), in first-reference order.
+func (d *DTD) ReferencedNames() []string {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for _, name := range d.ElementOrder {
+		decl := d.Elements[name]
+		switch decl.Content.Kind {
+		case ContentMixed:
+			for _, n := range decl.Content.MixedNames {
+				add(n)
+			}
+		case ContentChildren:
+			decl.Content.Particle.Walk(func(p *Particle) bool {
+				if p.Kind == PKName {
+					add(p.Name)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// UndeclaredReferences returns element names referenced in content models
+// but never declared. XML 1.0 permits these only for documents that never
+// instantiate them; the mapping layer treats them as opaque entities.
+func (d *DTD) UndeclaredReferences() []string {
+	var out []string
+	for _, n := range d.ReferencedNames() {
+		if _, ok := d.Elements[n]; !ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Roots returns the element types that are never referenced as a child in
+// any content model — the candidate document roots — in declaration order.
+func (d *DTD) Roots() []string {
+	referenced := make(map[string]bool)
+	for _, n := range d.ReferencedNames() {
+		referenced[n] = true
+	}
+	var roots []string
+	for _, name := range d.ElementOrder {
+		if !referenced[name] {
+			roots = append(roots, name)
+		}
+	}
+	return roots
+}
+
+// Stats summarizes the size of a DTD for reporting.
+type Stats struct {
+	// ElementTypes is the number of declared element types.
+	ElementTypes int
+	// Attributes is the total number of declared attributes.
+	Attributes int
+	// Groups is the number of parenthesized groups in content models,
+	// excluding each model's outermost group.
+	Groups int
+	// PCDataLeaves is the number of (#PCDATA)-only element types.
+	PCDataLeaves int
+	// IDAttrs and IDREFAttrs count identifier and reference attributes.
+	IDAttrs, IDREFAttrs int
+	// MaxDepth is the length of the longest acyclic nesting chain.
+	MaxDepth int
+}
+
+// ComputeStats returns size statistics for the DTD.
+func (d *DTD) ComputeStats() Stats {
+	var s Stats
+	s.ElementTypes = len(d.Elements)
+	for _, atts := range d.Attlists {
+		s.Attributes += len(atts)
+		for _, a := range atts {
+			switch a.Type {
+			case AttID:
+				s.IDAttrs++
+			case AttIDREF, AttIDREFS:
+				s.IDREFAttrs++
+			}
+		}
+	}
+	for _, name := range d.ElementOrder {
+		decl := d.Elements[name]
+		if decl.Content.IsPCDataOnly() {
+			s.PCDataLeaves++
+		}
+		if decl.Content.Kind == ContentChildren {
+			decl.Content.Particle.Walk(func(p *Particle) bool {
+				if p.IsGroup() && p != decl.Content.Particle {
+					s.Groups++
+				}
+				return true
+			})
+		}
+	}
+	s.MaxDepth = d.maxDepth()
+	return s
+}
+
+func (d *DTD) maxDepth() int {
+	memo := make(map[string]int)
+	onPath := make(map[string]bool)
+	var depth func(string) int
+	depth = func(name string) int {
+		if v, ok := memo[name]; ok {
+			return v
+		}
+		if onPath[name] {
+			return 0 // cycle: cut it off
+		}
+		decl := d.Elements[name]
+		if decl == nil {
+			return 1
+		}
+		onPath[name] = true
+		best := 0
+		consider := func(child string) {
+			if v := depth(child); v > best {
+				best = v
+			}
+		}
+		switch decl.Content.Kind {
+		case ContentMixed:
+			for _, n := range decl.Content.MixedNames {
+				consider(n)
+			}
+		case ContentChildren:
+			decl.Content.Particle.Walk(func(p *Particle) bool {
+				if p.Kind == PKName {
+					consider(p.Name)
+				}
+				return true
+			})
+		}
+		onPath[name] = false
+		memo[name] = best + 1
+		return best + 1
+	}
+	max := 0
+	for _, name := range d.ElementOrder {
+		if v := depth(name); v > max {
+			max = v
+		}
+	}
+	return max
+}

@@ -1,0 +1,44 @@
+package dtd
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics exercises the DTD parser with structured garbage:
+// errors are fine, panics and hangs are not, and whatever parses must
+// serialize to a reparsable fixpoint.
+func TestParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	pieces := []string{
+		"<!ELEMENT", "<!ATTLIST", "<!ENTITY", "<!NOTATION", ">", "(", ")",
+		"#PCDATA", "EMPTY", "ANY", "a", "b", "|", ",", "*", "+", "?", "%",
+		";", `"v"`, "'v'", "CDATA", "ID", "IDREF", "#REQUIRED", "#IMPLIED",
+		"#FIXED", " ", "\n", "<![INCLUDE[", "<![IGNORE[", "]]>", "<!--", "-->",
+		"SYSTEM", "PUBLIC", "NDATA",
+	}
+	for i := 0; i < 5000; i++ {
+		var b strings.Builder
+		n := 1 + rng.Intn(16)
+		for j := 0; j < n; j++ {
+			b.WriteString(pieces[rng.Intn(len(pieces))])
+			b.WriteByte(' ')
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			d, err := Parse(src)
+			if err == nil {
+				text := d.String()
+				if _, err2 := Parse(text); err2 != nil {
+					t.Fatalf("serialized form unparsable for %q: %v\n%s", src, err2, text)
+				}
+			}
+		}()
+	}
+}

@@ -1,0 +1,161 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Logical returns the logical DTD of §2 of the paper: a copy containing
+// only element type and attribute-list declarations. Parameter entities
+// were already expanded during parsing; this step expands general entity
+// references remaining in attribute default values, drops entity and
+// notation declarations, and rewrites notation-typed attributes to
+// enumerations (their value space) so that no declaration depends on a
+// notation.
+func (d *DTD) Logical() (*DTD, error) {
+	out := New()
+	out.Name = d.Name
+	out.ElementOrder = append([]string(nil), d.ElementOrder...)
+	for n, e := range d.Elements {
+		out.Elements[n] = e.Clone()
+	}
+	for el, atts := range d.Attlists {
+		cp := make([]AttDef, len(atts))
+		for i, a := range atts {
+			c := a.Clone()
+			if c.Value != "" {
+				v, err := d.ExpandText(c.Value)
+				if err != nil {
+					return nil, fmt.Errorf("attribute %s/@%s default: %w", el, a.Name, err)
+				}
+				c.Value = v
+			}
+			switch c.Type {
+			case AttNotation:
+				c.Type = AttEnum
+			case AttEntity, AttEntities:
+				// Unparsed-entity attributes degrade to plain tokens once
+				// entity declarations are dropped.
+				c.Type = AttNMToken
+				if a.Type == AttEntities {
+					c.Type = AttNMTokens
+				}
+			}
+			cp[i] = c
+		}
+		out.Attlists[el] = cp
+	}
+	return out, nil
+}
+
+// ExpandText substitutes general entity references (&name;) in text using
+// the DTD's internal entity declarations, recursively, with the same
+// depth and size limits as parsing. Character references and predefined
+// entities were already resolved at parse time; any still present are
+// resolved here too so the function is safe on raw document text.
+func (d *DTD) ExpandText(text string) (string, error) {
+	return d.expandText(text, 0, &struct{ n int }{})
+}
+
+func (d *DTD) expandText(text string, depth int, budget *struct{ n int }) (string, error) {
+	if depth > maxExpansionDepth {
+		return "", fmt.Errorf("dtd: general entity expansion exceeds depth %d", maxExpansionDepth)
+	}
+	if !strings.ContainsRune(text, '&') {
+		return text, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(text); {
+		c := text[i]
+		if c != '&' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		semi := strings.IndexByte(text[i:], ';')
+		if semi < 0 {
+			return "", fmt.Errorf("dtd: unterminated entity reference near %q", truncate(text[i:], 20))
+		}
+		ref := text[i+1 : i+semi]
+		i += semi + 1
+		rep, err := d.resolveRef(ref, depth, budget)
+		if err != nil {
+			return "", err
+		}
+		budget.n += len(rep)
+		if budget.n > maxExpansionBytes {
+			return "", fmt.Errorf("dtd: entity expansion exceeds %d bytes", maxExpansionBytes)
+		}
+		b.WriteString(rep)
+	}
+	return b.String(), nil
+}
+
+func (d *DTD) resolveRef(ref string, depth int, budget *struct{ n int }) (string, error) {
+	switch ref {
+	case "lt":
+		return "<", nil
+	case "gt":
+		return ">", nil
+	case "amp":
+		return "&", nil
+	case "apos":
+		return "'", nil
+	case "quot":
+		return `"`, nil
+	}
+	if strings.HasPrefix(ref, "#") {
+		r, err := parseCharRef(ref[1:])
+		if err != nil {
+			return "", err
+		}
+		return string(r), nil
+	}
+	ent := d.Entities[ref]
+	if ent == nil {
+		return "", fmt.Errorf("dtd: undeclared general entity &%s;", ref)
+	}
+	if ent.External {
+		return "", fmt.Errorf("%w: &%s;", ErrExternalEntity, ref)
+	}
+	return d.expandText(ent.Value, depth+1, budget)
+}
+
+// parseCharRef parses the digits of a character reference (after "&#",
+// before ";"), e.g. "x41" or "65".
+func parseCharRef(s string) (rune, error) {
+	base := 10
+	if strings.HasPrefix(s, "x") || strings.HasPrefix(s, "X") {
+		base = 16
+		s = s[1:]
+	}
+	var n int64
+	for _, c := range s {
+		var v int64
+		switch {
+		case c >= '0' && c <= '9':
+			v = int64(c - '0')
+		case base == 16 && c >= 'a' && c <= 'f':
+			v = int64(c-'a') + 10
+		case base == 16 && c >= 'A' && c <= 'F':
+			v = int64(c-'A') + 10
+		default:
+			return 0, fmt.Errorf("dtd: invalid character reference &#%s;", s)
+		}
+		n = n*int64(base) + v
+		if n > 0x10FFFF {
+			return 0, fmt.Errorf("dtd: character reference &#%s; out of range", s)
+		}
+	}
+	if len(s) == 0 {
+		return 0, fmt.Errorf("dtd: empty character reference")
+	}
+	return rune(n), nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,1234 @@
+package dtd
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrExternalEntity is returned when a DTD references an external
+// (parameter) entity and no Resolver was supplied to fetch it.
+var ErrExternalEntity = errors.New("dtd: external entity referenced but no resolver configured")
+
+// maxExpansionDepth bounds nested entity expansion to defeat recursive
+// ("billion laughs") entity definitions.
+const maxExpansionDepth = 64
+
+// maxExpansionBytes bounds the total amount of replacement text a single
+// parse may inject via entity expansion.
+const maxExpansionBytes = 16 << 20
+
+// Resolver fetches the replacement text of an external entity given its
+// public and system identifiers. Implementations typically read a local
+// file; this module never performs network access itself.
+type Resolver func(publicID, systemID string) (string, error)
+
+// ParseOptions configures DTD parsing.
+type ParseOptions struct {
+	// Resolver fetches external parameter entities. When nil, referencing
+	// an external entity fails with ErrExternalEntity unless
+	// SkipExternal is set.
+	Resolver Resolver
+	// SkipExternal makes references to unresolvable external parameter
+	// entities expand to nothing instead of failing the parse.
+	SkipExternal bool
+}
+
+// ParseError describes a DTD syntax error with its source position.
+type ParseError struct {
+	// Line and Col locate the error (1-based).
+	Line, Col int
+	// Msg describes the problem.
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("dtd: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parse parses the text of a DTD (an external DTD subset: a sequence of
+// markup declarations) into a DTD model using default options.
+func Parse(src string) (*DTD, error) { return ParseWith(src, ParseOptions{}) }
+
+// MustParse is Parse but panics on error. It is intended for tests and
+// for package-level example fixtures only.
+func MustParse(src string) *DTD {
+	d, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// ParseWith parses DTD text with explicit options.
+func ParseWith(src string, opts ParseOptions) (*DTD, error) {
+	p := &parser{d: New(), opts: opts}
+	p.push(src, "<dtd>")
+	if err := p.parseSubset(); err != nil {
+		return nil, err
+	}
+	return p.d, nil
+}
+
+// input is one frame of the scanner's input stack; entity expansion
+// pushes replacement text as a new frame.
+type input struct {
+	src       string
+	pos       int
+	line, col int
+	name      string // entity or source name, for error messages
+}
+
+type parser struct {
+	stack    []*input
+	d        *DTD
+	opts     ParseOptions
+	expanded int // total bytes injected by entity expansion
+	noPE     bool
+}
+
+func (p *parser) push(src, name string) {
+	p.stack = append(p.stack, &input{src: src, line: 1, col: 1, name: name})
+}
+
+func (p *parser) top() *input {
+	for len(p.stack) > 0 {
+		in := p.stack[len(p.stack)-1]
+		if in.pos < len(in.src) {
+			return in
+		}
+		p.stack = p.stack[:len(p.stack)-1]
+	}
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	line, col := 0, 0
+	if len(p.stack) > 0 {
+		in := p.stack[len(p.stack)-1]
+		line, col = in.line, in.col
+	}
+	return &ParseError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// peek returns the next byte without consuming it, or 0 at EOF. It
+// transparently expands parameter-entity references.
+func (p *parser) peek() (byte, error) {
+	for {
+		in := p.top()
+		if in == nil {
+			return 0, nil
+		}
+		c := in.src[in.pos]
+		if c == '%' && !p.noPE && in.pos+1 < len(in.src) && isNameStart(in.src[in.pos+1]) {
+			if err := p.expandPE(); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		return c, nil
+	}
+}
+
+// next consumes and returns the next byte, or 0 at EOF.
+func (p *parser) next() (byte, error) {
+	c, err := p.peek()
+	if err != nil || c == 0 {
+		return 0, err
+	}
+	in := p.top()
+	in.pos++
+	if c == '\n' {
+		in.line++
+		in.col = 1
+	} else {
+		in.col++
+	}
+	return c, nil
+}
+
+// expandPE consumes a %name; reference at the cursor and pushes its
+// replacement text.
+func (p *parser) expandPE() error {
+	in := p.top()
+	in.pos++ // consume '%'
+	start := in.pos
+	for in.pos < len(in.src) && isNameChar(in.src[in.pos]) {
+		in.pos++
+	}
+	name := in.src[start:in.pos]
+	if in.pos >= len(in.src) || in.src[in.pos] != ';' {
+		return p.errf("malformed parameter entity reference %%%s", name)
+	}
+	in.pos++
+	ent := p.d.ParamEntities[name]
+	if ent == nil {
+		return p.errf("undeclared parameter entity %%%s;", name)
+	}
+	if len(p.stack) >= maxExpansionDepth {
+		return p.errf("entity expansion depth exceeds %d (recursive entity %%%s;?)", maxExpansionDepth, name)
+	}
+	text := ent.Value
+	if ent.External {
+		switch {
+		case p.opts.Resolver != nil:
+			var err error
+			text, err = p.opts.Resolver(ent.PublicID, ent.SystemID)
+			if err != nil {
+				return fmt.Errorf("dtd: resolving %%%s; (%s): %w", name, ent.SystemID, err)
+			}
+		case p.opts.SkipExternal:
+			text = ""
+		default:
+			return fmt.Errorf("%w: %%%s; SYSTEM %q", ErrExternalEntity, name, ent.SystemID)
+		}
+	}
+	// Per XML 1.0 §4.4.8, a parameter entity's replacement text is padded
+	// with one space on each side when recognized within the DTD.
+	text = " " + text + " "
+	p.expanded += len(text)
+	if p.expanded > maxExpansionBytes {
+		return p.errf("entity expansion exceeds %d bytes", maxExpansionBytes)
+	}
+	p.push(text, "%"+name+";")
+	return nil
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c == '-' || c == '.' || (c >= '0' && c <= '9')
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+
+// skipSpace consumes whitespace (and transparently expands PEs, whose
+// padding contributes whitespace). It returns whether any was consumed.
+func (p *parser) skipSpace() (bool, error) {
+	any := false
+	for {
+		c, err := p.peek()
+		if err != nil {
+			return any, err
+		}
+		if c == 0 || !isSpace(c) {
+			return any, nil
+		}
+		if _, err := p.next(); err != nil {
+			return any, err
+		}
+		any = true
+	}
+}
+
+// expect consumes the next byte and verifies it.
+func (p *parser) expect(want byte) error {
+	c, err := p.next()
+	if err != nil {
+		return err
+	}
+	if c != want {
+		if c == 0 {
+			return p.errf("unexpected end of DTD, want %q", string(want))
+		}
+		return p.errf("unexpected %q, want %q", string(c), string(want))
+	}
+	return nil
+}
+
+// name reads a Name token.
+func (p *parser) name() (string, error) {
+	c, err := p.peek()
+	if err != nil {
+		return "", err
+	}
+	if c == 0 || !isNameStart(c) {
+		return "", p.errf("expected a name, found %q", string(c))
+	}
+	var b strings.Builder
+	for {
+		c, err := p.peek()
+		if err != nil {
+			return "", err
+		}
+		if c == 0 || !isNameChar(c) {
+			break
+		}
+		if _, err := p.next(); err != nil {
+			return "", err
+		}
+		b.WriteByte(c)
+	}
+	return b.String(), nil
+}
+
+// keyword reads an uppercase keyword token (letters only).
+func (p *parser) keyword() (string, error) {
+	var b strings.Builder
+	for {
+		c, err := p.peek()
+		if err != nil {
+			return "", err
+		}
+		if c < 'A' || c > 'Z' {
+			break
+		}
+		if _, err := p.next(); err != nil {
+			return "", err
+		}
+		b.WriteByte(c)
+	}
+	if b.Len() == 0 {
+		return "", p.errf("expected a keyword")
+	}
+	return b.String(), nil
+}
+
+// literal reads a quoted literal ("..." or '...'), resolving character
+// references. When forEntity is set, parameter entities inside the
+// literal are expanded (XML 1.0 EntityValue rules); otherwise they are
+// left alone (AttValue rules in the internal subset).
+func (p *parser) literal(forEntity bool) (string, error) {
+	q, err := p.next()
+	if err != nil {
+		return "", err
+	}
+	if q != '"' && q != '\'' {
+		return "", p.errf("expected a quoted literal, found %q", string(q))
+	}
+	savedNoPE := p.noPE
+	p.noPE = !forEntity
+	defer func() { p.noPE = savedNoPE }()
+	var b strings.Builder
+	for {
+		c, err := p.next()
+		if err != nil {
+			return "", err
+		}
+		switch {
+		case c == 0:
+			return "", p.errf("unterminated literal")
+		case c == q:
+			return b.String(), nil
+		case c == '&':
+			s, err := p.charOrEntityRef()
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(s)
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// charOrEntityRef resolves a reference after '&' was consumed. Character
+// references and the five predefined entities are replaced; other general
+// entity references are preserved verbatim for later expansion.
+func (p *parser) charOrEntityRef() (string, error) {
+	c, err := p.peek()
+	if err != nil {
+		return "", err
+	}
+	if c == '#' {
+		if _, err := p.next(); err != nil {
+			return "", err
+		}
+		return p.charRef()
+	}
+	nm, err := p.name()
+	if err != nil {
+		return "", err
+	}
+	if err := p.expect(';'); err != nil {
+		return "", err
+	}
+	switch nm {
+	case "lt":
+		return "<", nil
+	case "gt":
+		return ">", nil
+	case "amp":
+		return "&", nil
+	case "apos":
+		return "'", nil
+	case "quot":
+		return `"`, nil
+	default:
+		return "&" + nm + ";", nil
+	}
+}
+
+// charRef parses the remainder of a character reference after "&#".
+func (p *parser) charRef() (string, error) {
+	hex := false
+	c, err := p.peek()
+	if err != nil {
+		return "", err
+	}
+	if c == 'x' {
+		hex = true
+		if _, err := p.next(); err != nil {
+			return "", err
+		}
+	}
+	var digits strings.Builder
+	for {
+		c, err := p.peek()
+		if err != nil {
+			return "", err
+		}
+		if c == ';' {
+			break
+		}
+		if c == 0 {
+			return "", p.errf("unterminated character reference")
+		}
+		if _, err := p.next(); err != nil {
+			return "", err
+		}
+		digits.WriteByte(c)
+	}
+	if _, err := p.next(); err != nil { // consume ';'
+		return "", err
+	}
+	base := 10
+	if hex {
+		base = 16
+	}
+	n, err := strconv.ParseInt(digits.String(), base, 32)
+	if err != nil || n < 0 || n > 0x10FFFF {
+		return "", p.errf("invalid character reference &#%s;", digits.String())
+	}
+	return string(rune(n)), nil
+}
+
+// parseSubset parses a sequence of markup declarations until EOF.
+func (p *parser) parseSubset() error {
+	for {
+		if _, err := p.skipSpace(); err != nil {
+			return err
+		}
+		c, err := p.peek()
+		if err != nil {
+			return err
+		}
+		if c == 0 {
+			return nil
+		}
+		if c != '<' {
+			return p.errf("unexpected character %q between declarations", string(c))
+		}
+		if err := p.parseMarkupDecl(); err != nil {
+			return err
+		}
+	}
+}
+
+// parseMarkupDecl parses one declaration starting at '<'.
+func (p *parser) parseMarkupDecl() error {
+	if err := p.expect('<'); err != nil {
+		return err
+	}
+	c, err := p.next()
+	if err != nil {
+		return err
+	}
+	switch c {
+	case '?':
+		return p.skipPI()
+	case '!':
+		c2, err := p.peek()
+		if err != nil {
+			return err
+		}
+		switch c2 {
+		case '-':
+			return p.skipComment()
+		case '[':
+			return p.parseConditional()
+		}
+		kw, err := p.keyword()
+		if err != nil {
+			return err
+		}
+		switch kw {
+		case "ELEMENT":
+			return p.parseElementDecl()
+		case "ATTLIST":
+			return p.parseAttlistDecl()
+		case "ENTITY":
+			return p.parseEntityDecl()
+		case "NOTATION":
+			return p.parseNotationDecl()
+		default:
+			return p.errf("unknown declaration <!%s", kw)
+		}
+	default:
+		return p.errf("unexpected %q after '<' in DTD", string(c))
+	}
+}
+
+// skipPI consumes a processing instruction after "<?".
+func (p *parser) skipPI() error {
+	prev := byte(0)
+	for {
+		c, err := p.next()
+		if err != nil {
+			return err
+		}
+		if c == 0 {
+			return p.errf("unterminated processing instruction")
+		}
+		if prev == '?' && c == '>' {
+			return nil
+		}
+		prev = c
+	}
+}
+
+// skipComment consumes a comment after "<!" (cursor at first '-').
+func (p *parser) skipComment() error {
+	p.noPE = true
+	defer func() { p.noPE = false }()
+	if err := p.expect('-'); err != nil {
+		return err
+	}
+	if err := p.expect('-'); err != nil {
+		return err
+	}
+	dashes := 0
+	for {
+		c, err := p.next()
+		if err != nil {
+			return err
+		}
+		switch {
+		case c == 0:
+			return p.errf("unterminated comment")
+		case c == '-':
+			dashes++
+		case c == '>' && dashes >= 2:
+			return nil
+		default:
+			dashes = 0
+		}
+	}
+}
+
+// parseConditional parses <![INCLUDE[...]]> / <![IGNORE[...]]> after "<!"
+// (cursor at '[').
+func (p *parser) parseConditional() error {
+	if err := p.expect('['); err != nil {
+		return err
+	}
+	if _, err := p.skipSpace(); err != nil {
+		return err
+	}
+	kw, err := p.keyword()
+	if err != nil {
+		return err
+	}
+	if _, err := p.skipSpace(); err != nil {
+		return err
+	}
+	if err := p.expect('['); err != nil {
+		return err
+	}
+	switch kw {
+	case "INCLUDE":
+		// Parse declarations until the matching "]]>".
+		for {
+			if _, err := p.skipSpace(); err != nil {
+				return err
+			}
+			c, err := p.peek()
+			if err != nil {
+				return err
+			}
+			if c == ']' {
+				if err := p.expect(']'); err != nil {
+					return err
+				}
+				if err := p.expect(']'); err != nil {
+					return err
+				}
+				return p.expect('>')
+			}
+			if c == 0 {
+				return p.errf("unterminated INCLUDE section")
+			}
+			if err := p.parseMarkupDecl(); err != nil {
+				return err
+			}
+		}
+	case "IGNORE":
+		// Skip to the matching "]]>", honoring nested "<![".
+		depth := 1
+		p.noPE = true
+		defer func() { p.noPE = false }()
+		var last2 [2]byte
+		for {
+			c, err := p.next()
+			if err != nil {
+				return err
+			}
+			if c == 0 {
+				return p.errf("unterminated IGNORE section")
+			}
+			if last2[0] == '<' && last2[1] == '!' && c == '[' {
+				depth++
+			}
+			if last2[0] == ']' && last2[1] == ']' && c == '>' {
+				depth--
+				if depth == 0 {
+					return nil
+				}
+			}
+			last2[0], last2[1] = last2[1], c
+		}
+	default:
+		return p.errf("conditional section keyword must be INCLUDE or IGNORE, got %q", kw)
+	}
+}
+
+// parseElementDecl parses the remainder of <!ELEMENT name contentspec>.
+func (p *parser) parseElementDecl() error {
+	if _, err := p.skipSpace(); err != nil {
+		return err
+	}
+	nm, err := p.name()
+	if err != nil {
+		return err
+	}
+	if _, err := p.skipSpace(); err != nil {
+		return err
+	}
+	model, err := p.contentSpec()
+	if err != nil {
+		return err
+	}
+	if _, err := p.skipSpace(); err != nil {
+		return err
+	}
+	if err := p.expect('>'); err != nil {
+		return err
+	}
+	return p.d.AddElement(&ElementDecl{Name: nm, Content: model})
+}
+
+// contentSpec parses EMPTY | ANY | Mixed | children.
+func (p *parser) contentSpec() (ContentModel, error) {
+	c, err := p.peek()
+	if err != nil {
+		return ContentModel{}, err
+	}
+	if c != '(' {
+		kw, err := p.keyword()
+		if err != nil {
+			return ContentModel{}, p.errf("expected EMPTY, ANY or '(' in content model")
+		}
+		switch kw {
+		case "EMPTY":
+			return ContentModel{Kind: ContentEmpty}, nil
+		case "ANY":
+			return ContentModel{Kind: ContentAny}, nil
+		default:
+			return ContentModel{}, p.errf("unknown content keyword %q", kw)
+		}
+	}
+	if err := p.expect('('); err != nil {
+		return ContentModel{}, err
+	}
+	if _, err := p.skipSpace(); err != nil {
+		return ContentModel{}, err
+	}
+	c, err = p.peek()
+	if err != nil {
+		return ContentModel{}, err
+	}
+	if c == '#' {
+		return p.mixedTail()
+	}
+	if c == ')' {
+		// "()" is not legal XML 1.0 but is the paper's notation for an
+		// element whose children were all moved into relationship
+		// declarations; accept it as an empty sequence.
+		if _, err := p.next(); err != nil {
+			return ContentModel{}, err
+		}
+		occ, err := p.occurrence()
+		if err != nil {
+			return ContentModel{}, err
+		}
+		return ContentModel{Kind: ContentChildren, Particle: &Particle{Kind: PKSequence, Occ: occ}}, nil
+	}
+	particle, err := p.groupTail()
+	if err != nil {
+		return ContentModel{}, err
+	}
+	return ContentModel{Kind: ContentChildren, Particle: particle}, nil
+}
+
+// mixedTail parses the remainder of a Mixed model after "(" with the
+// cursor at '#'.
+func (p *parser) mixedTail() (ContentModel, error) {
+	if err := p.expect('#'); err != nil {
+		return ContentModel{}, err
+	}
+	kw, err := p.keyword()
+	if err != nil {
+		return ContentModel{}, err
+	}
+	if kw != "PCDATA" {
+		return ContentModel{}, p.errf("expected #PCDATA, got #%s", kw)
+	}
+	var names []string
+	for {
+		if _, err := p.skipSpace(); err != nil {
+			return ContentModel{}, err
+		}
+		c, err := p.next()
+		if err != nil {
+			return ContentModel{}, err
+		}
+		switch c {
+		case ')':
+			// A trailing '*' is required when names are present, optional
+			// (and conventional) otherwise.
+			c2, err := p.peek()
+			if err != nil {
+				return ContentModel{}, err
+			}
+			if c2 == '*' {
+				if _, err := p.next(); err != nil {
+					return ContentModel{}, err
+				}
+			} else if len(names) > 0 {
+				return ContentModel{}, p.errf("mixed content with element names must end with )*")
+			}
+			return ContentModel{Kind: ContentMixed, MixedNames: names}, nil
+		case '|':
+			if _, err := p.skipSpace(); err != nil {
+				return ContentModel{}, err
+			}
+			nm, err := p.name()
+			if err != nil {
+				return ContentModel{}, err
+			}
+			names = append(names, nm)
+		default:
+			return ContentModel{}, p.errf("unexpected %q in mixed content model", string(c))
+		}
+	}
+}
+
+// groupTail parses the remainder of a children group after its opening
+// "(" has been consumed, returning the group particle (with any trailing
+// occurrence indicator applied).
+func (p *parser) groupTail() (*Particle, error) {
+	group := &Particle{Occ: OccOnce}
+	var sep byte
+	for {
+		if _, err := p.skipSpace(); err != nil {
+			return nil, err
+		}
+		cp, err := p.cp()
+		if err != nil {
+			return nil, err
+		}
+		group.Children = append(group.Children, cp)
+		if _, err := p.skipSpace(); err != nil {
+			return nil, err
+		}
+		c, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		switch c {
+		case ')':
+			switch {
+			case sep == '|':
+				group.Kind = PKChoice
+			default:
+				group.Kind = PKSequence
+			}
+			occ, err := p.occurrence()
+			if err != nil {
+				return nil, err
+			}
+			group.Occ = occ
+			return group, nil
+		case ',', '|':
+			if sep != 0 && sep != c {
+				return nil, p.errf("cannot mix ',' and '|' in one group")
+			}
+			sep = c
+		case 0:
+			return nil, p.errf("unterminated content model group")
+		default:
+			return nil, p.errf("unexpected %q in content model", string(c))
+		}
+	}
+}
+
+// cp parses one content particle: a name or a nested group, with an
+// optional occurrence indicator.
+func (p *parser) cp() (*Particle, error) {
+	c, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	if c == '(' {
+		if _, err := p.next(); err != nil {
+			return nil, err
+		}
+		return p.groupTail()
+	}
+	nm, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	occ, err := p.occurrence()
+	if err != nil {
+		return nil, err
+	}
+	return &Particle{Kind: PKName, Name: nm, Occ: occ}, nil
+}
+
+// occurrence parses an optional trailing ?, * or +.
+func (p *parser) occurrence() (Occurrence, error) {
+	c, err := p.peek()
+	if err != nil {
+		return 0, err
+	}
+	switch c {
+	case '?':
+		_, err := p.next()
+		return OccOptional, err
+	case '*':
+		_, err := p.next()
+		return OccZeroPlus, err
+	case '+':
+		_, err := p.next()
+		return OccOnePlus, err
+	default:
+		return OccOnce, nil
+	}
+}
+
+// parseAttlistDecl parses the remainder of <!ATTLIST name attdef*>.
+func (p *parser) parseAttlistDecl() error {
+	if _, err := p.skipSpace(); err != nil {
+		return err
+	}
+	el, err := p.name()
+	if err != nil {
+		return err
+	}
+	var defs []AttDef
+	for {
+		if _, err := p.skipSpace(); err != nil {
+			return err
+		}
+		c, err := p.peek()
+		if err != nil {
+			return err
+		}
+		if c == '>' {
+			if _, err := p.next(); err != nil {
+				return err
+			}
+			p.d.AddAttDefs(el, defs)
+			return nil
+		}
+		if c == 0 {
+			return p.errf("unterminated ATTLIST for element %q", el)
+		}
+		def, err := p.attDef()
+		if err != nil {
+			return err
+		}
+		defs = append(defs, def)
+	}
+}
+
+// attDef parses one "name type default" triple of an ATTLIST.
+func (p *parser) attDef() (AttDef, error) {
+	var def AttDef
+	nm, err := p.name()
+	if err != nil {
+		return def, err
+	}
+	def.Name = nm
+	if _, err := p.skipSpace(); err != nil {
+		return def, err
+	}
+	c, err := p.peek()
+	if err != nil {
+		return def, err
+	}
+	switch {
+	case c == '(':
+		if _, err := p.next(); err != nil {
+			return def, err
+		}
+		def.Type = AttEnum
+		// The paper's converted-DTD notation also writes (#PCDATA) as an
+		// attribute "type"; accept it for round-tripping converted DTDs.
+		c2, err := p.peek()
+		if err != nil {
+			return def, err
+		}
+		if c2 == '#' {
+			if _, err := p.next(); err != nil {
+				return def, err
+			}
+			kw, err := p.keyword()
+			if err != nil {
+				return def, err
+			}
+			if kw != "PCDATA" {
+				return def, p.errf("unexpected #%s in attribute type", kw)
+			}
+			if _, err := p.skipSpace(); err != nil {
+				return def, err
+			}
+			if err := p.expect(')'); err != nil {
+				return def, err
+			}
+			def.Type = AttPCData
+		} else {
+			enum, err := p.enumTail()
+			if err != nil {
+				return def, err
+			}
+			def.Enum = enum
+		}
+	default:
+		kw, err := p.keyword()
+		if err != nil {
+			return def, p.errf("expected attribute type for %q", nm)
+		}
+		switch kw {
+		case "CDATA":
+			def.Type = AttCDATA
+		case "ID":
+			def.Type = AttID
+		case "IDREF":
+			def.Type = AttIDREF
+		case "IDREFS":
+			def.Type = AttIDREFS
+		case "ENTITY":
+			def.Type = AttEntity
+		case "ENTITIES":
+			def.Type = AttEntities
+		case "NMTOKEN":
+			def.Type = AttNMToken
+		case "NMTOKENS":
+			def.Type = AttNMTokens
+		case "NOTATION":
+			def.Type = AttNotation
+			if _, err := p.skipSpace(); err != nil {
+				return def, err
+			}
+			if err := p.expect('('); err != nil {
+				return def, err
+			}
+			enum, err := p.enumTail()
+			if err != nil {
+				return def, err
+			}
+			def.Enum = enum
+		default:
+			return def, p.errf("unknown attribute type %q", kw)
+		}
+	}
+	if _, err := p.skipSpace(); err != nil {
+		return def, err
+	}
+	c, err = p.peek()
+	if err != nil {
+		return def, err
+	}
+	switch c {
+	case '#':
+		if _, err := p.next(); err != nil {
+			return def, err
+		}
+		kw, err := p.keyword()
+		if err != nil {
+			return def, err
+		}
+		switch kw {
+		case "REQUIRED":
+			def.Default = DefRequired
+		case "IMPLIED", "IMPLIES": // the paper's Example 2 writes #IMPLIES
+			def.Default = DefImplied
+		case "FIXED":
+			def.Default = DefFixed
+			if _, err := p.skipSpace(); err != nil {
+				return def, err
+			}
+			v, err := p.literal(false)
+			if err != nil {
+				return def, err
+			}
+			def.Value = v
+		default:
+			return def, p.errf("unknown attribute default #%s", kw)
+		}
+	case '"', '\'':
+		def.Default = DefValue
+		v, err := p.literal(false)
+		if err != nil {
+			return def, err
+		}
+		def.Value = v
+	default:
+		return def, p.errf("expected attribute default for %q", nm)
+	}
+	return def, nil
+}
+
+// enumTail parses "a | b | c)" after the opening parenthesis.
+func (p *parser) enumTail() ([]string, error) {
+	var out []string
+	for {
+		if _, err := p.skipSpace(); err != nil {
+			return nil, err
+		}
+		nm, err := p.nmtoken()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, nm)
+		if _, err := p.skipSpace(); err != nil {
+			return nil, err
+		}
+		c, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		switch c {
+		case ')':
+			return out, nil
+		case '|':
+		default:
+			return nil, p.errf("unexpected %q in enumeration", string(c))
+		}
+	}
+}
+
+// nmtoken reads a name token (like a name but any name char may lead).
+func (p *parser) nmtoken() (string, error) {
+	var b strings.Builder
+	for {
+		c, err := p.peek()
+		if err != nil {
+			return "", err
+		}
+		if c == 0 || !isNameChar(c) {
+			break
+		}
+		if _, err := p.next(); err != nil {
+			return "", err
+		}
+		b.WriteByte(c)
+	}
+	if b.Len() == 0 {
+		return "", p.errf("expected a name token")
+	}
+	return b.String(), nil
+}
+
+// parseEntityDecl parses the remainder of <!ENTITY ...>.
+func (p *parser) parseEntityDecl() error {
+	if _, err := p.skipSpace(); err != nil {
+		return err
+	}
+	ent := &EntityDecl{}
+	c, err := p.peek()
+	if err != nil {
+		return err
+	}
+	if c == '%' {
+		// "<!ENTITY % name ..." — the '%' here introduces a parameter
+		// entity *declaration*, not a reference (a reference has no
+		// following space). Disable PE recognition to consume it.
+		p.noPE = true
+		if _, err := p.next(); err != nil {
+			p.noPE = false
+			return err
+		}
+		p.noPE = false
+		ent.Parameter = true
+		if _, err := p.skipSpace(); err != nil {
+			return err
+		}
+	}
+	nm, err := p.name()
+	if err != nil {
+		return err
+	}
+	ent.Name = nm
+	if _, err := p.skipSpace(); err != nil {
+		return err
+	}
+	c, err = p.peek()
+	if err != nil {
+		return err
+	}
+	switch c {
+	case '"', '\'':
+		v, err := p.literal(true)
+		if err != nil {
+			return err
+		}
+		ent.Value = v
+	default:
+		kw, err := p.keyword()
+		if err != nil {
+			return err
+		}
+		ent.External = true
+		switch kw {
+		case "SYSTEM":
+			if _, err := p.skipSpace(); err != nil {
+				return err
+			}
+			ent.SystemID, err = p.literal(false)
+			if err != nil {
+				return err
+			}
+		case "PUBLIC":
+			if _, err := p.skipSpace(); err != nil {
+				return err
+			}
+			ent.PublicID, err = p.literal(false)
+			if err != nil {
+				return err
+			}
+			if _, err := p.skipSpace(); err != nil {
+				return err
+			}
+			ent.SystemID, err = p.literal(false)
+			if err != nil {
+				return err
+			}
+		default:
+			return p.errf("expected entity value, SYSTEM or PUBLIC, got %q", kw)
+		}
+		if _, err := p.skipSpace(); err != nil {
+			return err
+		}
+		c, err = p.peek()
+		if err != nil {
+			return err
+		}
+		if c == 'N' {
+			kw, err := p.keyword()
+			if err != nil {
+				return err
+			}
+			if kw != "NDATA" {
+				return p.errf("expected NDATA, got %q", kw)
+			}
+			if ent.Parameter {
+				return p.errf("parameter entity %q may not have NDATA", nm)
+			}
+			if _, err := p.skipSpace(); err != nil {
+				return err
+			}
+			ent.NDataName, err = p.name()
+			if err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := p.skipSpace(); err != nil {
+		return err
+	}
+	if err := p.expect('>'); err != nil {
+		return err
+	}
+	// Per XML 1.0, the first declaration of an entity binds; later ones
+	// are ignored.
+	if ent.Parameter {
+		if _, dup := p.d.ParamEntities[nm]; !dup {
+			p.d.ParamEntities[nm] = ent
+		}
+	} else {
+		if _, dup := p.d.Entities[nm]; !dup {
+			p.d.Entities[nm] = ent
+		}
+	}
+	return nil
+}
+
+// parseNotationDecl parses the remainder of <!NOTATION ...>.
+func (p *parser) parseNotationDecl() error {
+	if _, err := p.skipSpace(); err != nil {
+		return err
+	}
+	nm, err := p.name()
+	if err != nil {
+		return err
+	}
+	if _, err := p.skipSpace(); err != nil {
+		return err
+	}
+	kw, err := p.keyword()
+	if err != nil {
+		return err
+	}
+	not := &NotationDecl{Name: nm}
+	switch kw {
+	case "SYSTEM":
+		if _, err := p.skipSpace(); err != nil {
+			return err
+		}
+		not.SystemID, err = p.literal(false)
+		if err != nil {
+			return err
+		}
+	case "PUBLIC":
+		if _, err := p.skipSpace(); err != nil {
+			return err
+		}
+		not.PublicID, err = p.literal(false)
+		if err != nil {
+			return err
+		}
+		if _, err := p.skipSpace(); err != nil {
+			return err
+		}
+		c, err := p.peek()
+		if err != nil {
+			return err
+		}
+		if c == '"' || c == '\'' {
+			not.SystemID, err = p.literal(false)
+			if err != nil {
+				return err
+			}
+		}
+	default:
+		return p.errf("expected SYSTEM or PUBLIC in notation, got %q", kw)
+	}
+	if _, err := p.skipSpace(); err != nil {
+		return err
+	}
+	if err := p.expect('>'); err != nil {
+		return err
+	}
+	if _, dup := p.d.Notations[nm]; dup {
+		return p.errf("notation %q declared more than once", nm)
+	}
+	p.d.Notations[nm] = not
+	return nil
+}

@@ -1,0 +1,584 @@
+package dtd
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// paperDTD is Example 1 of the paper (books, articles, authors).
+const paperDTD = `
+<!ELEMENT book (booktitle, (author* | editor))>
+<!ELEMENT booktitle (#PCDATA)>
+<!ELEMENT article (title, (author, affiliation?)+, contactauthor?)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT contactauthor EMPTY>
+<!ATTLIST contactauthor authorid IDREF #IMPLIED>
+<!ELEMENT monograph (title, author, editor)>
+<!ELEMENT editor ((book | monograph)*)>
+<!ATTLIST editor name CDATA #REQUIRED>
+<!ELEMENT author (name)>
+<!ATTLIST author id ID #REQUIRED>
+<!ELEMENT name (firstname?, lastname)>
+<!ELEMENT firstname (#PCDATA)>
+<!ELEMENT lastname (#PCDATA)>
+<!ELEMENT affiliation ANY>
+`
+
+func TestParsePaperDTD(t *testing.T) {
+	d, err := Parse(paperDTD)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got, want := len(d.Elements), 12; got != want {
+		t.Errorf("got %d element decls, want %d", got, want)
+	}
+	wantOrder := []string{
+		"book", "booktitle", "article", "title", "contactauthor",
+		"monograph", "editor", "author", "name", "firstname", "lastname",
+		"affiliation",
+	}
+	if len(d.ElementOrder) != len(wantOrder) {
+		t.Fatalf("element order: %v", d.ElementOrder)
+	}
+	for i, name := range d.ElementOrder {
+		if wantOrder[i] != name {
+			t.Fatalf("ElementOrder[%d] = %q, want %q", i, name, wantOrder[i])
+		}
+	}
+
+	book := d.Element("book")
+	if book == nil {
+		t.Fatal("book not declared")
+	}
+	if book.Content.Kind != ContentChildren {
+		t.Fatalf("book content kind = %v, want children", book.Content.Kind)
+	}
+	if got, want := book.Content.String(), "(booktitle, (author* | editor))"; got != want {
+		t.Errorf("book content = %q, want %q", got, want)
+	}
+
+	article := d.Element("article")
+	if got, want := article.Content.String(), "(title, (author, affiliation?)+, contactauthor?)"; got != want {
+		t.Errorf("article content = %q, want %q", got, want)
+	}
+
+	if ca := d.Element("contactauthor"); ca.Content.Kind != ContentEmpty {
+		t.Errorf("contactauthor kind = %v, want EMPTY", ca.Content.Kind)
+	}
+	if aff := d.Element("affiliation"); aff.Content.Kind != ContentAny {
+		t.Errorf("affiliation kind = %v, want ANY", aff.Content.Kind)
+	}
+	if bt := d.Element("booktitle"); !bt.Content.IsPCDataOnly() {
+		t.Errorf("booktitle should be PCDATA-only")
+	}
+
+	a, ok := d.Att("author", "id")
+	if !ok || a.Type != AttID || a.Default != DefRequired {
+		t.Errorf("author/@id = %+v, want required ID", a)
+	}
+	ref, ok := d.Att("contactauthor", "authorid")
+	if !ok || ref.Type != AttIDREF || ref.Default != DefImplied {
+		t.Errorf("contactauthor/@authorid = %+v, want implied IDREF", ref)
+	}
+
+	if got := d.IDElements(); len(got) != 1 || got[0] != "author" {
+		t.Errorf("IDElements = %v, want [author]", got)
+	}
+	if attr, ok := d.IDAttr("author"); !ok || attr != "id" {
+		t.Errorf("IDAttr(author) = %q,%v", attr, ok)
+	}
+
+	roots := d.Roots()
+	// article is never referenced; book, monograph and editor reference
+	// each other; so article is the only sure root alongside none of the
+	// mutually-recursive ones.
+	found := false
+	for _, r := range roots {
+		if r == "article" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Roots() = %v, want to contain article", roots)
+	}
+}
+
+func TestParseContentModels(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want string // round-tripped content model of element x
+	}{
+		{"single child", `<!ELEMENT x (a)>`, "(a)"},
+		{"sequence", `<!ELEMENT x (a, b, c)>`, "(a, b, c)"},
+		{"choice", `<!ELEMENT x (a | b | c)>`, "(a | b | c)"},
+		{"nested", `<!ELEMENT x (a, (b | c)*, d?)>`, "(a, (b | c)*, d?)"},
+		{"occurrence on group", `<!ELEMENT x (a, b)+>`, "(a, b)+"},
+		{"occurrence on name", `<!ELEMENT x (a+)>`, "(a+)"},
+		{"deep nesting", `<!ELEMENT x ((a, (b, (c | d))))>`, "((a, (b, (c | d))))"},
+		{"whitespace", "<!ELEMENT x ( a ,\n\tb\t| is invalid; keep simple" +
+			"", ""}, // placeholder replaced below
+	}
+	tests[len(tests)-1] = struct {
+		name string
+		in   string
+		want string
+	}{"whitespace", "<!ELEMENT x ( a ,\n\t b )>", "(a, b)"}
+
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d, err := Parse(tt.in)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tt.in, err)
+			}
+			got := d.Element("x").Content.String()
+			if got != tt.want {
+				t.Errorf("content = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseMixed(t *testing.T) {
+	d, err := Parse(`<!ELEMENT para (#PCDATA | em | strong)*><!ELEMENT em (#PCDATA)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.Element("para")
+	if p.Content.Kind != ContentMixed {
+		t.Fatalf("kind = %v", p.Content.Kind)
+	}
+	if got := strings.Join(p.Content.MixedNames, ","); got != "em,strong" {
+		t.Errorf("mixed names = %q", got)
+	}
+	if p.Content.IsPCDataOnly() {
+		t.Error("para should not be PCDATA-only")
+	}
+	if !d.Element("em").Content.IsPCDataOnly() {
+		t.Error("em should be PCDATA-only")
+	}
+}
+
+func TestParseAttributeTypes(t *testing.T) {
+	src := `
+<!ELEMENT e EMPTY>
+<!ATTLIST e
+  a CDATA #REQUIRED
+  b ID #IMPLIED
+  c IDREF #IMPLIED
+  d IDREFS #IMPLIED
+  f NMTOKEN "tok"
+  g NMTOKENS #IMPLIED
+  h (red | green | blue) "green"
+  i NOTATION (gif | png) #IMPLIED
+  j CDATA #FIXED "42"
+  k ENTITY #IMPLIED
+  l ENTITIES #IMPLIED>
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atts := d.Atts("e")
+	if len(atts) != 11 {
+		t.Fatalf("got %d atts, want 11", len(atts))
+	}
+	byName := map[string]AttDef{}
+	for _, a := range atts {
+		byName[a.Name] = a
+	}
+	checks := []struct {
+		name string
+		typ  AttType
+		def  AttDefault
+		val  string
+	}{
+		{"a", AttCDATA, DefRequired, ""},
+		{"b", AttID, DefImplied, ""},
+		{"c", AttIDREF, DefImplied, ""},
+		{"d", AttIDREFS, DefImplied, ""},
+		{"f", AttNMToken, DefValue, "tok"},
+		{"g", AttNMTokens, DefImplied, ""},
+		{"h", AttEnum, DefValue, "green"},
+		{"i", AttNotation, DefImplied, ""},
+		{"j", AttCDATA, DefFixed, "42"},
+		{"k", AttEntity, DefImplied, ""},
+		{"l", AttEntities, DefImplied, ""},
+	}
+	for _, c := range checks {
+		a, ok := byName[c.name]
+		if !ok {
+			t.Errorf("attribute %q missing", c.name)
+			continue
+		}
+		if a.Type != c.typ || a.Default != c.def || a.Value != c.val {
+			t.Errorf("att %s = {%v %v %q}, want {%v %v %q}",
+				c.name, a.Type, a.Default, a.Value, c.typ, c.def, c.val)
+		}
+	}
+	if h := byName["h"]; strings.Join(h.Enum, ",") != "red,green,blue" {
+		t.Errorf("enum = %v", h.Enum)
+	}
+	if i := byName["i"]; strings.Join(i.Enum, ",") != "gif,png" {
+		t.Errorf("notation enum = %v", i.Enum)
+	}
+}
+
+func TestParameterEntityExpansion(t *testing.T) {
+	src := `
+<!ENTITY % inline "em | strong">
+<!ENTITY % common.att 'class CDATA #IMPLIED id ID #IMPLIED'>
+<!ELEMENT para (#PCDATA | %inline;)*>
+<!ELEMENT em (#PCDATA)>
+<!ELEMENT strong (#PCDATA)>
+<!ATTLIST para %common.att;>
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.Element("para")
+	if got := strings.Join(p.Content.MixedNames, ","); got != "em,strong" {
+		t.Errorf("mixed names after PE expansion = %q", got)
+	}
+	atts := d.Atts("para")
+	if len(atts) != 2 || atts[0].Name != "class" || atts[1].Name != "id" {
+		t.Errorf("atts after PE expansion = %+v", atts)
+	}
+}
+
+func TestNestedParameterEntities(t *testing.T) {
+	src := `
+<!ENTITY % a "x">
+<!ENTITY % b "%a;, y">
+<!ELEMENT r (%b;)>
+<!ELEMENT x EMPTY>
+<!ELEMENT y EMPTY>
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Element("r").Content.String(); got != "(x, y)" {
+		t.Errorf("content = %q, want (x, y)", got)
+	}
+}
+
+func TestRecursiveParameterEntityRejected(t *testing.T) {
+	src := `
+<!ENTITY % a "%b;">
+<!ENTITY % b "%a;">
+<!ELEMENT r (%a;)>
+`
+	if _, err := Parse(src); err == nil {
+		t.Fatal("recursive PE expansion should fail")
+	}
+}
+
+func TestGeneralEntities(t *testing.T) {
+	src := `
+<!ENTITY company "GTE Laboratories">
+<!ENTITY copy "&#169;">
+<!ENTITY notice "&copy; 2000 &company;">
+<!ELEMENT doc (#PCDATA)>
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ExpandText("Notice: &notice;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "Notice: © 2000 GTE Laboratories"; got != want {
+		t.Errorf("ExpandText = %q, want %q", got, want)
+	}
+}
+
+func TestExpandTextErrors(t *testing.T) {
+	d := MustParse(`<!ELEMENT doc (#PCDATA)>`)
+	if _, err := d.ExpandText("&nope;"); err == nil {
+		t.Error("undeclared entity should fail")
+	}
+	if _, err := d.ExpandText("&unterminated"); err == nil {
+		t.Error("unterminated reference should fail")
+	}
+	if got, _ := d.ExpandText("a &lt; b &amp; c"); got != "a < b & c" {
+		t.Errorf("predefined entities: got %q", got)
+	}
+	if got, _ := d.ExpandText("&#x41;&#66;"); got != "AB" {
+		t.Errorf("char refs: got %q", got)
+	}
+}
+
+func TestExternalEntityHandling(t *testing.T) {
+	src := `
+<!ENTITY % ext SYSTEM "common.ent">
+%ext;
+<!ELEMENT doc (#PCDATA)>
+`
+	_, err := Parse(src)
+	if !errors.Is(err, ErrExternalEntity) {
+		t.Fatalf("err = %v, want ErrExternalEntity", err)
+	}
+
+	d, err := ParseWith(src, ParseOptions{Resolver: func(pub, sys string) (string, error) {
+		if sys != "common.ent" {
+			t.Errorf("sys = %q", sys)
+		}
+		return `<!ELEMENT extra EMPTY>`, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Element("extra") == nil {
+		t.Error("resolver-provided declaration missing")
+	}
+
+	d, err = ParseWith(src, ParseOptions{SkipExternal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Element("doc") == nil {
+		t.Error("doc missing with SkipExternal")
+	}
+}
+
+func TestConditionalSections(t *testing.T) {
+	src := `
+<!ENTITY % draft "INCLUDE">
+<![%draft;[
+<!ELEMENT note (#PCDATA)>
+]]>
+<![IGNORE[
+<!ELEMENT skipped (whatever*)>
+<![INCLUDE[ <!ELEMENT nested-skip EMPTY> ]]>
+]]>
+<!ELEMENT doc (note?)>
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Element("note") == nil {
+		t.Error("INCLUDE section not parsed")
+	}
+	if d.Element("skipped") != nil || d.Element("nested-skip") != nil {
+		t.Error("IGNORE section was parsed")
+	}
+}
+
+func TestCommentsAndPIs(t *testing.T) {
+	src := `
+<!-- a comment with <!ELEMENT fake (x)> inside -->
+<?pi some data?>
+<!ELEMENT doc EMPTY>
+<!-- trailing -- - comment -->
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Element("fake") != nil {
+		t.Error("comment content was parsed")
+	}
+	if d.Element("doc") == nil {
+		t.Error("doc missing")
+	}
+}
+
+func TestNotationDecl(t *testing.T) {
+	src := `
+<!NOTATION gif SYSTEM "image/gif">
+<!NOTATION tex PUBLIC "+//ISBN 0-201-13448-9::Knuth//NOTATION TeX//EN">
+<!ELEMENT doc EMPTY>
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := d.Notations["gif"]; n == nil || n.SystemID != "image/gif" {
+		t.Errorf("gif notation = %+v", n)
+	}
+	if n := d.Notations["tex"]; n == nil || !strings.Contains(n.PublicID, "Knuth") {
+		t.Errorf("tex notation = %+v", n)
+	}
+}
+
+func TestUnparsedEntity(t *testing.T) {
+	src := `
+<!NOTATION gif SYSTEM "gifviewer">
+<!ENTITY logo SYSTEM "logo.gif" NDATA gif>
+<!ELEMENT doc EMPTY>
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := d.Entities["logo"]
+	if e == nil || !e.External || e.NDataName != "gif" || e.SystemID != "logo.gif" {
+		t.Errorf("logo entity = %+v", e)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct{ name, in string }{
+		{"bad decl keyword", `<!WIDGET foo>`},
+		{"unterminated element", `<!ELEMENT x (a`},
+		{"mixed separators", `<!ELEMENT x (a, b | c)>`},
+		{"duplicate element", `<!ELEMENT x (a)><!ELEMENT x (b)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>`},
+		{"stray text", `hello <!ELEMENT x EMPTY>`},
+		{"bad attr default", `<!ELEMENT e EMPTY><!ATTLIST e a CDATA #BOGUS>`},
+		{"missing default", `<!ELEMENT e EMPTY><!ATTLIST e a CDATA>`},
+		{"undeclared PE", `<!ELEMENT x (%nope;)>`},
+		{"mixed without star", `<!ELEMENT x (#PCDATA | a)>`},
+		{"unterminated comment", `<!-- never ends`},
+		{"unterminated literal", `<!ENTITY e "abc>`},
+		{"bad char ref", `<!ENTITY e "&#xZZ;">`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(tt.in); err == nil {
+				t.Errorf("Parse(%q) succeeded, want error", tt.in)
+			}
+		})
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	_, err := Parse("<!ELEMENT x (a)>\n<!BOGUS>")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *ParseError", err, err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("error line = %d, want 2", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), "2:") {
+		t.Errorf("Error() = %q, want line prefix", pe.Error())
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	d, err := Parse(paperDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := d.String()
+	d2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse serialized DTD: %v\n%s", err, text)
+	}
+	if d2.String() != text {
+		t.Errorf("serialization not stable:\nfirst:\n%s\nsecond:\n%s", text, d2.String())
+	}
+	if len(d2.Elements) != len(d.Elements) {
+		t.Errorf("element count changed: %d -> %d", len(d.Elements), len(d2.Elements))
+	}
+}
+
+func TestLogical(t *testing.T) {
+	src := `
+<!NOTATION gif SYSTEM "gifviewer">
+<!ENTITY co "ACME">
+<!ELEMENT doc EMPTY>
+<!ATTLIST doc
+  src ENTITY #IMPLIED
+  kind NOTATION (gif) #IMPLIED
+  vendor CDATA "&co; Inc.">
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := d.Logical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Entities) != 0 || len(l.Notations) != 0 {
+		t.Error("logical DTD should drop entity/notation declarations")
+	}
+	v, _ := l.Att("doc", "vendor")
+	if v.Value != "ACME Inc." {
+		t.Errorf("vendor default = %q, want expanded", v.Value)
+	}
+	k, _ := l.Att("doc", "kind")
+	if k.Type != AttEnum {
+		t.Errorf("kind type = %v, want enum", k.Type)
+	}
+	s, _ := l.Att("doc", "src")
+	if s.Type != AttNMToken {
+		t.Errorf("src type = %v, want nmtoken", s.Type)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := MustParse(paperDTD)
+	c := d.Clone()
+	c.Elements["book"].Content.Particle.Children[0].Name = "MUTATED"
+	if d.Elements["book"].Content.Particle.Children[0].Name == "MUTATED" {
+		t.Error("Clone shares particle structure")
+	}
+	c.Attlists["author"][0].Name = "mut"
+	if d.Attlists["author"][0].Name == "mut" {
+		t.Error("Clone shares attlists")
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := MustParse(paperDTD)
+	s := d.ComputeStats()
+	if s.ElementTypes != 12 {
+		t.Errorf("ElementTypes = %d, want 12", s.ElementTypes)
+	}
+	if s.Attributes != 3 {
+		t.Errorf("Attributes = %d, want 3", s.Attributes)
+	}
+	if s.IDAttrs != 1 || s.IDREFAttrs != 1 {
+		t.Errorf("ID/IDREF = %d/%d, want 1/1", s.IDAttrs, s.IDREFAttrs)
+	}
+	if s.PCDataLeaves != 4 { // booktitle, title, firstname, lastname
+		t.Errorf("PCDataLeaves = %d, want 4", s.PCDataLeaves)
+	}
+	if s.Groups != 3 { // (author*|editor), (author,affiliation?), (book|monograph)
+		t.Errorf("Groups = %d, want 3", s.Groups)
+	}
+	if s.MaxDepth < 3 {
+		t.Errorf("MaxDepth = %d, want >= 3", s.MaxDepth)
+	}
+}
+
+func TestEmptyGroupNotation(t *testing.T) {
+	d, err := Parse(`<!ELEMENT book ()>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := d.Element("book").Content
+	if cm.Kind != ContentChildren || len(cm.Particle.Children) != 0 {
+		t.Errorf("() parsed as %v / %v", cm.Kind, cm.Particle)
+	}
+}
+
+func TestUndeclaredReferences(t *testing.T) {
+	d := MustParse(`<!ELEMENT a (b, c)><!ELEMENT b EMPTY>`)
+	got := d.UndeclaredReferences()
+	if len(got) != 1 || got[0] != "c" {
+		t.Errorf("UndeclaredReferences = %v, want [c]", got)
+	}
+}
+
+func TestOccurrenceHelpers(t *testing.T) {
+	if !OccOptional.Optional() || OccOptional.Repeatable() {
+		t.Error("OccOptional flags wrong")
+	}
+	if !OccZeroPlus.Optional() || !OccZeroPlus.Repeatable() {
+		t.Error("OccZeroPlus flags wrong")
+	}
+	if OccOnePlus.Optional() || !OccOnePlus.Repeatable() {
+		t.Error("OccOnePlus flags wrong")
+	}
+	if OccOnce.Optional() || OccOnce.Repeatable() {
+		t.Error("OccOnce flags wrong")
+	}
+}

@@ -1,0 +1,156 @@
+package dtd
+
+import (
+	"sort"
+	"strings"
+)
+
+// String renders the DTD as markup declarations in declaration order:
+// each element type immediately followed by its attribute list, then
+// entity declarations, then notations.
+func (d *DTD) String() string {
+	var b strings.Builder
+	written := make(map[string]bool)
+	for _, name := range d.ElementOrder {
+		decl := d.Elements[name]
+		b.WriteString("<!ELEMENT ")
+		b.WriteString(decl.Name)
+		b.WriteByte(' ')
+		b.WriteString(decl.Content.String())
+		b.WriteString(">\n")
+		writeAttlist(&b, name, d.Attlists[name])
+		written[name] = true
+	}
+	// Attribute lists for elements that were never declared.
+	var orphans []string
+	for el := range d.Attlists {
+		if !written[el] {
+			orphans = append(orphans, el)
+		}
+	}
+	sort.Strings(orphans)
+	for _, el := range orphans {
+		writeAttlist(&b, el, d.Attlists[el])
+	}
+	var ents []string
+	for n := range d.ParamEntities {
+		ents = append(ents, n)
+	}
+	sort.Strings(ents)
+	for _, n := range ents {
+		writeEntity(&b, d.ParamEntities[n])
+	}
+	ents = ents[:0]
+	for n := range d.Entities {
+		ents = append(ents, n)
+	}
+	sort.Strings(ents)
+	for _, n := range ents {
+		writeEntity(&b, d.Entities[n])
+	}
+	var nots []string
+	for n := range d.Notations {
+		nots = append(nots, n)
+	}
+	sort.Strings(nots)
+	for _, n := range nots {
+		nt := d.Notations[n]
+		b.WriteString("<!NOTATION ")
+		b.WriteString(nt.Name)
+		if nt.PublicID != "" {
+			b.WriteString(" PUBLIC ")
+			b.WriteString(quote(nt.PublicID))
+			if nt.SystemID != "" {
+				b.WriteByte(' ')
+				b.WriteString(quote(nt.SystemID))
+			}
+		} else {
+			b.WriteString(" SYSTEM ")
+			b.WriteString(quote(nt.SystemID))
+		}
+		b.WriteString(">\n")
+	}
+	return b.String()
+}
+
+func writeAttlist(b *strings.Builder, el string, atts []AttDef) {
+	if len(atts) == 0 {
+		return
+	}
+	b.WriteString("<!ATTLIST ")
+	b.WriteString(el)
+	for _, a := range atts {
+		b.WriteByte(' ')
+		b.WriteString(a.declString())
+	}
+	b.WriteString(">\n")
+}
+
+// declString renders one attribute definition ("name type default").
+func (a AttDef) declString() string {
+	var b strings.Builder
+	b.WriteString(a.Name)
+	b.WriteByte(' ')
+	switch a.Type {
+	case AttEnum:
+		b.WriteByte('(')
+		b.WriteString(strings.Join(a.Enum, " | "))
+		b.WriteByte(')')
+	case AttNotation:
+		b.WriteString("NOTATION (")
+		b.WriteString(strings.Join(a.Enum, " | "))
+		b.WriteByte(')')
+	case AttPCData:
+		b.WriteString("(#PCDATA)")
+	default:
+		b.WriteString(a.Type.String())
+	}
+	b.WriteByte(' ')
+	switch a.Default {
+	case DefRequired, DefImplied:
+		b.WriteString(a.Default.String())
+	case DefFixed:
+		b.WriteString("#FIXED ")
+		b.WriteString(quote(a.Value))
+	case DefValue:
+		b.WriteString(quote(a.Value))
+	}
+	return b.String()
+}
+
+func writeEntity(b *strings.Builder, e *EntityDecl) {
+	b.WriteString("<!ENTITY ")
+	if e.Parameter {
+		b.WriteString("% ")
+	}
+	b.WriteString(e.Name)
+	b.WriteByte(' ')
+	switch {
+	case !e.External:
+		b.WriteString(quote(e.Value))
+	case e.PublicID != "":
+		b.WriteString("PUBLIC ")
+		b.WriteString(quote(e.PublicID))
+		b.WriteByte(' ')
+		b.WriteString(quote(e.SystemID))
+	default:
+		b.WriteString("SYSTEM ")
+		b.WriteString(quote(e.SystemID))
+	}
+	if e.NDataName != "" {
+		b.WriteString(" NDATA ")
+		b.WriteString(e.NDataName)
+	}
+	b.WriteString(">\n")
+}
+
+// quote wraps a literal in the quoting style that avoids escaping.
+func quote(s string) string {
+	if !strings.Contains(s, `"`) {
+		return `"` + s + `"`
+	}
+	if !strings.Contains(s, "'") {
+		return "'" + s + "'"
+	}
+	return `"` + strings.ReplaceAll(s, `"`, "&quot;") + `"`
+}

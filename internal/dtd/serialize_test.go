@@ -1,0 +1,153 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSerializeEntitiesAndNotations(t *testing.T) {
+	src := `
+<!NOTATION gif SYSTEM "gifviewer">
+<!NOTATION tex PUBLIC "pubid" "sysid">
+<!NOTATION pubonly PUBLIC "justpub">
+<!ENTITY co "ACME">
+<!ENTITY ext SYSTEM "chapter1.xml">
+<!ENTITY pub PUBLIC "p" "s">
+<!ENTITY logo SYSTEM "logo.gif" NDATA gif>
+<!ENTITY % pe "a | b">
+<!ELEMENT doc (#PCDATA)>
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := d.String()
+	for _, want := range []string{
+		`<!NOTATION gif SYSTEM "gifviewer">`,
+		`<!NOTATION tex PUBLIC "pubid" "sysid">`,
+		`<!NOTATION pubonly PUBLIC "justpub">`,
+		`<!ENTITY co "ACME">`,
+		`<!ENTITY ext SYSTEM "chapter1.xml">`,
+		`<!ENTITY pub PUBLIC "p" "s">`,
+		`<!ENTITY logo SYSTEM "logo.gif" NDATA gif>`,
+		`<!ENTITY % pe "a | b">`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("serialized DTD missing %q:\n%s", want, text)
+		}
+	}
+	// Re-parse is stable.
+	d2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text)
+	}
+	if d2.String() != text {
+		t.Error("serialization not a fixpoint")
+	}
+}
+
+func TestSerializeAttDefaults(t *testing.T) {
+	src := `
+<!ELEMENT e EMPTY>
+<!ATTLIST e
+  a CDATA #REQUIRED
+  b CDATA #IMPLIED
+  c CDATA #FIXED "1"
+  d CDATA "dft"
+  f (x | y) "x"
+  g NOTATION (n1 | n2) #IMPLIED>
+<!NOTATION n1 SYSTEM "s1">
+<!NOTATION n2 SYSTEM "s2">
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := d.String()
+	for _, want := range []string{
+		"a CDATA #REQUIRED",
+		"b CDATA #IMPLIED",
+		`c CDATA #FIXED "1"`,
+		`d CDATA "dft"`,
+		`f (x | y) "x"`,
+		"g NOTATION (n1 | n2) #IMPLIED",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+	if _, err := Parse(text); err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+}
+
+func TestSerializeOrphanAttlist(t *testing.T) {
+	// An ATTLIST for an element never declared with <!ELEMENT>.
+	d, err := Parse(`<!ATTLIST ghost x CDATA #IMPLIED><!ELEMENT real EMPTY>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := d.String()
+	if !strings.Contains(text, "<!ATTLIST ghost x CDATA #IMPLIED>") {
+		t.Errorf("orphan attlist lost:\n%s", text)
+	}
+}
+
+func TestQuoteSelection(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`plain`, `"plain"`},
+		{`has "quotes"`, `'has "quotes"'`},
+		{`it's`, `"it's"`},
+		{`both " and '`, `"both &quot; and '"`},
+	}
+	for _, c := range cases {
+		if got := quote(c.in); got != c.want {
+			t.Errorf("quote(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSerializePCDataAttType(t *testing.T) {
+	// The converted-DTD pseudo type survives a serialization cycle.
+	d := New()
+	if err := d.AddElement(&ElementDecl{Name: "e", Content: ContentModel{Kind: ContentEmpty}}); err != nil {
+		t.Fatal(err)
+	}
+	d.AddAttDefs("e", []AttDef{{Name: "x", Type: AttPCData, Default: DefRequired}})
+	text := d.String()
+	if !strings.Contains(text, "x (#PCDATA) #REQUIRED") {
+		t.Errorf("pcdata attr:\n%s", text)
+	}
+	d2, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := d2.Att("e", "x")
+	if !ok || a.Type != AttPCData {
+		t.Errorf("round-tripped type = %v", a.Type)
+	}
+}
+
+func TestStringerCoverage(t *testing.T) {
+	if ContentEmpty.String() != "EMPTY" || ContentAny.String() != "ANY" ||
+		ContentMixed.String() != "mixed" || ContentChildren.String() != "children" {
+		t.Error("ContentKind strings")
+	}
+	if PKName.String() != "name" || PKSequence.String() != "sequence" || PKChoice.String() != "choice" {
+		t.Error("ParticleKind strings")
+	}
+	if AttID.String() != "ID" || AttIDREFS.String() != "IDREFS" || AttNotation.String() != "NOTATION" {
+		t.Error("AttType strings")
+	}
+	if DefRequired.String() != "#REQUIRED" || DefFixed.String() != "#FIXED" || DefValue.String() != "" {
+		t.Error("AttDefault strings")
+	}
+	cm := ContentModel{Kind: ContentMixed, MixedNames: []string{"a", "b"}}
+	if cm.String() != "(#PCDATA | a | b)*" {
+		t.Errorf("mixed string = %q", cm.String())
+	}
+	empty := ContentModel{Kind: ContentChildren}
+	if empty.String() != "()" {
+		t.Errorf("empty children string = %q", empty.String())
+	}
+}

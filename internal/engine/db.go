@@ -1,0 +1,744 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"xmlrdb/internal/rel"
+	"xmlrdb/internal/sqldb"
+)
+
+// Common engine errors.
+var (
+	// ErrNoTable is returned for operations on unknown tables.
+	ErrNoTable = errors.New("engine: no such table")
+	// ErrConstraint is returned when an insert or update violates a
+	// declared constraint.
+	ErrConstraint = errors.New("engine: constraint violation")
+)
+
+// DB is an in-memory relational database. It is safe for concurrent use:
+// reads take a shared lock, writes an exclusive one.
+type DB struct {
+	mu        sync.RWMutex
+	tables    map[string]*table
+	order     []string
+	enforceFK bool
+}
+
+type table struct {
+	def     *rel.Table
+	rows    [][]any
+	indexes map[string]*index
+	ordered map[string]*orderedIndex
+}
+
+type index struct {
+	name   string
+	cols   []int
+	unique bool
+	m      map[string][]int
+}
+
+// Open returns an empty database with foreign-key enforcement enabled.
+func Open() *DB {
+	return &DB{tables: make(map[string]*table), enforceFK: true}
+}
+
+// SetEnforceFK toggles foreign-key checking on insert (bulk loaders that
+// insert parents before children can leave it on; loaders with forward
+// references may disable it and call CheckAllFKs afterwards).
+func (db *DB) SetEnforceFK(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.enforceFK = on
+}
+
+// CreateTable registers a table from a rel definition and builds indexes
+// for its primary key and unique constraints.
+func (db *DB) CreateTable(def *rel.Table) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.createTableLocked(def)
+}
+
+func (db *DB) createTableLocked(def *rel.Table) error {
+	if _, dup := db.tables[def.Name]; dup {
+		return fmt.Errorf("engine: table %q already exists", def.Name)
+	}
+	t := &table{def: def, indexes: make(map[string]*index)}
+	if len(def.PrimaryKey) > 0 {
+		if err := t.addIndex(def.Name+"_pk", def.PrimaryKey, true); err != nil {
+			return err
+		}
+	}
+	for i, u := range def.Uniques {
+		if err := t.addIndex(fmt.Sprintf("%s_u%d", def.Name, i), u, true); err != nil {
+			return err
+		}
+	}
+	db.tables[def.Name] = t
+	db.order = append(db.order, def.Name)
+	return nil
+}
+
+// CreateSchema registers every table of a schema.
+func (db *DB) CreateSchema(s *rel.Schema) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, t := range s.Tables {
+		if err := db.createTableLocked(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CreateIndex builds a secondary index.
+func (db *DB) CreateIndex(name, tableName string, cols []string, unique bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t := db.tables[tableName]
+	if t == nil {
+		return fmt.Errorf("%w: %q", ErrNoTable, tableName)
+	}
+	if _, dup := t.indexes[name]; dup {
+		return fmt.Errorf("engine: index %q already exists", name)
+	}
+	if err := t.addIndex(name, cols, unique); err != nil {
+		return err
+	}
+	// Populate from existing rows.
+	ix := t.indexes[name]
+	for pos, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		key := ix.keyOf(row)
+		if unique && len(ix.m[key]) > 0 {
+			delete(t.indexes, name)
+			return fmt.Errorf("%w: duplicate key for unique index %q", ErrConstraint, name)
+		}
+		ix.m[key] = append(ix.m[key], pos)
+	}
+	return nil
+}
+
+// DropIndex removes a secondary index (primary-key indexes cannot be
+// dropped).
+func (db *DB) DropIndex(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, t := range db.tables {
+		if _, ok := t.indexes[name]; ok {
+			delete(t.indexes, name)
+			return nil
+		}
+	}
+	return fmt.Errorf("engine: no such index %q", name)
+}
+
+// DropTable removes a table.
+func (db *DB) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	delete(db.tables, name)
+	for i, n := range db.order {
+		if n == name {
+			db.order = append(db.order[:i], db.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+func (t *table) addIndex(name string, colNames []string, unique bool) error {
+	cols := make([]int, len(colNames))
+	for i, cn := range colNames {
+		_, pos := t.def.Column(cn)
+		if pos < 0 {
+			return fmt.Errorf("engine: table %q has no column %q", t.def.Name, cn)
+		}
+		cols[i] = pos
+	}
+	t.indexes[name] = &index{name: name, cols: cols, unique: unique, m: make(map[string][]int)}
+	return nil
+}
+
+func (ix *index) keyOf(row []any) string {
+	vals := make([]any, len(ix.cols))
+	for i, c := range ix.cols {
+		vals[i] = row[c]
+	}
+	return encodeKey(vals)
+}
+
+// findIndex returns an index whose columns are exactly cols (order
+// matters), or nil.
+func (t *table) findIndex(cols []int) *index {
+	for _, ix := range t.indexes {
+		if len(ix.cols) != len(cols) {
+			continue
+		}
+		match := true
+		for i := range cols {
+			if ix.cols[i] != cols[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return ix
+		}
+	}
+	return nil
+}
+
+// Insert appends one row given in column order, enforcing constraints.
+// It returns the row position.
+func (db *DB) Insert(tableName string, row []any) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.insertLocked(tableName, row)
+}
+
+// InsertMap appends one row given as a column->value map; omitted
+// columns are NULL.
+func (db *DB) InsertMap(tableName string, vals map[string]any) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t := db.tables[tableName]
+	if t == nil {
+		return 0, fmt.Errorf("%w: %q", ErrNoTable, tableName)
+	}
+	row := make([]any, len(t.def.Columns))
+	for k, v := range vals {
+		_, pos := t.def.Column(k)
+		if pos < 0 {
+			return 0, fmt.Errorf("engine: table %q has no column %q", tableName, k)
+		}
+		row[pos] = v
+	}
+	return db.insertLocked(tableName, row)
+}
+
+func (db *DB) insertLocked(tableName string, row []any) (int, error) {
+	t := db.tables[tableName]
+	if t == nil {
+		return 0, fmt.Errorf("%w: %q", ErrNoTable, tableName)
+	}
+	if len(row) != len(t.def.Columns) {
+		return 0, fmt.Errorf("engine: table %q expects %d values, got %d",
+			tableName, len(t.def.Columns), len(row))
+	}
+	stored := make([]any, len(row))
+	for i, v := range row {
+		cv, err := coerce(v, t.def.Columns[i].Type)
+		if err != nil {
+			return 0, fmt.Errorf("column %q: %w", t.def.Columns[i].Name, err)
+		}
+		if cv == nil && t.def.Columns[i].NotNull {
+			return 0, fmt.Errorf("%w: column %s.%s is NOT NULL",
+				ErrConstraint, tableName, t.def.Columns[i].Name)
+		}
+		stored[i] = cv
+	}
+	// Unique checks.
+	for _, ix := range t.indexes {
+		if !ix.unique {
+			continue
+		}
+		key := ix.keyOf(stored)
+		if len(ix.m[key]) > 0 {
+			return 0, fmt.Errorf("%w: duplicate key in %s (index %s)",
+				ErrConstraint, tableName, ix.name)
+		}
+	}
+	// Foreign keys.
+	if db.enforceFK {
+		for _, fk := range t.def.ForeignKeys {
+			if err := db.checkFKLocked(t, stored, fk); err != nil {
+				return 0, err
+			}
+		}
+	}
+	pos := len(t.rows)
+	t.rows = append(t.rows, stored)
+	for _, ix := range t.indexes {
+		key := ix.keyOf(stored)
+		ix.m[key] = append(ix.m[key], pos)
+	}
+	t.markOrderedDirty()
+	return pos, nil
+}
+
+func (db *DB) checkFKLocked(t *table, row []any, fk rel.ForeignKey) error {
+	vals := make([]any, len(fk.Columns))
+	anyNull := false
+	for i, cn := range fk.Columns {
+		_, pos := t.def.Column(cn)
+		vals[i] = row[pos]
+		if row[pos] == nil {
+			anyNull = true
+		}
+	}
+	if anyNull {
+		return nil // NULL FK values are permitted
+	}
+	ref := db.tables[fk.RefTable]
+	if ref == nil {
+		return fmt.Errorf("%w: %q (referenced by %s)", ErrNoTable, fk.RefTable, t.def.Name)
+	}
+	cols := make([]int, len(fk.RefColumns))
+	for i, cn := range fk.RefColumns {
+		_, pos := ref.def.Column(cn)
+		if pos < 0 {
+			return fmt.Errorf("engine: referenced column %s.%s missing", fk.RefTable, cn)
+		}
+		cols[i] = pos
+	}
+	if ix := ref.findIndex(cols); ix != nil {
+		if len(ix.m[encodeKey(vals)]) > 0 {
+			return nil
+		}
+	} else {
+		for _, rrow := range ref.rows {
+			if rrow == nil {
+				continue
+			}
+			all := true
+			for i, c := range cols {
+				if !equalVals(rrow[c], vals[i]) {
+					all = false
+					break
+				}
+			}
+			if all {
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("%w: foreign key %s(%v) -> %s has no matching row",
+		ErrConstraint, t.def.Name, vals, fk.RefTable)
+}
+
+// CheckAllFKs verifies every foreign key of every table, for loaders
+// that disabled enforcement during bulk insert.
+func (db *DB) CheckAllFKs() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, name := range db.order {
+		t := db.tables[name]
+		for _, fk := range t.def.ForeignKeys {
+			for _, row := range t.rows {
+				if row == nil {
+					continue
+				}
+				if err := db.checkFKLocked(t, row, fk); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TableNames returns the table names in creation order.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]string(nil), db.order...)
+}
+
+// TableDef returns the schema of a table, or nil.
+func (db *DB) TableDef(name string) *rel.Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if t := db.tables[name]; t != nil {
+		return t.def
+	}
+	return nil
+}
+
+// RowCount returns the number of live rows in a table.
+func (db *DB) RowCount(name string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t := db.tables[name]
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for _, r := range t.rows {
+		if r != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalRows returns the number of live rows across all tables.
+func (db *DB) TotalRows() int {
+	total := 0
+	for _, name := range db.TableNames() {
+		total += db.RowCount(name)
+	}
+	return total
+}
+
+// ApproxBytes estimates the storage footprint of all live rows.
+func (db *DB) ApproxBytes() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	total := 0
+	for _, t := range db.tables {
+		for _, row := range t.rows {
+			if row == nil {
+				continue
+			}
+			for _, v := range row {
+				switch x := v.(type) {
+				case string:
+					total += 16 + len(x)
+				case nil:
+					total += 8
+				default:
+					total += 16
+				}
+			}
+		}
+	}
+	return total
+}
+
+// Result reports the effect of a non-query statement.
+type Result struct {
+	// RowsAffected counts inserted, updated or deleted rows.
+	RowsAffected int
+}
+
+// Rows is a fully materialized query result.
+type Rows struct {
+	// Cols are the output column names.
+	Cols []string
+	// Data holds the rows.
+	Data [][]any
+}
+
+// Exec parses and executes one statement. SELECT statements return
+// (nil-Result, rows); others return (result, nil).
+func (db *DB) Exec(sql string) (Result, *Rows, error) {
+	st, err := sqldb.Parse(sql)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	return db.ExecStmt(st)
+}
+
+// Query parses and executes a SELECT, returning its rows.
+func (db *DB) Query(sql string) (*Rows, error) {
+	_, rows, err := db.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	if rows == nil {
+		return nil, errors.New("engine: statement is not a query")
+	}
+	return rows, nil
+}
+
+// MustQuery is Query but panics on error; for tests and examples.
+func (db *DB) MustQuery(sql string) *Rows {
+	rows, err := db.Query(sql)
+	if err != nil {
+		panic(err)
+	}
+	return rows
+}
+
+// ExecScript parses and executes a semicolon-separated script, returning
+// the result of the last statement.
+func (db *DB) ExecScript(sql string) (Result, *Rows, error) {
+	stmts, err := sqldb.ParseScript(sql)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	var res Result
+	var rows *Rows
+	for _, st := range stmts {
+		res, rows, err = db.ExecStmt(st)
+		if err != nil {
+			return Result{}, nil, err
+		}
+	}
+	return res, rows, nil
+}
+
+// ExecStmt executes a parsed statement.
+func (db *DB) ExecStmt(st sqldb.Stmt) (Result, *Rows, error) {
+	switch s := st.(type) {
+	case *sqldb.Select:
+		rows, err := db.execSelect(s)
+		return Result{}, rows, err
+	case *sqldb.Insert:
+		n, err := db.execInsert(s)
+		return Result{RowsAffected: n}, nil, err
+	case *sqldb.CreateTable:
+		return Result{}, nil, db.CreateTable(s.Def)
+	case *sqldb.CreateIndex:
+		if s.Ordered {
+			if len(s.Columns) != 1 {
+				return Result{}, nil, fmt.Errorf("engine: ordered indexes take exactly one column")
+			}
+			return Result{}, nil, db.CreateOrderedIndex(s.Name, s.Table, s.Columns[0])
+		}
+		return Result{}, nil, db.CreateIndex(s.Name, s.Table, s.Columns, s.Unique)
+	case *sqldb.DropTable:
+		err := db.DropTable(s.Table)
+		if err != nil && s.IfExists && errors.Is(err, ErrNoTable) {
+			err = nil
+		}
+		return Result{}, nil, err
+	case *sqldb.DropIndex:
+		err := db.DropIndex(s.Name)
+		if err != nil {
+			if e2 := db.DropOrderedIndex(s.Name); e2 == nil {
+				err = nil
+			}
+		}
+		if err != nil && s.IfExists {
+			err = nil
+		}
+		return Result{}, nil, err
+	case *sqldb.Update:
+		n, err := db.execUpdate(s)
+		return Result{RowsAffected: n}, nil, err
+	case *sqldb.Delete:
+		n, err := db.execDelete(s)
+		return Result{RowsAffected: n}, nil, err
+	default:
+		return Result{}, nil, fmt.Errorf("engine: unsupported statement %T", st)
+	}
+}
+
+func (db *DB) execInsert(ins *sqldb.Insert) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t := db.tables[ins.Table]
+	if t == nil {
+		return 0, fmt.Errorf("%w: %q", ErrNoTable, ins.Table)
+	}
+	colPos := make([]int, 0, len(ins.Columns))
+	if len(ins.Columns) == 0 {
+		for i := range t.def.Columns {
+			colPos = append(colPos, i)
+		}
+	} else {
+		for _, cn := range ins.Columns {
+			_, pos := t.def.Column(cn)
+			if pos < 0 {
+				return 0, fmt.Errorf("engine: table %q has no column %q", ins.Table, cn)
+			}
+			colPos = append(colPos, pos)
+		}
+	}
+	inserted := 0
+	for _, exprRow := range ins.Rows {
+		if len(exprRow) != len(colPos) {
+			return inserted, fmt.Errorf("engine: INSERT expects %d values, got %d", len(colPos), len(exprRow))
+		}
+		row := make([]any, len(t.def.Columns))
+		for i, e := range exprRow {
+			v, err := evalConst(e)
+			if err != nil {
+				return inserted, err
+			}
+			row[colPos[i]] = v
+		}
+		if _, err := db.insertLocked(ins.Table, row); err != nil {
+			return inserted, err
+		}
+		inserted++
+	}
+	return inserted, nil
+}
+
+func (db *DB) execUpdate(up *sqldb.Update) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t := db.tables[up.Table]
+	if t == nil {
+		return 0, fmt.Errorf("%w: %q", ErrNoTable, up.Table)
+	}
+	env := newSingleTableEnv(t, up.Table)
+	changed := 0
+	for pos, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		env.row = row
+		if up.Where != nil {
+			v, err := evalExpr(up.Where, env)
+			if err != nil {
+				return changed, err
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
+		newRow := append([]any(nil), row...)
+		for _, as := range up.Set {
+			_, cp := t.def.Column(as.Column)
+			if cp < 0 {
+				return changed, fmt.Errorf("engine: table %q has no column %q", up.Table, as.Column)
+			}
+			v, err := evalExpr(as.Value, env)
+			if err != nil {
+				return changed, err
+			}
+			cv, err := coerce(v, t.def.Columns[cp].Type)
+			if err != nil {
+				return changed, err
+			}
+			if cv == nil && t.def.Columns[cp].NotNull {
+				return changed, fmt.Errorf("%w: column %s.%s is NOT NULL", ErrConstraint, up.Table, as.Column)
+			}
+			newRow[cp] = cv
+		}
+		// Reindex: remove old keys, check uniques, add new keys.
+		for _, ix := range t.indexes {
+			oldKey := ix.keyOf(row)
+			newKey := ix.keyOf(newRow)
+			if oldKey == newKey {
+				continue
+			}
+			if ix.unique && len(ix.m[newKey]) > 0 {
+				return changed, fmt.Errorf("%w: duplicate key in %s (index %s)", ErrConstraint, up.Table, ix.name)
+			}
+		}
+		for _, ix := range t.indexes {
+			oldKey := ix.keyOf(row)
+			newKey := ix.keyOf(newRow)
+			if oldKey == newKey {
+				continue
+			}
+			ix.m[oldKey] = removeInt(ix.m[oldKey], pos)
+			ix.m[newKey] = append(ix.m[newKey], pos)
+		}
+		t.rows[pos] = newRow
+		t.markOrderedDirty()
+		changed++
+	}
+	return changed, nil
+}
+
+func (db *DB) execDelete(del *sqldb.Delete) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t := db.tables[del.Table]
+	if t == nil {
+		return 0, fmt.Errorf("%w: %q", ErrNoTable, del.Table)
+	}
+	env := newSingleTableEnv(t, del.Table)
+	deleted := 0
+	for pos, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		env.row = row
+		if del.Where != nil {
+			v, err := evalExpr(del.Where, env)
+			if err != nil {
+				return deleted, err
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
+		for _, ix := range t.indexes {
+			key := ix.keyOf(row)
+			ix.m[key] = removeInt(ix.m[key], pos)
+		}
+		t.rows[pos] = nil
+		t.markOrderedDirty()
+		deleted++
+	}
+	return deleted, nil
+}
+
+func removeInt(xs []int, x int) []int {
+	for i, v := range xs {
+		if v == x {
+			return append(xs[:i], xs[i+1:]...)
+		}
+	}
+	return xs
+}
+
+// ScanTable visits every live row of a table (as a copy); returning
+// false stops the scan.
+func (db *DB) ScanTable(name string, fn func(row []any) bool) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t := db.tables[name]
+	if t == nil {
+		return fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	for _, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		if !fn(append([]any(nil), row...)) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Lookup returns copies of the rows whose named columns equal the given
+// values, using a matching index when one exists.
+func (db *DB) Lookup(tableName string, colNames []string, vals []any) ([][]any, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t := db.tables[tableName]
+	if t == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, tableName)
+	}
+	cols := make([]int, len(colNames))
+	for i, cn := range colNames {
+		_, pos := t.def.Column(cn)
+		if pos < 0 {
+			return nil, fmt.Errorf("engine: table %q has no column %q", tableName, cn)
+		}
+		cols[i] = pos
+	}
+	var out [][]any
+	if ix := t.findIndex(cols); ix != nil {
+		for _, pos := range ix.m[encodeKey(vals)] {
+			if row := t.rows[pos]; row != nil {
+				out = append(out, append([]any(nil), row...))
+			}
+		}
+		return out, nil
+	}
+	for _, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		match := true
+		for i, c := range cols {
+			if !equalVals(row[c], vals[i]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, append([]any(nil), row...))
+		}
+	}
+	return out, nil
+}

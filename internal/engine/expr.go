@@ -1,0 +1,484 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"xmlrdb/internal/sqldb"
+)
+
+// rowEnv resolves column references against a flat joined row.
+type rowEnv struct {
+	bindings []envBinding
+	row      []any
+}
+
+type envBinding struct {
+	name   string
+	cols   []string
+	offset int
+}
+
+func newSingleTableEnv(t *table, name string) *rowEnv {
+	return &rowEnv{bindings: []envBinding{{name: name, cols: t.def.ColumnNames()}}}
+}
+
+// resolve returns the flat index of a column reference.
+func (e *rowEnv) resolve(tableName, col string) (int, error) {
+	if tableName != "" {
+		for _, b := range e.bindings {
+			if b.name != tableName {
+				continue
+			}
+			for i, c := range b.cols {
+				if c == col {
+					return b.offset + i, nil
+				}
+			}
+			return 0, fmt.Errorf("engine: table %q has no column %q", tableName, col)
+		}
+		return 0, fmt.Errorf("engine: unknown table %q in expression", tableName)
+	}
+	found := -1
+	for _, b := range e.bindings {
+		for i, c := range b.cols {
+			if c == col {
+				if found >= 0 {
+					return 0, fmt.Errorf("engine: ambiguous column %q", col)
+				}
+				found = b.offset + i
+			}
+		}
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("engine: unknown column %q", col)
+	}
+	return found, nil
+}
+
+// width returns the total number of flat columns.
+func (e *rowEnv) width() int {
+	if len(e.bindings) == 0 {
+		return 0
+	}
+	last := e.bindings[len(e.bindings)-1]
+	return last.offset + len(last.cols)
+}
+
+// evalConst evaluates an expression with no row context (INSERT values).
+func evalConst(e sqldb.Expr) (any, error) {
+	return evalExpr(e, &rowEnv{})
+}
+
+// evalExpr evaluates an expression against a row environment. Aggregate
+// calls are rejected here; the select executor evaluates them in group
+// context.
+func evalExpr(e sqldb.Expr, env *rowEnv) (any, error) {
+	switch x := e.(type) {
+	case *sqldb.Lit:
+		return x.Value, nil
+	case *sqldb.Col:
+		idx, err := env.resolve(x.Table, x.Name)
+		if err != nil {
+			return nil, err
+		}
+		if env.row == nil || idx >= len(env.row) {
+			return nil, fmt.Errorf("engine: column %q referenced outside row context", x.Name)
+		}
+		return env.row[idx], nil
+	case *sqldb.Bin:
+		return evalBin(x, env)
+	case *sqldb.Not:
+		v, err := evalExpr(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		return !truthy(v), nil
+	case *sqldb.IsNull:
+		v, err := evalExpr(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		return (v == nil) != x.Negate, nil
+	case *sqldb.In:
+		v, err := evalExpr(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			return false, nil
+		}
+		for _, cand := range x.List {
+			cv, err := evalExpr(cand, env)
+			if err != nil {
+				return nil, err
+			}
+			if equalVals(v, cv) {
+				return !x.Negate, nil
+			}
+		}
+		return x.Negate, nil
+	case *sqldb.Like:
+		v, err := evalExpr(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		s, ok := v.(string)
+		if !ok {
+			return false, nil
+		}
+		return likeMatch(s, x.Pattern) != x.Negate, nil
+	case *sqldb.Call:
+		if x.IsAggregate() {
+			return nil, fmt.Errorf("engine: aggregate %s outside GROUP BY context", x.Fn)
+		}
+		return evalScalarFn(x, env)
+	default:
+		return nil, fmt.Errorf("engine: unsupported expression %T", e)
+	}
+}
+
+func evalBin(b *sqldb.Bin, env *rowEnv) (any, error) {
+	// Short-circuit logic operators.
+	switch b.Op {
+	case sqldb.OpAnd:
+		l, err := evalExpr(b.L, env)
+		if err != nil {
+			return nil, err
+		}
+		if !truthy(l) {
+			return false, nil
+		}
+		r, err := evalExpr(b.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return truthy(r), nil
+	case sqldb.OpOr:
+		l, err := evalExpr(b.L, env)
+		if err != nil {
+			return nil, err
+		}
+		if truthy(l) {
+			return true, nil
+		}
+		r, err := evalExpr(b.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return truthy(r), nil
+	}
+	l, err := evalExpr(b.L, env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := evalExpr(b.R, env)
+	if err != nil {
+		return nil, err
+	}
+	switch b.Op {
+	case sqldb.OpEq:
+		return equalVals(l, r), nil
+	case sqldb.OpNe:
+		if l == nil || r == nil {
+			return false, nil
+		}
+		return compare(l, r) != 0, nil
+	case sqldb.OpLt, sqldb.OpLe, sqldb.OpGt, sqldb.OpGe:
+		if l == nil || r == nil {
+			return false, nil
+		}
+		c := compare(l, r)
+		switch b.Op {
+		case sqldb.OpLt:
+			return c < 0, nil
+		case sqldb.OpLe:
+			return c <= 0, nil
+		case sqldb.OpGt:
+			return c > 0, nil
+		default:
+			return c >= 0, nil
+		}
+	case sqldb.OpAdd, sqldb.OpSub, sqldb.OpMul, sqldb.OpDiv, sqldb.OpMod:
+		return arith(b.Op, l, r)
+	default:
+		return nil, fmt.Errorf("engine: unknown operator %q", b.Op)
+	}
+}
+
+func arith(op string, l, r any) (any, error) {
+	if l == nil || r == nil {
+		return nil, nil
+	}
+	if op == sqldb.OpAdd {
+		if ls, ok := l.(string); ok {
+			if rs, ok := r.(string); ok {
+				return ls + rs, nil // string concatenation
+			}
+		}
+	}
+	li, lInt := l.(int64)
+	ri, rInt := r.(int64)
+	if lInt && rInt {
+		switch op {
+		case sqldb.OpAdd:
+			return li + ri, nil
+		case sqldb.OpSub:
+			return li - ri, nil
+		case sqldb.OpMul:
+			return li * ri, nil
+		case sqldb.OpDiv:
+			if ri == 0 {
+				return nil, fmt.Errorf("engine: division by zero")
+			}
+			return li / ri, nil
+		case sqldb.OpMod:
+			if ri == 0 {
+				return nil, fmt.Errorf("engine: division by zero")
+			}
+			return li % ri, nil
+		}
+	}
+	lf, lok := toFloat(l)
+	rf, rok := toFloat(r)
+	if !lok || !rok {
+		return nil, fmt.Errorf("engine: cannot apply %q to %T and %T", op, l, r)
+	}
+	switch op {
+	case sqldb.OpAdd:
+		return lf + rf, nil
+	case sqldb.OpSub:
+		return lf - rf, nil
+	case sqldb.OpMul:
+		return lf * rf, nil
+	case sqldb.OpDiv:
+		if rf == 0 {
+			return nil, fmt.Errorf("engine: division by zero")
+		}
+		return lf / rf, nil
+	case sqldb.OpMod:
+		return math.Mod(lf, rf), nil
+	}
+	return nil, fmt.Errorf("engine: unknown operator %q", op)
+}
+
+func evalScalarFn(c *sqldb.Call, env *rowEnv) (any, error) {
+	args := make([]any, len(c.Args))
+	for i, a := range c.Args {
+		v, err := evalExpr(a, env)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	switch c.Fn {
+	case "LENGTH":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("engine: LENGTH takes 1 argument")
+		}
+		if s, ok := args[0].(string); ok {
+			return int64(len(s)), nil
+		}
+		return nil, nil
+	case "LOWER":
+		if s, ok := args[0].(string); ok {
+			return strings.ToLower(s), nil
+		}
+		return args[0], nil
+	case "UPPER":
+		if s, ok := args[0].(string); ok {
+			return strings.ToUpper(s), nil
+		}
+		return args[0], nil
+	case "ABS":
+		switch x := args[0].(type) {
+		case int64:
+			if x < 0 {
+				return -x, nil
+			}
+			return x, nil
+		case float64:
+			return math.Abs(x), nil
+		}
+		return nil, nil
+	case "COALESCE":
+		for _, a := range args {
+			if a != nil {
+				return a, nil
+			}
+		}
+		return nil, nil
+	case "NUM":
+		// NUM casts text to a number (integer when exact), for arithmetic
+		// over the TEXT columns XML shredding produces.
+		if len(args) != 1 {
+			return nil, fmt.Errorf("engine: NUM takes 1 argument")
+		}
+		switch x := args[0].(type) {
+		case nil:
+			return nil, nil
+		case int64, float64:
+			return x, nil
+		case string:
+			if n, err := strconv.ParseInt(x, 10, 64); err == nil {
+				return n, nil
+			}
+			f, err := strconv.ParseFloat(x, 64)
+			if err != nil {
+				return nil, fmt.Errorf("engine: NUM(%q): not a number", x)
+			}
+			return f, nil
+		default:
+			return nil, fmt.Errorf("engine: NUM(%T): not a number", x)
+		}
+	default:
+		return nil, fmt.Errorf("engine: unknown function %s", c.Fn)
+	}
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any one byte).
+func likeMatch(s, pattern string) bool {
+	// Dynamic programming over bytes.
+	m, n := len(s), len(pattern)
+	prev := make([]bool, m+1)
+	cur := make([]bool, m+1)
+	prev[0] = true
+	for j := 1; j <= n; j++ {
+		pc := pattern[j-1]
+		cur[0] = prev[0] && pc == '%'
+		for i := 1; i <= m; i++ {
+			switch pc {
+			case '%':
+				cur[i] = cur[i-1] || prev[i]
+			case '_':
+				cur[i] = prev[i-1]
+			default:
+				cur[i] = prev[i-1] && s[i-1] == pc
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// exprRefs returns the set of binding names an expression references;
+// unqualified columns resolve against the environment metadata.
+func exprRefs(e sqldb.Expr, env *rowEnv) (map[string]bool, error) {
+	out := make(map[string]bool)
+	var walk func(sqldb.Expr) error
+	walk = func(x sqldb.Expr) error {
+		switch v := x.(type) {
+		case nil:
+			return nil
+		case *sqldb.Lit:
+			return nil
+		case *sqldb.Col:
+			if v.Table != "" {
+				out[v.Table] = true
+				return nil
+			}
+			// Resolve unqualified name to its binding.
+			found := ""
+			for _, b := range env.bindings {
+				for _, c := range b.cols {
+					if c == v.Name {
+						if found != "" && found != b.name {
+							return fmt.Errorf("engine: ambiguous column %q", v.Name)
+						}
+						found = b.name
+					}
+				}
+			}
+			if found == "" {
+				return fmt.Errorf("engine: unknown column %q", v.Name)
+			}
+			out[found] = true
+			return nil
+		case *sqldb.Bin:
+			if err := walk(v.L); err != nil {
+				return err
+			}
+			return walk(v.R)
+		case *sqldb.Not:
+			return walk(v.X)
+		case *sqldb.IsNull:
+			return walk(v.X)
+		case *sqldb.In:
+			if err := walk(v.X); err != nil {
+				return err
+			}
+			for _, c := range v.List {
+				if err := walk(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		case *sqldb.Like:
+			return walk(v.X)
+		case *sqldb.Call:
+			for _, a := range v.Args {
+				if err := walk(a); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return fmt.Errorf("engine: unsupported expression %T", x)
+		}
+	}
+	if err := walk(e); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// hasAggregate reports whether the expression contains an aggregate call.
+func hasAggregate(e sqldb.Expr) bool {
+	switch v := e.(type) {
+	case nil:
+		return false
+	case *sqldb.Call:
+		if v.IsAggregate() {
+			return true
+		}
+		for _, a := range v.Args {
+			if hasAggregate(a) {
+				return true
+			}
+		}
+		return false
+	case *sqldb.Bin:
+		return hasAggregate(v.L) || hasAggregate(v.R)
+	case *sqldb.Not:
+		return hasAggregate(v.X)
+	case *sqldb.IsNull:
+		return hasAggregate(v.X)
+	case *sqldb.In:
+		if hasAggregate(v.X) {
+			return true
+		}
+		for _, c := range v.List {
+			if hasAggregate(c) {
+				return true
+			}
+		}
+		return false
+	case *sqldb.Like:
+		return hasAggregate(v.X)
+	default:
+		return false
+	}
+}
+
+// splitAnd flattens a conjunction into its conjuncts.
+func splitAnd(e sqldb.Expr) []sqldb.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*sqldb.Bin); ok && b.Op == sqldb.OpAnd {
+		return append(splitAnd(b.L), splitAnd(b.R)...)
+	}
+	return []sqldb.Expr{e}
+}

@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"xmlrdb/internal/sqldb"
+)
+
+// orderedIndex is a single-column sorted index supporting range scans —
+// the engine's answer to the paper's §5 question about index structures
+// for XML data: ordinary ordered indexes over the shredded columns.
+//
+// The index is maintained lazily: writes mark it dirty and the next
+// range scan rebuilds it from the live rows. That favors the
+// load-then-analyze workloads of the experiment suite.
+type orderedIndex struct {
+	name    string
+	col     int
+	entries []ordEntry
+	dirty   bool
+}
+
+type ordEntry struct {
+	val any
+	pos int
+}
+
+// CreateOrderedIndex builds a sorted single-column index for range
+// predicates (<, <=, >, >=, =) on the column.
+func (db *DB) CreateOrderedIndex(name, tableName, col string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t := db.tables[tableName]
+	if t == nil {
+		return fmt.Errorf("%w: %q", ErrNoTable, tableName)
+	}
+	if t.ordered == nil {
+		t.ordered = make(map[string]*orderedIndex)
+	}
+	if _, dup := t.ordered[name]; dup {
+		return fmt.Errorf("engine: ordered index %q already exists", name)
+	}
+	if _, dup := t.indexes[name]; dup {
+		return fmt.Errorf("engine: index %q already exists", name)
+	}
+	_, pos := t.def.Column(col)
+	if pos < 0 {
+		return fmt.Errorf("engine: table %q has no column %q", tableName, col)
+	}
+	ix := &orderedIndex{name: name, col: pos, dirty: true}
+	t.ordered[name] = ix
+	ix.rebuild(t)
+	return nil
+}
+
+// DropOrderedIndex removes an ordered index.
+func (db *DB) DropOrderedIndex(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, t := range db.tables {
+		if _, ok := t.ordered[name]; ok {
+			delete(t.ordered, name)
+			return nil
+		}
+	}
+	return fmt.Errorf("engine: no such ordered index %q", name)
+}
+
+func (ix *orderedIndex) rebuild(t *table) {
+	ix.entries = ix.entries[:0]
+	for pos, row := range t.rows {
+		if row == nil || row[ix.col] == nil {
+			continue
+		}
+		ix.entries = append(ix.entries, ordEntry{val: row[ix.col], pos: pos})
+	}
+	sort.SliceStable(ix.entries, func(i, j int) bool {
+		return compare(ix.entries[i].val, ix.entries[j].val) < 0
+	})
+	ix.dirty = false
+}
+
+// rangeBounds is an extracted window: lo/hi may be nil (unbounded);
+// loStrict/hiStrict select open bounds.
+type rangeBounds struct {
+	lo, hi             any
+	loStrict, hiStrict bool
+}
+
+// scan returns the row positions inside the bounds.
+func (ix *orderedIndex) scan(t *table, b rangeBounds) []int {
+	if ix.dirty {
+		ix.rebuild(t)
+	}
+	n := len(ix.entries)
+	start := 0
+	if b.lo != nil {
+		start = sort.Search(n, func(i int) bool {
+			c := compare(ix.entries[i].val, b.lo)
+			if b.loStrict {
+				return c > 0
+			}
+			return c >= 0
+		})
+	}
+	end := n
+	if b.hi != nil {
+		end = sort.Search(n, func(i int) bool {
+			c := compare(ix.entries[i].val, b.hi)
+			if b.hiStrict {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	if start >= end {
+		return nil
+	}
+	out := make([]int, 0, end-start)
+	for _, e := range ix.entries[start:end] {
+		out = append(out, e.pos)
+	}
+	return out
+}
+
+// markOrderedDirty flags every ordered index of the table after a write.
+func (t *table) markOrderedDirty() {
+	for _, ix := range t.ordered {
+		ix.dirty = true
+	}
+}
+
+// findOrdered returns an ordered index on the column, or nil.
+func (t *table) findOrdered(col int) *orderedIndex {
+	for _, ix := range t.ordered {
+		if ix.col == col {
+			return ix
+		}
+	}
+	return nil
+}
+
+// extractRange inspects single-table predicates for range conditions
+// (col < lit etc.) on one ordered-indexed column. It returns the index,
+// the bounds, and whether anything usable was found; the predicates are
+// all left in place (they are re-checked per row), so using the window
+// is purely an optimization.
+func extractRange(preds []sqldb.Expr, src source) (*orderedIndex, rangeBounds, bool) {
+	var target *orderedIndex
+	var bounds rangeBounds
+	found := false
+	consider := func(col *sqldb.Col, lit sqldb.Expr, op string) {
+		if col.Table != "" && col.Table != src.ref.Name() {
+			return
+		}
+		_, pos := src.t.def.Column(col.Name)
+		if pos < 0 {
+			return
+		}
+		ix := src.t.findOrdered(pos)
+		if ix == nil || (target != nil && ix != target) {
+			return
+		}
+		v, err := evalConst(lit)
+		if err != nil || v == nil {
+			return
+		}
+		switch op {
+		case sqldb.OpEq:
+			bounds.lo, bounds.hi = v, v
+			bounds.loStrict, bounds.hiStrict = false, false
+		case sqldb.OpLt:
+			if bounds.hi == nil || compare(v, bounds.hi) <= 0 {
+				bounds.hi, bounds.hiStrict = v, true
+			}
+		case sqldb.OpLe:
+			if bounds.hi == nil || compare(v, bounds.hi) < 0 {
+				bounds.hi, bounds.hiStrict = v, false
+			}
+		case sqldb.OpGt:
+			if bounds.lo == nil || compare(v, bounds.lo) >= 0 {
+				bounds.lo, bounds.loStrict = v, true
+			}
+		case sqldb.OpGe:
+			if bounds.lo == nil || compare(v, bounds.lo) > 0 {
+				bounds.lo, bounds.loStrict = v, false
+			}
+		default:
+			return
+		}
+		target = ix
+		found = true
+	}
+	flip := map[string]string{
+		sqldb.OpLt: sqldb.OpGt, sqldb.OpLe: sqldb.OpGe,
+		sqldb.OpGt: sqldb.OpLt, sqldb.OpGe: sqldb.OpLe,
+		sqldb.OpEq: sqldb.OpEq,
+	}
+	for _, p := range preds {
+		bin, ok := p.(*sqldb.Bin)
+		if !ok {
+			continue
+		}
+		switch bin.Op {
+		case sqldb.OpEq, sqldb.OpLt, sqldb.OpLe, sqldb.OpGt, sqldb.OpGe:
+		default:
+			continue
+		}
+		if col, lit := asColLit(bin.L, bin.R); col != nil {
+			consider(col, lit, bin.Op)
+			continue
+		}
+		if col, lit := asColLit(bin.R, bin.L); col != nil {
+			consider(col, lit, flip[bin.Op])
+		}
+	}
+	return target, bounds, found
+}

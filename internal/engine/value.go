@@ -1,0 +1,207 @@
+// Package engine is an embedded, in-memory relational engine executing
+// the sqldb SQL subset over rel schemas: row storage with hash indexes,
+// constraint enforcement (NOT NULL, PRIMARY KEY, UNIQUE, FOREIGN KEY),
+// and a query planner with predicate pushdown, index scans, and hash
+// joins. It is the substrate standing in for the commercial RDBMS of the
+// paper's §5 experiments.
+//
+// Values are Go dynamic values: int64, float64, string, bool, or nil for
+// SQL NULL. Comparisons involving NULL are false (a simplification of
+// three-valued logic, documented in DESIGN.md); aggregates ignore NULLs.
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"xmlrdb/internal/rel"
+)
+
+// coerce converts a Go value to the column type, returning an error for
+// incompatible values. nil passes through (NULL).
+func coerce(v any, t rel.Type) (any, error) {
+	if v == nil {
+		return nil, nil
+	}
+	switch t {
+	case rel.TypeInt:
+		switch x := v.(type) {
+		case int64:
+			return x, nil
+		case int:
+			return int64(x), nil
+		case float64:
+			return int64(x), nil
+		case bool:
+			if x {
+				return int64(1), nil
+			}
+			return int64(0), nil
+		case string:
+			n, err := strconv.ParseInt(x, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("engine: cannot store %q in INTEGER column", x)
+			}
+			return n, nil
+		}
+	case rel.TypeFloat:
+		switch x := v.(type) {
+		case float64:
+			return x, nil
+		case int64:
+			return float64(x), nil
+		case int:
+			return float64(x), nil
+		case string:
+			f, err := strconv.ParseFloat(x, 64)
+			if err != nil {
+				return nil, fmt.Errorf("engine: cannot store %q in FLOAT column", x)
+			}
+			return f, nil
+		}
+	case rel.TypeText:
+		switch x := v.(type) {
+		case string:
+			return x, nil
+		case int64:
+			return strconv.FormatInt(x, 10), nil
+		case int:
+			return strconv.Itoa(x), nil
+		case float64:
+			return strconv.FormatFloat(x, 'g', -1, 64), nil
+		case bool:
+			return strconv.FormatBool(x), nil
+		}
+	case rel.TypeBool:
+		switch x := v.(type) {
+		case bool:
+			return x, nil
+		case int64:
+			return x != 0, nil
+		case int:
+			return x != 0, nil
+		case string:
+			b, err := strconv.ParseBool(x)
+			if err != nil {
+				return nil, fmt.Errorf("engine: cannot store %q in BOOLEAN column", x)
+			}
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("engine: cannot store %T in %s column", v, t)
+}
+
+// compare orders two non-NULL values: -1, 0, 1. Numeric types compare
+// numerically across int64/float64; otherwise values must share a type.
+// NULL sorts before everything (only reachable from ORDER BY).
+func compare(a, b any) int {
+	if a == nil || b == nil {
+		switch {
+		case a == nil && b == nil:
+			return 0
+		case a == nil:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if na, aok := toFloat(a); aok {
+		if nb, bok := toFloat(b); bok {
+			switch {
+			case na < nb:
+				return -1
+			case na > nb:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	switch x := a.(type) {
+	case string:
+		if y, ok := b.(string); ok {
+			return strings.Compare(x, y)
+		}
+	case bool:
+		if y, ok := b.(bool); ok {
+			switch {
+			case x == y:
+				return 0
+			case !x:
+				return -1
+			default:
+				return 1
+			}
+		}
+	}
+	// Incomparable types: order by type name for stability.
+	return strings.Compare(fmt.Sprintf("%T", a), fmt.Sprintf("%T", b))
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	case int:
+		return float64(x), true
+	default:
+		return 0, false
+	}
+}
+
+// equalVals reports SQL equality of two non-NULL values; any NULL makes
+// it false.
+func equalVals(a, b any) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	return compare(a, b) == 0
+}
+
+// encodeKey builds a collision-free string key from values, for hash
+// indexes and grouping.
+func encodeKey(vals []any) string {
+	var b strings.Builder
+	for _, v := range vals {
+		switch x := v.(type) {
+		case nil:
+			b.WriteString("n;")
+		case int64:
+			b.WriteString("i" + strconv.FormatInt(x, 10) + ";")
+		case float64:
+			b.WriteString("f" + strconv.FormatFloat(x, 'g', -1, 64) + ";")
+		case string:
+			b.WriteString("s" + strconv.Itoa(len(x)) + ":" + x + ";")
+		case bool:
+			if x {
+				b.WriteString("bt;")
+			} else {
+				b.WriteString("bf;")
+			}
+		default:
+			b.WriteString(fmt.Sprintf("?%v;", x))
+		}
+	}
+	return b.String()
+}
+
+// truthy interprets a value as a predicate result.
+func truthy(v any) bool {
+	switch x := v.(type) {
+	case nil:
+		return false
+	case bool:
+		return x
+	case int64:
+		return x != 0
+	case float64:
+		return x != 0
+	case string:
+		return x != ""
+	default:
+		return false
+	}
+}

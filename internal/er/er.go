@@ -1,0 +1,430 @@
+// Package er models Entity-Relationship diagrams of the specific shape
+// produced by the Lee–Mitchell–Zhang DTD mapping: entities with
+// attributes, and three kinds of relationship nodes (nested group,
+// nesting, and inter-element reference) whose outgoing arcs may form a
+// choice (the circled-plus marking in the paper's Figure 2).
+//
+// The package also renders diagrams as Graphviz DOT and as a stable text
+// inventory used by golden tests, and computes the relationship
+// cardinalities the ER-to-relational translation needs.
+package er
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xmlrdb/internal/dtd"
+)
+
+// AttrOrigin records where an entity attribute came from.
+type AttrOrigin int
+
+// Attribute origins.
+const (
+	// FromXMLAttr means the attribute was declared in an ATTLIST.
+	FromXMLAttr AttrOrigin = iota + 1
+	// Distilled means the attribute was a (#PCDATA) subelement folded in
+	// by step 2 of the mapping algorithm.
+	Distilled
+	// Synthetic means the mapping layer created the attribute (e.g. text
+	// content of a PCDATA-only entity that could not be distilled).
+	Synthetic
+)
+
+// String returns a short origin name.
+func (o AttrOrigin) String() string {
+	switch o {
+	case FromXMLAttr:
+		return "xml-attribute"
+	case Distilled:
+		return "distilled"
+	case Synthetic:
+		return "synthetic"
+	default:
+		return fmt.Sprintf("AttrOrigin(%d)", int(o))
+	}
+}
+
+// Attribute is one attribute of an entity or relationship.
+type Attribute struct {
+	// Name is the attribute name.
+	Name string
+	// Required reports whether a value must be present.
+	Required bool
+	// Key marks the identifying attribute (from an XML ID attribute).
+	Key bool
+	// Origin records how the attribute arose.
+	Origin AttrOrigin
+	// XMLType is the declared DTD attribute type (AttPCData for
+	// distilled subelements).
+	XMLType dtd.AttType
+}
+
+// Entity is an ER entity (one per element type in the converted DTD).
+type Entity struct {
+	// Name is the entity name (the element type name).
+	Name string
+	// Attributes lists the entity's attributes in declaration order.
+	Attributes []Attribute
+	// Existence marks entities that arose from EMPTY element types: pure
+	// existence declarations carrying only attributes or references.
+	Existence bool
+	// AnyContent marks entities from ANY element types.
+	AnyContent bool
+	// PCDataText marks entities that retain unstructured #PCDATA text
+	// content (mixed content, or PCDATA leaves that were not distilled).
+	PCDataText bool
+}
+
+// Attribute returns the named attribute and whether it exists.
+func (e *Entity) Attribute(name string) (Attribute, bool) {
+	for _, a := range e.Attributes {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Attribute{}, false
+}
+
+// KeyAttribute returns the entity's ID-derived key attribute, if any.
+func (e *Entity) KeyAttribute() (Attribute, bool) {
+	for _, a := range e.Attributes {
+		if a.Key {
+			return a, true
+		}
+	}
+	return Attribute{}, false
+}
+
+// RelKind is the kind of a relationship node.
+type RelKind int
+
+// Relationship kinds, mirroring the converted-DTD declarations.
+const (
+	// RelNested is a NESTED declaration: parent element to one subelement.
+	RelNested RelKind = iota + 1
+	// RelNestedGroup is a NESTED_GROUP declaration: parent element to the
+	// members of a group extracted in step 1.
+	RelNestedGroup
+	// RelReference is a REFERENCE declaration: an IDREF(S) attribute to
+	// the choice of all ID-carrying element types.
+	RelReference
+)
+
+// String returns the converted-DTD keyword for the kind.
+func (k RelKind) String() string {
+	switch k {
+	case RelNested:
+		return "NESTED"
+	case RelNestedGroup:
+		return "NESTED_GROUP"
+	case RelReference:
+		return "REFERENCE"
+	default:
+		return fmt.Sprintf("RelKind(%d)", int(k))
+	}
+}
+
+// Arc is one outgoing arc of a relationship node.
+type Arc struct {
+	// Target is the entity the arc points to.
+	Target string
+	// Occ is the occurrence indicator the target carried inside the
+	// original group (metadata; OccOnce for nesting and references).
+	Occ dtd.Occurrence
+}
+
+// Relationship is an ER relationship node.
+type Relationship struct {
+	// Name is the relationship name (NG1, Nauthor, authorid, ...).
+	Name string
+	// Kind discriminates nested group / nested / reference.
+	Kind RelKind
+	// Parent is the entity on the incoming-arc side: the nesting parent,
+	// or the referencing entity for RelReference.
+	Parent string
+	// Arcs are the outgoing arcs, in declaration order.
+	Arcs []Arc
+	// Choice marks the outgoing arcs as alternatives (the paper's
+	// circled-plus): choice groups and reference target sets.
+	Choice bool
+	// GroupOcc is the occurrence indicator of the whole group within the
+	// parent (metadata; e.g. + for (author, affiliation?)+).
+	GroupOcc dtd.Occurrence
+	// Attributes are relationship attributes (IDREF attribute name, or
+	// attributes attached to a group).
+	Attributes []Attribute
+	// ViaAttr names the IDREF attribute for RelReference.
+	ViaAttr string
+	// Multiple marks IDREFS references (many targets per instance).
+	Multiple bool
+}
+
+// Targets returns the arc target names in order.
+func (r *Relationship) Targets() []string {
+	out := make([]string, len(r.Arcs))
+	for i, a := range r.Arcs {
+		out[i] = a.Target
+	}
+	return out
+}
+
+// Model is a complete ER diagram.
+type Model struct {
+	// Name labels the model (typically the DTD/doctype name).
+	Name string
+	// Entities in declaration order.
+	Entities []*Entity
+	// Relationships in creation order.
+	Relationships []*Relationship
+
+	byEntity map[string]*Entity
+	byRel    map[string]*Relationship
+}
+
+// NewModel returns an empty model.
+func NewModel(name string) *Model {
+	return &Model{
+		Name:     name,
+		byEntity: make(map[string]*Entity),
+		byRel:    make(map[string]*Relationship),
+	}
+}
+
+// AddEntity appends an entity; the name must be unique.
+func (m *Model) AddEntity(e *Entity) error {
+	if _, dup := m.byEntity[e.Name]; dup {
+		return fmt.Errorf("er: entity %q already defined", e.Name)
+	}
+	m.Entities = append(m.Entities, e)
+	m.byEntity[e.Name] = e
+	return nil
+}
+
+// AddRelationship appends a relationship; the name must be unique.
+func (m *Model) AddRelationship(r *Relationship) error {
+	if _, dup := m.byRel[r.Name]; dup {
+		return fmt.Errorf("er: relationship %q already defined", r.Name)
+	}
+	m.Relationships = append(m.Relationships, r)
+	m.byRel[r.Name] = r
+	return nil
+}
+
+// Entity returns the named entity, or nil.
+func (m *Model) Entity(name string) *Entity { return m.byEntity[name] }
+
+// Relationship returns the named relationship, or nil.
+func (m *Model) Relationship(name string) *Relationship { return m.byRel[name] }
+
+// RelationshipsOf returns every relationship whose parent is the entity,
+// in creation order.
+func (m *Model) RelationshipsOf(parent string) []*Relationship {
+	var out []*Relationship
+	for _, r := range m.Relationships {
+		if r.Parent == parent {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// NestingParentsOf returns the relationships (nested or nested-group)
+// that can contain the entity as a child.
+func (m *Model) NestingParentsOf(child string) []*Relationship {
+	var out []*Relationship
+	for _, r := range m.Relationships {
+		if r.Kind == RelReference {
+			continue
+		}
+		for _, a := range r.Arcs {
+			if a.Target == child {
+				out = append(out, r)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks internal consistency: every arc and parent must name a
+// known entity, and relationship attributes must not clash.
+func (m *Model) Validate() error {
+	for _, r := range m.Relationships {
+		if m.Entity(r.Parent) == nil {
+			return fmt.Errorf("er: relationship %q has unknown parent %q", r.Name, r.Parent)
+		}
+		if len(r.Arcs) == 0 {
+			return fmt.Errorf("er: relationship %q has no arcs", r.Name)
+		}
+		for _, a := range r.Arcs {
+			if m.Entity(a.Target) == nil {
+				return fmt.Errorf("er: relationship %q targets unknown entity %q", r.Name, a.Target)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a model for reporting.
+type Stats struct {
+	// Entities and Relationships count the diagram nodes.
+	Entities, Relationships int
+	// EntityAttrs and RelAttrs count attributes.
+	EntityAttrs, RelAttrs int
+	// Nested, NestedGroups and References break down relationship kinds.
+	Nested, NestedGroups, References int
+}
+
+// ComputeStats returns size statistics for the model.
+func (m *Model) ComputeStats() Stats {
+	var s Stats
+	s.Entities = len(m.Entities)
+	s.Relationships = len(m.Relationships)
+	for _, e := range m.Entities {
+		s.EntityAttrs += len(e.Attributes)
+	}
+	for _, r := range m.Relationships {
+		s.RelAttrs += len(r.Attributes)
+		switch r.Kind {
+		case RelNested:
+			s.Nested++
+		case RelNestedGroup:
+			s.NestedGroups++
+		case RelReference:
+			s.References++
+		}
+	}
+	return s
+}
+
+// Inventory renders a deterministic, diff-friendly text description of
+// the model: one line per entity (with attributes) and per relationship.
+// Golden tests compare against it, and the dtd2er CLI prints it.
+func (m *Model) Inventory() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "model %s: %d entities, %d relationships\n",
+		m.Name, len(m.Entities), len(m.Relationships))
+	for _, e := range m.Entities {
+		b.WriteString("entity " + e.Name)
+		var flags []string
+		if e.Existence {
+			flags = append(flags, "existence")
+		}
+		if e.AnyContent {
+			flags = append(flags, "any")
+		}
+		if e.PCDataText {
+			flags = append(flags, "pcdata")
+		}
+		if len(flags) > 0 {
+			b.WriteString(" [" + strings.Join(flags, ",") + "]")
+		}
+		if len(e.Attributes) > 0 {
+			b.WriteString(" { ")
+			for i, a := range e.Attributes {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(a.Name)
+				if a.Key {
+					b.WriteString("*")
+				}
+				if !a.Required {
+					b.WriteString("?")
+				}
+			}
+			b.WriteString(" }")
+		}
+		b.WriteByte('\n')
+	}
+	for _, r := range m.Relationships {
+		sep := ", "
+		if r.Choice {
+			sep = " | "
+		}
+		var targets []string
+		for _, a := range r.Arcs {
+			targets = append(targets, a.Target+a.Occ.String())
+		}
+		fmt.Fprintf(&b, "%s %s: %s -> (%s)%s",
+			strings.ToLower(r.Kind.String()), r.Name, r.Parent,
+			strings.Join(targets, sep), r.GroupOcc.String())
+		if r.ViaAttr != "" {
+			fmt.Fprintf(&b, " via @%s", r.ViaAttr)
+		}
+		if r.Multiple {
+			b.WriteString(" [multiple]")
+		}
+		if len(r.Attributes) > 0 {
+			var names []string
+			for _, a := range r.Attributes {
+				names = append(names, a.Name)
+			}
+			fmt.Fprintf(&b, " { %s }", strings.Join(names, ", "))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DOT renders the model as a Graphviz diagram: rectangles for entities,
+// diamonds for relationships, ellipses for attributes, with choice arcs
+// labeled by the paper's circled-plus convention.
+func (m *Model) DOT() string {
+	var b strings.Builder
+	b.WriteString("graph ER {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [fontsize=10];\n")
+	for _, e := range m.Entities {
+		fmt.Fprintf(&b, "  %q [shape=box, style=bold];\n", e.Name)
+		for _, a := range e.Attributes {
+			id := e.Name + "." + a.Name
+			label := a.Name
+			if a.Key {
+				label = "<<u>" + a.Name + "</u>>"
+				fmt.Fprintf(&b, "  %q [shape=ellipse, label=%s];\n", id, label)
+			} else {
+				fmt.Fprintf(&b, "  %q [shape=ellipse, label=%q];\n", id, label)
+			}
+			fmt.Fprintf(&b, "  %q -- %q;\n", e.Name, id)
+		}
+	}
+	for _, r := range m.Relationships {
+		fmt.Fprintf(&b, "  %q [shape=diamond];\n", r.Name)
+		fmt.Fprintf(&b, "  %q -- %q;\n", r.Parent, r.Name)
+		for _, a := range r.Arcs {
+			attrs := []string{}
+			if r.Choice {
+				attrs = append(attrs, `label="⊕"`)
+			}
+			if a.Occ != dtd.OccOnce {
+				attrs = append(attrs, fmt.Sprintf("taillabel=%q", a.Occ.String()))
+			}
+			suffix := ""
+			if len(attrs) > 0 {
+				suffix = " [" + strings.Join(attrs, ", ") + "]"
+			}
+			fmt.Fprintf(&b, "  %q -- %q%s;\n", r.Name, a.Target, suffix)
+		}
+		for _, a := range r.Attributes {
+			id := r.Name + "." + a.Name
+			fmt.Fprintf(&b, "  %q [shape=ellipse, label=%q];\n", id, a.Name)
+			fmt.Fprintf(&b, "  %q -- %q;\n", r.Name, id)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// SortedEntityNames returns entity names sorted alphabetically, for
+// reporting.
+func (m *Model) SortedEntityNames() []string {
+	names := make([]string, len(m.Entities))
+	for i, e := range m.Entities {
+		names[i] = e.Name
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,188 @@
+package er
+
+import (
+	"strings"
+	"testing"
+
+	"xmlrdb/internal/dtd"
+)
+
+func sampleModel(t *testing.T) *Model {
+	t.Helper()
+	m := NewModel("sample")
+	for _, e := range []*Entity{
+		{Name: "book", Attributes: []Attribute{
+			{Name: "booktitle", Required: true, Origin: Distilled, XMLType: dtd.AttPCData},
+		}},
+		{Name: "author", Attributes: []Attribute{
+			{Name: "id", Required: true, Key: true, Origin: FromXMLAttr, XMLType: dtd.AttID},
+		}},
+		{Name: "editor"},
+		{Name: "note", Existence: true},
+	} {
+		if err := m.AddEntity(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.AddRelationship(&Relationship{
+		Name: "NG1", Kind: RelNestedGroup, Parent: "book", Choice: true,
+		Arcs: []Arc{{Target: "author", Occ: dtd.OccZeroPlus}, {Target: "editor", Occ: dtd.OccOnce}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddRelationship(&Relationship{
+		Name: "ref", Kind: RelReference, Parent: "note", ViaAttr: "who", Choice: true,
+		Arcs: []Arc{{Target: "author", Occ: dtd.OccOnce}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestModelAccessors(t *testing.T) {
+	m := sampleModel(t)
+	if m.Entity("book") == nil || m.Entity("ghost") != nil {
+		t.Error("Entity lookup")
+	}
+	if m.Relationship("NG1") == nil || m.Relationship("nope") != nil {
+		t.Error("Relationship lookup")
+	}
+	if got := len(m.RelationshipsOf("book")); got != 1 {
+		t.Errorf("RelationshipsOf(book) = %d", got)
+	}
+	parents := m.NestingParentsOf("author")
+	if len(parents) != 1 || parents[0].Name != "NG1" {
+		t.Errorf("NestingParentsOf = %+v", parents)
+	}
+	// References are not nesting parents.
+	if got := m.NestingParentsOf("editor"); len(got) != 1 {
+		t.Errorf("editor parents = %+v", got)
+	}
+	if got := m.Relationship("NG1").Targets(); strings.Join(got, ",") != "author,editor" {
+		t.Errorf("Targets = %v", got)
+	}
+	if key, ok := m.Entity("author").KeyAttribute(); !ok || key.Name != "id" {
+		t.Errorf("KeyAttribute = %+v %v", key, ok)
+	}
+	if _, ok := m.Entity("book").KeyAttribute(); ok {
+		t.Error("book has no key")
+	}
+	if a, ok := m.Entity("book").Attribute("booktitle"); !ok || a.Origin != Distilled {
+		t.Errorf("Attribute = %+v %v", a, ok)
+	}
+}
+
+func TestModelDuplicates(t *testing.T) {
+	m := sampleModel(t)
+	if err := m.AddEntity(&Entity{Name: "book"}); err == nil {
+		t.Error("duplicate entity should fail")
+	}
+	if err := m.AddRelationship(&Relationship{Name: "NG1", Parent: "book", Arcs: []Arc{{Target: "author"}}}); err == nil {
+		t.Error("duplicate relationship should fail")
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	m := sampleModel(t)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := NewModel("bad")
+	if err := bad.AddEntity(&Entity{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.AddRelationship(&Relationship{Name: "r", Parent: "missing", Arcs: []Arc{{Target: "a"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown parent should fail validation")
+	}
+
+	bad2 := NewModel("bad2")
+	if err := bad2.AddEntity(&Entity{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad2.AddRelationship(&Relationship{Name: "r", Parent: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad2.Validate(); err == nil {
+		t.Error("relationship without arcs should fail validation")
+	}
+
+	bad3 := NewModel("bad3")
+	if err := bad3.AddEntity(&Entity{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad3.AddRelationship(&Relationship{Name: "r", Parent: "a", Arcs: []Arc{{Target: "zz"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad3.Validate(); err == nil {
+		t.Error("unknown target should fail validation")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	m := sampleModel(t)
+	s := m.ComputeStats()
+	if s.Entities != 4 || s.Relationships != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.NestedGroups != 1 || s.References != 1 || s.Nested != 0 {
+		t.Errorf("kind breakdown = %+v", s)
+	}
+	if s.EntityAttrs != 2 {
+		t.Errorf("entity attrs = %d", s.EntityAttrs)
+	}
+}
+
+func TestInventoryFormat(t *testing.T) {
+	m := sampleModel(t)
+	inv := m.Inventory()
+	for _, want := range []string{
+		"model sample: 4 entities, 2 relationships",
+		"entity book { booktitle }",
+		"entity author { id* }",
+		"entity note [existence]",
+		"nested_group NG1: book -> (author* | editor)",
+		"reference ref: note -> (author) via @who",
+	} {
+		if !strings.Contains(inv, want) {
+			t.Errorf("inventory missing %q:\n%s", want, inv)
+		}
+	}
+}
+
+func TestDOTWellFormed(t *testing.T) {
+	m := sampleModel(t)
+	dot := m.DOT()
+	if !strings.HasPrefix(dot, "graph ER {") || !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Errorf("DOT framing:\n%s", dot)
+	}
+	// Balanced structure: every entity and relationship node declared.
+	for _, want := range []string{`"book" [shape=box`, `"NG1" [shape=diamond]`, `"ref" [shape=diamond]`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	// Key attributes are underlined.
+	if !strings.Contains(dot, "<<u>id</u>>") {
+		t.Error("key attribute not underlined in DOT")
+	}
+}
+
+func TestSortedEntityNames(t *testing.T) {
+	m := sampleModel(t)
+	names := m.SortedEntityNames()
+	if strings.Join(names, ",") != "author,book,editor,note" {
+		t.Errorf("sorted = %v", names)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if RelNested.String() != "NESTED" || RelNestedGroup.String() != "NESTED_GROUP" || RelReference.String() != "REFERENCE" {
+		t.Error("RelKind strings")
+	}
+	if FromXMLAttr.String() != "xml-attribute" || Distilled.String() != "distilled" || Synthetic.String() != "synthetic" {
+		t.Error("AttrOrigin strings")
+	}
+}

@@ -1,0 +1,303 @@
+// Package ermap translates the ER models produced by the core mapping
+// into relational schemas, following the classic textbook translation
+// the paper cites ([EN89]): entities become tables with surrogate keys,
+// relationships become junction tables keyed by the participating
+// entities — or, under the fold strategy, collapse into a foreign key on
+// the child table when the child participates in exactly one nesting
+// relationship with a single target.
+//
+// Naming conventions (chosen so generated names can never collide with
+// XML names): entity tables are "e_<element>", relationship tables
+// "r_<relationship>", attribute columns "a_<attribute>". System columns
+// are unprefixed: id, doc, parent, child, target, ord, grp, source,
+// refvalue, txt, raw.
+package ermap
+
+import (
+	"fmt"
+
+	"xmlrdb/internal/er"
+	"xmlrdb/internal/rel"
+)
+
+// Strategy selects how nesting relationships map to tables.
+type Strategy int
+
+// Translation strategies.
+const (
+	// StrategyJunction gives every relationship its own table — the
+	// uniform translation, faithful to the paper's relationship-centric
+	// diagrams.
+	StrategyJunction Strategy = iota + 1
+	// StrategyFoldFK folds a nesting relationship into parent-reference
+	// columns on the child table when the child entity has exactly one
+	// possible nesting parent relationship with a single target — the
+	// [EN89] 1:N optimization. Other relationships still get junction
+	// tables.
+	StrategyFoldFK
+)
+
+// String returns a short strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyJunction:
+		return "junction"
+	case StrategyFoldFK:
+		return "fold-fk"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Options configures translation.
+type Options struct {
+	// Strategy defaults to StrategyJunction.
+	Strategy Strategy
+	// NoSystemTables omits the x_docs/x_text bookkeeping tables (used by
+	// schema-size experiments that count only data tables).
+	NoSystemTables bool
+}
+
+func (o Options) strategy() Strategy {
+	if o.Strategy == 0 {
+		return StrategyJunction
+	}
+	return o.Strategy
+}
+
+// EntityMap records how one entity maps to its table.
+type EntityMap struct {
+	// Entity is the mapped ER entity.
+	Entity *er.Entity
+	// Table is the entity table name.
+	Table string
+	// AttrCols maps attribute names to column names.
+	AttrCols map[string]string
+	// HasText marks a txt column (PCDATA or mixed text content).
+	HasText bool
+	// HasRaw marks a raw column (ANY content stored as serialized XML).
+	HasRaw bool
+	// FoldedRel is the relationship folded into this table under
+	// StrategyFoldFK ("" when none): the parent/ord columns then live
+	// here.
+	FoldedRel string
+}
+
+// RelMap records how one relationship maps to storage.
+type RelMap struct {
+	// Rel is the mapped ER relationship.
+	Rel *er.Relationship
+	// Table is the junction table name; empty when folded.
+	Table string
+	// Folded marks relationships folded into the child entity table.
+	Folded bool
+	// SingleTarget is set when the relationship has exactly one possible
+	// target entity, allowing an enforced foreign key and omitting the
+	// target discriminator column.
+	SingleTarget bool
+}
+
+// Mapping ties an ER model to its relational schema.
+type Mapping struct {
+	// Model is the source ER model.
+	Model *er.Model
+	// Schema is the generated relational schema.
+	Schema *rel.Schema
+	// Entities and Rels index the mapping by name.
+	Entities map[string]*EntityMap
+	Rels     map[string]*RelMap
+	// Strategy records the translation strategy used.
+	Strategy Strategy
+}
+
+// EntityTable returns the table name for an entity.
+func (m *Mapping) EntityTable(entity string) string {
+	if em := m.Entities[entity]; em != nil {
+		return em.Table
+	}
+	return ""
+}
+
+// Build translates an ER model into a relational schema.
+func Build(model *er.Model, opts Options) (*Mapping, error) {
+	strat := opts.strategy()
+	m := &Mapping{
+		Model:    model,
+		Schema:   rel.NewSchema(model.Name),
+		Entities: make(map[string]*EntityMap),
+		Rels:     make(map[string]*RelMap),
+		Strategy: strat,
+	}
+
+	// Decide folding first: child -> the single relationship folded into
+	// it.
+	foldedInto := make(map[string]*er.Relationship) // child entity -> rel
+	if strat == StrategyFoldFK {
+		for _, e := range model.Entities {
+			parents := model.NestingParentsOf(e.Name)
+			if len(parents) != 1 {
+				continue
+			}
+			r := parents[0]
+			if len(r.Arcs) != 1 {
+				continue // the relationship also nests other entities
+			}
+			foldedInto[e.Name] = r
+		}
+	}
+
+	// Entity tables.
+	for _, e := range model.Entities {
+		em := &EntityMap{
+			Entity:   e,
+			Table:    "e_" + e.Name,
+			AttrCols: make(map[string]string, len(e.Attributes)),
+			HasText:  e.PCDataText,
+			HasRaw:   e.AnyContent,
+		}
+		t := &rel.Table{
+			Name:    em.Table,
+			Comment: fmt.Sprintf("entity %s", e.Name),
+			Columns: []rel.Column{
+				{Name: "id", Type: rel.TypeInt, NotNull: true},
+				{Name: "doc", Type: rel.TypeInt, NotNull: true},
+			},
+			PrimaryKey: []string{"id"},
+		}
+		for _, a := range e.Attributes {
+			col := "a_" + a.Name
+			em.AttrCols[a.Name] = col
+			t.Columns = append(t.Columns, rel.Column{
+				Name: col, Type: rel.TypeText, NotNull: a.Required,
+			})
+			if a.Key {
+				// XML IDs are unique per document.
+				t.Uniques = append(t.Uniques, []string{"doc", col})
+			}
+		}
+		if em.HasText {
+			t.Columns = append(t.Columns, rel.Column{Name: "txt", Type: rel.TypeText})
+		}
+		if em.HasRaw {
+			t.Columns = append(t.Columns, rel.Column{Name: "raw", Type: rel.TypeText})
+		}
+		if r, folded := foldedInto[e.Name]; folded {
+			em.FoldedRel = r.Name
+			t.Columns = append(t.Columns,
+				rel.Column{Name: "parent", Type: rel.TypeInt},
+				rel.Column{Name: "ord", Type: rel.TypeInt},
+			)
+			t.ForeignKeys = append(t.ForeignKeys, rel.ForeignKey{
+				Columns: []string{"parent"}, RefTable: "e_" + r.Parent, RefColumns: []string{"id"},
+			})
+		}
+		if err := m.Schema.AddTable(t); err != nil {
+			return nil, err
+		}
+		m.Entities[e.Name] = em
+	}
+
+	// Relationship tables.
+	for _, r := range model.Relationships {
+		rm := &RelMap{Rel: r, SingleTarget: len(r.Arcs) == 1}
+		if r.Kind != er.RelReference {
+			if child, folded := singleFolded(foldedInto, r); folded {
+				rm.Folded = true
+				rm.Table = ""
+				m.Rels[r.Name] = rm
+				_ = child
+				continue
+			}
+		}
+		rm.Table = "r_" + r.Name
+		t := &rel.Table{Name: rm.Table}
+		switch r.Kind {
+		case er.RelReference:
+			t.Comment = fmt.Sprintf("reference %s: %s/@%s", r.Name, r.Parent, r.ViaAttr)
+			t.Columns = []rel.Column{
+				{Name: "doc", Type: rel.TypeInt, NotNull: true},
+				{Name: "source", Type: rel.TypeInt, NotNull: true},
+				{Name: "refvalue", Type: rel.TypeText, NotNull: true},
+				{Name: "target_type", Type: rel.TypeText},
+				{Name: "target", Type: rel.TypeInt},
+				{Name: "ord", Type: rel.TypeInt, NotNull: true},
+			}
+			t.ForeignKeys = append(t.ForeignKeys, rel.ForeignKey{
+				Columns: []string{"source"}, RefTable: "e_" + r.Parent, RefColumns: []string{"id"},
+			})
+		default:
+			t.Comment = fmt.Sprintf("%s %s: %s", r.Kind, r.Name, r.Parent)
+			t.Columns = []rel.Column{
+				{Name: "doc", Type: rel.TypeInt, NotNull: true},
+				{Name: "parent", Type: rel.TypeInt, NotNull: true},
+				{Name: "child", Type: rel.TypeInt, NotNull: true},
+				{Name: "ord", Type: rel.TypeInt, NotNull: true},
+			}
+			if !rm.SingleTarget {
+				t.Columns = append(t.Columns, rel.Column{Name: "target", Type: rel.TypeText, NotNull: true})
+			}
+			if r.Kind == er.RelNestedGroup && r.GroupOcc.Repeatable() {
+				t.Columns = append(t.Columns, rel.Column{Name: "grp", Type: rel.TypeInt})
+			}
+			t.ForeignKeys = append(t.ForeignKeys, rel.ForeignKey{
+				Columns: []string{"parent"}, RefTable: "e_" + r.Parent, RefColumns: []string{"id"},
+			})
+			if rm.SingleTarget {
+				t.ForeignKeys = append(t.ForeignKeys, rel.ForeignKey{
+					Columns: []string{"child"}, RefTable: "e_" + r.Arcs[0].Target, RefColumns: []string{"id"},
+				})
+			}
+		}
+		if err := m.Schema.AddTable(t); err != nil {
+			return nil, err
+		}
+		m.Rels[r.Name] = rm
+	}
+
+	if !opts.NoSystemTables {
+		if err := m.Schema.AddTable(&rel.Table{
+			Name:    "x_docs",
+			Comment: "document registry",
+			Columns: []rel.Column{
+				{Name: "doc", Type: rel.TypeInt, NotNull: true},
+				{Name: "name", Type: rel.TypeText},
+				{Name: "root_type", Type: rel.TypeText, NotNull: true},
+				{Name: "root", Type: rel.TypeInt, NotNull: true},
+			},
+			PrimaryKey: []string{"doc"},
+		}); err != nil {
+			return nil, err
+		}
+		if err := m.Schema.AddTable(&rel.Table{
+			Name:    "x_text",
+			Comment: "mixed-content text chunks, ordered among their element siblings",
+			Columns: []rel.Column{
+				{Name: "doc", Type: rel.TypeInt, NotNull: true},
+				{Name: "ptype", Type: rel.TypeText, NotNull: true},
+				{Name: "pid", Type: rel.TypeInt, NotNull: true},
+				{Name: "ord", Type: rel.TypeInt, NotNull: true},
+				{Name: "txt", Type: rel.TypeText, NotNull: true},
+			},
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := m.Schema.Validate(); err != nil {
+		return nil, fmt.Errorf("ermap: generated schema invalid: %w", err)
+	}
+	return m, nil
+}
+
+// singleFolded reports whether r is the relationship folded into its
+// single child.
+func singleFolded(foldedInto map[string]*er.Relationship, r *er.Relationship) (string, bool) {
+	if len(r.Arcs) != 1 {
+		return "", false
+	}
+	child := r.Arcs[0].Target
+	if fr, ok := foldedInto[child]; ok && fr == r {
+		return child, true
+	}
+	return "", false
+}

@@ -1,0 +1,197 @@
+package ermap
+
+import (
+	"strings"
+	"testing"
+
+	"xmlrdb/internal/core"
+	"xmlrdb/internal/dtd"
+	"xmlrdb/internal/paper"
+)
+
+func paperMapping(t *testing.T, opts Options) *Mapping {
+	t.Helper()
+	res, err := core.Map(dtd.MustParse(paper.Example1DTD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Build(res.Model, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestJunctionSchema(t *testing.T) {
+	m := paperMapping(t, Options{})
+	// 8 entities + 8 relationships + 2 system tables.
+	if got := len(m.Schema.Tables); got != 18 {
+		t.Fatalf("tables = %d, want 18:\n%s", got, m.Schema.DDL())
+	}
+
+	book := m.Schema.Table("e_book")
+	if book == nil {
+		t.Fatal("e_book missing")
+	}
+	if _, i := book.Column("a_booktitle"); i < 0 {
+		t.Error("e_book.a_booktitle missing")
+	}
+	if c, _ := book.Column("a_booktitle"); !c.NotNull {
+		t.Error("required distilled attribute should be NOT NULL")
+	}
+
+	author := m.Schema.Table("e_author")
+	if len(author.Uniques) != 1 || strings.Join(author.Uniques[0], ",") != "doc,a_id" {
+		t.Errorf("author uniques = %v", author.Uniques)
+	}
+
+	name := m.Schema.Table("e_name")
+	if c, _ := name.Column("a_firstname"); c.NotNull {
+		t.Error("optional attribute should be nullable")
+	}
+
+	aff := m.Schema.Table("e_affiliation")
+	if _, i := aff.Column("raw"); i < 0 {
+		t.Error("ANY entity should have a raw column")
+	}
+
+	ng1 := m.Schema.Table("r_NG1")
+	if _, i := ng1.Column("target"); i < 0 {
+		t.Error("multi-target relationship needs a target column")
+	}
+	ng2 := m.Schema.Table("r_NG2")
+	if _, i := ng2.Column("grp"); i < 0 {
+		t.Error("repeating group needs a grp column")
+	}
+	if _, i := ng1.Column("grp"); i >= 0 {
+		t.Error("non-repeating group should not have grp")
+	}
+
+	nname := m.Schema.Table("r_Nname")
+	if _, i := nname.Column("target"); i >= 0 {
+		t.Error("single-target relationship should omit target column")
+	}
+	foundFK := false
+	for _, fk := range nname.ForeignKeys {
+		if fk.RefTable == "e_name" {
+			foundFK = true
+		}
+	}
+	if !foundFK {
+		t.Error("single-target relationship should have child FK")
+	}
+
+	ref := m.Schema.Table("r_authorid")
+	for _, col := range []string{"source", "refvalue", "target_type", "target", "ord"} {
+		if _, i := ref.Column(col); i < 0 {
+			t.Errorf("r_authorid missing %s", col)
+		}
+	}
+
+	if m.Schema.Table("x_docs") == nil || m.Schema.Table("x_text") == nil {
+		t.Error("system tables missing")
+	}
+	if err := m.Schema.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFoldFKStrategy(t *testing.T) {
+	m := paperMapping(t, Options{Strategy: StrategyFoldFK})
+	// name has exactly one nesting parent (author via Nname): folded.
+	if m.Schema.Table("r_Nname") != nil {
+		t.Error("Nname should be folded under fold-fk")
+	}
+	nameT := m.Schema.Table("e_name")
+	if _, i := nameT.Column("parent"); i < 0 {
+		t.Error("folded child should gain parent column")
+	}
+	if m.Entities["name"].FoldedRel != "Nname" {
+		t.Errorf("FoldedRel = %q", m.Entities["name"].FoldedRel)
+	}
+	if rm := m.Rels["Nname"]; !rm.Folded || rm.Table != "" {
+		t.Errorf("Nname RelMap = %+v", rm)
+	}
+	// author participates in three nesting relationships: not folded.
+	if m.Schema.Table("r_Nauthor") == nil {
+		t.Error("Nauthor must stay a junction table")
+	}
+	// contactauthor has one nesting parent (Ncontactauthor): folded.
+	if m.Schema.Table("r_Ncontactauthor") != nil {
+		t.Error("Ncontactauthor should be folded")
+	}
+	// References never fold.
+	if m.Schema.Table("r_authorid") == nil {
+		t.Error("reference table missing under fold-fk")
+	}
+	if err := m.Schema.Validate(); err != nil {
+		t.Error(err)
+	}
+	junction := paperMapping(t, Options{})
+	if len(m.Schema.Tables) >= len(junction.Schema.Tables) {
+		t.Errorf("fold-fk should produce fewer tables: %d vs %d",
+			len(m.Schema.Tables), len(junction.Schema.Tables))
+	}
+}
+
+func TestNoSystemTables(t *testing.T) {
+	m := paperMapping(t, Options{NoSystemTables: true})
+	if m.Schema.Table("x_docs") != nil {
+		t.Error("x_docs should be omitted")
+	}
+}
+
+func TestDDLOutput(t *testing.T) {
+	m := paperMapping(t, Options{})
+	ddl := m.Schema.DDL()
+	for _, want := range []string{
+		"CREATE TABLE e_book",
+		"a_booktitle TEXT NOT NULL",
+		"PRIMARY KEY (id)",
+		"CREATE TABLE r_NG1",
+		"FOREIGN KEY (parent) REFERENCES e_book (id)",
+		"UNIQUE (doc, a_id)",
+		"-- entity author",
+	} {
+		if !strings.Contains(ddl, want) {
+			t.Errorf("DDL missing %q", want)
+		}
+	}
+	// Round-trip sanity: stats count what the DDL shows.
+	st := m.Schema.ComputeStats()
+	if st.Tables != strings.Count(ddl, "CREATE TABLE") {
+		t.Errorf("stats tables = %d, DDL has %d", st.Tables, strings.Count(ddl, "CREATE TABLE"))
+	}
+}
+
+func TestEntityTableLookup(t *testing.T) {
+	m := paperMapping(t, Options{})
+	if got := m.EntityTable("book"); got != "e_book" {
+		t.Errorf("EntityTable(book) = %q", got)
+	}
+	if got := m.EntityTable("ghost"); got != "" {
+		t.Errorf("EntityTable(ghost) = %q", got)
+	}
+}
+
+func TestMixedContentSchema(t *testing.T) {
+	res, err := core.Map(dtd.MustParse(`
+<!ELEMENT para (#PCDATA | em)*>
+<!ELEMENT em (#PCDATA)>
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Build(res.Model, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paraT := m.Schema.Table("e_para")
+	if _, i := paraT.Column("txt"); i < 0 {
+		t.Error("mixed entity needs txt column")
+	}
+	emT := m.Schema.Table("e_em")
+	if _, i := emT.Column("txt"); i < 0 {
+		t.Error("PCDATA leaf entity needs txt column")
+	}
+}

@@ -1,0 +1,149 @@
+// Package meta materializes the paper's §5 metadata — the DTD
+// information a relational schema cannot express — as ordinary
+// relational tables in the engine, exactly as the paper prescribes
+// ("metadata can be collected at the time of DTD to relational mapping
+// and stored as relational tables"). The tables drive data loading,
+// document reconstruction and query translation.
+package meta
+
+import (
+	"fmt"
+
+	"xmlrdb/internal/core"
+	"xmlrdb/internal/dtd"
+	"xmlrdb/internal/ermap"
+	"xmlrdb/internal/rel"
+)
+
+// TableNames lists the metadata tables, in creation order.
+var TableNames = []string{
+	"meta_elements", "meta_mapping", "meta_order",
+	"meta_occurrence", "meta_distilled", "meta_existence",
+}
+
+// Tables returns the metadata table definitions.
+func Tables() []*rel.Table {
+	return []*rel.Table{
+		{
+			Name:    "meta_elements",
+			Comment: "original element declarations (content-model text preserves full schema ordering)",
+			Columns: []rel.Column{
+				{Name: "name", Type: rel.TypeText, NotNull: true},
+				{Name: "kind", Type: rel.TypeText, NotNull: true},
+				{Name: "model_text", Type: rel.TypeText},
+			},
+			PrimaryKey: []string{"name"},
+		},
+		{
+			Name:    "meta_mapping",
+			Comment: "model object to table mapping",
+			Columns: []rel.Column{
+				{Name: "kind", Type: rel.TypeText, NotNull: true},
+				{Name: "name", Type: rel.TypeText, NotNull: true},
+				{Name: "table_name", Type: rel.TypeText, NotNull: true},
+			},
+		},
+		{
+			Name:    "meta_order",
+			Comment: "schema ordering of content items within each parent",
+			Columns: []rel.Column{
+				{Name: "parent", Type: rel.TypeText, NotNull: true},
+				{Name: "pos", Type: rel.TypeInt, NotNull: true},
+				{Name: "item", Type: rel.TypeText, NotNull: true},
+				{Name: "kind", Type: rel.TypeText, NotNull: true},
+			},
+		},
+		{
+			Name:    "meta_occurrence",
+			Comment: "occurrence indicators dropped from the relational schema",
+			Columns: []rel.Column{
+				{Name: "parent", Type: rel.TypeText, NotNull: true},
+				{Name: "item", Type: rel.TypeText, NotNull: true},
+				{Name: "occ", Type: rel.TypeText, NotNull: true},
+			},
+		},
+		{
+			Name:    "meta_distilled",
+			Comment: "step-2 attribute distillings (subelement folded into parent attribute)",
+			Columns: []rel.Column{
+				{Name: "parent", Type: rel.TypeText, NotNull: true},
+				{Name: "attr", Type: rel.TypeText, NotNull: true},
+				{Name: "pos", Type: rel.TypeInt, NotNull: true},
+				{Name: "required", Type: rel.TypeBool, NotNull: true},
+			},
+		},
+		{
+			Name:    "meta_existence",
+			Comment: "existence-only (EMPTY) element types",
+			Columns: []rel.Column{
+				{Name: "element", Type: rel.TypeText, NotNull: true},
+			},
+			PrimaryKey: []string{"element"},
+		},
+	}
+}
+
+// Inserter abstracts the engine's insert surface, so this package does
+// not depend on the engine directly.
+type Inserter interface {
+	// Insert appends one row (in column order) to the named table.
+	Insert(table string, row []any) (int, error)
+	// CreateTable registers a table definition.
+	CreateTable(def *rel.Table) error
+}
+
+// Store creates the metadata tables and fills them from a mapping result.
+func Store(db Inserter, res *core.Result, m *ermap.Mapping) error {
+	for _, def := range Tables() {
+		if err := db.CreateTable(def); err != nil {
+			return fmt.Errorf("meta: %w", err)
+		}
+	}
+	md := res.Metadata
+	logical := res.Original
+	for _, name := range logical.ElementOrder {
+		decl := logical.Elements[name]
+		if _, err := db.Insert("meta_elements", []any{
+			name, decl.Content.Kind.String(), md.ModelText[name],
+		}); err != nil {
+			return fmt.Errorf("meta: %w", err)
+		}
+	}
+	for _, e := range m.Model.Entities {
+		em := m.Entities[e.Name]
+		if _, err := db.Insert("meta_mapping", []any{"entity", em.Entity.Name, em.Table}); err != nil {
+			return fmt.Errorf("meta: %w", err)
+		}
+	}
+	for _, r := range m.Model.Relationships {
+		rm := m.Rels[r.Name]
+		tableName := rm.Table
+		if rm.Folded {
+			tableName = m.EntityTable(rm.Rel.Arcs[0].Target)
+		}
+		if _, err := db.Insert("meta_mapping", []any{"relationship", rm.Rel.Name, tableName}); err != nil {
+			return fmt.Errorf("meta: %w", err)
+		}
+	}
+	for _, e := range md.SchemaOrder {
+		if _, err := db.Insert("meta_order", []any{e.Parent, e.Pos, e.Item, e.Kind.String()}); err != nil {
+			return fmt.Errorf("meta: %w", err)
+		}
+	}
+	for _, e := range md.Occurrence {
+		if _, err := db.Insert("meta_occurrence", []any{e.Parent, e.Item, e.Occ.String()}); err != nil {
+			return fmt.Errorf("meta: %w", err)
+		}
+	}
+	for _, e := range md.Distilled {
+		if _, err := db.Insert("meta_distilled", []any{e.Parent, e.Attr, e.Pos, e.Default == dtd.DefRequired}); err != nil {
+			return fmt.Errorf("meta: %w", err)
+		}
+	}
+	for _, el := range md.Existence {
+		if _, err := db.Insert("meta_existence", []any{el}); err != nil {
+			return fmt.Errorf("meta: %w", err)
+		}
+	}
+	return nil
+}

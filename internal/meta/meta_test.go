@@ -1,0 +1,161 @@
+package meta
+
+import (
+	"fmt"
+	"testing"
+
+	"xmlrdb/internal/core"
+	"xmlrdb/internal/dtd"
+	"xmlrdb/internal/ermap"
+	"xmlrdb/internal/paper"
+	"xmlrdb/internal/rel"
+)
+
+// fakeDB records inserts without a real engine, to test Store in
+// isolation and to inject failures.
+type fakeDB struct {
+	tables  map[string][][]any
+	created []string
+	failOn  string
+}
+
+func newFakeDB() *fakeDB { return &fakeDB{tables: make(map[string][][]any)} }
+
+func (f *fakeDB) CreateTable(def *rel.Table) error {
+	if f.failOn == "create:"+def.Name {
+		return fmt.Errorf("injected failure on %s", def.Name)
+	}
+	f.created = append(f.created, def.Name)
+	return nil
+}
+
+func (f *fakeDB) Insert(table string, row []any) (int, error) {
+	if f.failOn == "insert:"+table {
+		return 0, fmt.Errorf("injected failure on %s", table)
+	}
+	f.tables[table] = append(f.tables[table], row)
+	return len(f.tables[table]) - 1, nil
+}
+
+func mapped(t *testing.T) (*core.Result, *ermap.Mapping) {
+	t.Helper()
+	res, err := core.Map(dtd.MustParse(paper.Example1DTD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ermap.Build(res.Model, ermap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, m
+}
+
+func TestTablesComplete(t *testing.T) {
+	defs := Tables()
+	if len(defs) != len(TableNames) {
+		t.Fatalf("defs = %d, names = %d", len(defs), len(TableNames))
+	}
+	for i, def := range defs {
+		if def.Name != TableNames[i] {
+			t.Errorf("def %d = %q, want %q", i, def.Name, TableNames[i])
+		}
+		if len(def.Columns) == 0 {
+			t.Errorf("%s has no columns", def.Name)
+		}
+	}
+}
+
+func TestStorePopulates(t *testing.T) {
+	res, m := mapped(t)
+	db := newFakeDB()
+	if err := Store(db, res, m); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.created) != len(TableNames) {
+		t.Errorf("created = %v", db.created)
+	}
+	if n := len(db.tables["meta_elements"]); n != 12 {
+		t.Errorf("meta_elements rows = %d", n)
+	}
+	// 8 entities + 8 relationships.
+	if n := len(db.tables["meta_mapping"]); n != 16 {
+		t.Errorf("meta_mapping rows = %d", n)
+	}
+	if n := len(db.tables["meta_distilled"]); n != 5 {
+		t.Errorf("meta_distilled rows = %d", n)
+	}
+	if n := len(db.tables["meta_existence"]); n != 1 {
+		t.Errorf("meta_existence rows = %d", n)
+	}
+	// Distilled rows carry the required flag.
+	foundOptional := false
+	for _, row := range db.tables["meta_distilled"] {
+		if row[1] == "firstname" && row[3] == false {
+			foundOptional = true
+		}
+	}
+	if !foundOptional {
+		t.Error("firstname should be recorded as optional")
+	}
+}
+
+func TestStoreDeterministic(t *testing.T) {
+	res, m := mapped(t)
+	a := newFakeDB()
+	b := newFakeDB()
+	if err := Store(a, res, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := Store(b, res, m); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range TableNames {
+		if fmt.Sprint(a.tables[name]) != fmt.Sprint(b.tables[name]) {
+			t.Errorf("%s rows differ between runs", name)
+		}
+	}
+}
+
+func TestStoreFailurePropagation(t *testing.T) {
+	res, m := mapped(t)
+	for _, failOn := range []string{
+		"create:meta_elements",
+		"insert:meta_elements",
+		"insert:meta_mapping",
+		"insert:meta_order",
+		"insert:meta_distilled",
+	} {
+		db := newFakeDB()
+		db.failOn = failOn
+		if err := Store(db, res, m); err == nil {
+			t.Errorf("failure %q not propagated", failOn)
+		}
+	}
+}
+
+func TestStoreFoldedRelationshipMapsToChildTable(t *testing.T) {
+	res, err := core.Map(dtd.MustParse(paper.Example1DTD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ermap.Build(res.Model, ermap.Options{Strategy: ermap.StrategyFoldFK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := newFakeDB()
+	if err := Store(db, res, m); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range db.tables["meta_mapping"] {
+		if row[0] == "relationship" && row[1] == "Nname" {
+			found = true
+			if row[2] != "e_name" {
+				t.Errorf("folded Nname maps to %v, want e_name", row[2])
+			}
+		}
+	}
+	if !found {
+		t.Error("Nname mapping row missing")
+	}
+}

@@ -1,0 +1,103 @@
+// Package paper holds the literal artifacts of Lee, Mitchell and Zhang,
+// "Integrating XML Data with Relational Databases" (2000): the Example 1
+// DTD, the expected Example 2 converted DTD, the §3 sample document, and
+// the Figure 2 diagram inventory. Golden tests across the repository
+// compare against these fixtures.
+package paper
+
+// Example1DTD is the paper's Example 1: the DTD for books, articles and
+// authors. The paper's PDF renders choice bars inconsistently ("(author*
+// editor)"); the bars are restored here as the prose requires ("the
+// elements author and editor have a choice grouping relationship").
+const Example1DTD = `<!ELEMENT book (booktitle, (author* | editor))>
+<!ELEMENT booktitle (#PCDATA)>
+<!ELEMENT article (title, (author, affiliation?)+, contactauthor?)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT contactauthor EMPTY>
+<!ATTLIST contactauthor authorid IDREF #IMPLIED>
+<!ELEMENT monograph (title, author, editor)>
+<!ELEMENT editor ((book | monograph)*)>
+<!ATTLIST editor name CDATA #REQUIRED>
+<!ELEMENT author (name)>
+<!ATTLIST author id ID #REQUIRED>
+<!ELEMENT name (firstname?, lastname)>
+<!ELEMENT firstname (#PCDATA)>
+<!ELEMENT lastname (#PCDATA)>
+<!ELEMENT affiliation ANY>
+`
+
+// Example2Converted is the paper's Example 2: the converted DTD after
+// defining group elements, distilling attributes, and identifying
+// relationships. Two typographic slips in the paper are normalized: the
+// superseded "<!ATTLIST contactauthor authorid IDREF #IMPLIES>" line is
+// omitted (its information lives in the REFERENCE declaration, as the
+// paper's step 3c prescribes), and missing choice bars are restored.
+const Example2Converted = `<!ELEMENT book ()>
+<!ATTLIST book booktitle (#PCDATA) #REQUIRED>
+<!NESTED_GROUP NG1 book (author* | editor)>
+<!ELEMENT article ()>
+<!ATTLIST article title (#PCDATA) #REQUIRED>
+<!NESTED_GROUP NG2 article (author, affiliation?)>
+<!NESTED Ncontactauthor article contactauthor>
+<!ELEMENT contactauthor EMPTY>
+<!REFERENCE authorid contactauthor (author)>
+<!ELEMENT monograph ()>
+<!ATTLIST monograph title (#PCDATA) #REQUIRED>
+<!NESTED Nauthor monograph author>
+<!NESTED Neditor monograph editor>
+<!ELEMENT editor ()>
+<!ATTLIST editor name CDATA #REQUIRED>
+<!NESTED_GROUP NG3 editor (book | monograph)>
+<!ELEMENT author ()>
+<!ATTLIST author id ID #REQUIRED>
+<!NESTED Nname author name>
+<!ELEMENT name ()>
+<!ATTLIST name firstname (#PCDATA) #IMPLIED lastname (#PCDATA) #REQUIRED>
+<!ELEMENT affiliation ANY>
+`
+
+// BookXML is the §3 sample document (end tags repaired; the paper's PDF
+// mangles them as <booktitle/> etc.).
+const BookXML = `<book>
+<booktitle>XML RDBMS</booktitle>
+<author id="a1"><name><firstname>John</firstname><lastname>Smith</lastname></name></author>
+<author id="a2"><name><firstname>Dave</firstname><lastname>Brown</lastname></name></author>
+</book>`
+
+// ArticleXML is a conforming article document exercising the IDREF
+// reference relationship of the example DTD.
+const ArticleXML = `<article>
+<title>Integrating XML Data with Relational Databases</title>
+<author id="wlee"><name><firstname>Wang-Chien</firstname><lastname>Lee</lastname></name></author>
+<affiliation>GTE Laboratories</affiliation>
+<author id="gmitchell"><name><lastname>Mitchell</lastname></name></author>
+<author id="xzhang"><name><firstname>Xin</firstname><lastname>Zhang</lastname></name></author>
+<affiliation>Worcester Polytechnic Institute</affiliation>
+<contactauthor authorid="wlee"/>
+</article>`
+
+// EditorXML exercises the recursive editor -> (book | monograph) loop.
+const EditorXML = `<editor name="Knuth">
+<book>
+<booktitle>Volume 1</booktitle>
+<author id="k1"><name><lastname>Author One</lastname></name></author>
+</book>
+<monograph>
+<title>A Monograph</title>
+<author id="k2"><name><lastname>Author Two</lastname></name></author>
+<editor name="Sub Editor"></editor>
+</monograph>
+</editor>`
+
+// Figure2Entities lists the entities of the paper's Figure 2 diagram, in
+// the converted DTD's declaration order.
+var Figure2Entities = []string{
+	"book", "article", "contactauthor", "monograph",
+	"editor", "author", "name", "affiliation",
+}
+
+// Figure2Relationships lists the relationship nodes of Figure 2.
+var Figure2Relationships = []string{
+	"NG1", "NG2", "Ncontactauthor", "authorid",
+	"Nauthor", "Neditor", "NG3", "Nname",
+}

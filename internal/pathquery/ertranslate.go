@@ -1,0 +1,416 @@
+package pathquery
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlrdb/internal/core"
+	"xmlrdb/internal/er"
+	"xmlrdb/internal/ermap"
+)
+
+// ERTranslator translates path queries to SQL over the paper's ER
+// mapping. Distilled (#PCDATA) subelements resolve to parent columns —
+// no join — which is the measurable payoff of the mapping's step 2.
+type ERTranslator struct {
+	res *core.Result
+	m   *ermap.Mapping
+	// MaxDepth bounds descendant-step expansion (default 8).
+	MaxDepth int
+	// MaxPaths bounds the number of generated join chains (default 128).
+	MaxPaths int
+
+	virtual   map[string]bool
+	chains    map[string][]chain // non-virtual entity -> child-step chains
+	distilled map[string]map[string]bool
+	refAttrs  map[string]map[string]*ermap.RelMap
+}
+
+// hop is one traversal of a nesting relationship.
+type hop struct {
+	rel *er.Relationship
+	rm  *ermap.RelMap
+	to  string
+}
+
+// chain is a child step: one or more hops whose intermediate entities
+// are all virtual groups.
+type chain []hop
+
+// NewERTranslator builds a translator for a mapping result.
+func NewERTranslator(res *core.Result, m *ermap.Mapping) *ERTranslator {
+	t := &ERTranslator{
+		res: res, m: m, MaxDepth: 8, MaxPaths: 128,
+		virtual:   make(map[string]bool),
+		chains:    make(map[string][]chain),
+		distilled: make(map[string]map[string]bool),
+		refAttrs:  make(map[string]map[string]*ermap.RelMap),
+	}
+	for i := range res.Groups {
+		t.virtual[res.Groups[i].Name] = true
+	}
+	for _, e := range res.Metadata.Distilled {
+		if t.distilled[e.Parent] == nil {
+			t.distilled[e.Parent] = make(map[string]bool)
+		}
+		t.distilled[e.Parent][e.Attr] = true
+	}
+	for _, r := range m.Model.Relationships {
+		if r.Kind == er.RelReference {
+			if t.refAttrs[r.Parent] == nil {
+				t.refAttrs[r.Parent] = make(map[string]*ermap.RelMap)
+			}
+			t.refAttrs[r.Parent][r.ViaAttr] = m.Rels[r.Name]
+		}
+	}
+	// Child-step chains from every non-virtual entity, expanding through
+	// virtual group entities.
+	for _, e := range m.Model.Entities {
+		if t.virtual[e.Name] {
+			continue
+		}
+		var expand func(from string, prefix chain)
+		expand = func(from string, prefix chain) {
+			for _, r := range m.Model.RelationshipsOf(from) {
+				if r.Kind == er.RelReference {
+					continue
+				}
+				for _, arc := range r.Arcs {
+					h := hop{rel: r, rm: m.Rels[r.Name], to: arc.Target}
+					next := append(append(chain(nil), prefix...), h)
+					if t.virtual[arc.Target] {
+						expand(arc.Target, next)
+						continue
+					}
+					t.chains[e.Name] = append(t.chains[e.Name], next)
+				}
+			}
+		}
+		expand(e.Name, nil)
+	}
+	return t
+}
+
+// Name implements Translator.
+func (t *ERTranslator) Name() string { return "er-" + t.m.Strategy.String() }
+
+// access is one partial join chain during translation.
+type access struct {
+	entity string   // current entity
+	froms  []string // FROM items ("e_book e0")
+	conds  []string
+	joins  int
+	nextE  int // alias counters
+	nextR  int
+}
+
+// Translate implements Translator.
+func (t *ERTranslator) Translate(q *Query) (*Translation, error) {
+	if len(q.Steps) == 0 {
+		return nil, fmt.Errorf("pathquery: empty query")
+	}
+	// First step: entities whose name matches, as document roots.
+	var cur []access
+	first := q.Steps[0]
+	if first.Axis == AxisDescendant {
+		// //x from the document: any entity named x at any depth — the
+		// same as matching the entity directly.
+		for _, e := range t.m.Model.Entities {
+			if t.virtual[e.Name] || !nameMatches(first.Name, e.Name) {
+				continue
+			}
+			cur = append(cur, t.start(e.Name))
+		}
+	} else {
+		for _, e := range t.m.Model.Entities {
+			if t.virtual[e.Name] || !nameMatches(first.Name, e.Name) {
+				continue
+			}
+			a := t.start(e.Name)
+			// Anchor at document roots via the registry.
+			alias := fmt.Sprintf("e%d", a.nextE-1)
+			a.froms = append(a.froms, "x_docs xd")
+			a.conds = append(a.conds,
+				fmt.Sprintf("xd.root_type = '%s'", e.Name),
+				fmt.Sprintf("xd.root = %s.id", alias))
+			a.joins++
+			cur = append(cur, a)
+		}
+	}
+	if err := t.applyPreds(&cur, first.Preds); err != nil {
+		return nil, err
+	}
+
+	terminalDistill := ""
+	for si := 1; si < len(q.Steps); si++ {
+		step := q.Steps[si]
+		var next []access
+		for _, a := range cur {
+			// Distilled subelement: resolves to a parent column; only
+			// legal as the final step.
+			if step.Axis == AxisChild && t.distilled[a.entity] != nil && t.distilled[a.entity][step.Name] {
+				if si != len(q.Steps)-1 {
+					return nil, fmt.Errorf("pathquery: %q was distilled into an attribute of %q; it has no children",
+						step.Name, a.entity)
+				}
+				if len(step.Preds) > 0 {
+					return nil, fmt.Errorf("pathquery: distilled element %q supports no predicates", step.Name)
+				}
+				b := a
+				b.conds = append(append([]string(nil), a.conds...),
+					fmt.Sprintf("%s.a_%s IS NOT NULL", t.alias(&b), step.Name))
+				next = append(next, b)
+				terminalDistill = step.Name
+				continue
+			}
+			expanded, err := t.step(a, step)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, expanded...)
+		}
+		if len(next) == 0 {
+			return nil, fmt.Errorf("pathquery: step %q matches nothing in the schema", step.Name)
+		}
+		if len(next) > t.maxPaths() {
+			return nil, fmt.Errorf("pathquery: query expands to %d join chains (limit %d)", len(next), t.maxPaths())
+		}
+		if terminalDistill == "" {
+			if err := t.applyPreds(&next, step.Preds); err != nil {
+				return nil, err
+			}
+		}
+		cur = next
+	}
+
+	return t.project(q, cur, terminalDistill)
+}
+
+func (t *ERTranslator) maxPaths() int {
+	if t.MaxPaths <= 0 {
+		return 128
+	}
+	return t.MaxPaths
+}
+
+func (t *ERTranslator) maxDepth() int {
+	if t.MaxDepth <= 0 {
+		return 8
+	}
+	return t.MaxDepth
+}
+
+func (t *ERTranslator) start(entity string) access {
+	em := t.m.Entities[entity]
+	return access{
+		entity: entity,
+		froms:  []string{em.Table + " e0"},
+		nextE:  1,
+		nextR:  0,
+	}
+}
+
+func (t *ERTranslator) alias(a *access) string { return fmt.Sprintf("e%d", a.nextE-1) }
+
+// step expands one location step from an access path.
+func (t *ERTranslator) step(a access, step Step) ([]access, error) {
+	switch step.Axis {
+	case AxisChild:
+		var out []access
+		for _, ch := range t.chains[a.entity] {
+			if !nameMatches(step.Name, ch[len(ch)-1].to) {
+				continue
+			}
+			out = append(out, t.follow(a, ch))
+		}
+		return out, nil
+	case AxisDescendant:
+		// Bounded BFS over child chains.
+		type state struct {
+			acc   access
+			depth int
+		}
+		var out []access
+		frontier := []state{{acc: a, depth: 0}}
+		for len(frontier) > 0 {
+			var nextFrontier []state
+			for _, st := range frontier {
+				if st.depth >= t.maxDepth() {
+					continue
+				}
+				for _, ch := range t.chains[st.acc.entity] {
+					b := t.follow(st.acc, ch)
+					if nameMatches(step.Name, ch[len(ch)-1].to) {
+						out = append(out, b)
+					}
+					nextFrontier = append(nextFrontier, state{acc: b, depth: st.depth + 1})
+					if len(out) > t.maxPaths() || len(nextFrontier) > 4*t.maxPaths() {
+						return nil, fmt.Errorf("pathquery: descendant step %q expands past %d chains", step.Name, t.maxPaths())
+					}
+				}
+			}
+			frontier = nextFrontier
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("pathquery: unknown axis")
+	}
+}
+
+// follow extends an access path along one child chain.
+func (t *ERTranslator) follow(a access, ch chain) access {
+	b := access{
+		entity: ch[len(ch)-1].to,
+		froms:  append([]string(nil), a.froms...),
+		conds:  append([]string(nil), a.conds...),
+		joins:  a.joins,
+		nextE:  a.nextE,
+		nextR:  a.nextR,
+	}
+	fromAlias := fmt.Sprintf("e%d", a.nextE-1)
+	for _, h := range ch {
+		toEM := t.m.Entities[h.to]
+		toAlias := fmt.Sprintf("e%d", b.nextE)
+		b.nextE++
+		if h.rm.Folded {
+			b.froms = append(b.froms, toEM.Table+" "+toAlias)
+			b.conds = append(b.conds, fmt.Sprintf("%s.parent = %s.id", toAlias, fromAlias))
+			b.joins++
+		} else {
+			// List the junction table before the child entity so the
+			// engine's left-to-right join pipeline always has an
+			// equi-join condition available (no cartesian intermediate).
+			rAlias := fmt.Sprintf("r%d", b.nextR)
+			b.nextR++
+			b.froms = append(b.froms, h.rm.Table+" "+rAlias, toEM.Table+" "+toAlias)
+			b.conds = append(b.conds,
+				fmt.Sprintf("%s.parent = %s.id", rAlias, fromAlias),
+				fmt.Sprintf("%s.child = %s.id", rAlias, toAlias))
+			b.joins += 2
+			if !h.rm.SingleTarget {
+				b.conds = append(b.conds, fmt.Sprintf("%s.target = '%s'", rAlias, h.to))
+			}
+		}
+		fromAlias = toAlias
+	}
+	return b
+}
+
+// applyPreds adds predicate conditions to every access path.
+func (t *ERTranslator) applyPreds(paths *[]access, preds []Pred) error {
+	if len(preds) == 0 {
+		return nil
+	}
+	out := (*paths)[:0]
+	for _, a := range *paths {
+		b := a
+		b.conds = append([]string(nil), a.conds...)
+		b.froms = append([]string(nil), a.froms...)
+		ok := true
+		for _, p := range preds {
+			if err := t.applyPred(&b, p); err != nil {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, b)
+		}
+	}
+	if len(out) == 0 {
+		return fmt.Errorf("pathquery: predicate matches no schema path")
+	}
+	*paths = out
+	return nil
+}
+
+func (t *ERTranslator) applyPred(a *access, p Pred) error {
+	alias := t.alias(a)
+	em := t.m.Entities[a.entity]
+	if p.Text {
+		if !em.HasText {
+			return fmt.Errorf("pathquery: entity %q has no text content", a.entity)
+		}
+		if p.HasValue {
+			a.conds = append(a.conds, fmt.Sprintf("%s.txt = '%s'", alias, escape(p.Value)))
+		} else {
+			a.conds = append(a.conds, fmt.Sprintf("%s.txt IS NOT NULL", alias))
+		}
+		return nil
+	}
+	// Reference attribute predicates join through the reference table.
+	if rm, isRef := t.refAttrs[a.entity][p.Attr]; isRef {
+		rAlias := fmt.Sprintf("r%d", a.nextR)
+		a.nextR++
+		a.froms = append(a.froms, rm.Table+" "+rAlias)
+		a.conds = append(a.conds, fmt.Sprintf("%s.source = %s.id", rAlias, alias))
+		a.joins++
+		if p.HasValue {
+			a.conds = append(a.conds, fmt.Sprintf("%s.refvalue = '%s'", rAlias, escape(p.Value)))
+		}
+		return nil
+	}
+	if _, ok := em.AttrCols[p.Attr]; !ok {
+		return fmt.Errorf("pathquery: entity %q has no attribute %q", a.entity, p.Attr)
+	}
+	col := fmt.Sprintf("%s.a_%s", alias, p.Attr)
+	if p.HasValue {
+		a.conds = append(a.conds, fmt.Sprintf("%s = '%s'", col, escape(p.Value)))
+	} else {
+		a.conds = append(a.conds, col+" IS NOT NULL")
+	}
+	return nil
+}
+
+// project builds the final SELECT statements.
+func (t *ERTranslator) project(q *Query, paths []access, terminalDistill string) (*Translation, error) {
+	tr := &Translation{}
+	for _, a := range paths {
+		alias := t.alias(&a)
+		var sel string
+		switch {
+		case terminalDistill != "":
+			switch q.Proj {
+			case ProjText, ProjElement:
+				sel = fmt.Sprintf("%s.doc, %s.id, %s.a_%s AS value", alias, alias, alias, terminalDistill)
+				tr.Cols = []string{"doc", "id", "value"}
+			default:
+				return nil, fmt.Errorf("pathquery: distilled element %q has no attributes", terminalDistill)
+			}
+		case q.Proj == ProjText:
+			em := t.m.Entities[a.entity]
+			if !em.HasText {
+				return nil, fmt.Errorf("pathquery: entity %q has no text content", a.entity)
+			}
+			sel = fmt.Sprintf("%s.doc, %s.id, %s.txt AS value", alias, alias, alias)
+			tr.Cols = []string{"doc", "id", "value"}
+		case q.Proj == ProjAttr:
+			em := t.m.Entities[a.entity]
+			if _, ok := em.AttrCols[q.AttrName]; !ok {
+				return nil, fmt.Errorf("pathquery: entity %q has no attribute %q", a.entity, q.AttrName)
+			}
+			a.conds = append(a.conds, fmt.Sprintf("%s.a_%s IS NOT NULL", alias, q.AttrName))
+			sel = fmt.Sprintf("%s.doc, %s.id, %s.a_%s AS value", alias, alias, alias, q.AttrName)
+			tr.Cols = []string{"doc", "id", "value"}
+		default:
+			sel = fmt.Sprintf("%s.doc, %s.id", alias, alias)
+			tr.Cols = []string{"doc", "id"}
+		}
+		sql := "SELECT " + sel + " FROM " + strings.Join(a.froms, ", ")
+		if len(a.conds) > 0 {
+			sql += " WHERE " + strings.Join(a.conds, " AND ")
+		}
+		tr.SQLs = append(tr.SQLs, sql)
+		if a.joins > tr.Joins {
+			tr.Joins = a.joins
+		}
+	}
+	if len(tr.SQLs) == 0 {
+		return nil, fmt.Errorf("pathquery: query matches nothing in the schema")
+	}
+	return tr, nil
+}
+
+func nameMatches(pattern, name string) bool { return pattern == "*" || pattern == name }
+
+func escape(s string) string { return strings.ReplaceAll(s, "'", "''") }

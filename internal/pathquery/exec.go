@@ -1,0 +1,32 @@
+package pathquery
+
+import (
+	"xmlrdb/internal/engine"
+)
+
+// Execute runs every statement of a translation against the engine and
+// concatenates the results (the union of the generated join chains).
+func Execute(db *engine.DB, tr *Translation) (*engine.Rows, error) {
+	out := &engine.Rows{Cols: tr.Cols}
+	for _, sql := range tr.SQLs {
+		rows, err := db.Query(sql)
+		if err != nil {
+			return nil, err
+		}
+		out.Data = append(out.Data, rows.Data...)
+	}
+	return out, nil
+}
+
+// Run parses, translates and executes a path query in one call.
+func Run(db *engine.DB, t Translator, path string) (*engine.Rows, error) {
+	q, err := Parse(path)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := t.Translate(q)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(db, tr)
+}

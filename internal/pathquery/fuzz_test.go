@@ -1,0 +1,40 @@
+package pathquery
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestPathParserNeverPanics throws garbage paths at the parser; whatever
+// parses must print and reparse to the same string.
+func TestPathParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pieces := []string{"/", "//", "a", "b", "*", "[", "]", "@", "=", "'v'", "text()", "''", "'", "x"}
+	for i := 0; i < 5000; i++ {
+		var b strings.Builder
+		n := 1 + rng.Intn(12)
+		for j := 0; j < n; j++ {
+			b.WriteString(pieces[rng.Intn(len(pieces))])
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			q, err := Parse(src)
+			if err == nil {
+				printed := q.String()
+				q2, err2 := Parse(printed)
+				if err2 != nil {
+					t.Fatalf("printed form %q (from %q) unparsable: %v", printed, src, err2)
+				}
+				if q2.String() != printed {
+					t.Fatalf("print not a fixpoint: %q -> %q", printed, q2.String())
+				}
+			}
+		}()
+	}
+}

@@ -1,0 +1,303 @@
+// Package pathquery implements a small XPath-like path language and its
+// translation to SQL over shredded XML stores — the paper's §5 "Query
+// Processing" direction ("how do we transform XQL or XML-QL queries into
+// meaningful SQL queries?").
+//
+// Supported syntax:
+//
+//	/a/b/c              child steps from a document root
+//	//c                 descendant step (any depth, bounded)
+//	/a/*/c              wildcard element step
+//	/a/b[@x='v']        attribute equality predicate
+//	/a/b[@x]            attribute existence predicate
+//	/a/b[text()='v']    text predicate on PCDATA content
+//	/a/b/text()         project the element's text value
+//	/a/b/@x             project an attribute value
+//
+// A Translation holds one or more SELECT statements whose union is the
+// query result: descendant steps over recursive DTDs enumerate the
+// acyclic-bounded join chains the relational schema requires, which is
+// precisely the effect the paper's evaluation questions probe.
+package pathquery
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Axis selects how a step relates to its context.
+type Axis int
+
+// Axes.
+const (
+	// AxisChild is the "/" step.
+	AxisChild Axis = iota + 1
+	// AxisDescendant is the "//" step (descendant-or-self of a child).
+	AxisDescendant
+)
+
+// Pred is one step predicate.
+type Pred struct {
+	// Attr names an attribute predicate; empty for text() predicates.
+	Attr string
+	// Text marks a text() = 'v' predicate.
+	Text bool
+	// Value is the comparison literal; HasValue false means existence.
+	Value    string
+	HasValue bool
+}
+
+// Step is one location step.
+type Step struct {
+	// Axis is child or descendant.
+	Axis Axis
+	// Name is the element name, or "*".
+	Name string
+	// Preds are the step's predicates.
+	Preds []Pred
+}
+
+// ProjKind selects the query output.
+type ProjKind int
+
+// Projections.
+const (
+	// ProjElement returns matched element identity (doc, id).
+	ProjElement ProjKind = iota + 1
+	// ProjText returns the matched element's text value.
+	ProjText
+	// ProjAttr returns an attribute of the matched element.
+	ProjAttr
+)
+
+// Query is a parsed path query.
+type Query struct {
+	// Steps are the location steps, outermost first.
+	Steps []Step
+	// Proj selects the output; AttrName names the attribute for ProjAttr.
+	Proj     ProjKind
+	AttrName string
+}
+
+// String renders the query in path syntax.
+func (q *Query) String() string {
+	var b strings.Builder
+	for _, s := range q.Steps {
+		if s.Axis == AxisDescendant {
+			b.WriteString("//")
+		} else {
+			b.WriteString("/")
+		}
+		b.WriteString(s.Name)
+		for _, p := range s.Preds {
+			b.WriteString("[")
+			switch {
+			case p.Text:
+				b.WriteString("text()")
+			default:
+				b.WriteString("@" + p.Attr)
+			}
+			if p.HasValue {
+				b.WriteString("='" + p.Value + "'")
+			}
+			b.WriteString("]")
+		}
+	}
+	switch q.Proj {
+	case ProjText:
+		b.WriteString("/text()")
+	case ProjAttr:
+		b.WriteString("/@" + q.AttrName)
+	}
+	return b.String()
+}
+
+// Depth returns the number of location steps.
+func (q *Query) Depth() int { return len(q.Steps) }
+
+// Parse parses a path query.
+func Parse(src string) (*Query, error) {
+	p := &pparser{src: src}
+	return p.parse()
+}
+
+// MustParse is Parse but panics on error; for tests and examples.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type pparser struct {
+	src string
+	pos int
+}
+
+func (p *pparser) errf(format string, args ...any) error {
+	return fmt.Errorf("pathquery: at %d in %q: %s", p.pos, p.src, fmt.Sprintf(format, args...))
+}
+
+func (p *pparser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *pparser) parse() (*Query, error) {
+	q := &Query{Proj: ProjElement}
+	if p.eof() || p.src[p.pos] != '/' {
+		return nil, p.errf("path must start with '/'")
+	}
+	for !p.eof() {
+		axis := AxisChild
+		if !strings.HasPrefix(p.src[p.pos:], "/") {
+			return nil, p.errf("expected '/'")
+		}
+		p.pos++
+		if !p.eof() && p.src[p.pos] == '/' {
+			axis = AxisDescendant
+			p.pos++
+		}
+		// Terminal projections.
+		if strings.HasPrefix(p.src[p.pos:], "text()") {
+			if axis == AxisDescendant {
+				return nil, p.errf("//text() is not supported")
+			}
+			p.pos += len("text()")
+			if !p.eof() {
+				return nil, p.errf("text() must end the path")
+			}
+			if len(q.Steps) == 0 {
+				return nil, p.errf("text() needs a preceding step")
+			}
+			q.Proj = ProjText
+			return q, nil
+		}
+		if !p.eof() && p.src[p.pos] == '@' {
+			p.pos++
+			name, err := p.name()
+			if err != nil {
+				return nil, err
+			}
+			if !p.eof() {
+				return nil, p.errf("@%s must end the path", name)
+			}
+			if len(q.Steps) == 0 {
+				return nil, p.errf("attribute projection needs a preceding step")
+			}
+			q.Proj = ProjAttr
+			q.AttrName = name
+			return q, nil
+		}
+		var name string
+		if !p.eof() && p.src[p.pos] == '*' {
+			p.pos++
+			name = "*"
+		} else {
+			var err error
+			name, err = p.name()
+			if err != nil {
+				return nil, err
+			}
+		}
+		step := Step{Axis: axis, Name: name}
+		for !p.eof() && p.src[p.pos] == '[' {
+			pred, err := p.pred()
+			if err != nil {
+				return nil, err
+			}
+			step.Preds = append(step.Preds, pred)
+		}
+		q.Steps = append(q.Steps, step)
+	}
+	if len(q.Steps) == 0 {
+		return nil, p.errf("empty path")
+	}
+	return q, nil
+}
+
+func (p *pparser) name() (string, error) {
+	start := p.pos
+	for !p.eof() {
+		c := p.src[p.pos]
+		if c == '/' || c == '[' || c == ']' || c == '@' || c == '=' {
+			break
+		}
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("expected a name")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *pparser) pred() (Pred, error) {
+	p.pos++ // consume '['
+	var pred Pred
+	switch {
+	case strings.HasPrefix(p.src[p.pos:], "text()"):
+		p.pos += len("text()")
+		pred.Text = true
+	case !p.eof() && p.src[p.pos] == '@':
+		p.pos++
+		name, err := p.name()
+		if err != nil {
+			return pred, err
+		}
+		pred.Attr = name
+	default:
+		return pred, p.errf("predicate must be @attr or text()")
+	}
+	if !p.eof() && p.src[p.pos] == '=' {
+		p.pos++
+		if p.eof() || p.src[p.pos] != '\'' {
+			return pred, p.errf("expected quoted literal")
+		}
+		p.pos++
+		var sb strings.Builder
+		closed := false
+		for !p.eof() {
+			if p.src[p.pos] == '\'' {
+				if p.pos+1 < len(p.src) && p.src[p.pos+1] == '\'' {
+					sb.WriteByte('\'') // doubled quote escapes itself
+					p.pos += 2
+					continue
+				}
+				closed = true
+				p.pos++
+				break
+			}
+			sb.WriteByte(p.src[p.pos])
+			p.pos++
+		}
+		if !closed {
+			return pred, p.errf("unterminated literal")
+		}
+		pred.Value = sb.String()
+		pred.HasValue = true
+	}
+	if p.eof() || p.src[p.pos] != ']' {
+		return pred, p.errf("expected ']'")
+	}
+	p.pos++
+	return pred, nil
+}
+
+// Translation is the SQL form of a path query: the union of the SQLs is
+// the result.
+type Translation struct {
+	// SQLs are SELECT statements; their union is the query result.
+	SQLs []string
+	// Cols describes the output columns.
+	Cols []string
+	// Joins is the number of join predicates in the largest statement —
+	// the cost proxy experiments E6/E9 report.
+	Joins int
+}
+
+// Translator converts path queries to SQL for one storage mapping. The
+// ER mapping and each baseline implement it.
+type Translator interface {
+	// Translate converts a parsed query.
+	Translate(q *Query) (*Translation, error)
+	// Name identifies the mapping for reports.
+	Name() string
+}

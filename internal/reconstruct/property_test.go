@@ -1,0 +1,143 @@
+package reconstruct
+
+import (
+	"fmt"
+	"testing"
+
+	"xmlrdb/internal/core"
+	"xmlrdb/internal/dtd"
+	"xmlrdb/internal/engine"
+	"xmlrdb/internal/ermap"
+	"xmlrdb/internal/shred"
+	"xmlrdb/internal/wgen"
+	"xmlrdb/internal/xmltree"
+)
+
+// TestPropertyRandomRoundTrips is the repository's strongest invariant:
+// for random DTDs and random conforming documents, shredding into the
+// relational store and reconstructing yields an equivalent document —
+// under both relational strategies and with distilling on and off.
+func TestPropertyRandomRoundTrips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test is heavyweight")
+	}
+	dtdSeeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	configs := []struct {
+		name     string
+		strategy ermap.Strategy
+		skip     bool
+	}{
+		{"junction", ermap.StrategyJunction, false},
+		{"fold", ermap.StrategyFoldFK, false},
+		{"junction-nodistill", ermap.StrategyJunction, true},
+	}
+	for _, seed := range dtdSeeds {
+		d := wgen.GenerateDTD(wgen.DTDConfig{
+			Elements: 24, Seed: seed, AttrsPerElement: 2, Levels: 5,
+			IDProb: 0.3, IDREFProb: 0.3, OptionalProb: 0.35, RepeatProb: 0.35,
+			ChoiceProb: 0.5,
+		})
+		docs, err := wgen.Corpus(d, 15, seed*100, wgen.DocConfig{MaxRepeat: 3})
+		if err != nil {
+			t.Fatalf("seed %d: corpus: %v", seed, err)
+		}
+		for _, cfg := range configs {
+			res, err := core.MapWith(d, core.Options{SkipDistill: cfg.skip})
+			if err != nil {
+				t.Fatalf("seed %d %s: map: %v", seed, cfg.name, err)
+			}
+			m, err := ermap.Build(res.Model, ermap.Options{Strategy: cfg.strategy})
+			if err != nil {
+				t.Fatalf("seed %d %s: build: %v", seed, cfg.name, err)
+			}
+			db := engine.Open()
+			if err := db.CreateSchema(m.Schema); err != nil {
+				t.Fatalf("seed %d %s: schema: %v", seed, cfg.name, err)
+			}
+			loader, err := shred.NewLoader(res, m, db)
+			if err != nil {
+				t.Fatalf("seed %d %s: loader: %v", seed, cfg.name, err)
+			}
+			recon := New(res, m, db)
+			for di, doc := range docs {
+				st, err := loader.LoadDocument(doc, fmt.Sprintf("s%d-d%d", seed, di))
+				if err != nil {
+					t.Fatalf("seed %d %s doc %d: load: %v\n%s",
+						seed, cfg.name, di, err, doc.Root.XMLIndent("  "))
+				}
+				if err := recon.Verify(st.DocID, doc); err != nil {
+					t.Fatalf("seed %d %s doc %d: %v", seed, cfg.name, di, err)
+				}
+			}
+			// Foreign keys hold across the whole store.
+			if err := db.CheckAllFKs(); err != nil {
+				t.Fatalf("seed %d %s: %v", seed, cfg.name, err)
+			}
+		}
+	}
+}
+
+// TestPropertyMixedHeavyRoundTrips exercises DTDs dominated by mixed
+// content and text leaves, where ordering metadata does the most work.
+func TestPropertyMixedHeavyRoundTrips(t *testing.T) {
+	dtdText := `
+<!ELEMENT doc (sect+)>
+<!ELEMENT sect (title, para*)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT para (#PCDATA | em | strong | link)*>
+<!ELEMENT em (#PCDATA)>
+<!ELEMENT strong (#PCDATA)>
+<!ELEMENT link (#PCDATA)>
+<!ATTLIST link href CDATA #REQUIRED>
+`
+	docs := []string{
+		`<doc><sect><title>T</title><para>a <em>b</em> c <strong>d</strong> e</para></sect></doc>`,
+		`<doc><sect><title>T</title><para><em>lead</em>tail</para><para>only text</para></sect>
+<sect><title>U</title></sect></doc>`,
+		`<doc><sect><title></title><para>x<link href="h">l</link>y<em></em></para></sect></doc>`,
+		`<doc><sect><title>ws</title><para>  leading and trailing  </para></sect></doc>`,
+	}
+	for _, strategy := range []ermap.Strategy{ermap.StrategyJunction, ermap.StrategyFoldFK} {
+		res, err := core.Map(mustDTD(t, dtdText))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := ermap.Build(res.Model, ermap.Options{Strategy: strategy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db := engine.Open()
+		if err := db.CreateSchema(m.Schema); err != nil {
+			t.Fatal(err)
+		}
+		loader, err := shred.NewLoader(res, m, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recon := New(res, m, db)
+		for i, src := range docs {
+			st, err := loader.LoadXML(src, fmt.Sprintf("m%d", i))
+			if err != nil {
+				t.Fatalf("%v doc %d: %v", strategy, i, err)
+			}
+			doc, err := parseDoc(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := recon.Verify(st.DocID, doc); err != nil {
+				t.Errorf("%v doc %d: %v", strategy, i, err)
+			}
+		}
+	}
+}
+
+func mustDTD(t *testing.T, src string) *dtd.DTD {
+	t.Helper()
+	d, err := dtd.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func parseDoc(src string) (*xmltree.Document, error) { return xmltree.Parse(src) }

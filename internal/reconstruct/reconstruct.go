@@ -1,0 +1,463 @@
+// Package reconstruct rebuilds XML documents from their shredded
+// relational form — the inverse of the §5 loading algorithm — using the
+// ordinal columns (data ordering), the schema-ordering metadata, the
+// mixed-content text chunks, and the raw storage of ANY elements. A
+// successful byte-equivalent round trip demonstrates that the paper's
+// metadata design compensates for the information the relational model
+// drops (experiment E7).
+package reconstruct
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xmlrdb/internal/core"
+	"xmlrdb/internal/engine"
+	"xmlrdb/internal/er"
+	"xmlrdb/internal/ermap"
+	"xmlrdb/internal/xmltree"
+)
+
+// Reconstructor rebuilds documents from one mapped store.
+type Reconstructor struct {
+	res     *core.Result
+	mapping *ermap.Mapping
+	db      *engine.DB
+	// itemPos maps entity -> item name (relationship or distilled
+	// attribute) -> schema-order position.
+	itemPos map[string]map[string]int
+	// IgnoreOrdinals disables the data-ordering metadata (the ordinal
+	// columns): children are then ordered only by schema order and row
+	// identity. This is the E7 ablation showing why the paper's §5
+	// metadata is necessary; leave it false for faithful reconstruction.
+	IgnoreOrdinals bool
+}
+
+// New builds a reconstructor over a loaded database.
+func New(res *core.Result, m *ermap.Mapping, db *engine.DB) *Reconstructor {
+	r := &Reconstructor{res: res, mapping: m, db: db, itemPos: make(map[string]map[string]int)}
+	for _, e := range res.Metadata.SchemaOrder {
+		if r.itemPos[e.Parent] == nil {
+			r.itemPos[e.Parent] = make(map[string]int)
+		}
+		r.itemPos[e.Parent][e.Item] = e.Pos
+	}
+	return r
+}
+
+// docData is the per-document working set, prefetched table by table.
+type docData struct {
+	// entityRows: entity name -> id -> column map.
+	entityRows map[string]map[int64]map[string]any
+	// relRows: relationship name -> parent id -> ordered children.
+	relRows map[string]map[int64][]relRow
+	// refRows: source entity -> source id -> ordered ref values per attr.
+	refRows map[string]map[int64]map[string][]refRow
+	// textChunks: entity name -> parent id -> chunks.
+	textChunks map[string]map[int64][]textChunk
+}
+
+type relRow struct {
+	ord    int64
+	child  int64
+	target string
+}
+
+type refRow struct {
+	ord   int64
+	value string
+}
+
+type textChunk struct {
+	ord int64
+	txt string
+}
+
+// Document rebuilds one document by its registry id.
+func (r *Reconstructor) Document(docID int64) (*xmltree.Document, error) {
+	regRows, err := r.db.Lookup("x_docs", []string{"doc"}, []any{docID})
+	if err != nil {
+		return nil, fmt.Errorf("reconstruct: %w", err)
+	}
+	if len(regRows) == 0 {
+		return nil, fmt.Errorf("reconstruct: no document %d", docID)
+	}
+	reg := regRows[0]
+	rootType, _ := reg[2].(string)
+	rootID, _ := reg[3].(int64)
+
+	data, err := r.fetch(docID)
+	if err != nil {
+		return nil, err
+	}
+	root, err := r.buildElement(data, rootType, rootID)
+	if err != nil {
+		return nil, err
+	}
+	doc := &xmltree.Document{Root: root, Children: []*xmltree.Node{root}, Version: "1.0"}
+	return doc, nil
+}
+
+// DocumentIDs lists the loaded document ids in load order.
+func (r *Reconstructor) DocumentIDs() ([]int64, error) {
+	var ids []int64
+	err := r.db.ScanTable("x_docs", func(row []any) bool {
+		if id, ok := row[0].(int64); ok {
+			ids = append(ids, id)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// fetch loads the document's rows from every mapped table.
+func (r *Reconstructor) fetch(docID int64) (*docData, error) {
+	data := &docData{
+		entityRows: make(map[string]map[int64]map[string]any),
+		relRows:    make(map[string]map[int64][]relRow),
+		refRows:    make(map[string]map[int64]map[string][]refRow),
+		textChunks: make(map[string]map[int64][]textChunk),
+	}
+	for _, e := range r.mapping.Model.Entities {
+		em := r.mapping.Entities[e.Name]
+		def := r.db.TableDef(em.Table)
+		rows, err := r.db.Lookup(em.Table, []string{"doc"}, []any{docID})
+		if err != nil {
+			return nil, err
+		}
+		byID := make(map[int64]map[string]any, len(rows))
+		for _, row := range rows {
+			vals := make(map[string]any, len(row))
+			for i, col := range def.Columns {
+				vals[col.Name] = row[i]
+			}
+			id, _ := vals["id"].(int64)
+			byID[id] = vals
+		}
+		data.entityRows[e.Name] = byID
+	}
+	for _, relModel := range r.mapping.Model.Relationships {
+		rm := r.mapping.Rels[relModel.Name]
+		switch {
+		case relModel.Kind == er.RelReference:
+			rows, err := r.db.Lookup(rm.Table, []string{"doc"}, []any{docID})
+			if err != nil {
+				return nil, err
+			}
+			def := r.db.TableDef(rm.Table)
+			byEnt := data.refRows[relModel.Parent]
+			if byEnt == nil {
+				byEnt = make(map[int64]map[string][]refRow)
+				data.refRows[relModel.Parent] = byEnt
+			}
+			for _, row := range rows {
+				vals := rowMap(def, row)
+				src, _ := vals["source"].(int64)
+				if byEnt[src] == nil {
+					byEnt[src] = make(map[string][]refRow)
+				}
+				value, _ := vals["refvalue"].(string)
+				ord, _ := vals["ord"].(int64)
+				byEnt[src][relModel.ViaAttr] = append(byEnt[src][relModel.ViaAttr], refRow{ord: ord, value: value})
+			}
+		case rm.Folded:
+			// Children carry parent/ord on their own rows.
+			child := relModel.Arcs[0].Target
+			byParent := make(map[int64][]relRow)
+			for id, vals := range data.entityRows[child] {
+				p, ok := vals["parent"].(int64)
+				if !ok {
+					continue
+				}
+				ord, _ := vals["ord"].(int64)
+				byParent[p] = append(byParent[p], relRow{ord: ord, child: id, target: child})
+			}
+			data.relRows[relModel.Name] = byParent
+		default:
+			rows, err := r.db.Lookup(rm.Table, []string{"doc"}, []any{docID})
+			if err != nil {
+				return nil, err
+			}
+			def := r.db.TableDef(rm.Table)
+			byParent := make(map[int64][]relRow)
+			single := ""
+			if rm.SingleTarget {
+				single = relModel.Arcs[0].Target
+			}
+			for _, row := range rows {
+				vals := rowMap(def, row)
+				p, _ := vals["parent"].(int64)
+				rr := relRow{target: single}
+				rr.ord, _ = vals["ord"].(int64)
+				rr.child, _ = vals["child"].(int64)
+				if t, ok := vals["target"].(string); ok {
+					rr.target = t
+				}
+				byParent[p] = append(byParent[p], rr)
+			}
+			data.relRows[relModel.Name] = byParent
+		}
+	}
+	// Mixed-content text chunks.
+	chunks, err := r.db.Lookup("x_text", []string{"doc"}, []any{docID})
+	if err == nil {
+		def := r.db.TableDef("x_text")
+		for _, row := range chunks {
+			vals := rowMap(def, row)
+			ptype, _ := vals["ptype"].(string)
+			pid, _ := vals["pid"].(int64)
+			ord, _ := vals["ord"].(int64)
+			txt, _ := vals["txt"].(string)
+			if data.textChunks[ptype] == nil {
+				data.textChunks[ptype] = make(map[int64][]textChunk)
+			}
+			data.textChunks[ptype][pid] = append(data.textChunks[ptype][pid], textChunk{ord: ord, txt: txt})
+		}
+	}
+	// Sort everything by ordinal — or, under the E7 ablation, by row
+	// identity, deliberately discarding the data-ordering metadata.
+	for _, byParent := range data.relRows {
+		for _, rows := range byParent {
+			rows := rows
+			if r.IgnoreOrdinals {
+				sort.Slice(rows, func(i, j int) bool {
+					if rows[i].target != rows[j].target {
+						return rows[i].target < rows[j].target
+					}
+					return rows[i].child < rows[j].child
+				})
+				continue
+			}
+			sort.Slice(rows, func(i, j int) bool { return rows[i].ord < rows[j].ord })
+		}
+	}
+	for _, byID := range data.refRows {
+		for _, byAttr := range byID {
+			for _, refs := range byAttr {
+				sort.Slice(refs, func(i, j int) bool { return refs[i].ord < refs[j].ord })
+			}
+		}
+	}
+	for _, byID := range data.textChunks {
+		for _, cs := range byID {
+			cs := cs
+			if r.IgnoreOrdinals {
+				sort.Slice(cs, func(i, j int) bool { return cs[i].txt < cs[j].txt })
+				continue
+			}
+			sort.Slice(cs, func(i, j int) bool { return cs[i].ord < cs[j].ord })
+		}
+	}
+	return data, nil
+}
+
+func rowMap(def interface{ ColumnNames() []string }, row []any) map[string]any {
+	names := def.ColumnNames()
+	vals := make(map[string]any, len(names))
+	for i, n := range names {
+		vals[n] = row[i]
+	}
+	return vals
+}
+
+// childPair is one reconstructed child with its merge keys.
+type childPair struct {
+	itemPos int
+	ord     int64
+	node    *xmltree.Node
+}
+
+// buildElement rebuilds one element subtree.
+func (r *Reconstructor) buildElement(data *docData, entity string, id int64) (*xmltree.Node, error) {
+	ce := r.res.Converted.Element(entity)
+	em := r.mapping.Entities[entity]
+	if ce == nil || em == nil {
+		return nil, fmt.Errorf("reconstruct: unknown entity %q", entity)
+	}
+	vals := data.entityRows[entity][id]
+	if vals == nil {
+		return nil, fmt.Errorf("reconstruct: missing row %s/%d", entity, id)
+	}
+	el := xmltree.NewElement(entity)
+
+	// Attributes, in the converted declaration order.
+	for _, att := range ce.Atts {
+		if att.Type.String() == "(#PCDATA)" {
+			continue // distilled: re-emitted as a subelement below
+		}
+		if v, ok := vals[em.AttrCols[att.Name]].(string); ok {
+			el.SetAttr(att.Name, v)
+		}
+	}
+	// Reference attributes.
+	if byAttr := data.refRows[entity][id]; byAttr != nil {
+		for _, relModel := range r.mapping.Model.RelationshipsOf(entity) {
+			if relModel.Kind != er.RelReference {
+				continue
+			}
+			refs := byAttr[relModel.ViaAttr]
+			if len(refs) == 0 {
+				continue
+			}
+			toks := make([]string, len(refs))
+			for i, rr := range refs {
+				toks[i] = rr.value
+			}
+			el.SetAttr(relModel.ViaAttr, strings.Join(toks, " "))
+		}
+	}
+
+	switch ce.Kind {
+	case core.ConvEmpty:
+		return el, nil
+	case core.ConvAny:
+		raw, _ := vals["raw"].(string)
+		if raw != "" {
+			if err := appendRawChildren(el, raw); err != nil {
+				return nil, fmt.Errorf("reconstruct: %s/%d raw content: %w", entity, id, err)
+			}
+		}
+		return el, nil
+	case core.ConvPCData:
+		if txt, ok := vals["txt"].(string); ok && txt != "" {
+			el.AppendText(txt)
+		}
+		return el, nil
+	}
+
+	// ConvBare: merge relationship children (and, for mixed elements,
+	// text chunks) by schema-order item position, then ordinal.
+	var pairs []childPair
+	collect, err := r.collectChildren(data, entity, id)
+	if err != nil {
+		return nil, err
+	}
+	pairs = append(pairs, collect...)
+
+	if ce.MixedText {
+		for _, tc := range data.textChunks[entity][id] {
+			pairs = append(pairs, childPair{itemPos: 0, ord: tc.ord, node: xmltree.NewText(tc.txt)})
+		}
+	}
+	// Distilled subelements re-emitted at their schema positions.
+	positions := r.itemPos[entity]
+	for _, d := range r.res.Metadata.Distilled {
+		if d.Parent != entity {
+			continue
+		}
+		if v, ok := vals[em.AttrCols[d.Attr]].(string); ok {
+			sub := xmltree.NewElement(d.Attr)
+			if v != "" {
+				sub.AppendText(v)
+			}
+			pairs = append(pairs, childPair{itemPos: d.Pos, ord: -1, node: sub})
+		}
+	}
+	_ = positions
+	sort.SliceStable(pairs, func(i, j int) bool {
+		if pairs[i].itemPos != pairs[j].itemPos {
+			return pairs[i].itemPos < pairs[j].itemPos
+		}
+		return pairs[i].ord < pairs[j].ord
+	})
+	for _, p := range pairs {
+		el.AppendChild(p.node)
+	}
+	return el, nil
+}
+
+// collectChildren gathers the element children of one parent across all
+// its nesting relationships, expanding virtual group entities in place.
+func (r *Reconstructor) collectChildren(data *docData, entity string, id int64) ([]childPair, error) {
+	var pairs []childPair
+	positions := r.itemPos[entity]
+	for _, relModel := range r.mapping.Model.RelationshipsOf(entity) {
+		if relModel.Kind == er.RelReference {
+			continue
+		}
+		pos := 0
+		if positions != nil {
+			if p, ok := positions[relModel.Name]; ok {
+				pos = p
+			} else if len(relModel.Arcs) == 1 {
+				// NESTED relationships are recorded under the child name.
+				if p, ok := positions[relModel.Arcs[0].Target]; ok {
+					pos = p
+				}
+			}
+		}
+		for seq, rr := range data.relRows[relModel.Name][id] {
+			if r.IgnoreOrdinals {
+				rr.ord = int64(seq)
+			}
+			if r.isVirtual(rr.target) {
+				// Splice the virtual group's own children in place; their
+				// ordinals live in the same sibling space.
+				sub, err := r.collectChildren(data, rr.target, rr.child)
+				if err != nil {
+					return nil, err
+				}
+				for _, sp := range sub {
+					pairs = append(pairs, childPair{itemPos: pos, ord: sp.ord, node: sp.node})
+				}
+				continue
+			}
+			node, err := r.buildElement(data, rr.target, rr.child)
+			if err != nil {
+				return nil, err
+			}
+			pairs = append(pairs, childPair{itemPos: pos, ord: rr.ord, node: node})
+		}
+	}
+	return pairs, nil
+}
+
+// isVirtual reports whether an entity is a step-1 virtual group element.
+func (r *Reconstructor) isVirtual(entity string) bool {
+	for i := range r.res.Groups {
+		if r.res.Groups[i].Name == entity {
+			return true
+		}
+	}
+	return false
+}
+
+// appendRawChildren reparses serialized ANY content into child nodes.
+func appendRawChildren(el *xmltree.Node, raw string) error {
+	doc, err := xmltree.Parse("<x>" + raw + "</x>")
+	if err != nil {
+		return err
+	}
+	for _, c := range doc.Root.Children {
+		el.AppendChild(c)
+		c.Parent = el
+	}
+	return nil
+}
+
+// Verify rebuilds a document and compares it with the original,
+// returning a descriptive error on mismatch. Comments, processing
+// instructions and whitespace-only text are ignored, as the mapping does
+// not store them.
+func (r *Reconstructor) Verify(docID int64, original *xmltree.Document) error {
+	rebuilt, err := r.Document(docID)
+	if err != nil {
+		return err
+	}
+	opts := xmltree.EqualOptions{
+		IgnoreComments:       true,
+		IgnorePIs:            true,
+		IgnoreWhitespaceText: true,
+		IgnoreAttrOrder:      true,
+	}
+	if !xmltree.Equal(original.Root, rebuilt.Root, opts) {
+		return fmt.Errorf("reconstruct: document %d differs from original\n--- original ---\n%s\n--- rebuilt ---\n%s",
+			docID, original.Root.XMLIndent("  "), rebuilt.Root.XMLIndent("  "))
+	}
+	return nil
+}

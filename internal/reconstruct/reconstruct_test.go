@@ -1,0 +1,226 @@
+package reconstruct
+
+import (
+	"strings"
+	"testing"
+
+	"xmlrdb/internal/core"
+	"xmlrdb/internal/dtd"
+	"xmlrdb/internal/engine"
+	"xmlrdb/internal/ermap"
+	"xmlrdb/internal/paper"
+	"xmlrdb/internal/shred"
+	"xmlrdb/internal/xmltree"
+)
+
+// pipeline maps a DTD, loads documents, and returns a reconstructor.
+func pipeline(t *testing.T, dtdText string, opts ermap.Options, docs ...string) (*Reconstructor, []*xmltree.Document) {
+	t.Helper()
+	res, err := core.Map(dtd.MustParse(dtdText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ermap.Build(res.Model, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.Open()
+	if err := db.CreateSchema(m.Schema); err != nil {
+		t.Fatal(err)
+	}
+	l, err := shred.NewLoader(res, m, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed []*xmltree.Document
+	for i, src := range docs {
+		doc, err := xmltree.ParseWith(src, xmltree.Options{ExternalDTD: res.Original})
+		if err != nil {
+			t.Fatalf("doc %d: %v", i, err)
+		}
+		if _, err := l.LoadDocument(doc, ""); err != nil {
+			t.Fatalf("load doc %d: %v", i, err)
+		}
+		parsed = append(parsed, doc)
+	}
+	return New(res, m, db), parsed
+}
+
+func roundTrip(t *testing.T, dtdText string, opts ermap.Options, docs ...string) {
+	t.Helper()
+	r, parsed := pipeline(t, dtdText, opts, docs...)
+	ids, err := r.DocumentIDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(docs) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i, id := range ids {
+		if err := r.Verify(id, parsed[i]); err != nil {
+			t.Errorf("doc %d: %v", i, err)
+		}
+	}
+}
+
+func TestRoundTripPaperDocuments(t *testing.T) {
+	roundTrip(t, paper.Example1DTD, ermap.Options{},
+		paper.BookXML, paper.ArticleXML, paper.EditorXML)
+}
+
+func TestRoundTripFoldFK(t *testing.T) {
+	roundTrip(t, paper.Example1DTD, ermap.Options{Strategy: ermap.StrategyFoldFK},
+		paper.BookXML, paper.ArticleXML, paper.EditorXML)
+}
+
+func TestRoundTripSkipDistillStillWorks(t *testing.T) {
+	res, err := core.MapWith(dtd.MustParse(paper.Example1DTD), core.Options{SkipDistill: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ermap.Build(res.Model, ermap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.Open()
+	if err := db.CreateSchema(m.Schema); err != nil {
+		t.Fatal(err)
+	}
+	l, err := shred.NewLoader(res, m, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := xmltree.MustParse(paper.BookXML)
+	if _, err := l.LoadDocument(doc, "b"); err != nil {
+		t.Fatal(err)
+	}
+	r := New(res, m, db)
+	if err := r.Verify(1, doc); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripMixedContent(t *testing.T) {
+	roundTrip(t, `
+<!ELEMENT article (title, body)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT body (para+)>
+<!ELEMENT para (#PCDATA | em | code)*>
+<!ELEMENT em (#PCDATA)>
+<!ELEMENT code (#PCDATA)>
+`, ermap.Options{},
+		`<article><title>T</title><body>
+<para>alpha <em>beta</em> gamma <code>x &lt; y</code> omega</para>
+<para><em>lead</em> then text</para>
+<para>only text</para>
+</body></article>`)
+}
+
+func TestRoundTripOrderingWithinRepeatedGroups(t *testing.T) {
+	// (author, affiliation?)+ interleaves; order must survive exactly.
+	roundTrip(t, paper.Example1DTD, ermap.Options{},
+		`<article><title>T</title>
+<author id="a1"><name><lastname>One</lastname></name></author>
+<author id="a2"><name><lastname>Two</lastname></name></author>
+<affiliation>X</affiliation>
+<author id="a3"><name><firstname>F</firstname><lastname>Three</lastname></name></author>
+<affiliation>Y</affiliation>
+<contactauthor authorid="a2"/>
+</article>`)
+}
+
+func TestRoundTripNestedGroupsInsideGroups(t *testing.T) {
+	roundTrip(t, `
+<!ELEMENT x ((a, b) | (c, d))+>
+<!ELEMENT a EMPTY><!ELEMENT b EMPTY><!ELEMENT c EMPTY><!ELEMENT d EMPTY>
+`, ermap.Options{},
+		`<x><a/><b/><c/><d/><a/><b/></x>`)
+}
+
+func TestRoundTripIDREFS(t *testing.T) {
+	roundTrip(t, `
+<!ELEMENT net (node*)>
+<!ELEMENT node EMPTY>
+<!ATTLIST node id ID #REQUIRED peers IDREFS #IMPLIED label CDATA #IMPLIED>
+`, ermap.Options{},
+		`<net><node id="n1" label="first"/><node id="n2" peers="n1 n3"/><node id="n3" peers="n2 n1"/></net>`)
+}
+
+func TestRoundTripAnyContent(t *testing.T) {
+	roundTrip(t, paper.Example1DTD, ermap.Options{},
+		`<article><title>T</title>
+<author id="q"><name><lastname>L</lastname></name></author>
+<affiliation>Nested <title>markup</title> inside &amp; entities</affiliation>
+</article>`)
+}
+
+func TestRoundTripRecursive(t *testing.T) {
+	roundTrip(t, paper.Example1DTD, ermap.Options{}, `<editor name="Top">
+<book><booktitle>B1</booktitle><editor name="Mid">
+<monograph><title>M</title><author id="z"><name><lastname>Z</lastname></name></author><editor name="Leaf"></editor></monograph>
+</editor></book>
+</editor>`)
+}
+
+func TestRoundTripOptionalAbsent(t *testing.T) {
+	roundTrip(t, `
+<!ELEMENT r (a?, b, c?)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT c (#PCDATA)>
+`, ermap.Options{},
+		`<r><b>only b</b></r>`,
+		`<r><a>a</a><b>b</b></r>`,
+		`<r><b>b</b><c>c</c></r>`)
+}
+
+func TestRoundTripEmptyStringValues(t *testing.T) {
+	roundTrip(t, `
+<!ELEMENT r (a, b?)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+<!ATTLIST r k CDATA #IMPLIED>
+`, ermap.Options{},
+		`<r k=""><a></a><b></b></r>`)
+}
+
+func TestDocumentErrors(t *testing.T) {
+	r, _ := pipeline(t, paper.Example1DTD, ermap.Options{}, paper.BookXML)
+	if _, err := r.Document(99); err == nil {
+		t.Error("missing document should fail")
+	}
+}
+
+func TestReconstructedSerializationParses(t *testing.T) {
+	r, _ := pipeline(t, paper.Example1DTD, ermap.Options{}, paper.ArticleXML)
+	doc, err := r.Document(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := doc.Render(xmltree.WriteOptions{})
+	if !strings.Contains(out, `<?xml version="1.0"?>`) {
+		t.Errorf("missing declaration: %s", out)
+	}
+	re, err := xmltree.Parse(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if !xmltree.Equal(doc.Root, re.Root, xmltree.EqualOptions{}) {
+		t.Error("serialization round trip changed tree")
+	}
+}
+
+func TestStabilityAcrossReconstructions(t *testing.T) {
+	r, _ := pipeline(t, paper.Example1DTD, ermap.Options{}, paper.ArticleXML)
+	a, err := r.Document(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Document(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Root.XML() != b.Root.XML() {
+		t.Error("reconstruction not deterministic")
+	}
+}

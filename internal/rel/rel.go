@@ -1,0 +1,241 @@
+// Package rel models relational schemas: tables, typed columns, primary
+// and foreign keys, and unique constraints, with DDL rendering. It is
+// the target vocabulary of the ER-to-relational translation and the
+// schema layer of the in-memory engine.
+package rel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is a column type.
+type Type int
+
+// Column types (a deliberately small, SQL-92-ish set).
+const (
+	// TypeInt is a 64-bit integer.
+	TypeInt Type = iota + 1
+	// TypeText is a variable-length string.
+	TypeText
+	// TypeFloat is a 64-bit float.
+	TypeFloat
+	// TypeBool is a boolean.
+	TypeBool
+)
+
+// String returns the DDL keyword for the type.
+func (t Type) String() string {
+	switch t {
+	case TypeInt:
+		return "INTEGER"
+	case TypeText:
+		return "TEXT"
+	case TypeFloat:
+		return "FLOAT"
+	case TypeBool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// TypeFromKeyword parses a DDL type keyword, case-insensitively.
+func TypeFromKeyword(s string) (Type, bool) {
+	switch strings.ToUpper(s) {
+	case "INTEGER", "INT", "BIGINT":
+		return TypeInt, true
+	case "TEXT", "VARCHAR", "CHAR", "STRING":
+		return TypeText, true
+	case "FLOAT", "REAL", "DOUBLE":
+		return TypeFloat, true
+	case "BOOLEAN", "BOOL":
+		return TypeBool, true
+	default:
+		return 0, false
+	}
+}
+
+// Column is one table column.
+type Column struct {
+	// Name is the column name.
+	Name string
+	// Type is the column type.
+	Type Type
+	// NotNull forbids NULL values.
+	NotNull bool
+}
+
+// ForeignKey is a referential constraint.
+type ForeignKey struct {
+	// Columns are the referencing columns of this table.
+	Columns []string
+	// RefTable and RefColumns identify the referenced key.
+	RefTable   string
+	RefColumns []string
+}
+
+// Table is one relation schema.
+type Table struct {
+	// Name is the table name.
+	Name string
+	// Columns in declaration order.
+	Columns []Column
+	// PrimaryKey lists the key column names (empty for heap tables).
+	PrimaryKey []string
+	// Uniques lists additional unique constraints.
+	Uniques [][]string
+	// ForeignKeys lists referential constraints.
+	ForeignKeys []ForeignKey
+	// Comment is rendered above the DDL, documenting provenance (which
+	// entity or relationship produced the table).
+	Comment string
+}
+
+// Column returns the named column and its position, or -1.
+func (t *Table) Column(name string) (Column, int) {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return c, i
+		}
+	}
+	return Column{}, -1
+}
+
+// ColumnNames returns the column names in order.
+func (t *Table) ColumnNames() []string {
+	out := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// DDL renders a CREATE TABLE statement.
+func (t *Table) DDL() string {
+	var b strings.Builder
+	if t.Comment != "" {
+		b.WriteString("-- " + t.Comment + "\n")
+	}
+	b.WriteString("CREATE TABLE " + t.Name + " (\n")
+	var lines []string
+	for _, c := range t.Columns {
+		line := "  " + c.Name + " " + c.Type.String()
+		if c.NotNull {
+			line += " NOT NULL"
+		}
+		lines = append(lines, line)
+	}
+	if len(t.PrimaryKey) > 0 {
+		lines = append(lines, "  PRIMARY KEY ("+strings.Join(t.PrimaryKey, ", ")+")")
+	}
+	for _, u := range t.Uniques {
+		lines = append(lines, "  UNIQUE ("+strings.Join(u, ", ")+")")
+	}
+	for _, fk := range t.ForeignKeys {
+		lines = append(lines, "  FOREIGN KEY ("+strings.Join(fk.Columns, ", ")+
+			") REFERENCES "+fk.RefTable+" ("+strings.Join(fk.RefColumns, ", ")+")")
+	}
+	b.WriteString(strings.Join(lines, ",\n"))
+	b.WriteString("\n);\n")
+	return b.String()
+}
+
+// Schema is a named set of tables.
+type Schema struct {
+	// Name labels the schema.
+	Name string
+	// Tables in creation order.
+	Tables []*Table
+
+	byName map[string]*Table
+}
+
+// NewSchema returns an empty schema.
+func NewSchema(name string) *Schema {
+	return &Schema{Name: name, byName: make(map[string]*Table)}
+}
+
+// AddTable appends a table; the name must be unique.
+func (s *Schema) AddTable(t *Table) error {
+	if _, dup := s.byName[t.Name]; dup {
+		return fmt.Errorf("rel: table %q already defined", t.Name)
+	}
+	s.Tables = append(s.Tables, t)
+	s.byName[t.Name] = t
+	return nil
+}
+
+// Table returns the named table, or nil.
+func (s *Schema) Table(name string) *Table { return s.byName[name] }
+
+// DDL renders CREATE TABLE statements for every table.
+func (s *Schema) DDL() string {
+	var b strings.Builder
+	for i, t := range s.Tables {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(t.DDL())
+	}
+	return b.String()
+}
+
+// Stats summarizes schema size for the E4 experiment.
+type Stats struct {
+	// Tables and Columns count schema objects.
+	Tables, Columns int
+	// ForeignKeys counts referential constraints.
+	ForeignKeys int
+}
+
+// ComputeStats returns size statistics.
+func (s *Schema) ComputeStats() Stats {
+	var st Stats
+	st.Tables = len(s.Tables)
+	for _, t := range s.Tables {
+		st.Columns += len(t.Columns)
+		st.ForeignKeys += len(t.ForeignKeys)
+	}
+	return st
+}
+
+// Validate checks referential consistency of the schema itself: foreign
+// keys must reference existing tables and columns, and key columns must
+// exist.
+func (s *Schema) Validate() error {
+	for _, t := range s.Tables {
+		for _, pk := range t.PrimaryKey {
+			if _, i := t.Column(pk); i < 0 {
+				return fmt.Errorf("rel: table %q: primary key column %q missing", t.Name, pk)
+			}
+		}
+		for _, u := range t.Uniques {
+			for _, c := range u {
+				if _, i := t.Column(c); i < 0 {
+					return fmt.Errorf("rel: table %q: unique column %q missing", t.Name, c)
+				}
+			}
+		}
+		for _, fk := range t.ForeignKeys {
+			ref := s.Table(fk.RefTable)
+			if ref == nil {
+				return fmt.Errorf("rel: table %q: foreign key references unknown table %q", t.Name, fk.RefTable)
+			}
+			if len(fk.Columns) != len(fk.RefColumns) {
+				return fmt.Errorf("rel: table %q: foreign key column count mismatch", t.Name)
+			}
+			for _, c := range fk.Columns {
+				if _, i := t.Column(c); i < 0 {
+					return fmt.Errorf("rel: table %q: foreign key column %q missing", t.Name, c)
+				}
+			}
+			for _, c := range fk.RefColumns {
+				if _, i := ref.Column(c); i < 0 {
+					return fmt.Errorf("rel: table %q: referenced column %s.%q missing", t.Name, fk.RefTable, c)
+				}
+			}
+		}
+	}
+	return nil
+}

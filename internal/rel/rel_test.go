@@ -1,0 +1,165 @@
+package rel
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleSchema(t *testing.T) *Schema {
+	t.Helper()
+	s := NewSchema("sample")
+	authors := &Table{
+		Name:    "authors",
+		Comment: "people",
+		Columns: []Column{
+			{Name: "id", Type: TypeInt, NotNull: true},
+			{Name: "name", Type: TypeText, NotNull: true},
+			{Name: "rating", Type: TypeFloat},
+			{Name: "active", Type: TypeBool},
+		},
+		PrimaryKey: []string{"id"},
+		Uniques:    [][]string{{"name"}},
+	}
+	books := &Table{
+		Name: "books",
+		Columns: []Column{
+			{Name: "id", Type: TypeInt, NotNull: true},
+			{Name: "author", Type: TypeInt},
+		},
+		PrimaryKey: []string{"id"},
+		ForeignKeys: []ForeignKey{
+			{Columns: []string{"author"}, RefTable: "authors", RefColumns: []string{"id"}},
+		},
+	}
+	for _, tab := range []*Table{authors, books} {
+		if err := s.AddTable(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestTypeStrings(t *testing.T) {
+	cases := map[Type]string{
+		TypeInt: "INTEGER", TypeText: "TEXT", TypeFloat: "FLOAT", TypeBool: "BOOLEAN",
+	}
+	for typ, want := range cases {
+		if typ.String() != want {
+			t.Errorf("%v.String() = %q", typ, typ.String())
+		}
+	}
+}
+
+func TestTypeFromKeyword(t *testing.T) {
+	cases := map[string]Type{
+		"INTEGER": TypeInt, "int": TypeInt, "BIGINT": TypeInt,
+		"text": TypeText, "VARCHAR": TypeText,
+		"Float": TypeFloat, "REAL": TypeFloat, "double": TypeFloat,
+		"BOOLEAN": TypeBool, "bool": TypeBool,
+	}
+	for kw, want := range cases {
+		got, ok := TypeFromKeyword(kw)
+		if !ok || got != want {
+			t.Errorf("TypeFromKeyword(%q) = %v, %v", kw, got, ok)
+		}
+	}
+	if _, ok := TypeFromKeyword("BLOB"); ok {
+		t.Error("unknown keyword accepted")
+	}
+}
+
+func TestColumnLookup(t *testing.T) {
+	s := sampleSchema(t)
+	tab := s.Table("authors")
+	c, i := tab.Column("name")
+	if i != 1 || c.Type != TypeText {
+		t.Errorf("Column(name) = %+v @ %d", c, i)
+	}
+	if _, i := tab.Column("ghost"); i != -1 {
+		t.Error("missing column should return -1")
+	}
+	if got := strings.Join(tab.ColumnNames(), ","); got != "id,name,rating,active" {
+		t.Errorf("ColumnNames = %s", got)
+	}
+}
+
+func TestDDLRendering(t *testing.T) {
+	s := sampleSchema(t)
+	ddl := s.DDL()
+	for _, want := range []string{
+		"-- people",
+		"CREATE TABLE authors (",
+		"id INTEGER NOT NULL",
+		"rating FLOAT",
+		"active BOOLEAN",
+		"PRIMARY KEY (id)",
+		"UNIQUE (name)",
+		"FOREIGN KEY (author) REFERENCES authors (id)",
+	} {
+		if !strings.Contains(ddl, want) {
+			t.Errorf("DDL missing %q:\n%s", want, ddl)
+		}
+	}
+}
+
+func TestSchemaDuplicate(t *testing.T) {
+	s := sampleSchema(t)
+	if err := s.AddTable(&Table{Name: "authors"}); err == nil {
+		t.Error("duplicate table should fail")
+	}
+	if s.Table("nope") != nil {
+		t.Error("missing table lookup")
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s := sampleSchema(t)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		tab  *Table
+	}{
+		{"missing pk column", &Table{Name: "a", PrimaryKey: []string{"nope"}}},
+		{"missing unique column", &Table{Name: "b", Uniques: [][]string{{"nope"}}}},
+		{"fk to missing table", &Table{
+			Name:        "c",
+			Columns:     []Column{{Name: "x", Type: TypeInt}},
+			ForeignKeys: []ForeignKey{{Columns: []string{"x"}, RefTable: "ghost", RefColumns: []string{"id"}}},
+		}},
+		{"fk column count mismatch", &Table{
+			Name:        "d",
+			Columns:     []Column{{Name: "x", Type: TypeInt}},
+			ForeignKeys: []ForeignKey{{Columns: []string{"x"}, RefTable: "authors", RefColumns: []string{"id", "name"}}},
+		}},
+		{"fk missing local column", &Table{
+			Name:        "e",
+			ForeignKeys: []ForeignKey{{Columns: []string{"nope"}, RefTable: "authors", RefColumns: []string{"id"}}},
+		}},
+		{"fk missing remote column", &Table{
+			Name:        "f",
+			Columns:     []Column{{Name: "x", Type: TypeInt}},
+			ForeignKeys: []ForeignKey{{Columns: []string{"x"}, RefTable: "authors", RefColumns: []string{"nope"}}},
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s2 := sampleSchema(t)
+			if err := s2.AddTable(c.tab); err != nil {
+				t.Fatal(err)
+			}
+			if err := s2.Validate(); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	s := sampleSchema(t)
+	st := s.ComputeStats()
+	if st.Tables != 2 || st.Columns != 6 || st.ForeignKeys != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}

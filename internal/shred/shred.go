@@ -1,0 +1,536 @@
+// Package shred implements the paper's §5 data-loading algorithm: it
+// traverses the DOM tree of an XML document and downloads the data items
+// into the relational tables of the ER mapping, maintaining the ordering
+// metadata (ordinal columns), group-instance numbers, mixed-content text
+// chunks, and ID/IDREF resolution the paper's metadata design calls for.
+//
+// Children of an element are assigned to relationship instances by
+// deriving the child-element sequence against the step-1 (grouped)
+// content model, so every NESTED_GROUP instance — including groups
+// nested inside groups, which surface as virtual entities — is
+// identified exactly. Parents are inserted before their children, so
+// the engine's foreign-key enforcement can stay on during loading.
+package shred
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"xmlrdb/internal/cmodel"
+	"xmlrdb/internal/core"
+	"xmlrdb/internal/dtd"
+	"xmlrdb/internal/er"
+	"xmlrdb/internal/ermap"
+	"xmlrdb/internal/xmltree"
+)
+
+// Engine is the storage surface the loader writes through (satisfied by
+// *engine.DB).
+type Engine interface {
+	// Insert appends one row in column order.
+	Insert(table string, row []any) (int, error)
+	// InsertMap appends one row given as column->value; omitted columns
+	// are NULL.
+	InsertMap(table string, vals map[string]any) (int, error)
+}
+
+// Loader shreds documents conforming to one mapped DTD into an engine
+// database. It is safe for concurrent LoadDocument calls.
+type Loader struct {
+	res     *core.Result
+	mapping *ermap.Mapping
+	db      Engine
+
+	groupBody map[string]*dtd.Particle
+	groupRel  map[string]*core.Rel
+	nestedRel map[string]map[string]*core.Rel
+	refRels   map[string][]*core.Rel
+	distilled map[string]map[string]bool
+
+	mu      sync.Mutex
+	nextID  map[string]int64
+	nextDoc int64
+}
+
+// Stats reports what one document contributed.
+type Stats struct {
+	// DocID is the assigned document number.
+	DocID int64
+	// Elements, RelRows, RefRows and TextChunks count inserted rows.
+	Elements, RelRows, RefRows, TextChunks int
+}
+
+// NewLoader builds a loader for a mapping. The engine database must
+// already contain the mapping's schema.
+func NewLoader(res *core.Result, m *ermap.Mapping, db Engine) (*Loader, error) {
+	l := &Loader{
+		res:       res,
+		mapping:   m,
+		db:        db,
+		groupBody: make(map[string]*dtd.Particle),
+		groupRel:  make(map[string]*core.Rel),
+		nestedRel: make(map[string]map[string]*core.Rel),
+		refRels:   make(map[string][]*core.Rel),
+		distilled: make(map[string]map[string]bool),
+		nextID:    make(map[string]int64),
+	}
+	relByParticle := make(map[*dtd.Particle]*core.Rel)
+	for _, r := range res.Converted.Rels {
+		switch r.Kind {
+		case er.RelNestedGroup:
+			relByParticle[r.Particle] = r
+		case er.RelNested:
+			if l.nestedRel[r.Parent] == nil {
+				l.nestedRel[r.Parent] = make(map[string]*core.Rel)
+			}
+			l.nestedRel[r.Parent][r.Child] = r
+		case er.RelReference:
+			l.refRels[r.Parent] = append(l.refRels[r.Parent], r)
+		}
+	}
+	for i := range res.Groups {
+		g := &res.Groups[i]
+		l.groupBody[g.Name] = g.Particle
+		r := relByParticle[g.Particle]
+		if r == nil {
+			return nil, fmt.Errorf("shred: group %s has no relationship declaration", g.Name)
+		}
+		l.groupRel[g.Name] = r
+	}
+	for _, e := range res.Metadata.Distilled {
+		if l.distilled[e.Parent] == nil {
+			l.distilled[e.Parent] = make(map[string]bool)
+		}
+		l.distilled[e.Parent][e.Attr] = true
+	}
+	return l, nil
+}
+
+// LoadXML parses and loads one document given as XML text.
+func (l *Loader) LoadXML(src, name string) (Stats, error) {
+	doc, err := xmltree.ParseWith(src, xmltree.Options{ExternalDTD: l.res.Original})
+	if err != nil {
+		return Stats{}, fmt.Errorf("shred: %w", err)
+	}
+	return l.LoadDocument(doc, name)
+}
+
+// LoadDocument shreds one parsed document into the database.
+func (l *Loader) LoadDocument(doc *xmltree.Document, name string) (Stats, error) {
+	if doc.Root == nil {
+		return Stats{}, fmt.Errorf("shred: document %q has no root element", name)
+	}
+	st := &docState{
+		l:       l,
+		ids:     make(map[string][2]any),
+		deriver: cmodel.NewDeriver(func(n string) *dtd.Particle { return l.groupBody[n] }),
+	}
+	st.docID = l.allocDoc()
+	rootID, err := st.element(doc.Root, nil)
+	if err != nil {
+		return Stats{}, fmt.Errorf("shred: document %q: %w", name, err)
+	}
+	if err := st.resolveRefs(); err != nil {
+		return Stats{}, fmt.Errorf("shred: document %q: %w", name, err)
+	}
+	if _, err := l.db.Insert("x_docs", []any{st.docID, name, doc.Root.Name, rootID}); err != nil {
+		return Stats{}, err
+	}
+	st.stats.DocID = st.docID
+	return st.stats, nil
+}
+
+func (l *Loader) allocDoc() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextDoc++
+	return l.nextDoc
+}
+
+func (l *Loader) allocID(entity string) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextID[entity]++
+	return l.nextID[entity]
+}
+
+// foldLink carries the parent reference stored on a child row when its
+// nesting relationship was folded (StrategyFoldFK).
+type foldLink struct {
+	parentID int64
+	ord      int
+}
+
+type pendingRef struct {
+	rel      *core.Rel
+	sourceID int64
+	value    string
+	ord      int
+}
+
+type docState struct {
+	l       *Loader
+	docID   int64
+	deriver *cmodel.Deriver
+	ids     map[string][2]any // ID value -> {entity name, row id}
+	refs    []pendingRef
+	stats   Stats
+}
+
+// element loads one element subtree and returns its entity row id. The
+// parent row is inserted before any children, with distilled attribute
+// values already in place.
+func (st *docState) element(el *xmltree.Node, fold *foldLink) (int64, error) {
+	l := st.l
+	ce := l.res.Converted.Element(el.Name)
+	em := l.mapping.Entities[el.Name]
+	if ce == nil || em == nil {
+		return 0, fmt.Errorf("element type %q is not part of the mapped DTD (at %s)", el.Name, el.Path())
+	}
+	id := l.allocID(el.Name)
+	row := map[string]any{"id": id, "doc": st.docID}
+	if fold != nil {
+		row["parent"] = fold.parentID
+		row["ord"] = int64(fold.ord)
+	}
+
+	// XML attributes (including DTD defaults applied by the parser).
+	refByAttr := make(map[string]*core.Rel)
+	for _, r := range l.refRels[el.Name] {
+		refByAttr[r.ViaAttr] = r
+	}
+	declaredID, _ := l.res.Original.IDAttr(el.Name)
+	for _, a := range el.Attrs {
+		if r, isRef := refByAttr[a.Name]; isRef {
+			toks := []string{a.Value}
+			if r.Multiple {
+				toks = strings.Fields(a.Value)
+			}
+			for i, tok := range toks {
+				st.refs = append(st.refs, pendingRef{rel: r, sourceID: id, value: tok, ord: i})
+			}
+			continue
+		}
+		col, known := em.AttrCols[a.Name]
+		if !known {
+			return 0, fmt.Errorf("attribute %q of %q is not declared (at %s)", a.Name, el.Name, el.Path())
+		}
+		row[col] = a.Value
+		if a.Name == declaredID {
+			if _, dup := st.ids[a.Value]; dup {
+				return 0, fmt.Errorf("duplicate ID %q (at %s)", a.Value, el.Path())
+			}
+			st.ids[a.Value] = [2]any{el.Name, id}
+		}
+	}
+
+	// Derive element content and fill distilled attribute values before
+	// the row is inserted.
+	var deriv *cmodel.Deriv
+	var children []*xmltree.Node
+	switch ce.Kind {
+	case core.ConvEmpty:
+		if el.HasElementChildren() || strings.TrimSpace(el.Text()) != "" {
+			return 0, fmt.Errorf("element %q is declared EMPTY but has content (at %s)", el.Name, el.Path())
+		}
+	case core.ConvAny:
+		row["raw"] = innerXML(el)
+	case core.ConvPCData:
+		if el.HasElementChildren() {
+			return 0, fmt.Errorf("element %q is (#PCDATA) but has element children (at %s)", el.Name, el.Path())
+		}
+		row["txt"] = el.Text()
+	case core.ConvBare:
+		if ce.MixedText {
+			row["txt"] = el.Text()
+			break
+		}
+		if t := strings.TrimSpace(el.DirectText()); t != "" {
+			return 0, fmt.Errorf("element %q has element content but contains text %q (at %s)",
+				el.Name, t, el.Path())
+		}
+		decl := l.res.Grouped.Element(el.Name)
+		if decl == nil {
+			return 0, fmt.Errorf("no grouped declaration for %q", el.Name)
+		}
+		children = el.ChildElements()
+		names := make([]string, len(children))
+		for i, c := range children {
+			names[i] = c.Name
+		}
+		var err error
+		deriv, err = st.deriver.Derive(decl.Content.Particle, names)
+		if err != nil {
+			return 0, fmt.Errorf("content of %q does not match its model (at %s): %w", el.Name, el.Path(), err)
+		}
+		// Distilled values.
+		if deriv != nil && len(deriv.Reps) > 0 {
+			for _, itemDeriv := range deriv.Reps[0].Children {
+				p := itemDeriv.Particle
+				if p.Kind == dtd.PKName && l.distilled[el.Name] != nil && l.distilled[el.Name][p.Name] {
+					for _, rep := range itemDeriv.Reps {
+						row[em.AttrCols[p.Name]] = children[rep.Index].Text()
+					}
+				}
+			}
+		}
+	}
+
+	if _, err := l.db.InsertMap(em.Table, row); err != nil {
+		return 0, fmt.Errorf("at %s: %w", el.Path(), err)
+	}
+	st.stats.Elements++
+
+	// Children after the parent row exists.
+	switch {
+	case ce.Kind == core.ConvBare && ce.MixedText:
+		if err := st.mixedContent(el, id); err != nil {
+			return 0, err
+		}
+	case deriv != nil && len(deriv.Reps) > 0:
+		nextOrd := len(children)
+		for _, itemDeriv := range deriv.Reps[0].Children {
+			if err := st.item(el, id, itemDeriv, children, &nextOrd); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return id, nil
+}
+
+// innerXML serializes the children of an element (the stored form of
+// ANY content).
+func innerXML(el *xmltree.Node) string {
+	var b strings.Builder
+	for _, c := range el.Children {
+		b.WriteString(c.XML())
+	}
+	return b.String()
+}
+
+// mixedContent loads mixed-content children: element children attach to
+// the single mixed nested-group relationship; text chunks go to x_text.
+// Ordinals number all child nodes so interleaving is preserved.
+func (st *docState) mixedContent(el *xmltree.Node, parentID int64) error {
+	l := st.l
+	var mixRel *core.Rel
+	for _, r := range l.res.Converted.RelsOf(el.Name) {
+		if r.Kind == er.RelNestedGroup {
+			mixRel = r
+			break
+		}
+	}
+	for ord, c := range el.Children {
+		switch c.Kind {
+		case xmltree.TextNode:
+			if c.Data == "" {
+				continue
+			}
+			if _, err := l.db.Insert("x_text", []any{st.docID, el.Name, parentID, ord, c.Data}); err != nil {
+				return err
+			}
+			st.stats.TextChunks++
+		case xmltree.ElementNode:
+			if mixRel == nil {
+				return fmt.Errorf("element %q in mixed content of %q has no relationship (at %s)",
+					c.Name, el.Name, el.Path())
+			}
+			if err := st.loadChild(mixRel, parentID, c, ord, nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// item processes one top-level content item: distilled names were
+// already consumed; group references and plain nested names load
+// children and relationship rows.
+func (st *docState) item(el *xmltree.Node, parentID int64, d *cmodel.Deriv, children []*xmltree.Node, nextOrd *int) error {
+	l := st.l
+	p := d.Particle
+	if p.Kind != dtd.PKName {
+		return fmt.Errorf("internal: non-name item %s in content of %q after step 1", p, el.Name)
+	}
+	switch {
+	case l.distilled[el.Name] != nil && l.distilled[el.Name][p.Name]:
+		return nil // already folded into the parent row
+	case l.groupBody[p.Name] != nil:
+		rel := l.groupRel[p.Name]
+		for grpIdx, rep := range d.Reps {
+			if err := st.groupInstance(rel, parentID, rep.Body, children, grpIdx, nextOrd); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		rel := l.nestedRel[el.Name][p.Name]
+		if rel == nil {
+			return fmt.Errorf("no NESTED relationship for %s/%s", el.Name, p.Name)
+		}
+		for _, rep := range d.Reps {
+			if err := st.loadChild(rel, parentID, children[rep.Index], rep.Index, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// groupInstance loads one instance of a nested group. Groups nested
+// inside the body surface as virtual entity rows.
+func (st *docState) groupInstance(rel *core.Rel, parentID int64, body *cmodel.Deriv, children []*xmltree.Node, grpIdx int, nextOrd *int) error {
+	l := st.l
+	var walk func(d *cmodel.Deriv) error
+	walk = func(d *cmodel.Deriv) error {
+		p := d.Particle
+		if p.Kind == dtd.PKName {
+			if l.groupBody[p.Name] != nil {
+				innerRel := l.groupRel[p.Name]
+				for innerIdx, rep := range d.Reps {
+					ord := ordOfBody(rep.Body, nextOrd)
+					vid, err := st.virtualEntity(rel, p.Name, parentID, ord, groupVal(rel, grpIdx))
+					if err != nil {
+						return err
+					}
+					if err := st.groupInstance(innerRel, vid, rep.Body, children, innerIdx, nextOrd); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			for _, rep := range d.Reps {
+				if err := st.loadChild(rel, parentID, children[rep.Index], rep.Index, groupVal(rel, grpIdx)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, rep := range d.Reps {
+			for _, c := range rep.Children {
+				if err := walk(c); err != nil {
+					return err
+				}
+			}
+			if rep.Chosen != nil {
+				if err := walk(rep.Chosen); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return walk(body)
+}
+
+// loadChild loads one child element and links it to the relationship —
+// via a junction row, or via parent columns on the child when folded.
+func (st *docState) loadChild(rel *core.Rel, parentID int64, child *xmltree.Node, ord int, grp any) error {
+	l := st.l
+	rm := l.mapping.Rels[rel.Name]
+	if rm == nil {
+		return fmt.Errorf("internal: relationship %q has no mapping", rel.Name)
+	}
+	if rm.Folded {
+		_, err := st.element(child, &foldLink{parentID: parentID, ord: ord})
+		return err
+	}
+	childID, err := st.element(child, nil)
+	if err != nil {
+		return err
+	}
+	vals := map[string]any{
+		"doc": st.docID, "parent": parentID, "child": childID, "ord": int64(ord),
+	}
+	if !rm.SingleTarget {
+		vals["target"] = child.Name
+	}
+	if grp != nil {
+		vals["grp"] = grp
+	}
+	if _, err := l.db.InsertMap(rm.Table, vals); err != nil {
+		return err
+	}
+	st.stats.RelRows++
+	return nil
+}
+
+// virtualEntity inserts a row for a virtual (group) entity instance and
+// links it to its enclosing relationship.
+func (st *docState) virtualEntity(rel *core.Rel, entity string, parentID int64, ord int, grp any) (int64, error) {
+	l := st.l
+	em := l.mapping.Entities[entity]
+	if em == nil {
+		return 0, fmt.Errorf("internal: no entity for virtual group %q", entity)
+	}
+	rm := l.mapping.Rels[rel.Name]
+	vid := l.allocID(entity)
+	row := map[string]any{"id": vid, "doc": st.docID}
+	if rm != nil && rm.Folded {
+		row["parent"] = parentID
+		row["ord"] = int64(ord)
+	}
+	if _, err := l.db.InsertMap(em.Table, row); err != nil {
+		return 0, err
+	}
+	st.stats.Elements++
+	if rm != nil && !rm.Folded {
+		vals := map[string]any{
+			"doc": st.docID, "parent": parentID, "child": vid, "ord": int64(ord),
+		}
+		if !rm.SingleTarget {
+			vals["target"] = entity
+		}
+		if grp != nil {
+			vals["grp"] = grp
+		}
+		if _, err := l.db.InsertMap(rm.Table, vals); err != nil {
+			return 0, err
+		}
+		st.stats.RelRows++
+	}
+	return vid, nil
+}
+
+// groupVal returns the grp column value for relationships that track
+// group instances, nil otherwise.
+func groupVal(rel *core.Rel, grpIdx int) any {
+	if rel.Kind == er.RelNestedGroup && rel.GroupOcc.Repeatable() {
+		return int64(grpIdx)
+	}
+	return nil
+}
+
+// ordOfBody picks the ordinal for a virtual group row: the first
+// document position it covers, or a fresh ordinal past the real
+// children when the instance matched nothing.
+func ordOfBody(body *cmodel.Deriv, nextOrd *int) int {
+	if idxs := body.Indexes(); len(idxs) > 0 {
+		return idxs[0]
+	}
+	ord := *nextOrd
+	*nextOrd++
+	return ord
+}
+
+// resolveRefs resolves and inserts the document's pending IDREF rows.
+func (st *docState) resolveRefs() error {
+	l := st.l
+	for _, ref := range st.refs {
+		rm := l.mapping.Rels[ref.rel.Name]
+		vals := map[string]any{
+			"doc": st.docID, "source": ref.sourceID,
+			"refvalue": ref.value, "ord": int64(ref.ord),
+		}
+		if hit, ok := st.ids[ref.value]; ok {
+			vals["target_type"] = hit[0]
+			vals["target"] = hit[1]
+		}
+		if _, err := l.db.InsertMap(rm.Table, vals); err != nil {
+			return err
+		}
+		st.stats.RefRows++
+	}
+	return nil
+}

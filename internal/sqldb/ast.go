@@ -1,0 +1,268 @@
+package sqldb
+
+import "xmlrdb/internal/rel"
+
+// Stmt is any parsed SQL statement.
+type Stmt interface{ stmt() }
+
+// Select is a SELECT statement.
+type Select struct {
+	// Distinct deduplicates result rows.
+	Distinct bool
+	// Items are the projection list; nil means "*".
+	Items []SelectItem
+	// From lists the base tables (cross product unless joined by ON or
+	// WHERE predicates).
+	From []TableRef
+	// Joins are explicit JOIN ... ON clauses, applied left to right
+	// after From[0].
+	Joins []Join
+	// Where is the filter predicate, or nil.
+	Where Expr
+	// GroupBy lists grouping expressions.
+	GroupBy []Expr
+	// Having filters groups.
+	Having Expr
+	// OrderBy lists sort keys.
+	OrderBy []OrderItem
+	// Limit is the maximum row count (-1 for none); Offset skips rows.
+	Limit, Offset int
+}
+
+func (*Select) stmt() {}
+
+// SelectItem is one projection.
+type SelectItem struct {
+	// Expr is the projected expression; nil with Star set means "*" or
+	// "t.*".
+	Expr Expr
+	// Alias renames the output column.
+	Alias string
+	// Star marks a wildcard item; Table qualifies "t.*".
+	Star  bool
+	Table string
+}
+
+// TableRef is a table with an optional alias.
+type TableRef struct {
+	// Table is the table name; Alias the binding name (defaults to Table).
+	Table, Alias string
+}
+
+// Name returns the binding name of the reference.
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// Join is one JOIN ... ON clause.
+type Join struct {
+	// Ref is the joined table.
+	Ref TableRef
+	// On is the join predicate.
+	On Expr
+	// Left marks LEFT OUTER joins.
+	Left bool
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	// Expr is the sort expression.
+	Expr Expr
+	// Desc sorts descending.
+	Desc bool
+}
+
+// Insert is an INSERT statement.
+type Insert struct {
+	// Table is the target table.
+	Table string
+	// Columns lists the target columns; empty means all, in order.
+	Columns []string
+	// Rows are the VALUES tuples.
+	Rows [][]Expr
+}
+
+func (*Insert) stmt() {}
+
+// CreateTable is a CREATE TABLE statement.
+type CreateTable struct {
+	// Def is the parsed table definition.
+	Def *rel.Table
+}
+
+func (*CreateTable) stmt() {}
+
+// CreateIndex is a CREATE INDEX statement.
+type CreateIndex struct {
+	// Name is the index name; Table and Columns define the key.
+	Name, Table string
+	Columns     []string
+	// Unique enforces key uniqueness.
+	Unique bool
+	// Ordered builds a sorted range-scan index (single column).
+	Ordered bool
+}
+
+func (*CreateIndex) stmt() {}
+
+// DropTable is a DROP TABLE statement.
+type DropTable struct {
+	// Table is the table to drop.
+	Table string
+	// IfExists suppresses the missing-table error.
+	IfExists bool
+}
+
+func (*DropTable) stmt() {}
+
+// DropIndex is a DROP INDEX statement.
+type DropIndex struct {
+	// Name is the index to drop.
+	Name string
+	// IfExists suppresses the missing-index error.
+	IfExists bool
+}
+
+func (*DropIndex) stmt() {}
+
+// Update is an UPDATE statement.
+type Update struct {
+	// Table is the target table.
+	Table string
+	// Set lists column assignments.
+	Set []Assignment
+	// Where filters the rows to update, or nil for all.
+	Where Expr
+}
+
+func (*Update) stmt() {}
+
+// Assignment is one SET column = expr.
+type Assignment struct {
+	// Column is the target column.
+	Column string
+	// Value is the assigned expression.
+	Value Expr
+}
+
+// Delete is a DELETE statement.
+type Delete struct {
+	// Table is the target table.
+	Table string
+	// Where filters the rows to delete, or nil for all.
+	Where Expr
+}
+
+func (*Delete) stmt() {}
+
+// Expr is any expression node.
+type Expr interface{ expr() }
+
+// Lit is a literal value: int64, float64, string, bool or nil.
+type Lit struct {
+	// Value holds the literal.
+	Value any
+}
+
+func (*Lit) expr() {}
+
+// Col is a (possibly qualified) column reference.
+type Col struct {
+	// Table is the qualifier ("" when unqualified); Name the column.
+	Table, Name string
+}
+
+func (*Col) expr() {}
+
+// BinOp kinds.
+const (
+	OpEq  = "="
+	OpNe  = "!="
+	OpLt  = "<"
+	OpLe  = "<="
+	OpGt  = ">"
+	OpGe  = ">="
+	OpAnd = "AND"
+	OpOr  = "OR"
+	OpAdd = "+"
+	OpSub = "-"
+	OpMul = "*"
+	OpDiv = "/"
+	OpMod = "%"
+)
+
+// Bin is a binary operation.
+type Bin struct {
+	// Op is one of the Op* constants.
+	Op string
+	// L and R are the operands.
+	L, R Expr
+}
+
+func (*Bin) expr() {}
+
+// Not is logical negation.
+type Not struct {
+	// X is the negated expression.
+	X Expr
+}
+
+func (*Not) expr() {}
+
+// IsNull tests an expression against NULL.
+type IsNull struct {
+	// X is the tested expression; Negate flips to IS NOT NULL.
+	X      Expr
+	Negate bool
+}
+
+func (*IsNull) expr() {}
+
+// In tests membership in a literal list.
+type In struct {
+	// X is the tested expression; List the candidates.
+	X    Expr
+	List []Expr
+	// Negate flips to NOT IN.
+	Negate bool
+}
+
+func (*In) expr() {}
+
+// Like is a SQL LIKE pattern match (% and _ wildcards).
+type Like struct {
+	// X is the tested expression; Pattern the literal pattern.
+	X       Expr
+	Pattern string
+	// Negate flips to NOT LIKE.
+	Negate bool
+}
+
+func (*Like) expr() {}
+
+// Call is a function or aggregate call.
+type Call struct {
+	// Fn is the upper-cased function name (COUNT, SUM, AVG, MIN, MAX,
+	// LENGTH, LOWER, UPPER, ABS, COALESCE).
+	Fn string
+	// Args are the arguments; Star marks COUNT(*).
+	Args []Expr
+	Star bool
+	// Distinct marks COUNT(DISTINCT x).
+	Distinct bool
+}
+
+func (*Call) expr() {}
+
+// IsAggregate reports whether the call is an aggregate function.
+func (c *Call) IsAggregate() bool {
+	switch c.Fn {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,37 @@
+package sqldb
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestSQLParserNeverPanics exercises the SQL parser with token soup.
+func TestSQLParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	pieces := []string{
+		"SELECT", "FROM", "WHERE", "INSERT", "INTO", "VALUES", "CREATE",
+		"TABLE", "INDEX", "UPDATE", "SET", "DELETE", "JOIN", "ON", "GROUP",
+		"BY", "ORDER", "LIMIT", "a", "t", "*", ",", "(", ")", "=", "<", ">",
+		"1", "'s'", "NULL", "AND", "OR", "NOT", "COUNT", ";", "IS", "IN",
+		"LIKE", "+", "-", "/", "%", ".",
+	}
+	for i := 0; i < 5000; i++ {
+		var b strings.Builder
+		n := 1 + rng.Intn(14)
+		for j := 0; j < n; j++ {
+			b.WriteString(pieces[rng.Intn(len(pieces))])
+			b.WriteByte(' ')
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			_, _ = Parse(src)
+			_, _ = ParseScript(src)
+		}()
+	}
+}

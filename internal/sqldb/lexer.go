@@ -1,0 +1,155 @@
+// Package sqldb implements a lexer, AST and parser for the SQL subset
+// the engine executes: CREATE TABLE / CREATE INDEX / DROP TABLE, INSERT,
+// SELECT (joins, WHERE, GROUP BY with aggregates, HAVING, ORDER BY,
+// LIMIT/OFFSET, DISTINCT), UPDATE and DELETE.
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokKind classifies lexical tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	// TokEOF marks end of input.
+	TokEOF TokKind = iota + 1
+	// TokIdent is an identifier or keyword (keywords are matched
+	// case-insensitively by the parser).
+	TokIdent
+	// TokNumber is an integer or float literal.
+	TokNumber
+	// TokString is a single-quoted string literal.
+	TokString
+	// TokOp is an operator or punctuation.
+	TokOp
+)
+
+// Token is one lexical token.
+type Token struct {
+	// Kind classifies the token.
+	Kind TokKind
+	// Text is the raw token text (unquoted for strings).
+	Text string
+	// Pos is the byte offset in the input.
+	Pos int
+}
+
+// lexError is a lexical error with position.
+type lexError struct {
+	pos int
+	msg string
+}
+
+func (e *lexError) Error() string { return fmt.Sprintf("sql: at byte %d: %s", e.pos, e.msg) }
+
+// lex tokenizes a SQL string.
+func lex(src string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentChar(src[i]) {
+				i++
+			}
+			toks = append(toks, Token{Kind: TokIdent, Text: src[start:i], Pos: start})
+		case c >= '0' && c <= '9':
+			start := i
+			seenDot := false
+			for i < n && (src[i] >= '0' && src[i] <= '9' || (src[i] == '.' && !seenDot)) {
+				if src[i] == '.' {
+					seenDot = true
+				}
+				i++
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: src[start:i], Pos: start})
+		case c == '\'':
+			i++
+			var b strings.Builder
+			closed := false
+			for i < n {
+				if src[i] == '\'' {
+					if i+1 < n && src[i+1] == '\'' { // escaped quote
+						b.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				b.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, &lexError{pos: i, msg: "unterminated string literal"}
+			}
+			toks = append(toks, Token{Kind: TokString, Text: b.String(), Pos: i})
+		case strings.ContainsRune("(),.*=+-/%", rune(c)):
+			toks = append(toks, Token{Kind: TokOp, Text: string(c), Pos: i})
+			i++
+		case c == '<':
+			if i+1 < n && (src[i+1] == '=' || src[i+1] == '>') {
+				toks = append(toks, Token{Kind: TokOp, Text: src[i : i+2], Pos: i})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: TokOp, Text: "<", Pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, Token{Kind: TokOp, Text: ">=", Pos: i})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: TokOp, Text: ">", Pos: i})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, Token{Kind: TokOp, Text: "!=", Pos: i})
+				i += 2
+			} else {
+				return nil, &lexError{pos: i, msg: "unexpected '!'"}
+			}
+		case c == ';':
+			toks = append(toks, Token{Kind: TokOp, Text: ";", Pos: i})
+			i++
+		case c == '"':
+			// Double-quoted identifier.
+			i++
+			start := i
+			for i < n && src[i] != '"' {
+				i++
+			}
+			if i >= n {
+				return nil, &lexError{pos: i, msg: "unterminated quoted identifier"}
+			}
+			toks = append(toks, Token{Kind: TokIdent, Text: src[start:i], Pos: start})
+			i++
+		default:
+			return nil, &lexError{pos: i, msg: fmt.Sprintf("unexpected character %q", string(c))}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

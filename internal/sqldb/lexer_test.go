@@ -1,0 +1,110 @@
+package sqldb
+
+import (
+	"testing"
+)
+
+func TestLexTokens(t *testing.T) {
+	toks, err := lex(`SELECT a1, 'str''x', 3.14, "quoted id" FROM t -- comment
+WHERE a <= 3 AND b <> 4 AND c != 5 OR d >= 6`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+		texts = append(texts, tok.Text)
+	}
+	want := map[int]string{
+		0: "SELECT", 2: ",", 3: "str'x", 5: "3.14", 7: "quoted id",
+	}
+	for i, w := range want {
+		if texts[i] != w {
+			t.Errorf("token %d = %q, want %q", i, texts[i], w)
+		}
+	}
+	if kinds[3] != TokString || kinds[5] != TokNumber || kinds[7] != TokIdent {
+		t.Errorf("kinds = %v", kinds[:8])
+	}
+	// Comment swallowed; operators tokenized.
+	joined := ""
+	for _, x := range texts {
+		joined += x + " "
+	}
+	for _, op := range []string{"<=", "<>", "!=", ">="} {
+		found := false
+		for _, x := range texts {
+			if x == op {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("operator %q missing in %v", op, texts)
+		}
+	}
+	_ = joined
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{
+		`SELECT 'unterminated`,
+		`SELECT "unterminated`,
+		`SELECT a ! b`,
+		`SELECT a # b`,
+	} {
+		if _, err := lex(src); err == nil {
+			t.Errorf("lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseMoreErrors(t *testing.T) {
+	cases := []string{
+		`CREATE UNIQUE TABLE t (a INTEGER)`,
+		`CREATE ORDERED TABLE t (a INTEGER)`,
+		`DROP WIDGET w`,
+		`INSERT INTO t (a VALUES (1)`,
+		`SELECT * FROM t GROUP BY`,
+		`SELECT * FROM t ORDER`,
+		`SELECT * FROM t WHERE a IS BOGUS`,
+		`SELECT * FROM t JOIN u`,
+		`CREATE TABLE t (a INTEGER, FOREIGN KEY (a) REFERENCES)`,
+		`UPDATE t SET a WHERE 1`,
+		`DELETE t`,
+		`INSERT t VALUES (1)`,
+		`SELECT COUNT( FROM t`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseSemicolonAndCase(t *testing.T) {
+	if _, err := Parse(`select a from t;`); err != nil {
+		t.Errorf("lowercase keywords: %v", err)
+	}
+	if _, err := Parse(`SeLeCt a FrOm t`); err != nil {
+		t.Errorf("mixed case: %v", err)
+	}
+	stmts, err := ParseScript(`;;SELECT a FROM t;;`)
+	if err != nil || len(stmts) != 1 {
+		t.Errorf("stray semicolons: %v %d", err, len(stmts))
+	}
+	if _, err := ParseScript(`SELECT a FROM t SELECT b FROM u`); err == nil {
+		t.Error("missing separator should fail")
+	}
+}
+
+func TestParseOrderedIndex(t *testing.T) {
+	st, err := Parse(`CREATE ORDERED INDEX ox ON t (k)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := st.(*CreateIndex)
+	if !ci.Ordered || ci.Unique {
+		t.Errorf("flags = %+v", ci)
+	}
+}

@@ -1,0 +1,356 @@
+// Package validate checks XML documents against a DTD: content models
+// (via Glushkov automata from the cmodel package), attribute
+// declarations and defaults, ID uniqueness, and IDREF referential
+// integrity. It also audits the DTD itself for the XML 1.0 validity
+// constraints a schema can violate on its own (nondeterministic content
+// models, references to undeclared element types, duplicate ID
+// attributes).
+package validate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xmlrdb/internal/cmodel"
+	"xmlrdb/internal/dtd"
+	"xmlrdb/internal/xmltree"
+)
+
+// Violation is one validity problem, located by element path.
+type Violation struct {
+	// Path is the slash-separated path of the offending element, or
+	// "<dtd>" for schema-level problems.
+	Path string
+	// Msg describes the violation.
+	Msg string
+}
+
+// String renders the violation for diagnostics.
+func (v Violation) String() string { return v.Path + ": " + v.Msg }
+
+// Validator validates documents against one DTD. It compiles each
+// element's content model once and is safe for reuse across documents
+// (but not for concurrent use).
+type Validator struct {
+	d      *dtd.DTD
+	autos  map[string]*cmodel.Automaton
+	mixed  map[string]map[string]bool
+	schema []Violation
+}
+
+// New compiles a validator for the DTD. Schema-level problems do not
+// fail construction; they are reported by SchemaViolations and included
+// in every Validate result.
+func New(d *dtd.DTD) *Validator {
+	v := &Validator{
+		d:     d,
+		autos: make(map[string]*cmodel.Automaton),
+		mixed: make(map[string]map[string]bool),
+	}
+	for _, name := range d.ElementOrder {
+		decl := d.Elements[name]
+		switch decl.Content.Kind {
+		case dtd.ContentChildren, dtd.ContentEmpty:
+			a := cmodel.CompileModel(decl.Content)
+			v.autos[name] = a
+			if !a.Deterministic() {
+				v.schema = append(v.schema, Violation{
+					Path: "<dtd>",
+					Msg:  fmt.Sprintf("element %q has a nondeterministic content model: %s", name, a.Conflict()),
+				})
+			}
+		case dtd.ContentMixed:
+			set := make(map[string]bool, len(decl.Content.MixedNames))
+			seen := make(map[string]bool)
+			for _, n := range decl.Content.MixedNames {
+				if seen[n] {
+					v.schema = append(v.schema, Violation{
+						Path: "<dtd>",
+						Msg:  fmt.Sprintf("element %q repeats %q in mixed content", name, n),
+					})
+				}
+				seen[n] = true
+				set[n] = true
+			}
+			v.mixed[name] = set
+		}
+	}
+	for _, name := range d.UndeclaredReferences() {
+		v.schema = append(v.schema, Violation{
+			Path: "<dtd>",
+			Msg:  fmt.Sprintf("element type %q is referenced in a content model but never declared", name),
+		})
+	}
+	for el, atts := range d.Attlists {
+		ids := 0
+		for _, a := range atts {
+			if a.Type == dtd.AttID {
+				ids++
+				if a.Default != dtd.DefRequired && a.Default != dtd.DefImplied {
+					v.schema = append(v.schema, Violation{
+						Path: "<dtd>",
+						Msg:  fmt.Sprintf("ID attribute %s/@%s must be #REQUIRED or #IMPLIED", el, a.Name),
+					})
+				}
+			}
+		}
+		if ids > 1 {
+			v.schema = append(v.schema, Violation{
+				Path: "<dtd>",
+				Msg:  fmt.Sprintf("element %q declares %d ID attributes; at most one is allowed", el, ids),
+			})
+		}
+	}
+	return v
+}
+
+// SchemaViolations returns problems found in the DTD itself.
+func (v *Validator) SchemaViolations() []Violation {
+	return append([]Violation(nil), v.schema...)
+}
+
+// Validate checks one document and returns all violations found (schema
+// violations first). An empty result means the document is valid.
+func (v *Validator) Validate(doc *xmltree.Document) []Violation {
+	out := v.SchemaViolations()
+	st := &state{v: v, ids: make(map[string]string)}
+	if doc.DoctypeName != "" && doc.Root != nil && doc.Root.Name != doc.DoctypeName {
+		out = append(out, Violation{
+			Path: doc.Root.Path(),
+			Msg:  fmt.Sprintf("root element is %q but DOCTYPE declares %q", doc.Root.Name, doc.DoctypeName),
+		})
+	}
+	if doc.Root != nil {
+		st.element(doc.Root)
+	}
+	out = append(out, st.out...)
+	// IDREF integrity after collecting every ID.
+	for _, ref := range st.refs {
+		if _, ok := st.ids[ref.id]; !ok {
+			out = append(out, Violation{
+				Path: ref.path,
+				Msg:  fmt.Sprintf("IDREF %q does not match any ID in the document", ref.id),
+			})
+		}
+	}
+	return out
+}
+
+// ValidateAll validates a batch of documents; IDs are scoped per
+// document, as the XML recommendation requires.
+func (v *Validator) ValidateAll(docs []*xmltree.Document) []Violation {
+	var out []Violation
+	for _, d := range docs {
+		out = append(out, v.Validate(d)...)
+	}
+	return out
+}
+
+type pendingRef struct {
+	id, path string
+}
+
+type state struct {
+	v    *Validator
+	out  []Violation
+	ids  map[string]string // ID value -> defining element path
+	refs []pendingRef
+}
+
+func (s *state) violatef(path, format string, args ...any) {
+	s.out = append(s.out, Violation{Path: path, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (s *state) element(el *xmltree.Node) {
+	path := el.Path()
+	decl := s.v.d.Element(el.Name)
+	if decl == nil {
+		s.violatef(path, "element type %q is not declared", el.Name)
+	} else {
+		s.content(el, decl, path)
+	}
+	s.attributes(el, path)
+	for _, c := range el.Children {
+		if c.Kind == xmltree.ElementNode {
+			s.element(c)
+		}
+	}
+}
+
+func (s *state) content(el *xmltree.Node, decl *dtd.ElementDecl, path string) {
+	switch decl.Content.Kind {
+	case dtd.ContentAny:
+		return
+	case dtd.ContentEmpty:
+		if len(el.Children) > 0 {
+			for _, c := range el.Children {
+				if c.Kind == xmltree.CommentNode || c.Kind == xmltree.PINode {
+					continue
+				}
+				s.violatef(path, "element %q is declared EMPTY but has content", el.Name)
+				return
+			}
+		}
+	case dtd.ContentMixed:
+		allowed := s.v.mixed[el.Name]
+		for _, c := range el.ChildElements() {
+			if !allowed[c.Name] {
+				s.violatef(path, "element %q not permitted in mixed content of %q (allowed: %s)",
+					c.Name, el.Name, setString(allowed))
+			}
+		}
+	case dtd.ContentChildren:
+		if t := strings.TrimSpace(el.DirectText()); t != "" {
+			s.violatef(path, "element %q has element content but contains text %q", el.Name, truncate(t, 30))
+		}
+		a := s.v.autos[el.Name]
+		if a == nil {
+			return
+		}
+		m := a.NewMatcher()
+		for _, name := range el.ChildElementNames() {
+			if !m.Step(name) {
+				s.violatef(path, "child %q not permitted here; expected %s (content model %s)",
+					name, m.ExpectedString(), decl.Content.String())
+				return
+			}
+		}
+		if !m.Accepting() {
+			s.violatef(path, "content of %q ends prematurely; expected %s (content model %s)",
+				el.Name, m.ExpectedString(), decl.Content.String())
+		}
+	}
+}
+
+func (s *state) attributes(el *xmltree.Node, path string) {
+	defs := s.v.d.Atts(el.Name)
+	byName := make(map[string]dtd.AttDef, len(defs))
+	for _, def := range defs {
+		byName[def.Name] = def
+	}
+	for _, a := range el.Attrs {
+		def, declared := byName[a.Name]
+		if !declared {
+			s.violatef(path, "attribute %q is not declared for element %q", a.Name, el.Name)
+			continue
+		}
+		s.attrValue(el, a, def, path)
+	}
+	for _, def := range defs {
+		if def.Default == dtd.DefRequired {
+			if _, ok := el.Attr(def.Name); !ok {
+				s.violatef(path, "required attribute %q missing on element %q", def.Name, el.Name)
+			}
+		}
+	}
+}
+
+func (s *state) attrValue(el *xmltree.Node, a xmltree.Attr, def dtd.AttDef, path string) {
+	switch def.Type {
+	case dtd.AttID:
+		if !isName(a.Value) {
+			s.violatef(path, "ID attribute %q has non-name value %q", a.Name, a.Value)
+			return
+		}
+		if prev, dup := s.ids[a.Value]; dup {
+			s.violatef(path, "ID %q already defined at %s", a.Value, prev)
+			return
+		}
+		s.ids[a.Value] = path
+	case dtd.AttIDREF:
+		if !isName(a.Value) {
+			s.violatef(path, "IDREF attribute %q has non-name value %q", a.Name, a.Value)
+			return
+		}
+		s.refs = append(s.refs, pendingRef{id: a.Value, path: path})
+	case dtd.AttIDREFS:
+		toks := strings.Fields(a.Value)
+		if len(toks) == 0 {
+			s.violatef(path, "IDREFS attribute %q is empty", a.Name)
+		}
+		for _, tok := range toks {
+			if !isName(tok) {
+				s.violatef(path, "IDREFS attribute %q has non-name token %q", a.Name, tok)
+				continue
+			}
+			s.refs = append(s.refs, pendingRef{id: tok, path: path})
+		}
+	case dtd.AttEnum, dtd.AttNotation:
+		ok := false
+		for _, e := range def.Enum {
+			if e == a.Value {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			s.violatef(path, "attribute %q value %q not in (%s)", a.Name, a.Value, strings.Join(def.Enum, " | "))
+		}
+	case dtd.AttNMToken:
+		if !isNmtoken(a.Value) {
+			s.violatef(path, "NMTOKEN attribute %q has invalid value %q", a.Name, a.Value)
+		}
+	case dtd.AttNMTokens:
+		if len(strings.Fields(a.Value)) == 0 {
+			s.violatef(path, "NMTOKENS attribute %q is empty", a.Name)
+		}
+	}
+	if def.Default == dtd.DefFixed && a.Value != def.Value {
+		s.violatef(path, "attribute %q is #FIXED %q but has value %q", a.Name, def.Value, a.Value)
+	}
+}
+
+func isName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || c == '-' || c == '.' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9') || c >= 0x80
+		if !ok {
+			return false
+		}
+		if i == 0 && (c == '-' || c == '.' || (c >= '0' && c <= '9')) {
+			return false
+		}
+	}
+	return true
+}
+
+func isNmtoken(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || c == '-' || c == '.' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9') || c >= 0x80
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func setString(set map[string]bool) string {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return "#PCDATA only"
+	}
+	return strings.Join(names, ", ")
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

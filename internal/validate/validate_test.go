@@ -1,0 +1,223 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"xmlrdb/internal/dtd"
+	"xmlrdb/internal/xmltree"
+)
+
+const paperDTD = `
+<!ELEMENT book (booktitle, (author* | editor))>
+<!ELEMENT booktitle (#PCDATA)>
+<!ELEMENT article (title, (author, affiliation?)+, contactauthor?)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT contactauthor EMPTY>
+<!ATTLIST contactauthor authorid IDREF #IMPLIED>
+<!ELEMENT monograph (title, author, editor)>
+<!ELEMENT editor ((book | monograph)*)>
+<!ATTLIST editor name CDATA #REQUIRED>
+<!ELEMENT author (name)>
+<!ATTLIST author id ID #REQUIRED>
+<!ELEMENT name (firstname?, lastname)>
+<!ELEMENT firstname (#PCDATA)>
+<!ELEMENT lastname (#PCDATA)>
+<!ELEMENT affiliation ANY>
+`
+
+func validator(t *testing.T) *Validator {
+	t.Helper()
+	return New(dtd.MustParse(paperDTD))
+}
+
+func check(t *testing.T, v *Validator, src string) []Violation {
+	t.Helper()
+	doc, err := xmltree.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return v.Validate(doc)
+}
+
+func wantClean(t *testing.T, v *Validator, src string) {
+	t.Helper()
+	if got := check(t, v, src); len(got) != 0 {
+		t.Errorf("want valid, got violations: %v", got)
+	}
+}
+
+func wantViolation(t *testing.T, v *Validator, src, substr string) {
+	t.Helper()
+	got := check(t, v, src)
+	for _, viol := range got {
+		if strings.Contains(viol.Msg, substr) {
+			return
+		}
+	}
+	t.Errorf("want violation containing %q, got %v", substr, got)
+}
+
+func TestValidDocuments(t *testing.T) {
+	v := validator(t)
+	wantClean(t, v, `<book><booktitle>X</booktitle><author id="a1"><name><lastname>S</lastname></name></author></book>`)
+	wantClean(t, v, `<book><booktitle>X</booktitle><editor name="E"></editor></book>`)
+	wantClean(t, v, `<book>
+  <booktitle>With whitespace</booktitle>
+  <author id="a1"><name><firstname>J</firstname><lastname>S</lastname></name></author>
+  <author id="a2"><name><lastname>B</lastname></name></author>
+</book>`)
+	wantClean(t, v, `<article><title>T</title><author id="x"><name><lastname>L</lastname></name></author><contactauthor authorid="x"/></article>`)
+	// affiliation is ANY: arbitrary declared elements and text allowed.
+	wantClean(t, v, `<article><title>T</title><author id="x"><name><lastname>L</lastname></name></author><affiliation>free <title>t</title> text</affiliation></article>`)
+}
+
+func TestContentModelViolations(t *testing.T) {
+	v := validator(t)
+	wantViolation(t, v, `<book><author id="a"><name><lastname>x</lastname></name></author></book>`,
+		"not permitted here")
+	wantViolation(t, v, `<book><booktitle>X</booktitle><author id="a"><name><lastname>x</lastname></name></author><editor name="e"/></book>`,
+		"not permitted")
+	// (author* | editor) is nullable, so a bare booktitle is complete.
+	wantClean(t, v, `<book><booktitle>X</booktitle></book>`)
+	// premature end
+	got := check(t, v, `<monograph><title>T</title></monograph>`)
+	found := false
+	for _, viol := range got {
+		if strings.Contains(viol.Msg, "ends prematurely") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("want premature-end violation, got %v", got)
+	}
+}
+
+func TestTextInElementContent(t *testing.T) {
+	v := validator(t)
+	wantViolation(t, v, `<book>stray text<booktitle>X</booktitle><editor name="e"/></book>`,
+		"contains text")
+}
+
+func TestEmptyElement(t *testing.T) {
+	v := validator(t)
+	wantViolation(t, v,
+		`<article><title>T</title><author id="a"><name><lastname>x</lastname></name></author><contactauthor>oops</contactauthor></article>`,
+		"declared EMPTY")
+}
+
+func TestUndeclaredElement(t *testing.T) {
+	v := validator(t)
+	wantViolation(t, v, `<bogus/>`, "not declared")
+}
+
+func TestAttributeViolations(t *testing.T) {
+	v := validator(t)
+	wantViolation(t, v, `<book><booktitle>X</booktitle><editor/></book>`, "required attribute")
+	wantViolation(t, v, `<book color="red"><booktitle>X</booktitle><editor name="e"/></book>`, "not declared")
+}
+
+func TestIDUniquenessAndIDREF(t *testing.T) {
+	v := validator(t)
+	wantViolation(t, v,
+		`<article><title>T</title><author id="a"><name><lastname>x</lastname></name></author><author id="a"><name><lastname>y</lastname></name></author></article>`,
+		"already defined")
+	wantViolation(t, v,
+		`<article><title>T</title><author id="a"><name><lastname>x</lastname></name></author><contactauthor authorid="ghost"/></article>`,
+		"does not match any ID")
+	wantViolation(t, v, `<author id="9bad"><name><lastname>x</lastname></name></author>`, "non-name")
+}
+
+func TestMixedContent(t *testing.T) {
+	v := New(dtd.MustParse(`
+<!ELEMENT para (#PCDATA | em)*>
+<!ELEMENT em (#PCDATA)>
+<!ELEMENT div (para+)>
+`))
+	wantClean(t, v, `<para>text <em>emph</em> more</para>`)
+	wantViolation(t, v, `<para>text <div><para>x</para></div></para>`, "not permitted in mixed content")
+	// PCDATA-only element must not have element children.
+	wantViolation(t, v, `<em>text <em>nested</em></em>`, "not permitted in mixed content")
+}
+
+func TestEnumAndFixed(t *testing.T) {
+	v := New(dtd.MustParse(`
+<!ELEMENT e EMPTY>
+<!ATTLIST e
+  kind (a | b) #REQUIRED
+  ver CDATA #FIXED "1"
+  tok NMTOKEN #IMPLIED>
+`))
+	wantClean(t, v, `<e kind="a" ver="1"/>`)
+	wantViolation(t, v, `<e kind="c" ver="1"/>`, "not in (a | b)")
+	wantViolation(t, v, `<e kind="a" ver="2"/>`, "#FIXED")
+	wantViolation(t, v, `<e kind="a" ver="1" tok="has space"/>`, "NMTOKEN")
+}
+
+func TestIDREFS(t *testing.T) {
+	v := New(dtd.MustParse(`
+<!ELEMENT r (n*)>
+<!ELEMENT n EMPTY>
+<!ATTLIST n id ID #IMPLIED see IDREFS #IMPLIED>
+`))
+	wantClean(t, v, `<r><n id="a"/><n id="b"/><n see="a b"/></r>`)
+	wantViolation(t, v, `<r><n id="a"/><n see="a ghost"/></r>`, "does not match any ID")
+	wantViolation(t, v, `<r><n see=""/></r>`, "empty")
+}
+
+func TestSchemaViolations(t *testing.T) {
+	v := New(dtd.MustParse(`
+<!ELEMENT r ((a, b) | (a, c))>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ATTLIST b i ID "def">
+<!ATTLIST a x ID #IMPLIED y ID #IMPLIED>
+`))
+	sv := v.SchemaViolations()
+	text := ""
+	for _, viol := range sv {
+		text += viol.Msg + "\n"
+	}
+	for _, want := range []string{"nondeterministic", "never declared", "#REQUIRED or #IMPLIED", "at most one"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("schema violations missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestDoctypeNameMismatch(t *testing.T) {
+	v := New(dtd.MustParse(`<!ELEMENT a EMPTY><!ELEMENT b EMPTY>`))
+	doc := xmltree.MustParse(`<!DOCTYPE a [<!ELEMENT a EMPTY>]><b/>`)
+	got := v.Validate(doc)
+	found := false
+	for _, viol := range got {
+		if strings.Contains(viol.Msg, "DOCTYPE") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("want DOCTYPE mismatch, got %v", got)
+	}
+}
+
+func TestValidateAll(t *testing.T) {
+	// IDs are per-document: the same ID in two documents is fine.
+	v := New(dtd.MustParse(`<!ELEMENT n EMPTY><!ATTLIST n id ID #REQUIRED>`))
+	d1 := xmltree.MustParse(`<n id="same"/>`)
+	d2 := xmltree.MustParse(`<n id="same"/>`)
+	if got := v.ValidateAll([]*xmltree.Document{d1, d2}); len(got) != 0 {
+		t.Errorf("cross-document ID clash reported: %v", got)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	viol := Violation{Path: "/a/b", Msg: "boom"}
+	if viol.String() != "/a/b: boom" {
+		t.Errorf("String = %q", viol.String())
+	}
+}
+
+func TestCommentsAndPIsAllowedInEmpty(t *testing.T) {
+	v := validator(t)
+	wantClean(t, v, `<article><title>T</title><author id="a"><name><lastname>x</lastname></name></author><contactauthor><!-- ok --></contactauthor></article>`)
+}

@@ -1,0 +1,441 @@
+// Package wgen generates synthetic workloads for the experiment
+// harness: parameterized random DTDs (layered, deterministic content
+// models by construction), random documents conforming to a DTD (via
+// derivable content-model walks), and path-query workloads. All
+// generators are seeded and deterministic, standing in for the
+// proprietary business corpora the paper's authors had at GTE (see
+// DESIGN.md, substitutions).
+package wgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"xmlrdb/internal/cmodel"
+	"xmlrdb/internal/dtd"
+	"xmlrdb/internal/xmltree"
+)
+
+// DTDConfig parameterizes synthetic DTD generation.
+type DTDConfig struct {
+	// Elements is the number of element types (>= 2).
+	Elements int
+	// Levels is the number of nesting layers (acyclic: each element
+	// references only deeper layers). Default 4.
+	Levels int
+	// MaxChildren caps content-model width. Default 4.
+	MaxChildren int
+	// ChoiceProb is the probability an embedded group is generated
+	// (as a choice) inside a content model. Default 0.3.
+	ChoiceProb float64
+	// PCDataRatio is the fraction of leaf elements that are (#PCDATA)
+	// (the rest are EMPTY). Default 0.7.
+	PCDataRatio float64
+	// AttrsPerElement caps the random CDATA attributes per element.
+	AttrsPerElement int
+	// IDProb is the probability an element declares an ID attribute.
+	IDProb float64
+	// IDREFProb is the probability an element declares an IDREF attribute
+	// (only meaningful when IDProb > 0).
+	IDREFProb float64
+	// OptionalProb and RepeatProb set occurrence indicators on children.
+	OptionalProb, RepeatProb float64
+	// Seed drives the generator.
+	Seed int64
+}
+
+func (c DTDConfig) withDefaults() DTDConfig {
+	if c.Elements < 2 {
+		c.Elements = 2
+	}
+	if c.Levels <= 0 {
+		c.Levels = 4
+	}
+	if c.MaxChildren <= 0 {
+		c.MaxChildren = 4
+	}
+	if c.ChoiceProb == 0 {
+		c.ChoiceProb = 0.3
+	}
+	if c.PCDataRatio == 0 {
+		c.PCDataRatio = 0.7
+	}
+	return c
+}
+
+// GenerateDTD produces a synthetic DTD. The result is acyclic and its
+// content models are deterministic by construction (children within one
+// model are distinct).
+func GenerateDTD(cfg DTDConfig) *dtd.DTD {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := dtd.New()
+	d.Name = "synthetic"
+
+	// Assign elements to levels: level 0 is the root layer.
+	levelOf := make([]int, cfg.Elements)
+	names := make([]string, cfg.Elements)
+	byLevel := make([][]int, cfg.Levels)
+	for i := 0; i < cfg.Elements; i++ {
+		names[i] = fmt.Sprintf("el%d", i)
+		lvl := 0
+		if i > 0 {
+			lvl = 1 + rng.Intn(cfg.Levels-1)
+			if cfg.Levels == 1 {
+				lvl = 0
+			}
+		}
+		levelOf[i] = lvl
+		byLevel[lvl] = append(byLevel[lvl], i)
+	}
+
+	occ := func() dtd.Occurrence {
+		r := rng.Float64()
+		switch {
+		case r < cfg.RepeatProb/2:
+			return dtd.OccZeroPlus
+		case r < cfg.RepeatProb:
+			return dtd.OccOnePlus
+		case r < cfg.RepeatProb+cfg.OptionalProb:
+			return dtd.OccOptional
+		default:
+			return dtd.OccOnce
+		}
+	}
+
+	// deeper returns candidate children strictly below the level.
+	deeper := func(lvl int) []int {
+		var out []int
+		for l := lvl + 1; l < cfg.Levels; l++ {
+			out = append(out, byLevel[l]...)
+		}
+		return out
+	}
+
+	for i := 0; i < cfg.Elements; i++ {
+		name := names[i]
+		cands := deeper(levelOf[i])
+		if len(cands) == 0 {
+			// Leaf layer.
+			if rng.Float64() < cfg.PCDataRatio {
+				mustAdd(d, &dtd.ElementDecl{Name: name, Content: dtd.ContentModel{Kind: dtd.ContentMixed}})
+			} else {
+				mustAdd(d, &dtd.ElementDecl{Name: name, Content: dtd.ContentModel{Kind: dtd.ContentEmpty}})
+			}
+		} else {
+			k := 1 + rng.Intn(cfg.MaxChildren)
+			if k > len(cands) {
+				k = len(cands)
+			}
+			perm := rng.Perm(len(cands))[:k]
+			root := &dtd.Particle{Kind: dtd.PKSequence, Occ: dtd.OccOnce}
+			groupBudget := 0
+			if rng.Float64() < cfg.ChoiceProb && k >= 2 {
+				groupBudget = 1
+			}
+			for j, pi := range perm {
+				child := names[cands[pi]]
+				if groupBudget > 0 && j+2 <= len(perm) && j == 0 && k >= 2 {
+					// Emit a choice group of the first two children.
+					g := &dtd.Particle{Kind: dtd.PKChoice, Occ: occ()}
+					g.Children = append(g.Children,
+						&dtd.Particle{Kind: dtd.PKName, Name: child, Occ: occ()},
+						&dtd.Particle{Kind: dtd.PKName, Name: names[cands[perm[1]]], Occ: occ()})
+					root.Children = append(root.Children, g)
+					groupBudget--
+					continue
+				}
+				if groupBudget == 0 && j == 1 && len(root.Children) == 1 && root.Children[0].Kind == dtd.PKChoice {
+					continue // second child already consumed by the group
+				}
+				root.Children = append(root.Children, &dtd.Particle{Kind: dtd.PKName, Name: child, Occ: occ()})
+			}
+			mustAdd(d, &dtd.ElementDecl{Name: name, Content: dtd.ContentModel{Kind: dtd.ContentChildren, Particle: root}})
+		}
+		// Attributes.
+		var atts []dtd.AttDef
+		if cfg.AttrsPerElement > 0 {
+			for a := 0; a < rng.Intn(cfg.AttrsPerElement+1); a++ {
+				def := dtd.AttDef{Name: fmt.Sprintf("at%d", a), Type: dtd.AttCDATA, Default: dtd.DefImplied}
+				if rng.Float64() < 0.3 {
+					def.Default = dtd.DefRequired
+				}
+				atts = append(atts, def)
+			}
+		}
+		if rng.Float64() < cfg.IDProb {
+			atts = append(atts, dtd.AttDef{Name: "id", Type: dtd.AttID, Default: dtd.DefRequired})
+		} else if rng.Float64() < cfg.IDREFProb {
+			atts = append(atts, dtd.AttDef{Name: "ref", Type: dtd.AttIDREF, Default: dtd.DefImplied})
+		}
+		if len(atts) > 0 {
+			d.AddAttDefs(name, atts)
+		}
+	}
+	return d
+}
+
+func mustAdd(d *dtd.DTD, decl *dtd.ElementDecl) {
+	if err := d.AddElement(decl); err != nil {
+		panic(err) // generated names are unique by construction
+	}
+}
+
+// DocConfig parameterizes document generation.
+type DocConfig struct {
+	// MaxRepeat caps "*"/"+" repetitions. Default 3.
+	MaxRepeat int
+	// OptionalProb is the chance optional content is generated. Default 0.5.
+	OptionalProb float64
+	// MaxDepth hard-bounds recursion for recursive DTDs. Default 12.
+	MaxDepth int
+	// TextWords sets the words per text leaf. Default 3.
+	TextWords int
+}
+
+func (c DocConfig) withDefaults() DocConfig {
+	if c.MaxRepeat <= 0 {
+		c.MaxRepeat = 3
+	}
+	if c.OptionalProb == 0 {
+		c.OptionalProb = 0.5
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 12
+	}
+	if c.TextWords <= 0 {
+		c.TextWords = 3
+	}
+	return c
+}
+
+var words = []string{
+	"xml", "data", "relational", "schema", "order", "commerce", "model",
+	"system", "query", "index", "tuple", "join", "entity", "document",
+}
+
+// GenerateDoc produces a random document conforming to the DTD with the
+// given root element. IDREF attributes are wired to randomly chosen IDs
+// issued in the same document (or omitted when no ID exists yet and the
+// attribute is optional).
+func GenerateDoc(d *dtd.DTD, root string, rng *rand.Rand, cfg DocConfig) (*xmltree.Document, error) {
+	cfg = cfg.withDefaults()
+	g := &docGen{d: d, rng: rng, cfg: cfg}
+	rootEl, err := g.element(root, 0)
+	if err != nil {
+		return nil, err
+	}
+	g.wireRefs(rootEl)
+	return &xmltree.Document{Root: rootEl, Children: []*xmltree.Node{rootEl}, Version: "1.0"}, nil
+}
+
+type docGen struct {
+	d      *dtd.DTD
+	rng    *rand.Rand
+	cfg    DocConfig
+	nextID int
+	ids    []string
+	refs   []*xmltree.Node // elements with a pending IDREF attribute
+}
+
+func (g *docGen) element(name string, depth int) (*xmltree.Node, error) {
+	if depth > g.cfg.MaxDepth {
+		return nil, fmt.Errorf("wgen: recursion exceeds depth %d at %q", g.cfg.MaxDepth, name)
+	}
+	decl := g.d.Element(name)
+	if decl == nil {
+		return nil, fmt.Errorf("wgen: element %q not declared", name)
+	}
+	el := xmltree.NewElement(name)
+	// Attributes.
+	for _, att := range g.d.Atts(name) {
+		switch att.Type {
+		case dtd.AttID:
+			id := fmt.Sprintf("id%d", g.nextID)
+			g.nextID++
+			g.ids = append(g.ids, id)
+			el.SetAttr(att.Name, id)
+		case dtd.AttIDREF, dtd.AttIDREFS:
+			if att.Default == dtd.DefRequired || g.rng.Float64() < 0.5 {
+				el.SetAttr(att.Name, "@pending@")
+				g.refs = append(g.refs, el)
+			}
+		default:
+			if att.Default == dtd.DefRequired || g.rng.Float64() < 0.5 {
+				el.SetAttr(att.Name, g.text(2))
+			}
+		}
+	}
+	// Content.
+	switch decl.Content.Kind {
+	case dtd.ContentEmpty:
+		// nothing
+	case dtd.ContentAny:
+		el.AppendText(g.text(g.cfg.TextWords))
+	case dtd.ContentMixed:
+		el.AppendText(g.text(g.cfg.TextWords))
+		for _, n := range decl.Content.MixedNames {
+			if g.rng.Float64() < g.optProb(depth) {
+				child, err := g.element(n, depth+1)
+				if err != nil {
+					return nil, err
+				}
+				el.AppendChild(child)
+				el.AppendText(g.text(1))
+			}
+		}
+	case dtd.ContentChildren:
+		opts := cmodel.GenOptions{MaxRepeat: g.cfg.MaxRepeat, OptionalProb: g.optProb(depth)}
+		seq := cmodel.Generate(decl.Content.Particle, g.rng, opts)
+		for _, childName := range seq {
+			child, err := g.element(childName, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			el.AppendChild(child)
+		}
+	}
+	return el, nil
+}
+
+// optProb decays with depth so recursive DTDs terminate.
+func (g *docGen) optProb(depth int) float64 {
+	p := g.cfg.OptionalProb
+	for d := 0; d < depth; d++ {
+		p *= 0.6
+	}
+	if p < 0.01 {
+		p = 0.01
+	}
+	return p
+}
+
+func (g *docGen) text(n int) string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = words[g.rng.Intn(len(words))]
+	}
+	return strings.Join(out, " ")
+}
+
+// wireRefs replaces pending IDREF markers with real IDs (or drops the
+// attribute when the document has none).
+func (g *docGen) wireRefs(root *xmltree.Node) {
+	for _, el := range g.refs {
+		for i := range el.Attrs {
+			if el.Attrs[i].Value != "@pending@" {
+				continue
+			}
+			if len(g.ids) == 0 {
+				el.Attrs = append(el.Attrs[:i], el.Attrs[i+1:]...)
+				break
+			}
+			el.Attrs[i].Value = g.ids[g.rng.Intn(len(g.ids))]
+		}
+	}
+}
+
+// Corpus generates n documents for the DTD's first root candidate.
+func Corpus(d *dtd.DTD, n int, seed int64, cfg DocConfig) ([]*xmltree.Document, error) {
+	roots := d.Roots()
+	if len(roots) == 0 {
+		roots = d.ElementOrder
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("wgen: DTD has no elements")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	docs := make([]*xmltree.Document, 0, n)
+	for i := 0; i < n; i++ {
+		doc, err := GenerateDoc(d, roots[0], rng, cfg)
+		if err != nil {
+			return nil, err
+		}
+		docs = append(docs, doc)
+	}
+	return docs, nil
+}
+
+// QueryConfig parameterizes path-query generation.
+type QueryConfig struct {
+	// Depth is the number of location steps.
+	Depth int
+	// PredProb is the chance the final step gets an attribute predicate.
+	PredProb float64
+}
+
+// GenerateQueries derives path queries of the requested depth by walking
+// the DTD's child graph from a root. Only element names are used, so the
+// queries are valid for every mapping.
+func GenerateQueries(d *dtd.DTD, n int, seed int64, cfg QueryConfig) []string {
+	if cfg.Depth <= 0 {
+		cfg.Depth = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	children := childGraph(d)
+	roots := d.Roots()
+	if len(roots) == 0 {
+		roots = d.ElementOrder
+	}
+	var out []string
+	for len(out) < n {
+		root := roots[rng.Intn(len(roots))]
+		path := []string{root}
+		cur := root
+		ok := true
+		for len(path) < cfg.Depth {
+			cands := children[cur]
+			if len(cands) == 0 {
+				ok = false
+				break
+			}
+			next := cands[rng.Intn(len(cands))]
+			path = append(path, next)
+			cur = next
+		}
+		if !ok {
+			// Shorter paths are acceptable when the schema is shallow.
+			if len(path) == 0 {
+				continue
+			}
+		}
+		q := "/" + strings.Join(path, "/")
+		if cfg.PredProb > 0 && rng.Float64() < cfg.PredProb {
+			if atts := d.Atts(cur); len(atts) > 0 {
+				q += "[@" + atts[rng.Intn(len(atts))].Name + "]"
+			}
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// childGraph returns element -> distinct child names.
+func childGraph(d *dtd.DTD) map[string][]string {
+	out := make(map[string][]string)
+	for _, name := range d.ElementOrder {
+		decl := d.Elements[name]
+		seen := make(map[string]bool)
+		add := func(n string) {
+			if !seen[n] && d.Element(n) != nil {
+				seen[n] = true
+				out[name] = append(out[name], n)
+			}
+		}
+		switch decl.Content.Kind {
+		case dtd.ContentMixed:
+			for _, n := range decl.Content.MixedNames {
+				add(n)
+			}
+		case dtd.ContentChildren:
+			decl.Content.Particle.Walk(func(p *dtd.Particle) bool {
+				if p.Kind == dtd.PKName {
+					add(p.Name)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

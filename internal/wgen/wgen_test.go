@@ -1,0 +1,159 @@
+package wgen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xmlrdb/internal/core"
+	"xmlrdb/internal/dtd"
+	"xmlrdb/internal/paper"
+	"xmlrdb/internal/pathquery"
+	"xmlrdb/internal/validate"
+	"xmlrdb/internal/xmltree"
+)
+
+func TestGenerateDTDDeterministic(t *testing.T) {
+	cfg := DTDConfig{Elements: 30, Seed: 42, AttrsPerElement: 2, IDProb: 0.2, IDREFProb: 0.2,
+		OptionalProb: 0.2, RepeatProb: 0.2}
+	a := GenerateDTD(cfg).String()
+	b := GenerateDTD(cfg).String()
+	if a != b {
+		t.Error("same seed should give the same DTD")
+	}
+	c := GenerateDTD(DTDConfig{Elements: 30, Seed: 43}).String()
+	if a == c {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGeneratedDTDParsesAndMaps(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		d := GenerateDTD(DTDConfig{
+			Elements: 25, Seed: seed, AttrsPerElement: 2,
+			IDProb: 0.3, IDREFProb: 0.3, OptionalProb: 0.3, RepeatProb: 0.3,
+		})
+		// Round-trips through text.
+		if _, err := dtd.Parse(d.String()); err != nil {
+			t.Fatalf("seed %d: reparse: %v\n%s", seed, err, d.String())
+		}
+		// Maps through the paper's algorithm.
+		if _, err := core.Map(d); err != nil {
+			t.Fatalf("seed %d: map: %v", seed, err)
+		}
+		// Content models are deterministic (validator finds no schema
+		// violations beyond attribute quirks).
+		v := validate.New(d)
+		for _, viol := range v.SchemaViolations() {
+			if strings.Contains(viol.Msg, "nondeterministic") {
+				t.Fatalf("seed %d: %s", seed, viol)
+			}
+		}
+	}
+}
+
+func TestGeneratedDocsAreValid(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		d := GenerateDTD(DTDConfig{
+			Elements: 20, Seed: seed, AttrsPerElement: 1,
+			IDProb: 0.3, IDREFProb: 0.3, OptionalProb: 0.3, RepeatProb: 0.3,
+		})
+		v := validate.New(d)
+		docs, err := Corpus(d, 10, seed, DocConfig{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i, doc := range docs {
+			var viols []string
+			for _, viol := range v.Validate(doc) {
+				// Generated mixed leaves have no declared names; schema
+				// violations about the DTD itself are filtered by using
+				// only document-level messages.
+				if viol.Path == "<dtd>" {
+					continue
+				}
+				viols = append(viols, viol.String())
+			}
+			if len(viols) > 0 {
+				t.Fatalf("seed %d doc %d invalid:\n%s\n%s",
+					seed, i, strings.Join(viols, "\n"), doc.Root.XMLIndent("  "))
+			}
+		}
+	}
+}
+
+func TestGeneratedDocsForPaperDTD(t *testing.T) {
+	d := dtd.MustParse(paper.Example1DTD)
+	v := validate.New(d)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		doc, err := GenerateDoc(d, "article", rng, DocConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if viols := v.Validate(doc); len(viols) > 0 {
+			t.Fatalf("doc %d: %v\n%s", i, viols, doc.Root.XMLIndent("  "))
+		}
+	}
+	// Recursive root also terminates.
+	for i := 0; i < 20; i++ {
+		if _, err := GenerateDoc(d, "editor", rng, DocConfig{}); err != nil {
+			t.Fatalf("editor doc %d: %v", i, err)
+		}
+	}
+}
+
+func TestDocSerializationParses(t *testing.T) {
+	d := GenerateDTD(DTDConfig{Elements: 15, Seed: 3, AttrsPerElement: 2})
+	docs, err := Corpus(d, 5, 3, DocConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range docs {
+		out := doc.Render(xmltree.WriteOptions{})
+		if _, err := xmltree.Parse(out); err != nil {
+			t.Fatalf("reparse: %v\n%s", err, out)
+		}
+	}
+}
+
+func TestGenerateQueries(t *testing.T) {
+	d := dtd.MustParse(paper.Example1DTD)
+	qs := GenerateQueries(d, 20, 1, QueryConfig{Depth: 3, PredProb: 0.5})
+	if len(qs) != 20 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	for _, q := range qs {
+		if _, err := pathquery.Parse(q); err != nil {
+			t.Errorf("generated query %q does not parse: %v", q, err)
+		}
+	}
+	again := GenerateQueries(d, 20, 1, QueryConfig{Depth: 3, PredProb: 0.5})
+	if strings.Join(qs, ";") != strings.Join(again, ";") {
+		t.Error("query generation not deterministic")
+	}
+}
+
+func TestCorpusSizeAndIDs(t *testing.T) {
+	d := GenerateDTD(DTDConfig{Elements: 12, Seed: 9, IDProb: 1})
+	docs, err := Corpus(d, 7, 9, DocConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 7 {
+		t.Fatalf("docs = %d", len(docs))
+	}
+	// All IDs within a document are unique.
+	for _, doc := range docs {
+		seen := map[string]bool{}
+		doc.Root.Descendants(func(n *xmltree.Node) bool {
+			if v, ok := n.Attr("id"); ok {
+				if seen[v] {
+					t.Fatalf("duplicate id %q", v)
+				}
+				seen[v] = true
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,47 @@
+package xmltree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics throws structured garbage at the parser: it may
+// (and usually must) return errors, but it must never panic, hang, or
+// accept ill-formed input as two different trees.
+func TestParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	pieces := []string{
+		"<", ">", "/", "a", "b", "=", `"`, "'", "&", ";", "]]>", "<![CDATA[",
+		"<!--", "-->", "<?", "?>", "<!DOCTYPE", "[", "]", "&lt;", "&#65;",
+		"&#x41;", " ", "\n", "<a>", "</a>", "x", "<!ELEMENT", "é", "\x00",
+	}
+	for i := 0; i < 5000; i++ {
+		var b strings.Builder
+		n := 1 + rng.Intn(20)
+		for j := 0; j < n; j++ {
+			b.WriteString(pieces[rng.Intn(len(pieces))])
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			doc, err := Parse(src)
+			if err == nil && doc.Root != nil {
+				// Whatever parsed must serialize and reparse to an equal
+				// tree.
+				out := doc.Render(WriteOptions{OmitXMLDecl: true})
+				doc2, err2 := Parse(out)
+				if err2 != nil {
+					t.Fatalf("reparse of %q (from %q): %v", out, src, err2)
+				}
+				if !Equal(doc.Root, doc2.Root, EqualOptions{}) {
+					t.Fatalf("unstable round trip for %q", src)
+				}
+			}
+		}()
+	}
+}

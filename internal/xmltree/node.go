@@ -1,0 +1,366 @@
+// Package xmltree parses XML 1.0 documents into a mutable DOM-like tree
+// and serializes trees back to XML text.
+//
+// The tree deliberately mirrors the W3C DOM Level 1 traversal surface the
+// paper's data-loading algorithm assumes ("the process of loading the XML
+// data into a relational database can be realized by an algorithm that
+// traverses the DOM tree"): parent/child/sibling navigation, element
+// attributes, and text content. Unlike encoding/xml, the parser reads the
+// DOCTYPE declaration, parses any internal subset with the dtd package,
+// applies attribute defaults, and expands general entity references
+// declared in the DTD.
+package xmltree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeKind discriminates tree node variants.
+type NodeKind int
+
+// Node kinds.
+const (
+	// ElementNode is an element; Name holds the tag.
+	ElementNode NodeKind = iota + 1
+	// TextNode is character data; Data holds the text.
+	TextNode
+	// CommentNode is a comment; Data holds the body.
+	CommentNode
+	// PINode is a processing instruction; Name is the target, Data the rest.
+	PINode
+)
+
+// String returns a short kind name.
+func (k NodeKind) String() string {
+	switch k {
+	case ElementNode:
+		return "element"
+	case TextNode:
+		return "text"
+	case CommentNode:
+		return "comment"
+	case PINode:
+		return "pi"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Attr is one attribute of an element.
+type Attr struct {
+	// Name and Value are the attribute name and (reference-expanded) value.
+	Name, Value string
+	// Specified is false when the value came from a DTD default rather
+	// than appearing in the document.
+	Specified bool
+}
+
+// Node is one node of the document tree.
+type Node struct {
+	// Kind discriminates the variant.
+	Kind NodeKind
+	// Name is the element tag or PI target.
+	Name string
+	// Data is the content of text, comment and PI nodes.
+	Data string
+	// CData marks text nodes that came from a CDATA section.
+	CData bool
+	// Attrs lists element attributes in document order.
+	Attrs []Attr
+	// Parent is the enclosing element, or nil at the top level.
+	Parent *Node
+	// Children are the child nodes in document order.
+	Children []*Node
+}
+
+// NewElement returns a parentless element node.
+func NewElement(name string) *Node { return &Node{Kind: ElementNode, Name: name} }
+
+// NewText returns a parentless text node.
+func NewText(data string) *Node { return &Node{Kind: TextNode, Data: data} }
+
+// AppendChild attaches c as the last child of n and returns c.
+func (n *Node) AppendChild(c *Node) *Node {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// AppendElement creates, attaches and returns a new child element.
+func (n *Node) AppendElement(name string) *Node { return n.AppendChild(NewElement(name)) }
+
+// AppendText creates, attaches and returns a new child text node.
+func (n *Node) AppendText(data string) *Node { return n.AppendChild(NewText(data)) }
+
+// SetAttr sets (or replaces) an attribute value.
+func (n *Node) SetAttr(name, value string) {
+	for i := range n.Attrs {
+		if n.Attrs[i].Name == name {
+			n.Attrs[i].Value = value
+			n.Attrs[i].Specified = true
+			return
+		}
+	}
+	n.Attrs = append(n.Attrs, Attr{Name: name, Value: value, Specified: true})
+}
+
+// Attr returns the value of the named attribute and whether it exists.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// AttrOr returns the named attribute's value, or def when absent.
+func (n *Node) AttrOr(name, def string) string {
+	if v, ok := n.Attr(name); ok {
+		return v
+	}
+	return def
+}
+
+// ChildElements returns the element children, in order.
+func (n *Node) ChildElements() []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Kind == ElementNode {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ChildElementNames returns the names of the element children, in order —
+// the sequence validated against the element's content model.
+func (n *Node) ChildElementNames() []string {
+	var out []string
+	for _, c := range n.Children {
+		if c.Kind == ElementNode {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// FirstChildElement returns the first child element named name ("" for
+// any), or nil.
+func (n *Node) FirstChildElement(name string) *Node {
+	for _, c := range n.Children {
+		if c.Kind == ElementNode && (name == "" || c.Name == name) {
+			return c
+		}
+	}
+	return nil
+}
+
+// Elements returns all child elements with the given name.
+func (n *Node) Elements(name string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Kind == ElementNode && c.Name == name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Descendants visits n and all element descendants in document order.
+func (n *Node) Descendants(visit func(*Node) bool) {
+	if n.Kind == ElementNode && !visit(n) {
+		return
+	}
+	for _, c := range n.Children {
+		if c.Kind == ElementNode {
+			c.Descendants(visit)
+		}
+	}
+}
+
+// Find returns every descendant element (including n itself) with the
+// given name, in document order.
+func (n *Node) Find(name string) []*Node {
+	var out []*Node
+	n.Descendants(func(e *Node) bool {
+		if e.Name == name {
+			out = append(out, e)
+		}
+		return true
+	})
+	return out
+}
+
+// Text returns the concatenation of all descendant text, in document
+// order — the DOM textContent of the node.
+func (n *Node) Text() string {
+	var b strings.Builder
+	var walk func(*Node)
+	walk = func(x *Node) {
+		if x.Kind == TextNode {
+			b.WriteString(x.Data)
+			return
+		}
+		for _, c := range x.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return b.String()
+}
+
+// DirectText returns the concatenation of the node's immediate text
+// children only.
+func (n *Node) DirectText() string {
+	var b strings.Builder
+	for _, c := range n.Children {
+		if c.Kind == TextNode {
+			b.WriteString(c.Data)
+		}
+	}
+	return b.String()
+}
+
+// HasElementChildren reports whether any child is an element.
+func (n *Node) HasElementChildren() bool {
+	for _, c := range n.Children {
+		if c.Kind == ElementNode {
+			return true
+		}
+	}
+	return false
+}
+
+// Path returns the slash-separated element path from the root to n, for
+// diagnostics (e.g. "/book/author/name").
+func (n *Node) Path() string {
+	if n.Parent == nil {
+		return "/" + n.Name
+	}
+	return n.Parent.Path() + "/" + n.Name
+}
+
+// Clone returns a deep copy of the subtree rooted at n, with a nil parent.
+func (n *Node) Clone() *Node {
+	c := &Node{Kind: n.Kind, Name: n.Name, Data: n.Data, CData: n.CData}
+	if len(n.Attrs) > 0 {
+		c.Attrs = append([]Attr(nil), n.Attrs...)
+	}
+	for _, ch := range n.Children {
+		c.AppendChild(ch.Clone())
+	}
+	return c
+}
+
+// CountNodes returns the number of nodes in the subtree (elements, text,
+// comments, PIs), including n itself.
+func (n *Node) CountNodes() int {
+	total := 1
+	for _, c := range n.Children {
+		total += c.CountNodes()
+	}
+	return total
+}
+
+// CountElements returns the number of element nodes in the subtree.
+func (n *Node) CountElements() int {
+	total := 0
+	if n.Kind == ElementNode {
+		total = 1
+	}
+	for _, c := range n.Children {
+		total += c.CountElements()
+	}
+	return total
+}
+
+// EqualOptions configures tree comparison.
+type EqualOptions struct {
+	// IgnoreComments skips comment nodes.
+	IgnoreComments bool
+	// IgnorePIs skips processing instructions.
+	IgnorePIs bool
+	// IgnoreWhitespaceText skips text nodes that are entirely whitespace.
+	IgnoreWhitespaceText bool
+	// IgnoreAttrOrder compares attributes as a set rather than a sequence.
+	IgnoreAttrOrder bool
+}
+
+// Equal reports whether two subtrees are structurally identical under the
+// given options. Attribute Specified flags and CData flags are ignored:
+// they record provenance, not content.
+func Equal(a, b *Node, opts EqualOptions) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind || a.Name != b.Name {
+		return false
+	}
+	if a.Kind == TextNode || a.Kind == CommentNode || a.Kind == PINode {
+		if a.Data != b.Data {
+			return false
+		}
+	}
+	if !attrsEqual(a.Attrs, b.Attrs, opts.IgnoreAttrOrder) {
+		return false
+	}
+	ac := filteredChildren(a, opts)
+	bc := filteredChildren(b, opts)
+	if len(ac) != len(bc) {
+		return false
+	}
+	for i := range ac {
+		if !Equal(ac[i], bc[i], opts) {
+			return false
+		}
+	}
+	return true
+}
+
+func filteredChildren(n *Node, opts EqualOptions) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		switch c.Kind {
+		case CommentNode:
+			if opts.IgnoreComments {
+				continue
+			}
+		case PINode:
+			if opts.IgnorePIs {
+				continue
+			}
+		case TextNode:
+			if opts.IgnoreWhitespaceText && strings.TrimSpace(c.Data) == "" {
+				continue
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func attrsEqual(a, b []Attr, ignoreOrder bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if !ignoreOrder {
+		for i := range a {
+			if a[i].Name != b[i].Name || a[i].Value != b[i].Value {
+				return false
+			}
+		}
+		return true
+	}
+	am := make(map[string]string, len(a))
+	for _, x := range a {
+		am[x.Name] = x.Value
+	}
+	for _, y := range b {
+		if v, ok := am[y.Name]; !ok || v != y.Value {
+			return false
+		}
+	}
+	return true
+}

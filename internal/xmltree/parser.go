@@ -1,0 +1,770 @@
+package xmltree
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlrdb/internal/dtd"
+)
+
+// Document is a parsed XML document: an optional prolog, optional
+// DOCTYPE, and one root element (plus any top-level comments and PIs).
+type Document struct {
+	// Version, Encoding and Standalone echo the XML declaration, when
+	// present.
+	Version, Encoding string
+	// Standalone is "yes", "no" or "".
+	Standalone string
+	// DoctypeName is the name from <!DOCTYPE name ...>.
+	DoctypeName string
+	// PublicID and SystemID locate the external DTD subset, if declared.
+	PublicID, SystemID string
+	// InternalSubset is the raw text between [ and ] in the DOCTYPE.
+	InternalSubset string
+	// DTD is the effective DTD: the parsed internal subset merged over
+	// any externally supplied subset. Nil when the document has neither.
+	DTD *dtd.DTD
+	// Children are the top-level nodes in document order; exactly one is
+	// the root element.
+	Children []*Node
+	// Root is the document element.
+	Root *Node
+}
+
+// Options configures document parsing.
+type Options struct {
+	// ExternalDTD supplies a pre-parsed external DTD subset. Internal
+	// subset declarations take precedence, per XML 1.0.
+	ExternalDTD *dtd.DTD
+	// Resolver fetches the external subset named by the DOCTYPE system
+	// identifier. Ignored when ExternalDTD is set. When both are nil the
+	// external subset is skipped.
+	Resolver dtd.Resolver
+	// DropComments discards comment nodes during parsing.
+	DropComments bool
+	// DropPIs discards processing-instruction nodes during parsing.
+	DropPIs bool
+}
+
+// Parse parses an XML document with default options.
+func Parse(src string) (*Document, error) { return ParseWith(src, Options{}) }
+
+// MustParse is Parse but panics on error; for tests and fixtures.
+func MustParse(src string) *Document {
+	doc, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return doc
+}
+
+// ParseWith parses an XML document with explicit options.
+func ParseWith(src string, opts Options) (*Document, error) {
+	p := &docParser{src: src, line: 1, col: 1, opts: opts}
+	doc, err := p.parseDocument()
+	if err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// SyntaxError is an XML well-formedness error with position.
+type SyntaxError struct {
+	// Line and Col locate the error (1-based).
+	Line, Col int
+	// Msg describes the problem.
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xml: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type docParser struct {
+	src       string
+	pos       int
+	line, col int
+	opts      Options
+	doc       *Document
+}
+
+func (p *docParser) errf(format string, args ...any) error {
+	return &SyntaxError{Line: p.line, Col: p.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *docParser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *docParser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *docParser) peekAt(off int) byte {
+	if p.pos+off >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos+off]
+}
+
+func (p *docParser) next() byte {
+	if p.eof() {
+		return 0
+	}
+	c := p.src[p.pos]
+	p.pos++
+	if c == '\n' {
+		p.line++
+		p.col = 1
+	} else {
+		p.col++
+	}
+	return c
+}
+
+func (p *docParser) hasPrefix(s string) bool { return strings.HasPrefix(p.src[p.pos:], s) }
+
+func (p *docParser) consume(s string) bool {
+	if !p.hasPrefix(s) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		p.next()
+	}
+	return true
+}
+
+func (p *docParser) skipSpace() bool {
+	any := false
+	for !p.eof() && isXMLSpace(p.peek()) {
+		p.next()
+		any = true
+	}
+	return any
+}
+
+func isXMLSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+
+func isNameStart(c byte) bool {
+	return c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c == '-' || c == '.' || (c >= '0' && c <= '9')
+}
+
+func (p *docParser) name() (string, error) {
+	if p.eof() || !isNameStart(p.peek()) {
+		return "", p.errf("expected a name")
+	}
+	start := p.pos
+	for !p.eof() && isNameChar(p.peek()) {
+		p.next()
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *docParser) parseDocument() (*Document, error) {
+	p.doc = &Document{}
+	if p.opts.ExternalDTD != nil {
+		// Documents without a DOCTYPE still get the supplied external
+		// subset (attribute defaults, entities); a DOCTYPE, when present,
+		// merges its internal subset over it.
+		p.doc.DTD = p.opts.ExternalDTD
+	}
+	if err := p.parseProlog(); err != nil {
+		return nil, err
+	}
+	// Document element.
+	if p.eof() || p.peek() != '<' {
+		return nil, p.errf("expected document element")
+	}
+	root, err := p.parseElement()
+	if err != nil {
+		return nil, err
+	}
+	p.doc.Root = root
+	p.doc.Children = append(p.doc.Children, root)
+	// Trailing misc.
+	for {
+		p.skipSpace()
+		if p.eof() {
+			break
+		}
+		switch {
+		case p.hasPrefix("<!--"):
+			n, err := p.parseComment()
+			if err != nil {
+				return nil, err
+			}
+			p.appendMisc(n)
+		case p.hasPrefix("<?"):
+			n, err := p.parsePI()
+			if err != nil {
+				return nil, err
+			}
+			p.appendMisc(n)
+		default:
+			return nil, p.errf("unexpected content after document element")
+		}
+	}
+	return p.doc, nil
+}
+
+func (p *docParser) appendMisc(n *Node) {
+	if n != nil {
+		p.doc.Children = append(p.doc.Children, n)
+	}
+}
+
+func (p *docParser) parseProlog() error {
+	p.consume("\ufeff") // byte-order mark
+	if p.hasPrefix("<?xml") && isXMLSpace(p.peekAt(5)) {
+		if err := p.parseXMLDecl(); err != nil {
+			return err
+		}
+	}
+	for {
+		p.skipSpace()
+		switch {
+		case p.hasPrefix("<!--"):
+			n, err := p.parseComment()
+			if err != nil {
+				return err
+			}
+			p.appendMisc(n)
+		case p.hasPrefix("<!DOCTYPE"):
+			if err := p.parseDoctype(); err != nil {
+				return err
+			}
+		case p.hasPrefix("<?"):
+			n, err := p.parsePI()
+			if err != nil {
+				return err
+			}
+			p.appendMisc(n)
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *docParser) parseXMLDecl() error {
+	p.consume("<?xml")
+	for {
+		p.skipSpace()
+		if p.consume("?>") {
+			return nil
+		}
+		if p.eof() {
+			return p.errf("unterminated XML declaration")
+		}
+		nm, err := p.name()
+		if err != nil {
+			return err
+		}
+		p.skipSpace()
+		if p.next() != '=' {
+			return p.errf("expected '=' in XML declaration")
+		}
+		p.skipSpace()
+		v, err := p.quotedLiteral()
+		if err != nil {
+			return err
+		}
+		switch nm {
+		case "version":
+			p.doc.Version = v
+		case "encoding":
+			p.doc.Encoding = v
+		case "standalone":
+			p.doc.Standalone = v
+		default:
+			return p.errf("unknown XML declaration attribute %q", nm)
+		}
+	}
+}
+
+func (p *docParser) quotedLiteral() (string, error) {
+	q := p.next()
+	if q != '"' && q != '\'' {
+		return "", p.errf("expected quoted literal")
+	}
+	start := p.pos
+	for !p.eof() && p.peek() != q {
+		p.next()
+	}
+	if p.eof() {
+		return "", p.errf("unterminated literal")
+	}
+	v := p.src[start:p.pos]
+	p.next()
+	return v, nil
+}
+
+func (p *docParser) parseDoctype() error {
+	p.consume("<!DOCTYPE")
+	p.skipSpace()
+	nm, err := p.name()
+	if err != nil {
+		return err
+	}
+	p.doc.DoctypeName = nm
+	p.skipSpace()
+	if p.hasPrefix("PUBLIC") {
+		p.consume("PUBLIC")
+		p.skipSpace()
+		if p.doc.PublicID, err = p.quotedLiteral(); err != nil {
+			return err
+		}
+		p.skipSpace()
+		if p.doc.SystemID, err = p.quotedLiteral(); err != nil {
+			return err
+		}
+	} else if p.hasPrefix("SYSTEM") {
+		p.consume("SYSTEM")
+		p.skipSpace()
+		if p.doc.SystemID, err = p.quotedLiteral(); err != nil {
+			return err
+		}
+	}
+	p.skipSpace()
+	if p.peek() == '[' {
+		p.next()
+		subset, err := p.internalSubsetText()
+		if err != nil {
+			return err
+		}
+		p.doc.InternalSubset = subset
+		p.skipSpace()
+	}
+	if p.next() != '>' {
+		return p.errf("unterminated DOCTYPE")
+	}
+	return p.buildDTD()
+}
+
+// internalSubsetText scans the raw internal subset up to the matching
+// ']', honoring quoted literals and comments so stray brackets inside
+// them do not terminate the subset.
+func (p *docParser) internalSubsetText() (string, error) {
+	start := p.pos
+	for !p.eof() {
+		c := p.peek()
+		switch c {
+		case ']':
+			text := p.src[start:p.pos]
+			p.next()
+			return text, nil
+		case '"', '\'':
+			p.next()
+			for !p.eof() && p.peek() != c {
+				p.next()
+			}
+			if p.eof() {
+				return "", p.errf("unterminated literal in internal subset")
+			}
+			p.next()
+		default:
+			if p.hasPrefix("<!--") {
+				for !p.eof() && !p.hasPrefix("-->") {
+					p.next()
+				}
+				if !p.consume("-->") {
+					return "", p.errf("unterminated comment in internal subset")
+				}
+			} else {
+				p.next()
+			}
+		}
+	}
+	return "", p.errf("unterminated internal subset")
+}
+
+// buildDTD parses the internal subset and merges it over the external
+// subset (internal declarations take precedence, per XML 1.0 entity and
+// attlist binding rules).
+func (p *docParser) buildDTD() error {
+	var internal *dtd.DTD
+	if p.doc.InternalSubset != "" {
+		d, err := dtd.ParseWith(p.doc.InternalSubset, dtd.ParseOptions{
+			Resolver:     p.opts.Resolver,
+			SkipExternal: p.opts.Resolver == nil,
+		})
+		if err != nil {
+			return fmt.Errorf("internal subset: %w", err)
+		}
+		internal = d
+	}
+	external := p.opts.ExternalDTD
+	if external == nil && p.doc.SystemID != "" && p.opts.Resolver != nil {
+		text, err := p.opts.Resolver(p.doc.PublicID, p.doc.SystemID)
+		if err != nil {
+			return fmt.Errorf("external subset %q: %w", p.doc.SystemID, err)
+		}
+		d, err := dtd.ParseWith(text, dtd.ParseOptions{Resolver: p.opts.Resolver})
+		if err != nil {
+			return fmt.Errorf("external subset %q: %w", p.doc.SystemID, err)
+		}
+		external = d
+	}
+	switch {
+	case internal == nil && external == nil:
+		return nil
+	case internal == nil:
+		p.doc.DTD = external.Clone()
+	case external == nil:
+		p.doc.DTD = internal
+	default:
+		merged := external.Clone()
+		// Internal element declarations override; internal attlists and
+		// entities take precedence by being merged first.
+		for _, name := range internal.ElementOrder {
+			if _, dup := merged.Elements[name]; dup {
+				merged.Elements[name] = internal.Elements[name]
+				continue
+			}
+			if err := merged.AddElement(internal.Elements[name]); err != nil {
+				return err
+			}
+		}
+		for el, atts := range internal.Attlists {
+			pre := append([]dtd.AttDef(nil), atts...)
+			pre = append(pre, merged.Attlists[el]...)
+			merged.Attlists[el] = nil
+			merged.AddAttDefs(el, pre)
+		}
+		for n, e := range internal.Entities {
+			merged.Entities[n] = e
+		}
+		for n, e := range internal.ParamEntities {
+			merged.ParamEntities[n] = e
+		}
+		for n, e := range internal.Notations {
+			merged.Notations[n] = e
+		}
+		p.doc.DTD = merged
+	}
+	if p.doc.DTD != nil {
+		p.doc.DTD.Name = p.doc.DoctypeName
+	}
+	return nil
+}
+
+func (p *docParser) parseComment() (*Node, error) {
+	p.consume("<!--")
+	start := p.pos
+	for !p.eof() && !p.hasPrefix("-->") {
+		if p.hasPrefix("--") && !p.hasPrefix("-->") {
+			return nil, p.errf(`"--" not allowed inside comment`)
+		}
+		p.next()
+	}
+	if p.eof() {
+		return nil, p.errf("unterminated comment")
+	}
+	data := p.src[start:p.pos]
+	p.consume("-->")
+	if p.opts.DropComments {
+		return nil, nil
+	}
+	return &Node{Kind: CommentNode, Data: data}, nil
+}
+
+func (p *docParser) parsePI() (*Node, error) {
+	p.consume("<?")
+	target, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	if strings.EqualFold(target, "xml") {
+		return nil, p.errf("processing instruction target may not be %q", target)
+	}
+	p.skipSpace()
+	start := p.pos
+	for !p.eof() && !p.hasPrefix("?>") {
+		p.next()
+	}
+	if p.eof() {
+		return nil, p.errf("unterminated processing instruction")
+	}
+	data := p.src[start:p.pos]
+	p.consume("?>")
+	if p.opts.DropPIs {
+		return nil, nil
+	}
+	return &Node{Kind: PINode, Name: target, Data: data}, nil
+}
+
+// parseElement parses one element starting at '<'.
+func (p *docParser) parseElement() (*Node, error) {
+	if p.next() != '<' {
+		return nil, p.errf("expected '<'")
+	}
+	nm, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	el := NewElement(nm)
+	// Attributes.
+	for {
+		hadSpace := p.skipSpace()
+		c := p.peek()
+		if c == '>' || c == '/' {
+			break
+		}
+		if c == 0 {
+			return nil, p.errf("unterminated start tag <%s", nm)
+		}
+		if !hadSpace {
+			return nil, p.errf("expected whitespace before attribute in <%s>", nm)
+		}
+		an, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.next() != '=' {
+			return nil, p.errf("expected '=' after attribute %q", an)
+		}
+		p.skipSpace()
+		av, err := p.attValue()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := el.Attr(an); dup {
+			return nil, p.errf("duplicate attribute %q on <%s>", an, nm)
+		}
+		el.Attrs = append(el.Attrs, Attr{Name: an, Value: av, Specified: true})
+	}
+	p.applyAttrDefaults(el)
+	if p.peek() == '/' {
+		p.next()
+		if p.next() != '>' {
+			return nil, p.errf("malformed empty-element tag <%s/>", nm)
+		}
+		return el, nil
+	}
+	p.next() // '>'
+	if err := p.parseContent(el); err != nil {
+		return nil, err
+	}
+	return el, nil
+}
+
+// applyAttrDefaults adds DTD-declared default values for attributes not
+// present in the start tag.
+func (p *docParser) applyAttrDefaults(el *Node) {
+	if p.doc == nil || p.doc.DTD == nil {
+		return
+	}
+	for _, def := range p.doc.DTD.Atts(el.Name) {
+		if def.Default != dtd.DefValue && def.Default != dtd.DefFixed {
+			continue
+		}
+		if _, present := el.Attr(def.Name); present {
+			continue
+		}
+		el.Attrs = append(el.Attrs, Attr{Name: def.Name, Value: def.Value, Specified: false})
+	}
+}
+
+// attValue parses a quoted attribute value, normalizing references.
+func (p *docParser) attValue() (string, error) {
+	q := p.next()
+	if q != '"' && q != '\'' {
+		return "", p.errf("expected quoted attribute value")
+	}
+	var b strings.Builder
+	for {
+		if p.eof() {
+			return "", p.errf("unterminated attribute value")
+		}
+		c := p.next()
+		switch c {
+		case q:
+			return b.String(), nil
+		case '<':
+			return "", p.errf("'<' not allowed in attribute value")
+		case '&':
+			s, err := p.reference()
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(s)
+		case '\t', '\n', '\r':
+			// Attribute-value normalization.
+			b.WriteByte(' ')
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// reference resolves a reference after '&': character references, the
+// five predefined entities, or a general entity declared in the DTD.
+// Entity replacement text must not contain markup (a simplification: such
+// entities are rejected rather than re-parsed).
+func (p *docParser) reference() (string, error) {
+	if p.peek() == '#' {
+		p.next()
+		hex := false
+		if p.peek() == 'x' || p.peek() == 'X' {
+			hex = true
+			p.next()
+		}
+		start := p.pos
+		for !p.eof() && p.peek() != ';' {
+			p.next()
+		}
+		if p.eof() {
+			return "", p.errf("unterminated character reference")
+		}
+		digits := p.src[start:p.pos]
+		p.next()
+		var n int64
+		for _, c := range digits {
+			var v int64
+			switch {
+			case c >= '0' && c <= '9':
+				v = int64(c - '0')
+			case hex && c >= 'a' && c <= 'f':
+				v = int64(c-'a') + 10
+			case hex && c >= 'A' && c <= 'F':
+				v = int64(c-'A') + 10
+			default:
+				return "", p.errf("invalid character reference")
+			}
+			base := int64(10)
+			if hex {
+				base = 16
+			}
+			n = n*base + v
+			if n > 0x10FFFF {
+				return "", p.errf("character reference out of range")
+			}
+		}
+		if digits == "" || (hex && digits == "x") {
+			return "", p.errf("empty character reference")
+		}
+		return string(rune(n)), nil
+	}
+	nm, err := p.name()
+	if err != nil {
+		return "", err
+	}
+	if p.next() != ';' {
+		return "", p.errf("unterminated entity reference &%s", nm)
+	}
+	switch nm {
+	case "lt":
+		return "<", nil
+	case "gt":
+		return ">", nil
+	case "amp":
+		return "&", nil
+	case "apos":
+		return "'", nil
+	case "quot":
+		return `"`, nil
+	}
+	if p.doc != nil && p.doc.DTD != nil {
+		expanded, err := p.doc.DTD.ExpandText("&" + nm + ";")
+		if err != nil {
+			return "", p.errf("%v", err)
+		}
+		if strings.ContainsRune(expanded, '<') {
+			return "", p.errf("entity &%s; expands to markup, which this parser does not re-parse", nm)
+		}
+		return expanded, nil
+	}
+	return "", p.errf("undeclared entity &%s;", nm)
+}
+
+// parseContent parses element content until the matching end tag.
+func (p *docParser) parseContent(el *Node) error {
+	var text strings.Builder
+	flush := func() {
+		if text.Len() > 0 {
+			el.AppendText(text.String())
+			text.Reset()
+		}
+	}
+	for {
+		if p.eof() {
+			return p.errf("unexpected end of input inside <%s>", el.Name)
+		}
+		c := p.peek()
+		switch {
+		case p.hasPrefix("</"):
+			flush()
+			p.consume("</")
+			nm, err := p.name()
+			if err != nil {
+				return err
+			}
+			p.skipSpace()
+			if p.next() != '>' {
+				return p.errf("malformed end tag </%s", nm)
+			}
+			if nm != el.Name {
+				return p.errf("end tag </%s> does not match <%s>", nm, el.Name)
+			}
+			return nil
+		case p.hasPrefix("<!--"):
+			flush()
+			n, err := p.parseComment()
+			if err != nil {
+				return err
+			}
+			if n != nil {
+				el.AppendChild(n)
+			}
+		case p.hasPrefix("<![CDATA["):
+			p.consume("<![CDATA[")
+			start := p.pos
+			for !p.eof() && !p.hasPrefix("]]>") {
+				p.next()
+			}
+			if p.eof() {
+				return p.errf("unterminated CDATA section")
+			}
+			data := p.src[start:p.pos]
+			p.consume("]]>")
+			flush()
+			cd := NewText(data)
+			cd.CData = true
+			el.AppendChild(cd)
+		case p.hasPrefix("<?"):
+			flush()
+			n, err := p.parsePI()
+			if err != nil {
+				return err
+			}
+			if n != nil {
+				el.AppendChild(n)
+			}
+		case c == '<':
+			flush()
+			child, err := p.parseElement()
+			if err != nil {
+				return err
+			}
+			el.AppendChild(child)
+		case c == '&':
+			p.next()
+			s, err := p.reference()
+			if err != nil {
+				return err
+			}
+			text.WriteString(s)
+		default:
+			if p.hasPrefix("]]>") {
+				return p.errf(`"]]>" not allowed in character data`)
+			}
+			text.WriteByte(p.next())
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package xmltree
+
+import (
+	"strings"
+)
+
+// WriteOptions configures serialization.
+type WriteOptions struct {
+	// Indent, when non-empty, pretty-prints element content with the
+	// given unit (e.g. "  "). Mixed content (elements with text siblings)
+	// is never re-indented, so indentation cannot corrupt data.
+	Indent string
+	// OmitXMLDecl suppresses the <?xml ...?> declaration.
+	OmitXMLDecl bool
+	// OmitDoctype suppresses the <!DOCTYPE ...> declaration.
+	OmitDoctype bool
+}
+
+// String serializes the document with an XML declaration and any DOCTYPE
+// (internal subset included verbatim).
+func (d *Document) String() string { return d.Render(WriteOptions{}) }
+
+// Render serializes the document with explicit options.
+func (d *Document) Render(opts WriteOptions) string {
+	var b strings.Builder
+	if !opts.OmitXMLDecl {
+		version := d.Version
+		if version == "" {
+			version = "1.0"
+		}
+		b.WriteString(`<?xml version="` + version + `"`)
+		if d.Encoding != "" {
+			b.WriteString(` encoding="` + d.Encoding + `"`)
+		}
+		if d.Standalone != "" {
+			b.WriteString(` standalone="` + d.Standalone + `"`)
+		}
+		b.WriteString("?>\n")
+	}
+	if !opts.OmitDoctype && d.DoctypeName != "" {
+		b.WriteString("<!DOCTYPE " + d.DoctypeName)
+		switch {
+		case d.PublicID != "":
+			b.WriteString(` PUBLIC "` + d.PublicID + `" "` + d.SystemID + `"`)
+		case d.SystemID != "":
+			b.WriteString(` SYSTEM "` + d.SystemID + `"`)
+		}
+		if d.InternalSubset != "" {
+			b.WriteString(" [" + d.InternalSubset + "]")
+		}
+		b.WriteString(">\n")
+	}
+	for _, c := range d.Children {
+		writeNode(&b, c, opts, 0)
+		if opts.Indent != "" {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// XML serializes the subtree rooted at n.
+func (n *Node) XML() string {
+	var b strings.Builder
+	writeNode(&b, n, WriteOptions{}, 0)
+	return b.String()
+}
+
+// XMLIndent serializes the subtree with pretty-printing.
+func (n *Node) XMLIndent(indent string) string {
+	var b strings.Builder
+	writeNode(&b, n, WriteOptions{Indent: indent}, 0)
+	return b.String()
+}
+
+func writeNode(b *strings.Builder, n *Node, opts WriteOptions, depth int) {
+	switch n.Kind {
+	case TextNode:
+		if n.CData {
+			b.WriteString("<![CDATA[")
+			b.WriteString(n.Data)
+			b.WriteString("]]>")
+		} else {
+			b.WriteString(EscapeText(n.Data))
+		}
+	case CommentNode:
+		b.WriteString("<!--")
+		b.WriteString(n.Data)
+		b.WriteString("-->")
+	case PINode:
+		b.WriteString("<?")
+		b.WriteString(n.Name)
+		if n.Data != "" {
+			b.WriteByte(' ')
+			b.WriteString(n.Data)
+		}
+		b.WriteString("?>")
+	case ElementNode:
+		b.WriteByte('<')
+		b.WriteString(n.Name)
+		for _, a := range n.Attrs {
+			b.WriteByte(' ')
+			b.WriteString(a.Name)
+			b.WriteString(`="`)
+			b.WriteString(EscapeAttr(a.Value))
+			b.WriteByte('"')
+		}
+		if len(n.Children) == 0 {
+			b.WriteString("/>")
+			return
+		}
+		b.WriteByte('>')
+		pretty := opts.Indent != "" && elementOnlyContent(n)
+		for _, c := range n.Children {
+			if pretty {
+				b.WriteByte('\n')
+				b.WriteString(strings.Repeat(opts.Indent, depth+1))
+			}
+			writeNode(b, c, opts, depth+1)
+		}
+		if pretty {
+			b.WriteByte('\n')
+			b.WriteString(strings.Repeat(opts.Indent, depth))
+		}
+		b.WriteString("</")
+		b.WriteString(n.Name)
+		b.WriteByte('>')
+	}
+}
+
+// elementOnlyContent reports whether every child is an element, comment
+// or PI — i.e. indentation will not alter character data.
+func elementOnlyContent(n *Node) bool {
+	for _, c := range n.Children {
+		if c.Kind == TextNode {
+			return false
+		}
+	}
+	return true
+}
+
+// EscapeText escapes character data for element content.
+func EscapeText(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// EscapeAttr escapes character data for a double-quoted attribute value.
+func EscapeAttr(s string) string {
+	r := strings.NewReplacer(
+		"&", "&amp;", "<", "&lt;", `"`, "&quot;",
+		"\t", "&#9;", "\n", "&#10;", "\r", "&#13;",
+	)
+	return r.Replace(s)
+}

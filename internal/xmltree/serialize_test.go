@@ -1,0 +1,84 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderOptions(t *testing.T) {
+	doc := MustParse(`<?xml version="1.0" encoding="UTF-8" standalone="no"?><r><a/></r>`)
+	full := doc.Render(WriteOptions{})
+	if !strings.Contains(full, `encoding="UTF-8"`) || !strings.Contains(full, `standalone="no"`) {
+		t.Errorf("declaration lost: %s", full)
+	}
+	bare := doc.Render(WriteOptions{OmitXMLDecl: true})
+	if strings.Contains(bare, "<?xml") {
+		t.Errorf("OmitXMLDecl ignored: %s", bare)
+	}
+	pretty := doc.Render(WriteOptions{Indent: "  ", OmitXMLDecl: true})
+	if !strings.Contains(pretty, "\n  <a/>") {
+		t.Errorf("indent missing: %q", pretty)
+	}
+}
+
+func TestRenderDoctypeForms(t *testing.T) {
+	pub := MustParse(`<!DOCTYPE r PUBLIC "pubid" "sysid"><r/>`)
+	out := pub.Render(WriteOptions{OmitXMLDecl: true})
+	if !strings.Contains(out, `<!DOCTYPE r PUBLIC "pubid" "sysid">`) {
+		t.Errorf("public doctype: %s", out)
+	}
+	sys := MustParse(`<!DOCTYPE r SYSTEM "sysid"><r/>`)
+	out = sys.Render(WriteOptions{OmitXMLDecl: true})
+	if !strings.Contains(out, `<!DOCTYPE r SYSTEM "sysid">`) {
+		t.Errorf("system doctype: %s", out)
+	}
+	out = sys.Render(WriteOptions{OmitXMLDecl: true, OmitDoctype: true})
+	if strings.Contains(out, "DOCTYPE") {
+		t.Errorf("OmitDoctype ignored: %s", out)
+	}
+}
+
+func TestSerializePIAndComment(t *testing.T) {
+	doc := MustParse(`<r><?target data?><!--note--></r>`)
+	out := doc.Root.XML()
+	if out != `<r><?target data?><!--note--></r>` {
+		t.Errorf("out = %q", out)
+	}
+	// PI with no data.
+	n := &Node{Kind: PINode, Name: "t"}
+	if n.XML() != "<?t?>" {
+		t.Errorf("bare pi = %q", n.XML())
+	}
+}
+
+func TestEqualNilAndKindMismatch(t *testing.T) {
+	a := NewElement("x")
+	if Equal(a, nil, EqualOptions{}) || Equal(nil, a, EqualOptions{}) {
+		t.Error("nil mismatch should be false")
+	}
+	if !Equal(nil, nil, EqualOptions{}) {
+		t.Error("nil == nil")
+	}
+	if Equal(NewElement("x"), NewText("x"), EqualOptions{}) {
+		t.Error("kind mismatch")
+	}
+	if Equal(NewText("a"), NewText("b"), EqualOptions{}) {
+		t.Error("text mismatch")
+	}
+	x := NewElement("e")
+	x.SetAttr("a", "1")
+	y := NewElement("e")
+	y.SetAttr("b", "1")
+	if Equal(x, y, EqualOptions{IgnoreAttrOrder: true}) {
+		t.Error("different attr names should differ")
+	}
+}
+
+func TestEscapeHelpers(t *testing.T) {
+	if EscapeText("a<b>c&d") != "a&lt;b&gt;c&amp;d" {
+		t.Errorf("EscapeText = %q", EscapeText("a<b>c&d"))
+	}
+	if EscapeAttr(`"<&`) != `&quot;&lt;&amp;` {
+		t.Errorf("EscapeAttr = %q", EscapeAttr(`"<&`))
+	}
+}

@@ -1,0 +1,414 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+
+	"xmlrdb/internal/dtd"
+)
+
+// paperBook is the XML fragment of §3 of the paper (with the paper's
+// typographically mangled end tags repaired).
+const paperBook = `<book>
+  <booktitle>XML RDBMS</booktitle>
+  <author><name><firstname>John</firstname><lastname>Smith</lastname></name></author>
+  <author><name><firstname>Dave</firstname><lastname>Brown</lastname></name></author>
+</book>`
+
+func TestParsePaperBook(t *testing.T) {
+	doc, err := Parse(paperBook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := doc.Root
+	if root.Name != "book" {
+		t.Fatalf("root = %q", root.Name)
+	}
+	if got := root.FirstChildElement("booktitle").Text(); got != "XML RDBMS" {
+		t.Errorf("booktitle = %q", got)
+	}
+	authors := root.Elements("author")
+	if len(authors) != 2 {
+		t.Fatalf("got %d authors", len(authors))
+	}
+	// Data ordering: John before Dave.
+	first := authors[0].FirstChildElement("name").FirstChildElement("firstname").Text()
+	second := authors[1].FirstChildElement("name").FirstChildElement("firstname").Text()
+	if first != "John" || second != "Dave" {
+		t.Errorf("author order = %q, %q; want John, Dave", first, second)
+	}
+	if got := root.ChildElementNames(); strings.Join(got, " ") != "booktitle author author" {
+		t.Errorf("child elements = %v", got)
+	}
+}
+
+func TestXMLDecl(t *testing.T) {
+	doc, err := Parse(`<?xml version="1.0" encoding="UTF-8" standalone="yes"?><r/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Version != "1.0" || doc.Encoding != "UTF-8" || doc.Standalone != "yes" {
+		t.Errorf("decl = %q %q %q", doc.Version, doc.Encoding, doc.Standalone)
+	}
+}
+
+func TestDoctypeInternalSubset(t *testing.T) {
+	src := `<!DOCTYPE book [
+<!ELEMENT book (title)>
+<!ELEMENT title (#PCDATA)>
+<!ATTLIST book isbn CDATA #IMPLIED lang CDATA "en">
+<!ENTITY pub "O'Reilly">
+]>
+<book><title>About &pub;</title></book>`
+	doc, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.DoctypeName != "book" {
+		t.Errorf("doctype name = %q", doc.DoctypeName)
+	}
+	if doc.DTD == nil || doc.DTD.Element("book") == nil {
+		t.Fatal("internal subset not parsed")
+	}
+	if got := doc.Root.FirstChildElement("title").Text(); got != "About O'Reilly" {
+		t.Errorf("entity expansion: title = %q", got)
+	}
+	// Attribute default applied, marked unspecified.
+	v, ok := doc.Root.Attr("lang")
+	if !ok || v != "en" {
+		t.Errorf("lang default = %q, %v", v, ok)
+	}
+	for _, a := range doc.Root.Attrs {
+		if a.Name == "lang" && a.Specified {
+			t.Error("defaulted attribute should not be Specified")
+		}
+	}
+	if _, ok := doc.Root.Attr("isbn"); ok {
+		t.Error("#IMPLIED attribute should not be defaulted")
+	}
+}
+
+func TestExternalDTDOption(t *testing.T) {
+	ext := dtd.MustParse(`<!ELEMENT r EMPTY><!ATTLIST r kind CDATA "basic">`)
+	doc, err := ParseWith(`<!DOCTYPE r SYSTEM "r.dtd"><r/>`, Options{ExternalDTD: ext})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.SystemID != "r.dtd" {
+		t.Errorf("system id = %q", doc.SystemID)
+	}
+	if v, _ := doc.Root.Attr("kind"); v != "basic" {
+		t.Errorf("external default not applied: %q", v)
+	}
+}
+
+func TestInternalOverridesExternal(t *testing.T) {
+	ext := dtd.MustParse(`<!ELEMENT r (a)><!ENTITY who "external">`)
+	src := `<!DOCTYPE r SYSTEM "r.dtd" [<!ENTITY who "internal">]><r><a>&who;</a></r>`
+	doc, err := ParseWith(src, Options{ExternalDTD: ext})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Root.Text(); got != "internal" {
+		t.Errorf("entity = %q, want internal declaration to win", got)
+	}
+	if doc.DTD.Element("r") == nil {
+		t.Error("external element declarations missing from merged DTD")
+	}
+}
+
+func TestResolverLoadsExternalSubset(t *testing.T) {
+	resolver := func(pub, sys string) (string, error) {
+		return `<!ELEMENT r EMPTY><!ATTLIST r x CDATA "42">`, nil
+	}
+	doc, err := ParseWith(`<!DOCTYPE r SYSTEM "whatever.dtd"><r/>`, Options{Resolver: resolver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := doc.Root.Attr("x"); v != "42" {
+		t.Errorf("x = %q", v)
+	}
+}
+
+func TestReferences(t *testing.T) {
+	doc, err := Parse(`<r a="1 &amp; 2&#x21;">&lt;tag&gt; &#65;&#x42;</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := doc.Root.Attr("a"); v != "1 & 2!" {
+		t.Errorf("attr = %q", v)
+	}
+	if got := doc.Root.Text(); got != "<tag> AB" {
+		t.Errorf("text = %q", got)
+	}
+}
+
+func TestAttributeValueNormalization(t *testing.T) {
+	doc, err := Parse("<r a=\"one\ntwo\tthree\"/>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := doc.Root.Attr("a"); v != "one two three" {
+		t.Errorf("normalized attr = %q", v)
+	}
+}
+
+func TestCDATA(t *testing.T) {
+	doc, err := Parse(`<r><![CDATA[a < b & c]]></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Root.Text(); got != "a < b & c" {
+		t.Errorf("cdata text = %q", got)
+	}
+	if !doc.Root.Children[0].CData {
+		t.Error("CData flag missing")
+	}
+	// Round trip preserves the CDATA form.
+	if !strings.Contains(doc.Root.XML(), "<![CDATA[a < b & c]]>") {
+		t.Errorf("serialized = %q", doc.Root.XML())
+	}
+}
+
+func TestCommentsAndPIs(t *testing.T) {
+	src := `<?xml version="1.0"?><!-- head --><?style css?><r><!-- in --><?p d?>x</r><!-- tail -->`
+	doc, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Children) != 4 { // comment, pi, root, comment
+		t.Fatalf("top-level children = %d", len(doc.Children))
+	}
+	kinds := []NodeKind{CommentNode, PINode, ElementNode, CommentNode}
+	for i, k := range kinds {
+		if doc.Children[i].Kind != k {
+			t.Errorf("child %d kind = %v, want %v", i, doc.Children[i].Kind, k)
+		}
+	}
+	if len(doc.Root.Children) != 3 {
+		t.Fatalf("root children = %d", len(doc.Root.Children))
+	}
+
+	doc, err = ParseWith(src, Options{DropComments: true, DropPIs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Children) != 1 || len(doc.Root.Children) != 1 {
+		t.Errorf("drop options kept extra nodes: %d top, %d in root",
+			len(doc.Children), len(doc.Root.Children))
+	}
+}
+
+func TestEmptyElementForms(t *testing.T) {
+	a := MustParse(`<r><x/></r>`)
+	b := MustParse(`<r><x></x></r>`)
+	if !Equal(a.Root, b.Root, EqualOptions{}) {
+		t.Error("<x/> and <x></x> should be equal")
+	}
+}
+
+func TestWellFormednessErrors(t *testing.T) {
+	tests := []struct{ name, in string }{
+		{"mismatched tags", `<a><b></a></b>`},
+		{"unterminated", `<a>`},
+		{"duplicate attr", `<a x="1" x="2"/>`},
+		{"lt in attr", `<a x="<"/>`},
+		{"two roots", `<a/><b/>`},
+		{"text at top", `hello<a/>`},
+		{"bad end tag", `<a></a b>`},
+		{"cdata end in text", `<a>]]></a>`},
+		{"undeclared entity", `<a>&nope;</a>`},
+		{"bad char ref", `<a>&#xQQ;</a>`},
+		{"double dash comment", `<a><!-- x -- y --></a>`},
+		{"xml pi target", `<a><?XML x?></a>`},
+		{"attr without value", `<a x></a>`},
+		{"no space between attrs", `<a x="1"y="2"/>`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(tt.in); err == nil {
+				t.Errorf("Parse(%q) succeeded, want error", tt.in)
+			}
+		})
+	}
+}
+
+func TestSyntaxErrorPosition(t *testing.T) {
+	_, err := Parse("<a>\n  <b>\n</a>")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("err = %T", err)
+	}
+	if se.Line != 3 {
+		t.Errorf("line = %d, want 3", se.Line)
+	}
+}
+
+func TestEntityExpandingToMarkupRejected(t *testing.T) {
+	src := `<!DOCTYPE r [<!ENTITY m "<x/>">]><r>&m;</r>`
+	if _, err := Parse(src); err == nil {
+		t.Fatal("entity expanding to markup should be rejected")
+	}
+}
+
+func TestNavigation(t *testing.T) {
+	doc := MustParse(`<lib><book id="1"><t>A</t></book><book id="2"><t>B</t></book><cd/></lib>`)
+	root := doc.Root
+	if root.FirstChildElement("").Name != "book" {
+		t.Error("FirstChildElement any")
+	}
+	if root.FirstChildElement("cd") == nil {
+		t.Error("FirstChildElement cd")
+	}
+	if root.FirstChildElement("dvd") != nil {
+		t.Error("FirstChildElement dvd should be nil")
+	}
+	if n := len(root.Find("t")); n != 2 {
+		t.Errorf("Find(t) = %d", n)
+	}
+	if n := len(root.Find("lib")); n != 1 {
+		t.Errorf("Find(lib) = %d (self)", n)
+	}
+	if got := root.Elements("book")[1].Path(); got != "/lib/book" {
+		t.Errorf("Path = %q", got)
+	}
+	if !root.HasElementChildren() {
+		t.Error("HasElementChildren")
+	}
+	if root.CountElements() != 6 {
+		t.Errorf("CountElements = %d", root.CountElements())
+	}
+	if got := root.AttrOr("missing", "d"); got != "d" {
+		t.Errorf("AttrOr = %q", got)
+	}
+}
+
+func TestDirectText(t *testing.T) {
+	doc := MustParse(`<p>one<b>bold</b>two</p>`)
+	if got := doc.Root.DirectText(); got != "onetwo" {
+		t.Errorf("DirectText = %q", got)
+	}
+	if got := doc.Root.Text(); got != "oneboldtwo" {
+		t.Errorf("Text = %q", got)
+	}
+}
+
+func TestMutation(t *testing.T) {
+	root := NewElement("order")
+	root.SetAttr("id", "7")
+	root.SetAttr("id", "8") // replace
+	item := root.AppendElement("item")
+	item.AppendText("widget")
+	if got := root.XML(); got != `<order id="8"><item>widget</item></order>` {
+		t.Errorf("XML = %q", got)
+	}
+	c := root.Clone()
+	c.SetAttr("id", "9")
+	if v, _ := root.Attr("id"); v != "8" {
+		t.Error("Clone shares attrs")
+	}
+}
+
+func TestSerializeEscaping(t *testing.T) {
+	root := NewElement("r")
+	root.SetAttr("a", `x"y<z&`+"\n")
+	root.AppendText("a<b&c>d")
+	out := root.XML()
+	want := `<r a="x&quot;y&lt;z&amp;&#10;">a&lt;b&amp;c&gt;d</r>`
+	if out != want {
+		t.Errorf("XML = %q, want %q", out, want)
+	}
+	back := MustParse(out)
+	if !Equal(root, back.Root, EqualOptions{}) {
+		t.Error("escape round trip failed")
+	}
+}
+
+func TestRoundTripStability(t *testing.T) {
+	docs := []string{
+		paperBook,
+		`<r><a x="1"/><b>text &amp; more</b><!-- c --><?pi d?></r>`,
+		`<a><b><c><d>deep</d></c></b></a>`,
+	}
+	for _, src := range docs {
+		d1 := MustParse(src)
+		out1 := d1.Render(WriteOptions{OmitXMLDecl: true})
+		d2 := MustParse(out1)
+		if !Equal(d1.Root, d2.Root, EqualOptions{}) {
+			t.Errorf("round trip changed tree for %q", src)
+		}
+		out2 := d2.Render(WriteOptions{OmitXMLDecl: true})
+		if out1 != out2 {
+			t.Errorf("serialization unstable:\n%s\n%s", out1, out2)
+		}
+	}
+}
+
+func TestIndentLeavesMixedContentAlone(t *testing.T) {
+	doc := MustParse(`<r><a><b>x</b><c>y</c></a><m>text<b>bold</b></m></r>`)
+	out := doc.Root.XMLIndent("  ")
+	if !strings.Contains(out, "\n  <a>") {
+		t.Errorf("element content not indented:\n%s", out)
+	}
+	if !strings.Contains(out, "<m>text<b>bold</b></m>") {
+		t.Errorf("mixed content was reformatted:\n%s", out)
+	}
+	if !Equal(MustParse(out).Root, doc.Root, EqualOptions{IgnoreWhitespaceText: true}) {
+		t.Error("indent changed non-whitespace structure")
+	}
+}
+
+func TestEqualOptions(t *testing.T) {
+	a := MustParse(`<r x="1" y="2"><!-- c -->t</r>`).Root
+	b := MustParse(`<r y="2" x="1">t</r>`).Root
+	if Equal(a, b, EqualOptions{}) {
+		t.Error("should differ: attr order and comment")
+	}
+	if !Equal(a, b, EqualOptions{IgnoreComments: true, IgnoreAttrOrder: true}) {
+		t.Error("should match with options")
+	}
+	c := MustParse(`<r x="1" y="2">  t  </r>`).Root
+	if Equal(a, c, EqualOptions{IgnoreComments: true}) {
+		t.Error("different text should differ")
+	}
+}
+
+func TestDoctypeRoundTrip(t *testing.T) {
+	src := `<!DOCTYPE r SYSTEM "r.dtd" [<!ENTITY e "v">]>` + "\n" + `<r>&e;</r>`
+	doc := MustParse(src)
+	out := doc.Render(WriteOptions{OmitXMLDecl: true})
+	if !strings.Contains(out, `<!DOCTYPE r SYSTEM "r.dtd" [<!ENTITY e "v">]>`) {
+		t.Errorf("doctype lost: %s", out)
+	}
+	// The parsed entity value is baked into the tree.
+	if !strings.Contains(out, "<r>v</r>") {
+		t.Errorf("content = %s", out)
+	}
+}
+
+func TestBOM(t *testing.T) {
+	doc, err := Parse("\ufeff<r/>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.Name != "r" {
+		t.Errorf("root = %q", doc.Root.Name)
+	}
+}
+
+func TestCountNodes(t *testing.T) {
+	doc := MustParse(`<a>t<b/><!--c--></a>`)
+	if got := doc.Root.CountNodes(); got != 4 {
+		t.Errorf("CountNodes = %d, want 4", got)
+	}
+}
+
+func TestWhitespacePreserved(t *testing.T) {
+	doc := MustParse("<r>  <a/>  </r>")
+	if len(doc.Root.Children) != 3 {
+		t.Fatalf("children = %d, want text, element, text", len(doc.Root.Children))
+	}
+	if doc.Root.Children[0].Data != "  " {
+		t.Errorf("leading ws = %q", doc.Root.Children[0].Data)
+	}
+}

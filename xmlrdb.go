@@ -1,0 +1,271 @@
+// Package xmlrdb integrates XML data with relational databases,
+// reproducing Lee, Mitchell and Zhang, "Integrating XML Data with
+// Relational Databases" (2000).
+//
+// The package is the public façade over the full pipeline:
+//
+//	DTD text ──parse──▶ logical DTD ──Figure-1 algorithm──▶ ER model
+//	       ──[EN89]──▶ relational schema (+ §5 metadata tables)
+//	       ──DOM traversal──▶ shredded rows ──SQL / path queries──▶ results
+//	       ──ordinals + metadata──▶ reconstructed XML documents
+//
+// Quick start:
+//
+//	p, err := xmlrdb.Open(dtdText, xmlrdb.Config{})
+//	docID, err := p.LoadXML(xmlText, "doc-1")
+//	rows, err := p.Query("/book/author[@id='a1']")
+//	xml, err := p.Reconstruct(docID)
+package xmlrdb
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlrdb/internal/core"
+	"xmlrdb/internal/dtd"
+	"xmlrdb/internal/engine"
+	"xmlrdb/internal/ermap"
+	"xmlrdb/internal/meta"
+	"xmlrdb/internal/pathquery"
+	"xmlrdb/internal/reconstruct"
+	"xmlrdb/internal/shred"
+	"xmlrdb/internal/validate"
+	"xmlrdb/internal/xmltree"
+)
+
+// Strategy selects how ER relationships map to tables.
+type Strategy = ermap.Strategy
+
+// Relational translation strategies.
+const (
+	// StrategyJunction gives every relationship its own table (default).
+	StrategyJunction = ermap.StrategyJunction
+	// StrategyFoldFK folds single-parent nesting relationships into
+	// foreign keys on the child table.
+	StrategyFoldFK = ermap.StrategyFoldFK
+)
+
+// Rows is a materialized query result.
+type Rows = engine.Rows
+
+// Violation is one validity problem found by Validate.
+type Violation = validate.Violation
+
+// Config tunes pipeline construction.
+type Config struct {
+	// Strategy selects the relational translation (default junction).
+	Strategy Strategy
+	// SkipDistill disables the mapping's attribute-distilling step 2.
+	SkipDistill bool
+	// SkipMetaTables omits the §5 metadata tables.
+	SkipMetaTables bool
+}
+
+// Pipeline is a mapped DTD with its relational store: the end-to-end
+// system of the paper.
+type Pipeline struct {
+	// DTD is the parsed source DTD.
+	DTD *dtd.DTD
+	// Result is the Figure-1 mapping output (converted DTD, ER model,
+	// metadata).
+	Result *core.Result
+	// Mapping is the ER-to-relational translation.
+	Mapping *ermap.Mapping
+	// DB is the embedded relational engine holding the shredded data.
+	DB *engine.DB
+
+	loader     *shred.Loader
+	translator *pathquery.ERTranslator
+	recon      *reconstruct.Reconstructor
+	validator  *validate.Validator
+}
+
+// Open parses a DTD, runs the mapping algorithm, creates the relational
+// schema (and metadata tables) in a fresh in-memory engine, and returns
+// the ready pipeline.
+func Open(dtdText string, cfg Config) (*Pipeline, error) {
+	d, err := dtd.Parse(dtdText)
+	if err != nil {
+		return nil, err
+	}
+	return OpenDTD(d, cfg)
+}
+
+// OpenDTD is Open for an already-parsed DTD.
+func OpenDTD(d *dtd.DTD, cfg Config) (*Pipeline, error) {
+	res, err := core.MapWith(d, core.Options{SkipDistill: cfg.SkipDistill})
+	if err != nil {
+		return nil, err
+	}
+	m, err := ermap.Build(res.Model, ermap.Options{Strategy: cfg.Strategy})
+	if err != nil {
+		return nil, err
+	}
+	db := engine.Open()
+	if err := db.CreateSchema(m.Schema); err != nil {
+		return nil, err
+	}
+	if !cfg.SkipMetaTables {
+		if err := meta.Store(db, res, m); err != nil {
+			return nil, err
+		}
+	}
+	loader, err := shred.NewLoader(res, m, db)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{
+		DTD:        d,
+		Result:     res,
+		Mapping:    m,
+		DB:         db,
+		loader:     loader,
+		translator: pathquery.NewERTranslator(res, m),
+		recon:      reconstruct.New(res, m, db),
+		validator:  validate.New(d),
+	}, nil
+}
+
+// LoadXML validates nothing beyond the mapping's own checks and shreds
+// one XML document into the store, returning its document id.
+func (p *Pipeline) LoadXML(src, name string) (int64, error) {
+	st, err := p.loader.LoadXML(src, name)
+	if err != nil {
+		return 0, err
+	}
+	return st.DocID, nil
+}
+
+// LoadValidXML validates the document against the DTD first and only
+// shreds it when it is valid; otherwise the violations are returned as
+// one error.
+func (p *Pipeline) LoadValidXML(src, name string) (int64, error) {
+	doc, err := xmltree.ParseWith(src, xmltree.Options{ExternalDTD: p.DTD})
+	if err != nil {
+		return 0, err
+	}
+	if viols := p.validator.Validate(doc); len(viols) > 0 {
+		msgs := make([]string, len(viols))
+		for i, v := range viols {
+			msgs[i] = v.String()
+		}
+		return 0, fmt.Errorf("xmlrdb: document %q is invalid:\n  %s",
+			name, strings.Join(msgs, "\n  "))
+	}
+	st, err := p.loader.LoadDocument(doc, name)
+	if err != nil {
+		return 0, err
+	}
+	return st.DocID, nil
+}
+
+// LoadDocument shreds an already-parsed document.
+func (p *Pipeline) LoadDocument(doc *xmltree.Document, name string) (int64, error) {
+	st, err := p.loader.LoadDocument(doc, name)
+	if err != nil {
+		return 0, err
+	}
+	return st.DocID, nil
+}
+
+// Validate checks a document against the DTD and returns all violations
+// (nil means valid). Loading does not require prior validation, but
+// invalid documents fail to shred with less precise errors.
+func (p *Pipeline) Validate(src string) ([]Violation, error) {
+	doc, err := xmltree.ParseWith(src, xmltree.Options{ExternalDTD: p.DTD})
+	if err != nil {
+		return nil, err
+	}
+	return p.validator.Validate(doc), nil
+}
+
+// Query runs a path query (see the pathquery syntax) translated to SQL
+// over the ER-mapped store.
+func (p *Pipeline) Query(path string) (*Rows, error) {
+	return pathquery.Run(p.DB, p.translator, path)
+}
+
+// TranslatePath returns the SQL statements a path query translates to,
+// without executing them.
+func (p *Pipeline) TranslatePath(path string) ([]string, error) {
+	q, err := pathquery.Parse(path)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := p.translator.Translate(q)
+	if err != nil {
+		return nil, err
+	}
+	return tr.SQLs, nil
+}
+
+// SQL runs a raw SQL statement against the store.
+func (p *Pipeline) SQL(stmt string) (*Rows, error) {
+	_, rows, err := p.DB.Exec(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if rows == nil {
+		rows = &Rows{}
+	}
+	return rows, nil
+}
+
+// Reconstruct rebuilds one loaded document from its relational form and
+// returns its XML text.
+func (p *Pipeline) Reconstruct(docID int64) (string, error) {
+	doc, err := p.recon.Document(docID)
+	if err != nil {
+		return "", err
+	}
+	return doc.Render(xmltree.WriteOptions{}), nil
+}
+
+// DocumentIDs lists the loaded documents.
+func (p *Pipeline) DocumentIDs() ([]int64, error) { return p.recon.DocumentIDs() }
+
+// ConvertedDTD renders the steps-1..3 output in the paper's Example 2
+// notation.
+func (p *Pipeline) ConvertedDTD() string { return p.Result.Converted.String() }
+
+// ERInventory renders the ER diagram (Figure 2) as a stable text
+// inventory.
+func (p *Pipeline) ERInventory() string { return p.Result.Model.Inventory() }
+
+// ERDot renders the ER diagram as Graphviz DOT.
+func (p *Pipeline) ERDot() string { return p.Result.Model.DOT() }
+
+// DDL renders the generated relational schema.
+func (p *Pipeline) DDL() string { return p.Mapping.Schema.DDL() }
+
+// Stats summarizes the store.
+type Stats struct {
+	// Tables and Rows count schema objects and stored tuples.
+	Tables, Rows int
+	// Bytes approximates the storage footprint.
+	Bytes int
+}
+
+// Stats returns store statistics.
+func (p *Pipeline) Stats() Stats {
+	return Stats{
+		Tables: len(p.DB.TableNames()),
+		Rows:   p.DB.TotalRows(),
+		Bytes:  p.DB.ApproxBytes(),
+	}
+}
+
+// VerifyRoundTrip reloads the given XML text, reconstructs it from the
+// store and checks equivalence — the E7 fidelity experiment as a single
+// call.
+func (p *Pipeline) VerifyRoundTrip(src, name string) error {
+	doc, err := xmltree.ParseWith(src, xmltree.Options{ExternalDTD: p.DTD})
+	if err != nil {
+		return err
+	}
+	st, err := p.loader.LoadDocument(doc, name)
+	if err != nil {
+		return err
+	}
+	return p.recon.Verify(st.DocID, doc)
+}
