@@ -1,0 +1,29 @@
+# Verify flow: `make check` is what CI (and a pre-commit run) should
+# execute — vet, build, the full test suite, and the race detector over
+# the two packages with real concurrency (engine locking, corpus loader).
+
+GO ?= go
+
+.PHONY: build test vet race check bench bench-parallel
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/engine/... ./internal/shred/...
+
+check: vet build test race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the E5b parallel-load numbers (EXPERIMENTS.md).
+bench-parallel:
+	$(GO) test -run XXX -bench=ParallelLoad -benchtime=5x .
+	$(GO) run ./cmd/xmlbench -exp e5b

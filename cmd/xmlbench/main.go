@@ -9,6 +9,7 @@
 //	xmlbench -exp e6      # run one
 //	xmlbench -list        # list experiment ids
 //	xmlbench -seed 7      # change the workload seed
+//	xmlbench -exp e5b -workers 4   # parallel-load scaling at one worker count
 package main
 
 import (
@@ -32,8 +33,12 @@ func run(args []string, w io.Writer) error {
 	exp := fs.String("exp", "all", "experiment id (e1..e12) or all")
 	seed := fs.Int64("seed", 1, "workload seed")
 	list := fs.Bool("list", false, "list experiments and exit")
+	workers := fs.Int("workers", 0, "e5b: measure this worker count against the serial baseline (0 = default 1/2/4/8 sweep)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers > 0 {
+		experiments.E5bWorkers = []int{1, *workers}
 	}
 
 	if *list {

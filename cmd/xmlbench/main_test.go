@@ -33,3 +33,22 @@ func TestUnknownExperiment(t *testing.T) {
 		t.Error("unknown experiment should fail")
 	}
 }
+
+func TestParallelLoadExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads a 200-document corpus")
+	}
+	var out strings.Builder
+	if err := run([]string{"-exp", "e5b", "-workers", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "parallel bulk-load scaling") ||
+		!strings.Contains(got, "speedup") {
+		t.Errorf("e5b output:\n%s", got)
+	}
+	// -workers 2 replaces the sweep with {1, 2}: two rows per DTD family.
+	if strings.Contains(got, "\t8\t") {
+		t.Errorf("default sweep ran despite -workers:\n%s", got)
+	}
+}

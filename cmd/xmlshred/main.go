@@ -4,7 +4,7 @@
 // Usage:
 //
 //	xmlshred -dtd schema.dtd [-strategy junction|fold] [-verify]
-//	         [-dump table] doc1.xml [doc2.xml ...]
+//	         [-workers n] [-dump table] doc1.xml [doc2.xml ...]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"text/tabwriter"
 
 	"xmlrdb"
+	"xmlrdb/internal/xmltree"
 )
 
 func main() {
@@ -29,6 +30,7 @@ func run(args []string, w io.Writer) error {
 	dtdPath := fs.String("dtd", "", "DTD file (required)")
 	strategy := fs.String("strategy", "junction", "relational strategy: junction or fold")
 	verify := fs.Bool("verify", false, "reconstruct each document and verify equivalence")
+	workers := fs.Int("workers", 1, "parallel loader workers (>1 enables the bulk-load pipeline; ignored with -verify)")
 	dump := fs.String("dump", "", "print the rows of one table after loading")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,23 +53,47 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	for _, path := range fs.Args() {
-		b, err := os.ReadFile(path)
+	if *workers > 1 && !*verify {
+		// Parallel bulk load: parse every document, then shred the whole
+		// corpus through the concurrent batched loader.
+		docs := make([]*xmltree.Document, 0, fs.NArg())
+		for _, path := range fs.Args() {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			doc, err := p.ParseDocument(string(b))
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			docs = append(docs, doc)
+		}
+		ids, err := p.LoadCorpusNamed(docs, fs.Args(), *workers)
 		if err != nil {
 			return err
 		}
-		if *verify {
-			if err := p.VerifyRoundTrip(string(b), path); err != nil {
+		for i, path := range fs.Args() {
+			fmt.Fprintf(w, "%s: loaded as document %d\n", path, ids[i])
+		}
+	} else {
+		for _, path := range fs.Args() {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			if *verify {
+				if err := p.VerifyRoundTrip(string(b), path); err != nil {
+					return fmt.Errorf("%s: %w", path, err)
+				}
+				fmt.Fprintf(w, "%s: loaded and round-trip verified\n", path)
+				continue
+			}
+			id, err := p.LoadXML(string(b), path)
+			if err != nil {
 				return fmt.Errorf("%s: %w", path, err)
 			}
-			fmt.Fprintf(w, "%s: loaded and round-trip verified\n", path)
-			continue
+			fmt.Fprintf(w, "%s: loaded as document %d\n", path, id)
 		}
-		id, err := p.LoadXML(string(b), path)
-		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-		fmt.Fprintf(w, "%s: loaded as document %d\n", path, id)
 	}
 	st := p.Stats()
 	fmt.Fprintf(w, "store: %d tables, %d rows, ~%d bytes\n", st.Tables, st.Rows, st.Bytes)

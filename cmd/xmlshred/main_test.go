@@ -48,3 +48,22 @@ func TestShredErrors(t *testing.T) {
 		t.Error("missing document should fail")
 	}
 }
+
+func TestShredParallelWorkers(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-dtd", "../../testdata/bib.dtd", "-workers", "4",
+		"../../testdata/book.xml", "../../testdata/article.xml",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "book.xml: loaded as document") ||
+		!strings.Contains(got, "article.xml: loaded as document") {
+		t.Errorf("per-file load lines missing:\n%s", got)
+	}
+	if !strings.Contains(got, "e_author") {
+		t.Errorf("table summary missing:\n%s", got)
+	}
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"xmlrdb/internal/rel"
@@ -18,8 +19,13 @@ var (
 	ErrConstraint = errors.New("engine: constraint violation")
 )
 
-// DB is an in-memory relational database. It is safe for concurrent use:
-// reads take a shared lock, writes an exclusive one.
+// DB is an in-memory relational database. It is safe for concurrent
+// use, with two locking tiers: db.mu guards the catalog (the table map,
+// creation order, and the FK-enforcement flag) and is held exclusively
+// for DDL; row operations hold it shared and take the per-table locks
+// of the tables they touch, so writers to different tables proceed in
+// parallel. Multi-table operations acquire their per-table locks in
+// sorted name order, which makes deadlock impossible.
 type DB struct {
 	mu        sync.RWMutex
 	tables    map[string]*table
@@ -28,6 +34,8 @@ type DB struct {
 }
 
 type table struct {
+	// mu guards rows, indexes and ordered; def is immutable after DDL.
+	mu      sync.RWMutex
 	def     *rel.Table
 	rows    [][]any
 	indexes map[string]*index
@@ -170,11 +178,7 @@ func (t *table) addIndex(name string, colNames []string, unique bool) error {
 }
 
 func (ix *index) keyOf(row []any) string {
-	vals := make([]any, len(ix.cols))
-	for i, c := range ix.cols {
-		vals[i] = row[c]
-	}
-	return encodeKey(vals)
+	return encodeKeyCols(row, ix.cols)
 }
 
 // findIndex returns an index whose columns are exactly cols (order
@@ -198,19 +202,88 @@ func (t *table) findIndex(cols []int) *index {
 	return nil
 }
 
+// lockRows acquires per-table row locks — write locks for the tables
+// named in writes, read locks for those in reads — in sorted name
+// order, so concurrent operations over overlapping table sets never
+// deadlock. A table appearing in both sets is write-locked once;
+// unknown names are skipped (the caller reports them). The caller must
+// hold db.mu (shared or exclusive) and call the returned function to
+// release.
+func (db *DB) lockRows(writes, reads []string) func() {
+	type tlock struct {
+		name  string
+		t     *table
+		write bool
+	}
+	set := make(map[string]*tlock, len(writes)+len(reads))
+	for _, n := range writes {
+		if t := db.tables[n]; t != nil {
+			set[n] = &tlock{name: n, t: t, write: true}
+		}
+	}
+	for _, n := range reads {
+		if set[n] != nil {
+			continue
+		}
+		if t := db.tables[n]; t != nil {
+			set[n] = &tlock{name: n, t: t}
+		}
+	}
+	locks := make([]*tlock, 0, len(set))
+	for _, l := range set {
+		locks = append(locks, l)
+	}
+	sort.Slice(locks, func(i, j int) bool { return locks[i].name < locks[j].name })
+	for _, l := range locks {
+		if l.write {
+			l.t.mu.Lock()
+		} else {
+			l.t.mu.RLock()
+		}
+	}
+	return func() {
+		for i := len(locks) - 1; i >= 0; i-- {
+			if locks[i].write {
+				locks[i].t.mu.Unlock()
+			} else {
+				locks[i].t.mu.RUnlock()
+			}
+		}
+	}
+}
+
+// fkReads returns the tables an insert into t must read-lock for
+// foreign-key checks (none when enforcement is off).
+func (db *DB) fkReads(t *table) []string {
+	if !db.enforceFK || len(t.def.ForeignKeys) == 0 {
+		return nil
+	}
+	reads := make([]string, 0, len(t.def.ForeignKeys))
+	for _, fk := range t.def.ForeignKeys {
+		reads = append(reads, fk.RefTable)
+	}
+	return reads
+}
+
 // Insert appends one row given in column order, enforcing constraints.
 // It returns the row position.
 func (db *DB) Insert(tableName string, row []any) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t := db.tables[tableName]
+	if t == nil {
+		return 0, fmt.Errorf("%w: %q", ErrNoTable, tableName)
+	}
+	unlock := db.lockRows([]string{tableName}, db.fkReads(t))
+	defer unlock()
 	return db.insertLocked(tableName, row)
 }
 
 // InsertMap appends one row given as a column->value map; omitted
 // columns are NULL.
 func (db *DB) InsertMap(tableName string, vals map[string]any) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t := db.tables[tableName]
 	if t == nil {
 		return 0, fmt.Errorf("%w: %q", ErrNoTable, tableName)
@@ -223,42 +296,108 @@ func (db *DB) InsertMap(tableName string, vals map[string]any) (int, error) {
 		}
 		row[pos] = v
 	}
+	unlock := db.lockRows([]string{tableName}, db.fkReads(t))
+	defer unlock()
 	return db.insertLocked(tableName, row)
 }
 
-func (db *DB) insertLocked(tableName string, row []any) (int, error) {
+// InsertBatch appends many rows (in column order) under a single lock
+// acquisition. The batch is atomic: on any error no row is kept and all
+// index state is restored. Rows are applied in order, so a row may
+// satisfy the foreign keys of later rows in the same batch; within one
+// table, parents must precede their children. It returns the number of
+// rows inserted (len(rows) on success).
+func (db *DB) InsertBatch(tableName string, rows [][]any) (int, error) {
+	if len(rows) == 0 {
+		return 0, nil
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t := db.tables[tableName]
 	if t == nil {
 		return 0, fmt.Errorf("%w: %q", ErrNoTable, tableName)
 	}
+	// Coerce and validate every row before taking row locks: a doomed
+	// batch does no work under contention.
+	staged := make([][]any, len(rows))
+	for i, row := range rows {
+		s, err := coerceRow(t, tableName, row)
+		if err != nil {
+			return 0, fmt.Errorf("engine: batch row %d: %w", i, err)
+		}
+		staged[i] = s
+	}
+	unlock := db.lockRows([]string{tableName}, db.fkReads(t))
+	defer unlock()
+	start := len(t.rows)
+	for i, s := range staged {
+		if _, err := db.applyRowLocked(t, tableName, s); err != nil {
+			db.rollbackToLocked(t, start)
+			return 0, fmt.Errorf("engine: batch row %d: %w", i, err)
+		}
+	}
+	return len(staged), nil
+}
+
+// rollbackToLocked removes the rows appended at or after start together
+// with their index entries; the table's write lock must be held.
+func (db *DB) rollbackToLocked(t *table, start int) {
+	for pos := len(t.rows) - 1; pos >= start; pos-- {
+		row := t.rows[pos]
+		for _, ix := range t.indexes {
+			key := ix.keyOf(row)
+			ix.m[key] = removeInt(ix.m[key], pos)
+			if len(ix.m[key]) == 0 {
+				delete(ix.m, key)
+			}
+		}
+	}
+	t.rows = t.rows[:start]
+	t.markOrderedDirty()
+}
+
+// coerceRow converts one row to the table's column types and checks
+// width and NOT NULL; it touches only the immutable table definition,
+// so no locks are required.
+func coerceRow(t *table, tableName string, row []any) ([]any, error) {
 	if len(row) != len(t.def.Columns) {
-		return 0, fmt.Errorf("engine: table %q expects %d values, got %d",
+		return nil, fmt.Errorf("engine: table %q expects %d values, got %d",
 			tableName, len(t.def.Columns), len(row))
 	}
 	stored := make([]any, len(row))
 	for i, v := range row {
 		cv, err := coerce(v, t.def.Columns[i].Type)
 		if err != nil {
-			return 0, fmt.Errorf("column %q: %w", t.def.Columns[i].Name, err)
+			return nil, fmt.Errorf("column %q: %w", t.def.Columns[i].Name, err)
 		}
 		if cv == nil && t.def.Columns[i].NotNull {
-			return 0, fmt.Errorf("%w: column %s.%s is NOT NULL",
+			return nil, fmt.Errorf("%w: column %s.%s is NOT NULL",
 				ErrConstraint, tableName, t.def.Columns[i].Name)
 		}
 		stored[i] = cv
 	}
-	// Unique checks.
+	return stored, nil
+}
+
+// applyRowLocked runs the unique and foreign-key checks and appends an
+// already-coerced row with its index entries. The table's write lock
+// and read locks on its FK-referenced tables must be held. Each index
+// key is encoded once and reused for both the unique check and the
+// index append.
+func (db *DB) applyRowLocked(t *table, tableName string, stored []any) (int, error) {
+	type ixEntry struct {
+		ix  *index
+		key string
+	}
+	keys := make([]ixEntry, 0, len(t.indexes))
 	for _, ix := range t.indexes {
-		if !ix.unique {
-			continue
-		}
 		key := ix.keyOf(stored)
-		if len(ix.m[key]) > 0 {
+		if ix.unique && len(ix.m[key]) > 0 {
 			return 0, fmt.Errorf("%w: duplicate key in %s (index %s)",
 				ErrConstraint, tableName, ix.name)
 		}
+		keys = append(keys, ixEntry{ix, key})
 	}
-	// Foreign keys.
 	if db.enforceFK {
 		for _, fk := range t.def.ForeignKeys {
 			if err := db.checkFKLocked(t, stored, fk); err != nil {
@@ -268,12 +407,23 @@ func (db *DB) insertLocked(tableName string, row []any) (int, error) {
 	}
 	pos := len(t.rows)
 	t.rows = append(t.rows, stored)
-	for _, ix := range t.indexes {
-		key := ix.keyOf(stored)
-		ix.m[key] = append(ix.m[key], pos)
+	for _, e := range keys {
+		e.ix.m[e.key] = append(e.ix.m[e.key], pos)
 	}
 	t.markOrderedDirty()
 	return pos, nil
+}
+
+func (db *DB) insertLocked(tableName string, row []any) (int, error) {
+	t := db.tables[tableName]
+	if t == nil {
+		return 0, fmt.Errorf("%w: %q", ErrNoTable, tableName)
+	}
+	stored, err := coerceRow(t, tableName, row)
+	if err != nil {
+		return 0, err
+	}
+	return db.applyRowLocked(t, tableName, stored)
 }
 
 func (db *DB) checkFKLocked(t *table, row []any, fk rel.ForeignKey) error {
@@ -331,6 +481,8 @@ func (db *DB) checkFKLocked(t *table, row []any, fk rel.ForeignKey) error {
 func (db *DB) CheckAllFKs() error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	unlock := db.lockRows(nil, db.order)
+	defer unlock()
 	for _, name := range db.order {
 		t := db.tables[name]
 		for _, fk := range t.def.ForeignKeys {
@@ -372,6 +524,8 @@ func (db *DB) RowCount(name string) int {
 	if t == nil {
 		return 0
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	n := 0
 	for _, r := range t.rows {
 		if r != nil {
@@ -394,6 +548,8 @@ func (db *DB) TotalRows() int {
 func (db *DB) ApproxBytes() int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	unlock := db.lockRows(nil, db.order)
+	defer unlock()
 	total := 0
 	for _, t := range db.tables {
 		for _, row := range t.rows {
@@ -526,12 +682,14 @@ func (db *DB) ExecStmt(st sqldb.Stmt) (Result, *Rows, error) {
 }
 
 func (db *DB) execInsert(ins *sqldb.Insert) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t := db.tables[ins.Table]
 	if t == nil {
 		return 0, fmt.Errorf("%w: %q", ErrNoTable, ins.Table)
 	}
+	unlock := db.lockRows([]string{ins.Table}, db.fkReads(t))
+	defer unlock()
 	colPos := make([]int, 0, len(ins.Columns))
 	if len(ins.Columns) == 0 {
 		for i := range t.def.Columns {
@@ -568,12 +726,14 @@ func (db *DB) execInsert(ins *sqldb.Insert) (int, error) {
 }
 
 func (db *DB) execUpdate(up *sqldb.Update) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t := db.tables[up.Table]
 	if t == nil {
 		return 0, fmt.Errorf("%w: %q", ErrNoTable, up.Table)
 	}
+	unlock := db.lockRows([]string{up.Table}, nil)
+	defer unlock()
 	env := newSingleTableEnv(t, up.Table)
 	changed := 0
 	for pos, row := range t.rows {
@@ -609,7 +769,13 @@ func (db *DB) execUpdate(up *sqldb.Update) (int, error) {
 			}
 			newRow[cp] = cv
 		}
-		// Reindex: remove old keys, check uniques, add new keys.
+		// Reindex: check uniques first, then swap keys, encoding each
+		// key exactly once.
+		type rekey struct {
+			ix             *index
+			oldKey, newKey string
+		}
+		var rekeys []rekey
 		for _, ix := range t.indexes {
 			oldKey := ix.keyOf(row)
 			newKey := ix.keyOf(newRow)
@@ -619,15 +785,11 @@ func (db *DB) execUpdate(up *sqldb.Update) (int, error) {
 			if ix.unique && len(ix.m[newKey]) > 0 {
 				return changed, fmt.Errorf("%w: duplicate key in %s (index %s)", ErrConstraint, up.Table, ix.name)
 			}
+			rekeys = append(rekeys, rekey{ix, oldKey, newKey})
 		}
-		for _, ix := range t.indexes {
-			oldKey := ix.keyOf(row)
-			newKey := ix.keyOf(newRow)
-			if oldKey == newKey {
-				continue
-			}
-			ix.m[oldKey] = removeInt(ix.m[oldKey], pos)
-			ix.m[newKey] = append(ix.m[newKey], pos)
+		for _, rk := range rekeys {
+			rk.ix.m[rk.oldKey] = removeInt(rk.ix.m[rk.oldKey], pos)
+			rk.ix.m[rk.newKey] = append(rk.ix.m[rk.newKey], pos)
 		}
 		t.rows[pos] = newRow
 		t.markOrderedDirty()
@@ -637,12 +799,14 @@ func (db *DB) execUpdate(up *sqldb.Update) (int, error) {
 }
 
 func (db *DB) execDelete(del *sqldb.Delete) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t := db.tables[del.Table]
 	if t == nil {
 		return 0, fmt.Errorf("%w: %q", ErrNoTable, del.Table)
 	}
+	unlock := db.lockRows([]string{del.Table}, nil)
+	defer unlock()
 	env := newSingleTableEnv(t, del.Table)
 	deleted := 0
 	for pos, row := range t.rows {
@@ -688,6 +852,8 @@ func (db *DB) ScanTable(name string, fn func(row []any) bool) error {
 	if t == nil {
 		return fmt.Errorf("%w: %q", ErrNoTable, name)
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	for _, row := range t.rows {
 		if row == nil {
 			continue
@@ -716,6 +882,8 @@ func (db *DB) Lookup(tableName string, colNames []string, vals []any) ([][]any, 
 		}
 		cols[i] = pos
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var out [][]any
 	if ix := t.findIndex(cols); ix != nil {
 		for _, pos := range ix.m[encodeKey(vals)] {

@@ -40,6 +40,15 @@ func (db *DB) execSelect(s *sqldb.Select) (*Rows, error) {
 		srcs = append(srcs, source{ref: j.Ref, t: t, on: j.On, left: j.Left})
 	}
 
+	// Row locks on every source table (lockRows dedupes repeated
+	// bindings of the same table).
+	reads := make([]string, 0, len(srcs))
+	for _, src := range srcs {
+		reads = append(reads, src.ref.Table)
+	}
+	unlock := db.lockRows(nil, reads)
+	defer unlock()
+
 	// Build the full environment metadata (all bindings).
 	env := &rowEnv{}
 	offset := 0

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"xmlrdb/internal/sqldb"
 )
@@ -15,8 +16,11 @@ import (
 // range scan rebuilds it from the live rows. That favors the
 // load-then-analyze workloads of the experiment suite.
 type orderedIndex struct {
-	name    string
-	col     int
+	name string
+	col  int
+	// mu serializes lazy rebuilds: scans run under the table's shared
+	// row lock, so two readers may race to rebuild a dirty index.
+	mu      sync.Mutex
 	entries []ordEntry
 	dirty   bool
 }
@@ -90,6 +94,8 @@ type rangeBounds struct {
 
 // scan returns the row positions inside the bounds.
 func (ix *orderedIndex) scan(t *table, b rangeBounds) []int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if ix.dirty {
 		ix.rebuild(t)
 	}
@@ -127,7 +133,9 @@ func (ix *orderedIndex) scan(t *table, b rangeBounds) []int {
 // markOrderedDirty flags every ordered index of the table after a write.
 func (t *table) markOrderedDirty() {
 	for _, ix := range t.ordered {
+		ix.mu.Lock()
 		ix.dirty = true
+		ix.mu.Unlock()
 	}
 }
 

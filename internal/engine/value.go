@@ -164,28 +164,51 @@ func equalVals(a, b any) bool {
 // encodeKey builds a collision-free string key from values, for hash
 // indexes and grouping.
 func encodeKey(vals []any) string {
-	var b strings.Builder
+	buf := make([]byte, 0, 16*len(vals))
 	for _, v := range vals {
-		switch x := v.(type) {
-		case nil:
-			b.WriteString("n;")
-		case int64:
-			b.WriteString("i" + strconv.FormatInt(x, 10) + ";")
-		case float64:
-			b.WriteString("f" + strconv.FormatFloat(x, 'g', -1, 64) + ";")
-		case string:
-			b.WriteString("s" + strconv.Itoa(len(x)) + ":" + x + ";")
-		case bool:
-			if x {
-				b.WriteString("bt;")
-			} else {
-				b.WriteString("bf;")
-			}
-		default:
-			b.WriteString(fmt.Sprintf("?%v;", x))
-		}
+		buf = appendKeyVal(buf, v)
 	}
-	return b.String()
+	return string(buf)
+}
+
+// encodeKeyCols encodes the selected columns of a row directly,
+// avoiding the intermediate value slice encodeKey would need.
+func encodeKeyCols(row []any, cols []int) string {
+	buf := make([]byte, 0, 16*len(cols))
+	for _, c := range cols {
+		buf = appendKeyVal(buf, row[c])
+	}
+	return string(buf)
+}
+
+// appendKeyVal appends one value's key encoding, using the append-style
+// strconv functions so no intermediate strings are allocated.
+func appendKeyVal(buf []byte, v any) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(buf, 'n', ';')
+	case int64:
+		buf = append(buf, 'i')
+		buf = strconv.AppendInt(buf, x, 10)
+		return append(buf, ';')
+	case float64:
+		buf = append(buf, 'f')
+		buf = strconv.AppendFloat(buf, x, 'g', -1, 64)
+		return append(buf, ';')
+	case string:
+		buf = append(buf, 's')
+		buf = strconv.AppendInt(buf, int64(len(x)), 10)
+		buf = append(buf, ':')
+		buf = append(buf, x...)
+		return append(buf, ';')
+	case bool:
+		if x {
+			return append(buf, 'b', 't', ';')
+		}
+		return append(buf, 'b', 'f', ';')
+	default:
+		return append(buf, fmt.Sprintf("?%v;", x)...)
+	}
 }
 
 // truthy interprets a value as a predicate result.

@@ -82,6 +82,7 @@ func All() []Runner {
 		{"e3", "mapping time vs DTD size (Figure-1 pipeline cost)", E3},
 		{"e4", "schema size per mapping (tables / columns / FKs)", E4},
 		{"e5", "loading throughput per mapping", E5},
+		{"e5b", "parallel bulk-load scaling (worker sweep)", E5b},
 		{"e6", "query latency vs path depth per mapping", E6},
 		{"e7", "round-trip fidelity, with and without ordering metadata", E7},
 		{"e8", "reconstruction time vs document size", E8},
@@ -270,6 +271,71 @@ func E5(seed int64) (*Table, error) {
 			t.Rows = append(t.Rows, []string{
 				s.name, m.Name(), fmt.Sprint(len(docs)), fmt.Sprint(rows),
 				elapsed.Round(time.Millisecond).String(), fmt.Sprintf("%.0f", perSec),
+			})
+		}
+	}
+	return t, nil
+}
+
+// E5bWorkers is the worker sweep E5b runs; cmd/xmlbench -workers
+// replaces it with {1, N} to measure one specific count against the
+// serial baseline.
+var E5bWorkers = []int{1, 2, 4, 8}
+
+// E5b measures parallel bulk-load scaling: the §5 loader over the er
+// mapping, one corpus per DTD family, swept across worker counts. Each
+// worker stages a whole document and flushes it as per-table batches,
+// so contention is per-table locks rather than one global mutex.
+func E5b(seed int64) (*Table, error) {
+	t := &Table{
+		ID: "E5b", Title: "parallel bulk-load scaling (er mapping, 200 synthetic documents)",
+		Header: []string{"dtd", "workers", "docs", "rows", "elapsed", "docs/s", "speedup"},
+		Notes: []string{
+			"expected shape: near-linear speedup while workers <= physical cores; staged flushing keeps lock acquisitions per document constant",
+		},
+	}
+	for _, s := range suite(seed)[:2] { // paper + flat-wide keep the sweep affordable
+		docs, err := corpusFor(s.d, 200, seed)
+		if err != nil {
+			return nil, err
+		}
+		var base float64
+		for _, w := range E5bWorkers {
+			res, err := core.Map(s.d)
+			if err != nil {
+				return nil, err
+			}
+			m, err := ermap.Build(res.Model, ermap.Options{})
+			if err != nil {
+				return nil, err
+			}
+			db := engine.Open()
+			if err := db.CreateSchema(m.Schema); err != nil {
+				return nil, err
+			}
+			loader, err := shred.NewLoader(res, m, db)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			sts, err := loader.LoadCorpus(docs, w)
+			if err != nil {
+				return nil, fmt.Errorf("%s/workers=%d: %w", s.name, w, err)
+			}
+			elapsed := time.Since(start)
+			rows := 0
+			for _, st := range sts {
+				rows += st.Elements + st.RelRows + st.RefRows + st.TextChunks
+			}
+			secs := elapsed.Seconds()
+			if base == 0 {
+				base = secs
+			}
+			t.Rows = append(t.Rows, []string{
+				s.name, fmt.Sprint(w), fmt.Sprint(len(docs)), fmt.Sprint(rows),
+				elapsed.Round(time.Millisecond).String(),
+				fmt.Sprintf("%.0f", float64(len(docs))/secs),
+				fmt.Sprintf("%.2fx", base/secs),
 			})
 		}
 	}

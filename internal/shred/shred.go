@@ -14,14 +14,17 @@ package shred
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"xmlrdb/internal/cmodel"
 	"xmlrdb/internal/core"
 	"xmlrdb/internal/dtd"
 	"xmlrdb/internal/er"
 	"xmlrdb/internal/ermap"
+	"xmlrdb/internal/rel"
 	"xmlrdb/internal/xmltree"
 )
 
@@ -35,8 +38,20 @@ type Engine interface {
 	InsertMap(table string, vals map[string]any) (int, error)
 }
 
+// BatchEngine is an Engine that can also apply many rows of one table
+// under a single lock acquisition (satisfied by *engine.DB). LoadCorpus
+// uses it to flush whole documents as per-table batches.
+type BatchEngine interface {
+	Engine
+	// InsertBatch atomically appends rows in column order.
+	InsertBatch(table string, rows [][]any) (int, error)
+}
+
 // Loader shreds documents conforming to one mapped DTD into an engine
-// database. It is safe for concurrent LoadDocument calls.
+// database. It is safe for concurrent use: LoadDocument, LoadStaged and
+// LoadCorpus may be called from multiple goroutines at once — document
+// and per-entity row ids come from atomic counters, and all other
+// loader state is immutable after NewLoader.
 type Loader struct {
 	res     *core.Result
 	mapping *ermap.Mapping
@@ -48,9 +63,14 @@ type Loader struct {
 	refRels   map[string][]*core.Rel
 	distilled map[string]map[string]bool
 
-	mu      sync.Mutex
-	nextID  map[string]int64
-	nextDoc int64
+	// defs and flushOrder drive staged (batched) loading: defs maps
+	// table names to their schemas; flushOrder is a parents-before-
+	// children table order, nil when the FK graph is cyclic.
+	defs       map[string]*rel.Table
+	flushOrder []string
+
+	nextID  map[string]*atomic.Int64
+	nextDoc atomic.Int64
 }
 
 // Stats reports what one document contributed.
@@ -73,8 +93,16 @@ func NewLoader(res *core.Result, m *ermap.Mapping, db Engine) (*Loader, error) {
 		nestedRel: make(map[string]map[string]*core.Rel),
 		refRels:   make(map[string][]*core.Rel),
 		distilled: make(map[string]map[string]bool),
-		nextID:    make(map[string]int64),
+		defs:      make(map[string]*rel.Table, len(m.Schema.Tables)),
+		nextID:    make(map[string]*atomic.Int64, len(m.Entities)),
 	}
+	for name := range m.Entities {
+		l.nextID[name] = new(atomic.Int64)
+	}
+	for _, t := range m.Schema.Tables {
+		l.defs[t.Name] = t
+	}
+	l.flushOrder = flushOrderFor(m.Schema)
 	relByParticle := make(map[*dtd.Particle]*core.Rel)
 	for _, r := range res.Converted.Rels {
 		switch r.Kind {
@@ -116,13 +144,21 @@ func (l *Loader) LoadXML(src, name string) (Stats, error) {
 	return l.LoadDocument(doc, name)
 }
 
-// LoadDocument shreds one parsed document into the database.
+// LoadDocument shreds one parsed document into the database, one row
+// insert at a time.
 func (l *Loader) LoadDocument(doc *xmltree.Document, name string) (Stats, error) {
+	return l.loadVia(l.db, doc, name)
+}
+
+// loadVia shreds one document, writing every row through the given
+// engine (the live database, or a stagedBatch during batched loading).
+func (l *Loader) loadVia(db Engine, doc *xmltree.Document, name string) (Stats, error) {
 	if doc.Root == nil {
 		return Stats{}, fmt.Errorf("shred: document %q has no root element", name)
 	}
 	st := &docState{
 		l:       l,
+		db:      db,
 		ids:     make(map[string][2]any),
 		deriver: cmodel.NewDeriver(func(n string) *dtd.Particle { return l.groupBody[n] }),
 	}
@@ -134,25 +170,106 @@ func (l *Loader) LoadDocument(doc *xmltree.Document, name string) (Stats, error)
 	if err := st.resolveRefs(); err != nil {
 		return Stats{}, fmt.Errorf("shred: document %q: %w", name, err)
 	}
-	if _, err := l.db.Insert("x_docs", []any{st.docID, name, doc.Root.Name, rootID}); err != nil {
+	if _, err := db.Insert("x_docs", []any{st.docID, name, doc.Root.Name, rootID}); err != nil {
 		return Stats{}, err
 	}
 	st.stats.DocID = st.docID
 	return st.stats, nil
 }
 
-func (l *Loader) allocDoc() int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.nextDoc++
-	return l.nextDoc
+// LoadStaged shreds one document into per-table row batches and flushes
+// them through the engine's batch API, so a whole document costs a
+// handful of lock acquisitions instead of one per row. Constraint
+// violations surface at flush time rather than mid-traversal. Falls
+// back to LoadDocument when the engine has no batch support.
+func (l *Loader) LoadStaged(doc *xmltree.Document, name string) (Stats, error) {
+	be, ok := l.db.(BatchEngine)
+	if !ok {
+		return l.LoadDocument(doc, name)
+	}
+	stg := &stagedBatch{defs: l.defs}
+	st, err := l.loadVia(stg, doc, name)
+	if err != nil {
+		return Stats{}, err
+	}
+	if err := stg.flush(be, l.flushOrder); err != nil {
+		return Stats{}, fmt.Errorf("shred: document %q: %w", name, err)
+	}
+	return st, nil
 }
 
+// LoadCorpus shreds many documents concurrently with a pool of workers
+// (workers <= 0 uses GOMAXPROCS). Each worker stages one document at a
+// time and flushes it as per-table batches in parents-before-children
+// order, so the engine's foreign-key enforcement stays on throughout.
+// Document i is registered under the name "doc-i". It returns the
+// per-document stats in input order; on error the corpus may be
+// partially loaded (whole documents only — a document either flushes
+// its batches or contributes nothing past the failed one).
+func (l *Loader) LoadCorpus(docs []*xmltree.Document, workers int) ([]Stats, error) {
+	return l.LoadCorpusNamed(docs, nil, workers)
+}
+
+// LoadCorpusNamed is LoadCorpus with explicit document names; names may
+// be nil or shorter than docs, in which case document i falls back to
+// "doc-i".
+func (l *Loader) LoadCorpusNamed(docs []*xmltree.Document, names []string, workers int) ([]Stats, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(docs) {
+		workers = len(docs)
+	}
+	stats := make([]Stats, len(docs))
+	jobs := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		failed   atomic.Bool
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if failed.Load() {
+					continue
+				}
+				name := fmt.Sprintf("doc-%d", i)
+				if i < len(names) && names[i] != "" {
+					name = names[i]
+				}
+				st, err := l.LoadStaged(docs[i], name)
+				if err != nil {
+					failed.Store(true)
+					errOnce.Do(func() { firstErr = fmt.Errorf("shred: corpus document %d: %w", i, err) })
+					continue
+				}
+				stats[i] = st
+			}
+		}()
+	}
+	for i := range docs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return stats, firstErr
+	}
+	return stats, nil
+}
+
+func (l *Loader) allocDoc() int64 {
+	return l.nextDoc.Add(1)
+}
+
+// allocID returns the next row id of an entity. The counter exists for
+// every entity of the mapping; callers check the entity is mapped
+// before allocating.
 func (l *Loader) allocID(entity string) int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.nextID[entity]++
-	return l.nextID[entity]
+	return l.nextID[entity].Add(1)
 }
 
 // foldLink carries the parent reference stored on a child row when its
@@ -171,6 +288,7 @@ type pendingRef struct {
 
 type docState struct {
 	l       *Loader
+	db      Engine // the live database, or a stagedBatch
 	docID   int64
 	deriver *cmodel.Deriver
 	ids     map[string][2]any // ID value -> {entity name, row id}
@@ -277,7 +395,7 @@ func (st *docState) element(el *xmltree.Node, fold *foldLink) (int64, error) {
 		}
 	}
 
-	if _, err := l.db.InsertMap(em.Table, row); err != nil {
+	if _, err := st.db.InsertMap(em.Table, row); err != nil {
 		return 0, fmt.Errorf("at %s: %w", el.Path(), err)
 	}
 	st.stats.Elements++
@@ -327,7 +445,7 @@ func (st *docState) mixedContent(el *xmltree.Node, parentID int64) error {
 			if c.Data == "" {
 				continue
 			}
-			if _, err := l.db.Insert("x_text", []any{st.docID, el.Name, parentID, ord, c.Data}); err != nil {
+			if _, err := st.db.Insert("x_text", []any{st.docID, el.Name, parentID, ord, c.Data}); err != nil {
 				return err
 			}
 			st.stats.TextChunks++
@@ -449,7 +567,7 @@ func (st *docState) loadChild(rel *core.Rel, parentID int64, child *xmltree.Node
 	if grp != nil {
 		vals["grp"] = grp
 	}
-	if _, err := l.db.InsertMap(rm.Table, vals); err != nil {
+	if _, err := st.db.InsertMap(rm.Table, vals); err != nil {
 		return err
 	}
 	st.stats.RelRows++
@@ -471,7 +589,7 @@ func (st *docState) virtualEntity(rel *core.Rel, entity string, parentID int64, 
 		row["parent"] = parentID
 		row["ord"] = int64(ord)
 	}
-	if _, err := l.db.InsertMap(em.Table, row); err != nil {
+	if _, err := st.db.InsertMap(em.Table, row); err != nil {
 		return 0, err
 	}
 	st.stats.Elements++
@@ -485,7 +603,7 @@ func (st *docState) virtualEntity(rel *core.Rel, entity string, parentID int64, 
 		if grp != nil {
 			vals["grp"] = grp
 		}
-		if _, err := l.db.InsertMap(rm.Table, vals); err != nil {
+		if _, err := st.db.InsertMap(rm.Table, vals); err != nil {
 			return 0, err
 		}
 		st.stats.RelRows++
@@ -527,10 +645,141 @@ func (st *docState) resolveRefs() error {
 			vals["target_type"] = hit[0]
 			vals["target"] = hit[1]
 		}
-		if _, err := l.db.InsertMap(rm.Table, vals); err != nil {
+		if _, err := st.db.InsertMap(rm.Table, vals); err != nil {
 			return err
 		}
 		st.stats.RefRows++
 	}
 	return nil
+}
+
+// stagedBatch is a write-only Engine that buffers a document's rows as
+// runs of consecutive same-table inserts, in exact insert order. It
+// lets one worker shred a whole document without touching the shared
+// database, then flush it as a few large batches.
+type stagedBatch struct {
+	defs map[string]*rel.Table
+	runs []stagedRun
+}
+
+type stagedRun struct {
+	table string
+	rows  [][]any
+}
+
+func (s *stagedBatch) Insert(table string, row []any) (int, error) {
+	def := s.defs[table]
+	if def == nil {
+		return 0, fmt.Errorf("shred: no such table %q", table)
+	}
+	if len(row) != len(def.Columns) {
+		return 0, fmt.Errorf("shred: table %q expects %d values, got %d",
+			table, len(def.Columns), len(row))
+	}
+	s.add(table, row)
+	return 0, nil
+}
+
+func (s *stagedBatch) InsertMap(table string, vals map[string]any) (int, error) {
+	def := s.defs[table]
+	if def == nil {
+		return 0, fmt.Errorf("shred: no such table %q", table)
+	}
+	row := make([]any, len(def.Columns))
+	for k, v := range vals {
+		_, pos := def.Column(k)
+		if pos < 0 {
+			return 0, fmt.Errorf("shred: table %q has no column %q", table, k)
+		}
+		row[pos] = v
+	}
+	s.add(table, row)
+	return 0, nil
+}
+
+func (s *stagedBatch) add(table string, row []any) {
+	if n := len(s.runs); n > 0 && s.runs[n-1].table == table {
+		s.runs[n-1].rows = append(s.runs[n-1].rows, row)
+		return
+	}
+	s.runs = append(s.runs, stagedRun{table: table, rows: [][]any{row}})
+}
+
+// flush applies the staged rows through the batch API. With a
+// parents-before-children table order each table's rows go out as one
+// batch; without one (cyclic FK graph, possible under the fold strategy
+// with mutually recursive element types) the runs are flushed in exact
+// document order, which reproduces the serial loader's semantics.
+func (s *stagedBatch) flush(db BatchEngine, order []string) error {
+	if order == nil {
+		for _, run := range s.runs {
+			if _, err := db.InsertBatch(run.table, run.rows); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	byTable := make(map[string][][]any, len(s.runs))
+	for _, run := range s.runs {
+		byTable[run.table] = append(byTable[run.table], run.rows...)
+	}
+	for _, table := range order {
+		rows := byTable[table]
+		if len(rows) == 0 {
+			continue
+		}
+		if _, err := db.InsertBatch(table, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushOrderFor computes a parents-before-children flush order over the
+// schema: every table appears after the tables its foreign keys
+// reference (self references are fine — within a table, document order
+// already puts parents first). It returns nil when the FK graph is
+// cyclic; staged loads then fall back to flushing runs in document
+// order.
+func flushOrderFor(s *rel.Schema) []string {
+	index := make(map[string]int, len(s.Tables))
+	for i, t := range s.Tables {
+		index[t.Name] = i
+	}
+	indeg := make([]int, len(s.Tables))
+	dependents := make([][]int, len(s.Tables))
+	for i, t := range s.Tables {
+		seen := make(map[int]bool, len(t.ForeignKeys))
+		for _, fk := range t.ForeignKeys {
+			j, ok := index[fk.RefTable]
+			if !ok || j == i || seen[j] {
+				continue
+			}
+			seen[j] = true
+			indeg[i]++
+			dependents[j] = append(dependents[j], i)
+		}
+	}
+	var queue []int
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	order := make([]string, 0, len(s.Tables))
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		order = append(order, s.Tables[i].Name)
+		for _, j := range dependents[i] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				queue = append(queue, j)
+			}
+		}
+	}
+	if len(order) != len(s.Tables) {
+		return nil
+	}
+	return order
 }

@@ -168,6 +168,34 @@ func (p *Pipeline) LoadDocument(doc *xmltree.Document, name string) (int64, erro
 	return st.DocID, nil
 }
 
+// ParseDocument parses XML text against the pipeline's DTD (applying
+// declared attribute defaults) without loading it — the input form
+// LoadCorpus takes.
+func (p *Pipeline) ParseDocument(src string) (*xmltree.Document, error) {
+	return xmltree.ParseWith(src, xmltree.Options{ExternalDTD: p.DTD})
+}
+
+// LoadCorpus shreds many parsed documents concurrently with a pool of
+// workers (<= 0 means GOMAXPROCS), flushing each document as per-table
+// row batches. It returns the assigned document ids in input order.
+func (p *Pipeline) LoadCorpus(docs []*xmltree.Document, workers int) ([]int64, error) {
+	return p.LoadCorpusNamed(docs, nil, workers)
+}
+
+// LoadCorpusNamed is LoadCorpus with explicit document names (nil names
+// fall back to "doc-i").
+func (p *Pipeline) LoadCorpusNamed(docs []*xmltree.Document, names []string, workers int) ([]int64, error) {
+	sts, err := p.loader.LoadCorpusNamed(docs, names, workers)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int64, len(sts))
+	for i, st := range sts {
+		ids[i] = st.DocID
+	}
+	return ids, nil
+}
+
 // Validate checks a document against the DTD and returns all violations
 // (nil means valid). Loading does not require prior validation, but
 // invalid documents fail to shred with less precise errors.
