@@ -1,10 +1,11 @@
 # Verify flow: `make check` is what CI (and a pre-commit run) should
 # execute — vet, build, the full test suite, and the race detector over
-# the two packages with real concurrency (engine locking, corpus loader).
+# the packages with real concurrency (engine locking, corpus loader,
+# metrics counters).
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-parallel
+.PHONY: build test vet race check bench bench-parallel stats-demo
 
 build:
 	$(GO) build ./...
@@ -16,7 +17,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/engine/... ./internal/shred/...
+	$(GO) test -race ./internal/engine/... ./internal/shred/... ./internal/obs/...
 
 check: vet build test race
 
@@ -27,3 +28,10 @@ bench:
 bench-parallel:
 	$(GO) test -run XXX -bench=ParallelLoad -benchtime=5x .
 	$(GO) run ./cmd/xmlbench -exp e5b
+
+# Observability demo: load the testdata corpus with metrics attached,
+# then run the EXPLAIN plan-stats experiment with the -stats report.
+stats-demo:
+	$(GO) run ./cmd/xmlshred -dtd testdata/bib.dtd -stats \
+		testdata/book.xml testdata/article.xml
+	$(GO) run ./cmd/xmlbench -exp e6b -stats

@@ -31,6 +31,7 @@ func run(args []string, w io.Writer) error {
 	out := fs.String("out", "all", "what to print: converted, er, dot, ddl, or all")
 	strategy := fs.String("strategy", "junction", "relational strategy: junction or fold")
 	skipDistill := fs.Bool("skip-distill", false, "disable mapping step 2 (attribute distilling)")
+	stats := fs.Bool("stats", false, "print the pipeline metrics report (schema-build timing) after the output")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,6 +77,9 @@ func run(args []string, w io.Writer) error {
 		section("relational schema", p.DDL())
 	default:
 		return fmt.Errorf("unknown -out %q", *out)
+	}
+	if *stats {
+		fmt.Fprint(w, p.MetricsReport())
 	}
 	return nil
 }

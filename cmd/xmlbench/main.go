@@ -17,8 +17,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"xmlrdb/internal/experiments"
+	"xmlrdb/internal/obs"
 )
 
 func main() {
@@ -34,11 +36,29 @@ func run(args []string, w io.Writer) error {
 	seed := fs.Int64("seed", 1, "workload seed")
 	list := fs.Bool("list", false, "list experiments and exit")
 	workers := fs.Int("workers", 0, "e5b: measure this worker count against the serial baseline (0 = default 1/2/4/8 sweep)")
+	stats := fs.Bool("stats", false, "attach metrics to every experiment and print the final report")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/metrics, /debug/vars and /debug/pprof on this address while running")
+	slowMS := fs.Int("slow-query-ms", 0, "log statements at or above this many milliseconds to stderr (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *workers > 0 {
 		experiments.E5bWorkers = []int{1, *workers}
+	}
+	if *stats || *debugAddr != "" || *slowMS > 0 {
+		experiments.Observe = obs.Default
+		obs.Publish("xmlrdb", obs.Default)
+	}
+	if *slowMS > 0 {
+		experiments.Trace = obs.NewWriterTracer(os.Stderr)
+		experiments.SlowQuery = time.Duration(*slowMS) * time.Millisecond
+	}
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr, obs.Default)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "debug endpoint on http://%s/debug/metrics\n", addr)
 	}
 
 	if *list {
@@ -63,6 +83,9 @@ func run(args []string, w io.Writer) error {
 			return fmt.Errorf("%s: %w", r.ID, err)
 		}
 		fmt.Fprintln(w, tab.String())
+	}
+	if *stats {
+		fmt.Fprint(w, obs.SnapshotDefault().Report())
 	}
 	return nil
 }

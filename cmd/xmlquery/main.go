@@ -14,8 +14,10 @@ import (
 	"io"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"xmlrdb"
+	"xmlrdb/internal/obs"
 )
 
 func main() {
@@ -30,8 +32,10 @@ func run(args []string, out io.Writer) error {
 	dtdPath := fs.String("dtd", "", "DTD file (required)")
 	pathQ := fs.String("q", "", "path query to run")
 	sqlQ := fs.String("sql", "", "raw SQL to run instead of a path query")
-	explain := fs.Bool("explain", false, "print the SQL a path query translates to")
+	explain := fs.Bool("explain", false, "print the generated SQL and plan stats without executing")
 	strategy := fs.String("strategy", "junction", "relational strategy: junction or fold")
+	stats := fs.Bool("stats", false, "print the pipeline metrics report after the query")
+	slowMS := fs.Int("slow-query-ms", 0, "log statements at or above this many milliseconds to stderr (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,6 +57,10 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *slowMS > 0 {
+		p.SetTracer(obs.NewWriterTracer(os.Stderr))
+		p.SetSlowQueryThreshold(time.Duration(*slowMS) * time.Millisecond)
+	}
 	for _, path := range fs.Args() {
 		b, err := os.ReadFile(path)
 		if err != nil {
@@ -63,12 +71,13 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if *explain && *pathQ != "" {
-		sqls, err := p.TranslatePath(*pathQ)
+		report, err := p.ExplainPath(*pathQ)
 		if err != nil {
 			return err
 		}
-		for _, s := range sqls {
-			fmt.Fprintln(out, s, ";")
+		fmt.Fprint(out, report)
+		if *stats {
+			fmt.Fprint(out, p.MetricsReport())
 		}
 		return nil
 	}
@@ -104,5 +113,8 @@ func run(args []string, out io.Writer) error {
 	}
 	w.Flush()
 	fmt.Fprintf(out, "(%d rows)\n", len(rows.Data))
+	if *stats {
+		fmt.Fprint(out, p.MetricsReport())
+	}
 	return nil
 }

@@ -57,3 +57,33 @@ func TestQueryErrors(t *testing.T) {
 		t.Error("missing query should fail")
 	}
 }
+
+func TestQueryExplainPlanStats(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-dtd", "../../testdata/bib.dtd", "-q", "/book/booktitle/text()", "-explain",
+		"../../testdata/book.xml",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "-- plan:") ||
+		!strings.Contains(out.String(), "joins-avoided=2") {
+		t.Errorf("explain plan stats missing:\n%s", out.String())
+	}
+}
+
+func TestQueryStats(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-dtd", "../../testdata/bib.dtd", "-q", "//author", "-stats",
+		"../../testdata/book.xml",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "== metrics ==") ||
+		!strings.Contains(out.String(), "docs=1") {
+		t.Errorf("stats report missing:\n%s", out.String())
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"text/tabwriter"
 
 	"xmlrdb"
+	"xmlrdb/internal/obs"
 	"xmlrdb/internal/xmltree"
 )
 
@@ -32,6 +33,8 @@ func run(args []string, w io.Writer) error {
 	verify := fs.Bool("verify", false, "reconstruct each document and verify equivalence")
 	workers := fs.Int("workers", 1, "parallel loader workers (>1 enables the bulk-load pipeline; ignored with -verify)")
 	dump := fs.String("dump", "", "print the rows of one table after loading")
+	stats := fs.Bool("stats", false, "print the pipeline metrics report after loading")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/metrics, /debug/vars and /debug/pprof on this address while loading")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,6 +55,13 @@ func run(args []string, w io.Writer) error {
 	p, err := xmlrdb.Open(string(dtdText), cfg)
 	if err != nil {
 		return err
+	}
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr, p.Obs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "debug endpoint on http://%s/debug/metrics\n", addr)
 	}
 	if *workers > 1 && !*verify {
 		// Parallel bulk load: parse every document, then shred the whole
@@ -113,6 +123,9 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		printRows(w, rows)
+	}
+	if *stats {
+		fmt.Fprint(w, p.MetricsReport())
 	}
 	return nil
 }

@@ -67,3 +67,32 @@ func TestShredParallelWorkers(t *testing.T) {
 		t.Errorf("table summary missing:\n%s", got)
 	}
 }
+
+func TestShredStats(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-dtd", "../../testdata/bib.dtd", "-stats",
+		"../../testdata/book.xml",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "== metrics ==") ||
+		!strings.Contains(out.String(), "docs=1") {
+		t.Errorf("stats report missing:\n%s", out.String())
+	}
+}
+
+func TestShredDebugAddr(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-dtd", "../../testdata/bib.dtd", "-debug-addr", "127.0.0.1:0",
+		"../../testdata/book.xml",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "debug endpoint on http://") {
+		t.Errorf("debug endpoint line missing:\n%s", out.String())
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"xmlrdb/internal/obs"
 	"xmlrdb/internal/rel"
 	"xmlrdb/internal/sqldb"
 )
@@ -31,6 +33,12 @@ type DB struct {
 	tables    map[string]*table
 	order     []string
 	enforceFK bool
+
+	// obs, tracer and slowQuery are the observability hooks (see
+	// observe.go); all nil/zero by default and set before concurrent use.
+	obs       *obs.Metrics
+	tracer    obs.Tracer
+	slowQuery time.Duration
 }
 
 type table struct {
@@ -40,6 +48,9 @@ type table struct {
 	rows    [][]any
 	indexes map[string]*index
 	ordered map[string]*orderedIndex
+	// obs holds the table's metrics, nil when collection is off; set
+	// under db.mu exclusive, read under db.mu shared.
+	obs *obs.TableMetrics
 }
 
 type index struct {
@@ -76,6 +87,9 @@ func (db *DB) createTableLocked(def *rel.Table) error {
 		return fmt.Errorf("engine: table %q already exists", def.Name)
 	}
 	t := &table{def: def, indexes: make(map[string]*index)}
+	if db.obs != nil {
+		t.obs = db.obs.Table(def.Name)
+	}
 	if len(def.PrimaryKey) > 0 {
 		if err := t.addIndex(def.Name+"_pk", def.PrimaryKey, true); err != nil {
 			return err
@@ -235,10 +249,18 @@ func (db *DB) lockRows(writes, reads []string) func() {
 	}
 	sort.Slice(locks, func(i, j int) bool { return locks[i].name < locks[j].name })
 	for _, l := range locks {
+		var t0 time.Time
+		if l.t.obs != nil {
+			t0 = time.Now()
+		}
 		if l.write {
 			l.t.mu.Lock()
 		} else {
 			l.t.mu.RLock()
+		}
+		if l.t.obs != nil {
+			l.t.obs.LockWaits.Inc()
+			l.t.obs.LockWaitNanos.Add(int64(time.Since(t0)))
 		}
 	}
 	return func() {
@@ -336,6 +358,11 @@ func (db *DB) InsertBatch(tableName string, rows [][]any) (int, error) {
 			return 0, fmt.Errorf("engine: batch row %d: %w", i, err)
 		}
 	}
+	if t.obs != nil {
+		t.obs.Batches.Inc()
+		t.obs.BatchRows.Observe(int64(len(staged)))
+		t.obs.RowsInserted.Add(int64(len(staged)))
+	}
 	return len(staged), nil
 }
 
@@ -423,7 +450,12 @@ func (db *DB) insertLocked(tableName string, row []any) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return db.applyRowLocked(t, tableName, stored)
+	pos, err := db.applyRowLocked(t, tableName, stored)
+	if err == nil && t.obs != nil {
+		t.obs.Inserts.Inc()
+		t.obs.RowsInserted.Inc()
+	}
+	return pos, err
 }
 
 func (db *DB) checkFKLocked(t *table, row []any, fk rel.ForeignKey) error {
@@ -592,7 +624,7 @@ func (db *DB) Exec(sql string) (Result, *Rows, error) {
 	if err != nil {
 		return Result{}, nil, err
 	}
-	return db.ExecStmt(st)
+	return db.execStmtObserved(st, sql)
 }
 
 // Query parses and executes a SELECT, returning its rows.
@@ -636,6 +668,11 @@ func (db *DB) ExecScript(sql string) (Result, *Rows, error) {
 
 // ExecStmt executes a parsed statement.
 func (db *DB) ExecStmt(st sqldb.Stmt) (Result, *Rows, error) {
+	return db.execStmtObserved(st, "")
+}
+
+// dispatchStmt routes a parsed statement to its executor.
+func (db *DB) dispatchStmt(st sqldb.Stmt) (Result, *Rows, error) {
 	switch s := st.(type) {
 	case *sqldb.Select:
 		rows, err := db.execSelect(s)
@@ -886,12 +923,21 @@ func (db *DB) Lookup(tableName string, colNames []string, vals []any) ([][]any, 
 	defer t.mu.RUnlock()
 	var out [][]any
 	if ix := t.findIndex(cols); ix != nil {
-		for _, pos := range ix.m[encodeKey(vals)] {
+		hits := ix.m[encodeKey(vals)]
+		if t.obs != nil {
+			t.obs.IndexHits.Inc()
+			t.obs.RowsScanned.Add(int64(len(hits)))
+		}
+		for _, pos := range hits {
 			if row := t.rows[pos]; row != nil {
 				out = append(out, append([]any(nil), row...))
 			}
 		}
 		return out, nil
+	}
+	if t.obs != nil {
+		t.obs.Scans.Inc()
+		t.obs.RowsScanned.Add(int64(len(t.rows)))
 	}
 	for _, row := range t.rows {
 		if row == nil {

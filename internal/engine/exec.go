@@ -249,6 +249,10 @@ func (db *DB) scanSource(src source, env *rowEnv, preds []sqldb.Expr) ([][]any, 
 		return nil
 	}
 	if fromIndex != nil {
+		if src.t.obs != nil {
+			src.t.obs.IndexHits.Inc()
+			src.t.obs.RowsScanned.Add(int64(len(fromIndex)))
+		}
 		for _, pos := range fromIndex {
 			row := src.t.rows[pos]
 			if row == nil {
@@ -259,6 +263,10 @@ func (db *DB) scanSource(src source, env *rowEnv, preds []sqldb.Expr) ([][]any, 
 			}
 		}
 		return out, nil
+	}
+	if src.t.obs != nil {
+		src.t.obs.Scans.Inc()
+		src.t.obs.RowsScanned.Add(int64(len(candidates)))
 	}
 	for _, row := range candidates {
 		if row == nil {

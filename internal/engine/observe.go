@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"xmlrdb/internal/obs"
+	"xmlrdb/internal/sqldb"
+)
+
+// SetMetrics attaches a metrics hub: per-table counters (inserts,
+// scans, index hits, lock waits) and per-statement execution latency
+// are recorded into it. Attach before issuing concurrent operations; a
+// nil hub (the default) disables collection.
+func (db *DB) SetMetrics(m *obs.Metrics) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.obs = m
+	for name, t := range db.tables {
+		if m != nil {
+			t.obs = m.Table(name)
+		} else {
+			t.obs = nil
+		}
+	}
+}
+
+// SetTracer attaches a tracer for structured events (slow queries).
+// Attach before issuing concurrent operations.
+func (db *DB) SetTracer(t obs.Tracer) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tracer = t
+}
+
+// SetSlowQueryThreshold enables the slow-query log: statements whose
+// execution exceeds d emit a structured event through the tracer (and
+// count in the metrics). Zero disables it (the default). Configure
+// before issuing concurrent operations.
+func (db *DB) SetSlowQueryThreshold(d time.Duration) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.slowQuery = d
+}
+
+// execStmtObserved dispatches one parsed statement, recording latency,
+// statement-kind counters and the slow-query trace when observability
+// is attached. sql is the original text when known (for trace detail).
+func (db *DB) execStmtObserved(st sqldb.Stmt, sql string) (Result, *Rows, error) {
+	if db.obs == nil && db.tracer == nil {
+		return db.dispatchStmt(st)
+	}
+	start := time.Now()
+	res, rows, err := db.dispatchStmt(st)
+	d := time.Since(start)
+	if db.obs != nil {
+		db.obs.ExecLatency.ObserveDuration(d)
+		switch st.(type) {
+		case *sqldb.Select:
+			db.obs.Selects.Inc()
+		case *sqldb.Insert:
+			db.obs.InsertStmts.Inc()
+		case *sqldb.Update:
+			db.obs.Updates.Inc()
+		case *sqldb.Delete:
+			db.obs.Deletes.Inc()
+		default:
+			db.obs.OtherStmts.Inc()
+		}
+	}
+	if thr := db.slowQuery; thr > 0 && d >= thr {
+		if db.obs != nil {
+			db.obs.SlowQueries.Inc()
+		}
+		if db.tracer != nil {
+			detail := sql
+			if detail == "" {
+				detail = fmt.Sprintf("%T", st)
+			}
+			ev := obs.Event{Scope: "engine", Name: "slow-query", Detail: detail, Dur: d}
+			if err != nil {
+				ev.Err = err.Error()
+			}
+			db.tracer.Emit(ev)
+		}
+	}
+	return res, rows, err
+}

@@ -84,6 +84,7 @@ func All() []Runner {
 		{"e5", "loading throughput per mapping", E5},
 		{"e5b", "parallel bulk-load scaling (worker sweep)", E5b},
 		{"e6", "query latency vs path depth per mapping", E6},
+		{"e6b", "EXPLAIN plan stats: joins emitted vs avoided (er mapping)", E6b},
 		{"e7", "round-trip fidelity, with and without ordering metadata", E7},
 		{"e8", "reconstruction time vs document size", E8},
 		{"e9", "joins per query class per mapping ([SHT+99] comparison)", E9},
@@ -243,6 +244,7 @@ func E5(seed int64) (*Table, error) {
 			"expected shape: edge loads fastest per doc (no derivation); er pays content derivation; inline variants write fewest rows",
 		},
 	}
+	before := snap()
 	for _, s := range suite(seed) {
 		docs, err := corpusFor(s.d, 200, seed)
 		if err != nil {
@@ -253,8 +255,8 @@ func E5(seed int64) (*Table, error) {
 			return nil, err
 		}
 		for _, m := range maps {
-			db := engine.Open()
-			if err := db.CreateSchema(m.Schema()); err != nil {
+			db, err := openDB(m.Schema())
+			if err != nil {
 				return nil, err
 			}
 			rows := 0
@@ -274,6 +276,7 @@ func E5(seed int64) (*Table, error) {
 			})
 		}
 	}
+	metricsNote(t, before)
 	return t, nil
 }
 
@@ -294,6 +297,7 @@ func E5b(seed int64) (*Table, error) {
 			"expected shape: near-linear speedup while workers <= physical cores; staged flushing keeps lock acquisitions per document constant",
 		},
 	}
+	before := snap()
 	for _, s := range suite(seed)[:2] { // paper + flat-wide keep the sweep affordable
 		docs, err := corpusFor(s.d, 200, seed)
 		if err != nil {
@@ -309,14 +313,15 @@ func E5b(seed int64) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			db := engine.Open()
-			if err := db.CreateSchema(m.Schema); err != nil {
+			db, err := openDB(m.Schema)
+			if err != nil {
 				return nil, err
 			}
 			loader, err := shred.NewLoader(res, m, db)
 			if err != nil {
 				return nil, err
 			}
+			observeLoader(loader)
 			start := time.Now()
 			sts, err := loader.LoadCorpus(docs, w)
 			if err != nil {
@@ -339,6 +344,12 @@ func E5b(seed int64) (*Table, error) {
 			})
 		}
 	}
+	if Observe != nil {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"metrics: cumulative worker utilization=%.2f (busy/capacity across the sweep)",
+			Observe.Snapshot().WorkerUtilization()))
+	}
+	metricsNote(t, before)
 	return t, nil
 }
 
@@ -396,13 +407,14 @@ func E6(seed int64) (*Table, error) {
 			"expected shape: every mapping's cost grows with depth; edge grows fastest (self-join per step)",
 		},
 	}
+	before := snap()
 	maps, err := baselines.All(d)
 	if err != nil {
 		return nil, err
 	}
 	for _, m := range maps {
-		db := engine.Open()
-		if err := db.CreateSchema(m.Schema()); err != nil {
+		db, err := openDB(m.Schema())
+		if err != nil {
 			return nil, err
 		}
 		for i, doc := range docs {
@@ -445,6 +457,68 @@ func E6(seed int64) (*Table, error) {
 			})
 		}
 	}
+	metricsNote(t, before)
+	return t, nil
+}
+
+// E6b reports the ER translator's EXPLAIN plan statistics per paper
+// query: union arms, joins emitted, and the joins the mapping's step-2
+// attribute distilling avoided by resolving child steps to parent
+// columns instead of relationship chains.
+func E6b(seed int64) (*Table, error) {
+	d := dtd.MustParse(paper.Example1DTD)
+	queries := []string{
+		"/book/booktitle",
+		"/book/booktitle/text()",
+		"/article/title/text()",
+		"/article/author/name",
+		"/article/contactauthor[@authorid]",
+		"//author",
+	}
+	t := &Table{
+		ID: "E6b", Title: "EXPLAIN plan stats (er mapping, paper DTD)",
+		Header: []string{"query", "strategy", "arms", "joins-max", "joins-total", "distilled-steps", "joins-avoided"},
+		Notes: []string{
+			"joins-avoided counts the join predicates each distilled step would have cost under the same strategy without mapping step 2",
+		},
+	}
+	for _, strat := range []struct {
+		name string
+		s    ermap.Strategy
+	}{
+		{"junction", ermap.StrategyJunction},
+		{"fold", ermap.StrategyFoldFK},
+	} {
+		res, err := core.Map(d)
+		if err != nil {
+			return nil, err
+		}
+		m, err := ermap.Build(res.Model, ermap.Options{Strategy: strat.s})
+		if err != nil {
+			return nil, err
+		}
+		tr := pathquery.NewERTranslator(res, m)
+		if Observe != nil || Trace != nil {
+			tr.SetObserver(Observe, Trace)
+		}
+		for _, qs := range queries {
+			q, err := pathquery.Parse(qs)
+			if err != nil {
+				return nil, err
+			}
+			trans, err := tr.Translate(q)
+			if err != nil {
+				t.Rows = append(t.Rows, []string{qs, strat.name, "n/a", "-", "-", "-", "-"})
+				continue
+			}
+			st := trans.Stats
+			t.Rows = append(t.Rows, []string{
+				qs, strat.name, fmt.Sprint(st.Arms), fmt.Sprint(st.JoinsMax),
+				fmt.Sprint(st.JoinsTotal), fmt.Sprint(st.DistilledSteps),
+				fmt.Sprint(st.JoinsAvoided),
+			})
+		}
+	}
 	return t, nil
 }
 
@@ -472,14 +546,15 @@ func E7(seed int64) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			db := engine.Open()
-			if err := db.CreateSchema(m.Schema); err != nil {
+			db, err := openDB(m.Schema)
+			if err != nil {
 				return nil, err
 			}
 			loader, err := shred.NewLoader(res, m, db)
 			if err != nil {
 				return nil, err
 			}
+			observeLoader(loader)
 			recon := reconstruct.New(res, m, db)
 			recon.IgnoreOrdinals = !withOrd
 			equal := 0
@@ -522,14 +597,15 @@ func E8(seed int64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		db := engine.Open()
-		if err := db.CreateSchema(m.Schema); err != nil {
+		db, err := openDB(m.Schema)
+		if err != nil {
 			return nil, err
 		}
 		loader, err := shred.NewLoader(res, m, db)
 		if err != nil {
 			return nil, err
 		}
+		observeLoader(loader)
 		start := time.Now()
 		st, err := loader.LoadDocument(doc, "big")
 		if err != nil {
@@ -673,14 +749,15 @@ func E11(seed int64) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := engine.Open()
-	if err := db.CreateSchema(m.Schema); err != nil {
+	db, err := openDB(m.Schema)
+	if err != nil {
 		return nil, err
 	}
 	loader, err := shred.NewLoader(res, m, db)
 	if err != nil {
 		return nil, err
 	}
+	observeLoader(loader)
 	var b strings.Builder
 	b.WriteString("<net>")
 	const nodes = 20000
@@ -758,8 +835,8 @@ func E12(seed int64) (*Table, error) {
 			return nil, err
 		}
 		for _, m := range maps {
-			db := engine.Open()
-			if err := db.CreateSchema(m.Schema()); err != nil {
+			db, err := openDB(m.Schema())
+			if err != nil {
 				return nil, err
 			}
 			for i, doc := range docs {

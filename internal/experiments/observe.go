@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"xmlrdb/internal/engine"
+	"xmlrdb/internal/obs"
+	"xmlrdb/internal/rel"
+	"xmlrdb/internal/shred"
+)
+
+// Observe, Trace and SlowQuery are the harness's observability hooks:
+// cmd/xmlbench sets them (typically to obs.Default) before running
+// experiments, and every engine and loader the experiments construct is
+// attached to them, so each run's table carries a metrics note
+// alongside its timings. All are nil/zero by default, which keeps the
+// measured hot paths instrumentation-free.
+var (
+	Observe   *obs.Metrics
+	Trace     obs.Tracer
+	SlowQuery time.Duration
+)
+
+// openDB opens an engine with the harness hooks attached and the schema
+// created.
+func openDB(schema *rel.Schema) (*engine.DB, error) {
+	db := engine.Open()
+	if Observe != nil {
+		db.SetMetrics(Observe)
+	}
+	if Trace != nil {
+		db.SetTracer(Trace)
+	}
+	if SlowQuery > 0 {
+		db.SetSlowQueryThreshold(SlowQuery)
+	}
+	if err := db.CreateSchema(schema); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// observeLoader attaches the harness hooks to a loader.
+func observeLoader(l *shred.Loader) *shred.Loader {
+	if Observe != nil || Trace != nil {
+		l.SetObserver(Observe, Trace)
+	}
+	return l
+}
+
+// snap captures the harness hub (zero value when detached), taken
+// before an experiment so metricsNote can report the run's delta.
+func snap() obs.Snapshot {
+	if Observe == nil {
+		return obs.Snapshot{}
+	}
+	return Observe.Snapshot()
+}
+
+// tableTotals sums the per-table counters of a snapshot.
+func tableTotals(s obs.Snapshot) (rows, lockWaits int64) {
+	for _, t := range s.Tables {
+		rows += t.RowsInserted
+		lockWaits += t.LockWaits
+	}
+	return
+}
+
+// metricsNote appends the run's metric deltas to the table when the
+// harness hooks are attached (cmd/xmlbench -stats).
+func metricsNote(t *Table, before obs.Snapshot) {
+	if Observe == nil {
+		return
+	}
+	after := Observe.Snapshot()
+	ra, la := tableTotals(after)
+	rb, lb := tableTotals(before)
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"metrics: rows-inserted=%d lock-waits=%d selects=%d docs-loaded=%d docs-failed=%d joins-emitted=%d joins-avoided=%d",
+		ra-rb, la-lb,
+		after.Engine.Selects-before.Engine.Selects,
+		after.Load.DocsLoaded-before.Load.DocsLoaded,
+		after.Load.DocsFailed-before.Load.DocsFailed,
+		after.Query.JoinsEmitted-before.Query.JoinsEmitted,
+		after.Query.JoinsAvoided-before.Query.JoinsAvoided))
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+var publishMu sync.Mutex
+var published = map[string]bool{}
+
+// Publish registers the hub under name as an expvar variable (a JSON
+// snapshot recomputed on read). Repeated calls with the same name are
+// no-ops, so CLIs can publish unconditionally.
+func Publish(name string, m *Metrics) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if published[name] {
+		return
+	}
+	published[name] = true
+	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+}
+
+// DebugMux returns an HTTP mux exposing the hub: /debug/metrics (JSON
+// snapshot), /debug/vars (expvar), and the /debug/pprof profiling
+// endpoints.
+func DebugMux(m *Metrics) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(m.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts the debug endpoint on addr in a background
+// goroutine and returns the bound address (useful with ":0"). The
+// server lives until the process exits.
+func ServeDebug(addr string, m *Metrics) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: DebugMux(m)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"text/tabwriter"
+)
+
+// TableMetrics is the per-table accounting of the engine's hot paths.
+// All fields are atomic; the engine caches a pointer per table so a row
+// operation never performs a map lookup.
+type TableMetrics struct {
+	// RowsInserted counts rows appended (single inserts and batches).
+	RowsInserted Counter
+	// Inserts counts single-row insert operations.
+	Inserts Counter
+	// Batches counts InsertBatch calls; BatchRows is their size
+	// distribution.
+	Batches   Counter
+	BatchRows Histogram
+	// Scans counts full-table scans; IndexHits counts index-assisted
+	// lookups that avoided one.
+	Scans     Counter
+	IndexHits Counter
+	// RowsScanned counts rows visited by scans and index probes.
+	RowsScanned Counter
+	// LockWaits counts row-lock acquisitions; LockWaitNanos is the total
+	// time spent waiting for them.
+	LockWaits     Counter
+	LockWaitNanos Counter
+}
+
+// TableSnapshot is the point-in-time view of one table's metrics.
+type TableSnapshot struct {
+	RowsInserted  int64        `json:"rows_inserted"`
+	Inserts       int64        `json:"inserts"`
+	Batches       int64        `json:"batches"`
+	BatchRows     HistSnapshot `json:"batch_rows"`
+	Scans         int64        `json:"scans"`
+	IndexHits     int64        `json:"index_hits"`
+	RowsScanned   int64        `json:"rows_scanned"`
+	LockWaits     int64        `json:"lock_waits"`
+	LockWaitNanos int64        `json:"lock_wait_nanos"`
+}
+
+// Metrics is the engine-wide metrics hub. One instance is shared by a
+// pipeline's engine, loader, translator and reconstructor; independent
+// pipelines (or tests needing exact counts) create their own with New.
+type Metrics struct {
+	mu     sync.RWMutex
+	tables map[string]*TableMetrics
+
+	// Engine: per-statement execution.
+	Selects     Counter
+	InsertStmts Counter
+	Updates     Counter
+	Deletes     Counter
+	OtherStmts  Counter
+	ExecLatency Histogram
+	SlowQueries Counter
+
+	// Shred: document loading.
+	DocsLoaded     Counter
+	DocsFailed     Counter
+	ShredLatency   Histogram
+	DocRows        Histogram
+	FlushFallbacks Counter
+	CorpusRuns     Counter
+	WorkerBusy     Counter // nanoseconds workers spent shredding, summed
+	WorkerCapacity Counter // workers × corpus wall-clock, nanoseconds
+
+	// Pathquery: translation.
+	Translations     Counter
+	TranslateLatency Histogram
+	ChainsExpanded   Counter
+	JoinsEmitted     Counter
+	JoinsAvoided     Counter
+	DistilledHits    Counter
+
+	// Reconstruct.
+	ReconDocs    Counter
+	ReconLatency Histogram
+
+	// Pipeline: schema construction.
+	SchemaBuilds       Counter
+	SchemaBuildLatency Histogram
+}
+
+// New returns an empty metrics hub.
+func New() *Metrics {
+	return &Metrics{tables: make(map[string]*TableMetrics)}
+}
+
+// Default is the process-wide metrics hub the CLIs publish; libraries
+// attach explicit instances instead.
+var Default = New()
+
+// Table returns the per-table metrics for name, creating them on first
+// use. Callers on hot paths should cache the returned pointer.
+func (m *Metrics) Table(name string) *TableMetrics {
+	m.mu.RLock()
+	t := m.tables[name]
+	m.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t = m.tables[name]; t == nil {
+		t = &TableMetrics{}
+		m.tables[name] = t
+	}
+	return t
+}
+
+// Snapshot is the typed point-in-time view of a Metrics hub.
+type Snapshot struct {
+	Engine struct {
+		Selects     int64        `json:"selects"`
+		InsertStmts int64        `json:"insert_stmts"`
+		Updates     int64        `json:"updates"`
+		Deletes     int64        `json:"deletes"`
+		OtherStmts  int64        `json:"other_stmts"`
+		ExecLatency HistSnapshot `json:"exec_latency"`
+		SlowQueries int64        `json:"slow_queries"`
+	} `json:"engine"`
+	Tables map[string]TableSnapshot `json:"tables,omitempty"`
+	Load   struct {
+		DocsLoaded     int64        `json:"docs_loaded"`
+		DocsFailed     int64        `json:"docs_failed"`
+		ShredLatency   HistSnapshot `json:"shred_latency"`
+		DocRows        HistSnapshot `json:"doc_rows"`
+		FlushFallbacks int64        `json:"flush_fallbacks"`
+		CorpusRuns     int64        `json:"corpus_runs"`
+		WorkerBusy     int64        `json:"worker_busy_nanos"`
+		WorkerCapacity int64        `json:"worker_capacity_nanos"`
+	} `json:"load"`
+	Query struct {
+		Translations     int64        `json:"translations"`
+		TranslateLatency HistSnapshot `json:"translate_latency"`
+		ChainsExpanded   int64        `json:"chains_expanded"`
+		JoinsEmitted     int64        `json:"joins_emitted"`
+		JoinsAvoided     int64        `json:"joins_avoided"`
+		DistilledHits    int64        `json:"distilled_hits"`
+	} `json:"query"`
+	Reconstruct struct {
+		Docs    int64        `json:"docs"`
+		Latency HistSnapshot `json:"latency"`
+	} `json:"reconstruct"`
+	Schema struct {
+		Builds  int64        `json:"builds"`
+		Latency HistSnapshot `json:"latency"`
+	} `json:"schema"`
+}
+
+// Snapshot captures the hub's current state.
+func (m *Metrics) Snapshot() Snapshot {
+	var s Snapshot
+	s.Engine.Selects = m.Selects.Load()
+	s.Engine.InsertStmts = m.InsertStmts.Load()
+	s.Engine.Updates = m.Updates.Load()
+	s.Engine.Deletes = m.Deletes.Load()
+	s.Engine.OtherStmts = m.OtherStmts.Load()
+	s.Engine.ExecLatency = m.ExecLatency.Snapshot()
+	s.Engine.SlowQueries = m.SlowQueries.Load()
+
+	m.mu.RLock()
+	if len(m.tables) > 0 {
+		s.Tables = make(map[string]TableSnapshot, len(m.tables))
+		for name, t := range m.tables {
+			s.Tables[name] = TableSnapshot{
+				RowsInserted:  t.RowsInserted.Load(),
+				Inserts:       t.Inserts.Load(),
+				Batches:       t.Batches.Load(),
+				BatchRows:     t.BatchRows.Snapshot(),
+				Scans:         t.Scans.Load(),
+				IndexHits:     t.IndexHits.Load(),
+				RowsScanned:   t.RowsScanned.Load(),
+				LockWaits:     t.LockWaits.Load(),
+				LockWaitNanos: t.LockWaitNanos.Load(),
+			}
+		}
+	}
+	m.mu.RUnlock()
+
+	s.Load.DocsLoaded = m.DocsLoaded.Load()
+	s.Load.DocsFailed = m.DocsFailed.Load()
+	s.Load.ShredLatency = m.ShredLatency.Snapshot()
+	s.Load.DocRows = m.DocRows.Snapshot()
+	s.Load.FlushFallbacks = m.FlushFallbacks.Load()
+	s.Load.CorpusRuns = m.CorpusRuns.Load()
+	s.Load.WorkerBusy = m.WorkerBusy.Load()
+	s.Load.WorkerCapacity = m.WorkerCapacity.Load()
+
+	s.Query.Translations = m.Translations.Load()
+	s.Query.TranslateLatency = m.TranslateLatency.Snapshot()
+	s.Query.ChainsExpanded = m.ChainsExpanded.Load()
+	s.Query.JoinsEmitted = m.JoinsEmitted.Load()
+	s.Query.JoinsAvoided = m.JoinsAvoided.Load()
+	s.Query.DistilledHits = m.DistilledHits.Load()
+
+	s.Reconstruct.Docs = m.ReconDocs.Load()
+	s.Reconstruct.Latency = m.ReconLatency.Snapshot()
+
+	s.Schema.Builds = m.SchemaBuilds.Load()
+	s.Schema.Latency = m.SchemaBuildLatency.Snapshot()
+	return s
+}
+
+// SnapshotDefault captures the process-wide Default hub.
+func SnapshotDefault() Snapshot { return Default.Snapshot() }
+
+// WorkerUtilization returns the fraction of corpus worker capacity
+// (workers × wall-clock) spent shredding (0 with no corpus runs).
+func (s Snapshot) WorkerUtilization() float64 {
+	if s.Load.WorkerCapacity == 0 {
+		return 0
+	}
+	return float64(s.Load.WorkerBusy) / float64(s.Load.WorkerCapacity)
+}
+
+// Report renders the snapshot as the human-readable -stats dump.
+func (s Snapshot) Report() string {
+	var b strings.Builder
+	b.WriteString("== metrics ==\n")
+	fmt.Fprintf(&b, "engine: selects=%d inserts=%d updates=%d deletes=%d other=%d slow=%d\n",
+		s.Engine.Selects, s.Engine.InsertStmts, s.Engine.Updates,
+		s.Engine.Deletes, s.Engine.OtherStmts, s.Engine.SlowQueries)
+	fmt.Fprintf(&b, "engine: exec latency %s\n", s.Engine.ExecLatency.DurSummary())
+	if len(s.Tables) > 0 {
+		names := make([]string, 0, len(s.Tables))
+		for n := range s.Tables {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "table\trows-in\tbatches\tscans\tindex-hits\trows-scanned\tlock-waits\tlock-wait")
+		for _, n := range names {
+			t := s.Tables[n]
+			if t.RowsInserted == 0 && t.Scans == 0 && t.IndexHits == 0 && t.LockWaits == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+				n, t.RowsInserted, t.Batches, t.Scans, t.IndexHits,
+				t.RowsScanned, t.LockWaits, durString(t.LockWaitNanos))
+		}
+		w.Flush()
+	}
+	if s.Load.DocsLoaded > 0 || s.Load.DocsFailed > 0 {
+		fmt.Fprintf(&b, "load: docs=%d failed=%d flush-fallbacks=%d\n",
+			s.Load.DocsLoaded, s.Load.DocsFailed, s.Load.FlushFallbacks)
+		fmt.Fprintf(&b, "load: shred latency %s\n", s.Load.ShredLatency.DurSummary())
+		fmt.Fprintf(&b, "load: rows per document %s\n", s.Load.DocRows.SizeSummary())
+		if s.Load.CorpusRuns > 0 {
+			fmt.Fprintf(&b, "load: corpus runs=%d worker utilization=%.2f\n",
+				s.Load.CorpusRuns, s.WorkerUtilization())
+		}
+	}
+	if s.Query.Translations > 0 {
+		fmt.Fprintf(&b, "query: translations=%d chains=%d joins-emitted=%d joins-avoided=%d distilled-hits=%d\n",
+			s.Query.Translations, s.Query.ChainsExpanded, s.Query.JoinsEmitted,
+			s.Query.JoinsAvoided, s.Query.DistilledHits)
+		fmt.Fprintf(&b, "query: translate latency %s\n", s.Query.TranslateLatency.DurSummary())
+	}
+	if s.Reconstruct.Docs > 0 {
+		fmt.Fprintf(&b, "reconstruct: docs=%d latency %s\n",
+			s.Reconstruct.Docs, s.Reconstruct.Latency.DurSummary())
+	}
+	if s.Schema.Builds > 0 {
+		fmt.Fprintf(&b, "schema: builds=%d latency %s\n",
+			s.Schema.Builds, s.Schema.Latency.DurSummary())
+	}
+	return b.String()
+}

@@ -1,0 +1,176 @@
+// Package obs is the engine-wide observability layer: allocation-lean
+// atomic counters, power-of-two bucketed histograms, a pluggable Tracer
+// for span-style structured events, and snapshot/report/publication
+// surfaces (typed Snapshot API, expvar, an optional HTTP debug
+// endpoint).
+//
+// The hot layers — engine, shred, pathquery, reconstruct — hold a
+// *Metrics and record into it with single atomic adds; a nil *Metrics
+// disables collection entirely, so unobserved paths pay only a nil
+// check. Snapshots are consistent enough for reporting (each counter is
+// read atomically; cross-counter skew is possible under concurrent
+// load, exactness holds once writers are quiescent).
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is an atomic monotonic counter. The zero value is ready to
+// use. Counters must not be copied after first use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// holds observations v with bits.Len64(v) == i, i.e. 1<<(i-1) <= v <
+// 1<<i (bucket 0 holds v <= 0). 63 buckets cover the full int64 range.
+const histBuckets = 64
+
+// Histogram is a fixed-size power-of-two bucketed histogram of int64
+// observations (durations in nanoseconds, batch sizes, row counts).
+// The zero value is ready to use; all operations are lock-free single
+// atomic adds. Histograms must not be copied after first use.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	sum    atomic.Int64
+	count  atomic.Int64
+	max    atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	if v > 0 {
+		i = bits.Len64(uint64(v))
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Snapshot returns the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	for i := range h.counts {
+		if n := h.counts[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Le: bucketBound(i), N: n})
+		}
+	}
+	return s
+}
+
+// bucketBound is the inclusive upper bound of bucket i.
+func bucketBound(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(^uint64(0) >> 1) // MaxInt64
+	}
+	return int64(1)<<i - 1
+}
+
+// Bucket is one non-empty histogram bucket: N observations <= Le (and
+// greater than the previous bucket's bound).
+type Bucket struct {
+	// Le is the bucket's inclusive upper bound.
+	Le int64 `json:"le"`
+	// N is the observation count in this bucket.
+	N int64 `json:"n"`
+}
+
+// HistSnapshot is a point-in-time view of a Histogram.
+type HistSnapshot struct {
+	// Count, Sum and Max summarize all observations.
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Max   int64 `json:"max"`
+	// Buckets lists the non-empty buckets in ascending bound order.
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the average observation, or 0 with no observations.
+func (s HistSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// quantile (0 < q <= 1) — an upper estimate within a factor of two.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(q * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for _, b := range s.Buckets {
+		seen += b.N
+		if seen >= target {
+			return b.Le
+		}
+	}
+	return s.Max
+}
+
+// durString renders a nanosecond value as a rounded duration.
+func durString(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.Round(time.Nanosecond).String()
+	}
+}
+
+// DurSummary renders the snapshot as a latency summary line.
+func (s HistSnapshot) DurSummary() string {
+	if s.Count == 0 {
+		return "count=0"
+	}
+	return fmt.Sprintf("count=%d mean=%s p50<=%s p95<=%s max=%s",
+		s.Count, durString(s.Mean()), durString(s.Quantile(0.50)),
+		durString(s.Quantile(0.95)), durString(s.Max))
+}
+
+// SizeSummary renders the snapshot as a size/count summary line.
+func (s HistSnapshot) SizeSummary() string {
+	if s.Count == 0 {
+		return "count=0"
+	}
+	return fmt.Sprintf("count=%d mean=%d p50<=%d p95<=%d max=%d",
+		s.Count, s.Mean(), s.Quantile(0.50), s.Quantile(0.95), s.Max)
+}

@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("Load = %d, want 42", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Fatalf("Load = %d, want %d", got, workers*per)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 4, 100, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Fatalf("Count = %d, want 7", s.Count)
+	}
+	if s.Sum != 1110 {
+		t.Fatalf("Sum = %d, want 1110", s.Sum)
+	}
+	if s.Max != 1000 {
+		t.Fatalf("Max = %d, want 1000", s.Max)
+	}
+	if got := s.Mean(); got != 1110/7 {
+		t.Fatalf("Mean = %v, want %d", got, 1110/7)
+	}
+	// Every observation must land in a bucket whose bound covers it.
+	var total int64
+	for _, b := range s.Buckets {
+		total += b.N
+	}
+	if total != 7 {
+		t.Fatalf("bucket total = %d, want 7", total)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	s := h.Snapshot()
+	p50 := s.Quantile(0.50)
+	p95 := s.Quantile(0.95)
+	if p50 <= 0 || p95 < p50 {
+		t.Fatalf("quantiles: p50=%d p95=%d", p50, p95)
+	}
+	// Bucket upper bounds are powers of two: p50 of 1..100 is <= 64,
+	// p95 <= 128.
+	if p50 > 64 {
+		t.Errorf("p50 = %d, want <= 64", p50)
+	}
+	if p95 > 128 {
+		t.Errorf("p95 = %d, want <= 128", p95)
+	}
+}
+
+func TestHistogramConcurrentMax(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Observe(int64(i*1000 + j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 4000 {
+		t.Fatalf("Count = %d, want 4000", s.Count)
+	}
+	if s.Max != 7499 {
+		t.Fatalf("Max = %d, want 7499", s.Max)
+	}
+}
+
+func TestMetricsTable(t *testing.T) {
+	m := New()
+	a := m.Table("e_book")
+	b := m.Table("e_book")
+	if a != b {
+		t.Fatal("Table returned distinct pointers for one name")
+	}
+	a.RowsInserted.Add(3)
+	s := m.Snapshot()
+	if s.Tables["e_book"].RowsInserted != 3 {
+		t.Fatalf("snapshot rows = %d, want 3", s.Tables["e_book"].RowsInserted)
+	}
+}
+
+func TestSnapshotReport(t *testing.T) {
+	m := New()
+	m.Table("e_book").RowsInserted.Add(7)
+	m.DocsLoaded.Inc()
+	m.Translations.Inc()
+	m.JoinsAvoided.Add(2)
+	rep := m.Snapshot().Report()
+	for _, want := range []string{"== metrics ==", "e_book", "docs=1", "joins-avoided=2"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("Report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestWorkerUtilization(t *testing.T) {
+	m := New()
+	if got := m.Snapshot().WorkerUtilization(); got != 0 {
+		t.Fatalf("utilization with no runs = %v, want 0", got)
+	}
+	m.WorkerBusy.Add(500)
+	m.WorkerCapacity.Add(1000)
+	if got := m.Snapshot().WorkerUtilization(); got != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", got)
+	}
+}
+
+func TestWriterTracerFormat(t *testing.T) {
+	var sb strings.Builder
+	tr := NewWriterTracer(&sb)
+	tr.Now = func() time.Time { return time.Unix(1000, 0).UTC() }
+	tr.Emit(Event{
+		Scope: "engine", Name: "slow-query", Detail: "SELECT * FROM t",
+		Dur: 150 * time.Millisecond,
+		Attrs: []Attr{{Key: "rows", Val: 3}},
+		Err:   "boom",
+	})
+	line := sb.String()
+	for _, want := range []string{
+		"scope=engine", "event=slow-query", `detail="SELECT * FROM t"`,
+		"dur=150ms", "rows=3", "err=boom", "\n",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("trace line missing %q: %s", want, line)
+		}
+	}
+}
+
+func TestCollectTracer(t *testing.T) {
+	var ct CollectTracer
+	ct.Emit(Event{Scope: "s", Name: "n"})
+	ct.Emit(Event{Scope: "s", Name: "m"})
+	evs := ct.Events()
+	if len(evs) != 2 || evs[0].Name != "n" || evs[1].Name != "m" {
+		t.Fatalf("Events = %+v", evs)
+	}
+}
+
+func TestPublishAndDebugMux(t *testing.T) {
+	m := New()
+	m.Table("e_x").RowsInserted.Add(5)
+	Publish("test-hub", m)
+	Publish("test-hub", m) // duplicate must not panic
+
+	srv := httptest.NewServer(DebugMux(m))
+	defer srv.Close()
+
+	for _, path := range []string{"/debug/metrics", "/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(srv.URL + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Tables["e_x"].RowsInserted != 5 {
+		t.Fatalf("debug metrics rows = %d, want 5", snap.Tables["e_x"].RowsInserted)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	m := New()
+	addr, err := ServeDebug("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/metrics", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

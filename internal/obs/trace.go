@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one span-style structured trace event: a completed unit of
+// work (a statement execution, a document shred, a query translation)
+// with its duration and scope-specific attributes.
+type Event struct {
+	// Scope is the emitting layer: engine, shred, pathquery, reconstruct.
+	Scope string
+	// Name is the event kind within the scope (exec, slow-query,
+	// document, corpus, translate, ...).
+	Name string
+	// Detail carries the primary operand: SQL text, document name,
+	// query path.
+	Detail string
+	// Dur is the span duration (zero for instantaneous events).
+	Dur time.Duration
+	// Err is the failure message, empty on success.
+	Err string
+	// Attrs are additional key=value pairs, in order.
+	Attrs []Attr
+}
+
+// Attr is one structured event attribute.
+type Attr struct {
+	Key string
+	Val any
+}
+
+// A Tracer consumes trace events. Implementations must be safe for
+// concurrent use; Emit is called from loader workers and query paths.
+type Tracer interface {
+	Emit(Event)
+}
+
+// NopTracer discards every event.
+type NopTracer struct{}
+
+// Emit implements Tracer.
+func (NopTracer) Emit(Event) {}
+
+// WriterTracer writes events as single logfmt-style lines. It
+// serializes writes with a mutex, so one event is never interleaved
+// with another.
+type WriterTracer struct {
+	mu sync.Mutex
+	w  io.Writer
+	// Now is the clock (overridable in tests); nil means time.Now.
+	Now func() time.Time
+}
+
+// NewWriterTracer returns a tracer writing structured lines to w.
+func NewWriterTracer(w io.Writer) *WriterTracer {
+	return &WriterTracer{w: w}
+}
+
+// Emit implements Tracer.
+func (t *WriterTracer) Emit(ev Event) {
+	now := time.Now
+	if t.Now != nil {
+		now = t.Now
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "ts=%s scope=%s event=%s", now().Format(time.RFC3339Nano), ev.Scope, ev.Name)
+	if ev.Dur != 0 {
+		fmt.Fprintf(&b, " dur=%s", ev.Dur)
+	}
+	if ev.Detail != "" {
+		fmt.Fprintf(&b, " detail=%s", quoteVal(ev.Detail))
+	}
+	for _, a := range ev.Attrs {
+		fmt.Fprintf(&b, " %s=%s", a.Key, quoteVal(fmt.Sprint(a.Val)))
+	}
+	if ev.Err != "" {
+		fmt.Fprintf(&b, " err=%s", quoteVal(ev.Err))
+	}
+	b.WriteByte('\n')
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	io.WriteString(t.w, b.String())
+}
+
+// quoteVal quotes a logfmt value when it contains spaces, quotes or
+// equals signs.
+func quoteVal(s string) string {
+	if strings.ContainsAny(s, " \t\n\"=") {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}
+
+// CollectTracer buffers events in memory; for tests and snapshots.
+type CollectTracer struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Tracer.
+func (t *CollectTracer) Emit(ev Event) {
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the buffered events.
+func (t *CollectTracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}

@@ -3,10 +3,12 @@ package pathquery
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"xmlrdb/internal/core"
 	"xmlrdb/internal/er"
 	"xmlrdb/internal/ermap"
+	"xmlrdb/internal/obs"
 )
 
 // ERTranslator translates path queries to SQL over the paper's ER
@@ -24,6 +26,19 @@ type ERTranslator struct {
 	chains    map[string][]chain // non-virtual entity -> child-step chains
 	distilled map[string]map[string]bool
 	refAttrs  map[string]map[string]*ermap.RelMap
+
+	// obsM and tracer are the observability hooks (nil by default; set
+	// before concurrent use).
+	obsM   *obs.Metrics
+	tracer obs.Tracer
+}
+
+// SetObserver attaches a metrics hub and tracer (either may be nil):
+// translations are timed and their plan stats (chains expanded, joins
+// emitted, joins avoided by distillation) accumulated.
+func (t *ERTranslator) SetObserver(m *obs.Metrics, tr obs.Tracer) {
+	t.obsM = m
+	t.tracer = tr
 }
 
 // hop is one traversal of a nesting relationship.
@@ -106,6 +121,49 @@ type access struct {
 
 // Translate implements Translator.
 func (t *ERTranslator) Translate(q *Query) (*Translation, error) {
+	if t.obsM == nil && t.tracer == nil {
+		return t.translate(q)
+	}
+	start := time.Now()
+	tr, err := t.translate(q)
+	d := time.Since(start)
+	if t.obsM != nil {
+		t.obsM.Translations.Inc()
+		t.obsM.TranslateLatency.ObserveDuration(d)
+		if err == nil {
+			t.obsM.ChainsExpanded.Add(int64(tr.Stats.Arms))
+			t.obsM.JoinsEmitted.Add(int64(tr.Stats.JoinsTotal))
+			t.obsM.JoinsAvoided.Add(int64(tr.Stats.JoinsAvoided))
+			t.obsM.DistilledHits.Add(int64(tr.Stats.DistilledSteps))
+		}
+	}
+	if t.tracer != nil {
+		ev := obs.Event{Scope: "pathquery", Name: "translate", Detail: q.String(), Dur: d}
+		if err != nil {
+			ev.Err = err.Error()
+		} else {
+			ev.Attrs = []obs.Attr{
+				{Key: "arms", Val: tr.Stats.Arms},
+				{Key: "joins", Val: tr.Joins},
+				{Key: "joins_avoided", Val: tr.Stats.JoinsAvoided},
+			}
+		}
+		t.tracer.Emit(ev)
+	}
+	return tr, err
+}
+
+// distilledStepCost is the join-predicate count a distilled step would
+// have cost without distilling: one parent-reference join under the
+// fold strategy, a junction-table hop plus the child entity otherwise.
+func (t *ERTranslator) distilledStepCost() int {
+	if t.m.Strategy == ermap.StrategyFoldFK {
+		return 1
+	}
+	return 2
+}
+
+func (t *ERTranslator) translate(q *Query) (*Translation, error) {
 	if len(q.Steps) == 0 {
 		return nil, fmt.Errorf("pathquery: empty query")
 	}
@@ -142,6 +200,7 @@ func (t *ERTranslator) Translate(q *Query) (*Translation, error) {
 	}
 
 	terminalDistill := ""
+	distilledHits := 0
 	for si := 1; si < len(q.Steps); si++ {
 		step := q.Steps[si]
 		var next []access
@@ -161,6 +220,7 @@ func (t *ERTranslator) Translate(q *Query) (*Translation, error) {
 					fmt.Sprintf("%s.a_%s IS NOT NULL", t.alias(&b), step.Name))
 				next = append(next, b)
 				terminalDistill = step.Name
+				distilledHits++
 				continue
 			}
 			expanded, err := t.step(a, step)
@@ -183,7 +243,13 @@ func (t *ERTranslator) Translate(q *Query) (*Translation, error) {
 		cur = next
 	}
 
-	return t.project(q, cur, terminalDistill)
+	tr, err := t.project(q, cur, terminalDistill)
+	if err != nil {
+		return nil, err
+	}
+	tr.Stats.DistilledSteps = distilledHits
+	tr.Stats.JoinsAvoided = distilledHits * t.distilledStepCost()
+	return tr, nil
 }
 
 func (t *ERTranslator) maxPaths() int {
@@ -401,6 +467,7 @@ func (t *ERTranslator) project(q *Query, paths []access, terminalDistill string)
 			sql += " WHERE " + strings.Join(a.conds, " AND ")
 		}
 		tr.SQLs = append(tr.SQLs, sql)
+		tr.Stats.JoinsTotal += a.joins
 		if a.joins > tr.Joins {
 			tr.Joins = a.joins
 		}
@@ -408,6 +475,8 @@ func (t *ERTranslator) project(q *Query, paths []access, terminalDistill string)
 	if len(tr.SQLs) == 0 {
 		return nil, fmt.Errorf("pathquery: query matches nothing in the schema")
 	}
+	tr.Stats.Arms = len(tr.SQLs)
+	tr.Stats.JoinsMax = tr.Joins
 	return tr, nil
 }
 

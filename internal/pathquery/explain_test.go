@@ -1,0 +1,103 @@
+package pathquery
+
+import (
+	"strings"
+	"testing"
+
+	"xmlrdb/internal/core"
+	"xmlrdb/internal/dtd"
+	"xmlrdb/internal/ermap"
+	"xmlrdb/internal/obs"
+	"xmlrdb/internal/paper"
+)
+
+func explainTranslator(t *testing.T, opts ermap.Options) *ERTranslator {
+	t.Helper()
+	res, err := core.Map(dtd.MustParse(paper.Example1DTD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ermap.Build(res.Model, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewERTranslator(res, m)
+}
+
+// TestExplainGoldenDistilled pins the EXPLAIN report for the paper's
+// Example 1 booktitle query: booktitle is distilled into e_book by
+// mapping step 2, so the plan reports the two junction-strategy joins
+// (junction table + child entity) the query avoided.
+func TestExplainGoldenDistilled(t *testing.T) {
+	tr := explainTranslator(t, ermap.Options{})
+	trans, err := tr.Translate(MustParse("/book/booktitle/text()"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "-- plan: arms=1 joins-max=1 joins-total=1 joins-avoided=2 distilled-steps=1\n" +
+		"SELECT e0.doc, e0.id, e0.a_booktitle AS value FROM e_book e0, x_docs xd WHERE xd.root_type = 'book' AND xd.root = e0.id AND e0.a_booktitle IS NOT NULL;\n"
+	if got := trans.Explain(); got != want {
+		t.Errorf("Explain() =\n%s\nwant:\n%s", got, want)
+	}
+	if trans.Stats.JoinsAvoided == 0 {
+		t.Error("JoinsAvoided = 0 for a distilled-attribute query")
+	}
+}
+
+// TestExplainFoldAvoidsOneJoin checks the strategy-dependent avoided
+// cost: under fold-FK a distilled step would only have cost the parent
+// reference join.
+func TestExplainFoldAvoidsOneJoin(t *testing.T) {
+	tr := explainTranslator(t, ermap.Options{Strategy: ermap.StrategyFoldFK})
+	trans, err := tr.Translate(MustParse("/book/booktitle/text()"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trans.Stats.JoinsAvoided != 1 || trans.Stats.DistilledSteps != 1 {
+		t.Errorf("fold stats = %+v, want JoinsAvoided=1 DistilledSteps=1", trans.Stats)
+	}
+}
+
+// TestExplainUndistilledQuery checks a chain query reports its joins
+// and no avoided ones.
+func TestExplainUndistilledQuery(t *testing.T) {
+	tr := explainTranslator(t, ermap.Options{})
+	trans, err := tr.Translate(MustParse("/article/author/name"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trans.Stats
+	if st.Arms != 1 || st.JoinsAvoided != 0 || st.DistilledSteps != 0 {
+		t.Errorf("stats = %+v, want arms=1 and nothing avoided", st)
+	}
+	if st.JoinsTotal == 0 || st.JoinsMax != trans.Joins {
+		t.Errorf("stats = %+v inconsistent with Joins=%d", st, trans.Joins)
+	}
+	if !strings.HasPrefix(trans.Explain(), "-- plan: ") {
+		t.Errorf("Explain missing plan header:\n%s", trans.Explain())
+	}
+}
+
+// TestTranslateObserved checks the translator records into an attached
+// hub and emits a trace event.
+func TestTranslateObserved(t *testing.T) {
+	tr := explainTranslator(t, ermap.Options{})
+	m := obs.New()
+	var ct obs.CollectTracer
+	tr.SetObserver(m, &ct)
+	if _, err := tr.Translate(MustParse("/book/booktitle")); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	if s.Query.Translations != 1 {
+		t.Errorf("Translations = %d, want 1", s.Query.Translations)
+	}
+	if s.Query.JoinsAvoided != 2 || s.Query.DistilledHits != 1 {
+		t.Errorf("JoinsAvoided = %d DistilledHits = %d, want 2/1",
+			s.Query.JoinsAvoided, s.Query.DistilledHits)
+	}
+	evs := ct.Events()
+	if len(evs) != 1 || evs[0].Scope != "pathquery" || evs[0].Name != "translate" {
+		t.Errorf("trace events = %+v", evs)
+	}
+}

@@ -291,6 +291,46 @@ type Translation struct {
 	// Joins is the number of join predicates in the largest statement —
 	// the cost proxy experiments E6/E9 report.
 	Joins int
+	// Stats are the plan statistics the EXPLAIN mode and the metrics
+	// layer report (filled by the ER translator; baselines leave it
+	// zero and Explain falls back to derivable values).
+	Stats PlanStats
+}
+
+// PlanStats accounts for what a translation cost and what the mapping
+// saved: how many join chains the query expanded into, the join
+// predicates emitted, and — the paper's step-2 claim made measurable —
+// the joins avoided because distilled attributes resolved a child step
+// to a parent column.
+type PlanStats struct {
+	// Arms is the number of union arms (join chains) generated.
+	Arms int
+	// JoinsTotal is the join-predicate count summed over all arms;
+	// JoinsMax is the largest single arm (equals Translation.Joins).
+	JoinsTotal int
+	JoinsMax   int
+	// DistilledSteps counts location steps that resolved to a distilled
+	// parent column; JoinsAvoided is the join predicates those steps
+	// would have cost under the same strategy without distilling.
+	DistilledSteps int
+	JoinsAvoided   int
+}
+
+// Explain renders the translation as the EXPLAIN report: one plan-stats
+// header line followed by the generated SQL statements.
+func (tr *Translation) Explain() string {
+	arms := tr.Stats.Arms
+	if arms == 0 {
+		arms = len(tr.SQLs)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- plan: arms=%d joins-max=%d joins-total=%d joins-avoided=%d distilled-steps=%d\n",
+		arms, tr.Joins, tr.Stats.JoinsTotal, tr.Stats.JoinsAvoided, tr.Stats.DistilledSteps)
+	for _, s := range tr.SQLs {
+		b.WriteString(s)
+		b.WriteString(";\n")
+	}
+	return b.String()
 }
 
 // Translator converts path queries to SQL for one storage mapping. The

@@ -11,11 +11,13 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"xmlrdb/internal/core"
 	"xmlrdb/internal/engine"
 	"xmlrdb/internal/er"
 	"xmlrdb/internal/ermap"
+	"xmlrdb/internal/obs"
 	"xmlrdb/internal/xmltree"
 )
 
@@ -32,6 +34,18 @@ type Reconstructor struct {
 	// identity. This is the E7 ablation showing why the paper's §5
 	// metadata is necessary; leave it false for faithful reconstruction.
 	IgnoreOrdinals bool
+
+	// obsM and tracer are the observability hooks (nil by default; set
+	// before concurrent use).
+	obsM   *obs.Metrics
+	tracer obs.Tracer
+}
+
+// SetObserver attaches a metrics hub and tracer (either may be nil):
+// document reconstructions are counted and timed.
+func (r *Reconstructor) SetObserver(m *obs.Metrics, tr obs.Tracer) {
+	r.obsM = m
+	r.tracer = tr
 }
 
 // New builds a reconstructor over a loaded database.
@@ -76,6 +90,28 @@ type textChunk struct {
 
 // Document rebuilds one document by its registry id.
 func (r *Reconstructor) Document(docID int64) (*xmltree.Document, error) {
+	if r.obsM == nil && r.tracer == nil {
+		return r.document(docID)
+	}
+	start := time.Now()
+	doc, err := r.document(docID)
+	d := time.Since(start)
+	if r.obsM != nil && err == nil {
+		r.obsM.ReconDocs.Inc()
+		r.obsM.ReconLatency.ObserveDuration(d)
+	}
+	if r.tracer != nil {
+		ev := obs.Event{Scope: "reconstruct", Name: "document",
+			Detail: fmt.Sprintf("doc-%d", docID), Dur: d}
+		if err != nil {
+			ev.Err = err.Error()
+		}
+		r.tracer.Emit(ev)
+	}
+	return doc, err
+}
+
+func (r *Reconstructor) document(docID int64) (*xmltree.Document, error) {
 	regRows, err := r.db.Lookup("x_docs", []string{"doc"}, []any{docID})
 	if err != nil {
 		return nil, fmt.Errorf("reconstruct: %w", err)

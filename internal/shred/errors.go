@@ -1,0 +1,55 @@
+package shred
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DocError is one document's loading failure within a corpus: the
+// document's input index and name plus the underlying error.
+type DocError struct {
+	// Index is the document's position in the input slice.
+	Index int
+	// Name is the document's registered name.
+	Name string
+	// Err is the underlying loading error.
+	Err error
+}
+
+// Error implements error.
+func (e *DocError) Error() string {
+	return fmt.Sprintf("document %d (%s): %v", e.Index, e.Name, e.Err)
+}
+
+// Unwrap returns the underlying error.
+func (e *DocError) Unwrap() error { return e.Err }
+
+// CorpusError aggregates the per-document failures of one LoadCorpus
+// run, sorted by input index. Multiple workers can fail concurrently
+// before the corpus stops, so there may be more than one.
+type CorpusError struct {
+	// Docs are the failed documents in input order.
+	Docs []*DocError
+}
+
+// Error implements error.
+func (e *CorpusError) Error() string {
+	if len(e.Docs) == 1 {
+		return "shred: corpus " + e.Docs[0].Error()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "shred: corpus: %d documents failed:", len(e.Docs))
+	for _, d := range e.Docs {
+		b.WriteString("\n  " + d.Error())
+	}
+	return b.String()
+}
+
+// Unwrap returns the first failed document's error, so errors.Is/As
+// reach the underlying cause.
+func (e *CorpusError) Unwrap() error {
+	if len(e.Docs) == 0 {
+		return nil
+	}
+	return e.Docs[0]
+}

@@ -1,0 +1,141 @@
+package shred
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"xmlrdb/internal/ermap"
+	"xmlrdb/internal/obs"
+	"xmlrdb/internal/paper"
+	"xmlrdb/internal/xmltree"
+)
+
+// TestCorpusErrorContext proves a corpus failure names the failing
+// document: its input index, its registered name, and the underlying
+// cause — and that the failure is counted in the metrics.
+func TestCorpusErrorContext(t *testing.T) {
+	l, _ := setup(t, paper.Example1DTD, ermap.Options{})
+	m := obs.New()
+	l.SetObserver(m, nil)
+
+	good, err := xmltree.ParseWith(paper.BookXML, xmltree.Options{ExternalDTD: l.res.Original})
+	if err != nil {
+		t.Fatal(err)
+	}
+	badRoot := xmltree.NewElement("bogus")
+	bad := &xmltree.Document{Root: badRoot, Children: []*xmltree.Node{badRoot}}
+
+	docs := []*xmltree.Document{good, bad, good}
+	names := []string{"good-0", "bad-doc", "good-2"}
+	_, err = l.LoadCorpusNamed(docs, names, 2)
+	if err == nil {
+		t.Fatal("corpus with an unmappable document loaded cleanly")
+	}
+
+	var ce *CorpusError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error is %T, want *CorpusError: %v", err, err)
+	}
+	if len(ce.Docs) != 1 {
+		t.Fatalf("failed docs = %d, want 1: %v", len(ce.Docs), ce)
+	}
+	de := ce.Docs[0]
+	if de.Index != 1 || de.Name != "bad-doc" || de.Err == nil {
+		t.Errorf("DocError = {Index: %d, Name: %q, Err: %v}, want index 1, name bad-doc",
+			de.Index, de.Name, de.Err)
+	}
+	if msg := err.Error(); !strings.Contains(msg, "document 1 (bad-doc)") {
+		t.Errorf("error message lacks doc context: %s", msg)
+	}
+
+	s := m.Snapshot()
+	if s.Load.DocsFailed != 1 {
+		t.Errorf("DocsFailed = %d, want 1", s.Load.DocsFailed)
+	}
+}
+
+// TestCorpusErrorMultiple checks several concurrent failures are all
+// reported, in input order.
+func TestCorpusErrorMultiple(t *testing.T) {
+	l, _ := setup(t, paper.Example1DTD, ermap.Options{})
+	mkBad := func() *xmltree.Document {
+		root := xmltree.NewElement("bogus")
+		return &xmltree.Document{Root: root, Children: []*xmltree.Node{root}}
+	}
+	docs := []*xmltree.Document{mkBad(), mkBad(), mkBad()}
+	_, err := l.LoadCorpus(docs, 3)
+	var ce *CorpusError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error is %T, want *CorpusError: %v", err, err)
+	}
+	if len(ce.Docs) == 0 {
+		t.Fatal("no per-document failures recorded")
+	}
+	for i := 1; i < len(ce.Docs); i++ {
+		if ce.Docs[i-1].Index >= ce.Docs[i].Index {
+			t.Errorf("failures not in input order: %v", ce.Docs)
+		}
+	}
+	if len(ce.Docs) > 1 && !strings.Contains(err.Error(), "documents failed") {
+		t.Errorf("multi-failure message: %s", err.Error())
+	}
+}
+
+// TestDocErrorUnwrap checks the error chain reaches the cause.
+func TestDocErrorUnwrap(t *testing.T) {
+	cause := errors.New("root cause")
+	de := &DocError{Index: 3, Name: "d3", Err: cause}
+	if !errors.Is(de, cause) {
+		t.Error("DocError does not unwrap to its cause")
+	}
+	ce := &CorpusError{Docs: []*DocError{de}}
+	if !errors.Is(ce, cause) {
+		t.Error("CorpusError does not unwrap to its cause")
+	}
+}
+
+// TestCorpusMetricsObserved checks a clean corpus run records worker
+// accounting and per-document metrics.
+func TestCorpusMetricsObserved(t *testing.T) {
+	l, _ := setup(t, paper.Example1DTD, ermap.Options{})
+	m := obs.New()
+	var ct obs.CollectTracer
+	l.SetObserver(m, &ct)
+
+	const n = 6
+	docs := make([]*xmltree.Document, n)
+	for i := range docs {
+		doc, err := xmltree.ParseWith(paper.BookXML, xmltree.Options{ExternalDTD: l.res.Original})
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs[i] = doc
+	}
+	if _, err := l.LoadCorpus(docs, 2); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	if s.Load.DocsLoaded != n {
+		t.Errorf("DocsLoaded = %d, want %d", s.Load.DocsLoaded, n)
+	}
+	if s.Load.CorpusRuns != 1 {
+		t.Errorf("CorpusRuns = %d, want 1", s.Load.CorpusRuns)
+	}
+	if s.Load.WorkerCapacity == 0 || s.Load.WorkerBusy == 0 {
+		t.Errorf("worker accounting empty: busy=%d capacity=%d",
+			s.Load.WorkerBusy, s.Load.WorkerCapacity)
+	}
+	if u := s.WorkerUtilization(); u <= 0 || u > 1 {
+		t.Errorf("WorkerUtilization = %v, want (0, 1]", u)
+	}
+	var corpusEvents int
+	for _, ev := range ct.Events() {
+		if ev.Scope == "shred" && ev.Name == "corpus" {
+			corpusEvents++
+		}
+	}
+	if corpusEvents != 1 {
+		t.Errorf("corpus trace events = %d, want 1", corpusEvents)
+	}
+}

@@ -15,15 +15,18 @@ package shred
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xmlrdb/internal/cmodel"
 	"xmlrdb/internal/core"
 	"xmlrdb/internal/dtd"
 	"xmlrdb/internal/er"
 	"xmlrdb/internal/ermap"
+	"xmlrdb/internal/obs"
 	"xmlrdb/internal/rel"
 	"xmlrdb/internal/xmltree"
 )
@@ -71,6 +74,19 @@ type Loader struct {
 
 	nextID  map[string]*atomic.Int64
 	nextDoc atomic.Int64
+
+	// obsM and tracer are the observability hooks: per-document shred
+	// time, row counts, flush fallbacks and corpus worker utilization.
+	// Both nil by default; set before concurrent use.
+	obsM   *obs.Metrics
+	tracer obs.Tracer
+}
+
+// SetObserver attaches a metrics hub and tracer (either may be nil).
+// Attach before loading concurrently.
+func (l *Loader) SetObserver(m *obs.Metrics, tr obs.Tracer) {
+	l.obsM = m
+	l.tracer = tr
 }
 
 // Stats reports what one document contributed.
@@ -147,7 +163,36 @@ func (l *Loader) LoadXML(src, name string) (Stats, error) {
 // LoadDocument shreds one parsed document into the database, one row
 // insert at a time.
 func (l *Loader) LoadDocument(doc *xmltree.Document, name string) (Stats, error) {
-	return l.loadVia(l.db, doc, name)
+	start := time.Now()
+	st, err := l.loadVia(l.db, doc, name)
+	l.observeDoc(name, start, st, err)
+	return st, err
+}
+
+// observeDoc records one document load into the metrics and tracer.
+func (l *Loader) observeDoc(name string, start time.Time, st Stats, err error) {
+	if l.obsM == nil && l.tracer == nil {
+		return
+	}
+	d := time.Since(start)
+	rows := st.Elements + st.RelRows + st.RefRows + st.TextChunks
+	if l.obsM != nil {
+		if err != nil {
+			l.obsM.DocsFailed.Inc()
+		} else {
+			l.obsM.DocsLoaded.Inc()
+			l.obsM.ShredLatency.ObserveDuration(d)
+			l.obsM.DocRows.Observe(int64(rows))
+		}
+	}
+	if l.tracer != nil {
+		ev := obs.Event{Scope: "shred", Name: "document", Detail: name, Dur: d,
+			Attrs: []obs.Attr{{Key: "rows", Val: rows}}}
+		if err != nil {
+			ev.Err = err.Error()
+		}
+		l.tracer.Emit(ev)
+	}
 }
 
 // loadVia shreds one document, writing every row through the given
@@ -187,10 +232,20 @@ func (l *Loader) LoadStaged(doc *xmltree.Document, name string) (Stats, error) {
 	if !ok {
 		return l.LoadDocument(doc, name)
 	}
+	start := time.Now()
+	st, err := l.loadStagedVia(be, doc, name)
+	l.observeDoc(name, start, st, err)
+	return st, err
+}
+
+func (l *Loader) loadStagedVia(be BatchEngine, doc *xmltree.Document, name string) (Stats, error) {
 	stg := &stagedBatch{defs: l.defs}
 	st, err := l.loadVia(stg, doc, name)
 	if err != nil {
 		return Stats{}, err
+	}
+	if l.flushOrder == nil && l.obsM != nil {
+		l.obsM.FlushFallbacks.Inc()
 	}
 	if err := stg.flush(be, l.flushOrder); err != nil {
 		return Stats{}, fmt.Errorf("shred: document %q: %w", name, err)
@@ -205,7 +260,9 @@ func (l *Loader) LoadStaged(doc *xmltree.Document, name string) (Stats, error) {
 // Document i is registered under the name "doc-i". It returns the
 // per-document stats in input order; on error the corpus may be
 // partially loaded (whole documents only — a document either flushes
-// its batches or contributes nothing past the failed one).
+// its batches or contributes nothing past the failed one). Failures
+// carry per-document context: the error is a *CorpusError whose Docs
+// list each failed document's index, name and cause.
 func (l *Loader) LoadCorpus(docs []*xmltree.Document, workers int) ([]Stats, error) {
 	return l.LoadCorpusNamed(docs, nil, workers)
 }
@@ -223,11 +280,13 @@ func (l *Loader) LoadCorpusNamed(docs []*xmltree.Document, names []string, worke
 	stats := make([]Stats, len(docs))
 	jobs := make(chan int)
 	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-		failed   atomic.Bool
+		wg      sync.WaitGroup
+		errMu   sync.Mutex
+		docErrs []*DocError
+		failed  atomic.Bool
+		busy    atomic.Int64
 	)
+	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -240,10 +299,14 @@ func (l *Loader) LoadCorpusNamed(docs []*xmltree.Document, names []string, worke
 				if i < len(names) && names[i] != "" {
 					name = names[i]
 				}
+				t0 := time.Now()
 				st, err := l.LoadStaged(docs[i], name)
+				busy.Add(int64(time.Since(t0)))
 				if err != nil {
 					failed.Store(true)
-					errOnce.Do(func() { firstErr = fmt.Errorf("shred: corpus document %d: %w", i, err) })
+					errMu.Lock()
+					docErrs = append(docErrs, &DocError{Index: i, Name: name, Err: err})
+					errMu.Unlock()
 					continue
 				}
 				stats[i] = st
@@ -255,8 +318,28 @@ func (l *Loader) LoadCorpusNamed(docs []*xmltree.Document, names []string, worke
 	}
 	close(jobs)
 	wg.Wait()
-	if firstErr != nil {
-		return stats, firstErr
+	wall := time.Since(start)
+	if l.obsM != nil && workers > 0 {
+		l.obsM.CorpusRuns.Inc()
+		l.obsM.WorkerBusy.Add(busy.Load())
+		l.obsM.WorkerCapacity.Add(int64(wall) * int64(workers))
+	}
+	if l.tracer != nil {
+		util := 0.0
+		if wall > 0 && workers > 0 {
+			util = float64(busy.Load()) / (float64(wall) * float64(workers))
+		}
+		ev := obs.Event{Scope: "shred", Name: "corpus", Dur: wall, Attrs: []obs.Attr{
+			{Key: "docs", Val: len(docs)},
+			{Key: "workers", Val: workers},
+			{Key: "failed", Val: len(docErrs)},
+			{Key: "utilization", Val: fmt.Sprintf("%.2f", util)},
+		}}
+		l.tracer.Emit(ev)
+	}
+	if len(docErrs) > 0 {
+		sort.Slice(docErrs, func(i, j int) bool { return docErrs[i].Index < docErrs[j].Index })
+		return stats, &CorpusError{Docs: docErrs}
 	}
 	return stats, nil
 }

@@ -20,12 +20,14 @@ package xmlrdb
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"xmlrdb/internal/core"
 	"xmlrdb/internal/dtd"
 	"xmlrdb/internal/engine"
 	"xmlrdb/internal/ermap"
 	"xmlrdb/internal/meta"
+	"xmlrdb/internal/obs"
 	"xmlrdb/internal/pathquery"
 	"xmlrdb/internal/reconstruct"
 	"xmlrdb/internal/shred"
@@ -73,6 +75,10 @@ type Pipeline struct {
 	Mapping *ermap.Mapping
 	// DB is the embedded relational engine holding the shredded data.
 	DB *engine.DB
+	// Obs is the pipeline's metrics hub: every subsystem (engine, shred,
+	// pathquery, reconstruct) records into it. Snapshot it with
+	// MetricsSnapshot, or read counters directly.
+	Obs *obs.Metrics
 
 	loader     *shred.Loader
 	translator *pathquery.ERTranslator
@@ -93,6 +99,8 @@ func Open(dtdText string, cfg Config) (*Pipeline, error) {
 
 // OpenDTD is Open for an already-parsed DTD.
 func OpenDTD(d *dtd.DTD, cfg Config) (*Pipeline, error) {
+	hub := obs.New()
+	start := time.Now()
 	res, err := core.MapWith(d, core.Options{SkipDistill: cfg.SkipDistill})
 	if err != nil {
 		return nil, err
@@ -102,6 +110,7 @@ func OpenDTD(d *dtd.DTD, cfg Config) (*Pipeline, error) {
 		return nil, err
 	}
 	db := engine.Open()
+	db.SetMetrics(hub)
 	if err := db.CreateSchema(m.Schema); err != nil {
 		return nil, err
 	}
@@ -110,21 +119,51 @@ func OpenDTD(d *dtd.DTD, cfg Config) (*Pipeline, error) {
 			return nil, err
 		}
 	}
+	hub.SchemaBuilds.Inc()
+	hub.SchemaBuildLatency.ObserveDuration(time.Since(start))
 	loader, err := shred.NewLoader(res, m, db)
 	if err != nil {
 		return nil, err
 	}
+	loader.SetObserver(hub, nil)
+	translator := pathquery.NewERTranslator(res, m)
+	translator.SetObserver(hub, nil)
+	recon := reconstruct.New(res, m, db)
+	recon.SetObserver(hub, nil)
 	return &Pipeline{
 		DTD:        d,
 		Result:     res,
 		Mapping:    m,
 		DB:         db,
+		Obs:        hub,
 		loader:     loader,
-		translator: pathquery.NewERTranslator(res, m),
-		recon:      reconstruct.New(res, m, db),
+		translator: translator,
+		recon:      recon,
 		validator:  validate.New(d),
 	}, nil
 }
+
+// SetTracer attaches a tracer to every pipeline subsystem (nil
+// detaches). Set it before concurrent use.
+func (p *Pipeline) SetTracer(tr obs.Tracer) {
+	p.DB.SetTracer(tr)
+	p.loader.SetObserver(p.Obs, tr)
+	p.translator.SetObserver(p.Obs, tr)
+	p.recon.SetObserver(p.Obs, tr)
+}
+
+// SetSlowQueryThreshold makes the engine emit a slow-query trace event
+// (and count it) for statements at or above d; zero disables.
+func (p *Pipeline) SetSlowQueryThreshold(d time.Duration) {
+	p.DB.SetSlowQueryThreshold(d)
+}
+
+// MetricsSnapshot returns a point-in-time copy of all pipeline metrics.
+func (p *Pipeline) MetricsSnapshot() obs.Snapshot { return p.Obs.Snapshot() }
+
+// MetricsReport renders the pipeline metrics as the human-readable
+// -stats report.
+func (p *Pipeline) MetricsReport() string { return p.Obs.Snapshot().Report() }
 
 // LoadXML validates nothing beyond the mapping's own checks and shreds
 // one XML document into the store, returning its document id.
@@ -216,15 +255,30 @@ func (p *Pipeline) Query(path string) (*Rows, error) {
 // TranslatePath returns the SQL statements a path query translates to,
 // without executing them.
 func (p *Pipeline) TranslatePath(path string) ([]string, error) {
-	q, err := pathquery.Parse(path)
-	if err != nil {
-		return nil, err
-	}
-	tr, err := p.translator.Translate(q)
+	tr, err := p.translate(path)
 	if err != nil {
 		return nil, err
 	}
 	return tr.SQLs, nil
+}
+
+// ExplainPath translates a path query and renders the EXPLAIN report:
+// plan statistics (union arms, joins emitted, joins avoided by
+// distilled attributes) followed by the generated SQL.
+func (p *Pipeline) ExplainPath(path string) (string, error) {
+	tr, err := p.translate(path)
+	if err != nil {
+		return "", err
+	}
+	return tr.Explain(), nil
+}
+
+func (p *Pipeline) translate(path string) (*pathquery.Translation, error) {
+	q, err := pathquery.Parse(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.translator.Translate(q)
 }
 
 // SQL runs a raw SQL statement against the store.
