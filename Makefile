@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-parallel stats-demo
+.PHONY: build test vet race check crash-matrix bench bench-parallel stats-demo
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,15 @@ vet:
 race:
 	$(GO) test -race ./internal/engine/... ./internal/shred/... ./internal/obs/...
 
-check: vet build test race
+# Fault-injection recovery matrix: kill the durable engine at every
+# byte offset and every fsync boundary of a scripted workload (plus the
+# WAL/snapshot corruption sweeps) and require exact prefix recovery,
+# under the race detector.
+crash-matrix:
+	$(GO) test -race -run 'TestCrash|TestDurable|TestWALReplay|TestSnapshotEvery|FuzzWALReplay' ./internal/engine/
+	$(GO) test -race ./internal/faultfs/
+
+check: vet build test race crash-matrix
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

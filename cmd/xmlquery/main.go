@@ -6,6 +6,7 @@
 //	xmlquery -dtd schema.dtd -q '/book/author[@id]' doc1.xml [doc2.xml ...]
 //	xmlquery -dtd schema.dtd -sql 'SELECT COUNT(*) FROM e_author' docs...
 //	xmlquery -dtd schema.dtd -q '/a/b' -explain docs...
+//	xmlquery -dtd schema.dtd -data-dir ./store -q '/book/author'
 package main
 
 import (
@@ -36,6 +37,7 @@ func run(args []string, out io.Writer) error {
 	strategy := fs.String("strategy", "junction", "relational strategy: junction or fold")
 	stats := fs.Bool("stats", false, "print the pipeline metrics report after the query")
 	slowMS := fs.Int("slow-query-ms", 0, "log statements at or above this many milliseconds to stderr (0 disables)")
+	dataDir := fs.String("data-dir", "", "query a durable store previously populated with xmlshred -data-dir (documents on the command line load on top)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -45,11 +47,14 @@ func run(args []string, out io.Writer) error {
 	if *pathQ == "" && *sqlQ == "" {
 		return fmt.Errorf("one of -q or -sql is required")
 	}
+	if *dataDir == "" && fs.NArg() == 0 {
+		return fmt.Errorf("no documents given (load some, or point -data-dir at a durable store)")
+	}
 	dtdText, err := os.ReadFile(*dtdPath)
 	if err != nil {
 		return err
 	}
-	cfg := xmlrdb.Config{}
+	cfg := xmlrdb.Config{DataDir: *dataDir}
 	if *strategy == "fold" {
 		cfg.Strategy = xmlrdb.StrategyFoldFK
 	}
@@ -57,6 +62,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	defer p.Close()
 	if *slowMS > 0 {
 		p.SetTracer(obs.NewWriterTracer(os.Stderr))
 		p.SetSlowQueryThreshold(time.Duration(*slowMS) * time.Millisecond)

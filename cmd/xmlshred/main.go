@@ -4,7 +4,8 @@
 // Usage:
 //
 //	xmlshred -dtd schema.dtd [-strategy junction|fold] [-verify]
-//	         [-workers n] [-dump table] doc1.xml [doc2.xml ...]
+//	         [-workers n] [-dump table] [-data-dir dir [-snapshot-every n]]
+//	         doc1.xml [doc2.xml ...]
 package main
 
 import (
@@ -35,6 +36,8 @@ func run(args []string, w io.Writer) error {
 	dump := fs.String("dump", "", "print the rows of one table after loading")
 	stats := fs.Bool("stats", false, "print the pipeline metrics report after loading")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/metrics, /debug/vars and /debug/pprof on this address while loading")
+	dataDir := fs.String("data-dir", "", "durable store directory (write-ahead logged; reopening recovers loaded documents)")
+	snapEvery := fs.Int("snapshot-every", 0, "snapshot the store and truncate the log after this many WAL frames (0 disables; requires -data-dir)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,7 +51,10 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	cfg := xmlrdb.Config{}
+	if *snapEvery != 0 && *dataDir == "" {
+		return fmt.Errorf("-snapshot-every requires -data-dir")
+	}
+	cfg := xmlrdb.Config{DataDir: *dataDir, SnapshotEvery: *snapEvery}
 	if *strategy == "fold" {
 		cfg.Strategy = xmlrdb.StrategyFoldFK
 	}
@@ -56,6 +62,7 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	defer p.Close()
 	if *debugAddr != "" {
 		addr, err := obs.ServeDebug(*debugAddr, p.Obs)
 		if err != nil {
@@ -63,9 +70,12 @@ func run(args []string, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "debug endpoint on http://%s/debug/metrics\n", addr)
 	}
-	if *workers > 1 && !*verify {
-		// Parallel bulk load: parse every document, then shred the whole
-		// corpus through the concurrent batched loader.
+	if (*workers > 1 || *dataDir != "") && !*verify {
+		// Bulk load: parse every document, then shred the corpus through
+		// the staged batched loader. A durable store always takes this
+		// path — each document flushes as one atomic WAL frame, so a
+		// crash mid-run loses at most the in-flight documents, never part
+		// of one.
 		docs := make([]*xmltree.Document, 0, fs.NArg())
 		for _, path := range fs.Args() {
 			b, err := os.ReadFile(path)

@@ -1,0 +1,140 @@
+package xmlrdb
+
+import (
+	"strings"
+	"testing"
+
+	"xmlrdb/internal/paper"
+)
+
+// TestPipelineDurableReopen loads documents into a durable pipeline,
+// closes it, reopens the same directory and checks every document
+// survived — then keeps loading without id collisions.
+func TestPipelineDurableReopen(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{DataDir: dir, SnapshotEvery: 0}
+	p, err := Open(paper.Example1DTD, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := p.LoadXML(paper.BookXML, "book1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := p.LoadXML(paper.ArticleXML, "article1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want1, err := p.Reconstruct(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: both documents recover, and the id space continues.
+	p2, err := Open(paper.Example1DTD, cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer p2.Close()
+	ids, err := p2.DocumentIDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("recovered %d documents, want 2: %v", len(ids), ids)
+	}
+	got1, err := p2.Reconstruct(id1)
+	if err != nil {
+		t.Fatalf("reconstruct recovered doc: %v", err)
+	}
+	if got1 != want1 {
+		t.Errorf("recovered reconstruction differs:\n%s\nvs\n%s", got1, want1)
+	}
+	id3, err := p2.LoadXML(paper.BookXML, "book2")
+	if err != nil {
+		t.Fatalf("load after reopen: %v", err)
+	}
+	if id3 == id1 || id3 == id2 {
+		t.Fatalf("reused document id %d after reopen", id3)
+	}
+	if err := p2.DB.CheckAllFKs(); err != nil {
+		t.Errorf("CheckAllFKs after resume: %v", err)
+	}
+	rows, err := p2.Query(`/book`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 2 {
+		t.Errorf("books after resume = %d, want 2", len(rows.Data))
+	}
+}
+
+// TestPipelineDurableCheckpoint checks explicit checkpointing truncates
+// the log and the snapshot alone recovers the store.
+func TestPipelineDurableCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{DataDir: dir}
+	p, err := Open(paper.Example1DTD, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.LoadXML(paper.BookXML, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Open(paper.Example1DTD, cfg)
+	if err != nil {
+		t.Fatalf("reopen after checkpoint: %v", err)
+	}
+	defer p2.Close()
+	ids, err := p2.DocumentIDs()
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("recovered docs = %v, %v", ids, err)
+	}
+}
+
+// TestPipelineDataDirMismatch checks opening a data directory with a
+// different DTD fails with a clear error instead of corrupting it.
+func TestPipelineDataDirMismatch(t *testing.T) {
+	dir := t.TempDir()
+	p, err := Open(paper.Example1DTD, Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.LoadXML(paper.BookXML, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(`<!ELEMENT other (#PCDATA)>`, Config{DataDir: dir})
+	if err == nil {
+		t.Fatal("mismatched DTD opened a foreign data directory")
+	}
+	if !strings.Contains(err.Error(), "does not match") {
+		t.Errorf("mismatch error %v lacks explanation", err)
+	}
+}
+
+// TestPipelineCheckpointInMemory checks Checkpoint on an in-memory
+// pipeline reports ErrNotDurable.
+func TestPipelineCheckpointInMemory(t *testing.T) {
+	p, err := Open(paper.Example1DTD, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint on in-memory pipeline succeeded")
+	}
+	if err := p.Close(); err != nil {
+		t.Errorf("Close on in-memory pipeline: %v", err)
+	}
+}

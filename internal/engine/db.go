@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"xmlrdb/internal/faultfs"
 	"xmlrdb/internal/obs"
 	"xmlrdb/internal/rel"
 	"xmlrdb/internal/sqldb"
@@ -39,6 +41,15 @@ type DB struct {
 	obs       *obs.Metrics
 	tracer    obs.Tracer
 	slowQuery time.Duration
+
+	// wal, walFS, walDir and snapshotEvery are the durability hooks (see
+	// durable.go, wal.go): all nil/zero for a purely in-memory database
+	// — every hook then reduces to one nil check — and set once by
+	// OpenAtOpts before the DB is shared.
+	wal           *walWriter
+	walFS         faultfs.FS
+	walDir        string
+	snapshotEvery int
 }
 
 type table struct {
@@ -79,7 +90,23 @@ func (db *DB) SetEnforceFK(on bool) {
 func (db *DB) CreateTable(def *rel.Table) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.createTableLocked(def)
+	if err := db.createTableLocked(def); err != nil {
+		return err
+	}
+	if err := db.logDDL(ddlRecord{Op: "create_table", Def: def}); err != nil {
+		db.undoCreateTableLocked(def.Name)
+		return err
+	}
+	return nil
+}
+
+// undoCreateTableLocked removes a table that was registered moments ago
+// but whose DDL could not be logged.
+func (db *DB) undoCreateTableLocked(name string) {
+	delete(db.tables, name)
+	if n := len(db.order); n > 0 && db.order[n-1] == name {
+		db.order = db.order[:n-1]
+	}
 }
 
 func (db *DB) createTableLocked(def *rel.Table) error {
@@ -113,6 +140,10 @@ func (db *DB) CreateSchema(s *rel.Schema) error {
 		if err := db.createTableLocked(t); err != nil {
 			return err
 		}
+		if err := db.logDDL(ddlRecord{Op: "create_table", Def: t}); err != nil {
+			db.undoCreateTableLocked(t.Name)
+			return err
+		}
 	}
 	return nil
 }
@@ -144,6 +175,10 @@ func (db *DB) CreateIndex(name, tableName string, cols []string, unique bool) er
 		}
 		ix.m[key] = append(ix.m[key], pos)
 	}
+	if err := db.logDDL(ddlRecord{Op: "create_index", Name: name, Table: tableName, Cols: cols, Unique: unique}); err != nil {
+		delete(t.indexes, name)
+		return err
+	}
 	return nil
 }
 
@@ -154,6 +189,9 @@ func (db *DB) DropIndex(name string) error {
 	defer db.mu.Unlock()
 	for _, t := range db.tables {
 		if _, ok := t.indexes[name]; ok {
+			if err := db.logDDL(ddlRecord{Op: "drop_index", Name: name}); err != nil {
+				return err
+			}
 			delete(t.indexes, name)
 			return nil
 		}
@@ -161,12 +199,51 @@ func (db *DB) DropIndex(name string) error {
 	return fmt.Errorf("engine: no such index %q", name)
 }
 
-// DropTable removes a table.
+// DependencyError reports a DropTable refused because other tables
+// still reference the target through foreign keys: dropping it would
+// leave dangling references while enforcement is on.
+type DependencyError struct {
+	// Table is the table whose drop was refused.
+	Table string
+	// ReferencedBy lists the tables with foreign keys into Table, in
+	// creation order.
+	ReferencedBy []string
+}
+
+func (e *DependencyError) Error() string {
+	return fmt.Sprintf("engine: cannot drop table %q: referenced by foreign keys from %s",
+		e.Table, strings.Join(e.ReferencedBy, ", "))
+}
+
+// DropTable removes a table. While foreign-key enforcement is on, a
+// table that other tables reference cannot be dropped — that would
+// silently turn their FK columns into dangling references — and the
+// call fails with a *DependencyError naming the referencing tables.
 func (db *DB) DropTable(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, ok := db.tables[name]; !ok {
 		return fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	if db.enforceFK {
+		var refs []string
+		for _, other := range db.order {
+			if other == name {
+				continue // a self-reference dies with the table
+			}
+			for _, fk := range db.tables[other].def.ForeignKeys {
+				if fk.RefTable == name {
+					refs = append(refs, other)
+					break
+				}
+			}
+		}
+		if len(refs) > 0 {
+			return &DependencyError{Table: name, ReferencedBy: refs}
+		}
+	}
+	if err := db.logDDL(ddlRecord{Op: "drop_table", Name: name}); err != nil {
+		return err
 	}
 	delete(db.tables, name)
 	for i, n := range db.order {
@@ -290,6 +367,14 @@ func (db *DB) fkReads(t *table) []string {
 // Insert appends one row given in column order, enforcing constraints.
 // It returns the row position.
 func (db *DB) Insert(tableName string, row []any) (int, error) {
+	pos, err := db.insertOne(tableName, row)
+	if err == nil {
+		db.maybeCheckpoint()
+	}
+	return pos, err
+}
+
+func (db *DB) insertOne(tableName string, row []any) (int, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	t := db.tables[tableName]
@@ -304,6 +389,14 @@ func (db *DB) Insert(tableName string, row []any) (int, error) {
 // InsertMap appends one row given as a column->value map; omitted
 // columns are NULL.
 func (db *DB) InsertMap(tableName string, vals map[string]any) (int, error) {
+	pos, err := db.insertMap(tableName, vals)
+	if err == nil {
+		db.maybeCheckpoint()
+	}
+	return pos, err
+}
+
+func (db *DB) insertMap(tableName string, vals map[string]any) (int, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	t := db.tables[tableName]
@@ -333,6 +426,14 @@ func (db *DB) InsertBatch(tableName string, rows [][]any) (int, error) {
 	if len(rows) == 0 {
 		return 0, nil
 	}
+	n, err := db.insertBatch(tableName, rows)
+	if err == nil {
+		db.maybeCheckpoint()
+	}
+	return n, err
+}
+
+func (db *DB) insertBatch(tableName string, rows [][]any) (int, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	t := db.tables[tableName]
@@ -358,12 +459,93 @@ func (db *DB) InsertBatch(tableName string, rows [][]any) (int, error) {
 			return 0, fmt.Errorf("engine: batch row %d: %w", i, err)
 		}
 	}
+	if werr := db.logBatch(tableName, staged); werr != nil {
+		// An aborted batch must never reach the log, and logged state must
+		// never trail the applied state: unwind the whole batch.
+		db.rollbackToLocked(t, start)
+		return 0, werr
+	}
 	if t.obs != nil {
 		t.obs.Batches.Inc()
 		t.obs.BatchRows.Observe(int64(len(staged)))
 		t.obs.RowsInserted.Add(int64(len(staged)))
 	}
 	return len(staged), nil
+}
+
+// InsertBatchMulti appends batches to several tables under one lock
+// acquisition and, when the database is durable, one WAL frame — the
+// unit the corpus loader uses to make each document atomic: after a
+// crash, a document's rows are either present in every table or in
+// none. Batches are applied in slice order (parent tables before
+// children), the same table may appear more than once, and the whole
+// operation is atomic. It returns the total number of rows inserted.
+func (db *DB) InsertBatchMulti(tables []string, batches [][][]any) (int, error) {
+	if len(tables) != len(batches) {
+		return 0, fmt.Errorf("engine: InsertBatchMulti got %d tables but %d batches", len(tables), len(batches))
+	}
+	if len(tables) == 0 {
+		return 0, nil
+	}
+	n, err := db.insertBatchMulti(tables, batches)
+	if err == nil {
+		db.maybeCheckpoint()
+	}
+	return n, err
+}
+
+func (db *DB) insertBatchMulti(tables []string, batches [][][]any) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var reads []string
+	staged := make([][][]any, len(tables))
+	tabs := make([]*table, len(tables))
+	for i, name := range tables {
+		t := db.tables[name]
+		if t == nil {
+			return 0, fmt.Errorf("%w: %q", ErrNoTable, name)
+		}
+		tabs[i] = t
+		reads = append(reads, db.fkReads(t)...)
+		staged[i] = make([][]any, len(batches[i]))
+		for j, row := range batches[i] {
+			s, err := coerceRow(t, name, row)
+			if err != nil {
+				return 0, fmt.Errorf("engine: batch %s row %d: %w", name, j, err)
+			}
+			staged[i][j] = s
+		}
+	}
+	unlock := db.lockRows(tables, reads)
+	defer unlock()
+	starts := make(map[string]int, len(tables))
+	for i, name := range tables {
+		if _, ok := starts[name]; !ok {
+			starts[name] = len(tabs[i].rows)
+		}
+	}
+	total := 0
+	for i, name := range tables {
+		for j, s := range staged[i] {
+			if _, err := db.applyRowLocked(tabs[i], name, s); err != nil {
+				db.rollbackMulti(starts)
+				return 0, fmt.Errorf("engine: batch %s row %d: %w", name, j, err)
+			}
+			total++
+		}
+	}
+	if werr := db.logMulti(tables, staged); werr != nil {
+		db.rollbackMulti(starts)
+		return 0, werr
+	}
+	for i, t := range tabs {
+		if t.obs != nil && len(staged[i]) > 0 {
+			t.obs.Batches.Inc()
+			t.obs.BatchRows.Observe(int64(len(staged[i])))
+			t.obs.RowsInserted.Add(int64(len(staged[i])))
+		}
+	}
+	return total, nil
 }
 
 // rollbackToLocked removes the rows appended at or after start together
@@ -451,11 +633,20 @@ func (db *DB) insertLocked(tableName string, row []any) (int, error) {
 		return 0, err
 	}
 	pos, err := db.applyRowLocked(t, tableName, stored)
-	if err == nil && t.obs != nil {
+	if err != nil {
+		return pos, err
+	}
+	if werr := db.logInsert(tableName, stored); werr != nil {
+		// The log rejected the row: unwind the in-memory apply so the
+		// applied state never runs ahead of the durable state.
+		db.rollbackToLocked(t, pos)
+		return 0, werr
+	}
+	if t.obs != nil {
 		t.obs.Inserts.Inc()
 		t.obs.RowsInserted.Inc()
 	}
-	return pos, err
+	return pos, nil
 }
 
 func (db *DB) checkFKLocked(t *table, row []any, fk rel.ForeignKey) error {
@@ -773,6 +964,16 @@ func (db *DB) execUpdate(up *sqldb.Update) (int, error) {
 	defer unlock()
 	env := newSingleTableEnv(t, up.Table)
 	changed := 0
+	// UPDATE is not atomic: an error keeps the rows changed so far, and
+	// exactly those (position + post-image) go to the WAL on the way out.
+	var walPos []int
+	var walRows [][]any
+	finish := func(err error) (int, error) {
+		if werr := db.logUpdate(up.Table, walPos, walRows); werr != nil && err == nil {
+			err = werr
+		}
+		return changed, err
+	}
 	for pos, row := range t.rows {
 		if row == nil {
 			continue
@@ -781,7 +982,7 @@ func (db *DB) execUpdate(up *sqldb.Update) (int, error) {
 		if up.Where != nil {
 			v, err := evalExpr(up.Where, env)
 			if err != nil {
-				return changed, err
+				return finish(err)
 			}
 			if !truthy(v) {
 				continue
@@ -791,18 +992,18 @@ func (db *DB) execUpdate(up *sqldb.Update) (int, error) {
 		for _, as := range up.Set {
 			_, cp := t.def.Column(as.Column)
 			if cp < 0 {
-				return changed, fmt.Errorf("engine: table %q has no column %q", up.Table, as.Column)
+				return finish(fmt.Errorf("engine: table %q has no column %q", up.Table, as.Column))
 			}
 			v, err := evalExpr(as.Value, env)
 			if err != nil {
-				return changed, err
+				return finish(err)
 			}
 			cv, err := coerce(v, t.def.Columns[cp].Type)
 			if err != nil {
-				return changed, err
+				return finish(err)
 			}
 			if cv == nil && t.def.Columns[cp].NotNull {
-				return changed, fmt.Errorf("%w: column %s.%s is NOT NULL", ErrConstraint, up.Table, as.Column)
+				return finish(fmt.Errorf("%w: column %s.%s is NOT NULL", ErrConstraint, up.Table, as.Column))
 			}
 			newRow[cp] = cv
 		}
@@ -820,7 +1021,7 @@ func (db *DB) execUpdate(up *sqldb.Update) (int, error) {
 				continue
 			}
 			if ix.unique && len(ix.m[newKey]) > 0 {
-				return changed, fmt.Errorf("%w: duplicate key in %s (index %s)", ErrConstraint, up.Table, ix.name)
+				return finish(fmt.Errorf("%w: duplicate key in %s (index %s)", ErrConstraint, up.Table, ix.name))
 			}
 			rekeys = append(rekeys, rekey{ix, oldKey, newKey})
 		}
@@ -831,8 +1032,10 @@ func (db *DB) execUpdate(up *sqldb.Update) (int, error) {
 		t.rows[pos] = newRow
 		t.markOrderedDirty()
 		changed++
+		walPos = append(walPos, pos)
+		walRows = append(walRows, newRow)
 	}
-	return changed, nil
+	return finish(nil)
 }
 
 func (db *DB) execDelete(del *sqldb.Delete) (int, error) {
@@ -846,6 +1049,15 @@ func (db *DB) execDelete(del *sqldb.Delete) (int, error) {
 	defer unlock()
 	env := newSingleTableEnv(t, del.Table)
 	deleted := 0
+	// Like UPDATE, DELETE is not atomic: the positions removed so far go
+	// to the WAL on every exit path.
+	var walPos []int
+	finish := func(err error) (int, error) {
+		if werr := db.logDelete(del.Table, walPos); werr != nil && err == nil {
+			err = werr
+		}
+		return deleted, err
+	}
 	for pos, row := range t.rows {
 		if row == nil {
 			continue
@@ -854,7 +1066,7 @@ func (db *DB) execDelete(del *sqldb.Delete) (int, error) {
 		if del.Where != nil {
 			v, err := evalExpr(del.Where, env)
 			if err != nil {
-				return deleted, err
+				return finish(err)
 			}
 			if !truthy(v) {
 				continue
@@ -867,8 +1079,9 @@ func (db *DB) execDelete(del *sqldb.Delete) (int, error) {
 		t.rows[pos] = nil
 		t.markOrderedDirty()
 		deleted++
+		walPos = append(walPos, pos)
 	}
-	return deleted, nil
+	return finish(nil)
 }
 
 func removeInt(xs []int, x int) []int {

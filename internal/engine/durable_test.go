@@ -1,0 +1,291 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"xmlrdb/internal/faultfs"
+	"xmlrdb/internal/obs"
+)
+
+// dumpState renders the full logical state — catalog, index definitions
+// and the row slice with its holes (positions are part of the durable
+// contract: WAL update/delete frames reference them) — as a canonical
+// string, so two databases are behaviorally identical iff their dumps
+// are equal.
+func dumpState(db *DB) string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var sb strings.Builder
+	for _, name := range db.order {
+		t := db.tables[name]
+		def, _ := json.Marshal(t.def)
+		fmt.Fprintf(&sb, "table %s def=%s\n", name, def)
+		ixNames := make([]string, 0, len(t.indexes))
+		for n := range t.indexes {
+			ixNames = append(ixNames, n)
+		}
+		sort.Strings(ixNames)
+		for _, n := range ixNames {
+			ix := t.indexes[n]
+			fmt.Fprintf(&sb, "  index %s cols=%v unique=%v\n", n, ix.cols, ix.unique)
+		}
+		oxNames := make([]string, 0, len(t.ordered))
+		for n := range t.ordered {
+			oxNames = append(oxNames, n)
+		}
+		sort.Strings(oxNames)
+		for _, n := range oxNames {
+			fmt.Fprintf(&sb, "  ordered %s col=%d\n", n, t.ordered[n].col)
+		}
+		for pos, row := range t.rows {
+			fmt.Fprintf(&sb, "  row %d %#v\n", pos, row)
+		}
+	}
+	return sb.String()
+}
+
+// runWorkload drives a representative mix of mutations through db.
+func runWorkload(t testing.TB, db *DB) {
+	t.Helper()
+	_, _, err := db.ExecScript(`
+CREATE TABLE authors (id INTEGER PRIMARY KEY, name TEXT NOT NULL, age INTEGER);
+CREATE TABLE books (id INTEGER PRIMARY KEY, title TEXT NOT NULL, author INTEGER,
+  year INTEGER, FOREIGN KEY (author) REFERENCES authors (id));
+INSERT INTO authors VALUES (1, 'Smith', 40);
+INSERT INTO authors VALUES (2, 'Brown', 35);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.InsertBatch("books", [][]any{
+		{10, "XML RDBMS", 1, 1999},
+		{11, "Go Systems", 2, 2005},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.InsertBatchMulti(
+		[]string{"authors", "books"},
+		[][][]any{{{3, "Lee", 50}}, {{12, "Data Models", 3, 2001}}},
+	); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = db.ExecScript(`
+CREATE INDEX books_year ON books (year);
+UPDATE books SET year = 2002 WHERE id = 12;
+DELETE FROM books WHERE id = 11;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurableReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenAt(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorkload(t, db)
+	want := dumpState(db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := OpenAtOpts(dir, DurabilityOptions{VerifyOnRecover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := dumpState(db2); got != want {
+		t.Errorf("state changed across reopen:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+	rows := db2.MustQuery(`SELECT title FROM books WHERE year > 2000 ORDER BY title`)
+	if len(rows.Data) != 1 || rows.Data[0][0] != "Data Models" {
+		t.Errorf("post-recovery query got %v", rows.Data)
+	}
+	// The recovered database accepts new durable writes.
+	if _, err := db2.Insert("authors", []any{4, "Wu", 29}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurableTornTailTolerated(t *testing.T) {
+	fs := faultfs.NewMem()
+	dir := "data"
+	db, err := OpenAtOpts(dir, DurabilityOptions{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorkload(t, db)
+	full := dumpState(db)
+	db.Close()
+
+	segs, _, err := listWALFiles(fs, dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want one segment, got %v (%v)", segs, err)
+	}
+	seg := filepath.Join(dir, segs[0])
+	data, err := readAll(fs, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference states: the dump after each frame of the intact log.
+	ref := Open()
+	ref.enforceFK = false
+	states := []string{dumpState(ref)}
+	for _, fr := range decodeFrames(data) {
+		if err := ref.applyFrame(fr); err != nil {
+			t.Fatal(err)
+		}
+		states = append(states, dumpState(ref))
+	}
+	if states[len(states)-1] != full {
+		t.Fatal("frame-by-frame replay of the intact log diverged from the live state")
+	}
+	// Chop the tail at every length: recovery must never error, and must
+	// land exactly on the state of the last frame still fully contained.
+	for cut := 0; cut <= len(data); cut++ {
+		fs2 := faultfs.NewMem()
+		fs2.MkdirAll(dir)
+		f, _ := fs2.Create(seg)
+		f.Write(data[:cut])
+		f.Close()
+		db2, err := OpenAtOpts(dir, DurabilityOptions{FS: fs2, VerifyOnRecover: true})
+		if err != nil {
+			t.Fatalf("cut=%d: recovery failed: %v", cut, err)
+		}
+		if got, want := dumpState(db2), states[len(decodeFrames(data[:cut]))]; got != want {
+			t.Fatalf("cut=%d: recovered state is not the longest valid prefix:\n--- want ---\n%s--- got ---\n%s", cut, want, got)
+		}
+		db2.Close()
+	}
+}
+
+func TestDurableSnapshotRotation(t *testing.T) {
+	fs := faultfs.NewMem()
+	dir := "data"
+	m := obs.New()
+	db, err := OpenAtOpts(dir, DurabilityOptions{FS: fs, SnapshotEvery: 10, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.Exec(`CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 95; i++ {
+		if _, err := db.Insert("kv", []any{i, fmt.Sprintf("v%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := dumpState(db)
+	db.Close()
+
+	segs, snaps, err := listWALFiles(fs, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 {
+		t.Errorf("want exactly one surviving snapshot, got %v", snaps)
+	}
+	if len(segs) != 1 {
+		t.Errorf("want exactly one surviving segment, got %v", segs)
+	}
+	snap := m.Snapshot()
+	if snap.WAL.Snapshots == 0 || snap.WAL.Frames == 0 {
+		t.Errorf("metrics not recorded: %+v", snap.WAL)
+	}
+
+	db2, err := OpenAtOpts(dir, DurabilityOptions{FS: fs, VerifyOnRecover: true, Metrics: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := dumpState(db2); got != want {
+		t.Errorf("snapshot+tail recovery diverged:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+}
+
+func TestDurableExplicitCheckpointAndContinue(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenAt(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorkload(t, db)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutations after the checkpoint land in the fresh segment.
+	if _, err := db.Insert("authors", []any{4, "Wu", 29}); err != nil {
+		t.Fatal(err)
+	}
+	want := dumpState(db)
+	db.Close()
+
+	db2, err := OpenAtOpts(dir, DurabilityOptions{VerifyOnRecover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := dumpState(db2); got != want {
+		t.Errorf("checkpoint+tail recovery diverged:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+}
+
+func TestDurableConcurrentInserts(t *testing.T) {
+	fs := faultfs.NewMem()
+	dir := "data"
+	db, err := OpenAtOpts(dir, DurabilityOptions{FS: fs, SnapshotEvery: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range []string{"a", "b", "c"} {
+		if _, _, err := db.Exec(`CREATE TABLE ` + tb + ` (k INTEGER PRIMARY KEY, v TEXT)`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const perTable = 120
+	var wg sync.WaitGroup
+	for _, tb := range []string{"a", "b", "c"} {
+		wg.Add(1)
+		go func(tb string) {
+			defer wg.Done()
+			for i := 0; i < perTable; i++ {
+				if _, err := db.Insert(tb, []any{i, tb}); err != nil {
+					t.Errorf("insert %s/%d: %v", tb, i, err)
+					return
+				}
+			}
+		}(tb)
+	}
+	wg.Wait()
+	db.Close()
+
+	db2, err := OpenAtOpts(dir, DurabilityOptions{FS: fs, VerifyOnRecover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for _, tb := range []string{"a", "b", "c"} {
+		if n := db2.RowCount(tb); n != perTable {
+			t.Errorf("table %s: recovered %d rows, want %d", tb, n, perTable)
+		}
+	}
+}
+
+func TestCheckpointOnInMemoryDB(t *testing.T) {
+	db := Open()
+	if err := db.Checkpoint(); !errors.Is(err, ErrNotDurable) {
+		t.Errorf("Checkpoint on in-memory DB: got %v, want ErrNotDurable", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Errorf("Close on in-memory DB: %v", err)
+	}
+}

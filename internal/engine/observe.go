@@ -23,6 +23,11 @@ func (db *DB) SetMetrics(m *obs.Metrics) {
 			t.obs = nil
 		}
 	}
+	if db.wal != nil {
+		db.wal.mu.Lock()
+		db.wal.obs = m
+		db.wal.mu.Unlock()
+	}
 }
 
 // SetTracer attaches a tracer for structured events (slow queries).
@@ -48,11 +53,14 @@ func (db *DB) SetSlowQueryThreshold(d time.Duration) {
 // is attached. sql is the original text when known (for trace detail).
 func (db *DB) execStmtObserved(st sqldb.Stmt, sql string) (Result, *Rows, error) {
 	if db.obs == nil && db.tracer == nil {
-		return db.dispatchStmt(st)
+		res, rows, err := db.dispatchStmt(st)
+		db.maybeCheckpoint()
+		return res, rows, err
 	}
 	start := time.Now()
 	res, rows, err := db.dispatchStmt(st)
 	d := time.Since(start)
+	db.maybeCheckpoint()
 	if db.obs != nil {
 		db.obs.ExecLatency.ObserveDuration(d)
 		switch st.(type) {

@@ -55,6 +55,10 @@ func (db *DB) CreateOrderedIndex(name, tableName, col string) error {
 	ix := &orderedIndex{name: name, col: pos, dirty: true}
 	t.ordered[name] = ix
 	ix.rebuild(t)
+	if err := db.logDDL(ddlRecord{Op: "create_index", Name: name, Table: tableName, Cols: []string{col}, Ordered: true}); err != nil {
+		delete(t.ordered, name)
+		return err
+	}
 	return nil
 }
 
@@ -64,6 +68,9 @@ func (db *DB) DropOrderedIndex(name string) error {
 	defer db.mu.Unlock()
 	for _, t := range db.tables {
 		if _, ok := t.ordered[name]; ok {
+			if err := db.logDDL(ddlRecord{Op: "drop_index", Name: name, Ordered: true}); err != nil {
+				return err
+			}
 			delete(t.ordered, name)
 			return nil
 		}

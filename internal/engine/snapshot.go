@@ -1,0 +1,234 @@
+package engine
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+
+	"xmlrdb/internal/faultfs"
+	"xmlrdb/internal/rel"
+)
+
+// A snapshot is a full dump of the catalog and every table's row slice
+// (holes included, so row positions — which WAL update/delete frames
+// reference — survive the round trip) tagged with the WAL sequence
+// number it covers:
+//
+//	8 bytes  magic "XRDBSNP1"
+//	uvarint  covered WAL sequence number
+//	uvarint  table count, then per table in creation order:
+//	         uvarint-length-prefixed JSON snapTableHeader,
+//	         uvarint slot count, then per slot 0x00 (hole) or
+//	         0x01 + row in the WAL value codec
+//	uint32   IEEE CRC-32 of everything above (little endian)
+//
+// Snapshots are published atomically: written to a .tmp file, synced,
+// then renamed into place. Hash-index contents are rebuilt from the
+// rows on load; ordered indexes are recreated dirty and rebuild lazily.
+
+var snapMagic = [8]byte{'X', 'R', 'D', 'B', 'S', 'N', 'P', '1'}
+
+// snapTableHeader is the per-table JSON header of a snapshot.
+type snapTableHeader struct {
+	Def     *rel.Table    `json:"def"`
+	Indexes []snapIndex   `json:"indexes,omitempty"`
+	Ordered []snapOrdered `json:"ordered,omitempty"`
+}
+
+type snapIndex struct {
+	Name   string   `json:"name"`
+	Cols   []string `json:"cols"`
+	Unique bool     `json:"unique,omitempty"`
+}
+
+type snapOrdered struct {
+	Name string `json:"name"`
+	Col  string `json:"col"`
+}
+
+// encodeSnapshot serializes the database under the caller's locks
+// (db.mu shared plus read locks on every table).
+func (db *DB) encodeSnapshot(seq uint64) ([]byte, error) {
+	buf := append([]byte(nil), snapMagic[:]...)
+	buf = binary.AppendUvarint(buf, seq)
+	buf = binary.AppendUvarint(buf, uint64(len(db.order)))
+	for _, name := range db.order {
+		t := db.tables[name]
+		hdr := snapTableHeader{Def: t.def}
+		for _, ix := range t.indexes {
+			cols := make([]string, len(ix.cols))
+			for i, c := range ix.cols {
+				cols[i] = t.def.Columns[c].Name
+			}
+			hdr.Indexes = append(hdr.Indexes, snapIndex{Name: ix.name, Cols: cols, Unique: ix.unique})
+		}
+		for _, ox := range t.ordered {
+			hdr.Ordered = append(hdr.Ordered, snapOrdered{Name: ox.name, Col: t.def.Columns[ox.col].Name})
+		}
+		hj, err := json.Marshal(hdr)
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(hj)))
+		buf = append(buf, hj...)
+		buf = binary.AppendUvarint(buf, uint64(len(t.rows)))
+		for _, row := range t.rows {
+			if row == nil {
+				buf = append(buf, 0)
+				continue
+			}
+			buf = append(buf, 1)
+			if buf, err = appendWALRow(buf, row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf)), nil
+}
+
+// writeSnapshotLocked dumps the database to snap-<seq>.snap via a
+// temp-file rename. The caller holds db.mu (shared), read locks on
+// every table, and wal.mu — so the dump is exactly the state produced
+// by frames 1..seq.
+func (db *DB) writeSnapshotLocked(fs faultfs.FS, dir string, seq uint64) error {
+	data, err := db.encodeSnapshot(seq)
+	if err != nil {
+		return err
+	}
+	final := filepath.Join(dir, snapshotName(seq))
+	tmp := final + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if db.obs != nil {
+		db.obs.WALFsyncs.Inc()
+	}
+	return fs.Rename(tmp, final)
+}
+
+// loadSnapshot validates and decodes a snapshot into a fresh table set.
+// Every length and name is checked before use, so corrupt input yields
+// an error, never a panic; the CRC makes accidental corruption all but
+// impossible to miss.
+func loadSnapshot(data []byte) (tables map[string]*table, order []string, seq uint64, err error) {
+	if len(data) < len(snapMagic)+4 {
+		return nil, nil, 0, fmt.Errorf("engine: snapshot too short")
+	}
+	if string(data[:len(snapMagic)]) != string(snapMagic[:]) {
+		return nil, nil, 0, fmt.Errorf("engine: bad snapshot magic")
+	}
+	body, crc := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != crc {
+		return nil, nil, 0, fmt.Errorf("engine: snapshot checksum mismatch")
+	}
+	r := &walReader{data: body, pos: len(snapMagic)}
+	if seq, err = r.uvarint(); err != nil {
+		return nil, nil, 0, err
+	}
+	ntables, err := r.uvarint()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if ntables > uint64(len(body)) {
+		return nil, nil, 0, errWALCorrupt
+	}
+	tables = make(map[string]*table, ntables)
+	for i := uint64(0); i < ntables; i++ {
+		hlen, err := r.uvarint()
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		hj, err := r.bytes(hlen)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		var hdr snapTableHeader
+		if err := json.Unmarshal(hj, &hdr); err != nil {
+			return nil, nil, 0, fmt.Errorf("engine: snapshot table header: %w", err)
+		}
+		if hdr.Def == nil || hdr.Def.Name == "" {
+			return nil, nil, 0, fmt.Errorf("engine: snapshot table header missing definition")
+		}
+		if _, dup := tables[hdr.Def.Name]; dup {
+			return nil, nil, 0, fmt.Errorf("engine: snapshot duplicates table %q", hdr.Def.Name)
+		}
+		t := &table{def: hdr.Def, indexes: make(map[string]*index)}
+		for _, ixh := range hdr.Indexes {
+			if _, dup := t.indexes[ixh.Name]; dup {
+				return nil, nil, 0, fmt.Errorf("engine: snapshot duplicates index %q", ixh.Name)
+			}
+			if err := t.addIndex(ixh.Name, ixh.Cols, ixh.Unique); err != nil {
+				return nil, nil, 0, err
+			}
+		}
+		for _, oxh := range hdr.Ordered {
+			_, pos := t.def.Column(oxh.Col)
+			if pos < 0 {
+				return nil, nil, 0, fmt.Errorf("engine: snapshot ordered index %q on missing column %q", oxh.Name, oxh.Col)
+			}
+			if t.ordered == nil {
+				t.ordered = make(map[string]*orderedIndex)
+			}
+			t.ordered[oxh.Name] = &orderedIndex{name: oxh.Name, col: pos, dirty: true}
+		}
+		nrows, err := r.uvarint()
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if nrows > uint64(len(body)-r.pos) { // each slot costs >= 1 byte
+			return nil, nil, 0, errWALCorrupt
+		}
+		t.rows = make([][]any, 0, nrows)
+		for j := uint64(0); j < nrows; j++ {
+			tag, err := r.byte1()
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			switch tag {
+			case 0:
+				t.rows = append(t.rows, nil)
+			case 1:
+				row, err := r.row()
+				if err != nil {
+					return nil, nil, 0, err
+				}
+				if len(row) != len(t.def.Columns) {
+					return nil, nil, 0, fmt.Errorf("engine: snapshot row width mismatch in %q", t.def.Name)
+				}
+				t.rows = append(t.rows, row)
+			default:
+				return nil, nil, 0, errWALCorrupt
+			}
+		}
+		// Rebuild the hash-index contents from the rows.
+		for pos, row := range t.rows {
+			if row == nil {
+				continue
+			}
+			for _, ix := range t.indexes {
+				key := ix.keyOf(row)
+				if ix.unique && len(ix.m[key]) > 0 {
+					return nil, nil, 0, fmt.Errorf("%w: snapshot violates unique index %q", ErrConstraint, ix.name)
+				}
+				ix.m[key] = append(ix.m[key], pos)
+			}
+		}
+		tables[hdr.Def.Name] = t
+		order = append(order, hdr.Def.Name)
+	}
+	return tables, order, seq, nil
+}

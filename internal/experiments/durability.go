@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"xmlrdb/internal/core"
+	"xmlrdb/internal/dtd"
+	"xmlrdb/internal/engine"
+	"xmlrdb/internal/ermap"
+	"xmlrdb/internal/meta"
+	"xmlrdb/internal/obs"
+	"xmlrdb/internal/paper"
+	"xmlrdb/internal/shred"
+)
+
+// E7b measures what durability costs and what recovery buys back: the
+// same corpus is bulk-loaded into an in-memory engine and into durable
+// stores at several snapshot intervals, then each durable store is
+// reopened cold and its recovery time and replayed-frame count are
+// recorded. Smaller intervals trade more snapshot work during loading
+// for shorter logs (and faster recovery) afterwards.
+func E7b(seed int64) (*Table, error) {
+	t := &Table{
+		ID: "E7b", Title: "crash recovery cost vs snapshot interval (er mapping, 150 synthetic documents)",
+		Header: []string{"config", "load", "docs/s", "wal-KB", "frames", "fsyncs", "snapshots", "recover", "replayed", "docs-back"},
+		Notes: []string{
+			"expected shape: WAL-only loads fastest but replays every frame on recovery; frequent snapshots shorten the log (fewer replayed frames, faster recovery) at the price of snapshot writes during loading",
+		},
+	}
+	d := dtd.MustParse(paper.Example1DTD)
+	docs, err := corpusFor(d, 150, seed)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Map(d)
+	if err != nil {
+		return nil, err
+	}
+	m, err := ermap.Build(res.Model, ermap.Options{})
+	if err != nil {
+		return nil, err
+	}
+	configs := []struct {
+		name string
+		// interval < 0 means in-memory (no durability); 0 means WAL only.
+		interval int
+	}{
+		{"memory", -1},
+		{"wal-only", 0},
+		{"snap=500", 500},
+		{"snap=100", 100},
+		{"snap=25", 25},
+	}
+	for _, cfg := range configs {
+		hub := obs.New()
+		var (
+			db  *engine.DB
+			dir string
+		)
+		if cfg.interval < 0 {
+			db = engine.Open()
+		} else {
+			dir, err = os.MkdirTemp("", "xmlrdb-e7b-*")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(dir)
+			db, err = engine.OpenAtOpts(dir, engine.DurabilityOptions{
+				SnapshotEvery: cfg.interval, Metrics: hub,
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := db.CreateSchema(m.Schema); err != nil {
+			return nil, err
+		}
+		if err := meta.Store(db, res, m); err != nil {
+			return nil, err
+		}
+		l, err := shred.NewLoader(res, m, db)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := l.LoadCorpus(docs, 4); err != nil {
+			return nil, fmt.Errorf("%s: %w", cfg.name, err)
+		}
+		loadElapsed := time.Since(start)
+		loaded := db.RowCount("x_docs")
+		if err := db.Close(); err != nil {
+			return nil, err
+		}
+		s := hub.Snapshot()
+
+		recover, replayed, docsBack := "-", "-", "-"
+		if cfg.interval >= 0 {
+			rhub := obs.New()
+			rstart := time.Now()
+			rdb, err := engine.OpenAtOpts(dir, engine.DurabilityOptions{Metrics: rhub})
+			if err != nil {
+				return nil, fmt.Errorf("%s: reopen: %w", cfg.name, err)
+			}
+			relapsed := time.Since(rstart)
+			back := rdb.RowCount("x_docs")
+			if back != loaded {
+				return nil, fmt.Errorf("%s: recovered %d documents, loaded %d", cfg.name, back, loaded)
+			}
+			if err := rdb.Close(); err != nil {
+				return nil, err
+			}
+			recover = relapsed.Round(time.Millisecond).String()
+			replayed = fmt.Sprint(rhub.Snapshot().WAL.ReplayFrames)
+			docsBack = fmt.Sprint(back)
+		}
+		t.Rows = append(t.Rows, []string{
+			cfg.name,
+			loadElapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", float64(len(docs))/loadElapsed.Seconds()),
+			fmt.Sprint(s.WAL.Bytes / 1024),
+			fmt.Sprint(s.WAL.Frames),
+			fmt.Sprint(s.WAL.Fsyncs),
+			fmt.Sprint(s.WAL.Snapshots),
+			recover, replayed, docsBack,
+		})
+	}
+	return t, nil
+}

@@ -86,6 +86,7 @@ func All() []Runner {
 		{"e6", "query latency vs path depth per mapping", E6},
 		{"e6b", "EXPLAIN plan stats: joins emitted vs avoided (er mapping)", E6b},
 		{"e7", "round-trip fidelity, with and without ordering metadata", E7},
+		{"e7b", "crash recovery cost vs snapshot interval (durable store)", E7b},
 		{"e8", "reconstruction time vs document size", E8},
 		{"e9", "joins per query class per mapping ([SHT+99] comparison)", E9},
 		{"e10", "ablation: attribute distilling (step 2) on/off", E10},

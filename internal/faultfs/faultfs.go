@@ -1,0 +1,358 @@
+// Package faultfs abstracts the handful of file operations the engine's
+// durability layer performs (append-only log writes, write-then-rename
+// snapshot publication, directory listing) behind a small interface with
+// two implementations: the real OS filesystem, and an in-memory
+// filesystem with deterministic fault injection — a byte or fsync budget
+// that "crashes" the store mid-write, leaving exactly the bytes a torn
+// write would leave. Crash-recovery tests drive the injected filesystem
+// through every byte offset of a scripted workload and assert the
+// reopened store equals a committed prefix of the reference run.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrCrashed is returned by every operation of an injected filesystem
+// after its fault budget is exhausted: from the process's point of view
+// the machine has lost power.
+var ErrCrashed = errors.New("faultfs: injected crash")
+
+// File is the handle surface the durability layer needs: sequential
+// reads (recovery), sequential writes (log append, snapshot dump), and
+// durability barriers.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's written bytes to durable storage.
+	Sync() error
+}
+
+// FS is the filesystem surface of the durability layer.
+type FS interface {
+	// MkdirAll creates a directory and its parents.
+	MkdirAll(dir string) error
+	// Create opens a file for writing, truncating any existing content.
+	Create(name string) (File, error)
+	// Open opens a file for reading.
+	Open(name string) (File, error)
+	// Rename atomically replaces newname with oldname's content.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// List returns the base names of the directory's entries, sorted.
+	List(dir string) ([]string, error)
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Create implements FS.
+func (OS) Create(name string) (File, error) { return os.Create(name) }
+
+// Open implements FS.
+func (OS) Open(name string) (File, error) { return os.Open(name) }
+
+// Rename implements FS.
+func (OS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// List implements FS.
+func (OS) List(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Mem is an in-memory FS with deterministic fault injection. The zero
+// budget configuration never fails; SetWriteBudget and SetSyncBudget arm
+// a crash. All methods are safe for concurrent use.
+//
+// Crash model: a write that would exceed the byte budget stores only the
+// bytes that fit (a torn write) and fails; when the sync budget reaches
+// zero the Sync call itself fails. After either event the filesystem is
+// "crashed": every later operation returns ErrCrashed, mirroring a
+// process that lost its disk. If DropUnsynced is set, crashing also
+// truncates every file to its last-synced length, modeling page-cache
+// loss on power failure. ClearCrash simulates the machine coming back
+// up: the surviving bytes stay, the budgets are disarmed, and the store
+// can be reopened.
+type Mem struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	dirs  map[string]bool
+
+	// DropUnsynced, when set before the workload, truncates files to
+	// their last-synced length at crash time.
+	DropUnsynced bool
+
+	writeBudget int64 // bytes that may still be written; -1 = unlimited
+	syncBudget  int64 // syncs that may still succeed; -1 = unlimited
+	crashed     bool
+
+	bytesWritten int64
+	syncs        int64
+}
+
+type memFile struct {
+	data   []byte
+	synced int // length at last successful Sync
+}
+
+// NewMem returns an empty in-memory filesystem with no fault armed.
+func NewMem() *Mem {
+	return &Mem{files: make(map[string]*memFile), dirs: make(map[string]bool),
+		writeBudget: -1, syncBudget: -1}
+}
+
+// SetWriteBudget arms a crash after n more written bytes (0 crashes on
+// the next write; negative disarms).
+func (m *Mem) SetWriteBudget(n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.writeBudget = n
+}
+
+// SetSyncBudget arms a crash on the (n+1)-th Sync call from now.
+func (m *Mem) SetSyncBudget(n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.syncBudget = n
+}
+
+// BytesWritten returns the total bytes written so far (for sizing a
+// byte-offset crash matrix).
+func (m *Mem) BytesWritten() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytesWritten
+}
+
+// Syncs returns the number of successful Sync calls so far.
+func (m *Mem) Syncs() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.syncs
+}
+
+// Crashed reports whether the injected crash has fired.
+func (m *Mem) Crashed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashed
+}
+
+// ClearCrash simulates the machine restarting: budgets are disarmed and
+// operations succeed again over the bytes that survived the crash.
+func (m *Mem) ClearCrash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashed = false
+	m.writeBudget = -1
+	m.syncBudget = -1
+}
+
+// crashLocked fires the injected crash; the caller holds m.mu.
+func (m *Mem) crashLocked() {
+	m.crashed = true
+	if m.DropUnsynced {
+		for _, f := range m.files {
+			if f.synced < len(f.data) {
+				f.data = f.data[:f.synced]
+			}
+		}
+	}
+}
+
+// MkdirAll implements FS.
+func (m *Mem) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	m.dirs[filepath.Clean(dir)] = true
+	return nil
+}
+
+// Create implements FS.
+func (m *Mem) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	f := &memFile{}
+	m.files[filepath.Clean(name)] = f
+	return &memHandle{fs: m, f: f, name: filepath.Clean(name), writable: true}, nil
+}
+
+// Open implements FS.
+func (m *Mem) Open(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	f := m.files[filepath.Clean(name)]
+	if f == nil {
+		return nil, fmt.Errorf("faultfs: open %s: %w", name, os.ErrNotExist)
+	}
+	return &memHandle{fs: m, f: f, name: filepath.Clean(name)}, nil
+}
+
+// Rename implements FS. The replacement is atomic: no crash point leaves
+// a half-renamed file (matching rename(2) on a journaling filesystem).
+func (m *Mem) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	f := m.files[filepath.Clean(oldname)]
+	if f == nil {
+		return fmt.Errorf("faultfs: rename %s: %w", oldname, os.ErrNotExist)
+	}
+	delete(m.files, filepath.Clean(oldname))
+	m.files[filepath.Clean(newname)] = f
+	return nil
+}
+
+// Remove implements FS.
+func (m *Mem) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	if m.files[filepath.Clean(name)] == nil {
+		return fmt.Errorf("faultfs: remove %s: %w", name, os.ErrNotExist)
+	}
+	delete(m.files, filepath.Clean(name))
+	return nil
+}
+
+// List implements FS.
+func (m *Mem) List(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	prefix := filepath.Clean(dir) + string(filepath.Separator)
+	var names []string
+	for name := range m.files {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, filepath.Base(name))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+type memHandle struct {
+	fs       *Mem
+	f        *memFile
+	name     string
+	off      int // read offset
+	writable bool
+	closed   bool
+}
+
+// Read implements io.Reader over the file's surviving bytes.
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return 0, ErrCrashed
+	}
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	if h.off >= len(h.f.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.off:])
+	h.off += n
+	return n, nil
+}
+
+// Write appends to the file, consuming the write budget; a write that
+// exceeds it is torn at the budget boundary and fires the crash.
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return 0, ErrCrashed
+	}
+	if h.closed || !h.writable {
+		return 0, os.ErrClosed
+	}
+	n := len(p)
+	if h.fs.writeBudget >= 0 && int64(n) > h.fs.writeBudget {
+		n = int(h.fs.writeBudget)
+		h.f.data = append(h.f.data, p[:n]...)
+		h.fs.bytesWritten += int64(n)
+		h.fs.crashLocked()
+		return n, ErrCrashed
+	}
+	h.f.data = append(h.f.data, p...)
+	h.fs.bytesWritten += int64(n)
+	if h.fs.writeBudget >= 0 {
+		h.fs.writeBudget -= int64(n)
+	}
+	return n, nil
+}
+
+// Sync marks the file's current length durable, consuming the sync
+// budget.
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return ErrCrashed
+	}
+	if h.closed {
+		return os.ErrClosed
+	}
+	if h.fs.syncBudget == 0 {
+		h.fs.crashLocked()
+		return ErrCrashed
+	}
+	if h.fs.syncBudget > 0 {
+		h.fs.syncBudget--
+	}
+	h.f.synced = len(h.f.data)
+	h.fs.syncs++
+	return nil
+}
+
+// Close implements io.Closer.
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}

@@ -1,0 +1,137 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+func writeFile(t *testing.T, fs FS, name, content string) {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(content)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
+
+func readFile(t *testing.T, fs FS, name string) string {
+	t.Helper()
+	f, err := fs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestMemRoundTrip(t *testing.T) {
+	fs := NewMem()
+	if err := fs.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, fs, "d/b.log", "bbb")
+	writeFile(t, fs, "d/a.log", "aaa")
+	if got := readFile(t, fs, "d/a.log"); got != "aaa" {
+		t.Errorf("read back %q", got)
+	}
+	names, err := fs.List("d")
+	if err != nil || len(names) != 2 || names[0] != "a.log" || names[1] != "b.log" {
+		t.Errorf("List = %v, %v", names, err)
+	}
+	if err := fs.Rename("d/a.log", "d/c.log"); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, fs, "d/c.log"); got != "aaa" {
+		t.Errorf("renamed content %q", got)
+	}
+	if err := fs.Remove("d/b.log"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("d/b.log"); err == nil {
+		t.Error("removed file still opens")
+	}
+}
+
+func TestMemWriteBudgetTearsAndCrashes(t *testing.T) {
+	fs := NewMem()
+	f, _ := fs.Create("x")
+	fs.SetWriteBudget(5)
+	n, err := f.Write([]byte("0123456789"))
+	if n != 5 || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn write: n=%d err=%v", n, err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("crash did not fire")
+	}
+	if _, err := fs.Create("y"); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash Create = %v, want ErrCrashed", err)
+	}
+	fs.ClearCrash()
+	if got := readFile(t, fs, "x"); got != "01234" {
+		t.Errorf("surviving bytes %q, want the torn prefix", got)
+	}
+}
+
+func TestMemSyncBudgetAndDropUnsynced(t *testing.T) {
+	fs := NewMem()
+	fs.DropUnsynced = true
+	f, _ := fs.Create("x")
+	f.Write([]byte("durable"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("-lost"))
+	fs.SetSyncBudget(0)
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Sync with exhausted budget = %v", err)
+	}
+	fs.ClearCrash()
+	if got := readFile(t, fs, "x"); got != "durable" {
+		t.Errorf("after crash got %q, want only the synced prefix", got)
+	}
+}
+
+func TestMemCounters(t *testing.T) {
+	fs := NewMem()
+	f, _ := fs.Create("x")
+	f.Write([]byte("abc"))
+	f.Sync()
+	f.Write([]byte("de"))
+	f.Sync()
+	if fs.BytesWritten() != 5 {
+		t.Errorf("BytesWritten = %d", fs.BytesWritten())
+	}
+	if fs.Syncs() != 2 {
+		t.Errorf("Syncs = %d", fs.Syncs())
+	}
+}
+
+func TestOSFSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs := OS{}
+	if err := fs.MkdirAll(dir + "/sub"); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, fs, dir+"/sub/a.log", "hello")
+	if got := readFile(t, fs, dir+"/sub/a.log"); got != "hello" {
+		t.Errorf("read back %q", got)
+	}
+	if err := fs.Rename(dir+"/sub/a.log", dir+"/sub/b.log"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.List(dir + "/sub")
+	if err != nil || len(names) != 1 || names[0] != "b.log" {
+		t.Errorf("List = %v, %v", names, err)
+	}
+}

@@ -86,6 +86,16 @@ type Metrics struct {
 	// Pipeline: schema construction.
 	SchemaBuilds       Counter
 	SchemaBuildLatency Histogram
+
+	// Durability: write-ahead log, snapshots and recovery.
+	WALFrames       Counter // frames appended
+	WALBytes        Counter // bytes appended (frame headers included)
+	WALFsyncs       Counter // durability barriers issued
+	WALReplayFrames Counter // frames re-applied during recovery
+	Snapshots       Counter
+	SnapshotLatency Histogram
+	Recoveries      Counter
+	RecoveryLatency Histogram
 }
 
 // New returns an empty metrics hub.
@@ -153,6 +163,16 @@ type Snapshot struct {
 		Builds  int64        `json:"builds"`
 		Latency HistSnapshot `json:"latency"`
 	} `json:"schema"`
+	WAL struct {
+		Frames          int64        `json:"frames"`
+		Bytes           int64        `json:"bytes"`
+		Fsyncs          int64        `json:"fsyncs"`
+		ReplayFrames    int64        `json:"replay_frames"`
+		Snapshots       int64        `json:"snapshots"`
+		SnapshotLatency HistSnapshot `json:"snapshot_latency"`
+		Recoveries      int64        `json:"recoveries"`
+		RecoveryLatency HistSnapshot `json:"recovery_latency"`
+	} `json:"wal"`
 }
 
 // Snapshot captures the hub's current state.
@@ -206,6 +226,15 @@ func (m *Metrics) Snapshot() Snapshot {
 
 	s.Schema.Builds = m.SchemaBuilds.Load()
 	s.Schema.Latency = m.SchemaBuildLatency.Snapshot()
+
+	s.WAL.Frames = m.WALFrames.Load()
+	s.WAL.Bytes = m.WALBytes.Load()
+	s.WAL.Fsyncs = m.WALFsyncs.Load()
+	s.WAL.ReplayFrames = m.WALReplayFrames.Load()
+	s.WAL.Snapshots = m.Snapshots.Load()
+	s.WAL.SnapshotLatency = m.SnapshotLatency.Snapshot()
+	s.WAL.Recoveries = m.Recoveries.Load()
+	s.WAL.RecoveryLatency = m.RecoveryLatency.Snapshot()
 	return s
 }
 
@@ -271,6 +300,17 @@ func (s Snapshot) Report() string {
 	if s.Schema.Builds > 0 {
 		fmt.Fprintf(&b, "schema: builds=%d latency %s\n",
 			s.Schema.Builds, s.Schema.Latency.DurSummary())
+	}
+	if s.WAL.Frames > 0 || s.WAL.Recoveries > 0 {
+		fmt.Fprintf(&b, "wal: frames=%d bytes=%d fsyncs=%d snapshots=%d\n",
+			s.WAL.Frames, s.WAL.Bytes, s.WAL.Fsyncs, s.WAL.Snapshots)
+		if s.WAL.Snapshots > 0 {
+			fmt.Fprintf(&b, "wal: snapshot latency %s\n", s.WAL.SnapshotLatency.DurSummary())
+		}
+		if s.WAL.Recoveries > 0 {
+			fmt.Fprintf(&b, "wal: recoveries=%d replay-frames=%d recovery latency %s\n",
+				s.WAL.Recoveries, s.WAL.ReplayFrames, s.WAL.RecoveryLatency.DurSummary())
+		}
 	}
 	return b.String()
 }

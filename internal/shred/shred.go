@@ -13,6 +13,7 @@
 package shred
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -48,6 +49,27 @@ type BatchEngine interface {
 	Engine
 	// InsertBatch atomically appends rows in column order.
 	InsertBatch(table string, rows [][]any) (int, error)
+}
+
+// MultiBatchEngine is a BatchEngine that can apply batches to several
+// tables as one atomic unit (satisfied by *engine.DB). When the engine
+// offers it, a staged document flushes as a single multi-table batch —
+// on a durable engine that is one write-ahead-log frame, so a crash
+// mid-corpus loses only in-flight documents, never part of one.
+type MultiBatchEngine interface {
+	BatchEngine
+	// InsertBatchMulti atomically appends per-table batches in slice
+	// order.
+	InsertBatchMulti(tables []string, batches [][][]any) (int, error)
+}
+
+// Scanner is the read surface ResumeFrom needs (satisfied by
+// *engine.DB).
+type Scanner interface {
+	// TableNames returns the stored tables.
+	TableNames() []string
+	// ScanTable visits every live row; returning false stops the scan.
+	ScanTable(name string, fn func(row []any) bool) error
 }
 
 // Loader shreds documents conforming to one mapped DTD into an engine
@@ -149,6 +171,60 @@ func NewLoader(res *core.Result, m *ermap.Mapping, db Engine) (*Loader, error) {
 		l.distilled[e.Parent][e.Attr] = true
 	}
 	return l, nil
+}
+
+// ResumeFrom seeds the loader's document and per-entity id counters
+// from rows already stored in db, so documents loaded after reopening a
+// durable database continue the id sequences instead of colliding with
+// recovered rows. Call it once, before loading.
+func (l *Loader) ResumeFrom(db Scanner) error {
+	stored := make(map[string]bool)
+	for _, name := range db.TableNames() {
+		stored[name] = true
+	}
+	maxOf := func(table, col string) (int64, error) {
+		def := l.defs[table]
+		if def == nil || !stored[table] {
+			return 0, nil
+		}
+		_, pos := def.Column(col)
+		if pos < 0 {
+			return 0, nil
+		}
+		var max int64
+		err := db.ScanTable(table, func(row []any) bool {
+			if v, ok := row[pos].(int64); ok && v > max {
+				max = v
+			}
+			return true
+		})
+		return max, err
+	}
+	// Every mapped table carries the document number; taking the global
+	// maximum works with or without the x_docs system table.
+	var maxDoc int64
+	for name := range l.defs {
+		v, err := maxOf(name, "doc")
+		if err != nil {
+			return fmt.Errorf("shred: resume: %w", err)
+		}
+		if v > maxDoc {
+			maxDoc = v
+		}
+	}
+	if maxDoc > l.nextDoc.Load() {
+		l.nextDoc.Store(maxDoc)
+	}
+	for entity, ctr := range l.nextID {
+		v, err := maxOf(l.mapping.EntityTable(entity), "id")
+		if err != nil {
+			return fmt.Errorf("shred: resume: %w", err)
+		}
+		if v > ctr.Load() {
+			ctr.Store(v)
+		}
+	}
+	return nil
 }
 
 // LoadXML parses and loads one document given as XML text.
@@ -271,6 +347,16 @@ func (l *Loader) LoadCorpus(docs []*xmltree.Document, workers int) ([]Stats, err
 // be nil or shorter than docs, in which case document i falls back to
 // "doc-i".
 func (l *Loader) LoadCorpusNamed(docs []*xmltree.Document, names []string, workers int) ([]Stats, error) {
+	return l.LoadCorpusContext(context.Background(), docs, names, workers)
+}
+
+// LoadCorpusContext is LoadCorpusNamed with cancellation: when ctx is
+// cancelled no further documents start (in-flight ones finish and their
+// flushes stay atomic) and the context's error is returned unless a
+// document failure already occurred. A panic inside a per-document
+// worker is recovered and reported as that document's *DocError instead
+// of taking the process down.
+func (l *Loader) LoadCorpusContext(ctx context.Context, docs []*xmltree.Document, names []string, workers int) ([]Stats, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -292,7 +378,7 @@ func (l *Loader) LoadCorpusNamed(docs []*xmltree.Document, names []string, worke
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				if failed.Load() {
+				if failed.Load() || ctx.Err() != nil {
 					continue
 				}
 				name := fmt.Sprintf("doc-%d", i)
@@ -300,7 +386,7 @@ func (l *Loader) LoadCorpusNamed(docs []*xmltree.Document, names []string, worke
 					name = names[i]
 				}
 				t0 := time.Now()
-				st, err := l.LoadStaged(docs[i], name)
+				st, err := l.loadStagedGuard(docs[i], name)
 				busy.Add(int64(time.Since(t0)))
 				if err != nil {
 					failed.Store(true)
@@ -313,8 +399,13 @@ func (l *Loader) LoadCorpusNamed(docs []*xmltree.Document, names []string, worke
 			}
 		}()
 	}
+feed:
 	for i := range docs {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -341,7 +432,23 @@ func (l *Loader) LoadCorpusNamed(docs []*xmltree.Document, names []string, worke
 		sort.Slice(docErrs, func(i, j int) bool { return docErrs[i].Index < docErrs[j].Index })
 		return stats, &CorpusError{Docs: docErrs}
 	}
+	if err := ctx.Err(); err != nil {
+		return stats, err
+	}
 	return stats, nil
+}
+
+// loadStagedGuard is LoadStaged behind a panic fence: a shredder bug or
+// a nil document surfaces as an error on that document, not a crash of
+// the whole corpus load.
+func (l *Loader) loadStagedGuard(doc *xmltree.Document, name string) (st Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			st = Stats{}
+			err = fmt.Errorf("shred: panic loading document %q: %v", name, r)
+		}
+	}()
+	return l.LoadStaged(doc, name)
 }
 
 func (l *Loader) allocDoc() int64 {
@@ -792,15 +899,36 @@ func (s *stagedBatch) add(table string, row []any) {
 // parents-before-children table order each table's rows go out as one
 // batch; without one (cyclic FK graph, possible under the fold strategy
 // with mutually recursive element types) the runs are flushed in exact
-// document order, which reproduces the serial loader's semantics.
+// document order, which reproduces the serial loader's semantics. When
+// the engine supports multi-table batches the whole document goes out
+// as one atomic call, so a crash never leaves a partial document.
 func (s *stagedBatch) flush(db BatchEngine, order []string) error {
+	tables, batches := s.plan(order)
+	if len(tables) == 0 {
+		return nil
+	}
+	if mbe, ok := db.(MultiBatchEngine); ok {
+		_, err := mbe.InsertBatchMulti(tables, batches)
+		return err
+	}
+	for i, table := range tables {
+		if _, err := db.InsertBatch(table, batches[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// plan lays the staged runs out as per-table batches ready for flushing:
+// one batch per table in the given order, or one per run in document
+// order when no order exists.
+func (s *stagedBatch) plan(order []string) (tables []string, batches [][][]any) {
 	if order == nil {
 		for _, run := range s.runs {
-			if _, err := db.InsertBatch(run.table, run.rows); err != nil {
-				return err
-			}
+			tables = append(tables, run.table)
+			batches = append(batches, run.rows)
 		}
-		return nil
+		return tables, batches
 	}
 	byTable := make(map[string][][]any, len(s.runs))
 	for _, run := range s.runs {
@@ -811,11 +939,10 @@ func (s *stagedBatch) flush(db BatchEngine, order []string) error {
 		if len(rows) == 0 {
 			continue
 		}
-		if _, err := db.InsertBatch(table, rows); err != nil {
-			return err
-		}
+		tables = append(tables, table)
+		batches = append(batches, rows)
 	}
-	return nil
+	return tables, batches
 }
 
 // flushOrderFor computes a parents-before-children flush order over the

@@ -1,6 +1,7 @@
 package xmltree
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -16,13 +17,29 @@ func TestParserNeverPanics(t *testing.T) {
 		"<!--", "-->", "<?", "?>", "<!DOCTYPE", "[", "]", "&lt;", "&#65;",
 		"&#x41;", " ", "\n", "<a>", "</a>", "x", "<!ELEMENT", "é", "\x00",
 	}
-	for i := 0; i < 5000; i++ {
-		var b strings.Builder
-		n := 1 + rng.Intn(20)
-		for j := 0; j < n; j++ {
-			b.WriteString(pieces[rng.Intn(len(pieces))])
+	// Seeded adversarial inputs ride along with the random soup; the
+	// first one overflows the default nesting limit and must come back
+	// as ErrTooDeep, not a stack overflow.
+	seeds := []string{
+		strings.Repeat("<a>", DefaultMaxDepth+10),
+		strings.Repeat("<a ", 500),
+		strings.Repeat("<![CDATA[", 200),
+	}
+	if _, err := Parse(seeds[0]); !errors.Is(err, ErrTooDeep) {
+		t.Fatalf("deep-nesting seed: got %v, want ErrTooDeep", err)
+	}
+	for i := 0; i < 5000+len(seeds); i++ {
+		var src string
+		if i < len(seeds) {
+			src = seeds[i]
+		} else {
+			var b strings.Builder
+			n := 1 + rng.Intn(20)
+			for j := 0; j < n; j++ {
+				b.WriteString(pieces[rng.Intn(len(pieces))])
+			}
+			src = b.String()
 		}
-		src := b.String()
 		func() {
 			defer func() {
 				if r := recover(); r != nil {

@@ -1,0 +1,52 @@
+package xmltree
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestMaxDepthDefault(t *testing.T) {
+	deep := strings.Repeat("<a>", DefaultMaxDepth+1) + "x" + strings.Repeat("</a>", DefaultMaxDepth+1)
+	_, err := Parse(deep)
+	if !errors.Is(err, ErrTooDeep) {
+		t.Fatalf("got %v, want ErrTooDeep", err)
+	}
+	var syn *SyntaxError
+	if !errors.As(err, &syn) {
+		t.Fatalf("limit error carries no position: %v", err)
+	}
+	// One level under the limit parses.
+	ok := strings.Repeat("<a>", DefaultMaxDepth) + "x" + strings.Repeat("</a>", DefaultMaxDepth)
+	if _, err := Parse(ok); err != nil {
+		t.Fatalf("document at the limit rejected: %v", err)
+	}
+}
+
+func TestMaxDepthConfigured(t *testing.T) {
+	src := "<a><b><c><d>x</d></c></b></a>"
+	if _, err := ParseWith(src, Options{MaxDepth: 3}); !errors.Is(err, ErrTooDeep) {
+		t.Errorf("MaxDepth=3 on 4-deep doc: got %v, want ErrTooDeep", err)
+	}
+	if _, err := ParseWith(src, Options{MaxDepth: 4}); err != nil {
+		t.Errorf("MaxDepth=4 on 4-deep doc: %v", err)
+	}
+	// Negative disables the limit entirely.
+	deep := strings.Repeat("<a>", DefaultMaxDepth+5) + "x" + strings.Repeat("</a>", DefaultMaxDepth+5)
+	if _, err := ParseWith(deep, Options{MaxDepth: -1}); err != nil {
+		t.Errorf("MaxDepth=-1: %v", err)
+	}
+}
+
+func TestMaxBytes(t *testing.T) {
+	src := "<a>" + strings.Repeat("x", 100) + "</a>"
+	if _, err := ParseWith(src, Options{MaxBytes: 50}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("MaxBytes=50: got %v, want ErrTooLarge", err)
+	}
+	if _, err := ParseWith(src, Options{MaxBytes: len(src)}); err != nil {
+		t.Errorf("MaxBytes=len(src): %v", err)
+	}
+	if _, err := ParseWith(src, Options{}); err != nil {
+		t.Errorf("MaxBytes=0 (unlimited): %v", err)
+	}
+}

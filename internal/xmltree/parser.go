@@ -1,6 +1,7 @@
 package xmltree
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -44,6 +45,37 @@ type Options struct {
 	DropComments bool
 	// DropPIs discards processing-instruction nodes during parsing.
 	DropPIs bool
+	// MaxDepth bounds element nesting: adversarial input like
+	// "<a><a><a>…" otherwise recurses without limit (the same class of
+	// attack the DTD parser's expansion-depth guard stops). Zero means
+	// DefaultMaxDepth; negative disables the limit.
+	MaxDepth int
+	// MaxBytes rejects documents larger than this many bytes before any
+	// parsing work. Zero or negative means unlimited.
+	MaxBytes int
+}
+
+// DefaultMaxDepth is the element-nesting limit when Options.MaxDepth is
+// zero — far beyond any real document, far short of stack exhaustion.
+const DefaultMaxDepth = 1024
+
+// Limit errors, matchable with errors.Is through the positioned
+// *SyntaxError wrapper.
+var (
+	// ErrTooDeep reports element nesting beyond Options.MaxDepth.
+	ErrTooDeep = errors.New("element nesting too deep")
+	// ErrTooLarge reports a document larger than Options.MaxBytes.
+	ErrTooLarge = errors.New("document too large")
+)
+
+func (o Options) maxDepth() int {
+	if o.MaxDepth == 0 {
+		return DefaultMaxDepth
+	}
+	if o.MaxDepth < 0 {
+		return 0 // unlimited
+	}
+	return o.MaxDepth
 }
 
 // Parse parses an XML document with default options.
@@ -60,6 +92,9 @@ func MustParse(src string) *Document {
 
 // ParseWith parses an XML document with explicit options.
 func ParseWith(src string, opts Options) (*Document, error) {
+	if opts.MaxBytes > 0 && len(src) > opts.MaxBytes {
+		return nil, fmt.Errorf("xml: %w: %d bytes (limit %d)", ErrTooLarge, len(src), opts.MaxBytes)
+	}
 	p := &docParser{src: src, line: 1, col: 1, opts: opts}
 	doc, err := p.parseDocument()
 	if err != nil {
@@ -74,6 +109,9 @@ type SyntaxError struct {
 	Line, Col int
 	// Msg describes the problem.
 	Msg string
+
+	// cause carries a sentinel (ErrTooDeep) for errors.Is matching.
+	cause error
 }
 
 // Error implements the error interface.
@@ -81,16 +119,24 @@ func (e *SyntaxError) Error() string {
 	return fmt.Sprintf("xml: %d:%d: %s", e.Line, e.Col, e.Msg)
 }
 
+// Unwrap exposes the sentinel behind limit errors.
+func (e *SyntaxError) Unwrap() error { return e.cause }
+
 type docParser struct {
 	src       string
 	pos       int
 	line, col int
+	depth     int
 	opts      Options
 	doc       *Document
 }
 
 func (p *docParser) errf(format string, args ...any) error {
 	return &SyntaxError{Line: p.line, Col: p.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *docParser) limitErr(cause error, format string, args ...any) error {
+	return &SyntaxError{Line: p.line, Col: p.col, Msg: fmt.Sprintf(format, args...), cause: cause}
 }
 
 func (p *docParser) eof() bool { return p.pos >= len(p.src) }
@@ -500,6 +546,11 @@ func (p *docParser) parsePI() (*Node, error) {
 
 // parseElement parses one element starting at '<'.
 func (p *docParser) parseElement() (*Node, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if max := p.opts.maxDepth(); max > 0 && p.depth > max {
+		return nil, p.limitErr(ErrTooDeep, "element nesting exceeds %d levels", max)
+	}
 	if p.next() != '<' {
 		return nil, p.errf("expected '<'")
 	}

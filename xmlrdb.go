@@ -18,6 +18,7 @@
 package xmlrdb
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -61,6 +62,15 @@ type Config struct {
 	SkipDistill bool
 	// SkipMetaTables omits the §5 metadata tables.
 	SkipMetaTables bool
+	// DataDir, when non-empty, opens a durable store rooted there:
+	// committed mutations are write-ahead logged, and reopening the same
+	// directory recovers every previously loaded document (id sequences
+	// resume past the recovered rows). Empty means in-memory only.
+	DataDir string
+	// SnapshotEvery snapshots the store (truncating the log) after this
+	// many WAL frames; 0 disables automatic snapshots. Only meaningful
+	// with DataDir.
+	SnapshotEvery int
 }
 
 // Pipeline is a mapped DTD with its relational store: the end-to-end
@@ -109,14 +119,42 @@ func OpenDTD(d *dtd.DTD, cfg Config) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := engine.Open()
-	db.SetMetrics(hub)
-	if err := db.CreateSchema(m.Schema); err != nil {
-		return nil, err
-	}
-	if !cfg.SkipMetaTables {
-		if err := meta.Store(db, res, m); err != nil {
+	var db *engine.DB
+	resumed := false
+	if cfg.DataDir != "" {
+		db, err = engine.OpenAtOpts(cfg.DataDir, engine.DurabilityOptions{
+			SnapshotEvery: cfg.SnapshotEvery,
+			Metrics:       hub,
+		})
+		if err != nil {
 			return nil, err
+		}
+		resumed = len(db.TableNames()) > 0
+	} else {
+		db = engine.Open()
+		db.SetMetrics(hub)
+	}
+	if resumed {
+		// Recovered store: the schema already exists; it must match the
+		// mapping this pipeline was opened with.
+		have := make(map[string]bool)
+		for _, name := range db.TableNames() {
+			have[name] = true
+		}
+		for _, t := range m.Schema.Tables {
+			if !have[t.Name] {
+				return nil, fmt.Errorf("xmlrdb: data directory %s does not match this DTD: missing table %q",
+					cfg.DataDir, t.Name)
+			}
+		}
+	} else {
+		if err := db.CreateSchema(m.Schema); err != nil {
+			return nil, err
+		}
+		if !cfg.SkipMetaTables {
+			if err := meta.Store(db, res, m); err != nil {
+				return nil, err
+			}
 		}
 	}
 	hub.SchemaBuilds.Inc()
@@ -124,6 +162,11 @@ func OpenDTD(d *dtd.DTD, cfg Config) (*Pipeline, error) {
 	loader, err := shred.NewLoader(res, m, db)
 	if err != nil {
 		return nil, err
+	}
+	if resumed {
+		if err := loader.ResumeFrom(db); err != nil {
+			return nil, err
+		}
 	}
 	loader.SetObserver(hub, nil)
 	translator := pathquery.NewERTranslator(res, m)
@@ -224,7 +267,15 @@ func (p *Pipeline) LoadCorpus(docs []*xmltree.Document, workers int) ([]int64, e
 // LoadCorpusNamed is LoadCorpus with explicit document names (nil names
 // fall back to "doc-i").
 func (p *Pipeline) LoadCorpusNamed(docs []*xmltree.Document, names []string, workers int) ([]int64, error) {
-	sts, err := p.loader.LoadCorpusNamed(docs, names, workers)
+	return p.LoadCorpusContext(context.Background(), docs, names, workers)
+}
+
+// LoadCorpusContext is LoadCorpusNamed with cancellation: when ctx is
+// cancelled no further documents start and the context's error is
+// returned; documents already flushed stay loaded (whole documents
+// only).
+func (p *Pipeline) LoadCorpusContext(ctx context.Context, docs []*xmltree.Document, names []string, workers int) ([]int64, error) {
+	sts, err := p.loader.LoadCorpusContext(ctx, docs, names, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -234,6 +285,14 @@ func (p *Pipeline) LoadCorpusNamed(docs []*xmltree.Document, names []string, wor
 	}
 	return ids, nil
 }
+
+// Checkpoint snapshots a durable store and truncates its write-ahead
+// log; it returns engine.ErrNotDurable when no DataDir was configured.
+func (p *Pipeline) Checkpoint() error { return p.DB.Checkpoint() }
+
+// Close flushes and closes the durable store (a no-op for in-memory
+// pipelines). The pipeline must not be used afterwards.
+func (p *Pipeline) Close() error { return p.DB.Close() }
 
 // Validate checks a document against the DTD and returns all violations
 // (nil means valid). Loading does not require prior validation, but
