@@ -124,6 +124,34 @@ func TestPipelineDataDirMismatch(t *testing.T) {
 	}
 }
 
+// TestPipelineDataDirColumnMismatch: a different DTD whose tables happen
+// to share names must still be rejected — recovered table definitions
+// are compared structurally (columns, types, constraints), not merely by
+// name, so the store cannot be opened under a schema that would silently
+// misread its rows.
+func TestPipelineDataDirColumnMismatch(t *testing.T) {
+	const withAttr = `<!ELEMENT book (title)>
+<!ATTLIST book isbn CDATA #IMPLIED>
+<!ELEMENT title (#PCDATA)>`
+	const withoutAttr = `<!ELEMENT book (title)>
+<!ELEMENT title (#PCDATA)>`
+	dir := t.TempDir()
+	p, err := Open(withAttr, Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(withoutAttr, Config{DataDir: dir})
+	if err == nil {
+		t.Fatal("DTD with different columns opened a foreign data directory")
+	}
+	if !strings.Contains(err.Error(), "does not match") {
+		t.Errorf("mismatch error %v lacks explanation", err)
+	}
+}
+
 // TestPipelineCheckpointInMemory checks Checkpoint on an in-memory
 // pipeline reports ErrNotDurable.
 func TestPipelineCheckpointInMemory(t *testing.T) {

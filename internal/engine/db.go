@@ -964,13 +964,34 @@ func (db *DB) execUpdate(up *sqldb.Update) (int, error) {
 	defer unlock()
 	env := newSingleTableEnv(t, up.Table)
 	changed := 0
-	// UPDATE is not atomic: an error keeps the rows changed so far, and
-	// exactly those (position + post-image) go to the WAL on the way out.
+	// UPDATE is not atomic: an evaluation error keeps the rows changed so
+	// far, and exactly those (position + post-image) go to the WAL on the
+	// way out. A failed WAL append, though, unwinds them all — the live
+	// state must never run ahead of the durable state.
 	var walPos []int
 	var walRows [][]any
+	var oldRows [][]any
 	finish := func(err error) (int, error) {
-		if werr := db.logUpdate(up.Table, walPos, walRows); werr != nil && err == nil {
-			err = werr
+		if werr := db.logUpdate(up.Table, walPos, walRows); werr != nil {
+			for i := len(walPos) - 1; i >= 0; i-- {
+				pos, old, applied := walPos[i], oldRows[i], walRows[i]
+				for _, ix := range t.indexes {
+					oldKey, newKey := ix.keyOf(old), ix.keyOf(applied)
+					if oldKey == newKey {
+						continue
+					}
+					ix.m[newKey] = removeInt(ix.m[newKey], pos)
+					ix.m[oldKey] = append(ix.m[oldKey], pos)
+				}
+				t.rows[pos] = old
+			}
+			if len(walPos) > 0 {
+				t.markOrderedDirty()
+			}
+			changed = 0
+			if err == nil {
+				err = werr
+			}
 		}
 		return changed, err
 	}
@@ -1034,6 +1055,7 @@ func (db *DB) execUpdate(up *sqldb.Update) (int, error) {
 		changed++
 		walPos = append(walPos, pos)
 		walRows = append(walRows, newRow)
+		oldRows = append(oldRows, row)
 	}
 	return finish(nil)
 }
@@ -1050,11 +1072,27 @@ func (db *DB) execDelete(del *sqldb.Delete) (int, error) {
 	env := newSingleTableEnv(t, del.Table)
 	deleted := 0
 	// Like UPDATE, DELETE is not atomic: the positions removed so far go
-	// to the WAL on every exit path.
+	// to the WAL on every exit path — but a failed WAL append restores
+	// them, so the live state never runs ahead of the durable state.
 	var walPos []int
+	var oldRows [][]any
 	finish := func(err error) (int, error) {
-		if werr := db.logDelete(del.Table, walPos); werr != nil && err == nil {
-			err = werr
+		if werr := db.logDelete(del.Table, walPos); werr != nil {
+			for i := len(walPos) - 1; i >= 0; i-- {
+				pos, old := walPos[i], oldRows[i]
+				t.rows[pos] = old
+				for _, ix := range t.indexes {
+					key := ix.keyOf(old)
+					ix.m[key] = append(ix.m[key], pos)
+				}
+			}
+			if len(walPos) > 0 {
+				t.markOrderedDirty()
+			}
+			deleted = 0
+			if err == nil {
+				err = werr
+			}
 		}
 		return deleted, err
 	}
@@ -1080,6 +1118,7 @@ func (db *DB) execDelete(del *sqldb.Delete) (int, error) {
 		t.markOrderedDirty()
 		deleted++
 		walPos = append(walPos, pos)
+		oldRows = append(oldRows, row)
 	}
 	return finish(nil)
 }

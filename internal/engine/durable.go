@@ -33,6 +33,12 @@ type DurabilityOptions struct {
 	// VerifyOnRecover runs VerifyIntegrity after recovery and fails the
 	// open if the recovered state is internally inconsistent.
 	VerifyOnRecover bool
+	// AllowStale accepts a recovery that falls back past an unreadable
+	// newer snapshot whose frames the WAL no longer covers (they were
+	// deleted at checkpoint): committed data is knowingly lost and the
+	// regression is counted in Metrics. Without it such an open fails —
+	// silent time travel is worse than an error.
+	AllowStale bool
 }
 
 // OpenAt opens a durable database rooted at dir, recovering whatever a
@@ -56,7 +62,7 @@ func OpenAtOpts(dir string, opts DurabilityOptions) (*DB, error) {
 	}
 	db := Open()
 	start := time.Now()
-	lastSeq, err := db.recoverFrom(fs, dir, opts.Metrics)
+	lastSeq, err := db.recoverFrom(fs, dir, opts.Metrics, opts.AllowStale)
 	if err != nil {
 		return nil, fmt.Errorf("engine: recover %s: %w", dir, err)
 	}
@@ -89,20 +95,29 @@ func OpenAtOpts(dir string, opts DurabilityOptions) (*DB, error) {
 // are taken; foreign-key enforcement is suspended during replay (the
 // logged operations were validated when they first ran, and loaders may
 // have toggled enforcement, which is a session setting, not data).
-func (db *DB) recoverFrom(fs faultfs.FS, dir string, m *obs.Metrics) (uint64, error) {
+func (db *DB) recoverFrom(fs faultfs.FS, dir string, m *obs.Metrics, allowStale bool) (uint64, error) {
 	segments, snapshots, err := listWALFiles(fs, dir)
 	if err != nil {
 		return 0, err
 	}
 	var snapSeq uint64
+	var skippedSeq uint64 // newest unreadable snapshot we fell back past
 	for i := len(snapshots) - 1; i >= 0; i-- {
 		data, rerr := readAll(fs, filepath.Join(dir, snapshots[i]))
-		if rerr != nil {
-			continue
+		var lerr error
+		var tables map[string]*table
+		var order []string
+		var seq uint64
+		if rerr == nil {
+			tables, order, seq, lerr = loadSnapshot(data)
 		}
-		tables, order, seq, lerr := loadSnapshot(data)
-		if lerr != nil {
-			continue // fall back to an older snapshot
+		if rerr != nil || lerr != nil {
+			// Fall back to an older snapshot, remembering how far forward
+			// the broken one reached (its name carries the covered seq).
+			if s, ok := parseSnapshotName(snapshots[i]); ok && s > skippedSeq {
+				skippedSeq = s
+			}
+			continue
 		}
 		db.tables, db.order, snapSeq = tables, order, seq
 		break
@@ -131,6 +146,20 @@ replay:
 			if m != nil {
 				m.WALReplayFrames.Inc()
 			}
+		}
+	}
+	// Falling back past a broken newer snapshot is only safe when the WAL
+	// still covers the frames that snapshot did; checkpoints delete those
+	// segments, so usually it does not — and the recovered state would
+	// silently be older than what the last process committed.
+	if skippedSeq > last {
+		if !allowStale {
+			return 0, fmt.Errorf(
+				"engine: newest snapshot (seq %d) is unreadable and the wal ends at seq %d: recovery would lose committed data (set AllowStale to accept the older state)",
+				skippedSeq, last)
+		}
+		if m != nil {
+			m.RecoveryStaleFallbacks.Inc()
 		}
 	}
 	return last, nil

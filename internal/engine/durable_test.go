@@ -280,6 +280,108 @@ func TestDurableConcurrentInserts(t *testing.T) {
 	}
 }
 
+// TestStaleSnapshotFallbackRefused: when the newest snapshot is corrupt
+// and the WAL no longer covers its frames (they were deleted at
+// checkpoint), recovery must fail loudly instead of silently handing
+// back a much older state — unless AllowStale opts into the loss, which
+// is then counted.
+func TestStaleSnapshotFallbackRefused(t *testing.T) {
+	fs := faultfs.NewMem()
+	dir := "data"
+	db, err := OpenAtOpts(dir, DurabilityOptions{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorkload(t, db)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert("authors", []any{4, "Wu", 29}); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	_, snaps, err := listWALFiles(fs, dir)
+	if err != nil || len(snaps) != 1 {
+		t.Fatalf("want one snapshot, got %v (%v)", snaps, err)
+	}
+	snap := filepath.Join(dir, snaps[0])
+	data, err := readAll(fs, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff // corrupt the snapshot body
+	f, err := fs.Create(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(data)
+	f.Close()
+
+	if _, err := OpenAtOpts(dir, DurabilityOptions{FS: fs}); err == nil {
+		t.Fatal("open silently recovered past an unreadable snapshot the WAL does not cover")
+	} else if !strings.Contains(err.Error(), "AllowStale") {
+		t.Fatalf("refusal should point at AllowStale, got: %v", err)
+	}
+
+	m := obs.New()
+	db2, err := OpenAtOpts(dir, DurabilityOptions{FS: fs, AllowStale: true, Metrics: m})
+	if err != nil {
+		t.Fatalf("AllowStale open failed: %v", err)
+	}
+	defer db2.Close()
+	if got := m.Snapshot().WAL.StaleFallbacks; got != 1 {
+		t.Errorf("StaleFallbacks = %d, want 1", got)
+	}
+}
+
+// TestUpdateDeleteRollbackOnWALFailure: when the WAL append fails, the
+// in-memory changes of the UPDATE/DELETE are unwound — the live state
+// must never run ahead of the durable state.
+func TestUpdateDeleteRollbackOnWALFailure(t *testing.T) {
+	fs := faultfs.NewMem()
+	db, err := OpenAtOpts("data", DurabilityOptions{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.Exec(`CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := db.Insert("kv", []any{i, fmt.Sprintf("v%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := dumpState(db)
+
+	fs.SetSyncBudget(0) // the next WAL barrier fails
+	res, _, err := db.Exec(`UPDATE kv SET v = 'changed' WHERE k >= 0`)
+	if err == nil {
+		t.Fatal("UPDATE with a failing WAL append reported success")
+	}
+	if res.RowsAffected != 0 {
+		t.Errorf("UPDATE reported %d rows changed after rollback", res.RowsAffected)
+	}
+	if got := dumpState(db); got != want {
+		t.Errorf("UPDATE left in-memory state ahead of the WAL:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+
+	// The writer is now broken; DELETE must also fail and unwind.
+	res, _, err = db.Exec(`DELETE FROM kv WHERE k = 1`)
+	if err == nil {
+		t.Fatal("DELETE with a broken WAL reported success")
+	}
+	if res.RowsAffected != 0 {
+		t.Errorf("DELETE reported %d rows removed after rollback", res.RowsAffected)
+	}
+	if got := dumpState(db); got != want {
+		t.Errorf("DELETE left in-memory state ahead of the WAL:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+	if err := db.VerifyIntegrity(); err != nil {
+		t.Errorf("indexes inconsistent after rollback: %v", err)
+	}
+}
+
 func TestCheckpointOnInMemoryDB(t *testing.T) {
 	db := Open()
 	if err := db.Checkpoint(); !errors.Is(err, ErrNotDurable) {

@@ -114,10 +114,20 @@ func (db *DB) writeSnapshotLocked(fs faultfs.FS, dir string, seq uint64) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if db.obs != nil {
-		db.obs.WALFsyncs.Inc()
+	if err := fs.Rename(tmp, final); err != nil {
+		return err
 	}
-	return fs.Rename(tmp, final)
+	// The rename is not a durable directory entry until the directory
+	// itself is fsynced; the caller deletes the now-redundant WAL
+	// segments only after this barrier, so no crash can surface the
+	// deletions without the snapshot.
+	if err := fs.SyncDir(dir); err != nil {
+		return err
+	}
+	if db.obs != nil {
+		db.obs.WALFsyncs.Add(2) // snapshot content + directory entry
+	}
+	return nil
 }
 
 // loadSnapshot validates and decodes a snapshot into a fresh table set.

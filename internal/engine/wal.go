@@ -102,12 +102,21 @@ func snapshotName(seq uint64) string {
 }
 
 // newWALWriter opens a fresh segment whose first frame will carry
-// lastSeq+1.
+// lastSeq+1. The directory is fsynced after the create: without that
+// barrier the segment is not a durable directory entry, and a power
+// loss could drop the whole file despite every per-frame fsync.
 func newWALWriter(fs faultfs.FS, dir string, lastSeq uint64, mode SyncMode, m *obs.Metrics) (*walWriter, error) {
 	w := &walWriter{fs: fs, dir: dir, seq: lastSeq, segStart: lastSeq + 1, sync: mode, obs: m}
 	f, err := fs.Create(filepath.Join(dir, segmentName(lastSeq+1)))
 	if err != nil {
 		return nil, err
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if m != nil {
+		m.WALFsyncs.Inc()
 	}
 	w.f = f
 	return w, nil
@@ -172,6 +181,17 @@ func (w *walWriter) rotateLocked(snapSeq uint64) error {
 	w.f = f
 	w.segStart = snapSeq + 1
 	w.frames = 0
+	// The new segment — and, crucially, the snapshot rename that made
+	// the old ones redundant — must be durable directory entries before
+	// any old file is deleted; otherwise a crash could surface the
+	// deletions without the snapshot, losing the whole covered prefix.
+	if err := w.fs.SyncDir(w.dir); err != nil {
+		w.broken = err
+		return err
+	}
+	if w.obs != nil {
+		w.obs.WALFsyncs.Inc()
+	}
 	// Best-effort cleanup: the snapshot covers every frame at or below
 	// snapSeq, so all other segments and older snapshots are redundant.
 	// Stale files left by a crash here are harmless — recovery picks the
@@ -189,6 +209,10 @@ func (w *walWriter) rotateLocked(snapSeq uint64) error {
 			w.fs.Remove(filepath.Join(w.dir, name))
 		}
 	}
+	// Making the removals durable is space reclamation, not correctness:
+	// resurrected stale files are filtered at recovery, so a failure
+	// here (including an injected crash) is ignored.
+	_ = w.fs.SyncDir(w.dir)
 	return nil
 }
 

@@ -50,6 +50,12 @@ type FS interface {
 	Remove(name string) error
 	// List returns the base names of the directory's entries, sorted.
 	List(dir string) ([]string, error)
+	// SyncDir flushes the directory's entries to durable storage. On
+	// POSIX a created, renamed or removed file is not a durable
+	// directory entry until its parent directory is fsynced; a crash
+	// before SyncDir can make the file vanish even when its own content
+	// was synced.
+	SyncDir(dir string) error
 }
 
 // OS is the real filesystem.
@@ -69,6 +75,19 @@ func (OS) Rename(oldname, newname string) error { return os.Rename(oldname, newn
 
 // Remove implements FS.
 func (OS) Remove(name string) error { return os.Remove(name) }
+
+// SyncDir implements FS by fsyncing the directory's file descriptor.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // List implements FS.
 func (OS) List(dir string) ([]string, error) {
@@ -96,13 +115,17 @@ func (OS) List(dir string) ([]string, error) {
 // "crashed": every later operation returns ErrCrashed, mirroring a
 // process that lost its disk. If DropUnsynced is set, crashing also
 // truncates every file to its last-synced length, modeling page-cache
-// loss on power failure. ClearCrash simulates the machine coming back
-// up: the surviving bytes stay, the budgets are disarmed, and the store
-// can be reopened.
+// loss on power failure — and reverts every directory to its state at
+// the last SyncDir, modeling directory-entry loss: a file created or
+// renamed without a subsequent SyncDir vanishes (or reappears under
+// its old name), exactly as an unjournaled dirent would on POSIX.
+// ClearCrash simulates the machine coming back up: the surviving bytes
+// stay, the budgets are disarmed, and the store can be reopened.
 type Mem struct {
-	mu    sync.Mutex
-	files map[string]*memFile
-	dirs  map[string]bool
+	mu      sync.Mutex
+	files   map[string]*memFile
+	durable map[string]*memFile // directory view at the last SyncDir
+	dirs    map[string]bool
 
 	// DropUnsynced, when set before the workload, truncates files to
 	// their last-synced length at crash time.
@@ -123,8 +146,8 @@ type memFile struct {
 
 // NewMem returns an empty in-memory filesystem with no fault armed.
 func NewMem() *Mem {
-	return &Mem{files: make(map[string]*memFile), dirs: make(map[string]bool),
-		writeBudget: -1, syncBudget: -1}
+	return &Mem{files: make(map[string]*memFile), durable: make(map[string]*memFile),
+		dirs: make(map[string]bool), writeBudget: -1, syncBudget: -1}
 }
 
 // SetWriteBudget arms a crash after n more written bytes (0 crashes on
@@ -178,6 +201,13 @@ func (m *Mem) ClearCrash() {
 func (m *Mem) crashLocked() {
 	m.crashed = true
 	if m.DropUnsynced {
+		// Directory-entry loss: every directory reverts to its state at
+		// the last SyncDir — unsynced creates and renames are undone.
+		m.files = make(map[string]*memFile, len(m.durable))
+		for name, f := range m.durable {
+			m.files[name] = f
+		}
+		// Page-cache loss: surviving files keep only their synced bytes.
 		for _, f := range m.files {
 			if f.synced < len(f.data) {
 				f.data = f.data[:f.synced]
@@ -270,6 +300,40 @@ func (m *Mem) List(dir string) ([]string, error) {
 	}
 	sort.Strings(names)
 	return names, nil
+}
+
+// SyncDir implements FS: the directory's current entries become the
+// state a crash reverts to. Like Sync it is a durability barrier, so it
+// consumes the sync budget — the crash matrix covers the instants just
+// before and during directory fsyncs too.
+func (m *Mem) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	if m.syncBudget == 0 {
+		m.crashLocked()
+		return ErrCrashed
+	}
+	if m.syncBudget > 0 {
+		m.syncBudget--
+	}
+	clean := filepath.Clean(dir)
+	for name := range m.durable {
+		if filepath.Dir(name) == clean {
+			if _, ok := m.files[name]; !ok {
+				delete(m.durable, name) // removal is now durable
+			}
+		}
+	}
+	for name, f := range m.files {
+		if filepath.Dir(name) == clean {
+			m.durable[name] = f
+		}
+	}
+	m.syncs++
+	return nil
 }
 
 type memHandle struct {

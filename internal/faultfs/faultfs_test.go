@@ -87,6 +87,9 @@ func TestMemSyncBudgetAndDropUnsynced(t *testing.T) {
 	fs := NewMem()
 	fs.DropUnsynced = true
 	f, _ := fs.Create("x")
+	if err := fs.SyncDir("."); err != nil { // make the directory entry durable
+		t.Fatal(err)
+	}
 	f.Write([]byte("durable"))
 	if err := f.Sync(); err != nil {
 		t.Fatal(err)
@@ -99,6 +102,89 @@ func TestMemSyncBudgetAndDropUnsynced(t *testing.T) {
 	fs.ClearCrash()
 	if got := readFile(t, fs, "x"); got != "durable" {
 		t.Errorf("after crash got %q, want only the synced prefix", got)
+	}
+}
+
+// TestMemDirEntryLoss: a created file whose parent directory was never
+// fsynced is not a durable entry — a power-loss crash drops the whole
+// file even when its content was synced.
+func TestMemDirEntryLoss(t *testing.T) {
+	fs := NewMem()
+	fs.DropUnsynced = true
+	f, _ := fs.Create("d/orphan.log")
+	f.Write([]byte("synced but unlinked"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetSyncBudget(0)
+	f.Sync() // fires the crash
+	fs.ClearCrash()
+	if _, err := fs.Open("d/orphan.log"); err == nil {
+		t.Fatal("file without a durable directory entry survived the crash")
+	}
+}
+
+// TestMemRenameDurableOnlyAfterSyncDir: a rename reverts at crash time
+// unless the directory was fsynced after it.
+func TestMemRenameDurableOnlyAfterSyncDir(t *testing.T) {
+	fs := NewMem()
+	fs.DropUnsynced = true
+	writeFile(t, fs, "d/a.tmp", "snapshot")
+	if err := fs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("d/a.tmp", "d/a.snap"); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetSyncBudget(0)
+	if f, _ := fs.Create("d/later"); f != nil {
+		f.Sync() // fires the crash before any SyncDir
+	}
+	fs.ClearCrash()
+	if _, err := fs.Open("d/a.snap"); err == nil {
+		t.Fatal("unsynced rename survived the crash")
+	}
+	if got := readFile(t, fs, "d/a.tmp"); got != "snapshot" {
+		t.Errorf("old name content %q, want the synced bytes", got)
+	}
+
+	// Same again, but with the rename made durable.
+	fs2 := NewMem()
+	fs2.DropUnsynced = true
+	writeFile(t, fs2, "d/a.tmp", "snapshot")
+	if err := fs2.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs2.Rename("d/a.tmp", "d/a.snap"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs2.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	fs2.SetSyncBudget(0)
+	if f, _ := fs2.Create("d/later"); f != nil {
+		f.Sync()
+	}
+	fs2.ClearCrash()
+	if got := readFile(t, fs2, "d/a.snap"); got != "snapshot" {
+		t.Errorf("durable rename lost: %q", got)
+	}
+	if _, err := fs2.Open("d/a.tmp"); err == nil {
+		t.Error("old name still present after durable rename")
+	}
+}
+
+// TestMemSyncDirConsumesBudget: SyncDir is a durability barrier like
+// Sync, so the crash matrix can land on it.
+func TestMemSyncDirConsumesBudget(t *testing.T) {
+	fs := NewMem()
+	fs.Create("d/x")
+	fs.SetSyncBudget(0)
+	if err := fs.SyncDir("d"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("SyncDir with exhausted budget = %v", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("crash did not fire")
 	}
 }
 
@@ -133,5 +219,8 @@ func TestOSFSRoundTrip(t *testing.T) {
 	names, err := fs.List(dir + "/sub")
 	if err != nil || len(names) != 1 || names[0] != "b.log" {
 		t.Errorf("List = %v, %v", names, err)
+	}
+	if err := fs.SyncDir(dir + "/sub"); err != nil {
+		t.Errorf("SyncDir = %v", err)
 	}
 }

@@ -96,6 +96,10 @@ type Metrics struct {
 	SnapshotLatency Histogram
 	Recoveries      Counter
 	RecoveryLatency Histogram
+	// RecoveryStaleFallbacks counts recoveries that (with AllowStale)
+	// fell back past an unreadable newer snapshot the WAL no longer
+	// covered — each one is committed data lost to corruption.
+	RecoveryStaleFallbacks Counter
 }
 
 // New returns an empty metrics hub.
@@ -172,6 +176,7 @@ type Snapshot struct {
 		SnapshotLatency HistSnapshot `json:"snapshot_latency"`
 		Recoveries      int64        `json:"recoveries"`
 		RecoveryLatency HistSnapshot `json:"recovery_latency"`
+		StaleFallbacks  int64        `json:"stale_fallbacks,omitempty"`
 	} `json:"wal"`
 }
 
@@ -235,6 +240,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.WAL.SnapshotLatency = m.SnapshotLatency.Snapshot()
 	s.WAL.Recoveries = m.Recoveries.Load()
 	s.WAL.RecoveryLatency = m.RecoveryLatency.Snapshot()
+	s.WAL.StaleFallbacks = m.RecoveryStaleFallbacks.Load()
 	return s
 }
 
@@ -310,6 +316,10 @@ func (s Snapshot) Report() string {
 		if s.WAL.Recoveries > 0 {
 			fmt.Fprintf(&b, "wal: recoveries=%d replay-frames=%d recovery latency %s\n",
 				s.WAL.Recoveries, s.WAL.ReplayFrames, s.WAL.RecoveryLatency.DurSummary())
+		}
+		if s.WAL.StaleFallbacks > 0 {
+			fmt.Fprintf(&b, "wal: STALE RECOVERIES=%d (committed data lost to snapshot corruption)\n",
+				s.WAL.StaleFallbacks)
 		}
 	}
 	return b.String()

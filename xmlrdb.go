@@ -31,6 +31,7 @@ import (
 	"xmlrdb/internal/obs"
 	"xmlrdb/internal/pathquery"
 	"xmlrdb/internal/reconstruct"
+	"xmlrdb/internal/rel"
 	"xmlrdb/internal/shred"
 	"xmlrdb/internal/validate"
 	"xmlrdb/internal/xmltree"
@@ -136,15 +137,19 @@ func OpenDTD(d *dtd.DTD, cfg Config) (*Pipeline, error) {
 	}
 	if resumed {
 		// Recovered store: the schema already exists; it must match the
-		// mapping this pipeline was opened with.
-		have := make(map[string]bool)
-		for _, name := range db.TableNames() {
-			have[name] = true
-		}
+		// mapping this pipeline was opened with — same columns, types and
+		// constraints, not merely the same table names (a different DTD
+		// can map to identically named tables whose rows would then be
+		// silently misinterpreted).
 		for _, t := range m.Schema.Tables {
-			if !have[t.Name] {
+			have := db.TableDef(t.Name)
+			if have == nil {
 				return nil, fmt.Errorf("xmlrdb: data directory %s does not match this DTD: missing table %q",
 					cfg.DataDir, t.Name)
+			}
+			if why := tableMismatch(have, t); why != "" {
+				return nil, fmt.Errorf("xmlrdb: data directory %s does not match this DTD: table %q %s",
+					cfg.DataDir, t.Name, why)
 			}
 		}
 	} else {
@@ -184,6 +189,60 @@ func OpenDTD(d *dtd.DTD, cfg Config) (*Pipeline, error) {
 		recon:      recon,
 		validator:  validate.New(d),
 	}, nil
+}
+
+// tableMismatch reports the first structural difference between a
+// recovered table definition and the one the mapping expects, or "" when
+// they agree. Comments are provenance text, not structure, and are
+// ignored; everything that affects how rows are written or read —
+// columns, types, NOT NULL, primary key, uniques, foreign keys — must
+// match exactly.
+func tableMismatch(have, want *rel.Table) string {
+	if len(have.Columns) != len(want.Columns) {
+		return fmt.Sprintf("has %d columns, want %d", len(have.Columns), len(want.Columns))
+	}
+	for i, wc := range want.Columns {
+		if have.Columns[i] != wc {
+			return fmt.Sprintf("column %d is %s %s (not null: %v), want %s %s (not null: %v)",
+				i, have.Columns[i].Name, have.Columns[i].Type, have.Columns[i].NotNull,
+				wc.Name, wc.Type, wc.NotNull)
+		}
+	}
+	if !sameStrings(have.PrimaryKey, want.PrimaryKey) {
+		return fmt.Sprintf("primary key is %v, want %v", have.PrimaryKey, want.PrimaryKey)
+	}
+	if len(have.Uniques) != len(want.Uniques) {
+		return fmt.Sprintf("has %d unique constraints, want %d", len(have.Uniques), len(want.Uniques))
+	}
+	for i := range want.Uniques {
+		if !sameStrings(have.Uniques[i], want.Uniques[i]) {
+			return fmt.Sprintf("unique constraint %d is %v, want %v", i, have.Uniques[i], want.Uniques[i])
+		}
+	}
+	if len(have.ForeignKeys) != len(want.ForeignKeys) {
+		return fmt.Sprintf("has %d foreign keys, want %d", len(have.ForeignKeys), len(want.ForeignKeys))
+	}
+	for i, wfk := range want.ForeignKeys {
+		hfk := have.ForeignKeys[i]
+		if hfk.RefTable != wfk.RefTable || !sameStrings(hfk.Columns, wfk.Columns) ||
+			!sameStrings(hfk.RefColumns, wfk.RefColumns) {
+			return fmt.Sprintf("foreign key %d is %v -> %s%v, want %v -> %s%v",
+				i, hfk.Columns, hfk.RefTable, hfk.RefColumns, wfk.Columns, wfk.RefTable, wfk.RefColumns)
+		}
+	}
+	return ""
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // SetTracer attaches a tracer to every pipeline subsystem (nil
