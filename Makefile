@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check crash-matrix bench bench-parallel stats-demo
+.PHONY: build test vet race check crash-matrix bench bench-parallel stats-demo serve-smoke
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,8 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/engine/... ./internal/shred/... ./internal/obs/...
+	$(GO) test -race ./internal/engine/... ./internal/shred/... ./internal/obs/... \
+		./internal/pathquery/... ./internal/serve/...
 
 # Fault-injection recovery matrix: kill the durable engine at every
 # byte offset and every fsync boundary of a scripted workload (plus the
@@ -27,7 +28,14 @@ crash-matrix:
 	$(GO) test -race -run 'TestCrash|TestDurable|TestWALReplay|TestSnapshotEvery|FuzzWALReplay' ./internal/engine/
 	$(GO) test -race ./internal/faultfs/
 
-check: vet build test race crash-matrix
+check: vet build test race crash-matrix serve-smoke
+
+# Serving smoke test: boot xmlserve on the bibliography testdata, run a
+# scripted curl mix over every endpoint (including saturation shedding
+# and an in-flight request across SIGTERM), and fail on any unexpected
+# status. Proves graceful drain end to end.
+serve-smoke:
+	./scripts/serve-smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,118 @@
+// Command xmlserve keeps a pipeline open and serves its store over
+// HTTP: SQL (/query), path queries (/path, ?explain=1), document
+// reconstruction (/doc/{id}), /healthz, /stats and the /debug
+// endpoints. Query endpoints run under a per-request deadline behind a
+// bounded-concurrency admission gate (saturation sheds with 429 +
+// Retry-After). SIGINT/SIGTERM drains in-flight requests before the
+// store closes.
+//
+// Usage:
+//
+//	xmlserve -dtd schema.dtd -addr :8080 doc1.xml [doc2.xml ...]
+//	xmlserve -dtd schema.dtd -data-dir ./store -addr 127.0.0.1:8080
+//	xmlserve -dtd schema.dtd -max-concurrent 16 -timeout-ms 2000 docs...
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xmlrdb"
+	"xmlrdb/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "xmlserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("xmlserve", flag.ContinueOnError)
+	dtdPath := fs.String("dtd", "", "DTD file (required)")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	strategy := fs.String("strategy", "junction", "relational strategy: junction or fold")
+	dataDir := fs.String("data-dir", "", "serve a durable store rooted here (recovers previous contents; documents on the command line load on top)")
+	maxConc := fs.Int("max-concurrent", 8, "admission gate: concurrently executing query requests")
+	timeoutMS := fs.Int("timeout-ms", 5000, "per-request execution deadline in milliseconds")
+	planCache := fs.Int("plan-cache", 0, "plan cache capacity in entries (0 = default, negative disables)")
+	drainMS := fs.Int("drain-ms", 10000, "graceful-shutdown drain budget in milliseconds")
+	stats := fs.Bool("stats", false, "print the pipeline metrics report on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dtdPath == "" {
+		return fmt.Errorf("-dtd is required")
+	}
+	if *dataDir == "" && fs.NArg() == 0 {
+		return fmt.Errorf("no documents given (load some, or point -data-dir at a durable store)")
+	}
+	dtdText, err := os.ReadFile(*dtdPath)
+	if err != nil {
+		return err
+	}
+	cfg := xmlrdb.Config{DataDir: *dataDir, PlanCacheSize: *planCache}
+	if *strategy == "fold" {
+		cfg.Strategy = xmlrdb.StrategyFoldFK
+	}
+	p, err := xmlrdb.Open(string(dtdText), cfg)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	for _, path := range fs.Args() {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if _, err := p.LoadXML(string(b), path); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+
+	srv := serve.New(p, serve.Options{
+		MaxConcurrent:  *maxConc,
+		RequestTimeout: time.Duration(*timeoutMS) * time.Millisecond,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	st := p.Stats()
+	fmt.Fprintf(out, "xmlserve: listening on %s (%d tables, %d rows)\n",
+		ln.Addr(), st.Tables, st.Rows)
+
+	// Serve until a signal arrives, then drain before the deferred Close.
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		fmt.Fprintf(out, "xmlserve: %v, draining\n", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainMS)*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errCh; err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	if *stats {
+		fmt.Fprint(out, p.MetricsReport())
+	}
+	fmt.Fprintln(out, "xmlserve: drained, store closed")
+	return nil
+}

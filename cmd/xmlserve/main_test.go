@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run([]string{}, io.Discard); err == nil || !strings.Contains(err.Error(), "-dtd") {
+		t.Errorf("missing -dtd: %v", err)
+	}
+	if err := run([]string{"-dtd", "x.dtd"}, io.Discard); err == nil || !strings.Contains(err.Error(), "documents") {
+		t.Errorf("missing docs: %v", err)
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe for the concurrent writes run()
+// makes from the serving goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestServeAndSignalShutdown boots the server on an ephemeral port,
+// queries it, then delivers SIGTERM and expects a clean drain.
+func TestServeAndSignalShutdown(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := filepath.Join(dir, "bib.dtd")
+	xmlPath := filepath.Join(dir, "book.xml")
+	dtd, err := os.ReadFile("../../testdata/bib.dtd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	xml, err := os.ReadFile("../../testdata/book.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dtdPath, dtd, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(xmlPath, xml, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-dtd", dtdPath, "-addr", "127.0.0.1:0", "-stats", xmlPath}, &out)
+	}()
+
+	// Wait for the listening line and extract the bound address.
+	addrRe := regexp.MustCompile(`listening on ([0-9.:]+)`)
+	var addr string
+	for i := 0; i < 100; i++ {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("run exited early: %v\n%s", err, out.String())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no listening line:\n%s", out.String())
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/path?q=/book/booktitle/text()", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("path query = %d %s", resp.StatusCode, body)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("run did not drain after SIGTERM:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "drained, store closed") {
+		t.Fatalf("missing drain confirmation:\n%s", out.String())
+	}
+}

@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"context"
+	"errors"
+
+	"xmlrdb/internal/sqldb"
+)
+
+// Context-aware execution: the serving layer runs statements with
+// per-request deadlines, and a long scan or join must notice
+// cancellation mid-flight instead of holding its read locks until the
+// full result is materialized. Cancellation is polled at checkpoints
+// every cancelStride rows, so the uncancelled hot path pays one
+// increment and a modulo per row — and a cancelled statement returns
+// the context's error with no partial result.
+
+// cancelStride is the row interval between cancellation polls.
+const cancelStride = 512
+
+// cancelCheck polls a context's done channel at a fixed row stride. A
+// nil *cancelCheck (no context, or a context that can never be
+// cancelled) checks nothing.
+type cancelCheck struct {
+	ctx context.Context
+	n   int
+}
+
+// newCancelCheck returns a checker for ctx, or nil when ctx can never
+// be cancelled (context.Background() and friends).
+func newCancelCheck(ctx context.Context) *cancelCheck {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return &cancelCheck{ctx: ctx}
+}
+
+// step accounts one row and polls the context every cancelStride rows.
+func (c *cancelCheck) step() error {
+	if c == nil {
+		return nil
+	}
+	c.n++
+	if c.n%cancelStride != 0 {
+		return nil
+	}
+	return c.now()
+}
+
+// now polls the context immediately.
+func (c *cancelCheck) now() error {
+	if c == nil {
+		return nil
+	}
+	select {
+	case <-c.ctx.Done():
+		return c.ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// ExecContext parses and executes one statement under a context: a
+// cancelled or timed-out context aborts long scans, joins and
+// projections at the next checkpoint and returns the context's error
+// (context.Canceled or context.DeadlineExceeded) with no partial
+// result. Mutations are checked once before they start; a statement
+// that began applying is never half-cancelled (the engine's own
+// atomicity rules decide what it keeps).
+func (db *DB) ExecContext(ctx context.Context, sql string) (Result, *Rows, error) {
+	st, err := sqldb.Parse(sql)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	return db.execStmtObserved(ctx, st, sql)
+}
+
+// QueryContext parses and executes a SELECT under a context.
+func (db *DB) QueryContext(ctx context.Context, sql string) (*Rows, error) {
+	_, rows, err := db.ExecContext(ctx, sql)
+	if err != nil {
+		return nil, err
+	}
+	if rows == nil {
+		return nil, errors.New("engine: statement is not a query")
+	}
+	return rows, nil
+}
+
+// ExecStmtContext executes a parsed statement under a context.
+func (db *DB) ExecStmtContext(ctx context.Context, st sqldb.Stmt) (Result, *Rows, error) {
+	return db.execStmtObserved(ctx, st, "")
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -18,6 +19,9 @@ import (
 var (
 	// ErrNoTable is returned for operations on unknown tables.
 	ErrNoTable = errors.New("engine: no such table")
+	// ErrNoIndex is returned for operations on unknown indexes (hash or
+	// ordered).
+	ErrNoIndex = errors.New("engine: no such index")
 	// ErrConstraint is returned when an insert or update violates a
 	// declared constraint.
 	ErrConstraint = errors.New("engine: constraint violation")
@@ -68,7 +72,11 @@ type index struct {
 	name   string
 	cols   []int
 	unique bool
-	m      map[string][]int
+	// constraint marks an index that backs a declared constraint (the
+	// auto-created <table>_pk and <table>_uN indexes): it is what makes
+	// applyRowLocked reject duplicate keys, so it cannot be dropped.
+	constraint bool
+	m          map[string][]int
 }
 
 // Open returns an empty database with foreign-key enforcement enabled.
@@ -118,12 +126,12 @@ func (db *DB) createTableLocked(def *rel.Table) error {
 		t.obs = db.obs.Table(def.Name)
 	}
 	if len(def.PrimaryKey) > 0 {
-		if err := t.addIndex(def.Name+"_pk", def.PrimaryKey, true); err != nil {
+		if err := t.addIndex(def.Name+"_pk", def.PrimaryKey, true, true); err != nil {
 			return err
 		}
 	}
 	for i, u := range def.Uniques {
-		if err := t.addIndex(fmt.Sprintf("%s_u%d", def.Name, i), u, true); err != nil {
+		if err := t.addIndex(fmt.Sprintf("%s_u%d", def.Name, i), u, true, true); err != nil {
 			return err
 		}
 	}
@@ -159,7 +167,7 @@ func (db *DB) CreateIndex(name, tableName string, cols []string, unique bool) er
 	if _, dup := t.indexes[name]; dup {
 		return fmt.Errorf("engine: index %q already exists", name)
 	}
-	if err := t.addIndex(name, cols, unique); err != nil {
+	if err := t.addIndex(name, cols, unique, false); err != nil {
 		return err
 	}
 	// Populate from existing rows.
@@ -182,21 +190,29 @@ func (db *DB) CreateIndex(name, tableName string, cols []string, unique bool) er
 	return nil
 }
 
-// DropIndex removes a secondary index (primary-key indexes cannot be
-// dropped).
+// DropIndex removes a secondary index. Indexes that back a declared
+// constraint — the auto-created <table>_pk and <table>_uN indexes — are
+// not droppable: they are what enforces uniqueness on insert, and
+// removing one would let duplicate keys slip in silently.
 func (db *DB) DropIndex(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	for _, t := range db.tables {
-		if _, ok := t.indexes[name]; ok {
-			if err := db.logDDL(ddlRecord{Op: "drop_index", Name: name}); err != nil {
-				return err
-			}
-			delete(t.indexes, name)
-			return nil
+		ix, ok := t.indexes[name]
+		if !ok {
+			continue
 		}
+		if ix.constraint {
+			return fmt.Errorf("engine: cannot drop index %q: it enforces a constraint of table %q (drop the table instead)",
+				name, t.def.Name)
+		}
+		if err := db.logDDL(ddlRecord{Op: "drop_index", Name: name}); err != nil {
+			return err
+		}
+		delete(t.indexes, name)
+		return nil
 	}
-	return fmt.Errorf("engine: no such index %q", name)
+	return fmt.Errorf("%w: %q", ErrNoIndex, name)
 }
 
 // DependencyError reports a DropTable refused because other tables
@@ -255,7 +271,7 @@ func (db *DB) DropTable(name string) error {
 	return nil
 }
 
-func (t *table) addIndex(name string, colNames []string, unique bool) error {
+func (t *table) addIndex(name string, colNames []string, unique, constraint bool) error {
 	cols := make([]int, len(colNames))
 	for i, cn := range colNames {
 		_, pos := t.def.Column(cn)
@@ -264,7 +280,7 @@ func (t *table) addIndex(name string, colNames []string, unique bool) error {
 		}
 		cols[i] = pos
 	}
-	t.indexes[name] = &index{name: name, cols: cols, unique: unique, m: make(map[string][]int)}
+	t.indexes[name] = &index{name: name, cols: cols, unique: unique, constraint: constraint, m: make(map[string][]int)}
 	return nil
 }
 
@@ -815,7 +831,7 @@ func (db *DB) Exec(sql string) (Result, *Rows, error) {
 	if err != nil {
 		return Result{}, nil, err
 	}
-	return db.execStmtObserved(st, sql)
+	return db.execStmtObserved(context.Background(), st, sql)
 }
 
 // Query parses and executes a SELECT, returning its rows.
@@ -859,14 +875,22 @@ func (db *DB) ExecScript(sql string) (Result, *Rows, error) {
 
 // ExecStmt executes a parsed statement.
 func (db *DB) ExecStmt(st sqldb.Stmt) (Result, *Rows, error) {
-	return db.execStmtObserved(st, "")
+	return db.execStmtObserved(context.Background(), st, "")
 }
 
-// dispatchStmt routes a parsed statement to its executor.
-func (db *DB) dispatchStmt(st sqldb.Stmt) (Result, *Rows, error) {
+// dispatchStmt routes a parsed statement to its executor. The context
+// cancels SELECT execution at row-stride checkpoints; mutations and DDL
+// are checked once up front and then run to completion, so a statement
+// is either never started or fully applied under the engine's usual
+// atomicity rules.
+func (db *DB) dispatchStmt(ctx context.Context, st sqldb.Stmt) (Result, *Rows, error) {
+	cc := newCancelCheck(ctx)
+	if err := cc.now(); err != nil {
+		return Result{}, nil, err
+	}
 	switch s := st.(type) {
 	case *sqldb.Select:
-		rows, err := db.execSelect(s)
+		rows, err := db.execSelect(s, cc)
 		return Result{}, rows, err
 	case *sqldb.Insert:
 		n, err := db.execInsert(s)
@@ -888,13 +912,15 @@ func (db *DB) dispatchStmt(st sqldb.Stmt) (Result, *Rows, error) {
 		}
 		return Result{}, nil, err
 	case *sqldb.DropIndex:
+		// Only a not-found falls through to the ordered-index namespace
+		// (mirroring the DropTable/ErrNoTable path): a WAL failure or a
+		// constraint-backed refusal must surface, and IF EXISTS forgives
+		// a missing index, not a failed drop.
 		err := db.DropIndex(s.Name)
-		if err != nil {
-			if e2 := db.DropOrderedIndex(s.Name); e2 == nil {
-				err = nil
-			}
+		if errors.Is(err, ErrNoIndex) {
+			err = db.DropOrderedIndex(s.Name)
 		}
-		if err != nil && s.IfExists {
+		if err != nil && s.IfExists && errors.Is(err, ErrNoIndex) {
 			err = nil
 		}
 		return Result{}, nil, err

@@ -18,8 +18,10 @@ type source struct {
 // execSelect plans and runs a SELECT: scans with pushed-down predicates
 // (index scans for indexed equality), left-to-right joins (hash join on
 // equi-predicates, else filtered nested loops), then grouping,
-// having, ordering, projection, distinct and limit.
-func (db *DB) execSelect(s *sqldb.Select) (*Rows, error) {
+// having, ordering, projection, distinct and limit. cc (possibly nil)
+// polls for context cancellation between rows; a cancelled SELECT
+// returns the context's error and no rows.
+func (db *DB) execSelect(s *sqldb.Select, cc *cancelCheck) (*Rows, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 
@@ -118,7 +120,7 @@ func (db *DB) execSelect(s *sqldb.Select) (*Rows, error) {
 	}
 
 	// Join pipeline.
-	rows, err := db.scanSource(srcs[0], env, pushed[0])
+	rows, err := db.scanSource(srcs[0], env, pushed[0], cc)
 	if err != nil {
 		return nil, err
 	}
@@ -139,11 +141,11 @@ func (db *DB) execSelect(s *sqldb.Select) (*Rows, error) {
 			}
 			joinConjs = rest
 		}
-		inner, err := db.scanSource(src, env, pushed[bi])
+		inner, err := db.scanSource(src, env, pushed[bi], cc)
 		if err != nil {
 			return nil, err
 		}
-		rows, err = joinRows(rows, inner, srcs, bi, conds, env, src.left)
+		rows, err = joinRows(rows, inner, srcs, bi, conds, env, src.left, cc)
 		if err != nil {
 			return nil, err
 		}
@@ -158,6 +160,9 @@ func (db *DB) execSelect(s *sqldb.Select) (*Rows, error) {
 	if len(residual) > 0 {
 		var kept [][]any
 		for _, row := range rows {
+			if err := cc.step(); err != nil {
+				return nil, err
+			}
 			env.row = row
 			ok := true
 			for _, c := range residual {
@@ -177,7 +182,7 @@ func (db *DB) execSelect(s *sqldb.Select) (*Rows, error) {
 		rows = kept
 	}
 
-	return db.project(s, env, rows)
+	return db.project(s, env, rows, cc)
 }
 
 func anyLeftAtOrBelow(leftProtected []bool, maxB int) bool {
@@ -191,7 +196,7 @@ func anyLeftAtOrBelow(leftProtected []bool, maxB int) bool {
 
 // scanSource produces the (filtered) rows of one source, widened to the
 // full environment layout with their binding's columns filled in.
-func (db *DB) scanSource(src source, env *rowEnv, preds []sqldb.Expr) ([][]any, error) {
+func (db *DB) scanSource(src source, env *rowEnv, preds []sqldb.Expr, cc *cancelCheck) ([][]any, error) {
 	bi := -1
 	for i, b := range env.bindings {
 		if b.name == src.ref.Name() {
@@ -211,7 +216,13 @@ func (db *DB) scanSource(src source, env *rowEnv, preds []sqldb.Expr) ([][]any, 
 	}
 	if len(eqCols) > 0 {
 		if ix := src.t.findIndex(eqCols); ix != nil {
-			fromIndex = ix.m[encodeKey(eqVals)]
+			// A consulted index with no postings must yield an empty scan,
+			// not nil: nil means "no index", and falling through to the
+			// full scan would drop the consumed equality predicates from
+			// restPreds and return every row.
+			if fromIndex = ix.m[encodeKey(eqVals)]; fromIndex == nil {
+				fromIndex = []int{}
+			}
 		} else {
 			restPreds = preds // no hash index: evaluate all predicates per row
 		}
@@ -233,6 +244,9 @@ func (db *DB) scanSource(src source, env *rowEnv, preds []sqldb.Expr) ([][]any, 
 	localEnv := &rowEnv{bindings: env.bindings}
 	var out [][]any
 	emit := func(row []any) error {
+		if err := cc.step(); err != nil {
+			return err
+		}
 		wide := make([]any, width)
 		copy(wide[b.offset:], row)
 		localEnv.row = wide
@@ -332,7 +346,7 @@ func asColLit(a, b sqldb.Expr) (*sqldb.Col, sqldb.Expr) {
 // joinRows joins the accumulated rows with the new source's rows using a
 // hash join on equi-conditions when possible, else a filtered nested
 // loop. Rows are full-width; the new source's columns are merged in.
-func joinRows(outer, inner [][]any, srcs []source, bi int, conds []sqldb.Expr, env *rowEnv, left bool) ([][]any, error) {
+func joinRows(outer, inner [][]any, srcs []source, bi int, conds []sqldb.Expr, env *rowEnv, left bool, cc *cancelCheck) ([][]any, error) {
 	b := env.bindings[bi]
 	// Find equi conditions col(earlier) = col(current).
 	type equi struct{ outerIdx, innerIdx int }
@@ -403,6 +417,9 @@ func joinRows(outer, inner [][]any, srcs []source, bi int, conds []sqldb.Expr, e
 			build[k] = append(build[k], in)
 		}
 		for _, o := range outer {
+			if err := cc.step(); err != nil {
+				return nil, err
+			}
 			for i, e := range equis {
 				keyBuf[i] = o[e.outerIdx]
 			}
@@ -430,6 +447,9 @@ func joinRows(outer, inner [][]any, srcs []source, bi int, conds []sqldb.Expr, e
 	for _, o := range outer {
 		matched := false
 		for _, in := range inner {
+			if err := cc.step(); err != nil {
+				return nil, err
+			}
 			m := merge(o, in)
 			ok, err := evalOthers(m)
 			if err != nil {
@@ -458,7 +478,7 @@ func anyNil(vals []any) bool {
 
 // project applies grouping/aggregation, HAVING, ORDER BY, projection,
 // DISTINCT and LIMIT.
-func (db *DB) project(s *sqldb.Select, env *rowEnv, rows [][]any) (*Rows, error) {
+func (db *DB) project(s *sqldb.Select, env *rowEnv, rows [][]any, cc *cancelCheck) (*Rows, error) {
 	// Expand stars and name outputs.
 	items, cols, err := expandItems(s, env)
 	if err != nil {
@@ -488,6 +508,9 @@ func (db *DB) project(s *sqldb.Select, env *rowEnv, rows [][]any) (*Rows, error)
 		groups := make(map[string][][]any)
 		var order []string
 		for _, row := range rows {
+			if err := cc.step(); err != nil {
+				return nil, err
+			}
 			env.row = row
 			keyVals := make([]any, len(s.GroupBy))
 			for i, g := range s.GroupBy {
@@ -539,6 +562,9 @@ func (db *DB) project(s *sqldb.Select, env *rowEnv, rows [][]any) (*Rows, error)
 		}
 	} else {
 		for _, row := range rows {
+			if err := cc.step(); err != nil {
+				return nil, err
+			}
 			env.row = row
 			o := outRow{vals: make([]any, len(items))}
 			for i, it := range items {

@@ -255,3 +255,24 @@ ORDER BY a.name, b.title`)
 		t.Errorf("Lee row = %v", rows.Data[1])
 	}
 }
+
+// TestIndexMissReturnsNoRows is the regression test for the index-miss
+// scan bug: an equality lookup on an indexed column with a value absent
+// from the index must return zero rows, not fall through to an
+// unfiltered full scan (the consumed equality predicate is no longer in
+// restPreds there, so every row came back).
+func TestIndexMissReturnsNoRows(t *testing.T) {
+	db := testDB(t)
+	rows := db.MustQuery("SELECT * FROM authors WHERE id = 999999")
+	if len(rows.Data) != 0 {
+		t.Fatalf("index miss returned %d rows: %v", len(rows.Data), rows.Data)
+	}
+	// Same via a secondary index path, combined with another predicate.
+	if _, _, err := db.Exec("CREATE INDEX authors_age ON authors (age)"); err != nil {
+		t.Fatal(err)
+	}
+	rows = db.MustQuery("SELECT * FROM authors WHERE age = -1 AND id > 0")
+	if len(rows.Data) != 0 {
+		t.Fatalf("secondary index miss returned %d rows: %v", len(rows.Data), rows.Data)
+	}
+}

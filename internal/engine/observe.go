@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -51,14 +52,14 @@ func (db *DB) SetSlowQueryThreshold(d time.Duration) {
 // execStmtObserved dispatches one parsed statement, recording latency,
 // statement-kind counters and the slow-query trace when observability
 // is attached. sql is the original text when known (for trace detail).
-func (db *DB) execStmtObserved(st sqldb.Stmt, sql string) (Result, *Rows, error) {
+func (db *DB) execStmtObserved(ctx context.Context, st sqldb.Stmt, sql string) (Result, *Rows, error) {
 	if db.obs == nil && db.tracer == nil {
-		res, rows, err := db.dispatchStmt(st)
+		res, rows, err := db.dispatchStmt(ctx, st)
 		db.maybeCheckpoint()
 		return res, rows, err
 	}
 	start := time.Now()
-	res, rows, err := db.dispatchStmt(st)
+	res, rows, err := db.dispatchStmt(ctx, st)
 	d := time.Since(start)
 	db.maybeCheckpoint()
 	if db.obs != nil {

@@ -75,7 +75,7 @@ func (db *DB) DropOrderedIndex(name string) error {
 			return nil
 		}
 	}
-	return fmt.Errorf("engine: no such ordered index %q", name)
+	return fmt.Errorf("%w: no ordered index %q", ErrNoIndex, name)
 }
 
 func (ix *orderedIndex) rebuild(t *table) {

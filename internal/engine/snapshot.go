@@ -41,6 +41,9 @@ type snapIndex struct {
 	Name   string   `json:"name"`
 	Cols   []string `json:"cols"`
 	Unique bool     `json:"unique,omitempty"`
+	// Constraint marks the auto-created pk/unique indexes, which must
+	// stay undroppable after recovery.
+	Constraint bool `json:"constraint,omitempty"`
 }
 
 type snapOrdered struct {
@@ -62,7 +65,7 @@ func (db *DB) encodeSnapshot(seq uint64) ([]byte, error) {
 			for i, c := range ix.cols {
 				cols[i] = t.def.Columns[c].Name
 			}
-			hdr.Indexes = append(hdr.Indexes, snapIndex{Name: ix.name, Cols: cols, Unique: ix.unique})
+			hdr.Indexes = append(hdr.Indexes, snapIndex{Name: ix.name, Cols: cols, Unique: ix.unique, Constraint: ix.constraint})
 		}
 		for _, ox := range t.ordered {
 			hdr.Ordered = append(hdr.Ordered, snapOrdered{Name: ox.name, Col: t.def.Columns[ox.col].Name})
@@ -181,7 +184,7 @@ func loadSnapshot(data []byte) (tables map[string]*table, order []string, seq ui
 			if _, dup := t.indexes[ixh.Name]; dup {
 				return nil, nil, 0, fmt.Errorf("engine: snapshot duplicates index %q", ixh.Name)
 			}
-			if err := t.addIndex(ixh.Name, ixh.Cols, ixh.Unique); err != nil {
+			if err := t.addIndex(ixh.Name, ixh.Cols, ixh.Unique, ixh.Constraint); err != nil {
 				return nil, nil, 0, err
 			}
 		}

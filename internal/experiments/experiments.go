@@ -88,6 +88,7 @@ func All() []Runner {
 		{"e7", "round-trip fidelity, with and without ordering metadata", E7},
 		{"e7b", "crash recovery cost vs snapshot interval (durable store)", E7b},
 		{"e8", "reconstruction time vs document size", E8},
+		{"e8b", "served path-query throughput/latency: plan cache on vs off", E8b},
 		{"e9", "joins per query class per mapping ([SHT+99] comparison)", E9},
 		{"e10", "ablation: attribute distilling (step 2) on/off", E10},
 		{"e11", "ablation: secondary index on IDREF point queries", E11},

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"xmlrdb"
+	"xmlrdb/internal/paper"
+	"xmlrdb/internal/serve"
+)
+
+// E8bQueries is the path-query mix the serving load generator cycles
+// through: distilled leaf lookups, relationship traversals, a predicate
+// and a descendant query (the expensive multi-arm translation).
+var E8bQueries = []string{
+	"/book/booktitle/text()",
+	"/article/title/text()",
+	"/book/author",
+	"/article/author/name",
+	"/article/contactauthor[@authorid]",
+	"//author",
+}
+
+// E8b measures served path-query throughput and latency with the plan
+// cache on versus off. A pipeline loaded with the paper's fixtures is
+// put behind the HTTP serving layer, then a closed-loop load generator
+// (every client issues its next request as soon as the previous one
+// returns) sweeps the query mix. With the cache off every request pays
+// a fresh path-to-SQL translation; with it on, steady state is a cache
+// hit per request, so the delta isolates translation cost under load.
+func E8b(seed int64) (*Table, error) {
+	const (
+		clients   = 4
+		perClient = 150
+		copies    = 20 // fixture documents loaded per kind
+	)
+	t := &Table{
+		ID: "E8b", Title: fmt.Sprintf("served path-query throughput (%d closed-loop clients, %d requests each)", clients, perClient),
+		Header: []string{"plan cache", "requests", "elapsed", "req/s", "mean", "p95", "hits/misses"},
+		Notes: []string{
+			"expected shape: cache on serves every steady-state request from the LRU (hits ~= requests), lowering mean latency and raising throughput versus retranslating per request",
+		},
+	}
+	for _, mode := range []struct {
+		name string
+		size int // Config.PlanCacheSize: negative disables
+	}{
+		{"off", -1},
+		{"on", 0},
+	} {
+		p, err := xmlrdb.Open(paper.Example1DTD, xmlrdb.Config{PlanCacheSize: mode.size})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < copies; i++ {
+			if _, err := p.LoadXML(paper.BookXML, fmt.Sprintf("book-%d", i)); err != nil {
+				return nil, err
+			}
+			if _, err := p.LoadXML(paper.ArticleXML, fmt.Sprintf("article-%d", i)); err != nil {
+				return nil, err
+			}
+		}
+		srv := serve.New(p, serve.Options{
+			MaxConcurrent:  clients,
+			RequestTimeout: 10 * time.Second,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- srv.Serve(ln) }()
+		base := "http://" + ln.Addr().String()
+
+		lats := make([][]time.Duration, clients)
+		errCh := make(chan error, clients)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				ds := make([]time.Duration, 0, perClient)
+				for i := 0; i < perClient; i++ {
+					q := E8bQueries[(c+i)%len(E8bQueries)]
+					t0 := time.Now()
+					resp, err := http.Get(base + "/path?q=" + url.QueryEscape(q))
+					if err != nil {
+						errCh <- err
+						return
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errCh <- fmt.Errorf("cache %s: %s = %d", mode.name, q, resp.StatusCode)
+						return
+					}
+					ds = append(ds, time.Since(t0))
+				}
+				lats[c] = ds
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		select {
+		case err := <-errCh:
+			return nil, err
+		default:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		err = srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			return nil, err
+		}
+		if err := <-serveErr; err != nil && err != http.ErrServerClosed {
+			return nil, err
+		}
+		snap := p.MetricsSnapshot()
+		if err := p.Close(); err != nil {
+			return nil, err
+		}
+
+		var all []time.Duration
+		var sum time.Duration
+		for _, ds := range lats {
+			all = append(all, ds...)
+			for _, d := range ds {
+				sum += d
+			}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		total := len(all)
+		mean := sum / time.Duration(total)
+		p95 := all[total*95/100]
+		t.Rows = append(t.Rows, []string{
+			mode.name, fmt.Sprint(total),
+			elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", float64(total)/elapsed.Seconds()),
+			mean.Round(time.Microsecond).String(),
+			p95.Round(time.Microsecond).String(),
+			fmt.Sprintf("%d/%d", snap.Query.PlanCacheHits, snap.Query.PlanCacheMisses),
+		})
+	}
+	return t, nil
+}

@@ -78,6 +78,10 @@ type Metrics struct {
 	JoinsEmitted     Counter
 	JoinsAvoided     Counter
 	DistilledHits    Counter
+	// Plan cache (pathquery.Cache): hit/miss/eviction counts.
+	PlanCacheHits      Counter
+	PlanCacheMisses    Counter
+	PlanCacheEvictions Counter
 
 	// Reconstruct.
 	ReconDocs    Counter
@@ -86,6 +90,14 @@ type Metrics struct {
 	// Pipeline: schema construction.
 	SchemaBuilds       Counter
 	SchemaBuildLatency Histogram
+
+	// Serve: the HTTP query-serving layer.
+	ServeRequests Counter   // requests admitted and executed
+	ServeErrors   Counter   // admitted requests that failed (4xx/5xx)
+	ServeShed     Counter   // requests rejected by the admission gate (429)
+	ServeTimeouts Counter   // admitted requests that hit their deadline
+	ServeLatency  Histogram // admitted-request latency, nanoseconds
+	ServeInflight Gauge     // requests currently executing
 
 	// Durability: write-ahead log, snapshots and recovery.
 	WALFrames       Counter // frames appended
@@ -152,12 +164,15 @@ type Snapshot struct {
 		WorkerCapacity int64        `json:"worker_capacity_nanos"`
 	} `json:"load"`
 	Query struct {
-		Translations     int64        `json:"translations"`
-		TranslateLatency HistSnapshot `json:"translate_latency"`
-		ChainsExpanded   int64        `json:"chains_expanded"`
-		JoinsEmitted     int64        `json:"joins_emitted"`
-		JoinsAvoided     int64        `json:"joins_avoided"`
-		DistilledHits    int64        `json:"distilled_hits"`
+		Translations       int64        `json:"translations"`
+		TranslateLatency   HistSnapshot `json:"translate_latency"`
+		ChainsExpanded     int64        `json:"chains_expanded"`
+		JoinsEmitted       int64        `json:"joins_emitted"`
+		JoinsAvoided       int64        `json:"joins_avoided"`
+		DistilledHits      int64        `json:"distilled_hits"`
+		PlanCacheHits      int64        `json:"plan_cache_hits,omitempty"`
+		PlanCacheMisses    int64        `json:"plan_cache_misses,omitempty"`
+		PlanCacheEvictions int64        `json:"plan_cache_evictions,omitempty"`
 	} `json:"query"`
 	Reconstruct struct {
 		Docs    int64        `json:"docs"`
@@ -167,6 +182,14 @@ type Snapshot struct {
 		Builds  int64        `json:"builds"`
 		Latency HistSnapshot `json:"latency"`
 	} `json:"schema"`
+	Serve struct {
+		Requests int64        `json:"requests"`
+		Errors   int64        `json:"errors"`
+		Shed     int64        `json:"shed"`
+		Timeouts int64        `json:"timeouts"`
+		Latency  HistSnapshot `json:"latency"`
+		Inflight int64        `json:"inflight"`
+	} `json:"serve"`
 	WAL struct {
 		Frames          int64        `json:"frames"`
 		Bytes           int64        `json:"bytes"`
@@ -225,12 +248,22 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.Query.JoinsEmitted = m.JoinsEmitted.Load()
 	s.Query.JoinsAvoided = m.JoinsAvoided.Load()
 	s.Query.DistilledHits = m.DistilledHits.Load()
+	s.Query.PlanCacheHits = m.PlanCacheHits.Load()
+	s.Query.PlanCacheMisses = m.PlanCacheMisses.Load()
+	s.Query.PlanCacheEvictions = m.PlanCacheEvictions.Load()
 
 	s.Reconstruct.Docs = m.ReconDocs.Load()
 	s.Reconstruct.Latency = m.ReconLatency.Snapshot()
 
 	s.Schema.Builds = m.SchemaBuilds.Load()
 	s.Schema.Latency = m.SchemaBuildLatency.Snapshot()
+
+	s.Serve.Requests = m.ServeRequests.Load()
+	s.Serve.Errors = m.ServeErrors.Load()
+	s.Serve.Shed = m.ServeShed.Load()
+	s.Serve.Timeouts = m.ServeTimeouts.Load()
+	s.Serve.Latency = m.ServeLatency.Snapshot()
+	s.Serve.Inflight = m.ServeInflight.Load()
 
 	s.WAL.Frames = m.WALFrames.Load()
 	s.WAL.Bytes = m.WALBytes.Load()
@@ -299,6 +332,10 @@ func (s Snapshot) Report() string {
 			s.Query.JoinsAvoided, s.Query.DistilledHits)
 		fmt.Fprintf(&b, "query: translate latency %s\n", s.Query.TranslateLatency.DurSummary())
 	}
+	if s.Query.PlanCacheHits > 0 || s.Query.PlanCacheMisses > 0 {
+		fmt.Fprintf(&b, "query: plan cache hits=%d misses=%d evictions=%d\n",
+			s.Query.PlanCacheHits, s.Query.PlanCacheMisses, s.Query.PlanCacheEvictions)
+	}
 	if s.Reconstruct.Docs > 0 {
 		fmt.Fprintf(&b, "reconstruct: docs=%d latency %s\n",
 			s.Reconstruct.Docs, s.Reconstruct.Latency.DurSummary())
@@ -306,6 +343,11 @@ func (s Snapshot) Report() string {
 	if s.Schema.Builds > 0 {
 		fmt.Fprintf(&b, "schema: builds=%d latency %s\n",
 			s.Schema.Builds, s.Schema.Latency.DurSummary())
+	}
+	if s.Serve.Requests > 0 || s.Serve.Shed > 0 {
+		fmt.Fprintf(&b, "serve: requests=%d errors=%d shed=%d timeouts=%d inflight=%d\n",
+			s.Serve.Requests, s.Serve.Errors, s.Serve.Shed, s.Serve.Timeouts, s.Serve.Inflight)
+		fmt.Fprintf(&b, "serve: request latency %s\n", s.Serve.Latency.DurSummary())
 	}
 	if s.WAL.Frames > 0 || s.WAL.Recoveries > 0 {
 		fmt.Fprintf(&b, "wal: frames=%d bytes=%d fsyncs=%d snapshots=%d\n",

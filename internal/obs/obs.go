@@ -34,6 +34,25 @@ func (c *Counter) Inc() { c.v.Add(1) }
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
+// Gauge is an atomic instantaneous value (in-flight requests, queue
+// depth). The zero value is ready to use. Gauges must not be copied
+// after first use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc increments the gauge by one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec decrements the gauge by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Set stores an absolute value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
 // histBuckets is the number of power-of-two histogram buckets: bucket i
 // holds observations v with bits.Len64(v) == i, i.e. 1<<(i-1) <= v <
 // 1<<i (bucket 0 holds v <= 0). 63 buckets cover the full int64 range.

@@ -156,7 +156,7 @@ func TestWriterTracerFormat(t *testing.T) {
 	tr.Now = func() time.Time { return time.Unix(1000, 0).UTC() }
 	tr.Emit(Event{
 		Scope: "engine", Name: "slow-query", Detail: "SELECT * FROM t",
-		Dur: 150 * time.Millisecond,
+		Dur:   150 * time.Millisecond,
 		Attrs: []Attr{{Key: "rows", Val: 3}},
 		Err:   "boom",
 	})

@@ -1,0 +1,99 @@
+package pathquery
+
+import (
+	"container/list"
+	"sync"
+
+	"xmlrdb/internal/obs"
+)
+
+// DefaultCacheSize is the entry capacity a Cache gets when none is
+// requested.
+const DefaultCacheSize = 256
+
+// Cache is an LRU translation (plan) cache wrapping any Translator.
+// Keys combine the wrapped translator's name with the query's canonical
+// path rendering, so pipelines that switch strategies never serve a
+// plan built for another mapping. Cached translations are shared and
+// read-only; a hit returns a shallow copy with Cached set, which
+// Explain renders as a cache-hit note.
+//
+// Cache itself implements Translator and is safe for concurrent use.
+type Cache struct {
+	t   Translator
+	obs *obs.Metrics
+
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	tr  *Translation
+}
+
+// NewCache wraps t with an LRU plan cache of the given capacity
+// (entries); size <= 0 selects DefaultCacheSize.
+func NewCache(t Translator, size int) *Cache {
+	if size <= 0 {
+		size = DefaultCacheSize
+	}
+	return &Cache{t: t, max: size, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// SetObserver attaches a metrics hub recording hits, misses and
+// evictions. Attach before concurrent use.
+func (c *Cache) SetObserver(m *obs.Metrics) { c.obs = m }
+
+// Name reports the wrapped translator's name.
+func (c *Cache) Name() string { return c.t.Name() }
+
+// Len returns the number of cached plans.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Translate returns the cached translation of q, translating and
+// caching on a miss. Translation errors are not cached (they are cheap
+// to reproduce and may be transient across schema changes).
+func (c *Cache) Translate(q *Query) (*Translation, error) {
+	key := c.t.Name() + "\x00" + q.String()
+	c.mu.Lock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		tr := el.Value.(*cacheEntry).tr
+		c.mu.Unlock()
+		if c.obs != nil {
+			c.obs.PlanCacheHits.Inc()
+		}
+		cp := *tr // the entry is shared: flag the copy, not the original
+		cp.Cached = true
+		return &cp, nil
+	}
+	c.mu.Unlock()
+	if c.obs != nil {
+		c.obs.PlanCacheMisses.Inc()
+	}
+	tr, err := c.t.Translate(q)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if _, dup := c.m[key]; !dup { // a racing miss may have filled it
+		c.m[key] = c.ll.PushFront(&cacheEntry{key: key, tr: tr})
+		if c.ll.Len() > c.max {
+			back := c.ll.Back()
+			c.ll.Remove(back)
+			delete(c.m, back.Value.(*cacheEntry).key)
+			if c.obs != nil {
+				c.obs.PlanCacheEvictions.Inc()
+			}
+		}
+	}
+	c.mu.Unlock()
+	return tr, nil
+}

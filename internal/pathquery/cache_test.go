@@ -1,0 +1,149 @@
+package pathquery
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"xmlrdb/internal/obs"
+)
+
+// countingTranslator counts Translate calls and returns a distinct
+// translation per path.
+type countingTranslator struct {
+	mu    sync.Mutex
+	calls int
+	name  string
+}
+
+func (c *countingTranslator) Name() string { return c.name }
+
+func (c *countingTranslator) Translate(q *Query) (*Translation, error) {
+	c.mu.Lock()
+	c.calls++
+	c.mu.Unlock()
+	return &Translation{
+		SQLs:  []string{"SELECT 1 -- " + q.String()},
+		Cols:  []string{"v"},
+		Joins: 1,
+	}, nil
+}
+
+func (c *countingTranslator) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}
+
+func TestCacheHitAvoidsRetranslation(t *testing.T) {
+	ct := &countingTranslator{name: "er-junction"}
+	hub := obs.New()
+	cache := NewCache(ct, 8)
+	cache.SetObserver(hub)
+
+	q := MustParse("/book/booktitle/text()")
+	tr1, err := cache.Translate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr1.Cached {
+		t.Fatal("first translation reported Cached")
+	}
+	tr2, err := cache.Translate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr2.Cached {
+		t.Fatal("second translation not served from cache")
+	}
+	if ct.count() != 1 {
+		t.Fatalf("translator called %d times, want 1", ct.count())
+	}
+	if tr2.SQLs[0] != tr1.SQLs[0] {
+		t.Fatalf("cached SQL differs: %q vs %q", tr2.SQLs[0], tr1.SQLs[0])
+	}
+	s := hub.Snapshot()
+	if s.Query.PlanCacheHits != 1 || s.Query.PlanCacheMisses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", s.Query.PlanCacheHits, s.Query.PlanCacheMisses)
+	}
+	// The cache-hit note appears only on the hit copy.
+	if strings.Contains(tr1.Explain(), "plan-cache") {
+		t.Fatal("miss translation carries the cache-hit note")
+	}
+	if !strings.Contains(tr2.Explain(), "-- plan-cache: hit") {
+		t.Fatalf("hit translation lacks the cache-hit note:\n%s", tr2.Explain())
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	ct := &countingTranslator{name: "er-junction"}
+	hub := obs.New()
+	cache := NewCache(ct, 2)
+	cache.SetObserver(hub)
+
+	a, b, c := MustParse("/a"), MustParse("/b"), MustParse("/c")
+	for _, q := range []*Query{a, b} {
+		if _, err := cache.Translate(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch /a so /b becomes least recently used, then insert /c.
+	if _, err := cache.Translate(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Translate(c); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("cache length %d, want 2", cache.Len())
+	}
+	if tr, _ := cache.Translate(a); !tr.Cached {
+		t.Fatal("/a was evicted although recently used")
+	}
+	if tr, _ := cache.Translate(b); tr.Cached {
+		t.Fatal("/b survived although least recently used")
+	}
+	if s := hub.Snapshot(); s.Query.PlanCacheEvictions < 1 {
+		t.Fatalf("evictions = %d, want >= 1", s.Query.PlanCacheEvictions)
+	}
+}
+
+func TestCacheKeyIncludesTranslatorName(t *testing.T) {
+	// Two caches sharing nothing is the normal case; here one cache is
+	// rebuilt around a differently named translator to prove the key
+	// namespace separates strategies.
+	ct1 := &countingTranslator{name: "er-junction"}
+	ct2 := &countingTranslator{name: "er-fold-fk"}
+	q := MustParse("/book")
+	c1 := NewCache(ct1, 4)
+	if _, err := c1.Translate(q); err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCache(ct2, 4)
+	if tr, err := c2.Translate(q); err != nil {
+		t.Fatal(err)
+	} else if tr.Cached {
+		t.Fatal("fresh cache served a hit")
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	ct := &countingTranslator{name: "er-junction"}
+	cache := NewCache(ct, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				q := MustParse(fmt.Sprintf("/p%d", i%32))
+				if _, err := cache.Translate(q); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

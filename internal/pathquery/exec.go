@@ -1,15 +1,23 @@
 package pathquery
 
 import (
+	"context"
+
 	"xmlrdb/internal/engine"
 )
 
 // Execute runs every statement of a translation against the engine and
 // concatenates the results (the union of the generated join chains).
 func Execute(db *engine.DB, tr *Translation) (*engine.Rows, error) {
+	return ExecuteContext(context.Background(), db, tr)
+}
+
+// ExecuteContext is Execute under a context: cancellation aborts the
+// current arm mid-scan and returns the context's error.
+func ExecuteContext(ctx context.Context, db *engine.DB, tr *Translation) (*engine.Rows, error) {
 	out := &engine.Rows{Cols: tr.Cols}
 	for _, sql := range tr.SQLs {
-		rows, err := db.Query(sql)
+		rows, err := db.QueryContext(ctx, sql)
 		if err != nil {
 			return nil, err
 		}
@@ -20,6 +28,11 @@ func Execute(db *engine.DB, tr *Translation) (*engine.Rows, error) {
 
 // Run parses, translates and executes a path query in one call.
 func Run(db *engine.DB, t Translator, path string) (*engine.Rows, error) {
+	return RunContext(context.Background(), db, t, path)
+}
+
+// RunContext is Run under a context.
+func RunContext(ctx context.Context, db *engine.DB, t Translator, path string) (*engine.Rows, error) {
 	q, err := Parse(path)
 	if err != nil {
 		return nil, err
@@ -28,5 +41,5 @@ func Run(db *engine.DB, t Translator, path string) (*engine.Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Execute(db, tr)
+	return ExecuteContext(ctx, db, tr)
 }

@@ -295,6 +295,9 @@ type Translation struct {
 	// layer report (filled by the ER translator; baselines leave it
 	// zero and Explain falls back to derivable values).
 	Stats PlanStats
+	// Cached marks a translation served from a plan cache (set on the
+	// returned copy, never on the cached entry).
+	Cached bool
 }
 
 // PlanStats accounts for what a translation cost and what the mapping
@@ -326,6 +329,9 @@ func (tr *Translation) Explain() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "-- plan: arms=%d joins-max=%d joins-total=%d joins-avoided=%d distilled-steps=%d\n",
 		arms, tr.Joins, tr.Stats.JoinsTotal, tr.Stats.JoinsAvoided, tr.Stats.DistilledSteps)
+	if tr.Cached {
+		b.WriteString("-- plan-cache: hit\n")
+	}
 	for _, s := range tr.SQLs {
 		b.WriteString(s)
 		b.WriteString(";\n")

@@ -1,0 +1,252 @@
+// Package serve exposes a recovered xmlrdb Pipeline over HTTP: SQL
+// (/query), path queries (/path, with EXPLAIN), document reconstruction
+// (/doc/{id}), health and store statistics, plus the obs debug
+// endpoints. Query endpoints run under a per-request deadline wired
+// into the engine's cancellation checkpoints and behind a
+// bounded-concurrency admission gate that sheds load with 429 +
+// Retry-After instead of queueing without bound. Shutdown drains
+// in-flight requests before returning, so the caller can close the
+// pipeline without cutting off accepted work.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"xmlrdb"
+	"xmlrdb/internal/obs"
+)
+
+// Options tunes a Server.
+type Options struct {
+	// MaxConcurrent bounds concurrently executing query requests (the
+	// admission gate); <= 0 selects 8. Health, stats and debug endpoints
+	// are not gated.
+	MaxConcurrent int
+	// RequestTimeout is the per-request execution deadline; <= 0 selects
+	// 5s. A request that exceeds it aborts at the engine's next
+	// cancellation checkpoint and returns 504.
+	RequestTimeout time.Duration
+	// Metrics receives request counters, latency and the in-flight
+	// gauge; nil uses the pipeline's own hub.
+	Metrics *obs.Metrics
+}
+
+// Server serves one pipeline. Create with New, start with Serve or
+// ListenAndServe, stop with Shutdown.
+type Server struct {
+	p    *xmlrdb.Pipeline
+	opts Options
+	gate chan struct{}
+	obs  *obs.Metrics
+	mux  *http.ServeMux
+	srv  *http.Server
+}
+
+// New builds a Server around an open pipeline. The pipeline stays
+// owned by the caller: Shutdown drains requests but does not close it.
+func New(p *xmlrdb.Pipeline, opts Options) *Server {
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = 8
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 5 * time.Second
+	}
+	m := opts.Metrics
+	if m == nil {
+		m = p.Obs
+	}
+	s := &Server{
+		p:    p,
+		opts: opts,
+		gate: make(chan struct{}, opts.MaxConcurrent),
+		obs:  m,
+		mux:  http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.Handle("GET /query", s.gated(s.handleQuery))
+	s.mux.Handle("POST /query", s.gated(s.handleQuery))
+	s.mux.Handle("GET /path", s.gated(s.handlePath))
+	s.mux.Handle("GET /doc/{id}", s.gated(s.handleDoc))
+	s.mux.Handle("/debug/", obs.DebugMux(m))
+	s.srv = &http.Server{Handler: s.mux}
+	return s
+}
+
+// Handler returns the server's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, like net/http.
+func (s *Server) Serve(ln net.Listener) error { return s.srv.Serve(ln) }
+
+// ListenAndServe binds addr and serves; see Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	s.srv.Addr = addr
+	return s.srv.ListenAndServe()
+}
+
+// Shutdown stops accepting new connections and blocks until every
+// in-flight request has completed or ctx expires. Close the pipeline
+// only after Shutdown returns.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+
+// gated wraps a query handler with the admission gate, the per-request
+// deadline and the serve metrics. A saturated gate sheds immediately
+// with 429 + Retry-After rather than queueing: the client can retry,
+// and the requests already running keep their resources.
+func (s *Server) gated(h func(http.ResponseWriter, *http.Request) error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.gate <- struct{}{}:
+		default:
+			s.obs.ServeShed.Inc()
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "server saturated, retry later", http.StatusTooManyRequests)
+			return
+		}
+		defer func() { <-s.gate }()
+		s.obs.ServeRequests.Inc()
+		s.obs.ServeInflight.Inc()
+		defer s.obs.ServeInflight.Dec()
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+		defer cancel()
+		err := h(w, r.WithContext(ctx))
+		s.obs.ServeLatency.ObserveDuration(time.Since(start))
+		if err != nil {
+			s.obs.ServeErrors.Inc()
+			s.fail(w, err)
+		}
+	})
+}
+
+// fail maps an execution error to a status code and writes it.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.obs.ServeTimeouts.Inc()
+		http.Error(w, "request deadline exceeded", http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		// The client went away; 499 in nginx's vocabulary. The write is
+		// best-effort — the connection is usually gone.
+		http.Error(w, "request cancelled", 499)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.p.Stats()
+	docs, err := s.p.DocumentIDs()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"tables":    st.Tables,
+		"rows":      st.Rows,
+		"bytes":     st.Bytes,
+		"documents": len(docs),
+	})
+}
+
+// rowsResponse is the JSON shape of a query result.
+type rowsResponse struct {
+	Cols []string `json:"cols"`
+	Rows [][]any  `json:"rows"`
+	N    int      `json:"n"`
+}
+
+func toResponse(rows *xmlrdb.Rows) rowsResponse {
+	resp := rowsResponse{Cols: rows.Cols, Rows: rows.Data, N: len(rows.Data)}
+	if resp.Rows == nil {
+		resp.Rows = [][]any{}
+	}
+	if resp.Cols == nil {
+		resp.Cols = []string{}
+	}
+	return resp
+}
+
+// handleQuery executes a SQL statement: ?sql= on GET, the request body
+// on POST. Bodies are capped at 1 MiB — a statement longer than that
+// is a mistake, not a workload.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
+	stmt := r.URL.Query().Get("sql")
+	if r.Method == http.MethodPost && stmt == "" {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			return err
+		}
+		stmt = string(body)
+	}
+	if strings.TrimSpace(stmt) == "" {
+		return fmt.Errorf("missing sql (use ?sql= or a POST body)")
+	}
+	rows, err := s.p.SQLContext(r.Context(), stmt)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, toResponse(rows))
+	return nil
+}
+
+// handlePath executes a path query (?q=), or renders its EXPLAIN
+// report with ?explain=1.
+func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) error {
+	path := r.URL.Query().Get("q")
+	if path == "" {
+		return fmt.Errorf("missing path query (use ?q=)")
+	}
+	if r.URL.Query().Get("explain") == "1" {
+		report, err := s.p.ExplainPath(path)
+		if err != nil {
+			return err
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, report)
+		return nil
+	}
+	rows, err := s.p.QueryContext(r.Context(), path)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, toResponse(rows))
+	return nil
+}
+
+// handleDoc reconstructs one document by id.
+func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) error {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad document id %q", r.PathValue("id"))
+	}
+	xml, err := s.p.Reconstruct(id)
+	if err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	fmt.Fprint(w, xml)
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}

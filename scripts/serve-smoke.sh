@@ -1,0 +1,123 @@
+#!/bin/sh
+# Serving smoke test: boot xmlserve on the bibliography testdata, run a
+# scripted request mix across every endpoint, prove the admission gate
+# sheds with 429, then deliver SIGTERM while a slow query is in flight
+# and require that request to complete (graceful drain = zero failed
+# in-flight requests). Any unexpected status fails the script.
+set -eu
+
+cd "$(dirname "$0")/.."
+BIN=$(mktemp -d)
+LOG="$BIN/serve.log"
+trap 'kill "$SRV_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+go build -o "$BIN/xmlserve" ./cmd/xmlserve
+
+# Load book.xml many times (x_docs has no unique name constraint) so the
+# author table is big enough that a 3-way join runs for a couple of
+# seconds — long enough to saturate the gate and to stay in flight
+# across SIGTERM.
+DOCS="testdata/article.xml"
+i=0
+while [ "$i" -lt 100 ]; do
+    DOCS="$DOCS testdata/book.xml"
+    i=$((i + 1))
+done
+
+ADDR=127.0.0.1:8742
+# shellcheck disable=SC2086
+"$BIN/xmlserve" -dtd testdata/bib.dtd -addr "$ADDR" -max-concurrent 2 \
+    -timeout-ms 30000 $DOCS >"$LOG" 2>&1 &
+SRV_PID=$!
+
+# Wait for the listener.
+i=0
+until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "serve-smoke: server never became healthy" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+want() { # want <url-path> <expected-status> [curl args...]
+    path=$1; expect=$2; shift 2
+    got=$(curl -s -o /dev/null -w '%{http_code}' "$@" "http://$ADDR$path")
+    if [ "$got" != "$expect" ]; then
+        echo "serve-smoke: GET $path = $got, want $expect" >&2
+        exit 1
+    fi
+}
+
+want /healthz 200
+want /stats 200
+want '/query?sql=SELECT+COUNT(*)+FROM+e_author' 200
+want '/query?sql=SELECT+COUNT(*)+FROM+e_author' 200 -X POST
+want '/path?q=/book/author' 200
+want '/path?q=/book/booktitle/text()&explain=1' 200
+want /doc/1 200
+want /doc/2 200
+want /debug/metrics 200
+want '/query?sql=NOT+SQL' 400
+want '/path?q=nope' 400
+want /doc/999 400
+want /nosuch 404
+
+# The second explain must be served from the plan cache.
+if ! curl -fsS "http://$ADDR/path?q=/book/booktitle/text()&explain=1" | grep -q 'plan-cache: hit'; then
+    echo "serve-smoke: repeated explain not served from the plan cache" >&2
+    exit 1
+fi
+
+# Saturate the 2-slot admission gate with slow nested-loop joins; at
+# least one of a burst of 8 must be shed with 429. The predicate is
+# never true, so the join does its O(n^3) work without materialising
+# rows.
+SLOW='/query?sql=SELECT+COUNT(*)+FROM+e_author+a,+e_author+b,+e_author+c+WHERE+a.id+%2B+b.id+%2B+c.id+%3C+0'
+codes="$BIN/burst.codes"
+: >"$codes"
+BURST_PIDS=""
+n=0
+while [ "$n" -lt 8 ]; do
+    curl -s -o /dev/null -w '%{http_code}\n' "http://$ADDR$SLOW" >>"$codes" &
+    BURST_PIDS="$BURST_PIDS $!"
+    n=$((n + 1))
+done
+for pid in $BURST_PIDS; do
+    wait "$pid" || true
+done
+if ! grep -q '^429$' "$codes"; then
+    echo "serve-smoke: saturated gate never shed (codes: $(tr '\n' ' ' <"$codes"))" >&2
+    exit 1
+fi
+if ! grep -q '^200$' "$codes"; then
+    echo "serve-smoke: no request survived the burst (codes: $(tr '\n' ' ' <"$codes"))" >&2
+    exit 1
+fi
+
+# Graceful drain: start a slow query, SIGTERM the server mid-flight, and
+# require the in-flight request to complete with 200.
+curl -s -o /dev/null -w '%{http_code}' "http://$ADDR$SLOW" >"$BIN/inflight.code" &
+CURL_PID=$!
+sleep 0.3
+kill -TERM "$SRV_PID"
+if ! wait "$CURL_PID"; then
+    echo "serve-smoke: in-flight request aborted during drain" >&2
+    exit 1
+fi
+INFLIGHT=$(cat "$BIN/inflight.code")
+if [ "$INFLIGHT" != "200" ]; then
+    echo "serve-smoke: in-flight request = $INFLIGHT during drain, want 200" >&2
+    exit 1
+fi
+wait "$SRV_PID" || { echo "serve-smoke: server exited non-zero" >&2; cat "$LOG" >&2; exit 1; }
+if ! grep -q 'drained, store closed' "$LOG"; then
+    echo "serve-smoke: no drain confirmation in server log" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+SRV_PID=""
+
+echo "serve-smoke: OK"

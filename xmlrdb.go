@@ -72,6 +72,10 @@ type Config struct {
 	// many WAL frames; 0 disables automatic snapshots. Only meaningful
 	// with DataDir.
 	SnapshotEvery int
+	// PlanCacheSize bounds the LRU translation (plan) cache used by
+	// Query/ExplainPath: 0 selects the default capacity
+	// (pathquery.DefaultCacheSize entries), negative disables caching.
+	PlanCacheSize int
 }
 
 // Pipeline is a mapped DTD with its relational store: the end-to-end
@@ -93,8 +97,11 @@ type Pipeline struct {
 
 	loader     *shred.Loader
 	translator *pathquery.ERTranslator
-	recon      *reconstruct.Reconstructor
-	validator  *validate.Validator
+	// qt is the translator Query/ExplainPath go through: the plan cache
+	// when enabled, else the raw translator.
+	qt        pathquery.Translator
+	recon     *reconstruct.Reconstructor
+	validator *validate.Validator
 }
 
 // Open parses a DTD, runs the mapping algorithm, creates the relational
@@ -176,6 +183,12 @@ func OpenDTD(d *dtd.DTD, cfg Config) (*Pipeline, error) {
 	loader.SetObserver(hub, nil)
 	translator := pathquery.NewERTranslator(res, m)
 	translator.SetObserver(hub, nil)
+	var qt pathquery.Translator = translator
+	if cfg.PlanCacheSize >= 0 {
+		cache := pathquery.NewCache(translator, cfg.PlanCacheSize)
+		cache.SetObserver(hub)
+		qt = cache
+	}
 	recon := reconstruct.New(res, m, db)
 	recon.SetObserver(hub, nil)
 	return &Pipeline{
@@ -186,6 +199,7 @@ func OpenDTD(d *dtd.DTD, cfg Config) (*Pipeline, error) {
 		Obs:        hub,
 		loader:     loader,
 		translator: translator,
+		qt:         qt,
 		recon:      recon,
 		validator:  validate.New(d),
 	}, nil
@@ -365,9 +379,16 @@ func (p *Pipeline) Validate(src string) ([]Violation, error) {
 }
 
 // Query runs a path query (see the pathquery syntax) translated to SQL
-// over the ER-mapped store.
+// over the ER-mapped store. Translations come from the plan cache when
+// one is configured (the default).
 func (p *Pipeline) Query(path string) (*Rows, error) {
-	return pathquery.Run(p.DB, p.translator, path)
+	return pathquery.Run(p.DB, p.qt, path)
+}
+
+// QueryContext is Query under a context: cancellation or a deadline
+// aborts execution mid-scan with the context's error.
+func (p *Pipeline) QueryContext(ctx context.Context, path string) (*Rows, error) {
+	return pathquery.RunContext(ctx, p.DB, p.qt, path)
 }
 
 // TranslatePath returns the SQL statements a path query translates to,
@@ -396,12 +417,18 @@ func (p *Pipeline) translate(path string) (*pathquery.Translation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.translator.Translate(q)
+	return p.qt.Translate(q)
 }
 
 // SQL runs a raw SQL statement against the store.
 func (p *Pipeline) SQL(stmt string) (*Rows, error) {
-	_, rows, err := p.DB.Exec(stmt)
+	return p.SQLContext(context.Background(), stmt)
+}
+
+// SQLContext is SQL under a context: cancellation or a deadline aborts
+// SELECT execution mid-scan with the context's error.
+func (p *Pipeline) SQLContext(ctx context.Context, stmt string) (*Rows, error) {
+	_, rows, err := p.DB.ExecContext(ctx, stmt)
 	if err != nil {
 		return nil, err
 	}
