@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check crash-matrix bench bench-parallel stats-demo serve-smoke
+.PHONY: build test vet race check crash-matrix bench bench-parallel stats-demo serve-smoke explain-golden bench-streaming-smoke
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,19 @@ crash-matrix:
 	$(GO) test -race -run 'TestCrash|TestDurable|TestWALReplay|TestSnapshotEvery|FuzzWALReplay' ./internal/engine/
 	$(GO) test -race ./internal/faultfs/
 
-check: vet build test race crash-matrix serve-smoke
+check: vet build test race crash-matrix explain-golden bench-streaming-smoke serve-smoke
+
+# Golden physical-plan tests: the executed EXPLAIN tree for the
+# planner's main shapes must match testdata/explain/*.golden
+# byte-for-byte (regenerate with -update after intentional changes).
+explain-golden:
+	$(GO) test -run 'TestExplainGoldenPlans' -v ./internal/engine/
+
+# One short iteration of the streaming-limit benchmark: proves the
+# LIMIT path still short-circuits (the run fails outright if the
+# iterator contract breaks) without paying full benchmark time.
+bench-streaming-smoke:
+	$(GO) test -run XXX -bench BenchmarkStreamingLimit -benchtime 1x ./internal/engine/
 
 # Serving smoke test: boot xmlserve on the bibliography testdata, run a
 # scripted curl mix over every endpoint (including saturation shedding

@@ -6,10 +6,12 @@
 //	xmlquery -dtd schema.dtd -q '/book/author[@id]' doc1.xml [doc2.xml ...]
 //	xmlquery -dtd schema.dtd -sql 'SELECT COUNT(*) FROM e_author' docs...
 //	xmlquery -dtd schema.dtd -q '/a/b' -explain docs...
+//	xmlquery -dtd schema.dtd -sql 'SELECT * FROM e_author' -explain docs...
 //	xmlquery -dtd schema.dtd -data-dir ./store -q '/book/author'
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -33,7 +35,7 @@ func run(args []string, out io.Writer) error {
 	dtdPath := fs.String("dtd", "", "DTD file (required)")
 	pathQ := fs.String("q", "", "path query to run")
 	sqlQ := fs.String("sql", "", "raw SQL to run instead of a path query")
-	explain := fs.Bool("explain", false, "print the generated SQL and plan stats without executing")
+	explain := fs.Bool("explain", false, "print plan stats, generated SQL and the executed physical plan instead of the rows")
 	strategy := fs.String("strategy", "junction", "relational strategy: junction or fold")
 	stats := fs.Bool("stats", false, "print the pipeline metrics report after the query")
 	slowMS := fs.Int("slow-query-ms", 0, "log statements at or above this many milliseconds to stderr (0 disables)")
@@ -76,8 +78,14 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("%s: %w", path, err)
 		}
 	}
-	if *explain && *pathQ != "" {
-		report, err := p.ExplainPath(*pathQ)
+	ctx := context.Background()
+	if *explain {
+		var report string
+		if *pathQ != "" {
+			report, err = p.ExplainPathContext(ctx, *pathQ)
+		} else {
+			report, err = p.ExplainSQL(ctx, *sqlQ)
+		}
 		if err != nil {
 			return err
 		}
@@ -87,25 +95,27 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	}
-	var rows *xmlrdb.Rows
+	var cur xmlrdb.Cursor
 	if *pathQ != "" {
-		rows, err = p.Query(*pathQ)
+		cur, err = p.QueryCursor(ctx, *pathQ)
 	} else {
-		rows, err = p.SQL(*sqlQ)
+		cur, err = p.SQLCursor(ctx, *sqlQ)
 	}
 	if err != nil {
 		return err
 	}
+	defer cur.Close()
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	for i, c := range rows.Cols {
+	for i, c := range cur.Cols() {
 		if i > 0 {
 			fmt.Fprint(w, "\t")
 		}
 		fmt.Fprint(w, c)
 	}
 	fmt.Fprintln(w)
-	for _, r := range rows.Data {
-		for i, v := range r {
+	n := 0
+	for cur.Next() {
+		for i, v := range cur.Row() {
 			if i > 0 {
 				fmt.Fprint(w, "\t")
 			}
@@ -116,9 +126,13 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 		fmt.Fprintln(w)
+		n++
+	}
+	if err := cur.Err(); err != nil {
+		return err
 	}
 	w.Flush()
-	fmt.Fprintf(out, "(%d rows)\n", len(rows.Data))
+	fmt.Fprintf(out, "(%d rows)\n", n)
 	if *stats {
 		fmt.Fprint(out, p.MetricsReport())
 	}

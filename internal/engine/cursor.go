@@ -1,0 +1,300 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"io"
+	"time"
+
+	"xmlrdb/internal/obs"
+	"xmlrdb/internal/sqldb"
+)
+
+// Cursor is a streaming query result: rows are produced one at a time
+// as the caller pulls them, so a consumer that stops early (LIMIT, a
+// disconnected client) never pays for the rows it didn't read. The
+// cursor holds the engine's read locks while open; it closes itself
+// when the stream ends or fails, and callers that may abandon a cursor
+// early must Close it (Close is idempotent).
+//
+//	cur, err := db.QueryCursorContext(ctx, sql)
+//	if err != nil { ... }
+//	defer cur.Close()
+//	for cur.Next() {
+//		use(cur.Row())
+//	}
+//	if err := cur.Err(); err != nil { ... }
+type Cursor interface {
+	// Cols returns the output column names.
+	Cols() []string
+	// Next advances to the next row, reporting whether one is available.
+	Next() bool
+	// Row returns the current row; valid until the next call to Next.
+	Row() []any
+	// Err returns the terminal error, if the stream failed.
+	Err() error
+	// Close releases the cursor's locks and flushes its plan statistics.
+	Close() error
+}
+
+// selectCursor is the engine's streaming cursor over one physical plan.
+type selectCursor struct {
+	db      *DB
+	plan    *physPlan
+	it      rowIter
+	ec      *execCtx
+	row     []any
+	err     error
+	unlock  func() // row locks + db.mu shared; nil once released
+	onClose func(c *selectCursor)
+	start   time.Time
+	sql     string
+}
+
+// openSelect plans a SELECT and opens its iterator tree. On success the
+// returned cursor holds db.mu shared plus read locks on every source
+// table until Close.
+func (db *DB) openSelect(s *sqldb.Select, cc *cancelCheck, timing bool) (*selectCursor, error) {
+	db.mu.RLock()
+	srcs, env, err := db.bindSelect(s)
+	if err != nil {
+		db.mu.RUnlock()
+		return nil, err
+	}
+	reads := make([]string, 0, len(srcs))
+	for _, src := range srcs {
+		reads = append(reads, src.ref.Table)
+	}
+	rowUnlock := db.lockRows(nil, reads)
+	unlock := func() {
+		rowUnlock()
+		db.mu.RUnlock()
+	}
+	plan, err := db.buildPlan(s, srcs, env)
+	if err != nil {
+		unlock()
+		return nil, err
+	}
+	ec := &execCtx{env: env, cc: cc, timing: timing}
+	it, err := openNode(plan.root, ec)
+	if err != nil {
+		plan.finish(db)
+		unlock()
+		return nil, err
+	}
+	return &selectCursor{db: db, plan: plan, it: it, ec: ec,
+		unlock: unlock, start: time.Now()}, nil
+}
+
+func (c *selectCursor) Cols() []string { return c.plan.cols }
+func (c *selectCursor) Row() []any     { return c.row }
+func (c *selectCursor) Err() error     { return c.err }
+
+func (c *selectCursor) Next() bool {
+	if c.err != nil || c.unlock == nil {
+		return false
+	}
+	row, err := c.it.Next()
+	if err == io.EOF {
+		c.Close()
+		return false
+	}
+	if err != nil {
+		c.err = err
+		c.Close()
+		return false
+	}
+	c.row = row
+	return true
+}
+
+func (c *selectCursor) Close() error {
+	if c.unlock == nil {
+		return nil
+	}
+	c.plan.finish(c.db)
+	c.unlock()
+	c.unlock = nil
+	if c.onClose != nil {
+		c.onClose(c)
+	}
+	return nil
+}
+
+// finish flushes the plan's runtime statistics into the metrics hub:
+// per-scan visited rows into the table's RowsScanned and per-operator
+// row counts into the engine's operator counters. Idempotent.
+func (p *physPlan) finish(db *DB) {
+	if p.finished {
+		return
+	}
+	p.finished = true
+	m := db.obs
+	walkPlan(p.root, 0, func(n planNode, depth int) {
+		if sc, ok := n.(*scanNode); ok && sc.src.t.obs != nil {
+			sc.src.t.obs.RowsScanned.Add(sc.visited)
+		}
+		if m == nil {
+			return
+		}
+		rows := n.stats().rows
+		if rows == 0 {
+			return
+		}
+		switch n.kind() {
+		case "scan":
+			m.OpScanRows.Add(rows)
+		case "filter":
+			m.OpFilterRows.Add(rows)
+		case "join":
+			m.OpJoinRows.Add(rows)
+		case "aggregate":
+			m.OpAggregateRows.Add(rows)
+		case "project":
+			m.OpProjectRows.Add(rows)
+		case "sort":
+			m.OpSortRows.Add(rows)
+		case "distinct":
+			m.OpDistinctRows.Add(rows)
+		case "limit":
+			m.OpLimitRows.Add(rows)
+		}
+	})
+	if m != nil {
+		m.RowsOut.Add(p.root.stats().rows)
+	}
+}
+
+// execSelect runs a SELECT to completion for the materialized APIs
+// (Query, ExecContext): open a cursor, drain it, release the locks
+// before returning.
+func (db *DB) execSelect(s *sqldb.Select, cc *cancelCheck) (*Rows, error) {
+	cur, err := db.openSelect(s, cc, false)
+	if err != nil {
+		return nil, err
+	}
+	return DrainCursor(cur)
+}
+
+// DrainCursor materializes a cursor into Rows, closing it. A failed
+// stream returns the error and no partial result.
+func DrainCursor(c Cursor) (*Rows, error) {
+	defer c.Close()
+	res := &Rows{Cols: c.Cols()}
+	for c.Next() {
+		res.Data = append(res.Data, c.Row())
+	}
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// QueryCursorContext parses a SELECT and returns a streaming cursor
+// over its result. Unlike QueryContext nothing is materialized: rows
+// are produced as the caller pulls them, and the statement's read locks
+// are held until the cursor is closed (or the stream ends). A non-query
+// statement is an error; use ExecCursorContext to accept both.
+func (db *DB) QueryCursorContext(ctx context.Context, sql string) (Cursor, error) {
+	st, err := sqldb.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sqldb.Select)
+	if !ok {
+		return nil, errors.New("engine: statement is not a query")
+	}
+	return db.queryCursor(ctx, sel, sql)
+}
+
+func (db *DB) queryCursor(ctx context.Context, sel *sqldb.Select, sql string) (Cursor, error) {
+	cc := newCancelCheck(ctx)
+	if err := cc.now(); err != nil {
+		return nil, err
+	}
+	cur, err := db.openSelect(sel, cc, false)
+	if err != nil {
+		return nil, err
+	}
+	db.observeCursor(cur, sql)
+	return cur, nil
+}
+
+// ExecCursorContext parses and executes one statement, returning its
+// result as a cursor: SELECTs stream, everything else executes to
+// completion and yields an empty cursor (so callers like the HTTP
+// layer handle both uniformly).
+func (db *DB) ExecCursorContext(ctx context.Context, sql string) (Cursor, error) {
+	st, err := sqldb.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if sel, ok := st.(*sqldb.Select); ok {
+		return db.queryCursor(ctx, sel, sql)
+	}
+	_, _, err = db.execStmtObserved(ctx, st, sql)
+	if err != nil {
+		return nil, err
+	}
+	return NewRowsCursor(&Rows{}), nil
+}
+
+// observeCursor wires the streaming statement into the observability
+// hooks: the statement counts when opened, and latency (open through
+// close) plus the slow-query trace record when the cursor closes.
+func (db *DB) observeCursor(c *selectCursor, sql string) {
+	if db.obs == nil && db.tracer == nil {
+		return
+	}
+	if db.obs != nil {
+		db.obs.Selects.Inc()
+	}
+	c.sql = sql
+	c.onClose = func(c *selectCursor) {
+		d := time.Since(c.start)
+		if db.obs != nil {
+			db.obs.ExecLatency.ObserveDuration(d)
+		}
+		if thr := db.slowQuery; thr > 0 && d >= thr {
+			if db.obs != nil {
+				db.obs.SlowQueries.Inc()
+			}
+			if db.tracer != nil {
+				detail := c.sql
+				if detail == "" {
+					detail = "streamed select"
+				}
+				ev := obs.Event{Scope: "engine", Name: "slow-query", Detail: detail, Dur: d}
+				if c.err != nil {
+					ev.Err = c.err.Error()
+				}
+				db.tracer.Emit(ev)
+			}
+		}
+	}
+}
+
+// NewRowsCursor adapts a materialized Rows into a Cursor.
+func NewRowsCursor(r *Rows) Cursor {
+	return &rowsCursor{rows: r}
+}
+
+type rowsCursor struct {
+	rows *Rows
+	i    int
+	row  []any
+}
+
+func (c *rowsCursor) Cols() []string { return c.rows.Cols }
+func (c *rowsCursor) Row() []any     { return c.row }
+func (c *rowsCursor) Err() error     { return nil }
+func (c *rowsCursor) Close() error   { return nil }
+
+func (c *rowsCursor) Next() bool {
+	if c.i >= len(c.rows.Data) {
+		return false
+	}
+	c.row = c.rows.Data[c.i]
+	c.i++
+	return true
+}

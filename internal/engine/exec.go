@@ -2,10 +2,16 @@ package engine
 
 import (
 	"fmt"
-	"sort"
 
 	"xmlrdb/internal/sqldb"
 )
+
+// SELECT execution is split Volcano-style: plan.go binds sources and
+// builds the physical operator tree, operators.go streams rows through
+// it one at a time, cursor.go exposes the pull loop (and materializes
+// it for the non-streaming APIs). This file keeps the helpers both
+// halves share: predicate/projection analysis and group-context
+// expression evaluation.
 
 // source is one table binding participating in a SELECT.
 type source struct {
@@ -13,284 +19,6 @@ type source struct {
 	t    *table
 	on   sqldb.Expr // explicit JOIN condition (nil for FROM items)
 	left bool       // LEFT OUTER join
-}
-
-// execSelect plans and runs a SELECT: scans with pushed-down predicates
-// (index scans for indexed equality), left-to-right joins (hash join on
-// equi-predicates, else filtered nested loops), then grouping,
-// having, ordering, projection, distinct and limit. cc (possibly nil)
-// polls for context cancellation between rows; a cancelled SELECT
-// returns the context's error and no rows.
-func (db *DB) execSelect(s *sqldb.Select, cc *cancelCheck) (*Rows, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-
-	// Bind sources.
-	var srcs []source
-	for _, ref := range s.From {
-		t := db.tables[ref.Table]
-		if t == nil {
-			return nil, fmt.Errorf("%w: %q", ErrNoTable, ref.Table)
-		}
-		srcs = append(srcs, source{ref: ref, t: t})
-	}
-	for _, j := range s.Joins {
-		t := db.tables[j.Ref.Table]
-		if t == nil {
-			return nil, fmt.Errorf("%w: %q", ErrNoTable, j.Ref.Table)
-		}
-		srcs = append(srcs, source{ref: j.Ref, t: t, on: j.On, left: j.Left})
-	}
-
-	// Row locks on every source table (lockRows dedupes repeated
-	// bindings of the same table).
-	reads := make([]string, 0, len(srcs))
-	for _, src := range srcs {
-		reads = append(reads, src.ref.Table)
-	}
-	unlock := db.lockRows(nil, reads)
-	defer unlock()
-
-	// Build the full environment metadata (all bindings).
-	env := &rowEnv{}
-	offset := 0
-	seen := make(map[string]bool)
-	for _, src := range srcs {
-		name := src.ref.Name()
-		if seen[name] {
-			return nil, fmt.Errorf("engine: duplicate table binding %q", name)
-		}
-		seen[name] = true
-		env.bindings = append(env.bindings, envBinding{
-			name: name, cols: src.t.def.ColumnNames(), offset: offset,
-		})
-		offset += len(src.t.def.Columns)
-	}
-
-	// Classify WHERE conjuncts.
-	whereConjs := splitAnd(s.Where)
-	bindingIdx := make(map[string]int, len(srcs))
-	for i, src := range srcs {
-		bindingIdx[src.ref.Name()] = i
-	}
-	// leftProtected marks bindings on the null-padded side of a LEFT
-	// join: WHERE predicates on them must not be pushed into their scan.
-	leftProtected := make([]bool, len(srcs))
-	for i, src := range srcs {
-		if src.left {
-			leftProtected[i] = true
-		}
-	}
-	type classified struct {
-		expr    sqldb.Expr
-		maxBind int // highest binding index referenced
-		binds   map[string]bool
-	}
-	var pushed [][]sqldb.Expr = make([][]sqldb.Expr, len(srcs))
-	var joinConjs []classified
-	var residual []sqldb.Expr
-	for _, c := range whereConjs {
-		refs, err := exprRefs(c, env)
-		if err != nil {
-			return nil, err
-		}
-		maxB, only := -1, -1
-		for name := range refs {
-			bi, ok := bindingIdx[name]
-			if !ok {
-				return nil, fmt.Errorf("engine: unknown table %q in WHERE", name)
-			}
-			if bi > maxB {
-				maxB = bi
-			}
-			only = bi
-		}
-		switch {
-		case len(refs) == 0:
-			residual = append(residual, c)
-		case len(refs) == 1 && !leftProtected[only]:
-			pushed[only] = append(pushed[only], c)
-		case anyLeftAtOrBelow(leftProtected, maxB):
-			// Mixed predicates involving LEFT-join sides stay residual to
-			// preserve outer-join semantics.
-			residual = append(residual, c)
-		default:
-			joinConjs = append(joinConjs, classified{expr: c, maxBind: maxB, binds: refs})
-		}
-	}
-
-	// Join pipeline.
-	rows, err := db.scanSource(srcs[0], env, pushed[0], cc)
-	if err != nil {
-		return nil, err
-	}
-	for bi := 1; bi < len(srcs); bi++ {
-		src := srcs[bi]
-		// Gather applicable conditions: the source's ON conjuncts plus
-		// WHERE join conjuncts whose bindings are all available now.
-		var conds []sqldb.Expr
-		conds = append(conds, splitAnd(src.on)...)
-		if !src.left {
-			rest := joinConjs[:0]
-			for _, jc := range joinConjs {
-				if jc.maxBind == bi {
-					conds = append(conds, jc.expr)
-				} else {
-					rest = append(rest, jc)
-				}
-			}
-			joinConjs = rest
-		}
-		inner, err := db.scanSource(src, env, pushed[bi], cc)
-		if err != nil {
-			return nil, err
-		}
-		rows, err = joinRows(rows, inner, srcs, bi, conds, env, src.left, cc)
-		if err != nil {
-			return nil, err
-		}
-	}
-	// Any join conjuncts never consumed (e.g. referencing only later
-	// bindings under LEFT joins) become residual filters.
-	for _, jc := range joinConjs {
-		residual = append(residual, jc.expr)
-	}
-
-	// Residual WHERE.
-	if len(residual) > 0 {
-		var kept [][]any
-		for _, row := range rows {
-			if err := cc.step(); err != nil {
-				return nil, err
-			}
-			env.row = row
-			ok := true
-			for _, c := range residual {
-				v, err := evalExpr(c, env)
-				if err != nil {
-					return nil, err
-				}
-				if !truthy(v) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				kept = append(kept, row)
-			}
-		}
-		rows = kept
-	}
-
-	return db.project(s, env, rows, cc)
-}
-
-func anyLeftAtOrBelow(leftProtected []bool, maxB int) bool {
-	for i := 0; i <= maxB && i < len(leftProtected); i++ {
-		if leftProtected[i] {
-			return true
-		}
-	}
-	return false
-}
-
-// scanSource produces the (filtered) rows of one source, widened to the
-// full environment layout with their binding's columns filled in.
-func (db *DB) scanSource(src source, env *rowEnv, preds []sqldb.Expr, cc *cancelCheck) ([][]any, error) {
-	bi := -1
-	for i, b := range env.bindings {
-		if b.name == src.ref.Name() {
-			bi = i
-			break
-		}
-	}
-	b := env.bindings[bi]
-	width := env.width()
-
-	// Index scan: find an equality predicate set covered by one index.
-	candidates := src.t.rows
-	var fromIndex []int
-	eqCols, eqVals, restPreds, err := extractEqualities(preds, src, env)
-	if err != nil {
-		return nil, err
-	}
-	if len(eqCols) > 0 {
-		if ix := src.t.findIndex(eqCols); ix != nil {
-			// A consulted index with no postings must yield an empty scan,
-			// not nil: nil means "no index", and falling through to the
-			// full scan would drop the consumed equality predicates from
-			// restPreds and return every row.
-			if fromIndex = ix.m[encodeKey(eqVals)]; fromIndex == nil {
-				fromIndex = []int{}
-			}
-		} else {
-			restPreds = preds // no hash index: evaluate all predicates per row
-		}
-	} else {
-		restPreds = preds
-	}
-	if fromIndex == nil {
-		// Range scan via an ordered index; every predicate is still
-		// re-checked per row, so the window is purely an optimization.
-		if ix, bounds, ok := extractRange(preds, src); ok {
-			fromIndex = ix.scan(src.t, bounds)
-			restPreds = preds
-			if fromIndex == nil {
-				fromIndex = []int{}
-			}
-		}
-	}
-
-	localEnv := &rowEnv{bindings: env.bindings}
-	var out [][]any
-	emit := func(row []any) error {
-		if err := cc.step(); err != nil {
-			return err
-		}
-		wide := make([]any, width)
-		copy(wide[b.offset:], row)
-		localEnv.row = wide
-		for _, p := range restPreds {
-			v, err := evalExpr(p, localEnv)
-			if err != nil {
-				return err
-			}
-			if !truthy(v) {
-				return nil
-			}
-		}
-		out = append(out, wide)
-		return nil
-	}
-	if fromIndex != nil {
-		if src.t.obs != nil {
-			src.t.obs.IndexHits.Inc()
-			src.t.obs.RowsScanned.Add(int64(len(fromIndex)))
-		}
-		for _, pos := range fromIndex {
-			row := src.t.rows[pos]
-			if row == nil {
-				continue
-			}
-			if err := emit(row); err != nil {
-				return nil, err
-			}
-		}
-		return out, nil
-	}
-	if src.t.obs != nil {
-		src.t.obs.Scans.Inc()
-		src.t.obs.RowsScanned.Add(int64(len(candidates)))
-	}
-	for _, row := range candidates {
-		if row == nil {
-			continue
-		}
-		if err := emit(row); err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
 }
 
 // extractEqualities finds "col = literal" predicates on the source and
@@ -343,130 +71,6 @@ func asColLit(a, b sqldb.Expr) (*sqldb.Col, sqldb.Expr) {
 	return c, b
 }
 
-// joinRows joins the accumulated rows with the new source's rows using a
-// hash join on equi-conditions when possible, else a filtered nested
-// loop. Rows are full-width; the new source's columns are merged in.
-func joinRows(outer, inner [][]any, srcs []source, bi int, conds []sqldb.Expr, env *rowEnv, left bool, cc *cancelCheck) ([][]any, error) {
-	b := env.bindings[bi]
-	// Find equi conditions col(earlier) = col(current).
-	type equi struct{ outerIdx, innerIdx int }
-	var equis []equi
-	var others []sqldb.Expr
-	for _, c := range conds {
-		bin, ok := c.(*sqldb.Bin)
-		if !ok || bin.Op != sqldb.OpEq {
-			others = append(others, c)
-			continue
-		}
-		lc, lok := bin.L.(*sqldb.Col)
-		rc, rok := bin.R.(*sqldb.Col)
-		if !lok || !rok {
-			others = append(others, c)
-			continue
-		}
-		li, lerr := env.resolve(lc.Table, lc.Name)
-		ri, rerr := env.resolve(rc.Table, rc.Name)
-		if lerr != nil || rerr != nil {
-			others = append(others, c)
-			continue
-		}
-		lIsInner := li >= b.offset && li < b.offset+len(b.cols)
-		rIsInner := ri >= b.offset && ri < b.offset+len(b.cols)
-		switch {
-		case lIsInner && !rIsInner:
-			equis = append(equis, equi{outerIdx: ri, innerIdx: li})
-		case rIsInner && !lIsInner:
-			equis = append(equis, equi{outerIdx: li, innerIdx: ri})
-		default:
-			others = append(others, c)
-		}
-	}
-
-	evalOthers := func(merged []any) (bool, error) {
-		env.row = merged
-		for _, c := range others {
-			v, err := evalExpr(c, env)
-			if err != nil {
-				return false, err
-			}
-			if !truthy(v) {
-				return false, nil
-			}
-		}
-		return true, nil
-	}
-	merge := func(o, in []any) []any {
-		m := append([]any(nil), o...)
-		copy(m[b.offset:b.offset+len(b.cols)], in[b.offset:b.offset+len(b.cols)])
-		return m
-	}
-
-	var out [][]any
-	if len(equis) > 0 {
-		// Hash join: build on inner.
-		build := make(map[string][][]any, len(inner))
-		keyBuf := make([]any, len(equis))
-		for _, in := range inner {
-			for i, e := range equis {
-				keyBuf[i] = in[e.innerIdx]
-			}
-			if anyNil(keyBuf) {
-				continue
-			}
-			k := encodeKey(keyBuf)
-			build[k] = append(build[k], in)
-		}
-		for _, o := range outer {
-			if err := cc.step(); err != nil {
-				return nil, err
-			}
-			for i, e := range equis {
-				keyBuf[i] = o[e.outerIdx]
-			}
-			matched := false
-			if !anyNil(keyBuf) {
-				for _, in := range build[encodeKey(keyBuf)] {
-					m := merge(o, in)
-					ok, err := evalOthers(m)
-					if err != nil {
-						return nil, err
-					}
-					if ok {
-						out = append(out, m)
-						matched = true
-					}
-				}
-			}
-			if left && !matched {
-				out = append(out, o) // inner columns stay NULL
-			}
-		}
-		return out, nil
-	}
-	// Nested loop.
-	for _, o := range outer {
-		matched := false
-		for _, in := range inner {
-			if err := cc.step(); err != nil {
-				return nil, err
-			}
-			m := merge(o, in)
-			ok, err := evalOthers(m)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				out = append(out, m)
-				matched = true
-			}
-		}
-		if left && !matched {
-			out = append(out, o)
-		}
-	}
-	return out, nil
-}
-
 func anyNil(vals []any) bool {
 	for _, v := range vals {
 		if v == nil {
@@ -474,168 +78,6 @@ func anyNil(vals []any) bool {
 		}
 	}
 	return false
-}
-
-// project applies grouping/aggregation, HAVING, ORDER BY, projection,
-// DISTINCT and LIMIT.
-func (db *DB) project(s *sqldb.Select, env *rowEnv, rows [][]any, cc *cancelCheck) (*Rows, error) {
-	// Expand stars and name outputs.
-	items, cols, err := expandItems(s, env)
-	if err != nil {
-		return nil, err
-	}
-
-	aggregated := len(s.GroupBy) > 0 || hasAggregate(s.Having)
-	for _, it := range items {
-		if it.Expr != nil && hasAggregate(it.Expr) {
-			aggregated = true
-		}
-	}
-	for _, oi := range s.OrderBy {
-		if hasAggregate(oi.Expr) {
-			aggregated = true
-		}
-	}
-
-	type outRow struct {
-		vals []any
-		sort []any
-	}
-	var outs []outRow
-
-	if aggregated {
-		// Group rows.
-		groups := make(map[string][][]any)
-		var order []string
-		for _, row := range rows {
-			if err := cc.step(); err != nil {
-				return nil, err
-			}
-			env.row = row
-			keyVals := make([]any, len(s.GroupBy))
-			for i, g := range s.GroupBy {
-				v, err := evalExpr(g, env)
-				if err != nil {
-					return nil, err
-				}
-				keyVals[i] = v
-			}
-			k := encodeKey(keyVals)
-			if _, ok := groups[k]; !ok {
-				order = append(order, k)
-			}
-			groups[k] = append(groups[k], row)
-		}
-		if len(s.GroupBy) == 0 && len(order) == 0 {
-			// Aggregate over an empty input still yields one group.
-			order = append(order, "")
-			groups[""] = nil
-		}
-		for _, k := range order {
-			grows := groups[k]
-			genv := &aggEnv{env: env, rows: grows}
-			if s.Having != nil {
-				v, err := genv.eval(s.Having)
-				if err != nil {
-					return nil, err
-				}
-				if !truthy(v) {
-					continue
-				}
-			}
-			o := outRow{vals: make([]any, len(items))}
-			for i, it := range items {
-				v, err := genv.eval(it.Expr)
-				if err != nil {
-					return nil, err
-				}
-				o.vals[i] = v
-			}
-			for _, oi := range s.OrderBy {
-				v, err := orderKey(oi, items, cols, o.vals, func(e sqldb.Expr) (any, error) { return genv.eval(e) })
-				if err != nil {
-					return nil, err
-				}
-				o.sort = append(o.sort, v)
-			}
-			outs = append(outs, o)
-		}
-	} else {
-		for _, row := range rows {
-			if err := cc.step(); err != nil {
-				return nil, err
-			}
-			env.row = row
-			o := outRow{vals: make([]any, len(items))}
-			for i, it := range items {
-				v, err := evalExpr(it.Expr, env)
-				if err != nil {
-					return nil, err
-				}
-				o.vals[i] = v
-			}
-			for _, oi := range s.OrderBy {
-				envRow := row
-				v, err := orderKey(oi, items, cols, o.vals, func(e sqldb.Expr) (any, error) {
-					env.row = envRow
-					return evalExpr(e, env)
-				})
-				if err != nil {
-					return nil, err
-				}
-				o.sort = append(o.sort, v)
-			}
-			outs = append(outs, o)
-		}
-	}
-
-	// ORDER BY.
-	if len(s.OrderBy) > 0 {
-		sort.SliceStable(outs, func(i, j int) bool {
-			for k, oi := range s.OrderBy {
-				c := compare(outs[i].sort[k], outs[j].sort[k])
-				if c != 0 {
-					if oi.Desc {
-						return c > 0
-					}
-					return c < 0
-				}
-			}
-			return false
-		})
-	}
-
-	// DISTINCT.
-	if s.Distinct {
-		seen := make(map[string]bool, len(outs))
-		kept := outs[:0]
-		for _, o := range outs {
-			k := encodeKey(o.vals)
-			if !seen[k] {
-				seen[k] = true
-				kept = append(kept, o)
-			}
-		}
-		outs = kept
-	}
-
-	// OFFSET / LIMIT.
-	if s.Offset > 0 {
-		if s.Offset >= len(outs) {
-			outs = nil
-		} else {
-			outs = outs[s.Offset:]
-		}
-	}
-	if s.Limit >= 0 && s.Limit < len(outs) {
-		outs = outs[:s.Limit]
-	}
-
-	res := &Rows{Cols: cols}
-	for _, o := range outs {
-		res.Data = append(res.Data, o.vals)
-	}
-	return res, nil
 }
 
 // orderKey computes one sort key: an output alias or column name wins;

@@ -1,0 +1,906 @@
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"xmlrdb/internal/sqldb"
+)
+
+// The executor half of the Volcano split: every plan node opens into a
+// rowIter and rows are pulled one at a time from the root, so a LIMIT
+// short-circuits the scans below it and a cancelled context stops the
+// pipeline at the next poll. Pipeline breakers (hash-join build,
+// aggregation, sort, top-k) consume their input when opened; everything
+// else is fully streaming.
+//
+// Rows flow in the wide layout the row environment describes: each scan
+// allocates a full-width row with its binding's columns at its offset,
+// and joins merge the inner binding's columns into a copy of the outer
+// row. Iterators share ec.env and set env.row immediately before every
+// expression evaluation, so evaluations never see a stale row.
+
+// rowIter is the streaming iterator contract. Next returns io.EOF when
+// the stream is exhausted; any other error is terminal.
+type rowIter interface {
+	Next() ([]any, error)
+}
+
+// execCtx is the shared per-execution state: the row environment the
+// planner built, the cancellation poller (nil when the context can
+// never cancel) and whether per-operator timing is on (EXPLAIN runs).
+type execCtx struct {
+	env    *rowEnv
+	cc     *cancelCheck
+	timing bool
+}
+
+// openNode opens a plan node and wraps its iterator with the node's
+// stats accounting — row counting, cancellation polling and (when
+// timing) per-Next wall clock. All operators open children through
+// here, so the wrapping nests and cancellation is polled at every level
+// of the pipeline.
+func openNode(n planNode, ec *execCtx) (rowIter, error) {
+	var t0 time.Time
+	if ec.timing {
+		t0 = time.Now()
+	}
+	it, err := n.open(ec)
+	if err != nil {
+		return nil, err
+	}
+	if ec.timing {
+		n.stats().openNanos = int64(time.Since(t0))
+	}
+	return &statIter{it: it, st: n.stats(), cc: ec.cc, timing: ec.timing}, nil
+}
+
+// statIter is the accounting wrapper around every operator.
+type statIter struct {
+	it     rowIter
+	st     *opStats
+	cc     *cancelCheck
+	timing bool
+}
+
+func (s *statIter) Next() ([]any, error) {
+	if err := s.cc.step(); err != nil {
+		return nil, err
+	}
+	if s.timing {
+		t0 := time.Now()
+		row, err := s.it.Next()
+		s.st.nanos += int64(time.Since(t0))
+		if err == nil {
+			s.st.rows++
+		}
+		return row, err
+	}
+	row, err := s.it.Next()
+	if err == nil {
+		s.st.rows++
+	}
+	return row, err
+}
+
+// sliceIter replays an already-materialized slice of rows; the output
+// side of every pipeline breaker.
+type sliceIter struct {
+	rows [][]any
+	i    int
+}
+
+func (s *sliceIter) Next() ([]any, error) {
+	if s.i >= len(s.rows) {
+		return nil, io.EOF
+	}
+	row := s.rows[s.i]
+	s.i++
+	return row, nil
+}
+
+// drainIter pulls an iterator to exhaustion.
+func drainIter(it rowIter, fn func([]any) error) error {
+	for {
+		row, err := it.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+}
+
+// --- scan ---
+
+// Scan access paths.
+const (
+	accessSeq   = "seq"
+	accessIndex = "index"
+	accessRange = "range"
+)
+
+// scanNode reads one source table, emitting full-width rows with its
+// binding's columns at the binding offset. positions (index and range
+// scans) pins the row positions resolved at plan time; a sequential
+// scan leaves it nil and walks t.rows. Pushed predicates not consumed
+// by the access path are re-checked per emitted row.
+type scanNode struct {
+	nodeBase
+	src       source
+	bind      envBinding
+	width     int
+	access    string
+	indexName string
+	positions []int
+	preds     []sqldb.Expr
+
+	// visited counts live rows the scan actually touched; flushed into
+	// the table's RowsScanned when the plan finishes, so a LIMIT that
+	// stops the scan early is visible in the metrics.
+	visited int64
+}
+
+func (n *scanNode) kind() string         { return "scan" }
+func (n *scanNode) children() []planNode { return nil }
+
+func (n *scanNode) describe() string {
+	name := n.src.ref.Table
+	if alias := n.src.ref.Name(); alias != name {
+		name += " AS " + alias
+	}
+	var label string
+	switch n.access {
+	case accessIndex:
+		label = fmt.Sprintf("IndexScan(%s via %s)", name, n.indexName)
+	case accessRange:
+		label = fmt.Sprintf("RangeScan(%s via %s)", name, n.indexName)
+	default:
+		label = fmt.Sprintf("SeqScan(%s)", name)
+	}
+	if len(n.preds) > 0 {
+		label += fmt.Sprintf(" [preds=%d]", len(n.preds))
+	}
+	return label
+}
+
+func (n *scanNode) open(ec *execCtx) (rowIter, error) {
+	if n.src.t.obs != nil {
+		if n.access == accessSeq {
+			n.src.t.obs.Scans.Inc()
+		} else {
+			n.src.t.obs.IndexHits.Inc()
+		}
+	}
+	return &scanIter{n: n, ec: ec}, nil
+}
+
+type scanIter struct {
+	n   *scanNode
+	ec  *execCtx
+	pos int
+}
+
+func (it *scanIter) Next() ([]any, error) {
+	n := it.n
+	for {
+		var row []any
+		if n.positions != nil {
+			if it.pos >= len(n.positions) {
+				return nil, io.EOF
+			}
+			row = n.src.t.rows[n.positions[it.pos]]
+		} else {
+			if it.pos >= len(n.src.t.rows) {
+				return nil, io.EOF
+			}
+			row = n.src.t.rows[it.pos]
+		}
+		it.pos++
+		if row == nil {
+			continue // deleted slot
+		}
+		n.visited++
+		if err := it.ec.cc.step(); err != nil {
+			return nil, err
+		}
+		wide := make([]any, n.width)
+		copy(wide[n.bind.offset:], row)
+		ok, err := evalPreds(n.preds, wide, it.ec)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return wide, nil
+		}
+	}
+}
+
+// evalPreds evaluates a conjunct list against one row.
+func evalPreds(preds []sqldb.Expr, row []any, ec *execCtx) (bool, error) {
+	if len(preds) == 0 {
+		return true, nil
+	}
+	ec.env.row = row
+	for _, p := range preds {
+		v, err := evalExpr(p, ec.env)
+		if err != nil {
+			return false, err
+		}
+		if !truthy(v) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// --- filter ---
+
+// filterNode applies residual predicates above the join tree.
+type filterNode struct {
+	nodeBase
+	child planNode
+	preds []sqldb.Expr
+}
+
+func (n *filterNode) kind() string         { return "filter" }
+func (n *filterNode) children() []planNode { return []planNode{n.child} }
+func (n *filterNode) describe() string     { return fmt.Sprintf("Filter [preds=%d]", len(n.preds)) }
+
+func (n *filterNode) open(ec *execCtx) (rowIter, error) {
+	child, err := openNode(n.child, ec)
+	if err != nil {
+		return nil, err
+	}
+	return &filterIter{n: n, ec: ec, child: child}, nil
+}
+
+type filterIter struct {
+	n     *filterNode
+	ec    *execCtx
+	child rowIter
+}
+
+func (it *filterIter) Next() ([]any, error) {
+	for {
+		row, err := it.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		ok, err := evalPreds(it.n.preds, row, it.ec)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return row, nil
+		}
+	}
+}
+
+// --- joins ---
+
+// mergeRow copies the inner binding's columns into a copy of the outer
+// row (both are full-width).
+func mergeRow(o, in []any, b envBinding) []any {
+	m := append([]any(nil), o...)
+	copy(m[b.offset:b.offset+len(b.cols)], in[b.offset:b.offset+len(b.cols)])
+	return m
+}
+
+// hashJoinNode joins the streamed outer side against a hash table built
+// from the inner side on open. LEFT joins emit the unmatched outer row
+// as-is: the inner binding's columns stay NULL in the wide layout.
+type hashJoinNode struct {
+	nodeBase
+	outer, inner planNode
+	equis        []equiPair
+	others       []sqldb.Expr
+	left         bool
+	bind         envBinding
+	keysDesc     string
+}
+
+func (n *hashJoinNode) kind() string         { return "join" }
+func (n *hashJoinNode) children() []planNode { return []planNode{n.outer, n.inner} }
+
+func (n *hashJoinNode) describe() string {
+	label := "HashJoin"
+	if n.left {
+		label = "HashJoin(LEFT)"
+	}
+	label += " on " + n.keysDesc
+	if len(n.others) > 0 {
+		label += fmt.Sprintf(" [conds=%d]", len(n.others))
+	}
+	return label
+}
+
+func (n *hashJoinNode) open(ec *execCtx) (rowIter, error) {
+	innerIt, err := openNode(n.inner, ec)
+	if err != nil {
+		return nil, err
+	}
+	build := make(map[string][][]any)
+	keyBuf := make([]any, len(n.equis))
+	err = drainIter(innerIt, func(in []any) error {
+		for i, e := range n.equis {
+			keyBuf[i] = in[e.innerIdx]
+		}
+		if anyNil(keyBuf) {
+			return nil // NULL never equals anything
+		}
+		k := encodeKey(keyBuf)
+		build[k] = append(build[k], in)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	outerIt, err := openNode(n.outer, ec)
+	if err != nil {
+		return nil, err
+	}
+	return &hashJoinIter{n: n, ec: ec, outer: outerIt, build: build,
+		keyBuf: make([]any, len(n.equis))}, nil
+}
+
+type hashJoinIter struct {
+	n      *hashJoinNode
+	ec     *execCtx
+	outer  rowIter
+	build  map[string][][]any
+	keyBuf []any
+
+	cur     []any   // current outer row, nil when a new one is needed
+	matches [][]any // hash bucket for cur
+	mi      int
+	matched bool
+}
+
+func (it *hashJoinIter) Next() ([]any, error) {
+	n := it.n
+	for {
+		if it.cur != nil {
+			for it.mi < len(it.matches) {
+				if err := it.ec.cc.step(); err != nil {
+					return nil, err
+				}
+				in := it.matches[it.mi]
+				it.mi++
+				m := mergeRow(it.cur, in, n.bind)
+				ok, err := evalPreds(n.others, m, it.ec)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					it.matched = true
+					return m, nil
+				}
+			}
+			o := it.cur
+			it.cur = nil
+			if n.left && !it.matched {
+				return o, nil
+			}
+		}
+		row, err := it.outer.Next()
+		if err != nil {
+			return nil, err
+		}
+		it.cur, it.mi, it.matched = row, 0, false
+		for i, e := range n.equis {
+			it.keyBuf[i] = row[e.outerIdx]
+		}
+		if anyNil(it.keyBuf) {
+			it.matches = nil
+		} else {
+			it.matches = it.build[encodeKey(it.keyBuf)]
+		}
+	}
+}
+
+// nlJoinNode is the fallback filtered nested loop; the inner side is
+// materialized on open and rescanned per outer row.
+type nlJoinNode struct {
+	nodeBase
+	outer, inner planNode
+	conds        []sqldb.Expr
+	left         bool
+	bind         envBinding
+}
+
+func (n *nlJoinNode) kind() string         { return "join" }
+func (n *nlJoinNode) children() []planNode { return []planNode{n.outer, n.inner} }
+
+func (n *nlJoinNode) describe() string {
+	label := "NestedLoopJoin"
+	if n.left {
+		label = "NestedLoopJoin(LEFT)"
+	}
+	if len(n.conds) > 0 {
+		label += fmt.Sprintf(" [conds=%d]", len(n.conds))
+	}
+	return label
+}
+
+func (n *nlJoinNode) open(ec *execCtx) (rowIter, error) {
+	innerIt, err := openNode(n.inner, ec)
+	if err != nil {
+		return nil, err
+	}
+	var inner [][]any
+	if err := drainIter(innerIt, func(in []any) error {
+		inner = append(inner, in)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	outerIt, err := openNode(n.outer, ec)
+	if err != nil {
+		return nil, err
+	}
+	return &nlJoinIter{n: n, ec: ec, outer: outerIt, inner: inner}, nil
+}
+
+type nlJoinIter struct {
+	n     *nlJoinNode
+	ec    *execCtx
+	outer rowIter
+	inner [][]any
+
+	cur     []any
+	ii      int
+	matched bool
+}
+
+func (it *nlJoinIter) Next() ([]any, error) {
+	n := it.n
+	for {
+		if it.cur != nil {
+			for it.ii < len(it.inner) {
+				if err := it.ec.cc.step(); err != nil {
+					return nil, err
+				}
+				in := it.inner[it.ii]
+				it.ii++
+				m := mergeRow(it.cur, in, n.bind)
+				ok, err := evalPreds(n.conds, m, it.ec)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					it.matched = true
+					return m, nil
+				}
+			}
+			o := it.cur
+			it.cur = nil
+			if n.left && !it.matched {
+				return o, nil
+			}
+		}
+		row, err := it.outer.Next()
+		if err != nil {
+			return nil, err
+		}
+		it.cur, it.ii, it.matched = row, 0, false
+	}
+}
+
+// --- aggregate / project ---
+
+// aggNode groups its input on open (a pipeline breaker by nature) and
+// emits one row per surviving group: the projected values followed by
+// the ORDER BY keys.
+type aggNode struct {
+	nodeBase
+	child planNode
+	sel   *sqldb.Select
+	items []sqldb.SelectItem
+	cols  []string
+}
+
+func (n *aggNode) kind() string         { return "aggregate" }
+func (n *aggNode) children() []planNode { return []planNode{n.child} }
+
+func (n *aggNode) describe() string {
+	return fmt.Sprintf("Aggregate [group_by=%d, items=%d]", len(n.sel.GroupBy), len(n.items))
+}
+
+func (n *aggNode) open(ec *execCtx) (rowIter, error) {
+	child, err := openNode(n.child, ec)
+	if err != nil {
+		return nil, err
+	}
+	groups := make(map[string][][]any)
+	var order []string
+	keyVals := make([]any, len(n.sel.GroupBy))
+	err = drainIter(child, func(row []any) error {
+		ec.env.row = row
+		for i, g := range n.sel.GroupBy {
+			v, err := evalExpr(g, ec.env)
+			if err != nil {
+				return err
+			}
+			keyVals[i] = v
+		}
+		k := encodeKey(keyVals)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(n.sel.GroupBy) == 0 && len(order) == 0 {
+		// Aggregate over an empty input still yields one group.
+		order = append(order, "")
+		groups[""] = nil
+	}
+	var outs [][]any
+	for _, k := range order {
+		genv := &aggEnv{env: ec.env, rows: groups[k]}
+		if n.sel.Having != nil {
+			v, err := genv.eval(n.sel.Having)
+			if err != nil {
+				return nil, err
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
+		out := make([]any, len(n.items)+len(n.sel.OrderBy))
+		for i, it := range n.items {
+			v, err := genv.eval(it.Expr)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		for j, oi := range n.sel.OrderBy {
+			v, err := orderKey(oi, n.items, n.cols, out[:len(n.items)],
+				func(e sqldb.Expr) (any, error) { return genv.eval(e) })
+			if err != nil {
+				return nil, err
+			}
+			out[len(n.items)+j] = v
+		}
+		outs = append(outs, out)
+	}
+	return &sliceIter{rows: outs}, nil
+}
+
+// projectNode evaluates the projection per input row, emitting the
+// projected values followed by the ORDER BY keys (stripped again by the
+// sort/top-k operator, or by the cursor when no ordering is present).
+type projectNode struct {
+	nodeBase
+	child planNode
+	sel   *sqldb.Select
+	items []sqldb.SelectItem
+	cols  []string
+}
+
+func (n *projectNode) kind() string         { return "project" }
+func (n *projectNode) children() []planNode { return []planNode{n.child} }
+
+func (n *projectNode) describe() string {
+	return "Project(" + joinCols(n.cols) + ")"
+}
+
+// joinCols renders output column names, elided past the first few.
+func joinCols(cols []string) string {
+	const show = 6
+	if len(cols) <= show {
+		return joinStrings(cols)
+	}
+	return joinStrings(cols[:show]) + fmt.Sprintf(", +%d", len(cols)-show)
+}
+
+func joinStrings(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ", "
+		}
+		out += s
+	}
+	return out
+}
+
+func (n *projectNode) open(ec *execCtx) (rowIter, error) {
+	child, err := openNode(n.child, ec)
+	if err != nil {
+		return nil, err
+	}
+	return &projectIter{n: n, ec: ec, child: child}, nil
+}
+
+type projectIter struct {
+	n     *projectNode
+	ec    *execCtx
+	child rowIter
+}
+
+func (it *projectIter) Next() ([]any, error) {
+	n := it.n
+	row, err := it.child.Next()
+	if err != nil {
+		return nil, err
+	}
+	env := it.ec.env
+	out := make([]any, len(n.items)+len(n.sel.OrderBy))
+	env.row = row
+	for i, item := range n.items {
+		v, err := evalExpr(item.Expr, env)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	for j, oi := range n.sel.OrderBy {
+		v, err := orderKey(oi, n.items, n.cols, out[:len(n.items)],
+			func(e sqldb.Expr) (any, error) {
+				env.row = row
+				return evalExpr(e, env)
+			})
+		if err != nil {
+			return nil, err
+		}
+		out[len(n.items)+j] = v
+	}
+	return out, nil
+}
+
+// --- order ---
+
+// lessByKeys compares two projected rows on the ORDER BY keys stored at
+// keyOffset. Returns -1/0/+1.
+func lessByKeys(a, b []any, orderBy []sqldb.OrderItem, keyOffset int) int {
+	for k, oi := range orderBy {
+		c := compare(a[keyOffset+k], b[keyOffset+k])
+		if c != 0 {
+			if oi.Desc {
+				return -c
+			}
+			return c
+		}
+	}
+	return 0
+}
+
+// sortNode is the full stable sort; it strips the sort keys on emit.
+type sortNode struct {
+	nodeBase
+	child     planNode
+	orderBy   []sqldb.OrderItem
+	keyOffset int
+}
+
+func (n *sortNode) kind() string         { return "sort" }
+func (n *sortNode) children() []planNode { return []planNode{n.child} }
+func (n *sortNode) describe() string     { return fmt.Sprintf("Sort [keys=%d]", len(n.orderBy)) }
+
+func (n *sortNode) open(ec *execCtx) (rowIter, error) {
+	child, err := openNode(n.child, ec)
+	if err != nil {
+		return nil, err
+	}
+	var buf [][]any
+	if err := drainIter(child, func(row []any) error {
+		buf = append(buf, row)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(buf, func(i, j int) bool {
+		return lessByKeys(buf[i], buf[j], n.orderBy, n.keyOffset) < 0
+	})
+	for i, row := range buf {
+		buf[i] = row[:n.keyOffset]
+	}
+	return &sliceIter{rows: buf}, nil
+}
+
+// topKNode is the bounded ORDER BY … LIMIT heap: it keeps only the k
+// best rows (k = limit + offset) while consuming its input, so memory
+// is O(k) instead of O(input). An input sequence number breaks ties, so
+// the output is byte-identical to a stable full sort followed by LIMIT.
+// The planner never chooses it under DISTINCT, which must deduplicate
+// over the fully sorted stream.
+type topKNode struct {
+	nodeBase
+	child     planNode
+	orderBy   []sqldb.OrderItem
+	keyOffset int
+	k         int
+}
+
+func (n *topKNode) kind() string         { return "sort" }
+func (n *topKNode) children() []planNode { return []planNode{n.child} }
+
+func (n *topKNode) describe() string {
+	return fmt.Sprintf("TopK [k=%d, keys=%d]", n.k, len(n.orderBy))
+}
+
+type topkEntry struct {
+	row []any
+	seq int64
+}
+
+// topkHeap orders worst-first (a max-heap under the final ordering), so
+// the root is the row to evict when a better candidate arrives.
+type topkHeap struct {
+	entries []topkEntry
+	n       *topKNode
+}
+
+// before reports whether a sorts before b in the final output order.
+func (h *topkHeap) before(a, b topkEntry) bool {
+	c := lessByKeys(a.row, b.row, h.n.orderBy, h.n.keyOffset)
+	if c != 0 {
+		return c < 0
+	}
+	return a.seq < b.seq
+}
+
+func (h *topkHeap) Len() int           { return len(h.entries) }
+func (h *topkHeap) Less(i, j int) bool { return h.before(h.entries[j], h.entries[i]) }
+func (h *topkHeap) Swap(i, j int)      { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *topkHeap) Push(x any)         { h.entries = append(h.entries, x.(topkEntry)) }
+func (h *topkHeap) Pop() any {
+	last := len(h.entries) - 1
+	e := h.entries[last]
+	h.entries = h.entries[:last]
+	return e
+}
+
+func (n *topKNode) open(ec *execCtx) (rowIter, error) {
+	if n.k <= 0 {
+		return &sliceIter{}, nil // LIMIT 0: nothing to produce, nothing to read
+	}
+	child, err := openNode(n.child, ec)
+	if err != nil {
+		return nil, err
+	}
+	h := &topkHeap{n: n}
+	var seq int64
+	if err := drainIter(child, func(row []any) error {
+		e := topkEntry{row: row, seq: seq}
+		seq++
+		if h.Len() < n.k {
+			heap.Push(h, e)
+		} else if h.before(e, h.entries[0]) {
+			h.entries[0] = e
+			heap.Fix(h, 0)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	sort.Slice(h.entries, func(i, j int) bool { return h.before(h.entries[i], h.entries[j]) })
+	rows := make([][]any, len(h.entries))
+	for i, e := range h.entries {
+		rows[i] = e.row[:n.keyOffset]
+	}
+	return &sliceIter{rows: rows}, nil
+}
+
+// --- distinct / offset / limit ---
+
+// distinctNode keeps the first occurrence of each projected row.
+type distinctNode struct {
+	nodeBase
+	child planNode
+}
+
+func (n *distinctNode) kind() string         { return "distinct" }
+func (n *distinctNode) children() []planNode { return []planNode{n.child} }
+func (n *distinctNode) describe() string     { return "Distinct" }
+
+func (n *distinctNode) open(ec *execCtx) (rowIter, error) {
+	child, err := openNode(n.child, ec)
+	if err != nil {
+		return nil, err
+	}
+	return &distinctIter{child: child, seen: make(map[string]bool)}, nil
+}
+
+type distinctIter struct {
+	child rowIter
+	seen  map[string]bool
+}
+
+func (it *distinctIter) Next() ([]any, error) {
+	for {
+		row, err := it.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		k := encodeKey(row)
+		if !it.seen[k] {
+			it.seen[k] = true
+			return row, nil
+		}
+	}
+}
+
+// offsetNode skips the first n rows.
+type offsetNode struct {
+	nodeBase
+	child planNode
+	n     int
+}
+
+func (n *offsetNode) kind() string         { return "limit" }
+func (n *offsetNode) children() []planNode { return []planNode{n.child} }
+func (n *offsetNode) describe() string     { return fmt.Sprintf("Offset(%d)", n.n) }
+
+func (n *offsetNode) open(ec *execCtx) (rowIter, error) {
+	child, err := openNode(n.child, ec)
+	if err != nil {
+		return nil, err
+	}
+	return &offsetIter{child: child, skip: n.n}, nil
+}
+
+type offsetIter struct {
+	child rowIter
+	skip  int
+}
+
+func (it *offsetIter) Next() ([]any, error) {
+	for it.skip > 0 {
+		if _, err := it.child.Next(); err != nil {
+			return nil, err
+		}
+		it.skip--
+	}
+	return it.child.Next()
+}
+
+// limitNode stops pulling its child after n rows — the short-circuit
+// that makes SELECT … LIMIT k read O(k) input.
+type limitNode struct {
+	nodeBase
+	child planNode
+	n     int
+}
+
+func (n *limitNode) kind() string         { return "limit" }
+func (n *limitNode) children() []planNode { return []planNode{n.child} }
+func (n *limitNode) describe() string     { return fmt.Sprintf("Limit(%d)", n.n) }
+
+func (n *limitNode) open(ec *execCtx) (rowIter, error) {
+	child, err := openNode(n.child, ec)
+	if err != nil {
+		return nil, err
+	}
+	return &limitIter{child: child, left: n.n}, nil
+}
+
+type limitIter struct {
+	child rowIter
+	left  int
+}
+
+func (it *limitIter) Next() ([]any, error) {
+	if it.left <= 0 {
+		return nil, io.EOF
+	}
+	row, err := it.child.Next()
+	if err != nil {
+		return nil, err
+	}
+	it.left--
+	return row, nil
+}

@@ -1,0 +1,412 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlrdb/internal/sqldb"
+)
+
+// The planner half of the Volcano split: planSelect binds a SELECT's
+// sources, classifies its predicates (pushdown, join, residual) and
+// produces a physical plan tree — SeqScan / IndexScan / RangeScan,
+// Filter, HashJoin / NestedLoopJoin, Aggregate, Project, Sort / TopK,
+// Distinct, Offset and Limit nodes, each carrying a cardinality hint.
+// The tree executes as streaming iterators (operators.go); nothing is
+// materialized here beyond index posting lists.
+//
+// Planning runs under db.mu shared and the statement's row locks, so
+// the catalog and index postings it consults cannot change underneath
+// it; the cursor holds those locks until it is closed.
+
+// physPlan is a planned SELECT: the operator tree, the output column
+// names and the shared row environment the iterators evaluate in.
+type physPlan struct {
+	root planNode
+	cols []string
+	env  *rowEnv
+
+	finished bool
+}
+
+// opStats is the per-operator runtime accounting: rows emitted and —
+// on timed (EXPLAIN) runs — cumulative time spent in the operator and
+// its children.
+type opStats struct {
+	rows      int64
+	nanos     int64
+	openNanos int64
+}
+
+// planNode is one physical operator. describe returns the stable label
+// EXPLAIN renders, kind the obs accounting bucket, estimate the
+// planner's cardinality hint; open builds the node's iterator (opening
+// children through openNode so stats wrappers nest).
+type planNode interface {
+	describe() string
+	kind() string
+	estimate() int
+	children() []planNode
+	open(ec *execCtx) (rowIter, error)
+	stats() *opStats
+}
+
+// nodeBase carries the fields every operator shares.
+type nodeBase struct {
+	st   opStats
+	hint int
+}
+
+func (n *nodeBase) estimate() int   { return n.hint }
+func (n *nodeBase) stats() *opStats { return &n.st }
+
+// walkPlan visits the tree pre-order with depth.
+func walkPlan(n planNode, depth int, fn func(planNode, int)) {
+	fn(n, depth)
+	for _, c := range n.children() {
+		walkPlan(c, depth+1, fn)
+	}
+}
+
+// bindSelect resolves the FROM and JOIN items against the catalog and
+// builds the flat row environment. Two items resolving to the same
+// binding name are rejected here, at plan time: silent last-wins
+// shadowing in the row environment would misattribute every column
+// reference.
+func (db *DB) bindSelect(s *sqldb.Select) ([]source, *rowEnv, error) {
+	var srcs []source
+	for _, ref := range s.From {
+		t := db.tables[ref.Table]
+		if t == nil {
+			return nil, nil, fmt.Errorf("%w: %q", ErrNoTable, ref.Table)
+		}
+		srcs = append(srcs, source{ref: ref, t: t})
+	}
+	for _, j := range s.Joins {
+		t := db.tables[j.Ref.Table]
+		if t == nil {
+			return nil, nil, fmt.Errorf("%w: %q", ErrNoTable, j.Ref.Table)
+		}
+		srcs = append(srcs, source{ref: j.Ref, t: t, on: j.On, left: j.Left})
+	}
+	if len(srcs) == 0 {
+		return nil, nil, fmt.Errorf("engine: SELECT without FROM")
+	}
+	env := &rowEnv{}
+	offset := 0
+	seen := make(map[string]bool)
+	for _, src := range srcs {
+		name := src.ref.Name()
+		if seen[name] {
+			return nil, nil, fmt.Errorf("engine: duplicate table binding %q", name)
+		}
+		seen[name] = true
+		env.bindings = append(env.bindings, envBinding{
+			name: name, cols: src.t.def.ColumnNames(), offset: offset,
+		})
+		offset += len(src.t.def.Columns)
+	}
+	return srcs, env, nil
+}
+
+// classifiedConj is one WHERE conjunct routed to the join pipeline.
+type classifiedConj struct {
+	expr    sqldb.Expr
+	maxBind int // highest binding index referenced
+}
+
+// buildPlan turns a bound SELECT into the physical tree. The caller
+// holds db.mu shared and the statement's row locks (index postings are
+// consulted here).
+func (db *DB) buildPlan(s *sqldb.Select, srcs []source, env *rowEnv) (*physPlan, error) {
+	// Classify WHERE conjuncts: single-binding predicates push into
+	// their scan, two-sided equalities drive joins, the rest are
+	// residual filters above the join tree.
+	whereConjs := splitAnd(s.Where)
+	bindingIdx := make(map[string]int, len(srcs))
+	for i, src := range srcs {
+		bindingIdx[src.ref.Name()] = i
+	}
+	leftProtected := make([]bool, len(srcs))
+	for i, src := range srcs {
+		if src.left {
+			leftProtected[i] = true
+		}
+	}
+	pushed := make([][]sqldb.Expr, len(srcs))
+	var joinConjs []classifiedConj
+	var residual []sqldb.Expr
+	for _, c := range whereConjs {
+		refs, err := exprRefs(c, env)
+		if err != nil {
+			return nil, err
+		}
+		maxB, only := -1, -1
+		for name := range refs {
+			bi, ok := bindingIdx[name]
+			if !ok {
+				return nil, fmt.Errorf("engine: unknown table %q in WHERE", name)
+			}
+			if bi > maxB {
+				maxB = bi
+			}
+			only = bi
+		}
+		switch {
+		case len(refs) == 0:
+			residual = append(residual, c)
+		case len(refs) == 1 && !leftProtected[only]:
+			pushed[only] = append(pushed[only], c)
+		case anyLeftAtOrBelow(leftProtected, maxB):
+			// Mixed predicates involving LEFT-join sides stay residual to
+			// preserve outer-join semantics.
+			residual = append(residual, c)
+		default:
+			joinConjs = append(joinConjs, classifiedConj{expr: c, maxBind: maxB})
+		}
+	}
+
+	// Scan + join pipeline, left to right.
+	root, err := db.planScan(srcs[0], env, pushed[0])
+	if err != nil {
+		return nil, err
+	}
+	var node planNode = root
+	for bi := 1; bi < len(srcs); bi++ {
+		src := srcs[bi]
+		var conds []sqldb.Expr
+		conds = append(conds, splitAnd(src.on)...)
+		if !src.left {
+			rest := joinConjs[:0]
+			for _, jc := range joinConjs {
+				if jc.maxBind == bi {
+					conds = append(conds, jc.expr)
+				} else {
+					rest = append(rest, jc)
+				}
+			}
+			joinConjs = rest
+		}
+		inner, err := db.planScan(src, env, pushed[bi])
+		if err != nil {
+			return nil, err
+		}
+		node = planJoin(node, inner, bi, conds, env, src.left)
+	}
+	// Join conjuncts never consumed (e.g. referencing only later
+	// bindings under LEFT joins) become residual filters.
+	for _, jc := range joinConjs {
+		residual = append(residual, jc.expr)
+	}
+	if len(residual) > 0 {
+		node = &filterNode{child: node, preds: residual,
+			nodeBase: nodeBase{hint: shrink(node.estimate())}}
+	}
+
+	// Projection or aggregation: both emit len(items) output values
+	// followed by len(OrderBy) sort keys.
+	items, cols, err := expandItems(s, env)
+	if err != nil {
+		return nil, err
+	}
+	aggregated := len(s.GroupBy) > 0 || hasAggregate(s.Having)
+	for _, it := range items {
+		if it.Expr != nil && hasAggregate(it.Expr) {
+			aggregated = true
+		}
+	}
+	for _, oi := range s.OrderBy {
+		if hasAggregate(oi.Expr) {
+			aggregated = true
+		}
+	}
+	if aggregated {
+		hint := 1
+		if len(s.GroupBy) > 0 {
+			hint = shrink(node.estimate())
+		}
+		node = &aggNode{child: node, sel: s, items: items, cols: cols,
+			nodeBase: nodeBase{hint: hint}}
+	} else {
+		node = &projectNode{child: node, sel: s, items: items, cols: cols,
+			nodeBase: nodeBase{hint: node.estimate()}}
+	}
+
+	// Order: full sort, or a bounded top-k heap when a LIMIT caps the
+	// output and no DISTINCT must run over the fully sorted stream.
+	if len(s.OrderBy) > 0 {
+		if s.Limit >= 0 && !s.Distinct {
+			k := s.Limit + s.Offset
+			node = &topKNode{child: node, orderBy: s.OrderBy, keyOffset: len(items), k: k,
+				nodeBase: nodeBase{hint: minInt(k, node.estimate())}}
+		} else {
+			node = &sortNode{child: node, orderBy: s.OrderBy, keyOffset: len(items),
+				nodeBase: nodeBase{hint: node.estimate()}}
+		}
+	}
+	if s.Distinct {
+		node = &distinctNode{child: node, nodeBase: nodeBase{hint: node.estimate()}}
+	}
+	if s.Offset > 0 {
+		node = &offsetNode{child: node, n: s.Offset,
+			nodeBase: nodeBase{hint: maxInt(node.estimate()-s.Offset, 0)}}
+	}
+	if s.Limit >= 0 {
+		node = &limitNode{child: node, n: s.Limit,
+			nodeBase: nodeBase{hint: minInt(s.Limit, node.estimate())}}
+	}
+	return &physPlan{root: node, cols: cols, env: env}, nil
+}
+
+// planScan chooses the access path for one source: an index probe for
+// an equality predicate set covered by a hash index, a window over an
+// ordered index for range predicates, else a sequential scan. Pushed
+// predicates not consumed by the access path are re-checked per row.
+func (db *DB) planScan(src source, env *rowEnv, preds []sqldb.Expr) (*scanNode, error) {
+	bi := -1
+	for i, b := range env.bindings {
+		if b.name == src.ref.Name() {
+			bi = i
+			break
+		}
+	}
+	n := &scanNode{src: src, bind: env.bindings[bi], width: env.width()}
+	eqCols, eqVals, restPreds, err := extractEqualities(preds, src, env)
+	if err != nil {
+		return nil, err
+	}
+	if len(eqCols) > 0 {
+		if ix := src.t.findIndex(eqCols); ix != nil {
+			// A consulted index with no postings must yield an empty scan,
+			// not a fallback to the full scan: the consumed equality
+			// predicates are gone from restPreds.
+			pos := ix.m[encodeKey(eqVals)]
+			if pos == nil {
+				pos = []int{}
+			}
+			n.access, n.indexName, n.positions, n.preds = accessIndex, ix.name, pos, restPreds
+		}
+	}
+	if n.access == "" {
+		// Range scan via an ordered index; every predicate is still
+		// re-checked per row, so the window is purely an optimization.
+		if ix, bounds, ok := extractRange(preds, src); ok {
+			pos := ix.scan(src.t, bounds)
+			if pos == nil {
+				pos = []int{}
+			}
+			n.access, n.indexName, n.positions, n.preds = accessRange, ix.name, pos, preds
+		} else {
+			n.access, n.preds = accessSeq, preds
+		}
+	}
+	if n.positions != nil {
+		n.hint = len(n.positions)
+	} else {
+		n.hint = len(src.t.rows)
+	}
+	return n, nil
+}
+
+// planJoin builds the join operator for the next source: a hash join
+// when at least one equi-condition links it to earlier bindings, else
+// a (filtered) nested loop.
+func planJoin(outer planNode, inner *scanNode, bi int, conds []sqldb.Expr, env *rowEnv, left bool) planNode {
+	b := env.bindings[bi]
+	var equis []equiPair
+	var others []sqldb.Expr
+	for _, c := range conds {
+		bin, ok := c.(*sqldb.Bin)
+		if !ok || bin.Op != sqldb.OpEq {
+			others = append(others, c)
+			continue
+		}
+		lc, lok := bin.L.(*sqldb.Col)
+		rc, rok := bin.R.(*sqldb.Col)
+		if !lok || !rok {
+			others = append(others, c)
+			continue
+		}
+		li, lerr := env.resolve(lc.Table, lc.Name)
+		ri, rerr := env.resolve(rc.Table, rc.Name)
+		if lerr != nil || rerr != nil {
+			others = append(others, c)
+			continue
+		}
+		lIsInner := li >= b.offset && li < b.offset+len(b.cols)
+		rIsInner := ri >= b.offset && ri < b.offset+len(b.cols)
+		switch {
+		case lIsInner && !rIsInner:
+			equis = append(equis, equiPair{outerIdx: ri, innerIdx: li})
+		case rIsInner && !lIsInner:
+			equis = append(equis, equiPair{outerIdx: li, innerIdx: ri})
+		default:
+			others = append(others, c)
+		}
+	}
+	if len(equis) > 0 {
+		keys := make([]string, len(equis))
+		for i, e := range equis {
+			keys[i] = flatColName(env, e.outerIdx) + " = " + flatColName(env, e.innerIdx)
+		}
+		return &hashJoinNode{
+			outer: outer, inner: inner, equis: equis, others: others,
+			left: left, bind: b, keysDesc: strings.Join(keys, ", "),
+			nodeBase: nodeBase{hint: maxInt(outer.estimate(), inner.estimate())},
+		}
+	}
+	hint := outer.estimate() * inner.estimate()
+	if outer.estimate() != 0 && hint/outer.estimate() != inner.estimate() {
+		hint = int(^uint(0) >> 1) // overflow: saturate
+	}
+	return &nlJoinNode{
+		outer: outer, inner: inner, conds: conds, left: left, bind: b,
+		nodeBase: nodeBase{hint: hint},
+	}
+}
+
+// equiPair links an outer-side flat column to an inner-side flat
+// column for hash-join keying.
+type equiPair struct{ outerIdx, innerIdx int }
+
+// flatColName renders a flat row index as binding.column for EXPLAIN.
+func flatColName(env *rowEnv, idx int) string {
+	for _, b := range env.bindings {
+		if idx >= b.offset && idx < b.offset+len(b.cols) {
+			return b.name + "." + b.cols[idx-b.offset]
+		}
+	}
+	return fmt.Sprintf("col#%d", idx)
+}
+
+// shrink is the planner's guess for a filtering operator's output.
+func shrink(in int) int {
+	out := in / 3
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func anyLeftAtOrBelow(leftProtected []bool, maxB int) bool {
+	for i := 0; i <= maxB && i < len(leftProtected); i++ {
+		if leftProtected[i] {
+			return true
+		}
+	}
+	return false
+}

@@ -61,6 +61,21 @@ type Metrics struct {
 	ExecLatency Histogram
 	SlowQueries Counter
 
+	// Engine: per-operator-kind row counts from the streaming executor,
+	// flushed when a plan's cursor closes. A LIMIT that short-circuits a
+	// scan is visible here: OpScanRows stops at what was actually read.
+	OpScanRows      Counter
+	OpFilterRows    Counter
+	OpJoinRows      Counter
+	OpAggregateRows Counter
+	OpProjectRows   Counter
+	OpSortRows      Counter
+	OpDistinctRows  Counter
+	OpLimitRows     Counter
+	// RowsOut counts rows emitted by SELECT plan roots (streamed or
+	// materialized).
+	RowsOut Counter
+
 	// Shred: document loading.
 	DocsLoaded     Counter
 	DocsFailed     Counter
@@ -98,6 +113,9 @@ type Metrics struct {
 	ServeTimeouts Counter   // admitted requests that hit their deadline
 	ServeLatency  Histogram // admitted-request latency, nanoseconds
 	ServeInflight Gauge     // requests currently executing
+	// ServeRowsStreamed counts result rows written to clients by the
+	// chunked /query and /path encoders.
+	ServeRowsStreamed Counter
 
 	// Durability: write-ahead log, snapshots and recovery.
 	WALFrames       Counter // frames appended
@@ -144,13 +162,15 @@ func (m *Metrics) Table(name string) *TableMetrics {
 // Snapshot is the typed point-in-time view of a Metrics hub.
 type Snapshot struct {
 	Engine struct {
-		Selects     int64        `json:"selects"`
-		InsertStmts int64        `json:"insert_stmts"`
-		Updates     int64        `json:"updates"`
-		Deletes     int64        `json:"deletes"`
-		OtherStmts  int64        `json:"other_stmts"`
-		ExecLatency HistSnapshot `json:"exec_latency"`
-		SlowQueries int64        `json:"slow_queries"`
+		Selects     int64          `json:"selects"`
+		InsertStmts int64          `json:"insert_stmts"`
+		Updates     int64          `json:"updates"`
+		Deletes     int64          `json:"deletes"`
+		OtherStmts  int64          `json:"other_stmts"`
+		ExecLatency HistSnapshot   `json:"exec_latency"`
+		SlowQueries int64          `json:"slow_queries"`
+		OpRows      OpRowsSnapshot `json:"op_rows"`
+		RowsOut     int64          `json:"rows_out"`
 	} `json:"engine"`
 	Tables map[string]TableSnapshot `json:"tables,omitempty"`
 	Load   struct {
@@ -183,12 +203,13 @@ type Snapshot struct {
 		Latency HistSnapshot `json:"latency"`
 	} `json:"schema"`
 	Serve struct {
-		Requests int64        `json:"requests"`
-		Errors   int64        `json:"errors"`
-		Shed     int64        `json:"shed"`
-		Timeouts int64        `json:"timeouts"`
-		Latency  HistSnapshot `json:"latency"`
-		Inflight int64        `json:"inflight"`
+		Requests     int64        `json:"requests"`
+		Errors       int64        `json:"errors"`
+		Shed         int64        `json:"shed"`
+		Timeouts     int64        `json:"timeouts"`
+		Latency      HistSnapshot `json:"latency"`
+		Inflight     int64        `json:"inflight"`
+		RowsStreamed int64        `json:"rows_streamed"`
 	} `json:"serve"`
 	WAL struct {
 		Frames          int64        `json:"frames"`
@@ -203,6 +224,19 @@ type Snapshot struct {
 	} `json:"wal"`
 }
 
+// OpRowsSnapshot is the per-operator-kind row accounting of the
+// streaming executor.
+type OpRowsSnapshot struct {
+	Scan      int64 `json:"scan"`
+	Filter    int64 `json:"filter"`
+	Join      int64 `json:"join"`
+	Aggregate int64 `json:"aggregate"`
+	Project   int64 `json:"project"`
+	Sort      int64 `json:"sort"`
+	Distinct  int64 `json:"distinct"`
+	Limit     int64 `json:"limit"`
+}
+
 // Snapshot captures the hub's current state.
 func (m *Metrics) Snapshot() Snapshot {
 	var s Snapshot
@@ -213,6 +247,17 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.Engine.OtherStmts = m.OtherStmts.Load()
 	s.Engine.ExecLatency = m.ExecLatency.Snapshot()
 	s.Engine.SlowQueries = m.SlowQueries.Load()
+	s.Engine.OpRows = OpRowsSnapshot{
+		Scan:      m.OpScanRows.Load(),
+		Filter:    m.OpFilterRows.Load(),
+		Join:      m.OpJoinRows.Load(),
+		Aggregate: m.OpAggregateRows.Load(),
+		Project:   m.OpProjectRows.Load(),
+		Sort:      m.OpSortRows.Load(),
+		Distinct:  m.OpDistinctRows.Load(),
+		Limit:     m.OpLimitRows.Load(),
+	}
+	s.Engine.RowsOut = m.RowsOut.Load()
 
 	m.mu.RLock()
 	if len(m.tables) > 0 {
@@ -264,6 +309,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.Serve.Timeouts = m.ServeTimeouts.Load()
 	s.Serve.Latency = m.ServeLatency.Snapshot()
 	s.Serve.Inflight = m.ServeInflight.Load()
+	s.Serve.RowsStreamed = m.ServeRowsStreamed.Load()
 
 	s.WAL.Frames = m.WALFrames.Load()
 	s.WAL.Bytes = m.WALBytes.Load()
@@ -297,6 +343,11 @@ func (s Snapshot) Report() string {
 		s.Engine.Selects, s.Engine.InsertStmts, s.Engine.Updates,
 		s.Engine.Deletes, s.Engine.OtherStmts, s.Engine.SlowQueries)
 	fmt.Fprintf(&b, "engine: exec latency %s\n", s.Engine.ExecLatency.DurSummary())
+	if op := s.Engine.OpRows; op != (OpRowsSnapshot{}) {
+		fmt.Fprintf(&b, "engine: op rows scan=%d filter=%d join=%d agg=%d project=%d sort=%d distinct=%d limit=%d out=%d\n",
+			op.Scan, op.Filter, op.Join, op.Aggregate, op.Project,
+			op.Sort, op.Distinct, op.Limit, s.Engine.RowsOut)
+	}
 	if len(s.Tables) > 0 {
 		names := make([]string, 0, len(s.Tables))
 		for n := range s.Tables {
@@ -345,8 +396,9 @@ func (s Snapshot) Report() string {
 			s.Schema.Builds, s.Schema.Latency.DurSummary())
 	}
 	if s.Serve.Requests > 0 || s.Serve.Shed > 0 {
-		fmt.Fprintf(&b, "serve: requests=%d errors=%d shed=%d timeouts=%d inflight=%d\n",
-			s.Serve.Requests, s.Serve.Errors, s.Serve.Shed, s.Serve.Timeouts, s.Serve.Inflight)
+		fmt.Fprintf(&b, "serve: requests=%d errors=%d shed=%d timeouts=%d inflight=%d rows-streamed=%d\n",
+			s.Serve.Requests, s.Serve.Errors, s.Serve.Shed, s.Serve.Timeouts,
+			s.Serve.Inflight, s.Serve.RowsStreamed)
 		fmt.Fprintf(&b, "serve: request latency %s\n", s.Serve.Latency.DurSummary())
 	}
 	if s.WAL.Frames > 0 || s.WAL.Recoveries > 0 {

@@ -2,6 +2,7 @@ package pathquery
 
 import (
 	"context"
+	"fmt"
 
 	"xmlrdb/internal/engine"
 )
@@ -26,6 +27,75 @@ func ExecuteContext(ctx context.Context, db *engine.DB, tr *Translation) (*engin
 	return out, nil
 }
 
+// ExecuteCursor streams a translation's result: the union arms open
+// lazily, one engine cursor at a time, so the first arm's rows reach
+// the caller before later arms have run (or been planned). The caller
+// must Close the cursor unless it drains it.
+func ExecuteCursor(ctx context.Context, db *engine.DB, tr *Translation) engine.Cursor {
+	return &unionCursor{ctx: ctx, db: db, sqls: tr.SQLs, cols: tr.Cols}
+}
+
+// unionCursor concatenates the per-arm engine cursors.
+type unionCursor struct {
+	ctx    context.Context
+	db     *engine.DB
+	sqls   []string
+	cols   []string
+	i      int
+	cur    engine.Cursor
+	row    []any
+	err    error
+	closed bool
+}
+
+func (u *unionCursor) Cols() []string { return u.cols }
+func (u *unionCursor) Row() []any     { return u.row }
+func (u *unionCursor) Err() error     { return u.err }
+
+func (u *unionCursor) Next() bool {
+	for {
+		if u.closed || u.err != nil {
+			return false
+		}
+		if u.cur == nil {
+			if u.i >= len(u.sqls) {
+				u.Close()
+				return false
+			}
+			cur, err := u.db.QueryCursorContext(u.ctx, u.sqls[u.i])
+			u.i++
+			if err != nil {
+				u.err = err
+				u.Close()
+				return false
+			}
+			u.cur = cur
+		}
+		if u.cur.Next() {
+			u.row = u.cur.Row()
+			return true
+		}
+		if err := u.cur.Err(); err != nil {
+			u.err = err
+			u.Close()
+			return false
+		}
+		u.cur = nil // arm exhausted (already self-closed); advance
+	}
+}
+
+func (u *unionCursor) Close() error {
+	if u.closed {
+		return nil
+	}
+	u.closed = true
+	if u.cur != nil {
+		u.cur.Close()
+		u.cur = nil
+	}
+	return nil
+}
+
 // Run parses, translates and executes a path query in one call.
 func Run(db *engine.DB, t Translator, path string) (*engine.Rows, error) {
 	return RunContext(context.Background(), db, t, path)
@@ -42,4 +112,34 @@ func RunContext(ctx context.Context, db *engine.DB, t Translator, path string) (
 		return nil, err
 	}
 	return ExecuteContext(ctx, db, tr)
+}
+
+// RunCursor parses, translates and opens a streaming cursor over a path
+// query's result. The caller must Close the cursor unless it drains it.
+func RunCursor(ctx context.Context, db *engine.DB, t Translator, path string) (engine.Cursor, error) {
+	q, err := Parse(path)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := t.Translate(q)
+	if err != nil {
+		return nil, err
+	}
+	return ExecuteCursor(ctx, db, tr), nil
+}
+
+// ExplainContext renders the full EXPLAIN report for a translation: the
+// translation header and generated SQL (Translation.Explain), followed
+// by each arm's executed physical plan tree with per-operator row
+// counts and timings.
+func ExplainContext(ctx context.Context, db *engine.DB, tr *Translation) (string, error) {
+	out := tr.Explain()
+	for i, sql := range tr.SQLs {
+		plan, err := db.ExplainQueryContext(ctx, sql)
+		if err != nil {
+			return "", err
+		}
+		out += fmt.Sprintf("-- physical plan (arm %d):\n%s", i+1, plan)
+	}
+	return out, nil
 }

@@ -1,7 +1,12 @@
 // Package serve exposes a recovered xmlrdb Pipeline over HTTP: SQL
 // (/query), path queries (/path, with EXPLAIN), document reconstruction
 // (/doc/{id}), health and store statistics, plus the obs debug
-// endpoints. Query endpoints run under a per-request deadline wired
+// endpoints. Query responses stream: rows are JSON-encoded as the
+// engine produces them (first row prefetched so errors still map to a
+// status code, then periodic flushes), so a client reading a large
+// result sees bytes before the scan finishes and a client that
+// disconnects aborts the scan at the engine's next cancellation
+// checkpoint. Query endpoints run under a per-request deadline wired
 // into the engine's cancellation checkpoints and behind a
 // bounded-concurrency admission gate that sheds load with 429 +
 // Retry-After instead of queueing without bound. Shutdown drains
@@ -119,11 +124,13 @@ func (s *Server) gated(h func(http.ResponseWriter, *http.Request) error) http.Ha
 		s.obs.ServeInflight.Inc()
 		defer s.obs.ServeInflight.Dec()
 		start := time.Now()
+		// Latency is recorded in a defer: a mid-stream failure aborts the
+		// handler with a panic (the status line is already on the wire)
+		// and must still count.
+		defer func() { s.obs.ServeLatency.ObserveDuration(time.Since(start)) }()
 		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 		defer cancel()
-		err := h(w, r.WithContext(ctx))
-		s.obs.ServeLatency.ObserveDuration(time.Since(start))
-		if err != nil {
+		if err := h(w, r.WithContext(ctx)); err != nil {
 			s.obs.ServeErrors.Inc()
 			s.fail(w, err)
 		}
@@ -165,27 +172,74 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// rowsResponse is the JSON shape of a query result.
-type rowsResponse struct {
-	Cols []string `json:"cols"`
-	Rows [][]any  `json:"rows"`
-	N    int      `json:"n"`
+// streamFlushEvery is the row interval between forced flushes once a
+// response is streaming.
+const streamFlushEvery = 64
+
+// streamRows writes a cursor's result in the {"cols":…,"rows":…,"n":…}
+// shape, encoding each row as the engine produces it instead of
+// materializing the result. The first row is prefetched before the
+// header goes out, so plan-time and early execution errors still map
+// to a status code; after that the response flushes on the first row
+// and every streamFlushEvery rows, so a client reading a large result
+// sees bytes before the scan finishes. A failure once the body has
+// started cannot change the status line, so the connection is aborted
+// instead — the client sees a truncated body, not a complete-looking
+// partial result.
+func (s *Server) streamRows(w http.ResponseWriter, cur xmlrdb.Cursor) error {
+	defer cur.Close()
+	have := cur.Next()
+	if err := cur.Err(); err != nil {
+		return err
+	}
+	cols := cur.Cols()
+	if cols == nil {
+		cols = []string{}
+	}
+	head, err := json.Marshal(cols)
+	if err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fl, _ := w.(http.Flusher)
+	fmt.Fprintf(w, `{"cols":%s,"rows":[`, head)
+	n := 0
+	for have {
+		rowJSON, err := json.Marshal(cur.Row())
+		if err != nil {
+			s.abort(err)
+		}
+		if n > 0 {
+			io.WriteString(w, ",")
+		}
+		w.Write(rowJSON)
+		n++
+		s.obs.ServeRowsStreamed.Inc()
+		if fl != nil && (n == 1 || n%streamFlushEvery == 0) {
+			fl.Flush()
+		}
+		have = cur.Next()
+	}
+	if err := cur.Err(); err != nil {
+		s.abort(err)
+	}
+	fmt.Fprintf(w, "],\"n\":%d}\n", n)
+	return nil
 }
 
-func toResponse(rows *xmlrdb.Rows) rowsResponse {
-	resp := rowsResponse{Cols: rows.Cols, Rows: rows.Data, N: len(rows.Data)}
-	if resp.Rows == nil {
-		resp.Rows = [][]any{}
+// abort records a mid-stream failure and drops the connection.
+func (s *Server) abort(err error) {
+	s.obs.ServeErrors.Inc()
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.obs.ServeTimeouts.Inc()
 	}
-	if resp.Cols == nil {
-		resp.Cols = []string{}
-	}
-	return resp
+	panic(http.ErrAbortHandler)
 }
 
 // handleQuery executes a SQL statement: ?sql= on GET, the request body
 // on POST. Bodies are capped at 1 MiB — a statement longer than that
-// is a mistake, not a workload.
+// is a mistake, not a workload. SELECT results stream as they are
+// produced.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 	stmt := r.URL.Query().Get("sql")
 	if r.Method == http.MethodPost && stmt == "" {
@@ -198,23 +252,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 	if strings.TrimSpace(stmt) == "" {
 		return fmt.Errorf("missing sql (use ?sql= or a POST body)")
 	}
-	rows, err := s.p.SQLContext(r.Context(), stmt)
+	cur, err := s.p.SQLCursor(r.Context(), stmt)
 	if err != nil {
 		return err
 	}
-	writeJSON(w, toResponse(rows))
-	return nil
+	return s.streamRows(w, cur)
 }
 
 // handlePath executes a path query (?q=), or renders its EXPLAIN
-// report with ?explain=1.
+// report — including each arm's executed physical plan — with
+// ?explain=1. Result rows stream as the union arms produce them.
 func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) error {
 	path := r.URL.Query().Get("q")
 	if path == "" {
 		return fmt.Errorf("missing path query (use ?q=)")
 	}
 	if r.URL.Query().Get("explain") == "1" {
-		report, err := s.p.ExplainPath(path)
+		report, err := s.p.ExplainPathContext(r.Context(), path)
 		if err != nil {
 			return err
 		}
@@ -222,12 +276,11 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) error {
 		fmt.Fprint(w, report)
 		return nil
 	}
-	rows, err := s.p.QueryContext(r.Context(), path)
+	cur, err := s.p.QueryCursor(r.Context(), path)
 	if err != nil {
 		return err
 	}
-	writeJSON(w, toResponse(rows))
-	return nil
+	return s.streamRows(w, cur)
 }
 
 // handleDoc reconstructs one document by id.

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"xmlrdb/internal/paper"
+	"xmlrdb/internal/xmltree"
+)
+
+// widenAuthors loads n copies of the paper document so e_author holds
+// 2(n+1) rows — enough for cross joins to produce large results.
+func widenAuthors(t *testing.T, p interface {
+	ParseDocument(string) (*xmltree.Document, error)
+	LoadCorpus([]*xmltree.Document, int) ([]int64, error)
+}, n int) {
+	t.Helper()
+	doc, err := p.ParseDocument(paper.BookXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := make([]*xmltree.Document, n)
+	for i := range docs {
+		docs[i] = doc
+	}
+	if _, err := p.LoadCorpus(docs, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// flushRecorder counts the handler's explicit flushes.
+type flushRecorder struct {
+	*httptest.ResponseRecorder
+	flushes int
+}
+
+func (f *flushRecorder) Flush() { f.flushes++; f.ResponseRecorder.Flush() }
+
+// TestQueryResponseStreams checks /query emits the body incrementally:
+// the handler must flush after the first row and then periodically,
+// not once at the end — the first byte reaches the client while the
+// engine is still producing rows.
+func TestQueryResponseStreams(t *testing.T) {
+	p := testPipeline(t)
+	widenAuthors(t, p, 49) // 100 author rows; the cross join yields 10000
+	s := New(p, Options{RequestTimeout: 30 * time.Second})
+
+	w := &flushRecorder{ResponseRecorder: httptest.NewRecorder()}
+	req := httptest.NewRequest("GET", "/query?sql="+
+		"SELECT+a.id+FROM+e_author+a,+e_author+b", nil)
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != 200 {
+		t.Fatalf("status = %d, body %q", w.Code, w.Body.String())
+	}
+	var qr struct {
+		Cols []string `json:"cols"`
+		Rows [][]any  `json:"rows"`
+		N    int      `json:"n"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &qr); err != nil {
+		t.Fatalf("response not JSON: %v", err)
+	}
+	if qr.N != 10000 || len(qr.Rows) != 10000 {
+		t.Fatalf("n = %d, rows = %d, want 10000", qr.N, len(qr.Rows))
+	}
+	// First row + one per streamFlushEvery rows.
+	if want := 10000 / streamFlushEvery; w.flushes < want {
+		t.Errorf("flushes = %d, want >= %d (response not streamed)", w.flushes, want)
+	}
+	if got := p.Obs.ServeRowsStreamed.Load(); got != 10000 {
+		t.Errorf("ServeRowsStreamed = %d, want 10000", got)
+	}
+}
+
+// TestClientDisconnectAbortsScan starts a huge streamed query, reads a
+// little of the body and disconnects. The write-side backpressure plus
+// the request context's cancellation must abort the scan mid-stream:
+// the engine must not produce all million rows.
+func TestClientDisconnectAbortsScan(t *testing.T) {
+	p := testPipeline(t)
+	widenAuthors(t, p, 49) // 100 author rows; the 3-way cross join yields 1e6
+	s := New(p, Options{RequestTimeout: 30 * time.Second})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+
+		"/query?sql="+"SELECT+a.id+FROM+e_author+a,+e_author+b,+e_author+c", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read the first chunk, then walk away mid-body.
+	if _, err := io.ReadFull(resp.Body, make([]byte, 512)); err != nil {
+		t.Fatalf("reading the stream head: %v", err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for p.Obs.ServeInflight.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never finished after client disconnect")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	const total = 1_000_000
+	if got := p.Obs.ServeRowsStreamed.Load(); got >= total {
+		t.Fatalf("engine streamed all %d rows despite the disconnect", got)
+	}
+}
+
+// TestPathExplainIncludesPhysicalPlan checks /path?explain=1 now
+// renders the executed operator tree after the translation report.
+func TestPathExplainIncludesPhysicalPlan(t *testing.T) {
+	p := testPipeline(t)
+	s := New(p, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/path?q=/book/author&explain=1")
+	if code != 200 {
+		t.Fatalf("explain = %d %q", code, body)
+	}
+	for _, want := range []string{"-- plan: ", "-- physical plan (arm 1):", "rows=", "time="} {
+		if !strings.Contains(body, want) {
+			t.Errorf("explain report lacks %q:\n%s", want, body)
+		}
+	}
+}

@@ -52,6 +52,12 @@ const (
 // Rows is a materialized query result.
 type Rows = engine.Rows
 
+// Cursor is a streaming query result: rows arrive one at a time as the
+// caller pulls them, so early termination (LIMIT, a disconnected
+// client) never pays for unread rows. Callers that may abandon a
+// cursor must Close it; draining it closes it implicitly.
+type Cursor = engine.Cursor
+
 // Violation is one validity problem found by Validate.
 type Violation = validate.Violation
 
@@ -391,6 +397,13 @@ func (p *Pipeline) QueryContext(ctx context.Context, path string) (*Rows, error)
 	return pathquery.RunContext(ctx, p.DB, p.qt, path)
 }
 
+// QueryCursor runs a path query and streams its result: union arms
+// open lazily, one engine cursor at a time, so the first rows reach
+// the caller before later arms have been planned or run.
+func (p *Pipeline) QueryCursor(ctx context.Context, path string) (Cursor, error) {
+	return pathquery.RunCursor(ctx, p.DB, p.qt, path)
+}
+
 // TranslatePath returns the SQL statements a path query translates to,
 // without executing them.
 func (p *Pipeline) TranslatePath(path string) ([]string, error) {
@@ -401,15 +414,23 @@ func (p *Pipeline) TranslatePath(path string) ([]string, error) {
 	return tr.SQLs, nil
 }
 
-// ExplainPath translates a path query and renders the EXPLAIN report:
-// plan statistics (union arms, joins emitted, joins avoided by
-// distilled attributes) followed by the generated SQL.
+// ExplainPath translates a path query and renders the full EXPLAIN
+// report: plan statistics (union arms, joins emitted, joins avoided by
+// distilled attributes), the generated SQL, and each arm's executed
+// physical plan tree with per-operator row counts and timings.
 func (p *Pipeline) ExplainPath(path string) (string, error) {
+	return p.ExplainPathContext(context.Background(), path)
+}
+
+// ExplainPathContext is ExplainPath under a context: the physical plan
+// sections come from executing each arm, so cancellation aborts the
+// report mid-arm.
+func (p *Pipeline) ExplainPathContext(ctx context.Context, path string) (string, error) {
 	tr, err := p.translate(path)
 	if err != nil {
 		return "", err
 	}
-	return tr.Explain(), nil
+	return pathquery.ExplainContext(ctx, p.DB, tr)
 }
 
 func (p *Pipeline) translate(path string) (*pathquery.Translation, error) {
@@ -436,6 +457,19 @@ func (p *Pipeline) SQLContext(ctx context.Context, stmt string) (*Rows, error) {
 		rows = &Rows{}
 	}
 	return rows, nil
+}
+
+// SQLCursor executes one SQL statement and returns its result as a
+// streaming cursor: SELECTs stream row by row, other statements run to
+// completion and yield an empty cursor.
+func (p *Pipeline) SQLCursor(ctx context.Context, stmt string) (Cursor, error) {
+	return p.DB.ExecCursorContext(ctx, stmt)
+}
+
+// ExplainSQL executes a SELECT and renders its physical plan tree with
+// per-operator cardinality estimates, observed row counts and timings.
+func (p *Pipeline) ExplainSQL(ctx context.Context, stmt string) (string, error) {
+	return p.DB.ExplainQueryContext(ctx, stmt)
 }
 
 // Reconstruct rebuilds one loaded document from its relational form and
