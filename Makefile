@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check crash-matrix bench bench-parallel stats-demo serve-smoke explain-golden bench-streaming-smoke
+.PHONY: build test vet race race-vec check crash-matrix bench bench-parallel bench-json stats-demo serve-smoke explain-golden bench-streaming-smoke bench-vec-smoke
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,13 @@ race:
 	$(GO) test -race ./internal/engine/... ./internal/shred/... ./internal/obs/... \
 		./internal/pathquery/... ./internal/serve/...
 
+# Batch-operator subset under the race detector: vectorized scans
+# racing writers that invalidate the columnar sidecar, plus the
+# dictionary codec tests. Redundant with `race` but fast enough to run
+# alone while iterating on the executor.
+race-vec:
+	$(GO) test -race -run 'TestVec|TestDict' ./internal/engine/
+
 # Fault-injection recovery matrix: kill the durable engine at every
 # byte offset and every fsync boundary of a scripted workload (plus the
 # WAL/snapshot corruption sweeps) and require exact prefix recovery,
@@ -28,7 +35,7 @@ crash-matrix:
 	$(GO) test -race -run 'TestCrash|TestDurable|TestWALReplay|TestSnapshotEvery|FuzzWALReplay' ./internal/engine/
 	$(GO) test -race ./internal/faultfs/
 
-check: vet build test race crash-matrix explain-golden bench-streaming-smoke serve-smoke
+check: vet build test race race-vec crash-matrix explain-golden bench-streaming-smoke bench-vec-smoke serve-smoke
 
 # Golden physical-plan tests: the executed EXPLAIN tree for the
 # planner's main shapes must match testdata/explain/*.golden
@@ -42,6 +49,12 @@ explain-golden:
 bench-streaming-smoke:
 	$(GO) test -run XXX -bench BenchmarkStreamingLimit -benchtime 1x ./internal/engine/
 
+# One iteration of the vectorized-aggregate benchmark: each iteration
+# re-checks the batched result against the row-at-a-time answer, so
+# this fails outright if the vectorized path diverges.
+bench-vec-smoke:
+	$(GO) test -run XXX -bench BenchmarkVecAggregate -benchtime 1x ./internal/engine/
+
 # Serving smoke test: boot xmlserve on the bibliography testdata, run a
 # scripted curl mix over every endpoint (including saturation shedding
 # and an in-flight request across SIGTERM), and fail on any unexpected
@@ -51,6 +64,13 @@ serve-smoke:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable perf trajectory: re-run the E9b streaming benchmark
+# and the E14 vectorized-execution experiment, writing the latter's
+# timings and snapshot sizes to BENCH_E14.json for cross-PR diffing.
+bench-json:
+	$(GO) test -run XXX -bench BenchmarkStreamingLimit -benchtime 1x ./internal/engine/
+	$(GO) run ./cmd/xmlbench -exp e14 -json BENCH_E14.json
 
 # Regenerate the E5b parallel-load numbers (EXPERIMENTS.md).
 bench-parallel:

@@ -57,6 +57,11 @@ func crashWorkload() []scriptOp {
 		{"ordered books_ord", exec1(`CREATE ORDERED INDEX books_ord ON books (year)`)},
 		{"update year", exec1(`UPDATE books SET year = 2002 WHERE id = 12`)},
 		{"delete book", exec1(`DELETE FROM books WHERE id = 11`)},
+		// One frameAnalyze before the checkpoint (so the snapshot's
+		// dictionary sections get torn) and one after (so WAL replay of
+		// the frame does). A crash mid-dictionary-write must recover to
+		// the pre-ANALYZE dictionaries, never a partial one.
+		{"analyze books", func(db *DB) error { return db.AnalyzeTable("books") }},
 		{"checkpoint", func(db *DB) error {
 			if err := db.Checkpoint(); err != nil && !errors.Is(err, ErrNotDurable) {
 				return err
@@ -72,6 +77,7 @@ func crashWorkload() []scriptOp {
 			return err
 		}},
 		{"update post-snapshot", exec1(`UPDATE books SET year = 2012 WHERE id = 21`)},
+		{"analyze authors", func(db *DB) error { return db.AnalyzeTable("authors") }},
 		{"drop ordered", exec1(`DROP INDEX books_ord`)},
 		{"drop index", exec1(`DROP INDEX books_year`)},
 		{"delete author-less", exec1(`DELETE FROM books WHERE id = 20`)},

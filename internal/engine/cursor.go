@@ -137,6 +137,12 @@ func (p *physPlan) finish(db *DB) {
 		if m == nil {
 			return
 		}
+		if v, ok := n.(*vecNode); ok {
+			m.VecBatches.Add(v.batches)
+			for _, sel := range v.batchSel {
+				m.VecBatchRows.Observe(sel)
+			}
+		}
 		rows := n.stats().rows
 		if rows == 0 {
 			return
@@ -176,16 +182,43 @@ func (db *DB) execSelect(s *sqldb.Select, cc *cancelCheck) (*Rows, error) {
 	return DrainCursor(cur)
 }
 
+// cardinalityHinter is implemented by cursors that know their plan's
+// estimated output size, so DrainCursor can preallocate.
+type cardinalityHinter interface {
+	CardinalityHint() int
+}
+
+// drainPreallocCap bounds the hint-driven preallocation: a wild
+// overestimate must not allocate an arbitrarily large empty slice.
+const drainPreallocCap = 4096
+
+// CardinalityHint returns the planner's estimate for the root operator.
+func (c *selectCursor) CardinalityHint() int {
+	if c.plan == nil || c.plan.root == nil {
+		return 0
+	}
+	return c.plan.root.estimate()
+}
+
 // DrainCursor materializes a cursor into Rows, closing it. A failed
-// stream returns the error and no partial result.
+// stream returns the error and no partial result. Cursors exposing a
+// cardinality hint get their result slice preallocated from it.
 func DrainCursor(c Cursor) (*Rows, error) {
 	defer c.Close()
 	res := &Rows{Cols: c.Cols()}
+	if h, ok := c.(cardinalityHinter); ok {
+		if hint := h.CardinalityHint(); hint > 0 {
+			res.Data = make([][]any, 0, minInt(hint, drainPreallocCap))
+		}
+	}
 	for c.Next() {
 		res.Data = append(res.Data, c.Row())
 	}
 	if err := c.Err(); err != nil {
 		return nil, err
+	}
+	if len(res.Data) == 0 {
+		res.Data = nil // empty results stay nil regardless of preallocation
 	}
 	return res, nil
 }

@@ -54,6 +54,19 @@ type DB struct {
 	walFS         faultfs.FS
 	walDir        string
 	snapshotEvery int
+
+	// vecOff disables the vectorized batch executor (vector.go); the
+	// zero value keeps it on.
+	vecOff bool
+}
+
+// SetVectorized toggles the vectorized batch executor (on by default).
+// With it off every plan runs row-at-a-time; the equivalence tests use
+// the toggle to pin both paths to identical results.
+func (db *DB) SetVectorized(on bool) {
+	db.mu.Lock()
+	db.vecOff = !on
+	db.mu.Unlock()
 }
 
 type table struct {
@@ -63,6 +76,15 @@ type table struct {
 	rows    [][]any
 	indexes map[string]*index
 	ordered map[string]*orderedIndex
+	// dicts holds the persisted per-column dictionaries built by ANALYZE
+	// (nil slice until then; nil entries for unencoded columns). Mutated
+	// only under the table's write lock.
+	dicts []*colDict
+	// vec is the lazily built columnar sidecar (dictionary codes) the
+	// vectorized executor reads; vecMu guards it, writes nil it out via
+	// markVecDirty. See dict.go.
+	vec   *vecCache
+	vecMu sync.Mutex
 	// obs holds the table's metrics, nil when collection is off; set
 	// under db.mu exclusive, read under db.mu shared.
 	obs *obs.TableMetrics

@@ -325,6 +325,9 @@ func (db *DB) applyFrame(fr walFrame) error {
 		t.markOrderedDirty()
 		return nil
 
+	case frameAnalyze:
+		return db.applyAnalyzeFrame(r)
+
 	case frameDDL:
 		var rec ddlRecord
 		if err := json.Unmarshal(fr.payload, &rec); err != nil {

@@ -44,6 +44,14 @@ func dumpState(db *DB) string {
 		for _, n := range oxNames {
 			fmt.Fprintf(&sb, "  ordered %s col=%d\n", n, t.ordered[n].col)
 		}
+		if t.dicts != nil {
+			fmt.Fprintf(&sb, "  analyzed cols=%d\n", len(t.dicts))
+			for c, d := range t.dicts {
+				if d != nil {
+					fmt.Fprintf(&sb, "  dict %s vals=%q\n", t.def.Columns[c].Name, d.vals)
+				}
+			}
+		}
 		for pos, row := range t.rows {
 			fmt.Fprintf(&sb, "  row %d %#v\n", pos, row)
 		}

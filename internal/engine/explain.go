@@ -36,6 +36,9 @@ func renderPlan(p *physPlan, mode explainMode) string {
 		fmt.Fprintf(&b, " (est=%d", n.estimate())
 		if mode >= explainRows {
 			fmt.Fprintf(&b, " rows=%d", n.stats().rows)
+			if v, ok := n.(*vecNode); ok {
+				fmt.Fprintf(&b, " batches=%d rows/batch=%d", v.batches, v.rowsPerBatch())
+			}
 		}
 		if mode >= explainTimed {
 			st := n.stats()

@@ -137,13 +137,16 @@ func (ix *orderedIndex) scan(t *table, b rangeBounds) []int {
 	return out
 }
 
-// markOrderedDirty flags every ordered index of the table after a write.
+// markOrderedDirty flags every ordered index of the table after a
+// write. It is the single choke point every mutation path goes through,
+// so the vectorized executor's code sidecar is invalidated here too.
 func (t *table) markOrderedDirty() {
 	for _, ix := range t.ordered {
 		ix.mu.Lock()
 		ix.dirty = true
 		ix.mu.Unlock()
 	}
+	t.markVecDirty()
 }
 
 // findOrdered returns an ordered index on the column, or nil.

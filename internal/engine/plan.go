@@ -255,6 +255,11 @@ func (db *DB) buildPlan(s *sqldb.Select, srcs []source, env *rowEnv) (*physPlan,
 		node = &limitNode{child: node, n: s.Limit,
 			nodeBase: nodeBase{hint: minInt(s.Limit, node.estimate())}}
 	}
+	// Batch-at-a-time rewrite of vectorizable pipelines (vector.go);
+	// vecOff is written under db.mu exclusive and read here under shared.
+	if !db.vecOff {
+		node = db.vectorize(node)
+	}
 	return &physPlan{root: node, cols: cols, env: env}, nil
 }
 

@@ -16,25 +16,40 @@ import (
 // reference — survive the round trip) tagged with the WAL sequence
 // number it covers:
 //
-//	8 bytes  magic "XRDBSNP1"
+//	8 bytes  magic "XRDBSNP2" (version 1 is still readable)
 //	uvarint  covered WAL sequence number
 //	uvarint  table count, then per table in creation order:
 //	         uvarint-length-prefixed JSON snapTableHeader,
+//	         per column named in the header's dict_cols, in order:
+//	         uvarint value count + length-prefixed strings (the
+//	         persisted dictionary in code order),
 //	         uvarint slot count, then per slot 0x00 (hole) or
-//	         0x01 + row in the WAL value codec
+//	         0x01 + row in the WAL value codec extended with tag 'd'
+//	         (uvarint dictionary code) for TEXT values found in the
+//	         column's dictionary
 //	uint32   IEEE CRC-32 of everything above (little endian)
+//
+// Dictionary compression is what makes snapshots of shredded corpora
+// small: the repetitive element/attr-name and PCDATA strings collapse
+// to one dictionary entry plus a varint code per occurrence.
 //
 // Snapshots are published atomically: written to a .tmp file, synced,
 // then renamed into place. Hash-index contents are rebuilt from the
 // rows on load; ordered indexes are recreated dirty and rebuild lazily.
 
-var snapMagic = [8]byte{'X', 'R', 'D', 'B', 'S', 'N', 'P', '1'}
+var (
+	snapMagic   = [8]byte{'X', 'R', 'D', 'B', 'S', 'N', 'P', '2'}
+	snapMagicV1 = [8]byte{'X', 'R', 'D', 'B', 'S', 'N', 'P', '1'}
+)
 
 // snapTableHeader is the per-table JSON header of a snapshot.
 type snapTableHeader struct {
 	Def     *rel.Table    `json:"def"`
 	Indexes []snapIndex   `json:"indexes,omitempty"`
 	Ordered []snapOrdered `json:"ordered,omitempty"`
+	// DictCols names the columns whose dictionaries follow the header,
+	// in emission order.
+	DictCols []string `json:"dict_cols,omitempty"`
 }
 
 type snapIndex struct {
@@ -49,6 +64,75 @@ type snapIndex struct {
 type snapOrdered struct {
 	Name string `json:"name"`
 	Col  string `json:"col"`
+}
+
+// appendSnapVal extends the WAL value codec with dictionary coding:
+// TEXT values found in the column's persisted dictionary are written as
+// 'd' + uvarint code; everything else (including post-ANALYZE strings
+// the dictionary has never seen) uses the plain codec.
+func appendSnapVal(buf []byte, v any, d *colDict) ([]byte, error) {
+	if d != nil {
+		if s, ok := v.(string); ok {
+			if code, ok := d.lookup(s); ok {
+				buf = append(buf, 'd')
+				return binary.AppendUvarint(buf, uint64(code)), nil
+			}
+		}
+	}
+	return appendWALVal(buf, v)
+}
+
+func appendSnapRow(buf []byte, row []any, dicts []*colDict) ([]byte, error) {
+	buf = binary.AppendUvarint(buf, uint64(len(row)))
+	var err error
+	for i, v := range row {
+		var d *colDict
+		if i < len(dicts) {
+			d = dicts[i]
+		}
+		if buf, err = appendSnapVal(buf, v, d); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// snapVal decodes one value, resolving 'd' tags against the column's
+// dictionary.
+func (r *walReader) snapVal(d *colDict) (any, error) {
+	if r.pos < len(r.data) && r.data[r.pos] == 'd' {
+		r.pos++
+		code, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if d == nil || code >= uint64(len(d.vals)) {
+			return nil, errWALCorrupt
+		}
+		return d.vals[code], nil
+	}
+	return r.val()
+}
+
+func (r *walReader) snapRow(dicts []*colDict) ([]any, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.data)-r.pos) { // each value costs >= 1 byte
+		return nil, errWALCorrupt
+	}
+	row := make([]any, n)
+	for i := range row {
+		var d *colDict
+		if i < len(dicts) {
+			d = dicts[i]
+		}
+		if row[i], err = r.snapVal(d); err != nil {
+			return nil, err
+		}
+	}
+	return row, nil
 }
 
 // encodeSnapshot serializes the database under the caller's locks
@@ -70,12 +154,30 @@ func (db *DB) encodeSnapshot(seq uint64) ([]byte, error) {
 		for _, ox := range t.ordered {
 			hdr.Ordered = append(hdr.Ordered, snapOrdered{Name: ox.name, Col: t.def.Columns[ox.col].Name})
 		}
+		var dicts []*colDict
+		if len(t.dicts) == len(t.def.Columns) {
+			dicts = t.dicts
+			for c, d := range t.dicts {
+				if d != nil {
+					hdr.DictCols = append(hdr.DictCols, t.def.Columns[c].Name)
+				}
+			}
+		}
 		hj, err := json.Marshal(hdr)
 		if err != nil {
 			return nil, err
 		}
 		buf = binary.AppendUvarint(buf, uint64(len(hj)))
 		buf = append(buf, hj...)
+		for _, d := range dicts {
+			if d == nil {
+				continue
+			}
+			buf = binary.AppendUvarint(buf, uint64(len(d.vals)))
+			for _, s := range d.vals {
+				buf = appendWALString(buf, s)
+			}
+		}
 		buf = binary.AppendUvarint(buf, uint64(len(t.rows)))
 		for _, row := range t.rows {
 			if row == nil {
@@ -83,7 +185,7 @@ func (db *DB) encodeSnapshot(seq uint64) ([]byte, error) {
 				continue
 			}
 			buf = append(buf, 1)
-			if buf, err = appendWALRow(buf, row); err != nil {
+			if buf, err = appendSnapRow(buf, row, dicts); err != nil {
 				return nil, err
 			}
 		}
@@ -141,7 +243,13 @@ func loadSnapshot(data []byte) (tables map[string]*table, order []string, seq ui
 	if len(data) < len(snapMagic)+4 {
 		return nil, nil, 0, fmt.Errorf("engine: snapshot too short")
 	}
-	if string(data[:len(snapMagic)]) != string(snapMagic[:]) {
+	var withDicts bool
+	switch string(data[:len(snapMagic)]) {
+	case string(snapMagic[:]):
+		withDicts = true
+	case string(snapMagicV1[:]):
+		withDicts = false
+	default:
 		return nil, nil, 0, fmt.Errorf("engine: bad snapshot magic")
 	}
 	body, crc := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
@@ -198,6 +306,41 @@ func loadSnapshot(data []byte) (tables map[string]*table, order []string, seq ui
 			}
 			t.ordered[oxh.Name] = &orderedIndex{name: oxh.Name, col: pos, dirty: true}
 		}
+		// Dictionary sections, in dict_cols order.
+		var dicts []*colDict
+		if withDicts && len(hdr.DictCols) > 0 {
+			dicts = make([]*colDict, len(t.def.Columns))
+			for _, cn := range hdr.DictCols {
+				_, pos := t.def.Column(cn)
+				if pos < 0 {
+					return nil, nil, 0, fmt.Errorf("engine: snapshot dictionary on missing column %q", cn)
+				}
+				if dicts[pos] != nil {
+					return nil, nil, 0, fmt.Errorf("engine: snapshot duplicates dictionary for column %q", cn)
+				}
+				nvals, err := r.uvarint()
+				if err != nil {
+					return nil, nil, 0, err
+				}
+				if nvals > uint64(len(body)-r.pos)+1 {
+					return nil, nil, 0, errWALCorrupt
+				}
+				d := newColDict(int(nvals))
+				for j := uint64(0); j < nvals; j++ {
+					s, err := r.str()
+					if err != nil {
+						return nil, nil, 0, err
+					}
+					d.add(s)
+				}
+				dicts[pos] = d
+			}
+			t.dicts = dicts
+		} else if withDicts && hdr.DictCols != nil {
+			// An analyzed table may legitimately have zero encoded columns;
+			// keep a full-width nil slice so ANALYZE state survives.
+			t.dicts = make([]*colDict, len(t.def.Columns))
+		}
 		nrows, err := r.uvarint()
 		if err != nil {
 			return nil, nil, 0, err
@@ -215,7 +358,7 @@ func loadSnapshot(data []byte) (tables map[string]*table, order []string, seq ui
 			case 0:
 				t.rows = append(t.rows, nil)
 			case 1:
-				row, err := r.row()
+				row, err := r.snapRow(dicts)
 				if err != nil {
 					return nil, nil, 0, err
 				}

@@ -281,6 +281,13 @@ func TestExplainGoldenPlans(t *testing.T) {
 		{"left_join", `SELECT a.name, b.title FROM authors a LEFT JOIN books b ON b.author = a.id ORDER BY a.name, b.title`},
 		{"topk", `SELECT title FROM books ORDER BY year DESC, title LIMIT 2`},
 		{"aggregate", `SELECT a.name, COUNT(*) AS n FROM books b JOIN authors a ON b.author = a.id GROUP BY a.name ORDER BY a.name`},
+		// Vectorized pipelines and the fallback boundary (vector.go):
+		// grouped aggregation over a scan batches; a LIKE predicate is
+		// outside the compiled kernels and keeps the row-at-a-time tree;
+		// a LIMIT above a vectorized projection bounds the first batch.
+		{"vec_aggregate", `SELECT author, COUNT(*) AS n, MAX(year) AS y FROM books GROUP BY author ORDER BY author`},
+		{"vec_fallback", `SELECT title FROM books WHERE title LIKE 'X%'`},
+		{"vec_limit", `SELECT title FROM books WHERE year >= 1999 LIMIT 2`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

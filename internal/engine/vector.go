@@ -1,0 +1,893 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+
+	"xmlrdb/internal/sqldb"
+)
+
+// Vectorized batch execution: when a plan's hot pipeline is exactly
+// scan → [pushed predicates] → aggregate-or-project, the planner swaps
+// the top of that subtree for a vecNode that pulls row positions in
+// batches, filters them through compiled predicate kernels over a
+// selection vector, and aggregates or projects in tight loops reading
+// the table's rows directly — no per-row wide-row allocation, no
+// expression-tree interpretation. On dictionary-encoded columns
+// (dict.go) equality, IN and IS NULL predicates compare integer codes
+// instead of strings, and single-column GROUP BY keys index a dense
+// group table by code.
+//
+// The rewrite is conservative: anything it cannot prove equivalent —
+// joins, residual filters, LIKE/OR/expression predicates, HAVING,
+// DISTINCT aggregates, computed projections, ORDER BY keys that need
+// the input row — leaves the row-at-a-time tree untouched, so the two
+// paths always produce identical results (pinned by equivalence tests).
+// SQL semantics mirrored bit-for-bit from operators.go / exec.go:
+// NULL comparisons are false, IN over NULL is false regardless of NOT,
+// aggregates skip NULLs, SUM stays int64 until a float appears, groups
+// emit in first-seen order, empty non-grouped input yields one group.
+
+// vecBatchMax is the full batch size; the first batches ramp up through
+// vecBatchRamp so a LIMIT above the pipeline still reads O(limit) rows.
+const vecBatchMax = 1024
+
+var vecBatchRamp = [...]int{64, 256, vecBatchMax}
+
+// --- compiled predicates ---
+
+const (
+	vpBin    = iota // col <op> literal
+	vpIn            // col [NOT] IN (literals)
+	vpIsNull        // col IS [NOT] NULL
+)
+
+// vecPred is one pushed scan predicate in compiled form: a table-local
+// column index against constant operands.
+type vecPred struct {
+	kind   int
+	col    int
+	op     string // vpBin: OpEq/OpNe/OpLt/OpLe/OpGt/OpGe
+	lit    any
+	list   []any
+	negate bool
+}
+
+// Dict-resolved predicate modes (resolved at open against the table's
+// current code sidecar).
+const (
+	prValue   = iota // evaluate against the stored value
+	prNever          // constant false: empty selection
+	prEqCode         // code == c
+	prNeCode         // code != c and not NULL
+	prNotNull        // not NULL (Ne against a value outside the dict)
+	prInSet          // code-set membership
+	prIsNull         // NULL test via the code vector
+)
+
+// predRun is a predicate bound to one execution: either a code-vector
+// kernel or a per-value closure.
+type predRun struct {
+	mode   int
+	col    int
+	codes  []uint32
+	code   uint32
+	set    map[uint32]struct{}
+	negate bool
+	val    func(any) bool
+}
+
+// compileVecPreds translates the scan's pushed predicates; any conjunct
+// outside the supported shapes rejects the whole pipeline (clean
+// fallback to the row-at-a-time tree).
+func compileVecPreds(scan *scanNode) ([]vecPred, bool) {
+	flip := map[string]string{
+		sqldb.OpEq: sqldb.OpEq, sqldb.OpNe: sqldb.OpNe,
+		sqldb.OpLt: sqldb.OpGt, sqldb.OpLe: sqldb.OpGe,
+		sqldb.OpGt: sqldb.OpLt, sqldb.OpGe: sqldb.OpLe,
+	}
+	out := make([]vecPred, 0, len(scan.preds))
+	for _, pr := range scan.preds {
+		switch x := pr.(type) {
+		case *sqldb.Bin:
+			switch x.Op {
+			case sqldb.OpEq, sqldb.OpNe, sqldb.OpLt, sqldb.OpLe, sqldb.OpGt, sqldb.OpGe:
+			default:
+				return nil, false
+			}
+			col, lit := asColLit(x.L, x.R)
+			op := x.Op
+			if col == nil {
+				col, lit = asColLit(x.R, x.L)
+				op = flip[x.Op]
+			}
+			if col == nil {
+				return nil, false
+			}
+			ci, ok := vecResolveCol(scan, col)
+			if !ok {
+				return nil, false
+			}
+			v, err := evalConst(lit)
+			if err != nil {
+				return nil, false
+			}
+			out = append(out, vecPred{kind: vpBin, col: ci, op: op, lit: v})
+		case *sqldb.In:
+			c, ok := x.X.(*sqldb.Col)
+			if !ok {
+				return nil, false
+			}
+			ci, ok := vecResolveCol(scan, c)
+			if !ok {
+				return nil, false
+			}
+			vals := make([]any, len(x.List))
+			for i, cand := range x.List {
+				l, ok := cand.(*sqldb.Lit)
+				if !ok {
+					return nil, false
+				}
+				vals[i] = l.Value
+			}
+			out = append(out, vecPred{kind: vpIn, col: ci, list: vals, negate: x.Negate})
+		case *sqldb.IsNull:
+			c, ok := x.X.(*sqldb.Col)
+			if !ok {
+				return nil, false
+			}
+			ci, ok := vecResolveCol(scan, c)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, vecPred{kind: vpIsNull, col: ci, negate: x.Negate})
+		default:
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// vecResolveCol resolves a column reference to a table-local index on
+// the scanned source.
+func vecResolveCol(scan *scanNode, c *sqldb.Col) (int, bool) {
+	if c.Table != "" && c.Table != scan.src.ref.Name() {
+		return 0, false
+	}
+	_, pos := scan.src.t.def.Column(c.Name)
+	if pos < 0 {
+		return 0, false
+	}
+	return pos, true
+}
+
+// compilePredRun binds a predicate to the execution's code sidecar,
+// choosing the dictionary kernel when the column is encoded. TEXT
+// columns hold only strings (coerce guarantees it, and buildVecCache
+// disables encoding otherwise), so a literal of any other type can
+// never equal a stored value.
+func compilePredRun(p vecPred, vc *vecCache) predRun {
+	var codes []uint32
+	var d *colDict
+	if p.col < len(vc.codes) && vc.codes[p.col] != nil {
+		codes, d = vc.codes[p.col], vc.dicts[p.col]
+	}
+	if codes != nil {
+		switch p.kind {
+		case vpIsNull:
+			return predRun{mode: prIsNull, codes: codes, negate: p.negate}
+		case vpIn:
+			set := make(map[uint32]struct{}, len(p.list))
+			for _, cand := range p.list {
+				if s, ok := cand.(string); ok {
+					if c, ok := d.lookup(s); ok {
+						set[c] = struct{}{}
+					}
+				}
+			}
+			if len(set) == 0 && !p.negate {
+				return predRun{mode: prNever}
+			}
+			return predRun{mode: prInSet, codes: codes, set: set, negate: p.negate}
+		case vpBin:
+			switch p.op {
+			case sqldb.OpEq:
+				s, ok := p.lit.(string)
+				if !ok {
+					return predRun{mode: prNever}
+				}
+				c, ok := d.lookup(s)
+				if !ok {
+					// The effective dictionary covers every present value, so
+					// a miss means no row matches.
+					return predRun{mode: prNever}
+				}
+				return predRun{mode: prEqCode, codes: codes, code: c}
+			case sqldb.OpNe:
+				if p.lit == nil {
+					return predRun{mode: prNever}
+				}
+				if s, ok := p.lit.(string); ok {
+					if c, ok := d.lookup(s); ok {
+						return predRun{mode: prNeCode, codes: codes, code: c}
+					}
+				}
+				// Literal not present (or not a string): every non-NULL
+				// value differs.
+				return predRun{mode: prNotNull, codes: codes}
+			}
+		}
+	}
+	return predRun{mode: prValue, col: p.col, val: valuePred(p)}
+}
+
+// valuePred builds the per-value fallback closure, mirroring evalExpr's
+// NULL semantics exactly.
+func valuePred(p vecPred) func(any) bool {
+	switch p.kind {
+	case vpIsNull:
+		neg := p.negate
+		return func(v any) bool { return (v == nil) != neg }
+	case vpIn:
+		list, neg := p.list, p.negate
+		return func(v any) bool {
+			if v == nil {
+				return false
+			}
+			for _, cand := range list {
+				if equalVals(v, cand) {
+					return !neg
+				}
+			}
+			return neg
+		}
+	}
+	lit := p.lit
+	switch p.op {
+	case sqldb.OpEq:
+		return func(v any) bool { return equalVals(v, lit) }
+	case sqldb.OpNe:
+		return func(v any) bool { return v != nil && lit != nil && compare(v, lit) != 0 }
+	case sqldb.OpLt:
+		return func(v any) bool { return v != nil && lit != nil && compare(v, lit) < 0 }
+	case sqldb.OpLe:
+		return func(v any) bool { return v != nil && lit != nil && compare(v, lit) <= 0 }
+	case sqldb.OpGt:
+		return func(v any) bool { return v != nil && lit != nil && compare(v, lit) > 0 }
+	default: // OpGe
+		return func(v any) bool { return v != nil && lit != nil && compare(v, lit) >= 0 }
+	}
+}
+
+// filter narrows a selection vector in place.
+func (r *predRun) filter(rows [][]any, sel []int) []int {
+	out := sel[:0]
+	switch r.mode {
+	case prNever:
+	case prEqCode:
+		for _, pos := range sel {
+			if r.codes[pos] == r.code {
+				out = append(out, pos)
+			}
+		}
+	case prNeCode:
+		for _, pos := range sel {
+			if c := r.codes[pos]; c != dictNull && c != r.code {
+				out = append(out, pos)
+			}
+		}
+	case prNotNull:
+		for _, pos := range sel {
+			if r.codes[pos] != dictNull {
+				out = append(out, pos)
+			}
+		}
+	case prInSet:
+		for _, pos := range sel {
+			c := r.codes[pos]
+			if c == dictNull {
+				continue
+			}
+			_, in := r.set[c]
+			if in != r.negate {
+				out = append(out, pos)
+			}
+		}
+	case prIsNull:
+		for _, pos := range sel {
+			if (r.codes[pos] == dictNull) != r.negate {
+				out = append(out, pos)
+			}
+		}
+	default: // prValue
+		for _, pos := range sel {
+			if r.val(rows[pos][r.col]) {
+				out = append(out, pos)
+			}
+		}
+	}
+	return out
+}
+
+// --- compiled aggregate / projection ---
+
+// vecAggItem is one output of a vectorized aggregate: a plain group
+// column ('c', first-row value), COUNT(*) ('*'), or a one-column
+// aggregate ('a').
+type vecAggItem struct {
+	kind byte
+	col  int
+	fn   string
+}
+
+type vecAggPlan struct {
+	groupCols []int
+	items     []vecAggItem
+	accOf     []int // per item: accumulator index, -1 for non-aggregates
+	nAccs     int
+	orderIdx  []int // per ORDER BY key: source output index
+}
+
+type vecProjPlan struct {
+	cols     []int
+	orderIdx []int
+}
+
+// vecOrderIdx maps ORDER BY keys onto output indexes, following
+// orderKey's resolution rules (output-column name match first, then
+// positional). Keys that would fall back to expression evaluation —
+// which needs the input row — reject the pipeline.
+func vecOrderIdx(orderBy []sqldb.OrderItem, items []sqldb.SelectItem, cols []string) ([]int, bool) {
+	idx := make([]int, len(orderBy))
+	for j, oi := range orderBy {
+		if c, ok := oi.Expr.(*sqldb.Col); ok && c.Table == "" {
+			found := -1
+			for i, name := range cols {
+				if name == c.Name {
+					found = i
+					break
+				}
+			}
+			if found < 0 {
+				return nil, false
+			}
+			idx[j] = found
+			continue
+		}
+		if l, ok := oi.Expr.(*sqldb.Lit); ok {
+			if n, isInt := l.Value.(int64); isInt && n >= 1 && int(n) <= len(items) {
+				idx[j] = int(n - 1)
+				continue
+			}
+		}
+		return nil, false
+	}
+	return idx, true
+}
+
+// compileVecAgg attempts the vectorized rewrite of an Aggregate
+// directly over a scan.
+func compileVecAgg(n *aggNode) *vecNode {
+	scan, ok := n.child.(*scanNode)
+	if !ok {
+		return nil
+	}
+	preds, ok := compileVecPreds(scan)
+	if !ok {
+		return nil
+	}
+	if n.sel.Having != nil {
+		return nil
+	}
+	a := &vecAggPlan{accOf: make([]int, len(n.items))}
+	for _, g := range n.sel.GroupBy {
+		c, ok := g.(*sqldb.Col)
+		if !ok {
+			return nil
+		}
+		col, ok := vecResolveCol(scan, c)
+		if !ok {
+			return nil
+		}
+		a.groupCols = append(a.groupCols, col)
+	}
+	for i, it := range n.items {
+		a.accOf[i] = -1
+		switch x := it.Expr.(type) {
+		case *sqldb.Col:
+			col, ok := vecResolveCol(scan, x)
+			if !ok {
+				return nil
+			}
+			a.items = append(a.items, vecAggItem{kind: 'c', col: col})
+		case *sqldb.Call:
+			if !x.IsAggregate() || x.Distinct {
+				return nil
+			}
+			if x.Star {
+				if x.Fn != "COUNT" {
+					return nil
+				}
+				a.items = append(a.items, vecAggItem{kind: '*'})
+				continue
+			}
+			switch x.Fn {
+			case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			default:
+				return nil
+			}
+			if len(x.Args) != 1 {
+				return nil
+			}
+			c, ok := x.Args[0].(*sqldb.Col)
+			if !ok {
+				return nil
+			}
+			col, ok := vecResolveCol(scan, c)
+			if !ok {
+				return nil
+			}
+			a.accOf[i] = a.nAccs
+			a.nAccs++
+			a.items = append(a.items, vecAggItem{kind: 'a', col: col, fn: x.Fn})
+		default:
+			return nil
+		}
+	}
+	idx, ok := vecOrderIdx(n.sel.OrderBy, n.items, n.cols)
+	if !ok {
+		return nil
+	}
+	a.orderIdx = idx
+	return &vecNode{nodeBase: nodeBase{hint: n.hint}, inner: n, scan: scan, preds: preds, agg: a}
+}
+
+// compileVecProj attempts the vectorized rewrite of a plain-column
+// projection directly over a scan.
+func compileVecProj(n *projectNode) *vecNode {
+	scan, ok := n.child.(*scanNode)
+	if !ok {
+		return nil
+	}
+	preds, ok := compileVecPreds(scan)
+	if !ok {
+		return nil
+	}
+	p := &vecProjPlan{}
+	for _, it := range n.items {
+		c, ok := it.Expr.(*sqldb.Col)
+		if !ok {
+			return nil
+		}
+		col, ok := vecResolveCol(scan, c)
+		if !ok {
+			return nil
+		}
+		p.cols = append(p.cols, col)
+	}
+	idx, ok := vecOrderIdx(n.sel.OrderBy, n.items, n.cols)
+	if !ok {
+		return nil
+	}
+	p.orderIdx = idx
+	return &vecNode{nodeBase: nodeBase{hint: n.hint}, inner: n, scan: scan, preds: preds, proj: p}
+}
+
+// vectorize rewrites the vectorizable pipelines of a plan tree,
+// descending through the streaming wrapper operators. Everything it
+// does not recognize is left as built.
+func (db *DB) vectorize(node planNode) planNode {
+	return db.vectorizeBudget(node, -1)
+}
+
+// vectorizeBudget carries the row budget a LIMIT/OFFSET chain imposes
+// on a streaming pipeline below it, so the first batch of a vectorized
+// projection under LIMIT k reads O(k) rows — preserving the iterator
+// model's short-circuit guarantee. Pipeline breakers (sort, top-k) and
+// Distinct consume an unbounded amount of input, so they reset it.
+func (db *DB) vectorizeBudget(node planNode, budget int) planNode {
+	switch n := node.(type) {
+	case *limitNode:
+		n.child = db.vectorizeBudget(n.child, n.n)
+	case *offsetNode:
+		if budget >= 0 {
+			budget += n.n
+		}
+		n.child = db.vectorizeBudget(n.child, budget)
+	case *distinctNode:
+		n.child = db.vectorizeBudget(n.child, -1)
+	case *sortNode:
+		n.child = db.vectorizeBudget(n.child, -1)
+	case *topKNode:
+		n.child = db.vectorizeBudget(n.child, -1)
+	case *aggNode:
+		if v := compileVecAgg(n); v != nil {
+			return v
+		}
+		db.countVecFallback(n.child)
+	case *projectNode:
+		if v := compileVecProj(n); v != nil {
+			if budget >= 0 && budget < vecBatchRamp[0] {
+				v.firstBatch = budget
+			}
+			return v
+		}
+		db.countVecFallback(n.child)
+	}
+	return node
+}
+
+// countVecFallback counts pipelines that had the vectorizable shape
+// (aggregate/project directly over a scan) but could not be compiled.
+func (db *DB) countVecFallback(child planNode) {
+	if db.obs == nil {
+		return
+	}
+	if _, ok := child.(*scanNode); ok {
+		db.obs.VecFallbacks.Inc()
+	}
+}
+
+// --- the vecNode operator ---
+
+// vecNode replaces an aggNode or projectNode (kept as its only child,
+// so EXPLAIN still renders the logical pipeline) and executes the whole
+// scan → filter → aggregate/project chain batch-at-a-time.
+type vecNode struct {
+	nodeBase
+	inner planNode // the replaced aggregate/project node
+	scan  *scanNode
+	preds []vecPred
+	agg   *vecAggPlan
+	proj  *vecProjPlan
+
+	// firstBatch overrides the first ramp step when a LIMIT above the
+	// pipeline bounds how many rows will be pulled.
+	firstBatch int
+
+	batches  int64
+	selRows  int64
+	batchSel []int64
+}
+
+func (n *vecNode) kind() string         { return "vec" }
+func (n *vecNode) children() []planNode { return []planNode{n.inner} }
+
+func (n *vecNode) describe() string {
+	shape := "project"
+	if n.agg != nil {
+		shape = "aggregate"
+	}
+	return fmt.Sprintf("VecPipeline(%s) [vec, batch<=%d]", shape, vecBatchMax)
+}
+
+// rowsPerBatch is the mean post-filter selection size, for EXPLAIN.
+func (n *vecNode) rowsPerBatch() int64 {
+	if n.batches == 0 {
+		return 0
+	}
+	return n.selRows / n.batches
+}
+
+func (n *vecNode) open(ec *execCtx) (rowIter, error) {
+	t := n.scan.src.t
+	if t.obs != nil {
+		if n.scan.access == accessSeq {
+			t.obs.Scans.Inc()
+		} else {
+			t.obs.IndexHits.Inc()
+		}
+	}
+	vc := t.vecSidecar()
+	runs := make([]predRun, len(n.preds))
+	for i, p := range n.preds {
+		runs[i] = compilePredRun(p, vc)
+	}
+	it := &vecIter{n: n, ec: ec, ex: &vecExec{n: n, t: t, runs: runs}, vc: vc}
+	if n.agg != nil {
+		// Aggregation is a pipeline breaker, exactly like aggNode.
+		if err := it.runAgg(); err != nil {
+			return nil, err
+		}
+		it.done = true
+	}
+	return it, nil
+}
+
+// vecExec feeds batches of live row positions through the predicate
+// kernels.
+type vecExec struct {
+	n      *vecNode
+	t      *table
+	runs   []predRun
+	cursor int
+	ramp   int
+	buf    []int
+}
+
+// nextBatch returns the next batch's surviving positions; ok=false when
+// the scan is exhausted. Cancellation is polled once per batch.
+func (e *vecExec) nextBatch(ec *execCtx) (sel []int, ok bool, err error) {
+	size := vecBatchRamp[e.ramp]
+	if e.ramp == 0 && e.n.firstBatch > 0 && e.n.firstBatch < size {
+		size = e.n.firstBatch
+	}
+	if e.ramp < len(vecBatchRamp)-1 {
+		e.ramp++
+	}
+	sc := e.n.scan
+	e.buf = e.buf[:0]
+	if sc.positions != nil {
+		for e.cursor < len(sc.positions) && len(e.buf) < size {
+			pos := sc.positions[e.cursor]
+			e.cursor++
+			if e.t.rows[pos] == nil {
+				continue
+			}
+			sc.visited++
+			e.buf = append(e.buf, pos)
+		}
+	} else {
+		for e.cursor < len(e.t.rows) && len(e.buf) < size {
+			pos := e.cursor
+			e.cursor++
+			if e.t.rows[pos] == nil {
+				continue
+			}
+			sc.visited++
+			e.buf = append(e.buf, pos)
+		}
+	}
+	if len(e.buf) == 0 {
+		return nil, false, nil
+	}
+	if err := ec.cc.now(); err != nil {
+		return nil, false, err
+	}
+	sel = e.buf
+	for i := range e.runs {
+		if len(sel) == 0 {
+			break
+		}
+		sel = e.runs[i].filter(e.t.rows, sel)
+	}
+	e.n.batches++
+	e.n.selRows += int64(len(sel))
+	e.n.batchSel = append(e.n.batchSel, int64(len(sel)))
+	sc.st.rows += int64(len(sel))
+	return sel, true, nil
+}
+
+type vecIter struct {
+	n    *vecNode
+	ec   *execCtx
+	ex   *vecExec
+	vc   *vecCache
+	out  [][]any
+	oi   int
+	done bool
+}
+
+func (it *vecIter) Next() ([]any, error) {
+	for it.oi >= len(it.out) {
+		if it.done {
+			return nil, io.EOF
+		}
+		if err := it.fill(); err != nil {
+			return nil, err
+		}
+	}
+	row := it.out[it.oi]
+	it.oi++
+	// The replaced node never opens, so keep its row count live for
+	// EXPLAIN and the per-operator metrics.
+	it.n.inner.stats().rows++
+	return row, nil
+}
+
+// fill materializes the projection of one batch (streaming: a LIMIT
+// above stops the scan after the current batch).
+func (it *vecIter) fill() error {
+	sel, ok, err := it.ex.nextBatch(it.ec)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		it.done = true
+		return nil
+	}
+	p := it.n.proj
+	rows := it.ex.t.rows
+	width := len(p.cols) + len(p.orderIdx)
+	out := it.out[:0]
+	for _, pos := range sel {
+		row := rows[pos]
+		o := make([]any, width)
+		for i, c := range p.cols {
+			o[i] = row[c]
+		}
+		for j, oi := range p.orderIdx {
+			o[len(p.cols)+j] = o[oi]
+		}
+		out = append(out, o)
+	}
+	it.out, it.oi = out, 0
+	return nil
+}
+
+// --- vectorized aggregation ---
+
+// vecAcc is one aggregate accumulator, mirroring aggEnv.aggregate:
+// count of non-NULL inputs, parallel int/float sums (SUM stays integer
+// until a float appears), and the current MIN/MAX candidate.
+type vecAcc struct {
+	count   int64
+	isum    int64
+	fsum    float64
+	allInt  bool
+	best    any
+	hasBest bool
+}
+
+type vecGroup struct {
+	firstPos int
+	count    int64
+	accs     []vecAcc
+}
+
+func newVecGroup(firstPos, nAccs int) vecGroup {
+	g := vecGroup{firstPos: firstPos, accs: make([]vecAcc, nAccs)}
+	for i := range g.accs {
+		g.accs[i].allInt = true
+	}
+	return g
+}
+
+// runAgg consumes the whole scan, grouping and accumulating in place,
+// then materializes the output rows in first-seen group order.
+func (it *vecIter) runAgg() error {
+	a := it.n.agg
+	rows := it.ex.t.rows
+	var groups []vecGroup
+
+	// Group-id assignment: a single dictionary-encoded key indexes a
+	// dense slot table by code (NULL gets the last slot); otherwise the
+	// key columns are encoded into a hash key per row.
+	var codes []uint32
+	var slots []int32
+	var byKey map[string]int
+	if len(a.groupCols) == 1 && a.groupCols[0] < len(it.vc.codes) && it.vc.codes[a.groupCols[0]] != nil {
+		codes = it.vc.codes[a.groupCols[0]]
+		slots = make([]int32, len(it.vc.dicts[a.groupCols[0]].vals)+1)
+		for i := range slots {
+			slots[i] = -1
+		}
+	} else if len(a.groupCols) > 0 {
+		byKey = make(map[string]int)
+	}
+
+	for {
+		sel, ok, err := it.ex.nextBatch(it.ec)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		for _, pos := range sel {
+			row := rows[pos]
+			var gid int
+			switch {
+			case slots != nil:
+				slot := len(slots) - 1
+				if c := codes[pos]; c != dictNull {
+					slot = int(c)
+				}
+				if slots[slot] < 0 {
+					slots[slot] = int32(len(groups))
+					groups = append(groups, newVecGroup(pos, a.nAccs))
+				}
+				gid = int(slots[slot])
+			case byKey != nil:
+				k := encodeKeyCols(row, a.groupCols)
+				g, seen := byKey[k]
+				if !seen {
+					g = len(groups)
+					byKey[k] = g
+					groups = append(groups, newVecGroup(pos, a.nAccs))
+				}
+				gid = g
+			default:
+				if len(groups) == 0 {
+					groups = append(groups, newVecGroup(pos, a.nAccs))
+				}
+				gid = 0
+			}
+			g := &groups[gid]
+			g.count++
+			for i, item := range a.items {
+				if item.kind != 'a' {
+					continue
+				}
+				v := row[item.col]
+				if v == nil {
+					continue
+				}
+				acc := &g.accs[a.accOf[i]]
+				switch item.fn {
+				case "COUNT":
+					acc.count++
+				case "MIN":
+					if !acc.hasBest || compare(v, acc.best) < 0 {
+						acc.best, acc.hasBest = v, true
+					}
+				case "MAX":
+					if !acc.hasBest || compare(v, acc.best) > 0 {
+						acc.best, acc.hasBest = v, true
+					}
+				default: // SUM, AVG
+					acc.count++
+					if iv, isInt := v.(int64); isInt {
+						acc.isum += iv
+						acc.fsum += float64(iv)
+					} else {
+						f, numeric := toFloat(v)
+						if !numeric {
+							return fmt.Errorf("engine: %s over non-numeric value %T", item.fn, v)
+						}
+						acc.allInt = false
+						acc.fsum += f
+					}
+				}
+			}
+		}
+	}
+
+	if len(groups) == 0 && len(a.groupCols) == 0 {
+		// Aggregate over an empty input still yields one group.
+		groups = append(groups, newVecGroup(-1, a.nAccs))
+	}
+	out := make([][]any, 0, len(groups))
+	for gi := range groups {
+		g := &groups[gi]
+		row := make([]any, len(a.items)+len(a.orderIdx))
+		for i, item := range a.items {
+			switch item.kind {
+			case 'c':
+				if g.firstPos >= 0 {
+					row[i] = rows[g.firstPos][item.col]
+				}
+			case '*':
+				row[i] = g.count
+			default: // 'a'
+				acc := &g.accs[a.accOf[i]]
+				switch item.fn {
+				case "COUNT":
+					row[i] = acc.count
+				case "MIN", "MAX":
+					if acc.hasBest {
+						row[i] = acc.best
+					}
+				case "SUM":
+					if acc.count > 0 {
+						if acc.allInt {
+							row[i] = acc.isum
+						} else {
+							row[i] = acc.fsum
+						}
+					}
+				default: // AVG
+					if acc.count > 0 {
+						row[i] = acc.fsum / float64(acc.count)
+					}
+				}
+			}
+		}
+		for j, oi := range a.orderIdx {
+			row[len(a.items)+j] = row[oi]
+		}
+		out = append(out, row)
+	}
+	it.out = out
+	return nil
+}

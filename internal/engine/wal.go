@@ -34,12 +34,13 @@ import (
 
 // Frame kinds.
 const (
-	frameInsert byte = 1 // table, row
-	frameBatch  byte = 2 // table, rows
-	frameMulti  byte = 3 // (table, rows)* — one atomic multi-table batch
-	frameUpdate byte = 4 // table, (pos, post-image row)*
-	frameDelete byte = 5 // table, pos*
-	frameDDL    byte = 6 // JSON ddlRecord
+	frameInsert  byte = 1 // table, row
+	frameBatch   byte = 2 // table, rows
+	frameMulti   byte = 3 // (table, rows)* — one atomic multi-table batch
+	frameUpdate  byte = 4 // table, (pos, post-image row)*
+	frameDelete  byte = 5 // table, pos*
+	frameDDL     byte = 6 // JSON ddlRecord
+	frameAnalyze byte = 7 // table, per-column dictionaries (dict.go)
 )
 
 // walMaxFrame bounds a single frame body; larger length prefixes are

@@ -41,6 +41,9 @@ type Table struct {
 	Notes []string
 	// Text replaces the tabular form for textual artifacts (E1/E2).
 	Text string
+	// JSON, when set, is the experiment's machine-readable result;
+	// cmd/xmlbench -json marshals it alongside the rendered rows.
+	JSON any
 }
 
 // String renders the table with aligned columns.
@@ -93,6 +96,7 @@ func All() []Runner {
 		{"e10", "ablation: attribute distilling (step 2) on/off", E10},
 		{"e11", "ablation: secondary index on IDREF point queries", E11},
 		{"e12", "storage footprint per mapping", E12},
+		{"e14", "vectorized execution: batched + dictionary vs row-at-a-time", E14},
 	}
 }
 

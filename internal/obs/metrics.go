@@ -75,6 +75,12 @@ type Metrics struct {
 	// RowsOut counts rows emitted by SELECT plan roots (streamed or
 	// materialized).
 	RowsOut Counter
+	// Vectorized executor (engine vector.go): batches executed,
+	// post-filter rows-per-batch distribution, and pipelines that had
+	// the vectorizable shape but fell back to row-at-a-time.
+	VecBatches   Counter
+	VecBatchRows Histogram
+	VecFallbacks Counter
 
 	// Shred: document loading.
 	DocsLoaded     Counter
@@ -169,8 +175,11 @@ type Snapshot struct {
 		OtherStmts  int64          `json:"other_stmts"`
 		ExecLatency HistSnapshot   `json:"exec_latency"`
 		SlowQueries int64          `json:"slow_queries"`
-		OpRows      OpRowsSnapshot `json:"op_rows"`
-		RowsOut     int64          `json:"rows_out"`
+		OpRows       OpRowsSnapshot `json:"op_rows"`
+		RowsOut      int64          `json:"rows_out"`
+		VecBatches   int64          `json:"vec_batches,omitempty"`
+		VecBatchRows HistSnapshot   `json:"vec_batch_rows,omitempty"`
+		VecFallbacks int64          `json:"vec_fallbacks,omitempty"`
 	} `json:"engine"`
 	Tables map[string]TableSnapshot `json:"tables,omitempty"`
 	Load   struct {
@@ -258,6 +267,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		Limit:     m.OpLimitRows.Load(),
 	}
 	s.Engine.RowsOut = m.RowsOut.Load()
+	s.Engine.VecBatches = m.VecBatches.Load()
+	s.Engine.VecBatchRows = m.VecBatchRows.Snapshot()
+	s.Engine.VecFallbacks = m.VecFallbacks.Load()
 
 	m.mu.RLock()
 	if len(m.tables) > 0 {
@@ -347,6 +359,10 @@ func (s Snapshot) Report() string {
 		fmt.Fprintf(&b, "engine: op rows scan=%d filter=%d join=%d agg=%d project=%d sort=%d distinct=%d limit=%d out=%d\n",
 			op.Scan, op.Filter, op.Join, op.Aggregate, op.Project,
 			op.Sort, op.Distinct, op.Limit, s.Engine.RowsOut)
+	}
+	if s.Engine.VecBatches > 0 || s.Engine.VecFallbacks > 0 {
+		fmt.Fprintf(&b, "engine: vec batches=%d fallbacks=%d rows per batch %s\n",
+			s.Engine.VecBatches, s.Engine.VecFallbacks, s.Engine.VecBatchRows.SizeSummary())
 	}
 	if len(s.Tables) > 0 {
 		names := make([]string, 0, len(s.Tables))

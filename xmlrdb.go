@@ -369,6 +369,20 @@ func (p *Pipeline) LoadCorpusContext(ctx context.Context, docs []*xmltree.Docume
 // log; it returns engine.ErrNotDurable when no DataDir was configured.
 func (p *Pipeline) Checkpoint() error { return p.DB.Checkpoint() }
 
+// Analyze builds dictionary encodings for the string columns of every
+// table (typically after a bulk load). Encoded columns let the engine
+// run vectorized filters and aggregates over integer codes instead of
+// strings; the dictionaries are durable (logged and snapshotted) on
+// stores with a DataDir.
+func (p *Pipeline) Analyze() error { return p.DB.Analyze() }
+
+// AnalyzeTable is Analyze for a single table.
+func (p *Pipeline) AnalyzeTable(name string) error { return p.DB.AnalyzeTable(name) }
+
+// DictStats reports the dictionary size per encoded column of a table
+// (empty when the table has not been analyzed or nothing encoded).
+func (p *Pipeline) DictStats(name string) map[string]int { return p.DB.DictStats(name) }
+
 // Close flushes and closes the durable store (a no-op for in-memory
 // pipelines). The pipeline must not be used afterwards.
 func (p *Pipeline) Close() error { return p.DB.Close() }

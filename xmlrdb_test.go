@@ -133,6 +133,28 @@ func TestStatsAndDocIDs(t *testing.T) {
 	}
 }
 
+func TestAnalyzeVectorizesPathQuery(t *testing.T) {
+	p := open(t, Config{})
+	if _, err := p.LoadXML(paper.BookXML, "b1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	if ds := p.DictStats("e_book"); len(ds) == 0 {
+		t.Error("no dictionary columns on e_book after Analyze")
+	}
+	// A single-table path query (descendant step, so no x_docs anchor
+	// join) plans as a vectorized pipeline and the EXPLAIN report says so.
+	out, err := p.ExplainPath("//book/booktitle/text()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "VecPipeline") || !strings.Contains(out, "[vec") {
+		t.Errorf("explain lacks vectorized pipeline:\n%s", out)
+	}
+}
+
 func TestOpenErrors(t *testing.T) {
 	if _, err := Open("not a dtd", Config{}); err == nil {
 		t.Error("bad DTD should fail")
