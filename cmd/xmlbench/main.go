@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -57,11 +58,12 @@ func run(args []string, w io.Writer) error {
 		experiments.SlowQuery = time.Duration(*slowMS) * time.Millisecond
 	}
 	if *debugAddr != "" {
-		addr, err := obs.ServeDebug(*debugAddr, obs.Default)
+		ds, err := obs.ServeDebug(*debugAddr, obs.Default, nil)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "debug endpoint on http://%s/debug/metrics\n", addr)
+		defer ds.Close(context.Background())
+		fmt.Fprintf(w, "debug endpoint on http://%s/debug/metrics\n", ds.Addr())
 	}
 
 	if *list {

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"xmlrdb"
+	"xmlrdb/internal/obs"
 	"xmlrdb/internal/serve"
 )
 
@@ -47,6 +48,9 @@ func run(args []string, out io.Writer) error {
 	planCache := fs.Int("plan-cache", 0, "plan cache capacity in entries (0 = default, negative disables)")
 	drainMS := fs.Int("drain-ms", 10000, "graceful-shutdown drain budget in milliseconds")
 	stats := fs.Bool("stats", false, "print the pipeline metrics report on shutdown")
+	slowMS := fs.Int("slow-query-ms", 0, "slow-query threshold in milliseconds: slower statements hit the slow-query log and their request traces are always retained by the flight recorder (0 disables)")
+	traceSample := fs.Int("trace-sample", 1, "request tracing: 1 traces every request, N>1 one in N, negative disables tracing")
+	traceBuf := fs.Int("trace-buffer", 0, "flight-recorder capacity in traces (0 = default 64)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -79,9 +83,17 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	slow := time.Duration(*slowMS) * time.Millisecond
+	if slow > 0 {
+		p.SetSlowQueryThreshold(slow)
+		p.SetTracer(obs.NewWriterTracer(os.Stderr))
+	}
 	srv := serve.New(p, serve.Options{
 		MaxConcurrent:  *maxConc,
 		RequestTimeout: time.Duration(*timeoutMS) * time.Millisecond,
+		SlowQuery:      slow,
+		TraceSample:    *traceSample,
+		Recorder:       obs.NewRecorder(*traceBuf, slow),
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -64,11 +65,12 @@ func run(args []string, w io.Writer) error {
 	}
 	defer p.Close()
 	if *debugAddr != "" {
-		addr, err := obs.ServeDebug(*debugAddr, p.Obs)
+		ds, err := obs.ServeDebug(*debugAddr, p.Obs, nil)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "debug endpoint on http://%s/debug/metrics\n", addr)
+		defer ds.Close(context.Background())
+		fmt.Fprintf(w, "debug endpoint on http://%s/debug/metrics\n", ds.Addr())
 	}
 	if (*workers > 1 || *dataDir != "") && !*verify {
 		// Bulk load: parse every document, then shred the corpus through

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"strings"
 	"time"
 
 	"xmlrdb/internal/obs"
@@ -49,17 +50,41 @@ type selectCursor struct {
 	onClose func(c *selectCursor)
 	start   time.Time
 	sql     string
+	trace   *obs.Trace // request trace, nil when the context carried none
+	span    *obs.Span  // the cursor's engine.select span, ended at Close
 }
 
 // openSelect plans a SELECT and opens its iterator tree. On success the
 // returned cursor holds db.mu shared plus read locks on every source
-// table until Close.
-func (db *DB) openSelect(s *sqldb.Select, cc *cancelCheck, timing bool) (*selectCursor, error) {
+// table until Close. A trace in ctx forces per-operator timing on and
+// records planning and (at Close) operator spans.
+func (db *DB) openSelect(ctx context.Context, s *sqldb.Select, cc *cancelCheck, timing bool) (*selectCursor, error) {
+	tr := obs.TraceFrom(ctx)
+	var selSpan *obs.Span
+	var sampleMask int64
+	if tr != nil {
+		if !timing {
+			// Traced production query: time a 1-in-16 sample of Next
+			// calls rather than every row, so always-on tracing stays
+			// cheap. EXPLAIN (timing already true) keeps full timing.
+			sampleMask = 15
+		}
+		timing = true
+		// StartChild rather than StartSpan: the derived context would
+		// only feed the engine.plan span below, so skip the two
+		// context.WithValue allocations per traced query.
+		selSpan = tr.StartChild(obs.CurrentSpan(ctx), "engine.select")
+	}
+	fail := func(err error) (*selectCursor, error) {
+		selSpan.SetErr(err)
+		selSpan.End()
+		return nil, err
+	}
 	db.mu.RLock()
 	srcs, env, err := db.bindSelect(s)
 	if err != nil {
 		db.mu.RUnlock()
-		return nil, err
+		return fail(err)
 	}
 	reads := make([]string, 0, len(srcs))
 	for _, src := range srcs {
@@ -70,20 +95,29 @@ func (db *DB) openSelect(s *sqldb.Select, cc *cancelCheck, timing bool) (*select
 		rowUnlock()
 		db.mu.RUnlock()
 	}
+	var planSpan *obs.Span
+	if tr != nil {
+		planSpan = tr.StartChild(selSpan, "engine.plan")
+	}
 	plan, err := db.buildPlan(s, srcs, env)
+	if planSpan != nil {
+		planSpan.SetAttr("tables", len(srcs))
+		planSpan.SetErr(err)
+		planSpan.End()
+	}
 	if err != nil {
 		unlock()
-		return nil, err
+		return fail(err)
 	}
-	ec := &execCtx{env: env, cc: cc, timing: timing}
+	ec := &execCtx{env: env, cc: cc, timing: timing, sampleMask: sampleMask}
 	it, err := openNode(plan.root, ec)
 	if err != nil {
 		plan.finish(db)
 		unlock()
-		return nil, err
+		return fail(err)
 	}
 	return &selectCursor{db: db, plan: plan, it: it, ec: ec,
-		unlock: unlock, start: time.Now()}, nil
+		unlock: unlock, start: time.Now(), trace: tr, span: selSpan}, nil
 }
 
 func (c *selectCursor) Cols() []string { return c.plan.cols }
@@ -113,11 +147,15 @@ func (c *selectCursor) Close() error {
 		return nil
 	}
 	c.plan.finish(c.db)
+	c.plan.emitSpans(c.trace, c.span, c.start)
 	c.unlock()
 	c.unlock = nil
 	if c.onClose != nil {
 		c.onClose(c)
 	}
+	c.span.SetAttr("rows", c.plan.root.stats().rows)
+	c.span.SetErr(c.err)
+	c.span.End()
 	return nil
 }
 
@@ -171,11 +209,68 @@ func (p *physPlan) finish(db *DB) {
 	}
 }
 
+// emitSpans records one completed span per operator into the request
+// trace: the node's describe line, its estimated and actual row counts,
+// and the time accounted by its statIter wrapper (timing is forced on
+// for traced cursors). All operator spans attach under parent. The
+// describe/est/rows triple comes from the memoized digest — walkPlan
+// visits nodes in the same order — so traced requests render each
+// operator's describe line once, not once here and once for telemetry.
+func (p *physPlan) emitSpans(tr *obs.Trace, parent *obs.Span, start time.Time) {
+	if tr == nil {
+		return
+	}
+	dig := p.digest()
+	i := 0
+	walkPlan(p.root, 0, func(n planNode, depth int) {
+		st := n.stats()
+		od := dig.Ops[i]
+		i++
+		attrs := []obs.Attr{
+			{Key: "op", Val: od.Name},
+			{Key: "est", Val: od.Est},
+			{Key: "rows", Val: od.Rows},
+		}
+		if v, ok := n.(*vecNode); ok {
+			attrs = append(attrs, obs.Attr{Key: "batches", Val: v.batches})
+		}
+		tr.AddCompletedSpan(parent, "op."+n.kind(),
+			start, time.Duration(st.openNanos+st.estNanos()), attrs...)
+	})
+}
+
+// digest summarizes the executed plan for query telemetry and the
+// slow-query log: per-operator estimated-vs-actual rows, plus a
+// root-first one-line shape. Memoized — the trace's operator spans and
+// the telemetry hook both want it at cursor close, and describe()
+// builds strings.
+func (p *physPlan) digest() *obs.PlanDigest {
+	if p.dig != nil {
+		return p.dig
+	}
+	d := &obs.PlanDigest{}
+	var parts []string
+	walkPlan(p.root, 0, func(n planNode, depth int) {
+		d.Ops = append(d.Ops, obs.OpDigest{
+			Name: n.describe(), Est: int64(n.estimate()), Rows: n.stats().rows,
+		})
+		if len(parts) < 8 {
+			parts = append(parts, n.describe())
+		}
+	})
+	d.Summary = strings.Join(parts, " <- ")
+	if len(d.Summary) > 240 {
+		d.Summary = d.Summary[:237] + "..."
+	}
+	p.dig = d
+	return d
+}
+
 // execSelect runs a SELECT to completion for the materialized APIs
 // (Query, ExecContext): open a cursor, drain it, release the locks
 // before returning.
-func (db *DB) execSelect(s *sqldb.Select, cc *cancelCheck) (*Rows, error) {
-	cur, err := db.openSelect(s, cc, false)
+func (db *DB) execSelect(ctx context.Context, s *sqldb.Select, cc *cancelCheck) (*Rows, error) {
+	cur, err := db.openSelect(ctx, s, cc, false)
 	if err != nil {
 		return nil, err
 	}
@@ -245,7 +340,7 @@ func (db *DB) queryCursor(ctx context.Context, sel *sqldb.Select, sql string) (C
 	if err := cc.now(); err != nil {
 		return nil, err
 	}
-	cur, err := db.openSelect(sel, cc, false)
+	cur, err := db.openSelect(ctx, sel, cc, false)
 	if err != nil {
 		return nil, err
 	}
@@ -273,10 +368,12 @@ func (db *DB) ExecCursorContext(ctx context.Context, sql string) (Cursor, error)
 }
 
 // observeCursor wires the streaming statement into the observability
-// hooks: the statement counts when opened, and latency (open through
-// close) plus the slow-query trace record when the cursor closes.
+// hooks: the statement counts when opened; latency (open through
+// close), per-fingerprint query telemetry with the executed-plan
+// digest, and the slow-query trace record follow when the cursor
+// closes.
 func (db *DB) observeCursor(c *selectCursor, sql string) {
-	if db.obs == nil && db.tracer == nil {
+	if db.obs == nil && db.tracer == nil && c.trace == nil {
 		return
 	}
 	if db.obs != nil {
@@ -285,8 +382,15 @@ func (db *DB) observeCursor(c *selectCursor, sql string) {
 	c.sql = sql
 	c.onClose = func(c *selectCursor) {
 		d := time.Since(c.start)
+		var dig *obs.PlanDigest
+		if db.obs != nil || db.tracer != nil {
+			dig = c.plan.digest()
+		}
 		if db.obs != nil {
 			db.obs.ExecLatency.ObserveDuration(d)
+			if c.sql != "" {
+				db.obs.Queries.Observe(c.sql, d, c.plan.root.stats().rows, c.err, dig)
+			}
 		}
 		if thr := db.slowQuery; thr > 0 && d >= thr {
 			if db.obs != nil {
@@ -297,7 +401,11 @@ func (db *DB) observeCursor(c *selectCursor, sql string) {
 				if detail == "" {
 					detail = "streamed select"
 				}
-				ev := obs.Event{Scope: "engine", Name: "slow-query", Detail: detail, Dur: d}
+				ev := obs.Event{Scope: "engine", Name: "slow-query", Detail: detail, Dur: d,
+					Attrs: []obs.Attr{
+						{Key: "fingerprint", Val: obs.Fingerprint(detail)},
+						{Key: "plan", Val: dig.Summary},
+					}}
 				if c.err != nil {
 					ev.Err = c.err.Error()
 				}

@@ -421,7 +421,7 @@ func (db *DB) insertOne(tableName string, row []any) (int, error) {
 	}
 	unlock := db.lockRows([]string{tableName}, db.fkReads(t))
 	defer unlock()
-	return db.insertLocked(tableName, row)
+	return db.insertLocked(context.Background(), tableName, row)
 }
 
 // InsertMap appends one row given as a column->value map; omitted
@@ -451,7 +451,7 @@ func (db *DB) insertMap(tableName string, vals map[string]any) (int, error) {
 	}
 	unlock := db.lockRows([]string{tableName}, db.fkReads(t))
 	defer unlock()
-	return db.insertLocked(tableName, row)
+	return db.insertLocked(context.Background(), tableName, row)
 }
 
 // InsertBatch appends many rows (in column order) under a single lock
@@ -661,7 +661,7 @@ func (db *DB) applyRowLocked(t *table, tableName string, stored []any) (int, err
 	return pos, nil
 }
 
-func (db *DB) insertLocked(tableName string, row []any) (int, error) {
+func (db *DB) insertLocked(ctx context.Context, tableName string, row []any) (int, error) {
 	t := db.tables[tableName]
 	if t == nil {
 		return 0, fmt.Errorf("%w: %q", ErrNoTable, tableName)
@@ -674,7 +674,7 @@ func (db *DB) insertLocked(tableName string, row []any) (int, error) {
 	if err != nil {
 		return pos, err
 	}
-	if werr := db.logInsert(tableName, stored); werr != nil {
+	if werr := db.logInsert(ctx, tableName, stored); werr != nil {
 		// The log rejected the row: unwind the in-memory apply so the
 		// applied state never runs ahead of the durable state.
 		db.rollbackToLocked(t, pos)
@@ -912,10 +912,10 @@ func (db *DB) dispatchStmt(ctx context.Context, st sqldb.Stmt) (Result, *Rows, e
 	}
 	switch s := st.(type) {
 	case *sqldb.Select:
-		rows, err := db.execSelect(s, cc)
+		rows, err := db.execSelect(ctx, s, cc)
 		return Result{}, rows, err
 	case *sqldb.Insert:
-		n, err := db.execInsert(s)
+		n, err := db.execInsert(ctx, s)
 		return Result{RowsAffected: n}, nil, err
 	case *sqldb.CreateTable:
 		return Result{}, nil, db.CreateTable(s.Def)
@@ -947,17 +947,17 @@ func (db *DB) dispatchStmt(ctx context.Context, st sqldb.Stmt) (Result, *Rows, e
 		}
 		return Result{}, nil, err
 	case *sqldb.Update:
-		n, err := db.execUpdate(s)
+		n, err := db.execUpdate(ctx, s)
 		return Result{RowsAffected: n}, nil, err
 	case *sqldb.Delete:
-		n, err := db.execDelete(s)
+		n, err := db.execDelete(ctx, s)
 		return Result{RowsAffected: n}, nil, err
 	default:
 		return Result{}, nil, fmt.Errorf("engine: unsupported statement %T", st)
 	}
 }
 
-func (db *DB) execInsert(ins *sqldb.Insert) (int, error) {
+func (db *DB) execInsert(ctx context.Context, ins *sqldb.Insert) (int, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	t := db.tables[ins.Table]
@@ -993,7 +993,7 @@ func (db *DB) execInsert(ins *sqldb.Insert) (int, error) {
 			}
 			row[colPos[i]] = v
 		}
-		if _, err := db.insertLocked(ins.Table, row); err != nil {
+		if _, err := db.insertLocked(ctx, ins.Table, row); err != nil {
 			return inserted, err
 		}
 		inserted++
@@ -1001,7 +1001,7 @@ func (db *DB) execInsert(ins *sqldb.Insert) (int, error) {
 	return inserted, nil
 }
 
-func (db *DB) execUpdate(up *sqldb.Update) (int, error) {
+func (db *DB) execUpdate(ctx context.Context, up *sqldb.Update) (int, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	t := db.tables[up.Table]
@@ -1020,7 +1020,7 @@ func (db *DB) execUpdate(up *sqldb.Update) (int, error) {
 	var walRows [][]any
 	var oldRows [][]any
 	finish := func(err error) (int, error) {
-		if werr := db.logUpdate(up.Table, walPos, walRows); werr != nil {
+		if werr := db.logUpdate(ctx, up.Table, walPos, walRows); werr != nil {
 			for i := len(walPos) - 1; i >= 0; i-- {
 				pos, old, applied := walPos[i], oldRows[i], walRows[i]
 				for _, ix := range t.indexes {
@@ -1108,7 +1108,7 @@ func (db *DB) execUpdate(up *sqldb.Update) (int, error) {
 	return finish(nil)
 }
 
-func (db *DB) execDelete(del *sqldb.Delete) (int, error) {
+func (db *DB) execDelete(ctx context.Context, del *sqldb.Delete) (int, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	t := db.tables[del.Table]
@@ -1125,7 +1125,7 @@ func (db *DB) execDelete(del *sqldb.Delete) (int, error) {
 	var walPos []int
 	var oldRows [][]any
 	finish := func(err error) (int, error) {
-		if werr := db.logDelete(del.Table, walPos); werr != nil {
+		if werr := db.logDelete(ctx, del.Table, walPos); werr != nil {
 			for i := len(walPos) - 1; i >= 0; i-- {
 				pos, old := walPos[i], oldRows[i]
 				t.rows[pos] = old

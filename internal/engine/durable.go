@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -181,7 +182,7 @@ func (db *DB) applyFrame(fr walFrame) error {
 		if err != nil {
 			return err
 		}
-		_, err = db.insertLocked(name, row)
+		_, err = db.insertLocked(context.Background(), name, row)
 		return err
 
 	case frameBatch:
@@ -518,7 +519,7 @@ func samePositions(a, b []int) bool {
 
 // ---- WAL logging hooks (no-ops when the database is not durable) ----
 
-func (db *DB) logInsert(table string, row []any) error {
+func (db *DB) logInsert(ctx context.Context, table string, row []any) error {
 	if db.wal == nil {
 		return nil
 	}
@@ -526,7 +527,7 @@ func (db *DB) logInsert(table string, row []any) error {
 	if err != nil {
 		return err
 	}
-	return db.wal.append(frameInsert, payload)
+	return db.wal.appendCtx(ctx, frameInsert, payload)
 }
 
 func (db *DB) logBatch(table string, rows [][]any) error {
@@ -551,7 +552,7 @@ func (db *DB) logMulti(tables []string, batches [][][]any) error {
 	return db.wal.append(frameMulti, payload)
 }
 
-func (db *DB) logUpdate(table string, positions []int, rows [][]any) error {
+func (db *DB) logUpdate(ctx context.Context, table string, positions []int, rows [][]any) error {
 	if db.wal == nil || len(positions) == 0 {
 		return nil
 	}
@@ -559,14 +560,14 @@ func (db *DB) logUpdate(table string, positions []int, rows [][]any) error {
 	if err != nil {
 		return err
 	}
-	return db.wal.append(frameUpdate, payload)
+	return db.wal.appendCtx(ctx, frameUpdate, payload)
 }
 
-func (db *DB) logDelete(table string, positions []int) error {
+func (db *DB) logDelete(ctx context.Context, table string, positions []int) error {
 	if db.wal == nil || len(positions) == 0 {
 		return nil
 	}
-	return db.wal.append(frameDelete, encodeDeleteFrame(table, positions))
+	return db.wal.appendCtx(ctx, frameDelete, encodeDeleteFrame(table, positions))
 }
 
 func (db *DB) logDDL(rec ddlRecord) error {

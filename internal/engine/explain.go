@@ -66,7 +66,7 @@ func (db *DB) ExplainQueryContext(ctx context.Context, sql string) (string, erro
 	if err := cc.now(); err != nil {
 		return "", err
 	}
-	cur, err := db.openSelect(sel, cc, true)
+	cur, err := db.openSelect(ctx, sel, cc, true)
 	if err != nil {
 		return "", err
 	}
@@ -83,7 +83,7 @@ func (db *DB) ExplainQueryContext(ctx context.Context, sql string) (string, erro
 // but no timings — the deterministic form the golden tests pin.
 func (db *DB) explainRowsString(ctx context.Context, sel *sqldb.Select) (string, error) {
 	cc := newCancelCheck(ctx)
-	cur, err := db.openSelect(sel, cc, false)
+	cur, err := db.openSelect(ctx, sel, cc, false)
 	if err != nil {
 		return "", err
 	}

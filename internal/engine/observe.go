@@ -52,11 +52,18 @@ func (db *DB) SetSlowQueryThreshold(d time.Duration) {
 // execStmtObserved dispatches one parsed statement, recording latency,
 // statement-kind counters and the slow-query trace when observability
 // is attached. sql is the original text when known (for trace detail).
+// Observed SELECTs route through the cursor path so telemetry — the
+// executed-plan digest, the fingerprint aggregate, operator spans —
+// comes from one place regardless of whether the caller streams or
+// materializes.
 func (db *DB) execStmtObserved(ctx context.Context, st sqldb.Stmt, sql string) (Result, *Rows, error) {
-	if db.obs == nil && db.tracer == nil {
+	if db.obs == nil && db.tracer == nil && obs.TraceFrom(ctx) == nil {
 		res, rows, err := db.dispatchStmt(ctx, st)
 		db.maybeCheckpoint()
 		return res, rows, err
+	}
+	if sel, ok := st.(*sqldb.Select); ok {
+		return db.execSelectObserved(ctx, sel, sql)
 	}
 	start := time.Now()
 	res, rows, err := db.dispatchStmt(ctx, st)
@@ -65,8 +72,6 @@ func (db *DB) execStmtObserved(ctx context.Context, st sqldb.Stmt, sql string) (
 	if db.obs != nil {
 		db.obs.ExecLatency.ObserveDuration(d)
 		switch st.(type) {
-		case *sqldb.Select:
-			db.obs.Selects.Inc()
 		case *sqldb.Insert:
 			db.obs.InsertStmts.Inc()
 		case *sqldb.Update:
@@ -87,6 +92,9 @@ func (db *DB) execStmtObserved(ctx context.Context, st sqldb.Stmt, sql string) (
 				detail = fmt.Sprintf("%T", st)
 			}
 			ev := obs.Event{Scope: "engine", Name: "slow-query", Detail: detail, Dur: d}
+			if sql != "" {
+				ev.Attrs = []obs.Attr{{Key: "fingerprint", Val: obs.Fingerprint(sql)}}
+			}
 			if err != nil {
 				ev.Err = err.Error()
 			}
@@ -94,4 +102,35 @@ func (db *DB) execStmtObserved(ctx context.Context, st sqldb.Stmt, sql string) (
 		}
 	}
 	return res, rows, err
+}
+
+// execSelectObserved is the observed materialized-SELECT path: a
+// cursor is opened, wired into the observability hooks (observeCursor)
+// and drained. A statement that fails before a cursor exists — parse
+// binding, planning, context already cancelled — is still counted, so
+// the statement counters keep their one-per-execution meaning.
+func (db *DB) execSelectObserved(ctx context.Context, sel *sqldb.Select, sql string) (Result, *Rows, error) {
+	start := time.Now()
+	cc := newCancelCheck(ctx)
+	err := cc.now()
+	if err == nil {
+		var cur *selectCursor
+		cur, err = db.openSelect(ctx, sel, cc, false)
+		if err == nil {
+			db.observeCursor(cur, sql)
+			rows, derr := DrainCursor(cur)
+			db.maybeCheckpoint()
+			return Result{}, rows, derr
+		}
+	}
+	db.maybeCheckpoint()
+	d := time.Since(start)
+	if db.obs != nil {
+		db.obs.Selects.Inc()
+		db.obs.ExecLatency.ObserveDuration(d)
+		if sql != "" {
+			db.obs.Queries.Observe(sql, d, 0, err, nil)
+		}
+	}
+	return Result{}, nil, err
 }

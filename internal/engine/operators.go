@@ -31,11 +31,16 @@ type rowIter interface {
 
 // execCtx is the shared per-execution state: the row environment the
 // planner built, the cancellation poller (nil when the context can
-// never cancel) and whether per-operator timing is on (EXPLAIN runs).
+// never cancel) and whether per-operator timing is on (EXPLAIN runs
+// and traced requests). sampleMask selects which Next calls are timed:
+// 0 times every call (EXPLAIN); a power-of-two-minus-one mask times
+// one call in mask+1, trading timer precision for per-row overhead on
+// traced production queries.
 type execCtx struct {
-	env    *rowEnv
-	cc     *cancelCheck
-	timing bool
+	env        *rowEnv
+	cc         *cancelCheck
+	timing     bool
+	sampleMask int64
 }
 
 // openNode opens a plan node and wraps its iterator with the node's
@@ -55,7 +60,7 @@ func openNode(n planNode, ec *execCtx) (rowIter, error) {
 	if ec.timing {
 		n.stats().openNanos = int64(time.Since(t0))
 	}
-	return &statIter{it: it, st: n.stats(), cc: ec.cc, timing: ec.timing}, nil
+	return &statIter{it: it, st: n.stats(), cc: ec.cc, timing: ec.timing, mask: ec.sampleMask}, nil
 }
 
 // statIter is the accounting wrapper around every operator.
@@ -64,6 +69,7 @@ type statIter struct {
 	st     *opStats
 	cc     *cancelCheck
 	timing bool
+	mask   int64
 }
 
 func (s *statIter) Next() ([]any, error) {
@@ -71,9 +77,19 @@ func (s *statIter) Next() ([]any, error) {
 		return nil, err
 	}
 	if s.timing {
+		s.st.calls++
+		if s.mask != 0 && s.st.calls&s.mask != 0 {
+			// Sampled-out call: count the row, skip the clock.
+			row, err := s.it.Next()
+			if err == nil {
+				s.st.rows++
+			}
+			return row, err
+		}
 		t0 := time.Now()
 		row, err := s.it.Next()
 		s.st.nanos += int64(time.Since(t0))
+		s.st.timedCalls++
 		if err == nil {
 			s.st.rows++
 		}

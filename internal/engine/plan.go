@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"xmlrdb/internal/obs"
 	"xmlrdb/internal/sqldb"
 )
 
@@ -27,15 +28,29 @@ type physPlan struct {
 	env  *rowEnv
 
 	finished bool
+	dig      *obs.PlanDigest // memoized at cursor close; see digest()
 }
 
 // opStats is the per-operator runtime accounting: rows emitted and —
-// on timed (EXPLAIN) runs — cumulative time spent in the operator and
-// its children.
+// on timed (EXPLAIN or traced) runs — cumulative time spent in the
+// operator and its children. Traced cursors time a 1-in-N sample of
+// Next calls, so calls/timedCalls record how to scale nanos back up;
+// EXPLAIN times every call and the two counters match.
 type opStats struct {
-	rows      int64
-	nanos     int64
-	openNanos int64
+	rows       int64
+	nanos      int64
+	openNanos  int64
+	calls      int64
+	timedCalls int64
+}
+
+// estNanos returns the operator's estimated total Next time, scaling
+// the sampled measurement up to the full call count.
+func (st *opStats) estNanos() int64 {
+	if st.timedCalls > 0 && st.calls > st.timedCalls {
+		return st.nanos * st.calls / st.timedCalls
+	}
+	return st.nanos
 }
 
 // planNode is one physical operator. describe returns the stable label

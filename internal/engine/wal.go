@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"xmlrdb/internal/faultfs"
 	"xmlrdb/internal/obs"
@@ -92,6 +94,10 @@ type walWriter struct {
 	broken   error
 	buf      []byte
 	obs      *obs.Metrics
+	// lastSync is the duration of the most recent appendLocked fsync
+	// (0 when the append didn't sync), read back by appendCtx to emit
+	// the wal.fsync span.
+	lastSync time.Duration
 }
 
 func segmentName(firstSeq uint64) string {
@@ -133,6 +139,29 @@ func (w *walWriter) append(kind byte, payload []byte) error {
 	return w.appendLocked(kind, payload)
 }
 
+// appendCtx is append plus request tracing: when ctx carries a trace,
+// the frame write becomes a wal.append span with a nested wal.fsync
+// span covering the durability barrier. Untraced contexts pay one
+// context lookup.
+func (w *walWriter) appendCtx(ctx context.Context, kind byte, payload []byte) error {
+	tr := obs.TraceFrom(ctx)
+	if tr == nil {
+		return w.append(kind, payload)
+	}
+	sp := tr.StartChild(obs.CurrentSpan(ctx), "wal.append")
+	sp.SetAttr("bytes", len(payload))
+	w.mu.Lock()
+	err := w.appendLocked(kind, payload)
+	syncDur := w.lastSync
+	w.mu.Unlock()
+	if syncDur > 0 {
+		tr.AddCompletedSpan(sp, "wal.fsync", time.Now().Add(-syncDur), syncDur)
+	}
+	sp.SetErr(err)
+	sp.End()
+	return err
+}
+
 func (w *walWriter) appendLocked(kind byte, payload []byte) error {
 	if w.broken != nil {
 		return fmt.Errorf("engine: wal unavailable after earlier failure: %w", w.broken)
@@ -149,11 +178,14 @@ func (w *walWriter) appendLocked(kind byte, payload []byte) error {
 		w.broken = err
 		return err
 	}
+	w.lastSync = 0
 	if w.sync == SyncAlways {
+		t0 := time.Now()
 		if err := w.f.Sync(); err != nil {
 			w.broken = err
 			return err
 		}
+		w.lastSync = time.Since(t0)
 		if w.obs != nil {
 			w.obs.WALFsyncs.Inc()
 		}

@@ -97,6 +97,7 @@ func All() []Runner {
 		{"e11", "ablation: secondary index on IDREF point queries", E11},
 		{"e12", "storage footprint per mapping", E12},
 		{"e14", "vectorized execution: batched + dictionary vs row-at-a-time", E14},
+		{"e15", "request-tracing overhead: off vs sampled vs full", E15},
 	}
 }
 

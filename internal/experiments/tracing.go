@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"xmlrdb"
+	"xmlrdb/internal/paper"
+	"xmlrdb/internal/serve"
+)
+
+// e15Run is one measured pass of the E8b closed-loop load over a fresh
+// pipeline+server with the given trace sampling.
+type e15Run struct {
+	elapsed time.Duration
+	lats    []time.Duration // all request latencies, sorted
+	held    int             // traces in the flight recorder afterwards
+}
+
+func e15Measure(sample, clients, perClient, copies int) (*e15Run, error) {
+	p, err := xmlrdb.Open(paper.Example1DTD, xmlrdb.Config{})
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+	for i := 0; i < copies; i++ {
+		if _, err := p.LoadXML(paper.BookXML, fmt.Sprintf("book-%d", i)); err != nil {
+			return nil, err
+		}
+		if _, err := p.LoadXML(paper.ArticleXML, fmt.Sprintf("article-%d", i)); err != nil {
+			return nil, err
+		}
+	}
+	srv := serve.New(p, serve.Options{
+		MaxConcurrent:  clients,
+		RequestTimeout: 10 * time.Second,
+		TraceSample:    sample,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	lats := make([][]time.Duration, clients)
+	errCh := make(chan error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			ds := make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				q := E8bQueries[(c+i)%len(E8bQueries)]
+				t0 := time.Now()
+				resp, err := http.Get(base + "/path?q=" + url.QueryEscape(q))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("trace sample %d: %s = %d", sample, q, resp.StatusCode)
+					return
+				}
+				ds = append(ds, time.Since(t0))
+			}
+			lats[c] = ds
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	held := len(srv.Recorder().List())
+	// Generous drain budget: on a loaded shared host the process can be
+	// descheduled for whole seconds, and a flaked shutdown fails the
+	// entire interleaved measurement.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err = srv.Shutdown(ctx)
+	cancel()
+	if err != nil {
+		return nil, err
+	}
+	if err := <-serveErr; err != nil && err != http.ErrServerClosed {
+		return nil, err
+	}
+
+	var all []time.Duration
+	for _, ds := range lats {
+		all = append(all, ds...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return &e15Run{elapsed: elapsed, lats: all, held: held}, nil
+}
+
+// E15 measures the cost of end-to-end request tracing over the E8b
+// serving mix. The same closed-loop load generator runs against
+// identical pipelines with tracing off, sampled at one request in 16,
+// and full (every request traced). Each traced request builds a span
+// tree — serve root, translation, engine plan, one span per Volcano
+// operator — and lands in the flight recorder, so the deltas bound
+// what always-on observability costs the serving path. Modes are
+// interleaved over several repetitions and each mode reports its best
+// pass, which cancels scheduler and neighbor noise that would
+// otherwise dwarf the effect being measured.
+func E15(seed int64) (*Table, error) {
+	const (
+		clients   = 4
+		perClient = 150
+		copies    = 20
+		reps      = 5
+	)
+	modes := []struct {
+		name   string
+		sample int // serve.Options.TraceSample: negative disables
+	}{
+		{"off", -1},
+		{"1/16 sampled", 16},
+		{"full", 1},
+	}
+	t := &Table{
+		ID: "E15", Title: fmt.Sprintf("request-tracing overhead over the E8b mix (%d closed-loop clients, %d requests each, best of %d interleaved reps)", clients, perClient, reps),
+		Header: []string{"tracing", "requests", "elapsed", "req/s", "mean", "p95", "traces held"},
+		Notes: []string{
+			"expected shape: spans are recorded per operator at cursor close (not per row) and the flight recorder stores traces as flat JSON bytes, so full tracing should cost single-digit percent throughput versus off; sampling lands in between",
+		},
+	}
+	best := make([]*e15Run, len(modes))
+	for rep := 0; rep < reps; rep++ {
+		for i, mode := range modes {
+			run, err := e15Measure(mode.sample, clients, perClient, copies)
+			if err != nil {
+				return nil, err
+			}
+			if best[i] == nil || run.elapsed < best[i].elapsed {
+				best[i] = run
+			}
+		}
+	}
+	for i, mode := range modes {
+		run := best[i]
+		total := len(run.lats)
+		var sum time.Duration
+		for _, d := range run.lats {
+			sum += d
+		}
+		mean := sum / time.Duration(total)
+		p95 := run.lats[total*95/100]
+		t.Rows = append(t.Rows, []string{
+			mode.name, fmt.Sprint(total),
+			run.elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", float64(total)/run.elapsed.Seconds()),
+			mean.Round(time.Microsecond).String(),
+			p95.Round(time.Microsecond).String(),
+			fmt.Sprint(run.held),
+		})
+	}
+	return t, nil
+}

@@ -25,11 +25,11 @@ var E14Rows = 100_000
 // E14Result is the machine-readable form `make bench-json` writes to
 // BENCH_E14.json, so the perf trajectory is diffable across PRs.
 type E14Result struct {
-	Rows     int        `json:"rows"`
-	Queries  []E14Query `json:"queries"`
-	SnapshotPlainBytes int64   `json:"snapshot_plain_bytes"`
-	SnapshotDictBytes  int64   `json:"snapshot_dict_bytes"`
-	SnapshotRatio      float64 `json:"snapshot_ratio"`
+	Rows               int        `json:"rows"`
+	Queries            []E14Query `json:"queries"`
+	SnapshotPlainBytes int64      `json:"snapshot_plain_bytes"`
+	SnapshotDictBytes  int64      `json:"snapshot_dict_bytes"`
+	SnapshotRatio      float64    `json:"snapshot_ratio"`
 }
 
 // E14Query is one measured query across the three executor configs.

@@ -1,0 +1,81 @@
+package obs
+
+import "strings"
+
+// Fingerprint normalizes a statement to its shape: single-quoted
+// string literals and numeric literals become '?', whitespace
+// collapses to single spaces, and keywords keep their original case
+// only when outside literals (the engine is case-preserving, so no
+// folding here — two queries differing only in keyword case are rare
+// enough not to matter for aggregation). The result keys the
+// query-telemetry store, so `SELECT * FROM t WHERE id = 7` and
+// `... id = 42` aggregate together. Works on SQL and on path-query
+// expressions (which carry predicates in the same literal syntax).
+func Fingerprint(stmt string) string {
+	var b strings.Builder
+	b.Grow(len(stmt))
+	i := 0
+	n := len(stmt)
+	lastSpace := true // swallow leading whitespace
+	for i < n {
+		c := stmt[i]
+		switch {
+		case c == '\'':
+			// String literal: skip to closing quote, honoring ''
+			// escapes; emit a single placeholder.
+			i++
+			for i < n {
+				if stmt[i] == '\'' {
+					if i+1 < n && stmt[i+1] == '\'' {
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				i++
+			}
+			b.WriteByte('?')
+			lastSpace = false
+		case c >= '0' && c <= '9':
+			// Numeric literal — but not when part of an identifier
+			// (e.g. table_1): check the previous emitted byte.
+			if !lastSpace && b.Len() > 0 {
+				prev := b.String()[b.Len()-1]
+				if isIdentByte(prev) && prev != '?' {
+					b.WriteByte(c)
+					i++
+					continue
+				}
+			}
+			for i < n && (isDigitish(stmt[i])) {
+				i++
+			}
+			b.WriteByte('?')
+			lastSpace = false
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			for i < n && (stmt[i] == ' ' || stmt[i] == '\t' || stmt[i] == '\n' || stmt[i] == '\r') {
+				i++
+			}
+			if !lastSpace {
+				b.WriteByte(' ')
+				lastSpace = true
+			}
+		default:
+			b.WriteByte(c)
+			lastSpace = false
+			i++
+		}
+	}
+	return strings.TrimRight(b.String(), " ")
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// isDigitish accepts the characters that can continue a numeric
+// literal: digits, decimal point, exponent markers and their signs.
+func isDigitish(c byte) bool {
+	return (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E'
+}

@@ -1,12 +1,15 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync"
+	"time"
 )
 
 var publishMu sync.Mutex
@@ -25,35 +28,99 @@ func Publish(name string, m *Metrics) {
 	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
 }
 
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
 // DebugMux returns an HTTP mux exposing the hub: /debug/metrics (JSON
-// snapshot), /debug/vars (expvar), and the /debug/pprof profiling
-// endpoints.
+// snapshot), /debug/querystats (per-fingerprint telemetry),
+// /debug/vars (expvar), /metrics (Prometheus text format), and the
+// /debug/pprof profiling endpoints.
 func DebugMux(m *Metrics) *http.ServeMux {
+	return DebugMuxWith(m, nil)
+}
+
+// DebugMuxWith is DebugMux plus the flight recorder's /debug/traces
+// and /debug/traces/{id} endpoints (omitted when rec is nil).
+func DebugMuxWith(m *Metrics, rec *Recorder) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(m.Snapshot())
+		writeJSON(w, m.Snapshot())
 	})
+	mux.HandleFunc("/debug/querystats", func(w http.ResponseWriter, r *http.Request) {
+		stats := m.Queries.Snapshot()
+		if stats == nil {
+			stats = []QueryStatSnapshot{}
+		}
+		writeJSON(w, stats)
+	})
+	mux.Handle("/metrics", PromHandler(m))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if rec != nil {
+		mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+			list := rec.List()
+			if list == nil {
+				list = []TraceSummary{}
+			}
+			writeJSON(w, list)
+		})
+		mux.HandleFunc("/debug/traces/", func(w http.ResponseWriter, r *http.Request) {
+			id := strings.TrimPrefix(r.URL.Path, "/debug/traces/")
+			tr, ok := rec.Get(id)
+			if !ok {
+				http.Error(w, "no such trace", http.StatusNotFound)
+				return
+			}
+			writeJSON(w, tr)
+		})
+	}
 	return mux
 }
 
+// DebugServer is a running debug endpoint; Close shuts it down and
+// releases the listener.
+type DebugServer struct {
+	srv  *http.Server
+	addr string
+}
+
+// Addr returns the bound address (useful with ":0").
+func (ds *DebugServer) Addr() string {
+	if ds == nil {
+		return ""
+	}
+	return ds.addr
+}
+
+// Close gracefully shuts the server down, waiting up to the context's
+// deadline for in-flight requests. Safe on nil.
+func (ds *DebugServer) Close(ctx context.Context) error {
+	if ds == nil {
+		return nil
+	}
+	return ds.srv.Shutdown(ctx)
+}
+
 // ServeDebug starts the debug endpoint on addr in a background
-// goroutine and returns the bound address (useful with ":0"). The
-// server lives until the process exits.
-func ServeDebug(addr string, m *Metrics) (string, error) {
+// goroutine and returns a handle exposing the bound address and a
+// Close method. rec may be nil (no trace endpoints).
+func ServeDebug(addr string, m *Metrics, rec *Recorder) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	srv := &http.Server{Handler: DebugMux(m)}
+	srv := &http.Server{
+		Handler:           DebugMuxWith(m, rec),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
 	go srv.Serve(ln)
-	return ln.Addr().String(), nil
+	return &DebugServer{srv: srv, addr: ln.Addr().String()}, nil
 }

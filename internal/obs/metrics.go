@@ -136,11 +136,18 @@ type Metrics struct {
 	// fell back past an unreadable newer snapshot the WAL no longer
 	// covered — each one is committed data lost to corruption.
 	RecoveryStaleFallbacks Counter
+
+	// Queries aggregates executions by normalized statement fingerprint
+	// (latency, rows, per-operator estimated-vs-actual row error).
+	Queries *QueryStatsStore
 }
 
 // New returns an empty metrics hub.
 func New() *Metrics {
-	return &Metrics{tables: make(map[string]*TableMetrics)}
+	return &Metrics{
+		tables:  make(map[string]*TableMetrics),
+		Queries: NewQueryStatsStore(0),
+	}
 }
 
 // Default is the process-wide metrics hub the CLIs publish; libraries
@@ -168,13 +175,13 @@ func (m *Metrics) Table(name string) *TableMetrics {
 // Snapshot is the typed point-in-time view of a Metrics hub.
 type Snapshot struct {
 	Engine struct {
-		Selects     int64          `json:"selects"`
-		InsertStmts int64          `json:"insert_stmts"`
-		Updates     int64          `json:"updates"`
-		Deletes     int64          `json:"deletes"`
-		OtherStmts  int64          `json:"other_stmts"`
-		ExecLatency HistSnapshot   `json:"exec_latency"`
-		SlowQueries int64          `json:"slow_queries"`
+		Selects      int64          `json:"selects"`
+		InsertStmts  int64          `json:"insert_stmts"`
+		Updates      int64          `json:"updates"`
+		Deletes      int64          `json:"deletes"`
+		OtherStmts   int64          `json:"other_stmts"`
+		ExecLatency  HistSnapshot   `json:"exec_latency"`
+		SlowQueries  int64          `json:"slow_queries"`
 		OpRows       OpRowsSnapshot `json:"op_rows"`
 		RowsOut      int64          `json:"rows_out"`
 		VecBatches   int64          `json:"vec_batches,omitempty"`
@@ -231,6 +238,8 @@ type Snapshot struct {
 		RecoveryLatency HistSnapshot `json:"recovery_latency"`
 		StaleFallbacks  int64        `json:"stale_fallbacks,omitempty"`
 	} `json:"wal"`
+	// Queries is the per-fingerprint telemetry, most-executed first.
+	Queries []QueryStatSnapshot `json:"queries,omitempty"`
 }
 
 // OpRowsSnapshot is the per-operator-kind row accounting of the
@@ -332,6 +341,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.WAL.Recoveries = m.Recoveries.Load()
 	s.WAL.RecoveryLatency = m.RecoveryLatency.Snapshot()
 	s.WAL.StaleFallbacks = m.RecoveryStaleFallbacks.Load()
+	s.Queries = m.Queries.Snapshot()
 	return s
 }
 
@@ -403,6 +413,7 @@ func (s Snapshot) Report() string {
 		fmt.Fprintf(&b, "query: plan cache hits=%d misses=%d evictions=%d\n",
 			s.Query.PlanCacheHits, s.Query.PlanCacheMisses, s.Query.PlanCacheEvictions)
 	}
+	reportQueryStats(&b, s.Queries, 5)
 	if s.Reconstruct.Docs > 0 {
 		fmt.Fprintf(&b, "reconstruct: docs=%d latency %s\n",
 			s.Reconstruct.Docs, s.Reconstruct.Latency.DurSummary())

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -217,16 +218,23 @@ func TestPublishAndDebugMux(t *testing.T) {
 
 func TestServeDebug(t *testing.T) {
 	m := New()
-	addr, err := ServeDebug("127.0.0.1:0", m)
+	ds, err := ServeDebug("127.0.0.1:0", m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Get(fmt.Sprintf("http://%s/debug/metrics", addr))
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/metrics", ds.Addr()))
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	// Close releases the listener: the address must stop accepting.
+	if err := ds.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/debug/metrics", ds.Addr())); err == nil {
+		t.Fatal("debug endpoint still reachable after Close")
 	}
 }

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// Prometheus text exposition (format v0.0.4) rendered straight from a
+// Snapshot — no client library, no registry. Counters become
+// `<name>_total`, gauges keep their name, and the power-of-two
+// histograms are emitted as cumulative `_bucket`/`_sum`/`_count`
+// series. Duration histograms (stored as nanoseconds) are converted to
+// seconds, the Prometheus base unit.
+
+// promCounter emits one counter family with a single unlabeled series.
+func promCounter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// promGauge emits one gauge family with a single unlabeled series.
+func promGauge(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+}
+
+// promFloat renders a float without trailing-zero noise.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promHist emits one histogram family. scale multiplies bounds and sum
+// (1e-9 converts stored nanoseconds to seconds; 1 keeps raw units).
+// Buckets are cumulative per the exposition format, ending in +Inf.
+func promHist(w io.Writer, name, help string, s HistSnapshot, scale float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.N
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, promFloat(float64(b.Le)*scale), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(float64(s.Sum)*scale))
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+}
+
+// perTable is one per-table counter family: the field extractor runs
+// for every table so the family is emitted with `table` labels.
+type perTable struct {
+	name, help string
+	get        func(TableSnapshot) int64
+}
+
+// WriteProm renders the snapshot in Prometheus text format v0.0.4.
+func WriteProm(w io.Writer, s Snapshot) {
+	// Engine statement counters.
+	promCounter(w, "xmlrdb_engine_selects_total", "SELECT statements executed.", s.Engine.Selects)
+	promCounter(w, "xmlrdb_engine_inserts_total", "INSERT statements executed.", s.Engine.InsertStmts)
+	promCounter(w, "xmlrdb_engine_updates_total", "UPDATE statements executed.", s.Engine.Updates)
+	promCounter(w, "xmlrdb_engine_deletes_total", "DELETE statements executed.", s.Engine.Deletes)
+	promCounter(w, "xmlrdb_engine_other_stmts_total", "Other (DDL) statements executed.", s.Engine.OtherStmts)
+	promCounter(w, "xmlrdb_engine_slow_queries_total", "Statements over the slow-query threshold.", s.Engine.SlowQueries)
+	promHist(w, "xmlrdb_engine_exec_latency_seconds", "Statement execution latency.", s.Engine.ExecLatency, 1e-9)
+
+	// Per-operator row counts from the streaming executor.
+	op := s.Engine.OpRows
+	fmt.Fprintf(w, "# HELP xmlrdb_engine_op_rows_total Rows produced per operator kind by the streaming executor.\n")
+	fmt.Fprintf(w, "# TYPE xmlrdb_engine_op_rows_total counter\n")
+	for _, kv := range []struct {
+		k string
+		v int64
+	}{
+		{"scan", op.Scan}, {"filter", op.Filter}, {"join", op.Join},
+		{"aggregate", op.Aggregate}, {"project", op.Project},
+		{"sort", op.Sort}, {"distinct", op.Distinct}, {"limit", op.Limit},
+	} {
+		fmt.Fprintf(w, "xmlrdb_engine_op_rows_total{op=%q} %d\n", kv.k, kv.v)
+	}
+	promCounter(w, "xmlrdb_engine_rows_out_total", "Rows emitted by SELECT plan roots.", s.Engine.RowsOut)
+	promCounter(w, "xmlrdb_engine_vec_batches_total", "Vectorized batches executed.", s.Engine.VecBatches)
+	promCounter(w, "xmlrdb_engine_vec_fallbacks_total", "Vectorizable pipelines that fell back to row-at-a-time.", s.Engine.VecFallbacks)
+	promHist(w, "xmlrdb_engine_vec_batch_rows", "Post-filter rows per vectorized batch.", s.Engine.VecBatchRows, 1)
+
+	// Per-table families.
+	if len(s.Tables) > 0 {
+		names := make([]string, 0, len(s.Tables))
+		for n := range s.Tables {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		families := []perTable{
+			{"xmlrdb_table_rows_inserted_total", "Rows appended per table.", func(t TableSnapshot) int64 { return t.RowsInserted }},
+			{"xmlrdb_table_scans_total", "Full-table scans per table.", func(t TableSnapshot) int64 { return t.Scans }},
+			{"xmlrdb_table_index_hits_total", "Index-assisted lookups per table.", func(t TableSnapshot) int64 { return t.IndexHits }},
+			{"xmlrdb_table_rows_scanned_total", "Rows visited by scans and probes per table.", func(t TableSnapshot) int64 { return t.RowsScanned }},
+			{"xmlrdb_table_lock_waits_total", "Row-lock acquisitions per table.", func(t TableSnapshot) int64 { return t.LockWaits }},
+		}
+		for _, f := range families {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", f.name, f.help, f.name)
+			for _, n := range names {
+				fmt.Fprintf(w, "%s{table=%q} %d\n", f.name, n, f.get(s.Tables[n]))
+			}
+		}
+	}
+
+	// Pathquery translation and plan cache.
+	promCounter(w, "xmlrdb_query_translations_total", "Path queries translated to SQL.", s.Query.Translations)
+	promHist(w, "xmlrdb_query_translate_latency_seconds", "Path-to-SQL translation latency.", s.Query.TranslateLatency, 1e-9)
+	promCounter(w, "xmlrdb_query_plan_cache_hits_total", "Plan cache hits.", s.Query.PlanCacheHits)
+	promCounter(w, "xmlrdb_query_plan_cache_misses_total", "Plan cache misses.", s.Query.PlanCacheMisses)
+	promCounter(w, "xmlrdb_query_plan_cache_evictions_total", "Plan cache evictions.", s.Query.PlanCacheEvictions)
+
+	// Serving layer.
+	promCounter(w, "xmlrdb_serve_requests_total", "Requests admitted and executed.", s.Serve.Requests)
+	promCounter(w, "xmlrdb_serve_errors_total", "Admitted requests that failed.", s.Serve.Errors)
+	promCounter(w, "xmlrdb_serve_shed_total", "Requests rejected by the admission gate.", s.Serve.Shed)
+	promCounter(w, "xmlrdb_serve_timeouts_total", "Admitted requests that hit their deadline.", s.Serve.Timeouts)
+	promGauge(w, "xmlrdb_serve_inflight", "Requests currently executing.", s.Serve.Inflight)
+	promCounter(w, "xmlrdb_serve_rows_streamed_total", "Result rows streamed to clients.", s.Serve.RowsStreamed)
+	promHist(w, "xmlrdb_serve_latency_seconds", "Admitted-request latency.", s.Serve.Latency, 1e-9)
+
+	// Durability.
+	promCounter(w, "xmlrdb_wal_frames_total", "WAL frames appended.", s.WAL.Frames)
+	promCounter(w, "xmlrdb_wal_bytes_total", "WAL bytes appended.", s.WAL.Bytes)
+	promCounter(w, "xmlrdb_wal_fsyncs_total", "WAL durability barriers issued.", s.WAL.Fsyncs)
+	promCounter(w, "xmlrdb_wal_snapshots_total", "Snapshots written.", s.WAL.Snapshots)
+	promCounter(w, "xmlrdb_wal_recoveries_total", "Recoveries performed.", s.WAL.Recoveries)
+	promCounter(w, "xmlrdb_wal_replay_frames_total", "WAL frames re-applied during recovery.", s.WAL.ReplayFrames)
+
+	// Load pipeline.
+	promCounter(w, "xmlrdb_load_docs_total", "Documents shredded successfully.", s.Load.DocsLoaded)
+	promCounter(w, "xmlrdb_load_docs_failed_total", "Documents that failed to shred.", s.Load.DocsFailed)
+	promHist(w, "xmlrdb_load_shred_latency_seconds", "Per-document shred latency.", s.Load.ShredLatency, 1e-9)
+}
+
+// PromHandler serves the hub in Prometheus text format at /metrics.
+func PromHandler(m *Metrics) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteProm(w, m.Snapshot())
+	})
+}

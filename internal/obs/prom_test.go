@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promLine matches one sample line of the text exposition format:
+// metric name, optional {labels}, and a value.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_]+="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_]+="(?:[^"\\]|\\.)*")*\})? (?:[-+]?[0-9.eE+-]+|\+Inf|NaN)$`)
+
+func promFixture() *Metrics {
+	m := New()
+	m.Selects.Add(12)
+	m.InsertStmts.Add(3)
+	m.SlowQueries.Inc()
+	m.ExecLatency.Observe(1_500_000) // 1.5ms in ns
+	m.ExecLatency.Observe(3_000_000)
+	m.RowsOut.Add(40)
+	m.Table("e_book").RowsInserted.Add(7)
+	m.Table("e_author").Scans.Add(2)
+	m.Translations.Add(5)
+	m.PlanCacheHits.Add(4)
+	m.ServeRequests.Add(9)
+	m.ServeInflight.Inc()
+	m.WALFrames.Add(11)
+	m.DocsLoaded.Add(2)
+	return m
+}
+
+func TestWritePromGolden(t *testing.T) {
+	var sb strings.Builder
+	WriteProm(&sb, promFixture().Snapshot())
+	text := sb.String()
+
+	// Exact sample lines the fixture must produce.
+	for _, want := range []string{
+		`xmlrdb_engine_selects_total 12`,
+		`xmlrdb_engine_inserts_total 3`,
+		`xmlrdb_engine_slow_queries_total 1`,
+		`xmlrdb_engine_exec_latency_seconds_count 2`,
+		`xmlrdb_engine_exec_latency_seconds_bucket{le="+Inf"} 2`,
+		`xmlrdb_engine_rows_out_total 40`,
+		`xmlrdb_table_rows_inserted_total{table="e_book"} 7`,
+		`xmlrdb_table_scans_total{table="e_author"} 2`,
+		`xmlrdb_query_translations_total 5`,
+		`xmlrdb_query_plan_cache_hits_total 4`,
+		`xmlrdb_serve_requests_total 9`,
+		`xmlrdb_serve_inflight 1`,
+		`xmlrdb_wal_frames_total 11`,
+		`xmlrdb_load_docs_total 2`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition missing line %q", want)
+		}
+	}
+	// The 4.5ms total latency is reported in seconds (ns × 1e-9); allow
+	// for binary floating-point rounding in the last digits.
+	if !strings.Contains(text, "xmlrdb_engine_exec_latency_seconds_sum 0.0045") {
+		t.Error("latency sum not scaled to seconds")
+	}
+	if !strings.Contains(text, "# TYPE xmlrdb_serve_inflight gauge\n") {
+		t.Error("inflight must be declared a gauge")
+	}
+	if !strings.Contains(text, "# TYPE xmlrdb_engine_exec_latency_seconds histogram\n") {
+		t.Error("latency must be declared a histogram")
+	}
+}
+
+// TestWritePromFormat validates every emitted line against the text
+// exposition grammar and checks histogram bucket invariants.
+func TestWritePromFormat(t *testing.T) {
+	var sb strings.Builder
+	WriteProm(&sb, promFixture().Snapshot())
+
+	var lastBucket string
+	var lastCum int64 = -1
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			lastBucket, lastCum = "", -1
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+		// Cumulative buckets must be non-decreasing within a family.
+		if i := strings.Index(line, `_bucket{le="`); i >= 0 {
+			name := line[:i]
+			val, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bucket value in %q: %v", line, err)
+			}
+			if name == lastBucket && val < lastCum {
+				t.Fatalf("bucket counts decreased in %q (%d after %d)", line, val, lastCum)
+			}
+			lastBucket, lastCum = name, val
+		}
+	}
+}
+
+func TestPromHandler(t *testing.T) {
+	h := PromHandler(promFixture())
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rr.Body.String(), "xmlrdb_engine_selects_total 12") {
+		t.Fatal("handler body missing fixture counter")
+	}
+}

@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Query telemetry: per-statement-shape aggregates keyed by the
+// Fingerprint of the executed statement. This is the ground truth the
+// planned cost-based optimizer needs — how far estimated cardinalities
+// diverge from actual rows, per operator, per query shape — and what
+// /debug/querystats serves.
+
+// OpDigest is one operator's estimated-vs-actual row accounting from
+// an executed plan.
+type OpDigest struct {
+	Name string `json:"name"` // operator describe() line, e.g. "SeqScan book"
+	Est  int64  `json:"est"`  // planner cardinality hint
+	Rows int64  `json:"rows"` // rows actually produced
+}
+
+// PlanDigest is the compact executed-plan summary attached to query
+// telemetry and slow-query events.
+type PlanDigest struct {
+	Summary string     `json:"summary"` // one-line plan shape, root-first
+	Ops     []OpDigest `json:"ops,omitempty"`
+}
+
+// EstError returns the mean relative cardinality-estimate error across
+// the digest's operators: |est-actual| / max(actual, 1), averaged.
+// 0 is perfect; 1 means off by 100% of actual.
+func (d *PlanDigest) EstError() float64 {
+	if d == nil || len(d.Ops) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, op := range d.Ops {
+		den := op.Rows
+		if den < 1 {
+			den = 1
+		}
+		diff := op.Est - op.Rows
+		if diff < 0 {
+			diff = -diff
+		}
+		sum += float64(diff) / float64(den)
+	}
+	return sum / float64(len(d.Ops))
+}
+
+// queryStat is one fingerprint's live accumulator.
+type queryStat struct {
+	fingerprint string
+	example     string // first raw statement seen with this shape
+	count       int64
+	errors      int64
+	rows        int64
+	latency     Histogram
+	rowsOut     Histogram
+	estErrSum   float64 // sum of per-execution mean relative est errors
+	estErrN     int64
+	lastPlan    string
+	lastOps     []OpDigest
+}
+
+// QueryStatsStore aggregates executions by statement fingerprint. It
+// holds at most cap entries; when full, a new fingerprint evicts the
+// least-executed existing one.
+type QueryStatsStore struct {
+	mu    sync.Mutex
+	stats map[string]*queryStat
+	cap   int
+}
+
+// DefaultQueryStatsCap bounds the number of distinct fingerprints held.
+const DefaultQueryStatsCap = 512
+
+// NewQueryStatsStore returns a store holding up to capacity
+// fingerprints (DefaultQueryStatsCap if <= 0).
+func NewQueryStatsStore(capacity int) *QueryStatsStore {
+	if capacity <= 0 {
+		capacity = DefaultQueryStatsCap
+	}
+	return &QueryStatsStore{stats: make(map[string]*queryStat), cap: capacity}
+}
+
+// Observe records one execution of stmt. digest may be nil (non-SELECT
+// statements, failed plans). Safe on a nil store.
+func (qs *QueryStatsStore) Observe(stmt string, dur time.Duration, rows int64, execErr error, digest *PlanDigest) {
+	if qs == nil {
+		return
+	}
+	fp := Fingerprint(stmt)
+	qs.mu.Lock()
+	st := qs.stats[fp]
+	if st == nil {
+		if len(qs.stats) >= qs.cap {
+			qs.evictLocked()
+		}
+		st = &queryStat{fingerprint: fp, example: stmt}
+		qs.stats[fp] = st
+	}
+	st.count++
+	if execErr != nil {
+		st.errors++
+	}
+	st.rows += rows
+	st.latency.Observe(dur.Nanoseconds())
+	st.rowsOut.Observe(rows)
+	if digest != nil {
+		st.estErrSum += digest.EstError()
+		st.estErrN++
+		st.lastPlan = digest.Summary
+		st.lastOps = digest.Ops
+	}
+	qs.mu.Unlock()
+}
+
+// evictLocked drops the least-executed fingerprint.
+func (qs *QueryStatsStore) evictLocked() {
+	var victim string
+	var min int64 = -1
+	for fp, st := range qs.stats {
+		if min < 0 || st.count < min {
+			min = st.count
+			victim = fp
+		}
+	}
+	if victim != "" {
+		delete(qs.stats, victim)
+	}
+}
+
+// QueryStatSnapshot is the JSON/-stats view of one fingerprint.
+type QueryStatSnapshot struct {
+	Fingerprint string       `json:"fingerprint"`
+	Example     string       `json:"example,omitempty"`
+	Count       int64        `json:"count"`
+	Errors      int64        `json:"errors,omitempty"`
+	Rows        int64        `json:"rows"`
+	Latency     HistSnapshot `json:"latency"`
+	RowsOut     HistSnapshot `json:"rows_out"`
+	// EstRowError is the mean relative cardinality-estimate error
+	// (|est-actual|/max(actual,1)) across executed-plan operators,
+	// averaged over executions that carried a plan.
+	EstRowError float64    `json:"est_row_error"`
+	LastPlan    string     `json:"last_plan,omitempty"`
+	LastOps     []OpDigest `json:"last_ops,omitempty"`
+}
+
+// Snapshot returns all held fingerprints, most-executed first.
+func (qs *QueryStatsStore) Snapshot() []QueryStatSnapshot {
+	if qs == nil {
+		return nil
+	}
+	qs.mu.Lock()
+	out := make([]QueryStatSnapshot, 0, len(qs.stats))
+	for _, st := range qs.stats {
+		snap := QueryStatSnapshot{
+			Fingerprint: st.fingerprint,
+			Example:     st.example,
+			Count:       st.count,
+			Errors:      st.errors,
+			Rows:        st.rows,
+			Latency:     st.latency.Snapshot(),
+			RowsOut:     st.rowsOut.Snapshot(),
+			LastPlan:    st.lastPlan,
+			LastOps:     st.lastOps,
+		}
+		if st.estErrN > 0 {
+			snap.EstRowError = st.estErrSum / float64(st.estErrN)
+		}
+		out = append(out, snap)
+	}
+	qs.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out
+}
+
+// reportQueryStats renders the top-n fingerprints for the -stats dump.
+func reportQueryStats(b *strings.Builder, stats []QueryStatSnapshot, n int) {
+	if len(stats) == 0 {
+		return
+	}
+	if n > len(stats) {
+		n = len(stats)
+	}
+	fmt.Fprintf(b, "queries: %d distinct shapes, top %d by count:\n", len(stats), n)
+	for _, q := range stats[:n] {
+		fp := q.Fingerprint
+		if len(fp) > 72 {
+			fp = fp[:69] + "..."
+		}
+		fmt.Fprintf(b, "  [%d×] %s\n", q.Count, fp)
+		fmt.Fprintf(b, "       latency %s rows %s", q.Latency.DurSummary(), q.RowsOut.SizeSummary())
+		if q.EstRowError > 0 {
+			fmt.Fprintf(b, " est-err %.2f", q.EstRowError)
+		}
+		if q.Errors > 0 {
+			fmt.Fprintf(b, " errors=%d", q.Errors)
+		}
+		b.WriteByte('\n')
+		if q.LastPlan != "" {
+			fmt.Fprintf(b, "       plan %s\n", q.LastPlan)
+		}
+	}
+}

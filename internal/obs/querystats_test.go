@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestFingerprint(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT * FROM e_book WHERE id = 42", "SELECT * FROM e_book WHERE id = ?"},
+		{"SELECT * FROM e_book WHERE title = 'XML'", "SELECT * FROM e_book WHERE title = ?"},
+		{"SELECT * FROM e_book WHERE title = 'it''s'", "SELECT * FROM e_book WHERE title = ?"},
+		{"SELECT  *\n FROM\te_book", "SELECT * FROM e_book"},
+		// Digits inside identifiers survive; literals do not.
+		{"SELECT c1 FROM table_1 WHERE c1 = 10", "SELECT c1 FROM table_1 WHERE c1 = ?"},
+		{"SELECT * FROM t WHERE x = 1.5e3", "SELECT * FROM t WHERE x = ?"},
+		{"SELECT * FROM t WHERE a = 1 AND b = 'x'", "SELECT * FROM t WHERE a = ? AND b = ?"},
+	}
+	for _, c := range cases {
+		if got := Fingerprint(c.in); got != c.want {
+			t.Errorf("Fingerprint(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Same shape, different literals → same key.
+	a := Fingerprint("SELECT * FROM t WHERE id = 1")
+	b := Fingerprint("SELECT * FROM t WHERE id = 99")
+	if a != b {
+		t.Fatalf("shapes diverged: %q vs %q", a, b)
+	}
+}
+
+func TestQueryStatsAggregation(t *testing.T) {
+	qs := NewQueryStatsStore(0)
+	dig := &PlanDigest{
+		Summary: "Project <- SeqScan t",
+		Ops: []OpDigest{
+			{Name: "SeqScan t", Est: 100, Rows: 50}, // err 1.0
+			{Name: "Project", Est: 50, Rows: 50},    // err 0.0
+		},
+	}
+	qs.Observe("SELECT * FROM t WHERE id = 1", time.Millisecond, 5, nil, dig)
+	qs.Observe("SELECT * FROM t WHERE id = 2", 2*time.Millisecond, 7, nil, dig)
+	qs.Observe("SELECT * FROM u", time.Millisecond, 0, errors.New("boom"), nil)
+
+	snaps := qs.Snapshot()
+	if len(snaps) != 2 {
+		t.Fatalf("snapshots = %d, want 2", len(snaps))
+	}
+	top := snaps[0] // most-executed first
+	if top.Fingerprint != "SELECT * FROM t WHERE id = ?" || top.Count != 2 {
+		t.Fatalf("top = %+v", top)
+	}
+	if top.Rows != 12 {
+		t.Fatalf("rows = %d, want 12", top.Rows)
+	}
+	if top.EstRowError != 0.5 { // mean of per-op errors 1.0 and 0.0
+		t.Fatalf("EstRowError = %v, want 0.5", top.EstRowError)
+	}
+	if top.LastPlan != "Project <- SeqScan t" || len(top.LastOps) != 2 {
+		t.Fatalf("plan digest lost: %+v", top)
+	}
+	if top.Latency.Count != 2 {
+		t.Fatalf("latency count = %d", top.Latency.Count)
+	}
+	errStat := snaps[1]
+	if errStat.Errors != 1 || errStat.EstRowError != 0 {
+		t.Fatalf("errored stat = %+v", errStat)
+	}
+}
+
+func TestQueryStatsEviction(t *testing.T) {
+	qs := NewQueryStatsStore(3)
+	// "hot" executes many times; fillers once each.
+	for i := 0; i < 10; i++ {
+		qs.Observe("SELECT hot FROM t", time.Microsecond, 1, nil, nil)
+	}
+	for i := 0; i < 5; i++ {
+		qs.Observe(fmt.Sprintf("SELECT f%d FROM t", i), time.Microsecond, 1, nil, nil)
+	}
+	snaps := qs.Snapshot()
+	if len(snaps) != 3 {
+		t.Fatalf("len = %d, want cap 3", len(snaps))
+	}
+	if snaps[0].Fingerprint != "SELECT hot FROM t" {
+		t.Fatalf("hot fingerprint evicted; top = %q", snaps[0].Fingerprint)
+	}
+}
+
+func TestPlanDigestEstError(t *testing.T) {
+	var nilDig *PlanDigest
+	if got := nilDig.EstError(); got != 0 {
+		t.Fatalf("nil digest EstError = %v", got)
+	}
+	d := &PlanDigest{Ops: []OpDigest{
+		{Est: 10, Rows: 10}, // exact
+		{Est: 0, Rows: 4},   // err 1.0
+		{Est: 3, Rows: 0},   // denominator clamps to 1 → err 3.0
+	}}
+	want := (0.0 + 1.0 + 3.0) / 3
+	if got := d.EstError(); got != want {
+		t.Fatalf("EstError = %v, want %v", got, want)
+	}
+}
+
+func TestQueryStatsNilStore(t *testing.T) {
+	var qs *QueryStatsStore
+	qs.Observe("SELECT 1", time.Millisecond, 0, nil, nil) // must not panic
+	if got := qs.Snapshot(); got != nil {
+		t.Fatalf("nil store snapshot = %v", got)
+	}
+}

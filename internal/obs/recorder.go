@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder is the flight recorder: a fixed-size ring of recently
+// completed request traces. Slow and errored traces go to a second,
+// separate ring, so a flood of fast healthy traffic can never evict
+// the requests worth debugging — the retention invariant the
+// /debug/traces endpoint depends on.
+//
+// Traces are stored pre-marshaled: one flat JSON []byte per trace plus
+// a scalar summary. A few hundred retained span trees full of strings
+// and boxed attribute values would otherwise add tens of thousands of
+// heap pointers for every GC mark cycle to chase — measured at ~20%
+// request throughput on the serving benchmark — while byte slices are
+// pointer-free to the collector. Each trace marshals directly into its
+// ring slot's recycled buffer, so once the rings are warm a recorded
+// trace allocates nothing and the recorder's live heap stays constant.
+// Reads copy out under the lock and unmarshal on demand; they are
+// debug-endpoint rare, records happen on every traced request.
+type Recorder struct {
+	mu       sync.Mutex
+	recent   ring
+	retained ring
+	slow     time.Duration // 0 = nothing is "slow"
+}
+
+// storedTrace is one ring slot: the listing summary and the marshaled
+// TraceRecord.
+type storedTrace struct {
+	sum  TraceSummary
+	json []byte
+}
+
+type ring struct {
+	buf  []storedTrace
+	next int
+	n    int // number of valid entries
+}
+
+// slot advances the ring and returns the next entry for reuse; the
+// caller overwrites its summary and appends into json[:0], keeping the
+// warmed-up buffer capacity.
+func (r *ring) slot() *storedTrace {
+	if len(r.buf) == 0 {
+		return nil
+	}
+	st := &r.buf[r.next]
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	return st
+}
+
+func (r *ring) each(fn func(*storedTrace)) {
+	for i := 0; i < r.n; i++ {
+		fn(&r.buf[i])
+	}
+}
+
+// DefaultRecorderSize is the capacity of the recent-traces ring; the
+// slow/errored ring is a quarter of it. Deliberately modest: the
+// serving heap is small, and every retained trace raises the live-heap
+// floor the GC re-marks each cycle — depth beyond "the last few dozen
+// requests" buys little because slow and errored traces survive in
+// their own ring regardless.
+const DefaultRecorderSize = 64
+
+// NewRecorder returns a flight recorder holding up to size recent
+// traces (DefaultRecorderSize if size <= 0). Traces slower than slow
+// (if > 0) and errored traces are additionally retained in a separate
+// ring that normal traffic cannot evict.
+func NewRecorder(size int, slow time.Duration) *Recorder {
+	if size <= 0 {
+		size = DefaultRecorderSize
+	}
+	retain := size / 4
+	if retain < 16 {
+		retain = 16
+	}
+	return &Recorder{
+		recent:   ring{buf: make([]storedTrace, size)},
+		retained: ring{buf: make([]storedTrace, retain)},
+		slow:     slow,
+	}
+}
+
+// SlowThreshold reports the duration above which a trace is marked
+// slow (0 = disabled).
+func (rc *Recorder) SlowThreshold() time.Duration {
+	if rc == nil {
+		return 0
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.slow
+}
+
+// Record stores the finished trace. Safe on a nil recorder. The trace
+// marshals itself straight into the recycled ring-slot buffer — no
+// intermediate record, and at steady state no allocation. Marshaling
+// under the recorder lock is fine: it is a few microseconds once per
+// traced request, and readers are debug-endpoint rare.
+func (rc *Recorder) Record(tr *Trace) {
+	if rc == nil || tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	sum := TraceSummary{
+		ID: tr.ID, Name: tr.Name, Start: tr.Start,
+		DurNS: int64(tr.Dur), Err: tr.Err, Spans: len(tr.spans),
+	}
+	tr.mu.Unlock()
+	if rc.slow > 0 && sum.DurNS >= rc.slow.Nanoseconds() {
+		sum.Slow = true
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	st := rc.recent.slot()
+	if st == nil {
+		return
+	}
+	st.sum = sum
+	st.json = tr.appendJSON(st.json[:0], sum.Slow)
+	if sum.Slow || sum.Err != "" {
+		if r := rc.retained.slot(); r != nil {
+			r.sum = sum
+			r.json = append(r.json[:0], st.json...)
+		}
+	}
+}
+
+// TraceSummary is the /debug/traces listing entry.
+type TraceSummary struct {
+	ID    string    `json:"id"`
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	DurNS int64     `json:"dur_ns"`
+	Err   string    `json:"err,omitempty"`
+	Slow  bool      `json:"slow,omitempty"`
+	Spans int       `json:"spans"`
+}
+
+// List returns summaries of every held trace (both rings, deduplicated
+// by ID), newest first.
+func (rc *Recorder) List() []TraceSummary {
+	if rc == nil {
+		return nil
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	seen := make(map[string]bool)
+	var out []TraceSummary
+	add := func(st *storedTrace) {
+		if seen[st.sum.ID] {
+			return
+		}
+		seen[st.sum.ID] = true
+		out = append(out, st.sum)
+	}
+	rc.retained.each(add)
+	rc.recent.each(add)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	return out
+}
+
+// Get returns the full trace record for id. The rings are small, so a
+// linear scan under the lock beats maintaining an index across
+// evictions.
+func (rc *Recorder) Get(id string) (TraceRecord, bool) {
+	if rc == nil {
+		return TraceRecord{}, false
+	}
+	rc.mu.Lock()
+	var data []byte
+	check := func(st *storedTrace) {
+		if st.sum.ID == id {
+			// Copy: the slot's buffer is recycled on eviction.
+			data = append([]byte(nil), st.json...)
+		}
+	}
+	rc.retained.each(check)
+	if data == nil {
+		rc.recent.each(check)
+	}
+	rc.mu.Unlock()
+	if data == nil {
+		return TraceRecord{}, false
+	}
+	var rec TraceRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return TraceRecord{}, false
+	}
+	return rec, true
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+var contextBackground = context.Background()
+
+func finishedTrace(id string, err error) *Trace {
+	tr := NewTrace("req", id)
+	tr.Finish(err)
+	return tr
+}
+
+// TestRecorderRetainsSlowAndErrored pins the retention invariant: a
+// flood of healthy traffic must never evict an errored trace.
+func TestRecorderRetainsSlowAndErrored(t *testing.T) {
+	rc := NewRecorder(8, time.Hour) // nothing qualifies as slow
+	rc.Record(finishedTrace("bad", errors.New("boom")))
+	// Far more healthy traces than the recent ring holds.
+	for i := 0; i < 100; i++ {
+		rc.Record(finishedTrace(fmt.Sprintf("ok-%d", i), nil))
+	}
+	if _, ok := rc.Get("bad"); !ok {
+		t.Fatal("errored trace evicted by healthy traffic")
+	}
+	// The earliest healthy traces must be gone (ring of 8).
+	if _, ok := rc.Get("ok-0"); ok {
+		t.Fatal("recent ring did not evict")
+	}
+	// Listing includes the retained errored trace exactly once.
+	seen := 0
+	for _, s := range rc.List() {
+		if s.ID == "bad" {
+			seen++
+			if s.Err == "" {
+				t.Fatal("errored summary lost its error")
+			}
+		}
+	}
+	if seen != 1 {
+		t.Fatalf("errored trace listed %d times, want 1", seen)
+	}
+}
+
+// TestRecorderSlowMarking proves traces over the threshold are marked
+// and survive eviction pressure from fast traces.
+func TestRecorderSlowMarking(t *testing.T) {
+	rc := NewRecorder(4, time.Millisecond)
+	slow := NewTrace("slow-req", "s1")
+	time.Sleep(2 * time.Millisecond)
+	slow.Finish(nil)
+	rc.Record(slow)
+	for i := 0; i < 50; i++ {
+		rc.Record(finishedTrace(fmt.Sprintf("fast-%d", i), nil)) // sub-threshold
+	}
+	got, ok := rc.Get("s1")
+	if !ok {
+		t.Fatal("slow trace evicted by fast traffic")
+	}
+	if !got.Slow {
+		t.Fatal("slow trace not marked Slow")
+	}
+}
+
+// TestRecorderConcurrent drives request writers against /debug/traces
+// readers; run under -race this pins the recorder's thread safety.
+func TestRecorderConcurrent(t *testing.T) {
+	rc := NewRecorder(16, time.Hour)
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 200; i++ {
+				var err error
+				if i%10 == 0 {
+					err = errors.New("boom")
+				}
+				rc.Record(finishedTrace(fmt.Sprintf("w%d-%d", w, i), err))
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, s := range rc.List() {
+					rc.Get(s.ID)
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if len(rc.List()) == 0 {
+		t.Fatal("no traces recorded")
+	}
+}
+
+// BenchmarkRecorderRecord pins the per-request cost of recording a
+// realistic trace (root + a dozen spans with attrs).
+func BenchmarkRecorderRecord(b *testing.B) {
+	rc := NewRecorder(0, 250*time.Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := NewTrace("serve.path", "")
+		for j := 0; j < 11; j++ {
+			_, sp := StartSpan(WithTrace(contextBackground, tr), "op.scan")
+			sp.SetAttr("op", "SeqScan e_author")
+			sp.SetAttr("rows", int64(42))
+			sp.End()
+		}
+		tr.Finish(nil)
+		rc.Record(tr)
+	}
+}

@@ -1,0 +1,431 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span-structured tracing. A Trace is created per request (or per
+// top-level operation), carried through the call tree in a Context,
+// and collected as a flat list of spans with parent links — enough to
+// reconstruct the tree without the collection cost of a nested
+// structure. All Span methods are nil-receiver safe so instrumented
+// code pays only a nil check when tracing is off.
+
+// Span is one timed region inside a Trace.
+type Span struct {
+	tr     *Trace
+	id     uint64
+	parent uint64 // 0 = root has no parent
+	name   string
+	start  time.Time
+	dur    time.Duration
+	attrs  []Attr
+	err    string
+	ended  bool
+}
+
+// Trace is one request's span collection. It is safe for concurrent
+// use: spans may be started and ended from multiple goroutines.
+type Trace struct {
+	mu       sync.Mutex
+	ID       string
+	Name     string
+	Start    time.Time
+	Dur      time.Duration
+	Err      string
+	spans    []*Span
+	chunk    []Span // bulk backing storage: spans allocate 8 at a time
+	nextSpan uint64
+	root     *Span
+	done     bool
+}
+
+// NewTraceID returns a random 16-hex-char trace identifier.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to a clock-derived ID; uniqueness is best-effort.
+		v := uint64(time.Now().UnixNano())
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewTrace starts a trace with a root span of the same name. An empty
+// id generates a random one; callers pass a client-supplied request ID
+// to honor X-Request-ID.
+func NewTrace(name, id string) *Trace {
+	if id == "" {
+		id = NewTraceID()
+	}
+	tr := &Trace{ID: id, Name: name, Start: time.Now(), spans: make([]*Span, 0, 16)}
+	tr.mu.Lock()
+	root := tr.allocSpanLocked()
+	*root = Span{tr: tr, id: tr.newSpanID(), name: name, start: tr.Start}
+	tr.root = root
+	tr.spans = append(tr.spans, root)
+	tr.mu.Unlock()
+	return tr
+}
+
+func (tr *Trace) newSpanID() uint64 { return atomic.AddUint64(&tr.nextSpan, 1) }
+
+// allocSpanLocked hands out span storage from a bulk-allocated chunk:
+// a traced request creates a dozen-odd spans, and one allocation per 8
+// spans keeps tracing's per-request garbage low.
+func (tr *Trace) allocSpanLocked() *Span {
+	if len(tr.chunk) == 0 {
+		tr.chunk = make([]Span, 8)
+	}
+	sp := &tr.chunk[0]
+	tr.chunk = tr.chunk[1:]
+	return sp
+}
+
+// Root returns the trace's root span.
+func (tr *Trace) Root() *Span {
+	if tr == nil {
+		return nil
+	}
+	return tr.root
+}
+
+// Finish ends the root span and seals the trace. err may be nil.
+func (tr *Trace) Finish(err error) {
+	if tr == nil {
+		return
+	}
+	tr.root.End()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.done {
+		return
+	}
+	tr.done = true
+	tr.Dur = time.Since(tr.Start)
+	if err != nil {
+		tr.Err = err.Error()
+	}
+}
+
+// startSpan records a child span under parent (0 = under the root).
+func (tr *Trace) startSpan(parent uint64, name string) *Span {
+	if tr == nil {
+		return nil
+	}
+	start := time.Now()
+	tr.mu.Lock()
+	sp := tr.allocSpanLocked()
+	*sp = Span{tr: tr, id: tr.newSpanID(), parent: parent, name: name, start: start}
+	tr.spans = append(tr.spans, sp)
+	tr.mu.Unlock()
+	return sp
+}
+
+// StartChild opens a live child span under parent (the root when
+// parent is nil) without threading a context — for instrumentation
+// that already holds the parent span and would otherwise pay a
+// context allocation per span. Safe on a nil trace.
+func (tr *Trace) StartChild(parent *Span, name string) *Span {
+	if tr == nil {
+		return nil
+	}
+	var pid uint64
+	if parent != nil {
+		pid = parent.id
+	} else if tr.root != nil {
+		pid = tr.root.id
+	}
+	return tr.startSpan(pid, name)
+}
+
+// AddCompletedSpan records a span whose timing was measured externally
+// (operator accounting flushed at cursor close). parent may be nil to
+// attach under the root.
+func (tr *Trace) AddCompletedSpan(parent *Span, name string, start time.Time, dur time.Duration, attrs ...Attr) {
+	if tr == nil {
+		return
+	}
+	var pid uint64
+	if parent != nil {
+		pid = parent.id
+	} else if tr.root != nil {
+		pid = tr.root.id
+	}
+	tr.mu.Lock()
+	sp := tr.allocSpanLocked()
+	*sp = Span{
+		tr: tr, id: tr.newSpanID(), parent: pid, name: name,
+		start: start, dur: dur, attrs: attrs, ended: true,
+	}
+	tr.spans = append(tr.spans, sp)
+	tr.mu.Unlock()
+}
+
+// End closes the span, fixing its duration. Safe on nil and idempotent.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.tr.mu.Lock()
+	defer sp.tr.mu.Unlock()
+	if !sp.ended {
+		sp.ended = true
+		sp.dur = time.Since(sp.start)
+	}
+}
+
+// SetAttr annotates the span. Safe on nil.
+func (sp *Span) SetAttr(key string, val any) {
+	if sp == nil {
+		return
+	}
+	sp.tr.mu.Lock()
+	if sp.attrs == nil {
+		sp.attrs = make([]Attr, 0, 4)
+	}
+	sp.attrs = append(sp.attrs, Attr{Key: key, Val: val})
+	sp.tr.mu.Unlock()
+}
+
+// SetErr marks the span failed. Safe on nil; nil err is a no-op.
+func (sp *Span) SetErr(err error) {
+	if sp == nil || err == nil {
+		return
+	}
+	sp.tr.mu.Lock()
+	sp.err = err.Error()
+	sp.tr.mu.Unlock()
+}
+
+type traceCtxKey struct{}
+type spanCtxKey struct{}
+
+// WithTrace attaches tr to ctx; the trace's root span becomes the
+// current span.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	ctx = context.WithValue(ctx, traceCtxKey{}, tr)
+	return context.WithValue(ctx, spanCtxKey{}, tr.root)
+}
+
+// TraceFrom returns the trace attached to ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return tr
+}
+
+// CurrentSpan returns the innermost span attached to ctx, or nil.
+func CurrentSpan(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}
+
+// StartSpan opens a child of ctx's current span and returns a context
+// carrying it. With no trace in ctx it returns (ctx, nil) — and every
+// Span method tolerates nil, so call sites need no guards.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	tr := TraceFrom(ctx)
+	if tr == nil {
+		return ctx, nil
+	}
+	var parent uint64
+	if cur := CurrentSpan(ctx); cur != nil {
+		parent = cur.id
+	}
+	sp := tr.startSpan(parent, name)
+	return context.WithValue(ctx, spanCtxKey{}, sp), sp
+}
+
+// SpanRecord is the JSON-ready form of a completed span. StartNS is
+// relative to the trace start.
+type SpanRecord struct {
+	ID      uint64 `json:"id"`
+	Parent  uint64 `json:"parent,omitempty"`
+	Name    string `json:"name"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+	Err     string `json:"err,omitempty"`
+}
+
+// TraceRecord is the JSON-ready form of a completed trace, as stored
+// by the flight recorder and served at /debug/traces/{id}.
+type TraceRecord struct {
+	ID    string       `json:"id"`
+	Name  string       `json:"name"`
+	Start time.Time    `json:"start"`
+	DurNS int64        `json:"dur_ns"`
+	Err   string       `json:"err,omitempty"`
+	Slow  bool         `json:"slow,omitempty"`
+	Spans []SpanRecord `json:"spans"`
+}
+
+// Record converts the (finished) trace into its immutable record form.
+func (tr *Trace) Record() TraceRecord {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	rec := TraceRecord{
+		ID:    tr.ID,
+		Name:  tr.Name,
+		Start: tr.Start,
+		DurNS: int64(tr.Dur),
+		Err:   tr.Err,
+		Spans: make([]SpanRecord, 0, len(tr.spans)),
+	}
+	for _, sp := range tr.spans {
+		dur := sp.dur
+		if !sp.ended {
+			dur = time.Since(sp.start)
+		}
+		rec.Spans = append(rec.Spans, SpanRecord{
+			ID:      sp.id,
+			Parent:  sp.parent,
+			Name:    sp.name,
+			StartNS: sp.start.Sub(tr.Start).Nanoseconds(),
+			DurNS:   dur.Nanoseconds(),
+			Attrs:   sp.attrs,
+			Err:     sp.err,
+		})
+	}
+	return rec
+}
+
+// appendJSONString appends s as a JSON string literal: quotes,
+// backslashes and control bytes escaped, everything else verbatim
+// (valid UTF-8 passes through untouched).
+func appendJSONString(b []byte, s string) []byte {
+	const hexDigits = "0123456789abcdef"
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c >= 0x20:
+			b = append(b, c)
+		case c == '\n':
+			b = append(b, '\\', 'n')
+		case c == '\t':
+			b = append(b, '\\', 't')
+		case c == '\r':
+			b = append(b, '\\', 'r')
+		default:
+			b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		}
+	}
+	return append(b, '"')
+}
+
+// appendAttrVal appends one attribute value as JSON. The concrete types
+// instrumentation actually attaches are handled without reflection;
+// anything else is stringified.
+func appendAttrVal(b []byte, v any) []byte {
+	switch x := v.(type) {
+	case string:
+		return appendJSONString(b, x)
+	case bool:
+		if x {
+			return append(b, "true"...)
+		}
+		return append(b, "false"...)
+	case int:
+		return strconv.AppendInt(b, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(b, x, 10)
+	case uint64:
+		return strconv.AppendUint(b, x, 10)
+	case float64:
+		return strconv.AppendFloat(b, x, 'g', -1, 64)
+	case time.Duration:
+		// encoding/json renders Duration as its int64 nanoseconds.
+		return strconv.AppendInt(b, int64(x), 10)
+	default:
+		return appendJSONString(b, fmt.Sprint(x))
+	}
+}
+
+// appendJSON renders the trace in the exact shape encoding/json gives
+// its TraceRecord (same field tags, same omitempty behavior), without
+// reflection and without materializing the record: the flight recorder
+// marshals on every traced request, and both the reflective marshal and
+// the intermediate SpanRecord slice measurably dent serving throughput.
+// slow is stamped by the caller (the recorder owns the threshold).
+func (tr *Trace) appendJSON(b []byte, slow bool) []byte {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	b = append(b, `{"id":`...)
+	b = appendJSONString(b, tr.ID)
+	b = append(b, `,"name":`...)
+	b = appendJSONString(b, tr.Name)
+	b = append(b, `,"start":"`...)
+	b = tr.Start.AppendFormat(b, time.RFC3339Nano)
+	b = append(b, `","dur_ns":`...)
+	b = strconv.AppendInt(b, int64(tr.Dur), 10)
+	if tr.Err != "" {
+		b = append(b, `,"err":`...)
+		b = appendJSONString(b, tr.Err)
+	}
+	if slow {
+		b = append(b, `,"slow":true`...)
+	}
+	b = append(b, `,"spans":[`...)
+	for i, sp := range tr.spans {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		dur := sp.dur
+		if !sp.ended {
+			dur = time.Since(sp.start)
+		}
+		b = append(b, `{"id":`...)
+		b = strconv.AppendUint(b, sp.id, 10)
+		if sp.parent != 0 {
+			b = append(b, `,"parent":`...)
+			b = strconv.AppendUint(b, sp.parent, 10)
+		}
+		b = append(b, `,"name":`...)
+		b = appendJSONString(b, sp.name)
+		b = append(b, `,"start_ns":`...)
+		b = strconv.AppendInt(b, sp.start.Sub(tr.Start).Nanoseconds(), 10)
+		b = append(b, `,"dur_ns":`...)
+		b = strconv.AppendInt(b, dur.Nanoseconds(), 10)
+		if len(sp.attrs) > 0 {
+			b = append(b, `,"attrs":[`...)
+			for j := range sp.attrs {
+				if j > 0 {
+					b = append(b, ',')
+				}
+				b = append(b, `{"k":`...)
+				b = appendJSONString(b, sp.attrs[j].Key)
+				b = append(b, `,"v":`...)
+				b = appendAttrVal(b, sp.attrs[j].Val)
+				b = append(b, '}')
+			}
+			b = append(b, ']')
+		}
+		if sp.err != "" {
+			b = append(b, `,"err":`...)
+			b = appendJSONString(b, sp.err)
+		}
+		b = append(b, '}')
+	}
+	return append(b, `]}`...)
+}

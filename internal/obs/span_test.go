@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestSpanNilSafety(t *testing.T) {
+	// No trace in context: StartSpan returns a nil span and every
+	// method must be a no-op rather than a panic.
+	ctx, sp := StartSpan(context.Background(), "work")
+	if sp != nil {
+		t.Fatalf("StartSpan without a trace returned %v", sp)
+	}
+	sp.SetAttr("k", "v")
+	sp.SetErr(errors.New("boom"))
+	sp.End()
+	if got := TraceFrom(ctx); got != nil {
+		t.Fatalf("TraceFrom = %v, want nil", got)
+	}
+	var tr *Trace
+	tr.Finish(nil)
+	tr.AddCompletedSpan(nil, "x", time.Now(), 0)
+	if tr.Root() != nil {
+		t.Fatal("nil trace has a root")
+	}
+}
+
+func TestSpanTreeStructure(t *testing.T) {
+	tr := NewTrace("request", "req-1")
+	if tr.ID != "req-1" {
+		t.Fatalf("ID = %q, want the caller-supplied one", tr.ID)
+	}
+	ctx := WithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("TraceFrom lost the trace")
+	}
+
+	ctx1, parent := StartSpan(ctx, "outer")
+	_, child := StartSpan(ctx1, "inner")
+	child.SetAttr("rows", 7)
+	child.End()
+	parent.End()
+	tr.AddCompletedSpan(parent, "op", time.Now(), 5*time.Millisecond,
+		Attr{Key: "est", Val: 10})
+	tr.Finish(nil)
+
+	rec := tr.Record()
+	if rec.ID != "req-1" || len(rec.Spans) != 4 {
+		t.Fatalf("record = %+v", rec)
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range rec.Spans {
+		byName[s.Name] = s
+	}
+	root, outer, inner, op := byName["request"], byName["outer"], byName["inner"], byName["op"]
+	if root.Parent != 0 {
+		t.Fatalf("root has parent %d", root.Parent)
+	}
+	if outer.Parent != root.ID {
+		t.Fatalf("outer.Parent = %d, want root %d", outer.Parent, root.ID)
+	}
+	if inner.Parent != outer.ID {
+		t.Fatalf("inner.Parent = %d, want outer %d", inner.Parent, outer.ID)
+	}
+	if op.Parent != outer.ID {
+		t.Fatalf("completed span parent = %d, want outer %d", op.Parent, outer.ID)
+	}
+	if op.DurNS != (5 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("op.DurNS = %d", op.DurNS)
+	}
+	if len(inner.Attrs) != 1 || inner.Attrs[0].Key != "rows" {
+		t.Fatalf("inner attrs = %+v", inner.Attrs)
+	}
+}
+
+func TestTraceGeneratedIDAndErr(t *testing.T) {
+	tr := NewTrace("r", "")
+	if len(tr.ID) != 16 {
+		t.Fatalf("generated ID %q, want 16 hex chars", tr.ID)
+	}
+	tr.Finish(errors.New("deadline"))
+	tr.Finish(nil) // idempotent: must not clear the error
+	rec := tr.Record()
+	if rec.Err != "deadline" {
+		t.Fatalf("Err = %q", rec.Err)
+	}
+	if rec.DurNS <= 0 {
+		t.Fatalf("DurNS = %d", rec.DurNS)
+	}
+}
+
+func TestStartSpanChildOfCompletedParentContext(t *testing.T) {
+	// Spans started from a context whose span already ended still attach
+	// to the trace (the engine hands contexts to deferred work).
+	tr := NewTrace("r", "")
+	ctx := WithTrace(context.Background(), tr)
+	ctx1, a := StartSpan(ctx, "a")
+	a.End()
+	_, b := StartSpan(ctx1, "b")
+	b.End()
+	tr.Finish(nil)
+	if n := len(tr.Record().Spans); n != 3 {
+		t.Fatalf("spans = %d, want 3", n)
+	}
+}
+
+// TestAppendJSONMatchesEncodingJSON pins the hand-rolled trace
+// encoder to the encoding/json shape: what the recorder stores must
+// unmarshal to exactly what reflectively marshaling the trace's
+// Record() would round-trip.
+func TestAppendJSONMatchesEncodingJSON(t *testing.T) {
+	tr := NewTrace("serve.query", "req with \"quotes\"\n")
+	ctx := WithTrace(context.Background(), tr)
+	_, sp := StartSpan(ctx, "engine.select")
+	sp.SetAttr("sql", `SELECT * FROM t WHERE a = 'x"y'`)
+	sp.SetAttr("rows", int64(42))
+	sp.SetAttr("est", 12.5)
+	sp.SetAttr("cached", true)
+	sp.SetAttr("tables", 3)
+	sp.SetAttr("wait", 150*time.Millisecond)
+	sp.SetErr(errors.New("boom\tline"))
+	sp.End()
+	tr.Finish(errors.New("deadline"))
+	rec := tr.Record()
+	rec.Slow = true
+
+	hand := tr.appendJSON(nil, true)
+	var fromHand, fromStd TraceRecord
+	if err := json.Unmarshal(hand, &fromHand); err != nil {
+		t.Fatalf("hand-rolled JSON does not parse: %v\n%s", err, hand)
+	}
+	std, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(std, &fromStd); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromHand, fromStd) {
+		t.Fatalf("round-trip mismatch:\nhand: %+v\nstd:  %+v", fromHand, fromStd)
+	}
+}

@@ -28,10 +28,11 @@ type Event struct {
 	Attrs []Attr
 }
 
-// Attr is one structured event attribute.
+// Attr is one structured attribute: an event annotation or a span
+// annotation (the flight recorder serializes these as JSON).
 type Attr struct {
-	Key string
-	Val any
+	Key string `json:"k"`
+	Val any    `json:"v"`
 }
 
 // A Tracer consumes trace events. Implementations must be safe for

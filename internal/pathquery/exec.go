@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"xmlrdb/internal/engine"
+	"xmlrdb/internal/obs"
 )
 
 // Execute runs every statement of a translation against the engine and
@@ -96,6 +97,23 @@ func (u *unionCursor) Close() error {
 	return nil
 }
 
+// translateTraced wraps Translate in a pathquery.translate span: path,
+// whether the plan cache served it, and the number of union arms.
+func translateTraced(ctx context.Context, t Translator, q *Query, path string) (*Translation, error) {
+	sp := obs.TraceFrom(ctx).StartChild(obs.CurrentSpan(ctx), "pathquery.translate")
+	tr, err := t.Translate(q)
+	if sp != nil {
+		sp.SetAttr("path", path)
+		if tr != nil {
+			sp.SetAttr("cached", tr.Cached)
+			sp.SetAttr("arms", len(tr.SQLs))
+		}
+		sp.SetErr(err)
+		sp.End()
+	}
+	return tr, err
+}
+
 // Run parses, translates and executes a path query in one call.
 func Run(db *engine.DB, t Translator, path string) (*engine.Rows, error) {
 	return RunContext(context.Background(), db, t, path)
@@ -107,7 +125,7 @@ func RunContext(ctx context.Context, db *engine.DB, t Translator, path string) (
 	if err != nil {
 		return nil, err
 	}
-	tr, err := t.Translate(q)
+	tr, err := translateTraced(ctx, t, q, path)
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +139,7 @@ func RunCursor(ctx context.Context, db *engine.DB, t Translator, path string) (e
 	if err != nil {
 		return nil, err
 	}
-	tr, err := t.Translate(q)
+	tr, err := translateTraced(ctx, t, q, path)
 	if err != nil {
 		return nil, err
 	}

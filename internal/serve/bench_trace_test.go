@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+
+	"xmlrdb"
+	"xmlrdb/internal/paper"
+)
+
+// benchServer is the E15 fixture: 20 copies of each paper document
+// behind the serving layer, tracing configured by sample.
+func benchServer(b *testing.B, sample int) (*httptest.Server, func()) {
+	b.Helper()
+	p, err := xmlrdb.Open(paper.Example1DTD, xmlrdb.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := p.LoadXML(paper.BookXML, fmt.Sprintf("book-%d", i)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.LoadXML(paper.ArticleXML, fmt.Sprintf("article-%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s := New(p, Options{TraceSample: sample})
+	ts := httptest.NewServer(s.Handler())
+	return ts, func() { ts.Close(); p.Close() }
+}
+
+func benchPaths(b *testing.B, ts *httptest.Server) {
+	b.Helper()
+	queries := []string{
+		"/book/booktitle/text()", "/article/title/text()", "/book/author",
+		"/article/author/name", "/article/contactauthor[@authorid]", "//author",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		resp, err := http.Get(ts.URL + "/path?q=" + url.QueryEscape(q))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+func BenchmarkPathUntraced(b *testing.B) {
+	ts, done := benchServer(b, -1)
+	defer done()
+	benchPaths(b, ts)
+}
+
+func BenchmarkPathTraced(b *testing.B) {
+	ts, done := benchServer(b, 1)
+	defer done()
+	benchPaths(b, ts)
+}

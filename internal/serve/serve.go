@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"xmlrdb"
@@ -43,17 +44,31 @@ type Options struct {
 	// Metrics receives request counters, latency and the in-flight
 	// gauge; nil uses the pipeline's own hub.
 	Metrics *obs.Metrics
+	// Recorder holds completed request traces for /debug/traces; nil
+	// creates one (sized obs.DefaultRecorderSize, slow threshold
+	// SlowQuery).
+	Recorder *obs.Recorder
+	// SlowQuery marks request traces at or over this duration as slow,
+	// which the flight recorder retains preferentially. <= 0 disables
+	// the slow classification.
+	SlowQuery time.Duration
+	// TraceSample controls request tracing: 0 or 1 traces every
+	// request, N > 1 traces one in N, and a negative value disables
+	// tracing entirely (no spans, no flight-recorder entries).
+	TraceSample int
 }
 
 // Server serves one pipeline. Create with New, start with Serve or
 // ListenAndServe, stop with Shutdown.
 type Server struct {
-	p    *xmlrdb.Pipeline
-	opts Options
-	gate chan struct{}
-	obs  *obs.Metrics
-	mux  *http.ServeMux
-	srv  *http.Server
+	p      *xmlrdb.Pipeline
+	opts   Options
+	gate   chan struct{}
+	obs    *obs.Metrics
+	rec    *obs.Recorder
+	traceN atomic.Uint64 // round-robin sampling counter
+	mux    *http.ServeMux
+	srv    *http.Server
 }
 
 // New builds a Server around an open pipeline. The pipeline stays
@@ -69,22 +84,43 @@ func New(p *xmlrdb.Pipeline, opts Options) *Server {
 	if m == nil {
 		m = p.Obs
 	}
+	rec := opts.Recorder
+	if rec == nil {
+		rec = obs.NewRecorder(0, opts.SlowQuery)
+	}
 	s := &Server{
 		p:    p,
 		opts: opts,
 		gate: make(chan struct{}, opts.MaxConcurrent),
 		obs:  m,
+		rec:  rec,
 		mux:  http.NewServeMux(),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.Handle("GET /query", s.gated(s.handleQuery))
-	s.mux.Handle("POST /query", s.gated(s.handleQuery))
-	s.mux.Handle("GET /path", s.gated(s.handlePath))
-	s.mux.Handle("GET /doc/{id}", s.gated(s.handleDoc))
-	s.mux.Handle("/debug/", obs.DebugMux(m))
+	s.mux.Handle("GET /query", s.gated("query", s.handleQuery))
+	s.mux.Handle("POST /query", s.gated("query", s.handleQuery))
+	s.mux.Handle("GET /path", s.gated("path", s.handlePath))
+	s.mux.Handle("GET /doc/{id}", s.gated("doc", s.handleDoc))
+	s.mux.Handle("/debug/", obs.DebugMuxWith(m, rec))
+	s.mux.Handle("GET /metrics", obs.PromHandler(m))
 	s.srv = &http.Server{Handler: s.mux}
 	return s
+}
+
+// Recorder returns the server's flight recorder.
+func (s *Server) Recorder() *obs.Recorder { return s.rec }
+
+// sampleTrace decides whether the next request is traced.
+func (s *Server) sampleTrace() bool {
+	n := s.opts.TraceSample
+	if n < 0 {
+		return false
+	}
+	if n <= 1 {
+		return true
+	}
+	return s.traceN.Add(1)%uint64(n) == 1
 }
 
 // Handler returns the server's HTTP handler (for tests and embedding).
@@ -109,7 +145,7 @@ func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx
 // deadline and the serve metrics. A saturated gate sheds immediately
 // with 429 + Retry-After rather than queueing: the client can retry,
 // and the requests already running keep their resources.
-func (s *Server) gated(h func(http.ResponseWriter, *http.Request) error) http.Handler {
+func (s *Server) gated(name string, h func(http.ResponseWriter, *http.Request) error) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		select {
 		case s.gate <- struct{}{}:
@@ -130,12 +166,40 @@ func (s *Server) gated(h func(http.ResponseWriter, *http.Request) error) http.Ha
 		defer func() { s.obs.ServeLatency.ObserveDuration(time.Since(start)) }()
 		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 		defer cancel()
+		var tr *obs.Trace
+		if s.sampleTrace() {
+			// One root span per request. A client-supplied X-Request-ID
+			// becomes the trace ID and is echoed back either way, so the
+			// caller can fetch /debug/traces/{id} afterwards.
+			tr = obs.NewTrace("serve."+name, r.Header.Get("X-Request-ID"))
+			root := tr.Root()
+			root.SetAttr("method", r.Method)
+			root.SetAttr("url", r.URL.String())
+			w.Header().Set("X-Request-ID", tr.ID)
+			ctx = obs.WithTrace(ctx, tr)
+			// Recorded in a defer so aborted (panicking) streams are
+			// captured too — those are exactly the traces worth keeping.
+			defer func() {
+				if p := recover(); p != nil {
+					tr.Finish(errAborted)
+					s.rec.Record(tr)
+					panic(p)
+				}
+				tr.Finish(nil) // no-op if already finished with an error
+				s.rec.Record(tr)
+			}()
+		}
 		if err := h(w, r.WithContext(ctx)); err != nil {
 			s.obs.ServeErrors.Inc()
+			tr.Finish(err)
 			s.fail(w, err)
+			return
 		}
 	})
 }
+
+// errAborted marks traces whose response stream failed mid-flight.
+var errAborted = errors.New("response aborted mid-stream")
 
 // fail maps an execution error to a status code and writes it.
 func (s *Server) fail(w http.ResponseWriter, err error) {
