@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-vec check crash-matrix bench bench-parallel bench-json stats-demo serve-smoke explain-golden bench-streaming-smoke bench-vec-smoke
+.PHONY: build test vet race race-vec race-mvcc check crash-matrix bench bench-parallel bench-json stats-demo serve-smoke explain-golden bench-streaming-smoke bench-vec-smoke
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,14 @@ vet:
 race:
 	$(GO) test -race ./internal/engine/... ./internal/shred/... ./internal/obs/... \
 		./internal/pathquery/... ./internal/serve/...
+
+# MVCC snapshot-read subset under the race detector: writers and
+# checkpoints committing under open cursors, snapshot stability under
+# generation churn with concurrent vacuum, concurrent Close/Next, and
+# the serve guard that unpins abandoned cursors on client disconnect.
+race-mvcc:
+	$(GO) test -race -run 'TestSnapshot|TestWriterAndCheckpoint|TestCheckpointWithOpenCursor|TestPin|TestConcurrentClose|TestCompact|TestVacuum|TestServingMixStress' ./internal/engine/
+	$(GO) test -race -run 'TestDisconnectReleasesCursorPin' ./internal/serve/
 
 # Batch-operator subset under the race detector: vectorized scans
 # racing writers that invalidate the columnar sidecar, plus the
@@ -35,7 +43,7 @@ crash-matrix:
 	$(GO) test -race -run 'TestCrash|TestDurable|TestWALReplay|TestSnapshotEvery|FuzzWALReplay' ./internal/engine/
 	$(GO) test -race ./internal/faultfs/
 
-check: vet build test race race-vec crash-matrix explain-golden bench-streaming-smoke bench-vec-smoke serve-smoke
+check: vet build test race race-vec race-mvcc crash-matrix explain-golden bench-streaming-smoke bench-vec-smoke serve-smoke
 
 # Golden physical-plan tests: the executed EXPLAIN tree for the
 # planner's main shapes must match testdata/explain/*.golden

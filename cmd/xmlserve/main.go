@@ -51,6 +51,7 @@ func run(args []string, out io.Writer) error {
 	slowMS := fs.Int("slow-query-ms", 0, "slow-query threshold in milliseconds: slower statements hit the slow-query log and their request traces are always retained by the flight recorder (0 disables)")
 	traceSample := fs.Int("trace-sample", 1, "request tracing: 1 traces every request, N>1 one in N, negative disables tracing")
 	traceBuf := fs.Int("trace-buffer", 0, "flight-recorder capacity in traces (0 = default 64)")
+	vacuumMS := fs.Int("vacuum-ms", 60000, "background vacuum interval in milliseconds: compacts the slots DELETE leaves behind (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,6 +82,11 @@ func run(args []string, out io.Writer) error {
 		if _, err := p.LoadXML(string(b), path); err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
+	}
+
+	if *vacuumMS > 0 {
+		stopVacuum := p.DB.StartVacuum(time.Duration(*vacuumMS) * time.Millisecond)
+		defer stopVacuum()
 	}
 
 	slow := time.Duration(*slowMS) * time.Millisecond

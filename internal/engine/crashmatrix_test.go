@@ -31,7 +31,10 @@ func exec1(sql string) func(db *DB) error {
 
 // crashWorkload covers every frame kind: single inserts, an atomic
 // batch, an atomic multi-table batch, UPDATE, DELETE, all four DDL
-// forms, and an explicit checkpoint mid-stream.
+// forms, an explicit checkpoint mid-stream, and vacuum compactions
+// (frameCompact) both directly and through the Vacuum sweep — a kill
+// during version reclamation must recover to the exact WAL prefix
+// like any other op.
 func crashWorkload() []scriptOp {
 	return []scriptOp{
 		{"create authors", exec1(`CREATE TABLE authors (id INTEGER PRIMARY KEY, name TEXT NOT NULL, age INTEGER)`)},
@@ -57,6 +60,13 @@ func crashWorkload() []scriptOp {
 		{"ordered books_ord", exec1(`CREATE ORDERED INDEX books_ord ON books (year)`)},
 		{"update year", exec1(`UPDATE books SET year = 2002 WHERE id = 12`)},
 		{"delete book", exec1(`DELETE FROM books WHERE id = 11`)},
+		// Compaction renumbers the rows; every later frame references the
+		// renumbered positions, so a torn compact frame that replays
+		// half-heartedly would corrupt everything after it.
+		{"compact books", func(db *DB) error {
+			_, err := db.CompactTable("books")
+			return err
+		}},
 		// One frameAnalyze before the checkpoint (so the snapshot's
 		// dictionary sections get torn) and one after (so WAL replay of
 		// the frame does). A crash mid-dictionary-write must recover to
@@ -81,6 +91,12 @@ func crashWorkload() []scriptOp {
 		{"drop ordered", exec1(`DROP INDEX books_ord`)},
 		{"drop index", exec1(`DROP INDEX books_year`)},
 		{"delete author-less", exec1(`DELETE FROM books WHERE id = 20`)},
+		// The background vacuum's entry point; only books has a hole at
+		// this point, so the sweep commits exactly one frame.
+		{"vacuum", func(db *DB) error {
+			_, err := db.Vacuum()
+			return err
+		}},
 	}
 }
 

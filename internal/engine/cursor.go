@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"strings"
+	"sync"
 	"time"
 
 	"xmlrdb/internal/obs"
@@ -14,9 +15,14 @@ import (
 // Cursor is a streaming query result: rows are produced one at a time
 // as the caller pulls them, so a consumer that stops early (LIMIT, a
 // disconnected client) never pays for the rows it didn't read. The
-// cursor holds the engine's read locks while open; it closes itself
-// when the stream ends or fails, and callers that may abandon a cursor
-// early must Close it (Close is idempotent).
+// cursor holds no locks while open: it pins an immutable snapshot of
+// its source tables at open (see version.go), so writers, Checkpoint
+// and DDL proceed freely while the stream runs and the cursor's rows
+// are exactly the tables' state at open time. It closes itself when the
+// stream ends or fails, and callers that may abandon a cursor early
+// must Close it to release the snapshot pin (Close is idempotent, and
+// safe to call concurrently with Next — serve's request-scoped guard
+// relies on that).
 //
 //	cur, err := db.QueryCursorContext(ctx, sql)
 //	if err != nil { ... }
@@ -34,11 +40,15 @@ type Cursor interface {
 	Row() []any
 	// Err returns the terminal error, if the stream failed.
 	Err() error
-	// Close releases the cursor's locks and flushes its plan statistics.
+	// Close releases the cursor's snapshot pin and flushes its plan
+	// statistics.
 	Close() error
 }
 
 // selectCursor is the engine's streaming cursor over one physical plan.
+// mu serializes Next and Close: Next is single-consumer, but Close may
+// arrive from another goroutine (the serve layer closes abandoned
+// cursors from a request-context watchdog).
 type selectCursor struct {
 	db      *DB
 	plan    *physPlan
@@ -46,7 +56,9 @@ type selectCursor struct {
 	ec      *execCtx
 	row     []any
 	err     error
-	unlock  func() // row locks + db.mu shared; nil once released
+	mu      sync.Mutex
+	closed  bool
+	release func() // version refs + epoch pin; nil once released
 	onClose func(c *selectCursor)
 	start   time.Time
 	sql     string
@@ -54,10 +66,14 @@ type selectCursor struct {
 	span    *obs.Span  // the cursor's engine.select span, ended at Close
 }
 
-// openSelect plans a SELECT and opens its iterator tree. On success the
-// returned cursor holds db.mu shared plus read locks on every source
-// table until Close. A trace in ctx forces per-operator timing on and
-// records planning and (at Close) operator spans.
+// openSelect plans a SELECT and opens its iterator tree. The read locks
+// are held only inside this call: binding, version capture and planning
+// run under db.mu shared plus read locks on every source table (taken
+// together, so multi-table captures are mutually consistent), then the
+// locks drop and the returned cursor streams from the captured versions
+// holding nothing but its snapshot pin. A trace in ctx forces
+// per-operator timing on and records planning and (at Close) operator
+// spans.
 func (db *DB) openSelect(ctx context.Context, s *sqldb.Select, cc *cancelCheck, timing bool) (*selectCursor, error) {
 	tr := obs.TraceFrom(ctx)
 	var selSpan *obs.Span
@@ -91,9 +107,20 @@ func (db *DB) openSelect(ctx context.Context, s *sqldb.Select, cc *cancelCheck, 
 		reads = append(reads, src.ref.Table)
 	}
 	rowUnlock := db.lockRows(nil, reads)
-	unlock := func() {
-		rowUnlock()
-		db.mu.RUnlock()
+	// Pin the statement's snapshot: every source's current version is
+	// captured while all source read locks are held together, so the
+	// captures are mutually consistent, and the epoch is registered for
+	// the vacuum/observability surface.
+	epoch := db.clock.Load()
+	for i := range srcs {
+		srcs[i].ver = srcs[i].t.capture(epoch)
+	}
+	db.pins.pin(epoch)
+	release := func() {
+		for i := range srcs {
+			srcs[i].ver.release()
+		}
+		db.pins.unpin(epoch)
 	}
 	var planSpan *obs.Span
 	if tr != nil {
@@ -105,19 +132,24 @@ func (db *DB) openSelect(ctx context.Context, s *sqldb.Select, cc *cancelCheck, 
 		planSpan.SetErr(err)
 		planSpan.End()
 	}
+	// Planning consulted the catalog and copied the index postings it
+	// needs; execution reads only the captured versions, so the locks
+	// drop here and the cursor streams without blocking any writer.
+	rowUnlock()
+	db.mu.RUnlock()
 	if err != nil {
-		unlock()
+		release()
 		return fail(err)
 	}
 	ec := &execCtx{env: env, cc: cc, timing: timing, sampleMask: sampleMask}
 	it, err := openNode(plan.root, ec)
 	if err != nil {
 		plan.finish(db)
-		unlock()
+		release()
 		return fail(err)
 	}
 	return &selectCursor{db: db, plan: plan, it: it, ec: ec,
-		unlock: unlock, start: time.Now(), trace: tr, span: selSpan}, nil
+		release: release, start: time.Now(), trace: tr, span: selSpan}, nil
 }
 
 func (c *selectCursor) Cols() []string { return c.plan.cols }
@@ -125,17 +157,19 @@ func (c *selectCursor) Row() []any     { return c.row }
 func (c *selectCursor) Err() error     { return c.err }
 
 func (c *selectCursor) Next() bool {
-	if c.err != nil || c.unlock == nil {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil || c.closed {
 		return false
 	}
 	row, err := c.it.Next()
 	if err == io.EOF {
-		c.Close()
+		c.closeLocked()
 		return false
 	}
 	if err != nil {
 		c.err = err
-		c.Close()
+		c.closeLocked()
 		return false
 	}
 	c.row = row
@@ -143,20 +177,27 @@ func (c *selectCursor) Next() bool {
 }
 
 func (c *selectCursor) Close() error {
-	if c.unlock == nil {
-		return nil
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closeLocked()
+	return nil
+}
+
+func (c *selectCursor) closeLocked() {
+	if c.closed {
+		return
 	}
+	c.closed = true
 	c.plan.finish(c.db)
 	c.plan.emitSpans(c.trace, c.span, c.start)
-	c.unlock()
-	c.unlock = nil
+	c.release()
+	c.release = nil
 	if c.onClose != nil {
 		c.onClose(c)
 	}
 	c.span.SetAttr("rows", c.plan.root.stats().rows)
 	c.span.SetErr(c.err)
 	c.span.End()
-	return nil
 }
 
 // finish flushes the plan's runtime statistics into the metrics hub:
@@ -320,9 +361,10 @@ func DrainCursor(c Cursor) (*Rows, error) {
 
 // QueryCursorContext parses a SELECT and returns a streaming cursor
 // over its result. Unlike QueryContext nothing is materialized: rows
-// are produced as the caller pulls them, and the statement's read locks
-// are held until the cursor is closed (or the stream ends). A non-query
-// statement is an error; use ExecCursorContext to accept both.
+// are produced as the caller pulls them out of the snapshot the cursor
+// pinned at open, which stays pinned until the cursor is closed (or the
+// stream ends). A non-query statement is an error; use
+// ExecCursorContext to accept both.
 func (db *DB) QueryCursorContext(ctx context.Context, sql string) (Cursor, error) {
 	st, err := sqldb.Parse(sql)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xmlrdb/internal/faultfs"
@@ -58,6 +59,14 @@ type DB struct {
 	// vecOff disables the vectorized batch executor (vector.go); the
 	// zero value keeps it on.
 	vecOff bool
+
+	// clock is the snapshot epoch clock: it advances on every committed
+	// mutation (in lockstep with WAL appends on durable stores, up to
+	// batching) and cursors pin its value at open. pins registers those
+	// pins so the vacuum and the observability surface can see the
+	// oldest snapshot still being read. See version.go.
+	clock atomic.Uint64
+	pins  pinSet
 }
 
 // SetVectorized toggles the vectorized batch executor (on by default).
@@ -80,11 +89,16 @@ type table struct {
 	// (nil slice until then; nil entries for unencoded columns). Mutated
 	// only under the table's write lock.
 	dicts []*colDict
-	// vec is the lazily built columnar sidecar (dictionary codes) the
-	// vectorized executor reads; vecMu guards it, writes nil it out via
-	// markVecDirty. See dict.go.
-	vec   *vecCache
-	vecMu sync.Mutex
+	// MVCC state (version.go): cur caches the immutable snapshot cursors
+	// capture at open (nil after every mutation; verMu serializes its
+	// lazy re-creation between concurrent readers), liveRefs counts open
+	// captures of the current rows backing array — writers consult it to
+	// decide copy-on-write — and clock points at the owning DB's epoch
+	// clock.
+	cur      *tableVersion
+	verMu    sync.Mutex
+	liveRefs *atomic.Int64
+	clock    *atomic.Uint64
 	// obs holds the table's metrics, nil when collection is off; set
 	// under db.mu exclusive, read under db.mu shared.
 	obs *obs.TableMetrics
@@ -143,7 +157,7 @@ func (db *DB) createTableLocked(def *rel.Table) error {
 	if _, dup := db.tables[def.Name]; dup {
 		return fmt.Errorf("engine: table %q already exists", def.Name)
 	}
-	t := &table{def: def, indexes: make(map[string]*index)}
+	t := &table{def: def, indexes: make(map[string]*index), liveRefs: &atomic.Int64{}, clock: &db.clock}
 	if db.obs != nil {
 		t.obs = db.obs.Table(def.Name)
 	}
@@ -653,7 +667,9 @@ func (db *DB) applyRowLocked(t *table, tableName string, stored []any) (int, err
 		}
 	}
 	pos := len(t.rows)
+	oldCap := cap(t.rows)
 	t.rows = append(t.rows, stored)
+	t.noteAppend(oldCap)
 	for _, e := range keys {
 		e.ix.m[e.key] = append(e.ix.m[e.key], pos)
 	}
@@ -1098,6 +1114,7 @@ func (db *DB) execUpdate(ctx context.Context, up *sqldb.Update) (int, error) {
 			rk.ix.m[rk.oldKey] = removeInt(rk.ix.m[rk.oldKey], pos)
 			rk.ix.m[rk.newKey] = append(rk.ix.m[rk.newKey], pos)
 		}
+		t.prepareWrite()
 		t.rows[pos] = newRow
 		t.markOrderedDirty()
 		changed++
@@ -1162,6 +1179,7 @@ func (db *DB) execDelete(ctx context.Context, del *sqldb.Delete) (int, error) {
 			key := ix.keyOf(row)
 			ix.m[key] = removeInt(ix.m[key], pos)
 		}
+		t.prepareWrite()
 		t.rows[pos] = nil
 		t.markOrderedDirty()
 		deleted++

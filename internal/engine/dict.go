@@ -80,51 +80,36 @@ func (d *colDict) clone() *colDict {
 
 // vecCache is the derived columnar sidecar the vectorized executor
 // reads: for every dictionary-encoded column, the effective dictionary
-// (persisted + overlay) and a per-position code vector aligned to
-// t.rows (dictNull for NULL values, holes, and values of deleted rows).
-// It is immutable once published; writes invalidate it via markVecDirty
-// and the next scan rebuilds it under the table's read lock — the same
-// lazy pattern orderedIndex uses.
+// (persisted + overlay) and a per-position code vector aligned to the
+// captured rows (dictNull for NULL values, holes, and values of deleted
+// rows). Since MVCC it is owned by a tableVersion (version.go) rather
+// than the table: the version's rows are immutable, so the sidecar is
+// built lazily without locks and retires with the version — writes
+// invalidate the cached version via markOrderedDirty and the next
+// cursor's capture rebuilds against the new rows.
 type vecCache struct {
 	dicts []*colDict // per column; nil = column not encoded
 	codes [][]uint32 // per column; nil = column not encoded
 }
 
-// markVecDirty drops the sidecar after a write. Called with the table's
-// write lock held (all mutation paths funnel through markOrderedDirty).
-func (t *table) markVecDirty() {
-	t.vecMu.Lock()
-	t.vec = nil
-	t.vecMu.Unlock()
-}
-
-// vecSidecar returns the current sidecar, rebuilding it if a write
-// invalidated it. The caller must hold the table's read lock; vecMu
-// serializes racing rebuilds between concurrent readers.
-func (t *table) vecSidecar() *vecCache {
-	t.vecMu.Lock()
-	defer t.vecMu.Unlock()
-	if t.vec == nil {
-		t.vec = t.buildVecCache()
-	}
-	return t.vec
-}
-
-func (t *table) buildVecCache() *vecCache {
+// buildVecCache derives the sidecar from one immutable row capture and
+// its dictionaries; ncols is the table's column count (a dicts slice of
+// any other length means the table was never analyzed).
+func buildVecCache(rows [][]any, tdicts []*colDict, ncols int) *vecCache {
 	vc := &vecCache{}
-	if len(t.dicts) != len(t.def.Columns) {
+	if len(tdicts) != ncols {
 		return vc // never analyzed
 	}
-	vc.dicts = make([]*colDict, len(t.dicts))
-	vc.codes = make([][]uint32, len(t.dicts))
-	for c, d := range t.dicts {
+	vc.dicts = make([]*colDict, len(tdicts))
+	vc.codes = make([][]uint32, len(tdicts))
+	for c, d := range tdicts {
 		if d == nil {
 			continue
 		}
 		eff := d
-		codes := make([]uint32, len(t.rows))
+		codes := make([]uint32, len(rows))
 		bad := false
-		for pos, row := range t.rows {
+		for pos, row := range rows {
 			if row == nil || row[c] == nil {
 				codes[pos] = dictNull
 				continue
@@ -222,7 +207,7 @@ func (db *DB) analyzeLocked(name string, t *table) error {
 		return err
 	}
 	t.dicts = dicts
-	t.markVecDirty()
+	t.invalidateVersion()
 	return nil
 }
 
@@ -339,6 +324,6 @@ func (db *DB) applyAnalyzeFrame(r *walReader) error {
 		return errWALCorrupt
 	}
 	t.dicts = dicts
-	t.markVecDirty()
+	t.invalidateVersion()
 	return nil
 }

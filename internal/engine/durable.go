@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"xmlrdb/internal/faultfs"
@@ -122,6 +123,13 @@ func (db *DB) recoverFrom(fs faultfs.FS, dir string, m *obs.Metrics, allowStale 
 		}
 		db.tables, db.order, snapSeq = tables, order, seq
 		break
+	}
+	// Snapshot-loaded tables carry none of the MVCC bookkeeping
+	// (loadSnapshot predates the catalog); wire them to this database's
+	// epoch clock and give them a live refcount before replay.
+	for _, t := range db.tables {
+		t.clock = &db.clock
+		t.liveRefs = &atomic.Int64{}
 	}
 	enforce := db.enforceFK
 	db.enforceFK = false
@@ -329,6 +337,30 @@ func (db *DB) applyFrame(fr walFrame) error {
 	case frameAnalyze:
 		return db.applyAnalyzeFrame(r)
 
+	case frameCompact:
+		name, err := r.str()
+		if err != nil {
+			return err
+		}
+		keep, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		t := db.tables[name]
+		if t == nil {
+			return fmt.Errorf("%w: %q", ErrNoTable, name)
+		}
+		// db.wal is nil during recovery, so compactLocked's logCompact is
+		// a no-op: the compaction re-runs deterministically and the logged
+		// row count cross-checks it.
+		if _, err := db.compactLocked(name, t); err != nil {
+			return err
+		}
+		if uint64(len(t.rows)) != keep {
+			return errWALCorrupt
+		}
+		return nil
+
 	case frameDDL:
 		var rec ddlRecord
 		if err := json.Unmarshal(fr.payload, &rec); err != nil {
@@ -397,7 +429,10 @@ func (db *DB) rollbackMulti(starts map[string]int) {
 // Checkpoint takes a snapshot of the current state, rotates the WAL to
 // a fresh segment, and deletes the log and snapshot files the new
 // snapshot makes redundant. It runs under read locks on every table, so
-// it serializes against writers but not readers.
+// it serializes against writers but not readers — and since cursors
+// release their locks at open (MVCC snapshot reads, version.go), a
+// slow streaming client can no longer wedge a checkpoint behind its
+// open cursor.
 func (db *DB) Checkpoint() error {
 	if db.wal == nil {
 		return ErrNotDurable
@@ -568,6 +603,13 @@ func (db *DB) logDelete(ctx context.Context, table string, positions []int) erro
 		return nil
 	}
 	return db.wal.appendCtx(ctx, frameDelete, encodeDeleteFrame(table, positions))
+}
+
+func (db *DB) logCompact(table string, keep int) error {
+	if db.wal == nil {
+		return nil
+	}
+	return db.wal.append(frameCompact, encodeCompactFrame(table, keep))
 }
 
 func (db *DB) logDDL(rec ddlRecord) error {

@@ -13,10 +13,14 @@ import (
 // halves share: predicate/projection analysis and group-context
 // expression evaluation.
 
-// source is one table binding participating in a SELECT.
+// source is one table binding participating in a SELECT. ver is the
+// immutable snapshot captured at cursor open (version.go): planning
+// consults the live table under the open-time locks, execution reads
+// only ver.
 type source struct {
 	ref  sqldb.TableRef
 	t    *table
+	ver  *tableVersion
 	on   sqldb.Expr // explicit JOIN condition (nil for FROM items)
 	left bool       // LEFT OUTER join
 }

@@ -146,8 +146,11 @@ const (
 // scanNode reads one source table, emitting full-width rows with its
 // binding's columns at the binding offset. positions (index and range
 // scans) pins the row positions resolved at plan time; a sequential
-// scan leaves it nil and walks t.rows. Pushed predicates not consumed
-// by the access path are re-checked per emitted row.
+// scan leaves it nil and walks the captured version's rows. Execution
+// never touches the live table — the iterator reads the immutable
+// snapshot in src.ver, so no locks are held while the cursor streams.
+// Pushed predicates not consumed by the access path are re-checked per
+// emitted row.
 type scanNode struct {
 	nodeBase
 	src       source
@@ -195,13 +198,14 @@ func (n *scanNode) open(ec *execCtx) (rowIter, error) {
 			n.src.t.obs.IndexHits.Inc()
 		}
 	}
-	return &scanIter{n: n, ec: ec}, nil
+	return &scanIter{n: n, ec: ec, rows: n.src.ver.rows}, nil
 }
 
 type scanIter struct {
-	n   *scanNode
-	ec  *execCtx
-	pos int
+	n    *scanNode
+	ec   *execCtx
+	rows [][]any // the open-time snapshot (src.ver.rows)
+	pos  int
 }
 
 func (it *scanIter) Next() ([]any, error) {
@@ -212,12 +216,12 @@ func (it *scanIter) Next() ([]any, error) {
 			if it.pos >= len(n.positions) {
 				return nil, io.EOF
 			}
-			row = n.src.t.rows[n.positions[it.pos]]
+			row = it.rows[n.positions[it.pos]]
 		} else {
-			if it.pos >= len(n.src.t.rows) {
+			if it.pos >= len(it.rows) {
 				return nil, io.EOF
 			}
-			row = n.src.t.rows[it.pos]
+			row = it.rows[it.pos]
 		}
 		it.pos++
 		if row == nil {

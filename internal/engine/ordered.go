@@ -139,14 +139,15 @@ func (ix *orderedIndex) scan(t *table, b rangeBounds) []int {
 
 // markOrderedDirty flags every ordered index of the table after a
 // write. It is the single choke point every mutation path goes through,
-// so the vectorized executor's code sidecar is invalidated here too.
+// so the MVCC version cache is invalidated here too (which also retires
+// the version-owned columnar sidecar) and the epoch clock advances.
 func (t *table) markOrderedDirty() {
 	for _, ix := range t.ordered {
 		ix.mu.Lock()
 		ix.dirty = true
 		ix.mu.Unlock()
 	}
-	t.markVecDirty()
+	t.invalidateVersion()
 }
 
 // findOrdered returns an ordered index on the column, or nil.

@@ -16,9 +16,12 @@ import (
 // The tree executes as streaming iterators (operators.go); nothing is
 // materialized here beyond index posting lists.
 //
-// Planning runs under db.mu shared and the statement's row locks, so
-// the catalog and index postings it consults cannot change underneath
-// it; the cursor holds those locks until it is closed.
+// Planning runs under db.mu shared and the statement's row locks — the
+// catalog and index postings it consults cannot change underneath it —
+// but the locks drop as soon as the plan is built: execution reads the
+// immutable table versions captured into each source (version.go), and
+// any posting list the plan keeps is copied here because writers mutate
+// the live posting slices in place after the locks release.
 
 // physPlan is a planned SELECT: the operator tree, the output column
 // names and the shared row environment the iterators evaluate in.
@@ -299,8 +302,10 @@ func (db *DB) planScan(src source, env *rowEnv, preds []sqldb.Expr) (*scanNode, 
 		if ix := src.t.findIndex(eqCols); ix != nil {
 			// A consulted index with no postings must yield an empty scan,
 			// not a fallback to the full scan: the consumed equality
-			// predicates are gone from restPreds.
-			pos := ix.m[encodeKey(eqVals)]
+			// predicates are gone from restPreds. The postings are copied —
+			// writers extend and compact the live slice in place after the
+			// open-time locks release, and this plan outlives them.
+			pos := append([]int(nil), ix.m[encodeKey(eqVals)]...)
 			if pos == nil {
 				pos = []int{}
 			}
@@ -323,7 +328,7 @@ func (db *DB) planScan(src source, env *rowEnv, preds []sqldb.Expr) (*scanNode, 
 	if n.positions != nil {
 		n.hint = len(n.positions)
 	} else {
-		n.hint = len(src.t.rows)
+		n.hint = len(src.ver.rows)
 	}
 	return n, nil
 }

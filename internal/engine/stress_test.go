@@ -228,3 +228,150 @@ poll:
 		t.Fatal("recovered store lost the table")
 	}
 }
+
+// TestSnapshotStressUnderChurn extends the serving mix with the MVCC
+// invariants, under -race:
+//
+//   - snapshot stability: a cursor opened between whole-table UPDATEs
+//     streams one uniform generation — it never mixes pre- and
+//     post-update rows, no matter how many updates commit mid-stream;
+//   - torn-read freedom: every streamed row is a complete generation
+//     value, asserted by the uniformity check itself;
+//   - vacuum safety: concurrent DELETE/INSERT churn plus explicit
+//     compaction never perturbs an open cursor.
+func TestSnapshotStressUnderChurn(t *testing.T) {
+	db := Open()
+	if _, _, err := db.Exec("CREATE TABLE gens (id INTEGER PRIMARY KEY, gen INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	const stable = 50 // rows carrying the generation invariant (id < 100)
+	for i := 0; i < stable; i++ {
+		if _, _, err := db.Exec(fmt.Sprintf("INSERT INTO gens VALUES (%d, 0)", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var writersWg, readersWg sync.WaitGroup
+	errCh := make(chan error, 16)
+	report := func(format string, args ...any) {
+		select {
+		case errCh <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+	stop := make(chan struct{})
+
+	// Writer: bump every stable row to a fresh generation in one
+	// statement, as fast as the engine allows.
+	writersWg.Add(1)
+	go func() {
+		defer writersWg.Done()
+		for k := int64(1); ; k++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, _, err := db.Exec(fmt.Sprintf("UPDATE gens SET gen = %d WHERE id < 100", k)); err != nil {
+				report("update: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Hole churn + vacuum: transient rows (id >= 1000) appear and
+	// disappear, and compaction renumbers the table underneath any open
+	// cursor.
+	writersWg.Add(1)
+	go func() {
+		defer writersWg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := 1000 + i%32
+			if _, _, err := db.Exec(fmt.Sprintf("INSERT INTO gens VALUES (%d, -1)", id)); err != nil {
+				report("churn insert: %v", err)
+				return
+			}
+			if _, _, err := db.Exec(fmt.Sprintf("DELETE FROM gens WHERE id = %d", id)); err != nil {
+				report("churn delete: %v", err)
+				return
+			}
+			if i%8 == 0 {
+				if _, err := db.CompactTable("gens"); err != nil {
+					report("compact: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Snapshot readers: each opens a cursor, dawdles mid-stream so many
+	// updates commit underneath it, and requires every streamed gen to
+	// be the same value — the statement-atomic snapshot contract.
+	const readers = 4
+	for w := 0; w < readers; w++ {
+		readersWg.Add(1)
+		go func() {
+			defer readersWg.Done()
+			for r := 0; r < 40; r++ {
+				cur, err := db.QueryCursorContext(context.Background(), "SELECT gen FROM gens WHERE id < 100 ORDER BY id")
+				if err != nil {
+					report("open: %v", err)
+					return
+				}
+				var first int64
+				n := 0
+				for cur.Next() {
+					g := cur.Row()[0].(int64)
+					if n == 0 {
+						first = g
+					} else if g != first {
+						report("snapshot mixed generations: row %d has gen %d, first was %d", n, g, first)
+						cur.Close()
+						return
+					}
+					n++
+					if n%16 == 0 {
+						time.Sleep(200 * time.Microsecond)
+					}
+				}
+				if err := cur.Err(); err != nil {
+					report("stream: %v", err)
+					return
+				}
+				if n != stable {
+					report("snapshot saw %d stable rows, want %d", n, stable)
+					return
+				}
+			}
+		}()
+	}
+
+	// The readers are the bounded part of the workload: wait for them,
+	// then stop the open-ended writers.
+	readersDone := make(chan struct{})
+	go func() {
+		readersWg.Wait()
+		close(readersDone)
+	}()
+	select {
+	case <-readersDone:
+	case <-time.After(120 * time.Second):
+		t.Error("readers did not finish in time")
+	}
+	close(stop)
+	writersWg.Wait()
+	select {
+	case e := <-errCh:
+		t.Fatal(e)
+	default:
+	}
+	if db.PinnedCursors() != 0 {
+		t.Fatalf("stress leaked %d cursor pins", db.PinnedCursors())
+	}
+}
+

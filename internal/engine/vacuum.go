@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Vacuum. MVCC reclaims superseded row versions automatically — when
+// the last cursor pinning a backing array closes, the garbage collector
+// takes it — but deleted rows are a different leak: DELETE nils the
+// slot (positions are baked into WAL frames and index postings) and
+// nothing ever reclaims it. CompactTable rewrites a table without its
+// dead slots, logged as its own WAL frame so recovery reproduces the
+// renumbering deterministically, and StartVacuum runs it periodically
+// in the background. Snapshot reads make compaction always safe for
+// concurrent cursors: an open cursor keeps reading the array and
+// positions it captured, regardless of how the table is rewritten
+// underneath it.
+
+// CompactTable reclaims the dead slots DELETE leaves behind in one
+// table: live rows are packed in order, hash indexes are rebuilt for
+// the new positions, and on a durable store the operation is logged as
+// one WAL frame before it is published (recovery recomputes the same
+// deterministic drop-the-nils mapping). Open cursors are unaffected —
+// they stream their captured snapshot. It returns the number of slots
+// reclaimed; zero means the table was already compact and nothing was
+// logged.
+func (db *DB) CompactTable(name string) (int, error) {
+	db.mu.RLock()
+	t := db.tables[name]
+	if t == nil {
+		db.mu.RUnlock()
+		return 0, fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	unlock := db.lockRows([]string{name}, nil)
+	removed, err := db.compactLocked(name, t)
+	unlock()
+	db.mu.RUnlock()
+	if err == nil && removed > 0 {
+		db.maybeCheckpoint()
+	}
+	return removed, err
+}
+
+// compactLocked does the work of CompactTable under the caller's locks
+// (the table's write lock; db.mu shared — or nothing during recovery,
+// when the database is not yet shared). The new rows and index maps are
+// built privately and published only after the WAL append succeeds, so
+// a failed append leaves the table untouched.
+func (db *DB) compactLocked(name string, t *table) (int, error) {
+	dead := 0
+	for _, row := range t.rows {
+		if row == nil {
+			dead++
+		}
+	}
+	if dead == 0 {
+		return 0, nil
+	}
+	newRows := make([][]any, 0, len(t.rows)-dead)
+	for _, row := range t.rows {
+		if row != nil {
+			newRows = append(newRows, row)
+		}
+	}
+	newMaps := make(map[string]map[string][]int, len(t.indexes))
+	for iname, ix := range t.indexes {
+		m := make(map[string][]int, len(ix.m))
+		for pos, row := range newRows {
+			key := ix.keyOf(row)
+			m[key] = append(m[key], pos)
+		}
+		newMaps[iname] = m
+	}
+	if err := db.logCompact(name, len(newRows)); err != nil {
+		return 0, err
+	}
+	t.rows = newRows
+	t.liveRefs = &atomic.Int64{} // fresh array: no capture references it
+	for iname, ix := range t.indexes {
+		ix.m = newMaps[iname]
+	}
+	t.markOrderedDirty()
+	return dead, nil
+}
+
+// Vacuum compacts every table that has dead slots, in creation order,
+// and returns the total number of slots reclaimed. A table dropped
+// concurrently is skipped.
+func (db *DB) Vacuum() (int, error) {
+	total := 0
+	for _, name := range db.TableNames() {
+		n, err := db.CompactTable(name)
+		if err != nil {
+			if errors.Is(err, ErrNoTable) {
+				continue
+			}
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// StartVacuum launches a background goroutine that runs Vacuum every
+// interval until the returned stop function is called (stop is
+// idempotent and waits for an in-flight pass to finish). Errors from a
+// background pass are dropped: a broken WAL surfaces on the next
+// foreground write, and an in-memory store cannot fail.
+func (db *DB) StartVacuum(every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	var once sync.Once
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				_, _ = db.Vacuum()
+			}
+		}
+	}()
+	return func() {
+		once.Do(func() { close(done) })
+		wg.Wait()
+	}
+}

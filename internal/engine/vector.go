@@ -578,12 +578,13 @@ func (n *vecNode) open(ec *execCtx) (rowIter, error) {
 			t.obs.IndexHits.Inc()
 		}
 	}
-	vc := t.vecSidecar()
+	ver := n.scan.src.ver
+	vc := ver.sidecar()
 	runs := make([]predRun, len(n.preds))
 	for i, p := range n.preds {
 		runs[i] = compilePredRun(p, vc)
 	}
-	it := &vecIter{n: n, ec: ec, ex: &vecExec{n: n, t: t, runs: runs}, vc: vc}
+	it := &vecIter{n: n, ec: ec, ex: &vecExec{n: n, rows: ver.rows, runs: runs}, vc: vc}
 	if n.agg != nil {
 		// Aggregation is a pipeline breaker, exactly like aggNode.
 		if err := it.runAgg(); err != nil {
@@ -595,10 +596,10 @@ func (n *vecNode) open(ec *execCtx) (rowIter, error) {
 }
 
 // vecExec feeds batches of live row positions through the predicate
-// kernels.
+// kernels, reading the immutable open-time snapshot.
 type vecExec struct {
 	n      *vecNode
-	t      *table
+	rows   [][]any // the captured version's rows
 	runs   []predRun
 	cursor int
 	ramp   int
@@ -621,17 +622,17 @@ func (e *vecExec) nextBatch(ec *execCtx) (sel []int, ok bool, err error) {
 		for e.cursor < len(sc.positions) && len(e.buf) < size {
 			pos := sc.positions[e.cursor]
 			e.cursor++
-			if e.t.rows[pos] == nil {
+			if e.rows[pos] == nil {
 				continue
 			}
 			sc.visited++
 			e.buf = append(e.buf, pos)
 		}
 	} else {
-		for e.cursor < len(e.t.rows) && len(e.buf) < size {
+		for e.cursor < len(e.rows) && len(e.buf) < size {
 			pos := e.cursor
 			e.cursor++
-			if e.t.rows[pos] == nil {
+			if e.rows[pos] == nil {
 				continue
 			}
 			sc.visited++
@@ -649,7 +650,7 @@ func (e *vecExec) nextBatch(ec *execCtx) (sel []int, ok bool, err error) {
 		if len(sel) == 0 {
 			break
 		}
-		sel = e.runs[i].filter(e.t.rows, sel)
+		sel = e.runs[i].filter(e.rows, sel)
 	}
 	e.n.batches++
 	e.n.selRows += int64(len(sel))
@@ -697,7 +698,7 @@ func (it *vecIter) fill() error {
 		return nil
 	}
 	p := it.n.proj
-	rows := it.ex.t.rows
+	rows := it.ex.rows
 	width := len(p.cols) + len(p.orderIdx)
 	out := it.out[:0]
 	for _, pos := range sel {
@@ -747,7 +748,7 @@ func newVecGroup(firstPos, nAccs int) vecGroup {
 // then materializes the output rows in first-seen group order.
 func (it *vecIter) runAgg() error {
 	a := it.n.agg
-	rows := it.ex.t.rows
+	rows := it.ex.rows
 	var groups []vecGroup
 
 	// Group-id assignment: a single dictionary-encoded key indexes a

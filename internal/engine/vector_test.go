@@ -152,7 +152,9 @@ func TestDictRoundTrip(t *testing.T) {
 	tbl := db.tables["ev"]
 	tbl.mu.RLock()
 	defer tbl.mu.RUnlock()
-	vc := tbl.vecSidecar()
+	ver := tbl.capture(db.clock.Load())
+	defer ver.release()
+	vc := ver.sidecar()
 	encoded := 0
 	for c, codes := range vc.codes {
 		if codes == nil {

@@ -1,0 +1,199 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// MVCC snapshot reads. Cursors used to hold db.mu shared plus per-table
+// read locks from open until Close, which made a single slow streaming
+// client block every writer (and, because Go's RWMutex queues writers,
+// every later reader — including Checkpoint) on the tables it touched.
+// Instead, a cursor now pins an immutable *version* of each source
+// table at open and holds no locks at all while streaming:
+//
+//   - At open the cursor briefly takes the usual read locks, captures
+//     each source's current tableVersion (lazily created and cached on
+//     the table until the next mutation) and pins the epoch clock, then
+//     releases the locks before the iterator tree opens.
+//   - Writers install new state under the table's write lock exactly as
+//     before, but copy the outer row slice first (copy-on-write) when
+//     any capture still references the current backing array, so a
+//     version's rows never change underneath an open cursor. Appends
+//     never need the copy: a version only reads up to its captured
+//     length, and row value slices are immutable once stored (UPDATE
+//     builds a fresh row, DELETE nils the slot).
+//   - Close drops the version references and unpins the epoch. Old
+//     backing arrays are reclaimed by the garbage collector as soon as
+//     the last capture drops; the background vacuum (vacuum.go)
+//     additionally compacts the deleted-row slots the engine itself
+//     never reclaims.
+//
+// The epoch clock advances on every committed mutation (in lockstep
+// with WAL appends on durable stores, up to batching) and exists for
+// observability and the vacuum: the pin registry answers "what is the
+// oldest snapshot still being read".
+
+// tableVersion is one immutable capture of a table's row state. rows
+// and dicts are frozen: no mutation path ever writes through them while
+// a capture exists (see prepareWrite). The version owns its lazily
+// built columnar sidecar, so the vectorized executor reads codes that
+// are exactly aligned with the captured rows — the old invalidate-on-
+// write protocol rides version lifetimes instead.
+type tableVersion struct {
+	rows  [][]any
+	dicts []*colDict
+	ncols int
+	epoch uint64
+	// refs counts open captures of the rows backing array. Versions that
+	// share a backing array (appends without reallocation) share the
+	// counter; writers consult it through table.liveRefs to decide
+	// copy-on-write.
+	refs *atomic.Int64
+
+	vecMu sync.Mutex
+	vec   *vecCache
+}
+
+// sidecar returns the version's columnar sidecar, building it on first
+// use. The version's rows are immutable, so the build needs no table
+// locks; vecMu serializes racing builders between concurrent cursors.
+func (v *tableVersion) sidecar() *vecCache {
+	v.vecMu.Lock()
+	defer v.vecMu.Unlock()
+	if v.vec == nil {
+		v.vec = buildVecCache(v.rows, v.dicts, v.ncols)
+	}
+	return v.vec
+}
+
+// release drops one capture reference.
+func (v *tableVersion) release() { v.refs.Add(-1) }
+
+// capture returns the table's current version, creating and caching it
+// on first use after a mutation, and takes a reference the caller must
+// release. The caller must hold the table's row lock (shared or
+// exclusive); verMu serializes lazy creation between concurrent
+// readers.
+func (t *table) capture(epoch uint64) *tableVersion {
+	t.verMu.Lock()
+	defer t.verMu.Unlock()
+	if t.liveRefs == nil {
+		t.liveRefs = &atomic.Int64{}
+	}
+	if t.cur == nil {
+		t.cur = &tableVersion{
+			rows:  t.rows,
+			dicts: t.dicts,
+			ncols: len(t.def.Columns),
+			epoch: epoch,
+			refs:  t.liveRefs,
+		}
+	}
+	t.cur.refs.Add(1)
+	return t.cur
+}
+
+// invalidateVersion drops the cached capture after a mutation (new
+// captures will see the new state) and advances the epoch clock. Called
+// with the table's write lock held; every mutation path funnels through
+// markOrderedDirty, which calls this.
+func (t *table) invalidateVersion() {
+	t.verMu.Lock()
+	t.cur = nil
+	t.verMu.Unlock()
+	if t.clock != nil {
+		t.clock.Add(1)
+	}
+}
+
+// prepareWrite makes t.rows safe to mutate in place. When an open
+// capture still references the current backing array, the outer slice
+// is copied first — after that the statement owns a private array and
+// every capture stays frozen. Called under the table's write lock
+// before the first in-place slot write of a statement; writes to slots
+// the copy created are then invisible to all captures.
+func (t *table) prepareWrite() {
+	if t.liveRefs == nil || t.liveRefs.Load() == 0 {
+		return
+	}
+	t.rows = append(make([][]any, 0, len(t.rows)+len(t.rows)/4+1), t.rows...)
+	t.liveRefs = &atomic.Int64{}
+}
+
+// noteAppend records that an append to t.rows may have reallocated the
+// backing array: a reallocated array is private to the table, so it
+// gets a fresh reference counter and later in-place writes skip the
+// copy-on-write. Captures keep the counter of the array they hold.
+func (t *table) noteAppend(oldCap int) {
+	if cap(t.rows) != oldCap && t.liveRefs != nil && t.liveRefs.Load() != 0 {
+		t.liveRefs = &atomic.Int64{}
+	}
+}
+
+// pinSet is the registry of pinned snapshot epochs: one pin per open
+// cursor, keyed by the epoch captured at open. The vacuum and the
+// observability surface read it to find the oldest snapshot still in
+// use.
+type pinSet struct {
+	mu   sync.Mutex
+	pins map[uint64]int
+}
+
+func (p *pinSet) pin(epoch uint64) {
+	p.mu.Lock()
+	if p.pins == nil {
+		p.pins = make(map[uint64]int)
+	}
+	p.pins[epoch]++
+	p.mu.Unlock()
+}
+
+func (p *pinSet) unpin(epoch uint64) {
+	p.mu.Lock()
+	if n := p.pins[epoch]; n <= 1 {
+		delete(p.pins, epoch)
+	} else {
+		p.pins[epoch] = n - 1
+	}
+	p.mu.Unlock()
+}
+
+// oldest returns the smallest pinned epoch; ok is false when nothing is
+// pinned.
+func (p *pinSet) oldest() (uint64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var min uint64
+	found := false
+	for e := range p.pins {
+		if !found || e < min {
+			min, found = e, true
+		}
+	}
+	return min, found
+}
+
+func (p *pinSet) count() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, c := range p.pins {
+		n += c
+	}
+	return n
+}
+
+// Epoch returns the current value of the mutation epoch clock; it
+// advances on every committed mutation.
+func (db *DB) Epoch() uint64 { return db.clock.Load() }
+
+// PinnedCursors returns the number of open cursors currently pinning a
+// snapshot epoch. Serving code and tests use it to verify that closed
+// or abandoned cursors released their pins.
+func (db *DB) PinnedCursors() int { return db.pins.count() }
+
+// OldestPinnedEpoch returns the oldest epoch an open cursor still pins
+// (ok=false when no cursor is open). State from epochs at or after the
+// returned value must be retained; everything older is reclaimable.
+func (db *DB) OldestPinnedEpoch() (uint64, bool) { return db.pins.oldest() }

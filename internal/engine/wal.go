@@ -43,6 +43,7 @@ const (
 	frameDelete  byte = 5 // table, pos*
 	frameDDL     byte = 6 // JSON ddlRecord
 	frameAnalyze byte = 7 // table, per-column dictionaries (dict.go)
+	frameCompact byte = 8 // table, post-compaction row count (vacuum.go)
 )
 
 // walMaxFrame bounds a single frame body; larger length prefixes are
@@ -560,4 +561,12 @@ func encodeDeleteFrame(table string, positions []int) []byte {
 
 func encodeDDLFrame(rec ddlRecord) ([]byte, error) {
 	return json.Marshal(rec)
+}
+
+// encodeCompactFrame records a vacuum compaction: the replayer re-runs
+// the (deterministic) compaction and validates the surviving row count
+// against keep.
+func encodeCompactFrame(table string, keep int) []byte {
+	buf := appendWALString(nil, table)
+	return binary.AppendUvarint(buf, uint64(keep))
 }

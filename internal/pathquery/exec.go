@@ -3,6 +3,7 @@ package pathquery
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"xmlrdb/internal/engine"
 	"xmlrdb/internal/obs"
@@ -36,12 +37,17 @@ func ExecuteCursor(ctx context.Context, db *engine.DB, tr *Translation) engine.C
 	return &unionCursor{ctx: ctx, db: db, sqls: tr.SQLs, cols: tr.Cols}
 }
 
-// unionCursor concatenates the per-arm engine cursors.
+// unionCursor concatenates the per-arm engine cursors. Close may be
+// called from another goroutine while Next runs (the serve layer closes
+// abandoned cursors from a request-context watchdog), so both entry
+// points serialize on mu.
 type unionCursor struct {
-	ctx    context.Context
-	db     *engine.DB
-	sqls   []string
-	cols   []string
+	ctx  context.Context
+	db   *engine.DB
+	sqls []string
+	cols []string
+
+	mu     sync.Mutex
 	i      int
 	cur    engine.Cursor
 	row    []any
@@ -51,23 +57,30 @@ type unionCursor struct {
 
 func (u *unionCursor) Cols() []string { return u.cols }
 func (u *unionCursor) Row() []any     { return u.row }
-func (u *unionCursor) Err() error     { return u.err }
+
+func (u *unionCursor) Err() error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.err
+}
 
 func (u *unionCursor) Next() bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
 	for {
 		if u.closed || u.err != nil {
 			return false
 		}
 		if u.cur == nil {
 			if u.i >= len(u.sqls) {
-				u.Close()
+				u.closeLocked()
 				return false
 			}
 			cur, err := u.db.QueryCursorContext(u.ctx, u.sqls[u.i])
 			u.i++
 			if err != nil {
 				u.err = err
-				u.Close()
+				u.closeLocked()
 				return false
 			}
 			u.cur = cur
@@ -78,7 +91,7 @@ func (u *unionCursor) Next() bool {
 		}
 		if err := u.cur.Err(); err != nil {
 			u.err = err
-			u.Close()
+			u.closeLocked()
 			return false
 		}
 		u.cur = nil // arm exhausted (already self-closed); advance
@@ -86,15 +99,21 @@ func (u *unionCursor) Next() bool {
 }
 
 func (u *unionCursor) Close() error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.closeLocked()
+	return nil
+}
+
+func (u *unionCursor) closeLocked() {
 	if u.closed {
-		return nil
+		return
 	}
 	u.closed = true
 	if u.cur != nil {
 		u.cur.Close()
 		u.cur = nil
 	}
-	return nil
 }
 
 // translateTraced wraps Translate in a pathquery.translate span: path,

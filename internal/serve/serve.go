@@ -250,8 +250,15 @@ const streamFlushEvery = 64
 // started cannot change the status line, so the connection is aborted
 // instead — the client sees a truncated body, not a complete-looking
 // partial result.
-func (s *Server) streamRows(w http.ResponseWriter, cur xmlrdb.Cursor) error {
+func (s *Server) streamRows(ctx context.Context, w http.ResponseWriter, cur xmlrdb.Cursor) error {
 	defer cur.Close()
+	// Idle-cursor guard: a cursor pins an MVCC snapshot (and its row
+	// versions) until Close, so an abandoned connection must not keep it
+	// open — close the cursor the moment the request context dies.
+	// Cursors tolerate Close racing Next; the loop then sees Next()
+	// return false and falls through to the normal epilogue.
+	stop := context.AfterFunc(ctx, func() { cur.Close() })
+	defer stop()
 	have := cur.Next()
 	if err := cur.Err(); err != nil {
 		return err
@@ -320,7 +327,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	return s.streamRows(w, cur)
+	return s.streamRows(r.Context(), w, cur)
 }
 
 // handlePath executes a path query (?q=), or renders its EXPLAIN
@@ -344,7 +351,7 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	return s.streamRows(w, cur)
+	return s.streamRows(r.Context(), w, cur)
 }
 
 // handleDoc reconstructs one document by id.

@@ -288,3 +288,61 @@ func TestServeAndShutdownLifecycle(t *testing.T) {
 func newLocalListener() (net.Listener, error) {
 	return net.Listen("tcp", "127.0.0.1:0")
 }
+
+// TestDisconnectReleasesCursorPin: a client that abandons a streaming
+// /query mid-response must not keep the MVCC snapshot pinned open —
+// the request-context guard in streamRows closes the cursor the
+// moment the connection dies, so writers and the vacuum never wait on
+// a dead client.
+func TestDisconnectReleasesCursorPin(t *testing.T) {
+	p := testPipeline(t)
+	// A result comfortably larger than the response and socket buffers,
+	// so the handler is still streaming when the client walks away.
+	if _, _, err := p.DB.Exec(`CREATE TABLE big (id INTEGER PRIMARY KEY, pad TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	pad := strings.Repeat("x", 256)
+	rows := make([][]any, 20000)
+	for i := range rows {
+		rows[i] = []any{int64(i), pad}
+	}
+	if _, err := p.DB.InsertBatch("big", rows); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(p, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "GET /query?sql=SELECT+*+FROM+big HTTP/1.1\r\nHost: test\r\n\r\n")
+	// Read just the response head, then stall: the handler fills the
+	// buffers and blocks with its cursor open.
+	buf := make([]byte, 1024)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "cursor pin to appear", func() bool { return p.DB.PinnedCursors() > 0 })
+
+	// Abandon the connection; the pin must drop without the client ever
+	// draining the response.
+	conn.Close()
+	waitFor(t, "cursor pin to be released after disconnect", func() bool {
+		return p.DB.PinnedCursors() == 0
+	})
+}
+
+// waitFor polls cond until it holds or a deadline expires.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
