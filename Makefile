@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-vec race-mvcc check crash-matrix bench bench-parallel bench-json stats-demo serve-smoke explain-golden bench-streaming-smoke bench-vec-smoke
+.PHONY: build test vet race race-vec race-mvcc check crash-matrix bench bench-parallel bench-json stats-demo serve-smoke explain-golden bench-streaming-smoke bench-vec-smoke bench-cbo-smoke
 
 build:
 	$(GO) build ./...
@@ -43,7 +43,7 @@ crash-matrix:
 	$(GO) test -race -run 'TestCrash|TestDurable|TestWALReplay|TestSnapshotEvery|FuzzWALReplay' ./internal/engine/
 	$(GO) test -race ./internal/faultfs/
 
-check: vet build test race race-vec race-mvcc crash-matrix explain-golden bench-streaming-smoke bench-vec-smoke serve-smoke
+check: vet build test race race-vec race-mvcc crash-matrix explain-golden bench-streaming-smoke bench-vec-smoke bench-cbo-smoke serve-smoke
 
 # Golden physical-plan tests: the executed EXPLAIN tree for the
 # planner's main shapes must match testdata/explain/*.golden
@@ -63,6 +63,13 @@ bench-streaming-smoke:
 bench-vec-smoke:
 	$(GO) test -run XXX -bench BenchmarkVecAggregate -benchtime 1x ./internal/engine/
 
+# Cost-based-optimizer smoke: the skewed-chain test proves the planner
+# reorders the join and builds the small hash side (and that both
+# planners agree on the rows), then one iteration of the chain
+# benchmark re-checks the count under each planner.
+bench-cbo-smoke:
+	$(GO) test -run TestCBOPicksCheaperOrder -bench BenchmarkCBOJoinChain -benchtime 1x ./internal/engine/
+
 # Serving smoke test: boot xmlserve on the bibliography testdata, run a
 # scripted curl mix over every endpoint (including saturation shedding
 # and an in-flight request across SIGTERM), and fail on any unexpected
@@ -74,10 +81,11 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable perf trajectory: re-run the E9b streaming benchmark
-# and the E14 vectorized-execution experiment, writing the latter's
-# timings and snapshot sizes to BENCH_E14.json for cross-PR diffing.
+# and the E13/E14 experiments, writing their timings to BENCH_E13.json
+# and BENCH_E14.json for cross-PR diffing.
 bench-json:
 	$(GO) test -run XXX -bench BenchmarkStreamingLimit -benchtime 1x ./internal/engine/
+	$(GO) run ./cmd/xmlbench -exp e13 -json BENCH_E13.json
 	$(GO) run ./cmd/xmlbench -exp e14 -json BENCH_E14.json
 
 # Regenerate the E5b parallel-load numbers (EXPERIMENTS.md).

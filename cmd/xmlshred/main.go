@@ -4,7 +4,8 @@
 // Usage:
 //
 //	xmlshred -dtd schema.dtd [-strategy junction|fold] [-verify]
-//	         [-workers n] [-dump table] [-data-dir dir [-snapshot-every n]]
+//	         [-workers n] [-dump table] [-analyze]
+//	         [-data-dir dir [-snapshot-every n]]
 //	         doc1.xml [doc2.xml ...]
 package main
 
@@ -39,6 +40,7 @@ func run(args []string, w io.Writer) error {
 	debugAddr := fs.String("debug-addr", "", "serve /debug/metrics, /debug/vars and /debug/pprof on this address while loading")
 	dataDir := fs.String("data-dir", "", "durable store directory (write-ahead logged; reopening recovers loaded documents)")
 	snapEvery := fs.Int("snapshot-every", 0, "snapshot the store and truncate the log after this many WAL frames (0 disables; requires -data-dir)")
+	analyze := fs.Bool("analyze", false, "run ANALYZE after loading: builds dictionaries and the optimizer statistics (persisted on durable stores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -116,6 +118,12 @@ func run(args []string, w io.Writer) error {
 			}
 			fmt.Fprintf(w, "%s: loaded as document %d\n", path, id)
 		}
+	}
+	if *analyze {
+		if err := p.Analyze(); err != nil {
+			return fmt.Errorf("analyze: %w", err)
+		}
+		fmt.Fprintln(w, "analyzed: optimizer statistics collected for all tables")
 	}
 	st := p.Stats()
 	fmt.Fprintf(w, "store: %d tables, %d rows, ~%d bytes\n", st.Tables, st.Rows, st.Bytes)

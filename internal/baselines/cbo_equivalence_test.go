@@ -1,0 +1,164 @@
+package baselines
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"testing"
+
+	"xmlrdb/internal/dtd"
+	"xmlrdb/internal/engine"
+	"xmlrdb/internal/paper"
+	"xmlrdb/internal/pathquery"
+	"xmlrdb/internal/wgen"
+)
+
+// e9Queries is the E9 matrix: the per-query-class join-count queries
+// over the paper DTD that EXPERIMENTS.md reports per mapping.
+var e9Queries = []string{
+	"/book",
+	"/book/booktitle/text()",
+	"/book/author",
+	"/article/author/name",
+	"/article/author[@id='wlee']",
+	"/article/contactauthor[@authorid]",
+	"//author",
+	"/editor//editor",
+}
+
+// sortedRowSet renders every result row as JSON and sorts the
+// renderings: join reordering and build-side swaps may change emission
+// order, but the row multiset must be byte-identical.
+func sortedRowSet(t *testing.T, db *engine.DB, trans *pathquery.Translation) []string {
+	t.Helper()
+	rows, err := pathquery.Execute(db, trans)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	out := make([]string, len(rows.Data))
+	for i, r := range rows.Data {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = string(b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestCBOEquivalenceE9Matrix is the planner-equivalence battery the
+// cost-based optimizer ships with: reordered plans must return
+// byte-identical rows to the seed planner across the whole E9 matrix
+// (every mapping × every query class), with and without statistics.
+func TestCBOEquivalenceE9Matrix(t *testing.T) {
+	d := dtd.MustParse(paper.Example1DTD)
+	docs, err := wgen.Corpus(d, 30, 7, wgen.DocConfig{MaxRepeat: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maps, err := All(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range maps {
+		db := engine.Open()
+		if err := db.CreateSchema(m.Schema()); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		for di, doc := range docs {
+			if _, err := m.Load(db, doc, fmt.Sprintf("d%d", di)); err != nil {
+				t.Fatalf("%s doc %d: %v", m.Name(), di, err)
+			}
+		}
+		for _, qs := range e9Queries {
+			trans, err := m.Translator().Translate(pathquery.MustParse(qs))
+			if err != nil {
+				continue // mapping cannot address this query class
+			}
+			db.SetCostBased(false)
+			want := sortedRowSet(t, db, trans)
+			check := func(variant string) {
+				got := sortedRowSet(t, db, trans)
+				if len(got) != len(want) {
+					t.Errorf("%s %q [%s]: %d rows, seed planner %d",
+						m.Name(), qs, variant, len(got), len(want))
+					return
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("%s %q [%s]: row %d = %s, seed planner %s",
+							m.Name(), qs, variant, i, got[i], want[i])
+						return
+					}
+				}
+			}
+			db.SetCostBased(true)
+			check("cost, no stats")
+			if err := db.Analyze(); err != nil {
+				t.Fatalf("%s: analyze: %v", m.Name(), err)
+			}
+			check("cost, with stats")
+		}
+	}
+}
+
+// TestCBOEquivalenceGeneratedWorkloads widens the battery beyond the
+// paper DTD: generated DTDs, corpora, and path queries, same
+// byte-identical-rows contract per mapping.
+func TestCBOEquivalenceGeneratedWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generated equivalence battery is heavyweight")
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		d := wgen.GenerateDTD(wgen.DTDConfig{
+			Elements: 14, Seed: seed, Levels: 4, AttrsPerElement: 2,
+			IDProb: 0.3, OptionalProb: 0.3, RepeatProb: 0.4, ChoiceProb: 0.4,
+		})
+		docs, err := wgen.Corpus(d, 12, seed*31, wgen.DocConfig{MaxRepeat: 3})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		maps, err := All(d)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		queries := wgen.GenerateQueries(d, 10, seed*97, wgen.QueryConfig{Depth: 3, PredProb: 0.3})
+		for _, m := range maps {
+			db := engine.Open()
+			if err := db.CreateSchema(m.Schema()); err != nil {
+				t.Fatalf("seed %d %s: %v", seed, m.Name(), err)
+			}
+			for di, doc := range docs {
+				if _, err := m.Load(db, doc, fmt.Sprintf("d%d", di)); err != nil {
+					t.Fatalf("seed %d %s doc %d: %v", seed, m.Name(), di, err)
+				}
+			}
+			if err := db.Analyze(); err != nil {
+				t.Fatalf("seed %d %s: analyze: %v", seed, m.Name(), err)
+			}
+			for _, qs := range queries {
+				trans, err := m.Translator().Translate(pathquery.MustParse(qs))
+				if err != nil {
+					continue
+				}
+				db.SetCostBased(false)
+				want := sortedRowSet(t, db, trans)
+				db.SetCostBased(true)
+				got := sortedRowSet(t, db, trans)
+				if len(got) != len(want) {
+					t.Errorf("seed %d %s %q: %d rows, seed planner %d",
+						seed, m.Name(), qs, len(got), len(want))
+					continue
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("seed %d %s %q: row %d = %s, seed planner %s",
+							seed, m.Name(), qs, i, got[i], want[i])
+						break
+					}
+				}
+			}
+		}
+	}
+}

@@ -67,10 +67,11 @@ func crashWorkload() []scriptOp {
 			_, err := db.CompactTable("books")
 			return err
 		}},
-		// One frameAnalyze before the checkpoint (so the snapshot's
-		// dictionary sections get torn) and one after (so WAL replay of
-		// the frame does). A crash mid-dictionary-write must recover to
-		// the pre-ANALYZE dictionaries, never a partial one.
+		// One frameStats before the checkpoint (so the snapshot's
+		// dictionary sections and stats header get torn) and one after
+		// (so WAL replay of the combined dictionaries+statistics frame
+		// does). A crash mid-write must recover to the pre-ANALYZE
+		// dictionaries and statistics, never a partial blend of either.
 		{"analyze books", func(db *DB) error { return db.AnalyzeTable("books") }},
 		{"checkpoint", func(db *DB) error {
 			if err := db.Checkpoint(); err != nil && !errors.Is(err, ErrNotDurable) {

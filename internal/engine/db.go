@@ -57,8 +57,17 @@ type DB struct {
 	snapshotEvery int
 
 	// vecOff disables the vectorized batch executor (vector.go); the
-	// zero value keeps it on.
-	vecOff bool
+	// zero value keeps it on. costOff disables the statistics-driven
+	// cost-based planner (plan.go, stats.go): with it off the planner
+	// keeps the structural left-to-right join order and index-first
+	// access paths the seed planner used.
+	vecOff  bool
+	costOff bool
+
+	// statsClock is the statistics epoch: it advances every time any
+	// table's ANALYZE statistics are (re)installed, so plan caches can
+	// age out entries compiled against stale statistics. See stats.go.
+	statsClock atomic.Uint64
 
 	// clock is the snapshot epoch clock: it advances on every committed
 	// mutation (in lockstep with WAL appends on durable stores, up to
@@ -78,6 +87,16 @@ func (db *DB) SetVectorized(on bool) {
 	db.mu.Unlock()
 }
 
+// SetCostBased toggles the statistics-driven cost-based planner (on by
+// default). With it off the planner keeps the structural left-to-right
+// join order; the plan-equivalence tests and the E13 experiment use the
+// toggle to compare both planners on identical data.
+func (db *DB) SetCostBased(on bool) {
+	db.mu.Lock()
+	db.costOff = !on
+	db.mu.Unlock()
+}
+
 type table struct {
 	// mu guards rows, indexes and ordered; def is immutable after DDL.
 	mu      sync.RWMutex
@@ -89,6 +108,13 @@ type table struct {
 	// (nil slice until then; nil entries for unencoded columns). Mutated
 	// only under the table's write lock.
 	dicts []*colDict
+	// stats holds the table's ANALYZE statistics (stats.go), nil until
+	// the first ANALYZE; mutated only under the table's write lock and
+	// treated as immutable once installed. statsMuts counts committed
+	// mutations since the statistics were installed — the staleness
+	// signal surfaced by StatsFreshnessReport.
+	stats     *TableStats
+	statsMuts atomic.Int64
 	// MVCC state (version.go): cur caches the immutable snapshot cursors
 	// capture at open (nil after every mutation; verMu serializes its
 	// lazy re-creation between concurrent readers), liveRefs counts open

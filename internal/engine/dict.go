@@ -175,10 +175,12 @@ func buildDictsLocked(t *table) []*colDict {
 }
 
 // AnalyzeTable builds per-column dictionaries for the TEXT columns of
-// one table from its current rows. On a durable database the new
-// dictionaries are logged to the WAL before they are installed, so they
-// survive crashes exactly like row data. Re-running ANALYZE replaces
-// the previous dictionaries.
+// one table from its current rows, and collects the table statistics
+// (row count, per-column distinct/null counts, min/max, equi-depth
+// histograms — stats.go) the cost-based planner runs on. On a durable
+// database both are logged to the WAL as one frameStats record before
+// they are installed, so they survive crashes exactly like row data.
+// Re-running ANALYZE replaces the previous dictionaries and statistics.
 func (db *DB) AnalyzeTable(name string) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -203,11 +205,13 @@ func (db *DB) Analyze() error {
 
 func (db *DB) analyzeLocked(name string, t *table) error {
 	dicts := buildDictsLocked(t)
-	if err := db.logAnalyze(name, dicts); err != nil {
+	ts := buildStatsLocked(t)
+	if err := db.logStats(name, dicts, ts); err != nil {
 		return err
 	}
 	t.dicts = dicts
 	t.invalidateVersion()
+	db.installStatsLocked(t, ts)
 	return nil
 }
 
@@ -303,14 +307,9 @@ func decodeAnalyzePayload(r *walReader) (string, []*colDict, error) {
 	return name, dicts, nil
 }
 
-func (db *DB) logAnalyze(table string, dicts []*colDict) error {
-	if db.wal == nil {
-		return nil
-	}
-	return db.wal.append(frameAnalyze, encodeAnalyzeFrame(table, dicts))
-}
-
 // applyAnalyzeFrame re-installs logged dictionaries during recovery.
+// New ANALYZE ops log the combined frameStats record (stats.go); this
+// replays the dictionary-only frames older WALs still carry.
 func (db *DB) applyAnalyzeFrame(r *walReader) error {
 	name, dicts, err := decodeAnalyzePayload(r)
 	if err != nil {

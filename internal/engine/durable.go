@@ -337,6 +337,9 @@ func (db *DB) applyFrame(fr walFrame) error {
 	case frameAnalyze:
 		return db.applyAnalyzeFrame(r)
 
+	case frameStats:
+		return db.applyStatsFrame(r)
+
 	case frameCompact:
 		name, err := r.str()
 		if err != nil {

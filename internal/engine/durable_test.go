@@ -52,6 +52,14 @@ func dumpState(db *DB) string {
 				}
 			}
 		}
+		if t.stats != nil {
+			// ANALYZE statistics ride the same frame as the dictionaries
+			// and the snapshot header, so they are part of the durable
+			// contract: a crash must recover exactly the logged statistics
+			// or none (never a blend).
+			stats, _ := json.Marshal(t.stats)
+			fmt.Fprintf(&sb, "  stats %s\n", stats)
+		}
 		for pos, row := range t.rows {
 			fmt.Fprintf(&sb, "  row %d %#v\n", pos, row)
 		}

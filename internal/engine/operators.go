@@ -325,6 +325,13 @@ type hashJoinNode struct {
 	left         bool
 	bind         envBinding
 	keysDesc     string
+	// buildOuter flips the build side: the hash table is built from the
+	// outer input and the inner side streams through it. Set by the
+	// cost-based planner when the outer's estimated cardinality is the
+	// smaller; never set on LEFT joins (unmatched-outer emission needs
+	// the outer side streamed). The merged output rows are identical
+	// either way — only emission order and build memory change.
+	buildOuter bool
 }
 
 func (n *hashJoinNode) kind() string         { return "join" }
@@ -339,19 +346,26 @@ func (n *hashJoinNode) describe() string {
 	if len(n.others) > 0 {
 		label += fmt.Sprintf(" [conds=%d]", len(n.others))
 	}
+	if n.buildOuter {
+		label += " [build=outer]"
+	}
 	return label
 }
 
 func (n *hashJoinNode) open(ec *execCtx) (rowIter, error) {
-	innerIt, err := openNode(n.inner, ec)
+	buildChild, streamChild := n.inner, n.outer
+	if n.buildOuter {
+		buildChild, streamChild = n.outer, n.inner
+	}
+	buildIt, err := openNode(buildChild, ec)
 	if err != nil {
 		return nil, err
 	}
 	build := make(map[string][][]any)
 	keyBuf := make([]any, len(n.equis))
-	err = drainIter(innerIt, func(in []any) error {
+	err = drainIter(buildIt, func(in []any) error {
 		for i, e := range n.equis {
-			keyBuf[i] = in[e.innerIdx]
+			keyBuf[i] = in[n.buildKeyIdx(e)]
 		}
 		if anyNil(keyBuf) {
 			return nil // NULL never equals anything
@@ -363,22 +377,38 @@ func (n *hashJoinNode) open(ec *execCtx) (rowIter, error) {
 	if err != nil {
 		return nil, err
 	}
-	outerIt, err := openNode(n.outer, ec)
+	streamIt, err := openNode(streamChild, ec)
 	if err != nil {
 		return nil, err
 	}
-	return &hashJoinIter{n: n, ec: ec, outer: outerIt, build: build,
+	return &hashJoinIter{n: n, ec: ec, outer: streamIt, build: build,
 		keyBuf: make([]any, len(n.equis))}, nil
+}
+
+// buildKeyIdx / probeKeyIdx pick each equi pair's flat column index for
+// the built and streamed sides respectively.
+func (n *hashJoinNode) buildKeyIdx(e equiPair) int {
+	if n.buildOuter {
+		return e.outerIdx
+	}
+	return e.innerIdx
+}
+
+func (n *hashJoinNode) probeKeyIdx(e equiPair) int {
+	if n.buildOuter {
+		return e.innerIdx
+	}
+	return e.outerIdx
 }
 
 type hashJoinIter struct {
 	n      *hashJoinNode
 	ec     *execCtx
-	outer  rowIter
+	outer  rowIter // the streamed side (the inner input when buildOuter)
 	build  map[string][][]any
 	keyBuf []any
 
-	cur     []any   // current outer row, nil when a new one is needed
+	cur     []any   // current streamed row, nil when a new one is needed
 	matches [][]any // hash bucket for cur
 	mi      int
 	matched bool
@@ -394,7 +424,14 @@ func (it *hashJoinIter) Next() ([]any, error) {
 				}
 				in := it.matches[it.mi]
 				it.mi++
-				m := mergeRow(it.cur, in, n.bind)
+				// mergeRow wants (outer row, inner row): when the build side
+				// is the outer, the bucket row is the outer one.
+				var m []any
+				if n.buildOuter {
+					m = mergeRow(in, it.cur, n.bind)
+				} else {
+					m = mergeRow(it.cur, in, n.bind)
+				}
 				ok, err := evalPreds(n.others, m, it.ec)
 				if err != nil {
 					return nil, err
@@ -416,7 +453,7 @@ func (it *hashJoinIter) Next() ([]any, error) {
 		}
 		it.cur, it.mi, it.matched = row, 0, false
 		for i, e := range n.equis {
-			it.keyBuf[i] = row[e.outerIdx]
+			it.keyBuf[i] = row[n.probeKeyIdx(e)]
 		}
 		if anyNil(it.keyBuf) {
 			it.matches = nil

@@ -184,36 +184,24 @@ func (db *DB) buildPlan(s *sqldb.Select, srcs []source, env *rowEnv) (*physPlan,
 		}
 	}
 
-	// Scan + join pipeline, left to right.
-	root, err := db.planScan(srcs[0], env, pushed[0])
+	// Scan + join pipeline: the structural planner joins left to right
+	// exactly as written; the cost-based planner (default) reorders the
+	// inner-join prefix by estimated cardinality, picks access paths and
+	// hash build sides by cost, and estimates every operator's output
+	// from ANALYZE statistics. Both return the conjuncts they could not
+	// consume, which become residual filters.
+	var node planNode
+	var leftoverConjs []classifiedConj
+	var err error
+	if db.costOff {
+		node, leftoverConjs, err = db.planPipelineStructural(srcs, env, pushed, joinConjs)
+	} else {
+		node, leftoverConjs, err = db.planPipelineCost(srcs, env, pushed, joinConjs)
+	}
 	if err != nil {
 		return nil, err
 	}
-	var node planNode = root
-	for bi := 1; bi < len(srcs); bi++ {
-		src := srcs[bi]
-		var conds []sqldb.Expr
-		conds = append(conds, splitAnd(src.on)...)
-		if !src.left {
-			rest := joinConjs[:0]
-			for _, jc := range joinConjs {
-				if jc.maxBind == bi {
-					conds = append(conds, jc.expr)
-				} else {
-					rest = append(rest, jc)
-				}
-			}
-			joinConjs = rest
-		}
-		inner, err := db.planScan(src, env, pushed[bi])
-		if err != nil {
-			return nil, err
-		}
-		node = planJoin(node, inner, bi, conds, env, src.left)
-	}
-	// Join conjuncts never consumed (e.g. referencing only later
-	// bindings under LEFT joins) become residual filters.
-	for _, jc := range joinConjs {
+	for _, jc := range leftoverConjs {
 		residual = append(residual, jc.expr)
 	}
 	if len(residual) > 0 {
@@ -281,6 +269,242 @@ func (db *DB) buildPlan(s *sqldb.Select, srcs []source, env *rowEnv) (*physPlan,
 	return &physPlan{root: node, cols: cols, env: env}, nil
 }
 
+// planPipelineStructural is the seed planner's join pipeline: scan and
+// join strictly left to right as the query was written, consuming join
+// conjuncts at the first join whose binding completes them. Kept intact
+// behind SetCostBased(false) as the baseline the equivalence battery
+// and the E13 experiment compare against.
+func (db *DB) planPipelineStructural(srcs []source, env *rowEnv, pushed [][]sqldb.Expr, joinConjs []classifiedConj) (planNode, []classifiedConj, error) {
+	root, err := db.planScan(srcs[0], env, pushed[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	var node planNode = root
+	for bi := 1; bi < len(srcs); bi++ {
+		src := srcs[bi]
+		var conds []sqldb.Expr
+		conds = append(conds, splitAnd(src.on)...)
+		if !src.left {
+			rest := joinConjs[:0]
+			for _, jc := range joinConjs {
+				if jc.maxBind == bi {
+					conds = append(conds, jc.expr)
+				} else {
+					rest = append(rest, jc)
+				}
+			}
+			joinConjs = rest
+		}
+		inner, err := db.planScan(src, env, pushed[bi])
+		if err != nil {
+			return nil, nil, err
+		}
+		node = planJoin(node, inner, bi, conds, env, src.left)
+	}
+	// Join conjuncts never consumed (e.g. referencing only later
+	// bindings under LEFT joins) become residual filters.
+	return node, joinConjs, nil
+}
+
+// poolCond is one reorderable join condition: the conjunct, the bitset
+// of bindings it references, and its estimated selectivity.
+type poolCond struct {
+	expr sqldb.Expr
+	mask uint64
+	sel  float64
+}
+
+// planPipelineCost is the statistics-driven join pipeline. The
+// inner-join prefix (every source before the first LEFT join) is
+// reorderable: its join conjuncts and inner ON conditions form one
+// condition pool keyed by binding bitsets, a greedy ordering starts
+// from the smallest estimated scan and repeatedly joins the connected
+// source with the smallest estimated output, and each condition is
+// applied at the first join that covers its bindings. LEFT joins and
+// everything after them keep their written order. The flat row layout
+// makes all of this safe: every binding owns fixed column offsets, so
+// join order never changes the output shape — only how many rows flow
+// through the middle of the tree.
+func (db *DB) planPipelineCost(srcs []source, env *rowEnv, pushed [][]sqldb.Expr, joinConjs []classifiedConj) (planNode, []classifiedConj, error) {
+	prefix := len(srcs)
+	for i, src := range srcs {
+		if src.left {
+			prefix = i
+			break
+		}
+	}
+	if prefix == 0 || len(srcs) > 64 {
+		// Nothing reorderable (or too many sources for the bitsets):
+		// the structural pipeline with cost-refined scans still applies,
+		// but keeping the seed path exactly is simpler and just as good.
+		return db.planPipelineStructural(srcs, env, pushed, joinConjs)
+	}
+	bindIdx := make(map[string]int, len(env.bindings))
+	for i, b := range env.bindings {
+		bindIdx[b.name] = i
+	}
+	// Local pushdown lists: single-binding inner ON conditions fold into
+	// their source's scan so selectivity estimation and index selection
+	// see them (semantically identical for inner joins).
+	pushedLoc := make([][]sqldb.Expr, len(srcs))
+	for i := range pushed {
+		pushedLoc[i] = append([]sqldb.Expr(nil), pushed[i]...)
+	}
+	var pool []poolCond
+	var constConds []sqldb.Expr
+	addCond := func(c sqldb.Expr) error {
+		refs, err := exprRefs(c, env)
+		if err != nil {
+			return err
+		}
+		mask, only := uint64(0), -1
+		for name := range refs {
+			bi, ok := bindIdx[name]
+			if !ok {
+				return fmt.Errorf("engine: unknown table %q in join condition", name)
+			}
+			mask |= 1 << bi
+			only = bi
+		}
+		switch {
+		case len(refs) == 0:
+			constConds = append(constConds, c)
+		case len(refs) == 1 && !srcs[only].left:
+			pushedLoc[only] = append(pushedLoc[only], c)
+		default:
+			pool = append(pool, poolCond{expr: c, mask: mask, sel: condSelectivity(c, env, srcs)})
+		}
+		return nil
+	}
+	for _, jc := range joinConjs {
+		if err := addCond(jc.expr); err != nil {
+			return nil, nil, err
+		}
+	}
+	for i := 1; i < prefix; i++ {
+		for _, c := range splitAnd(srcs[i].on) {
+			if err := addCond(c); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	// Estimated post-pushdown scan outputs drive the ordering.
+	est := make([]float64, prefix)
+	for i := 0; i < prefix; i++ {
+		est[i] = float64(len(srcs[i].ver.rows)) * predsSelectivity(pushedLoc[i], srcs[i])
+	}
+	order := make([]int, 0, prefix)
+	if prefix >= 3 {
+		order = greedyJoinOrder(prefix, est, pool)
+	} else {
+		for i := 0; i < prefix; i++ {
+			order = append(order, i)
+		}
+	}
+
+	// Build the tree in the chosen order, consuming each pool condition
+	// at the first join that covers it.
+	consumed := make([]bool, len(pool))
+	first := order[0]
+	firstPreds := append(append([]sqldb.Expr(nil), pushedLoc[first]...), constConds...)
+	root, err := db.planScanCost(srcs[first], env, firstPreds)
+	if err != nil {
+		return nil, nil, err
+	}
+	var node planNode = root
+	curMask := uint64(1) << first
+	for _, idx := range order[1:] {
+		newMask := curMask | 1<<idx
+		var conds []sqldb.Expr
+		for ci := range pool {
+			if !consumed[ci] && pool[ci].mask&^newMask == 0 {
+				consumed[ci] = true
+				conds = append(conds, pool[ci].expr)
+			}
+		}
+		scan, err := db.planScanCost(srcs[idx], env, pushedLoc[idx])
+		if err != nil {
+			return nil, nil, err
+		}
+		node = db.planJoinCost(node, scan, idx, conds, env, false, srcs)
+		curMask = newMask
+	}
+	// The LEFT-join suffix keeps the written order; pushed predicates on
+	// left-protected sources were already routed to residual upstream.
+	for bi := prefix; bi < len(srcs); bi++ {
+		src := srcs[bi]
+		scan, err := db.planScanCost(src, env, pushedLoc[bi])
+		if err != nil {
+			return nil, nil, err
+		}
+		node = db.planJoinCost(node, scan, bi, splitAnd(src.on), env, src.left, srcs)
+	}
+	// Pool conditions never covered (defensive: conjuncts over suffix
+	// bindings) surface as residual filters, same as the structural path.
+	var leftover []classifiedConj
+	for ci := range pool {
+		if !consumed[ci] {
+			leftover = append(leftover, classifiedConj{expr: pool[ci].expr})
+		}
+	}
+	return node, leftover, nil
+}
+
+// greedyJoinOrder orders the reorderable prefix: start at the smallest
+// estimated scan, then repeatedly add the source with the smallest
+// estimated join output, preferring sources connected to the joined set
+// by at least one pool condition (cross products only when forced).
+func greedyJoinOrder(prefix int, est []float64, pool []poolCond) []int {
+	order := make([]int, 0, prefix)
+	used := make([]bool, prefix)
+	start := 0
+	for i := 1; i < prefix; i++ {
+		if est[i] < est[start] {
+			start = i
+		}
+	}
+	order = append(order, start)
+	used[start] = true
+	curMask := uint64(1) << start
+	curEst := est[start]
+	consumed := make([]bool, len(pool))
+	for len(order) < prefix {
+		bestIdx, bestEst, bestConn := -1, 0.0, false
+		for i := 0; i < prefix; i++ {
+			if used[i] {
+				continue
+			}
+			newMask := curMask | 1<<i
+			join := curEst * est[i]
+			conn := false
+			for ci := range pool {
+				if consumed[ci] || pool[ci].mask&(1<<i) == 0 || pool[ci].mask&^newMask != 0 {
+					continue
+				}
+				conn = true
+				join *= pool[ci].sel
+			}
+			better := bestIdx == -1 ||
+				(conn && !bestConn) ||
+				(conn == bestConn && join < bestEst)
+			if better {
+				bestIdx, bestEst, bestConn = i, join, conn
+			}
+		}
+		order = append(order, bestIdx)
+		used[bestIdx] = true
+		curMask |= 1 << bestIdx
+		curEst = bestEst
+		for ci := range pool {
+			if !consumed[ci] && pool[ci].mask&^curMask == 0 {
+				consumed[ci] = true
+			}
+		}
+	}
+	return order
+}
+
 // planScan chooses the access path for one source: an index probe for
 // an equality predicate set covered by a hash index, a window over an
 // ordered index for range predicates, else a sequential scan. Pushed
@@ -333,11 +557,124 @@ func (db *DB) planScan(src source, env *rowEnv, preds []sqldb.Expr) (*scanNode, 
 	return n, nil
 }
 
-// planJoin builds the join operator for the next source: a hash join
-// when at least one equi-condition links it to earlier bindings, else
-// a (filtered) nested loop.
+// planScanCost is planScan with two cost-based refinements: a range
+// window covering most of the table demotes to a plain sequential scan
+// (the position indirection buys nothing at that point), and the
+// cardinality hint reflects the pushed predicates' estimated
+// selectivity instead of the raw input size, so executed EXPLAIN
+// compares a real estimate against the actual row count.
+func (db *DB) planScanCost(src source, env *rowEnv, preds []sqldb.Expr) (*scanNode, error) {
+	bi := -1
+	for i, b := range env.bindings {
+		if b.name == src.ref.Name() {
+			bi = i
+			break
+		}
+	}
+	n := &scanNode{src: src, bind: env.bindings[bi], width: env.width()}
+	live := len(src.ver.rows)
+	eqCols, eqVals, restPreds, err := extractEqualities(preds, src, env)
+	if err != nil {
+		return nil, err
+	}
+	if len(eqCols) > 0 {
+		if ix := src.t.findIndex(eqCols); ix != nil {
+			// Same copied-postings contract as planScan.
+			pos := append([]int(nil), ix.m[encodeKey(eqVals)]...)
+			if pos == nil {
+				pos = []int{}
+			}
+			n.access, n.indexName, n.positions, n.preds = accessIndex, ix.name, pos, restPreds
+			n.hint = clampEst(float64(len(pos)) * predsSelectivity(restPreds, src))
+			return n, nil
+		}
+	}
+	if ix, bounds, ok := extractRange(preds, src); ok {
+		pos := ix.scan(src.t, bounds)
+		if pos == nil {
+			pos = []int{}
+		}
+		// Demote wide windows: when the range keeps most of the table, a
+		// sequential scan reads the same rows without the indirection.
+		if float64(len(pos)) <= rangeDemoteFrac*float64(live) {
+			n.access, n.indexName, n.positions, n.preds = accessRange, ix.name, pos, preds
+			n.hint = len(pos)
+			return n, nil
+		}
+	}
+	n.access, n.preds = accessSeq, preds
+	n.hint = clampEst(float64(live) * predsSelectivity(preds, src))
+	return n, nil
+}
+
+// rangeDemoteFrac is the window-coverage fraction past which a range
+// scan demotes to a sequential scan under cost-based planning.
+const rangeDemoteFrac = 0.8
+
+// planJoinCost builds the join operator for the cost-based pipeline:
+// the same hash-vs-nested-loop split as planJoin, but the cardinality
+// hint is the estimated join output (outer x inner scaled by each
+// condition's selectivity) and the hash build side goes to whichever
+// input is estimated smaller (LEFT joins always stream the outer —
+// unmatched-row emission depends on it).
+func (db *DB) planJoinCost(outer planNode, inner *scanNode, bi int, conds []sqldb.Expr, env *rowEnv, left bool, srcs []source) planNode {
+	b := env.bindings[bi]
+	equis, others := classifyJoinConds(conds, b, env)
+	oe, ie := float64(outer.estimate()), float64(inner.estimate())
+	out := oe * ie
+	for _, e := range equis {
+		out *= equiSelectivity(env, srcs, e)
+	}
+	for range others {
+		out *= defaultRangeSel
+	}
+	if left && out < oe {
+		out = oe // every outer row is emitted at least once
+	}
+	if len(equis) > 0 {
+		n := &hashJoinNode{
+			outer: outer, inner: inner, equis: equis, others: others,
+			left: left, bind: b, keysDesc: equiKeysDesc(env, equis),
+			nodeBase: nodeBase{hint: clampEst(out)},
+		}
+		if !left && oe < ie {
+			n.buildOuter = true
+		}
+		return n
+	}
+	return &nlJoinNode{
+		outer: outer, inner: inner, conds: conds, left: left, bind: b,
+		nodeBase: nodeBase{hint: clampEst(out)},
+	}
+}
+
+// planJoin builds the join operator for the structural pipeline: a hash
+// join when at least one equi-condition links it to earlier bindings,
+// else a (filtered) nested loop.
 func planJoin(outer planNode, inner *scanNode, bi int, conds []sqldb.Expr, env *rowEnv, left bool) planNode {
 	b := env.bindings[bi]
+	equis, others := classifyJoinConds(conds, b, env)
+	if len(equis) > 0 {
+		return &hashJoinNode{
+			outer: outer, inner: inner, equis: equis, others: others,
+			left: left, bind: b, keysDesc: equiKeysDesc(env, equis),
+			nodeBase: nodeBase{hint: maxInt(outer.estimate(), inner.estimate())},
+		}
+	}
+	hint := outer.estimate() * inner.estimate()
+	if outer.estimate() != 0 && hint/outer.estimate() != inner.estimate() {
+		hint = int(^uint(0) >> 1) // overflow: saturate
+	}
+	return &nlJoinNode{
+		outer: outer, inner: inner, conds: conds, left: left, bind: b,
+		nodeBase: nodeBase{hint: hint},
+	}
+}
+
+// classifyJoinConds splits join conditions into equi pairs keyed for
+// hashing (one side in the inner binding b, the other outside it) and
+// the rest, which re-check per merged row.
+func classifyJoinConds(conds []sqldb.Expr, b envBinding, env *rowEnv) ([]equiPair, []sqldb.Expr) {
 	var equis []equiPair
 	var others []sqldb.Expr
 	for _, c := range conds {
@@ -369,25 +706,73 @@ func planJoin(outer planNode, inner *scanNode, bi int, conds []sqldb.Expr, env *
 			others = append(others, c)
 		}
 	}
-	if len(equis) > 0 {
-		keys := make([]string, len(equis))
-		for i, e := range equis {
-			keys[i] = flatColName(env, e.outerIdx) + " = " + flatColName(env, e.innerIdx)
+	return equis, others
+}
+
+// equiKeysDesc renders the hash keys for EXPLAIN.
+func equiKeysDesc(env *rowEnv, equis []equiPair) string {
+	keys := make([]string, len(equis))
+	for i, e := range equis {
+		keys[i] = flatColName(env, e.outerIdx) + " = " + flatColName(env, e.innerIdx)
+	}
+	return strings.Join(keys, ", ")
+}
+
+// flatBindingIdx maps a flat row index back to its binding index.
+func flatBindingIdx(env *rowEnv, idx int) int {
+	for i, b := range env.bindings {
+		if idx >= b.offset && idx < b.offset+len(b.cols) {
+			return i
 		}
-		return &hashJoinNode{
-			outer: outer, inner: inner, equis: equis, others: others,
-			left: left, bind: b, keysDesc: strings.Join(keys, ", "),
-			nodeBase: nodeBase{hint: maxInt(outer.estimate(), inner.estimate())},
+	}
+	return -1
+}
+
+// equiSelectivity estimates a column-equality join condition as
+// 1/max(distinct(left), distinct(right)) — the textbook estimate, with
+// distinct counts from ANALYZE statistics, dictionaries or live row
+// counts (distinctOf's fallback chain).
+func equiSelectivity(env *rowEnv, srcs []source, e equiPair) float64 {
+	d := 1.0
+	for _, idx := range [2]int{e.outerIdx, e.innerIdx} {
+		bi := flatBindingIdx(env, idx)
+		if bi < 0 || bi >= len(srcs) {
+			continue
+		}
+		b := env.bindings[bi]
+		if dv := distinctOf(srcs[bi], b.cols[idx-b.offset]); dv > d {
+			d = dv
 		}
 	}
-	hint := outer.estimate() * inner.estimate()
-	if outer.estimate() != 0 && hint/outer.estimate() != inner.estimate() {
-		hint = int(^uint(0) >> 1) // overflow: saturate
+	return 1 / d
+}
+
+// condSelectivity estimates one pool condition for join ordering.
+func condSelectivity(c sqldb.Expr, env *rowEnv, srcs []source) float64 {
+	if bin, ok := c.(*sqldb.Bin); ok && bin.Op == sqldb.OpEq {
+		lc, lok := bin.L.(*sqldb.Col)
+		rc, rok := bin.R.(*sqldb.Col)
+		if lok && rok {
+			li, lerr := env.resolve(lc.Table, lc.Name)
+			ri, rerr := env.resolve(rc.Table, rc.Name)
+			if lerr == nil && rerr == nil {
+				return equiSelectivity(env, srcs, equiPair{outerIdx: li, innerIdx: ri})
+			}
+		}
 	}
-	return &nlJoinNode{
-		outer: outer, inner: inner, conds: conds, left: left, bind: b,
-		nodeBase: nodeBase{hint: hint},
+	return defaultRangeSel
+}
+
+// clampEst rounds a float estimate into a non-negative int hint.
+func clampEst(f float64) int {
+	const maxHint = int(^uint(0) >> 1)
+	if f <= 0 {
+		return 0
 	}
+	if f >= float64(maxHint) {
+		return maxHint
+	}
+	return int(f + 0.5)
 }
 
 // equiPair links an outer-side flat column to an inner-side flat

@@ -50,6 +50,10 @@ type snapTableHeader struct {
 	// DictCols names the columns whose dictionaries follow the header,
 	// in emission order.
 	DictCols []string `json:"dict_cols,omitempty"`
+	// Stats carries the table's ANALYZE statistics (stats.go). Absent
+	// for unanalyzed tables and in snapshots written before statistics
+	// existed — readers of either kind just plan without them.
+	Stats *TableStats `json:"stats,omitempty"`
 }
 
 type snapIndex struct {
@@ -143,7 +147,7 @@ func (db *DB) encodeSnapshot(seq uint64) ([]byte, error) {
 	buf = binary.AppendUvarint(buf, uint64(len(db.order)))
 	for _, name := range db.order {
 		t := db.tables[name]
-		hdr := snapTableHeader{Def: t.def}
+		hdr := snapTableHeader{Def: t.def, Stats: t.stats}
 		for _, ix := range t.indexes {
 			cols := make([]string, len(ix.cols))
 			for i, c := range ix.cols {
@@ -287,7 +291,7 @@ func loadSnapshot(data []byte) (tables map[string]*table, order []string, seq ui
 		if _, dup := tables[hdr.Def.Name]; dup {
 			return nil, nil, 0, fmt.Errorf("engine: snapshot duplicates table %q", hdr.Def.Name)
 		}
-		t := &table{def: hdr.Def, indexes: make(map[string]*index)}
+		t := &table{def: hdr.Def, indexes: make(map[string]*index), stats: hdr.Stats}
 		for _, ixh := range hdr.Indexes {
 			if _, dup := t.indexes[ixh.Name]; dup {
 				return nil, nil, 0, fmt.Errorf("engine: snapshot duplicates index %q", ixh.Name)

@@ -105,6 +105,11 @@ func (t *table) invalidateVersion() {
 	if t.clock != nil {
 		t.clock.Add(1)
 	}
+	// Any committed mutation ages the table's ANALYZE statistics; the
+	// counter feeds StatsFreshnessReport and resets when new statistics
+	// are installed (installStatsLocked runs after this on the ANALYZE
+	// path itself).
+	t.statsMuts.Add(1)
 }
 
 // prepareWrite makes t.rows safe to mutate in place. When an open

@@ -44,6 +44,7 @@ const (
 	frameDDL     byte = 6 // JSON ddlRecord
 	frameAnalyze byte = 7 // table, per-column dictionaries (dict.go)
 	frameCompact byte = 8 // table, post-compaction row count (vacuum.go)
+	frameStats   byte = 9 // analyze payload + JSON table statistics (stats.go)
 )
 
 // walMaxFrame bounds a single frame body; larger length prefixes are

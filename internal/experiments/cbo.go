@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"xmlrdb/internal/baselines"
+	"xmlrdb/internal/engine"
+	"xmlrdb/internal/pathquery"
+	"xmlrdb/internal/wgen"
+)
+
+// E13 measures plan quality: the structural (written-order) join
+// planner against the statistics-driven cost-based planner, on a
+// skewed three-table chain where written order is the worst order, and
+// on a generated path-query workload over a wgen corpus. Every timed
+// query is checked for result equality across the two planners.
+
+// E13Elems sizes the skewed chain's middle table (attrs is 3×).
+var E13Elems = 30_000
+
+// E13Result is the machine-readable form `make bench-json` writes to
+// BENCH_E13.json.
+type E13Result struct {
+	Elems        int        `json:"elems"`
+	Chain        []E13Query `json:"chain"`
+	WorkloadNote string     `json:"workload_note"`
+	// Workload aggregates the wgen path-query sweep.
+	WorkloadQueries     int     `json:"workload_queries"`
+	WorkloadReordered   int     `json:"workload_reordered"`
+	WorkloadStructNS    int64   `json:"workload_structural_ns"`
+	WorkloadCostNS      int64   `json:"workload_costbased_ns"`
+	WorkloadSpeedup     float64 `json:"workload_speedup"`
+	WorkloadAllIdentical bool   `json:"workload_all_identical"`
+}
+
+// E13Query is one measured chain query across the two planners.
+type E13Query struct {
+	SQL          string  `json:"sql"`
+	StructuralNS int64   `json:"structural_ns"`
+	CostNS       int64   `json:"cost_ns"`
+	Speedup      float64 `json:"speedup"`
+	Reordered    bool    `json:"reordered"`
+	Identical    bool    `json:"identical"`
+	CostPlan     string  `json:"cost_plan"`
+}
+
+// e13DB builds the skewed chain: 4 docs, E13Elems elems piled onto doc
+// 1, 3× attrs fanning out — so a chain written elems-first hashes the
+// biggest tables before the one-row docs filter can prune anything.
+func e13DB() (*engine.DB, error) {
+	db := engine.Open()
+	if Observe != nil {
+		db.SetMetrics(Observe)
+	}
+	_, _, err := db.ExecScript(`
+CREATE TABLE docs (id INTEGER PRIMARY KEY, name TEXT NOT NULL);
+CREATE TABLE elems (id INTEGER PRIMARY KEY, doc INTEGER NOT NULL, type TEXT NOT NULL,
+  val INTEGER, FOREIGN KEY (doc) REFERENCES docs (id));
+CREATE TABLE attrs (id INTEGER PRIMARY KEY, elem INTEGER NOT NULL, kind TEXT NOT NULL,
+  FOREIGN KEY (elem) REFERENCES elems (id));
+CREATE INDEX docs_name ON docs (name);
+`)
+	if err != nil {
+		return nil, err
+	}
+	docs := [][]any{}
+	for i := 1; i <= 4; i++ {
+		docs = append(docs, []any{int64(i), fmt.Sprintf("d%d", i)})
+	}
+	if _, err := db.InsertBatch("docs", docs); err != nil {
+		return nil, err
+	}
+	const chunk = 5000
+	skew := E13Elems / 100 // docs 2-4 get skew/3 rows each, doc 1 the rest
+	for at := 0; at < E13Elems; at += chunk {
+		n := min(chunk, E13Elems-at)
+		batch := make([][]any, n)
+		for i := range batch {
+			id := at + i
+			doc := int64(1)
+			if id < skew {
+				doc = int64(2 + id%3)
+			}
+			batch[i] = []any{int64(id), doc, fmt.Sprintf("t%d", id%5), int64(id % 1000)}
+		}
+		if _, err := db.InsertBatch("elems", batch); err != nil {
+			return nil, err
+		}
+	}
+	for at := 0; at < 3*E13Elems; at += chunk {
+		n := min(chunk, 3*E13Elems-at)
+		batch := make([][]any, n)
+		for i := range batch {
+			id := at + i
+			batch[i] = []any{int64(id), int64(id / 3), fmt.Sprintf("k%d", id%3)}
+		}
+		if _, err := db.InsertBatch("attrs", batch); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// e13Time runs a query once warm, then returns the mean of three runs
+// and the sorted row renderings (reordered plans may emit rows in a
+// different order).
+func e13Time(db *engine.DB, sql string) (time.Duration, map[string]int, error) {
+	rows, err := db.Query(sql) // warm
+	if err != nil {
+		return 0, nil, err
+	}
+	const reps = 3
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if rows, err = db.Query(sql); err != nil {
+			return 0, nil, err
+		}
+	}
+	lat := time.Since(start) / reps
+	set := map[string]int{}
+	for _, r := range rows.Data {
+		set[fmt.Sprint(r)]++
+	}
+	return lat, set, nil
+}
+
+// e13ScanOrder reduces a rendered plan to its scan sequence, the
+// fingerprint that changes iff the join order changed.
+func e13ScanOrder(plan string) string {
+	var scans []string
+	for _, line := range strings.Split(plan, "\n") {
+		if i := strings.Index(line, "Scan("); i >= 0 {
+			rest := line[i:]
+			if j := strings.Index(rest, ")"); j >= 0 {
+				scans = append(scans, rest[:j+1])
+			}
+		}
+	}
+	return strings.Join(scans, " <- ")
+}
+
+func sameRowSet(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, n := range a {
+		if b[k] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// E13 runs the plan-quality benchmark.
+func E13(seed int64) (*Table, error) {
+	db, err := e13DB()
+	if err != nil {
+		return nil, err
+	}
+	if err := db.Analyze(); err != nil {
+		return nil, err
+	}
+	chain := []string{
+		`SELECT COUNT(*) AS n FROM elems e JOIN attrs a ON a.elem = e.id` +
+			` JOIN docs d ON e.doc = d.id WHERE d.name = 'd3'`,
+		`SELECT a.kind, COUNT(*) AS n FROM elems e JOIN attrs a ON a.elem = e.id` +
+			` JOIN docs d ON e.doc = d.id WHERE d.name = 'd2' GROUP BY a.kind`,
+		`SELECT COUNT(*) AS n FROM attrs a JOIN elems e ON a.elem = e.id` +
+			` JOIN docs d ON e.doc = d.id WHERE d.name = 'd4' AND a.kind = 'k1'`,
+	}
+	res := &E13Result{Elems: E13Elems}
+	t := &Table{
+		ID: "E13", Title: fmt.Sprintf("cost-based vs structural join order (skewed chain, %d elems)", E13Elems),
+		Header: []string{"query", "structural", "cost-based", "speedup", "reordered", "identical"},
+		Notes: []string{
+			"chain is written biggest-table-first with the selective predicate on the far end;",
+			"the cost-based planner should start from the one-row docs index probe and build the small hash sides",
+		},
+	}
+	ctx := context.Background()
+	for _, sql := range chain {
+		db.SetCostBased(false)
+		structLat, structRows, err := e13Time(db, sql)
+		if err != nil {
+			return nil, err
+		}
+		structPlan, err := db.ExplainQueryContext(ctx, sql)
+		if err != nil {
+			return nil, err
+		}
+		db.SetCostBased(true)
+		costLat, costRows, err := e13Time(db, sql)
+		if err != nil {
+			return nil, err
+		}
+		costPlan, err := db.ExplainQueryContext(ctx, sql)
+		if err != nil {
+			return nil, err
+		}
+		q := E13Query{
+			SQL:          sql,
+			StructuralNS: structLat.Nanoseconds(),
+			CostNS:       costLat.Nanoseconds(),
+			Reordered:    e13ScanOrder(structPlan) != e13ScanOrder(costPlan),
+			Identical:    sameRowSet(structRows, costRows),
+			CostPlan:     costPlan,
+		}
+		if costLat > 0 {
+			q.Speedup = float64(structLat) / float64(costLat)
+		}
+		res.Chain = append(res.Chain, q)
+		t.Rows = append(t.Rows, []string{
+			sql[:min(52, len(sql))] + "...",
+			structLat.Round(time.Microsecond).String(),
+			costLat.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.2fx", q.Speedup),
+			fmt.Sprint(q.Reordered), fmt.Sprint(q.Identical),
+		})
+	}
+
+	// Generated path-query workload: load a wgen corpus under the ER
+	// mapping and sweep translated queries under both planners.
+	d := wgen.GenerateDTD(wgen.DTDConfig{
+		Elements: 16, Seed: seed, Levels: 4, AttrsPerElement: 2,
+		IDProb: 0.3, OptionalProb: 0.3, RepeatProb: 0.5, ChoiceProb: 0.3,
+	})
+	corpus, err := wgen.Corpus(d, 60, seed*31, wgen.DocConfig{MaxRepeat: 4})
+	if err != nil {
+		return nil, err
+	}
+	maps, err := baselines.All(d)
+	if err != nil {
+		return nil, err
+	}
+	m := maps[0]
+	wdb := engine.Open()
+	if err := wdb.CreateSchema(m.Schema()); err != nil {
+		return nil, err
+	}
+	for di, doc := range corpus {
+		if _, err := m.Load(wdb, doc, fmt.Sprintf("d%d", di)); err != nil {
+			return nil, err
+		}
+	}
+	if err := wdb.Analyze(); err != nil {
+		return nil, err
+	}
+	queries := wgen.GenerateQueries(d, 20, seed*97, wgen.QueryConfig{Depth: 4, PredProb: 0.4})
+	allSame := true
+	for _, qs := range queries {
+		trans, err := m.Translator().Translate(pathquery.MustParse(qs))
+		if err != nil {
+			continue
+		}
+		res.WorkloadQueries++
+		wdb.SetCostBased(false)
+		var structNS, costNS int64
+		structSet := map[string]int{}
+		var structOrders []string
+		for _, sql := range trans.SQLs {
+			lat, set, err := e13Time(wdb, sql)
+			if err != nil {
+				return nil, err
+			}
+			structNS += lat.Nanoseconds()
+			for k, n := range set {
+				structSet[k] += n
+			}
+			plan, err := wdb.ExplainQueryContext(ctx, sql)
+			if err != nil {
+				return nil, err
+			}
+			structOrders = append(structOrders, e13ScanOrder(plan))
+		}
+		wdb.SetCostBased(true)
+		costSet := map[string]int{}
+		reordered := false
+		for si, sql := range trans.SQLs {
+			lat, set, err := e13Time(wdb, sql)
+			if err != nil {
+				return nil, err
+			}
+			costNS += lat.Nanoseconds()
+			for k, n := range set {
+				costSet[k] += n
+			}
+			plan, err := wdb.ExplainQueryContext(ctx, sql)
+			if err != nil {
+				return nil, err
+			}
+			if e13ScanOrder(plan) != structOrders[si] {
+				reordered = true
+			}
+		}
+		if reordered {
+			res.WorkloadReordered++
+		}
+		if !sameRowSet(structSet, costSet) {
+			allSame = false
+		}
+		res.WorkloadStructNS += structNS
+		res.WorkloadCostNS += costNS
+	}
+	res.WorkloadAllIdentical = allSame
+	if res.WorkloadCostNS > 0 {
+		res.WorkloadSpeedup = float64(res.WorkloadStructNS) / float64(res.WorkloadCostNS)
+	}
+	res.WorkloadNote = fmt.Sprintf("%s mapping, %d docs, generated path queries", m.Name(), len(corpus))
+	t.Rows = append(t.Rows, []string{
+		fmt.Sprintf("[wgen workload: %d queries, %d replanned]", res.WorkloadQueries, res.WorkloadReordered),
+		time.Duration(res.WorkloadStructNS).Round(time.Microsecond).String(),
+		time.Duration(res.WorkloadCostNS).Round(time.Microsecond).String(),
+		fmt.Sprintf("%.2fx", res.WorkloadSpeedup),
+		fmt.Sprint(res.WorkloadReordered > 0), fmt.Sprint(allSame),
+	})
+	t.JSON = res
+	return t, nil
+}

@@ -2,6 +2,7 @@ package pathquery
 
 import (
 	"container/list"
+	"strconv"
 	"sync"
 
 	"xmlrdb/internal/obs"
@@ -12,16 +13,20 @@ import (
 const DefaultCacheSize = 256
 
 // Cache is an LRU translation (plan) cache wrapping any Translator.
-// Keys combine the wrapped translator's name with the query's canonical
-// path rendering, so pipelines that switch strategies never serve a
-// plan built for another mapping. Cached translations are shared and
-// read-only; a hit returns a shallow copy with Cached set, which
-// Explain renders as a cache-hit note.
+// Keys combine the wrapped translator's name, the database's statistics
+// epoch and the query's canonical path rendering, so pipelines that
+// switch strategies never serve a plan built for another mapping, and
+// plans compiled before an ANALYZE (against older statistics) never
+// outlive it: the epoch bump re-keys every lookup and the stale entries
+// age out of the LRU. Cached translations are shared and read-only; a
+// hit returns a shallow copy with Cached set, which Explain renders as
+// a cache-hit note.
 //
 // Cache itself implements Translator and is safe for concurrent use.
 type Cache struct {
-	t   Translator
-	obs *obs.Metrics
+	t     Translator
+	obs   *obs.Metrics
+	epoch func() uint64 // statistics epoch source; nil means unversioned
 
 	mu  sync.Mutex
 	max int
@@ -47,6 +52,35 @@ func NewCache(t Translator, size int) *Cache {
 // evictions. Attach before concurrent use.
 func (c *Cache) SetObserver(m *obs.Metrics) { c.obs = m }
 
+// SetEpochSource attaches the statistics-epoch source (typically the
+// engine's DB.StatsEpoch) that versions every cache key. Attach before
+// concurrent use.
+func (c *Cache) SetEpochSource(fn func() uint64) { c.epoch = fn }
+
+// Invalidate drops every cached plan. ANALYZE calls it so plans whose
+// SQL or costing assumptions predate the new statistics are rebuilt
+// immediately rather than lingering until LRU pressure ages them out.
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.obs != nil {
+		for n := c.ll.Len(); n > 0; n-- {
+			c.obs.PlanCacheEvictions.Inc()
+		}
+	}
+	c.ll.Init()
+	c.m = make(map[string]*list.Element)
+}
+
+// key renders one versioned cache key.
+func (c *Cache) key(q *Query) string {
+	var epoch uint64
+	if c.epoch != nil {
+		epoch = c.epoch()
+	}
+	return c.t.Name() + "\x00" + strconv.FormatUint(epoch, 10) + "\x00" + q.String()
+}
+
 // Name reports the wrapped translator's name.
 func (c *Cache) Name() string { return c.t.Name() }
 
@@ -61,7 +95,7 @@ func (c *Cache) Len() int {
 // caching on a miss. Translation errors are not cached (they are cheap
 // to reproduce and may be transient across schema changes).
 func (c *Cache) Translate(q *Query) (*Translation, error) {
-	key := c.t.Name() + "\x00" + q.String()
+	key := c.key(q)
 	c.mu.Lock()
 	if el, ok := c.m[key]; ok {
 		c.ll.MoveToFront(el)

@@ -233,6 +233,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"rows":      st.Rows,
 		"bytes":     st.Bytes,
 		"documents": len(docs),
+		// Per-table ANALYZE freshness: whether statistics exist and how
+		// many mutations have committed since they were collected.
+		"stats_freshness": s.p.StatsFreshness(),
 	})
 }
 

@@ -104,8 +104,10 @@ type Pipeline struct {
 	loader     *shred.Loader
 	translator *pathquery.ERTranslator
 	// qt is the translator Query/ExplainPath go through: the plan cache
-	// when enabled, else the raw translator.
+	// when enabled, else the raw translator. planCache points at the
+	// cache itself (nil when disabled) so ANALYZE can evict it.
 	qt        pathquery.Translator
+	planCache *pathquery.Cache
 	recon     *reconstruct.Reconstructor
 	validator *validate.Validator
 }
@@ -190,10 +192,15 @@ func OpenDTD(d *dtd.DTD, cfg Config) (*Pipeline, error) {
 	translator := pathquery.NewERTranslator(res, m)
 	translator.SetObserver(hub, nil)
 	var qt pathquery.Translator = translator
+	var planCache *pathquery.Cache
 	if cfg.PlanCacheSize >= 0 {
-		cache := pathquery.NewCache(translator, cfg.PlanCacheSize)
-		cache.SetObserver(hub)
-		qt = cache
+		planCache = pathquery.NewCache(translator, cfg.PlanCacheSize)
+		planCache.SetObserver(hub)
+		// Version every cache key with the statistics epoch: plans
+		// compiled before an ANALYZE stop being served the moment fresher
+		// statistics land.
+		planCache.SetEpochSource(db.StatsEpoch)
+		qt = planCache
 	}
 	recon := reconstruct.New(res, m, db)
 	recon.SetObserver(hub, nil)
@@ -206,6 +213,7 @@ func OpenDTD(d *dtd.DTD, cfg Config) (*Pipeline, error) {
 		loader:     loader,
 		translator: translator,
 		qt:         qt,
+		planCache:  planCache,
 		recon:      recon,
 		validator:  validate.New(d),
 	}, nil
@@ -374,14 +382,40 @@ func (p *Pipeline) Checkpoint() error { return p.DB.Checkpoint() }
 // run vectorized filters and aggregates over integer codes instead of
 // strings; the dictionaries are durable (logged and snapshotted) on
 // stores with a DataDir.
-func (p *Pipeline) Analyze() error { return p.DB.Analyze() }
+func (p *Pipeline) Analyze() error {
+	err := p.DB.Analyze()
+	if p.planCache != nil {
+		p.planCache.Invalidate() // plans may embed pre-ANALYZE costing
+	}
+	return err
+}
 
 // AnalyzeTable is Analyze for a single table.
-func (p *Pipeline) AnalyzeTable(name string) error { return p.DB.AnalyzeTable(name) }
+func (p *Pipeline) AnalyzeTable(name string) error {
+	err := p.DB.AnalyzeTable(name)
+	if p.planCache != nil {
+		p.planCache.Invalidate()
+	}
+	return err
+}
 
 // DictStats reports the dictionary size per encoded column of a table
 // (empty when the table has not been analyzed or nothing encoded).
 func (p *Pipeline) DictStats(name string) map[string]int { return p.DB.DictStats(name) }
+
+// TableStats returns a copy of one table's ANALYZE statistics (row
+// count, per-column distinct/null counts, min/max, histograms), or nil
+// when the table does not exist or was never analyzed.
+func (p *Pipeline) TableStats(name string) *engine.TableStats {
+	return p.DB.TableStatsSnapshot(name)
+}
+
+// StatsFreshness reports, per table, whether ANALYZE statistics exist
+// and how many mutations have committed since they were collected —
+// the signal for re-running ANALYZE.
+func (p *Pipeline) StatsFreshness() map[string]engine.StatsFreshness {
+	return p.DB.StatsFreshnessReport()
+}
 
 // Close flushes and closes the durable store (a no-op for in-memory
 // pipelines). The pipeline must not be used afterwards.
